@@ -1,0 +1,59 @@
+//! Ablation Abl 3: sensitivity of the adaptive strategy to epoch-to-epoch
+//! deviations of the access pattern — the paper's stated limit of the
+//! repetitive-pattern assumption (§3.1/§4.4.2).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use ai_ckpt_sim::{
+    AppModel, Cluster, ClusterConfig, StencilApp, StencilConfig, StorageModel, Strategy,
+};
+
+fn experiment(deviation: f64, strategy: Strategy) -> ai_ckpt_sim::SimOutcome {
+    let cfg = ClusterConfig {
+        ranks: 2,
+        ranks_per_node: 1,
+        iterations: 4,
+        ckpt_every: 1,
+        ckpt_at_end: false,
+        strategy,
+        cow_slots: 64,
+        barrier_ns: 100_000,
+        fault_ns: 5_000,
+        cow_copy_ns: 2_000,
+        jitter: 0.02,
+        async_compute_drag: 1.0,
+        seed: 11,
+    };
+    let storage = StorageModel::local_disk(2);
+    Cluster::new(cfg, storage, move |r| {
+        Box::new(StencilApp::new(StencilConfig {
+            total_bytes: 32 << 20,
+            dirty_bytes: 24 << 20,
+            page_bytes: 16 << 10,
+            fields: 8,
+            seed: 100 + r as u64,
+            iteration_ns: 2_000_000_000,
+            bursts: 8,
+            burst_write_fraction: 0.5,
+            deviation,
+        })) as Box<dyn AppModel>
+    })
+    .run()
+}
+
+fn bench_deviation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_deviation");
+    g.sample_size(10);
+    for deviation in [0.0, 0.1, 0.5] {
+        g.bench_with_input(
+            BenchmarkId::new("adaptive", format!("{:.0}%", deviation * 100.0)),
+            &deviation,
+            |b, &d| b.iter(|| black_box(experiment(d, Strategy::AiCkpt).completion)),
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_deviation);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Ablation Abl 1: how much of the win comes from the history buckets
+//! (Algorithm 4) versus the dynamic hints (WaitedPage + CoW preference)
+//! versus mere flush-order choice.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use ai_ckpt_bench::presets;
+use ai_ckpt_sim::{SchedulerKind, Strategy};
+
+fn bench_ablation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_scheduler");
+    g.sample_size(10);
+    let exp = presets::quick::cm1(4, 4 << 20, 1);
+    let variants: [(&str, Strategy); 5] = [
+        ("no_pattern", Strategy::AsyncNoPattern),
+        (
+            "address_plus_hints",
+            Strategy::Custom {
+                scheduler: SchedulerKind::AddressOrder,
+                hints: true,
+                sync: false,
+            },
+        ),
+        (
+            "history_only",
+            Strategy::Custom {
+                scheduler: SchedulerKind::AccessOrder,
+                hints: false,
+                sync: false,
+            },
+        ),
+        (
+            "random_plus_hints",
+            Strategy::Custom {
+                scheduler: SchedulerKind::Random(3),
+                hints: true,
+                sync: false,
+            },
+        ),
+        ("full_adaptive", Strategy::AiCkpt),
+    ];
+    for (name, strategy) in variants {
+        g.bench_with_input(BenchmarkId::new(name, 4), &exp, |b, exp| {
+            b.iter(|| black_box(exp.run(strategy).completion))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

@@ -1,0 +1,110 @@
+//! Micro-benchmarks of the engine itself (ablation Abl 2 in DESIGN.md):
+//! cost per first-write fault decision, per flush selection, CoW slab
+//! churn, and flush-plan construction. These bound the runtime overhead the
+//! paper claims is small enough to hide behind storage latency.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use std::hint::black_box;
+
+use ai_ckpt_core::{CowSlab, EngineConfig, EpochEngine, FlushPlan, SchedulerKind};
+
+const PAGES: usize = 16_384;
+
+fn dirty_engine(cow_slots: u32) -> EpochEngine {
+    let mut e = EpochEngine::new(
+        EngineConfig::adaptive(PAGES, 4096, cow_slots).without_cow_data(),
+    )
+    .unwrap();
+    for p in 0..PAGES as u32 {
+        e.on_write(p);
+    }
+    e
+}
+
+fn bench_on_write(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine/on_write");
+    g.throughput(Throughput::Elements(PAGES as u64));
+    g.bench_function("first_writes_16k_pages", |b| {
+        b.iter_batched(
+            || {
+                EpochEngine::new(
+                    EngineConfig::adaptive(PAGES, 4096, 64).without_cow_data(),
+                )
+                .unwrap()
+            },
+            |mut e| {
+                for p in 0..PAGES as u32 {
+                    black_box(e.on_write(p));
+                }
+                e
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_select_drain(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine/select_and_complete");
+    g.throughput(Throughput::Elements(PAGES as u64));
+    for kind in [SchedulerKind::Adaptive, SchedulerKind::AddressOrder] {
+        g.bench_function(kind.label(), |b| {
+            b.iter_batched(
+                || {
+                    let mut e = dirty_engine(0);
+                    e.begin_checkpoint().unwrap();
+                    e
+                },
+                |mut e| {
+                    while let Some(item) = e.select_next() {
+                        e.complete_flush(item);
+                    }
+                    e
+                },
+                BatchSize::SmallInput,
+            )
+        });
+        let _ = kind;
+    }
+    g.finish();
+}
+
+fn bench_plan_build(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine/plan_build_16k");
+    let e = dirty_engine(0);
+    for kind in [
+        SchedulerKind::Adaptive,
+        SchedulerKind::AddressOrder,
+        SchedulerKind::AccessOrder,
+        SchedulerKind::Random(9),
+    ] {
+        g.bench_function(kind.label(), |b| {
+            b.iter(|| black_box(FlushPlan::build(kind, e.history().current())))
+        });
+    }
+    g.finish();
+}
+
+fn bench_cow_slab(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cow_slab");
+    g.throughput(Throughput::Elements(4096));
+    g.bench_function("acquire_release_4k_slots", |b| {
+        let mut slab = CowSlab::new(4096, 64, false);
+        b.iter(|| {
+            for _ in 0..4096 {
+                let s = slab.acquire().unwrap();
+                slab.release(s);
+            }
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_on_write,
+    bench_select_drain,
+    bench_plan_build,
+    bench_cow_slab
+);
+criterion_main!(benches);

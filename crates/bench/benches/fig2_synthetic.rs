@@ -1,0 +1,27 @@
+//! Figure 2 bench: the synthetic benchmark on the **real** runtime, at a
+//! reduced region size (Criterion needs repeatable sub-second-ish samples;
+//! the paper-scale run lives in the `figures` binary).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use ai_ckpt_bench::{fig2, Fig2Config};
+
+fn bench_fig2(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig2_synthetic_real_runtime");
+    g.sample_size(10);
+    let cfg = Fig2Config {
+        region_bytes: 8 << 20,
+        cow_bytes: 1 << 20,
+        iterations: 6,
+        ckpt_every: 2,
+        ..Fig2Config::default()
+    };
+    g.bench_with_input(BenchmarkId::new("all_patterns", "8MB"), &cfg, |b, cfg| {
+        b.iter(|| black_box(fig2::run(cfg).expect("fig2")))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig2);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Figure 3 bench: CM1 weak scaling under each strategy (scaled-down
+//! simulator preset; the full-scale series comes from the `figures`
+//! binary).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use ai_ckpt_bench::presets;
+use ai_ckpt_sim::Strategy;
+
+fn bench_fig3(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig3_cm1_weak_scaling");
+    g.sample_size(10);
+    for ranks in [1usize, 4] {
+        for strategy in [Strategy::Sync, Strategy::AsyncNoPattern, Strategy::AiCkpt] {
+            let exp = presets::quick::cm1(ranks, 16 << 20, 1);
+            g.bench_with_input(
+                BenchmarkId::new(strategy.label(), ranks),
+                &exp,
+                |b, exp| b.iter(|| black_box(exp.run(strategy).completion)),
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig3);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Figure 4 bench: the CoW-buffer sweep (scaled-down CM1 preset).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use ai_ckpt_bench::presets;
+use ai_ckpt_sim::Strategy;
+
+fn bench_fig4(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig4_cow_sweep");
+    g.sample_size(10);
+    for cow_mb in [0u64, 1, 16] {
+        for strategy in [Strategy::AsyncNoPattern, Strategy::AiCkpt] {
+            let exp = presets::quick::cm1(4, cow_mb << 20, 1);
+            g.bench_with_input(
+                BenchmarkId::new(strategy.label(), format!("{cow_mb}MB")),
+                &exp,
+                |b, exp| b.iter(|| black_box(exp.run(strategy).completion)),
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig4);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Figure 5 bench: MILC weak scaling on node-local disks (scaled-down
+//! preset).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use ai_ckpt_bench::presets;
+use ai_ckpt_sim::Strategy;
+
+fn bench_fig5(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig5_milc_weak_scaling");
+    g.sample_size(10);
+    for ranks in [10usize, 20] {
+        for strategy in [Strategy::Sync, Strategy::AsyncNoPattern, Strategy::AiCkpt] {
+            let exp = presets::quick::milc(ranks, 0, 1);
+            g.bench_with_input(
+                BenchmarkId::new(strategy.label(), ranks),
+                &exp,
+                |b, exp| b.iter(|| black_box(exp.run(strategy).completion)),
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig5);
+criterion_main!(benches);

@@ -1,0 +1,21 @@
+//! # ai-ckpt-bench — the figure harness
+//!
+//! Code that regenerates every figure of the paper's evaluation:
+//!
+//! | figure | what | substrate |
+//! |--------|------|-----------|
+//! | Fig 2a/b/c | synthetic benchmark, 3 patterns × 3 strategies | **real** mprotect runtime + throttled storage ([`fig2`]) |
+//! | Fig 3a/b | CM1 weak scaling on PVFS | simulator ([`presets::cm1_experiment`]) |
+//! | Fig 4a/b | CoW-size sweeps (CM1 @32, MILC @280) | simulator |
+//! | Fig 5 | MILC weak scaling on local disks | simulator |
+//!
+//! The `figures` binary prints paper-vs-measured tables; Criterion benches
+//! under `benches/` run scaled-down variants of the same presets.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod fig2;
+pub mod presets;
+
+pub use fig2::{Fig2Cell, Fig2Config};

@@ -1,0 +1,249 @@
+//! Simulator presets reproducing the paper's cluster experiments
+//! (Figures 3, 4 and 5), with the parameter derivations documented inline.
+//!
+//! All absolute constants are calibrated against the paper's own reported
+//! numbers (checkpoint sizes, durations, hardware specs); DESIGN.md §4
+//! records each substitution, EXPERIMENTS.md the resulting measurements.
+
+use ai_ckpt_sim::{
+    AppKind, ClusterConfig, Experiment, Routing, ServiceParams, StorageModel, Strategy,
+};
+
+/// Block granularity for the CM1 simulations (16 KiB = 4 OS pages; see
+/// DESIGN.md on granularity invariance).
+pub const CM1_BLOCK: usize = 16 << 10;
+/// Block granularity for the MILC simulations (64 KiB = 16 OS pages).
+pub const MILC_BLOCK: usize = 64 << 10;
+
+/// The three strategies every figure compares.
+pub const STRATEGIES: [Strategy; 3] = [
+    Strategy::Sync,
+    Strategy::AsyncNoPattern,
+    Strategy::AiCkpt,
+];
+
+/// Grid'5000 PVFS model at CM1's block granularity.
+///
+/// Derivation: the paper reports one rank checkpointing 400 MB of 4 KiB
+/// pages in ≈ 22 s through PVFS/FUSE (Fig. 3a, sync @ 1 process) — a
+/// ≈ 215 µs round trip per page. One 16 KiB block = 4 such requests:
+/// client-side ≈ 336 µs, server-side ≈ 240 µs + 16 KiB at 55 MB/s disk.
+/// Ten servers then saturate at ≈ 19 k blocks/s, which reproduces the
+/// ≈ 43 s sync checkpoint at 32 ranks. Async flushing pays 1.25× client
+/// overhead while the application computes (NIC interference, §4.4.1).
+pub fn pvfs_storage() -> StorageModel {
+    StorageModel::new(
+        10,
+        ServiceParams {
+            overhead_ns: 175_000,
+            bytes_per_sec: 55.0 * 1024.0 * 1024.0,
+            jitter: 0.5,
+        },
+        Routing::Striped,
+        336_000,
+        1.25,
+    )
+}
+
+/// Shamrock local-disk model at MILC's block granularity.
+///
+/// Derivation: 10 ranks/node × 830 MB flushed to one 2012-era 1 TB HDD in
+/// the paper's ≈ 210 s checkpoint ⇒ ≈ 40 MB/s effective under 10-way
+/// concurrent writing (seek thrash), plus a 200 µs per-request cost.
+pub fn local_disk_storage(nodes: usize) -> StorageModel {
+    StorageModel::new(
+        nodes.max(1),
+        ServiceParams {
+            overhead_ns: 200_000,
+            bytes_per_sec: 40.0 * 1024.0 * 1024.0,
+            jitter: 0.4,
+        },
+        Routing::NodeLocal,
+        20_000,
+        1.1,
+    )
+}
+
+/// CM1 on Grid'5000 (Figures 3 and 4a): weak scaling with a fixed 200×200
+/// subdomain per rank, checkpoints every 50 s of simulated time, 180 s of
+/// simulation ⇒ 3 checkpoints; one rank per node; 16 MiB CoW unless swept.
+///
+/// The epoch is modelled as one 50 s iteration whose first writes spread
+/// over its duration (the union of the epoch's time steps), with an 8 %
+/// per-epoch deviation of the touch order — the paper attributes CM1's
+/// CoW-buffer sensitivity to such deviations (§4.4.2).
+pub fn cm1_experiment(ranks: usize, cow_bytes: u64, seed: u64) -> Experiment {
+    Experiment {
+        cluster: ClusterConfig {
+            ranks,
+            ranks_per_node: 1,
+            iterations: 4,
+            ckpt_every: 1,
+            ckpt_at_end: false,
+            strategy: Strategy::None, // overridden per run
+            cow_slots: (cow_bytes / CM1_BLOCK as u64) as u32,
+            barrier_ns: 200_000,
+            fault_ns: 12_000,  // 4 real faults per 16 KiB block
+            cow_copy_ns: 4_000,
+            jitter: 0.02,
+            async_compute_drag: 1.2,
+            seed,
+        },
+        storage: pvfs_storage(),
+        app: AppKind::Cm1 {
+            page_bytes: CM1_BLOCK,
+            iteration_ns: 50_000_000_000,
+            seed,
+        },
+    }
+}
+
+/// MILC on Shamrock (Figures 4b and 5): weak scaling with a fixed
+/// 20×32×32×18 sub-lattice per rank, 10 ranks/node, local disks, three
+/// trajectories each ending in a checkpoint; CoW off unless swept.
+///
+/// A trajectory is modelled as one 300 s iteration (write front ≈ 2.8 MB/s
+/// per rank against ≈ 3.4 MB/s of flush bandwidth per rank — the knife-edge
+/// regime the paper's Fig. 4b/5 numbers imply).
+pub fn milc_experiment(ranks: usize, cow_bytes: u64, seed: u64) -> Experiment {
+    let nodes = ranks.div_ceil(10);
+    Experiment {
+        cluster: ClusterConfig {
+            ranks,
+            ranks_per_node: 10,
+            iterations: 3,
+            ckpt_every: 1,
+            ckpt_at_end: true,
+            strategy: Strategy::None, // overridden per run
+            cow_slots: (cow_bytes / MILC_BLOCK as u64) as u32,
+            barrier_ns: 150_000,
+            fault_ns: 48_000, // 16 real faults per 64 KiB block
+            cow_copy_ns: 13_000,
+            jitter: 0.02,
+            async_compute_drag: 1.2,
+            seed,
+        },
+        storage: local_disk_storage(nodes),
+        app: AppKind::Milc {
+            page_bytes: MILC_BLOCK,
+            iteration_ns: 300_000_000_000,
+        },
+    }
+}
+
+/// Rank counts for the CM1 weak-scaling sweep (Fig. 3).
+pub const FIG3_RANKS: [usize; 6] = [1, 2, 4, 8, 16, 32];
+/// Rank counts for the MILC weak-scaling sweep (Fig. 5).
+pub const FIG5_RANKS: [usize; 5] = [10, 40, 80, 160, 280];
+/// CoW buffer sizes for the Fig. 4 sweeps, in bytes.
+pub const FIG4_COW_BYTES: [u64; 6] = [
+    0,
+    1 << 20,
+    4 << 20,
+    16 << 20,
+    64 << 20,
+    256 << 20,
+];
+
+/// Scaled-down variants for benches/CI: same models, smaller problems.
+pub mod quick {
+    use super::*;
+
+    /// CM1 with 10× shorter epochs and 10× faster storage: the same block
+    /// counts and CoW ratios (so the figures keep their shapes), just less
+    /// simulated time per run.
+    pub fn cm1(ranks: usize, cow_bytes: u64, seed: u64) -> Experiment {
+        let mut e = cm1_experiment(ranks, cow_bytes, seed);
+        e.app = AppKind::Cm1 {
+            page_bytes: CM1_BLOCK,
+            iteration_ns: 5_000_000_000,
+            seed,
+        };
+        // Scaling the storage up 10× together with the 10× shorter epochs
+        // preserves the write-front : flush ratio, i.e. the regime.
+        e.storage = StorageModel::new(
+            10,
+            ServiceParams {
+                overhead_ns: 24_000,
+                bytes_per_sec: 550.0 * 1024.0 * 1024.0,
+                jitter: 0.5,
+            },
+            Routing::Striped,
+            33_600,
+            1.25,
+        );
+        e
+    }
+
+    /// MILC with 10× shorter trajectories and 10× faster disks.
+    pub fn milc(ranks: usize, cow_bytes: u64, seed: u64) -> Experiment {
+        let mut e = milc_experiment(ranks, cow_bytes, seed);
+        e.app = AppKind::Milc {
+            page_bytes: MILC_BLOCK,
+            iteration_ns: 30_000_000_000,
+        };
+        e.storage = StorageModel::new(
+            ranks.div_ceil(10),
+            ServiceParams {
+                overhead_ns: 20_000,
+                bytes_per_sec: 400.0 * 1024.0 * 1024.0,
+                jitter: 0.4,
+            },
+            Routing::NodeLocal,
+            2_000,
+            1.1,
+        );
+        e
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cm1_preset_geometry() {
+        let e = cm1_experiment(4, 16 << 20, 1);
+        assert_eq!(e.cluster.ranks, 4);
+        assert_eq!(e.cluster.cow_slots as usize, (16 << 20) / CM1_BLOCK);
+        assert_eq!(e.cluster.iterations, 4, "3 checkpoints inside the run");
+        assert!(!e.cluster.ckpt_at_end);
+        let app = e.app.build(0);
+        assert_eq!(app.page_bytes(), CM1_BLOCK);
+    }
+
+    #[test]
+    fn milc_preset_geometry() {
+        let e = milc_experiment(20, 0, 1);
+        assert_eq!(e.cluster.ranks_per_node, 10);
+        assert_eq!(e.storage.servers(), 2, "one disk per node");
+        assert!(e.cluster.ckpt_at_end, "trajectory-end checkpoints");
+        assert_eq!(e.cluster.cow_slots, 0);
+    }
+
+    #[test]
+    fn regime_sanity_cm1() {
+        // CM1's regime (see DESIGN.md): first writes arrive in per-step
+        // bursts that outpace the flush, while the inter-burst gaps let the
+        // flusher catch up — that is what makes a one-burst-sized CoW
+        // buffer (16 MB) so effective in Fig. 4a.
+        let e = cm1_experiment(1, 0, 1);
+        let app = e.app.build(0);
+        let front_ns_per_block = app.per_write_ns();
+        // One-rank flush round trip: client + server overhead + transfer.
+        let service = 336_000.0 + 175_000.0 + CM1_BLOCK as f64 / (55.0 * 1024.0 * 1024.0) * 1e9;
+        let ratio = service / front_ns_per_block as f64;
+        assert!(
+            (1.0..3.0).contains(&ratio),
+            "burst front must outpace the flush; flush/front ratio {ratio:.2}"
+        );
+        // Total flush capacity per epoch must cover the dirty set (the gaps
+        // exist to absorb the bursts, not to starve the flusher).
+        let epoch_ns = 50_000_000_000f64;
+        let capacity = epoch_ns / service;
+        assert!(
+            capacity >= app.touch_order().len() as f64 * 0.8,
+            "epoch flush capacity {capacity:.0} blocks cannot keep up"
+        );
+    }
+}

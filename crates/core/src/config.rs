@@ -1,0 +1,162 @@
+//! Engine configuration: page-set geometry, copy-on-write budget and the
+//! flush-ordering policy.
+
+use crate::schedule::SchedulerKind;
+
+/// Configuration for an [`EpochEngine`](crate::engine::EpochEngine).
+///
+/// The engine pre-allocates all of its per-page metadata up front so that the
+/// write-fault path never allocates (a hard requirement for the SIGSEGV-driven
+/// runtime, and a determinism aid for the simulator). Metadata cost is about
+/// 22 bytes per page plus the CoW slab itself.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EngineConfig {
+    /// Number of pages the engine tracks. Fixed for the engine's lifetime;
+    /// front-ends that grow their protected set must size this to the
+    /// maximum (see `max_pages` in the runtime's config).
+    pub pages: usize,
+    /// Size of one page in bytes. The paper (and the runtime) use the OS
+    /// page size (4 KiB on the evaluation testbeds); the simulator may use a
+    /// coarser granularity to keep event counts tractable.
+    pub page_bytes: usize,
+    /// Number of copy-on-write slots (the paper's `Threshold`). The CoW
+    /// buffer size in bytes is `cow_slots * page_bytes`. Zero disables
+    /// copy-on-write entirely, as in the paper's "0 MB" configurations.
+    pub cow_slots: u32,
+    /// Flush-ordering policy (Algorithm 4 vs. the baselines).
+    pub scheduler: SchedulerKind,
+    /// Enable the *current-epoch* adaptations of §3.1: committing the
+    /// `WaitedPage` as soon as possible and preferring pages that triggered a
+    /// copy-on-write this epoch. `true` for the paper's `our-approach`,
+    /// `false` for `async-no-pattern` (which differs only in flush order).
+    pub dynamic_hints: bool,
+    /// Whether the CoW slab should actually store page bytes. The threaded
+    /// runtime and the property tests need the bytes; the simulator only
+    /// needs slot accounting and can save the memory.
+    pub cow_data: bool,
+}
+
+impl EngineConfig {
+    /// A conventional configuration: adaptive scheduling with dynamic hints
+    /// (the paper's `our-approach`).
+    pub fn adaptive(pages: usize, page_bytes: usize, cow_slots: u32) -> Self {
+        Self {
+            pages,
+            page_bytes,
+            cow_slots,
+            scheduler: SchedulerKind::Adaptive,
+            dynamic_hints: true,
+            cow_data: true,
+        }
+    }
+
+    /// The paper's `async-no-pattern` baseline: ascending address order, no
+    /// dynamic adaptation, same machinery otherwise.
+    pub fn no_pattern(pages: usize, page_bytes: usize, cow_slots: u32) -> Self {
+        Self {
+            pages,
+            page_bytes,
+            cow_slots,
+            scheduler: SchedulerKind::AddressOrder,
+            dynamic_hints: false,
+            cow_data: true,
+        }
+    }
+
+    /// Disable CoW data storage (simulator use).
+    pub fn without_cow_data(mut self) -> Self {
+        self.cow_data = false;
+        self
+    }
+
+    /// Override the scheduler kind.
+    pub fn with_scheduler(mut self, scheduler: SchedulerKind) -> Self {
+        self.scheduler = scheduler;
+        self
+    }
+
+    /// Override the dynamic-hints flag.
+    pub fn with_dynamic_hints(mut self, dynamic_hints: bool) -> Self {
+        self.dynamic_hints = dynamic_hints;
+        self
+    }
+
+    /// Total bytes of the protected set.
+    pub fn total_bytes(&self) -> u64 {
+        self.pages as u64 * self.page_bytes as u64
+    }
+
+    /// Copy-on-write budget in bytes (the paper quotes this as a fraction of
+    /// application memory; e.g. 16 MiB for the synthetic benchmark).
+    pub fn cow_bytes(&self) -> u64 {
+        self.cow_slots as u64 * self.page_bytes as u64
+    }
+
+    /// Validate invariants; returns a human-readable error string on misuse.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.pages == 0 {
+            return Err("EngineConfig.pages must be > 0".into());
+        }
+        if self.pages > PageLimit::MAX_PAGES {
+            return Err(format!(
+                "EngineConfig.pages {} exceeds the PageId limit {}",
+                self.pages,
+                PageLimit::MAX_PAGES
+            ));
+        }
+        if self.page_bytes == 0 {
+            return Err("EngineConfig.page_bytes must be > 0".into());
+        }
+        Ok(())
+    }
+}
+
+/// Limits implied by the compact [`PageId`](crate::page::PageId) type.
+pub struct PageLimit;
+
+impl PageLimit {
+    /// `u32::MAX` is reserved as a sentinel in a few packed tables.
+    pub const MAX_PAGES: usize = (u32::MAX - 1) as usize;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn adaptive_preset_matches_paper_defaults() {
+        let c = EngineConfig::adaptive(65536, 4096, 4096);
+        assert_eq!(c.scheduler, SchedulerKind::Adaptive);
+        assert!(c.dynamic_hints);
+        assert_eq!(c.total_bytes(), 256 * 1024 * 1024);
+        assert_eq!(c.cow_bytes(), 16 * 1024 * 1024);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn no_pattern_preset_disables_adaptation() {
+        let c = EngineConfig::no_pattern(1024, 4096, 16);
+        assert_eq!(c.scheduler, SchedulerKind::AddressOrder);
+        assert!(!c.dynamic_hints);
+    }
+
+    #[test]
+    fn validation_rejects_degenerate_configs() {
+        assert!(EngineConfig::adaptive(0, 4096, 0).validate().is_err());
+        assert!(EngineConfig::adaptive(16, 0, 0).validate().is_err());
+        assert!(EngineConfig::adaptive(usize::MAX, 4096, 0)
+            .validate()
+            .is_err());
+    }
+
+    #[test]
+    fn builder_overrides_apply() {
+        let c = EngineConfig::adaptive(16, 4096, 4)
+            .without_cow_data()
+            .with_scheduler(SchedulerKind::ReverseAddress)
+            .with_dynamic_hints(false);
+        assert!(!c.cow_data);
+        assert!(!c.dynamic_hints);
+        assert_eq!(c.scheduler, SchedulerKind::ReverseAddress);
+    }
+}

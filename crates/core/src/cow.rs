@@ -1,0 +1,202 @@
+//! Bounded copy-on-write slab (§3.1 "Use bounded copy-on-write to avoid wait
+//! delays").
+//!
+//! The paper inverts classical copy-on-write: the *checkpointer* receives a
+//! private copy of the pre-checkpoint page content while the application's
+//! write proceeds on the original page, so the application's address space is
+//! never disturbed. The number of slots is fixed before the run
+//! (`Threshold` in Algorithm 2); when the slab is exhausted, writers must
+//! wait instead.
+//!
+//! All storage is allocated at construction; `acquire`/`release` never
+//! allocate, which makes them callable (under the engine spinlock) from a
+//! SIGSEGV handler.
+
+use crate::page::NO_SLOT;
+
+/// Fixed-capacity pool of page-sized copy slots.
+#[derive(Debug)]
+pub struct CowSlab {
+    slot_bytes: usize,
+    /// Backing bytes, `capacity * slot_bytes` long; empty when the slab was
+    /// built with `store_data = false` (slot accounting only).
+    data: Box<[u8]>,
+    /// LIFO free list of slot indices. Pre-sized to capacity; push/pop never
+    /// reallocate.
+    free: Vec<u32>,
+    capacity: u32,
+    /// High-water mark of simultaneously used slots (reported per epoch).
+    peak_in_use: u32,
+}
+
+impl CowSlab {
+    /// Create a slab with `capacity` slots of `slot_bytes` each.
+    ///
+    /// When `store_data` is false the slab tracks slot usage but holds no
+    /// bytes (the simulator's mode); calling [`CowSlab::slot`] or
+    /// [`CowSlab::slot_mut`] then panics.
+    pub fn new(capacity: u32, slot_bytes: usize, store_data: bool) -> Self {
+        let data = if store_data {
+            vec![0u8; capacity as usize * slot_bytes].into_boxed_slice()
+        } else {
+            Box::default()
+        };
+        // LIFO order: hand out low indices first so tests are deterministic.
+        let free: Vec<u32> = (0..capacity).rev().collect();
+        Self {
+            slot_bytes,
+            data,
+            free,
+            capacity,
+            peak_in_use: 0,
+        }
+    }
+
+    /// Total number of slots.
+    #[inline]
+    pub fn capacity(&self) -> u32 {
+        self.capacity
+    }
+
+    /// Number of slots currently holding a pending copy.
+    #[inline]
+    pub fn in_use(&self) -> u32 {
+        self.capacity - self.free.len() as u32
+    }
+
+    /// Largest number of slots that were in use at the same time since the
+    /// last [`CowSlab::reset_peak`].
+    #[inline]
+    pub fn peak_in_use(&self) -> u32 {
+        self.peak_in_use
+    }
+
+    /// Reset the high-water mark (called at each checkpoint request).
+    pub fn reset_peak(&mut self) {
+        self.peak_in_use = self.in_use();
+    }
+
+    /// True when no slot is free (`|CowPage| >= Threshold` in Algorithm 2).
+    #[inline]
+    pub fn is_full(&self) -> bool {
+        self.free.is_empty()
+    }
+
+    /// Take a free slot, if any. Never allocates.
+    #[inline]
+    pub fn acquire(&mut self) -> Option<u32> {
+        let slot = self.free.pop()?;
+        self.peak_in_use = self.peak_in_use.max(self.in_use());
+        Some(slot)
+    }
+
+    /// Return a slot to the pool. Never allocates (capacity was pre-sized).
+    ///
+    /// # Panics
+    /// In debug builds, panics if the slot is out of range or already free.
+    #[inline]
+    pub fn release(&mut self, slot: u32) {
+        debug_assert!(slot != NO_SLOT && slot < self.capacity, "bad slot {slot}");
+        debug_assert!(
+            !self.free.contains(&slot),
+            "double release of CoW slot {slot}"
+        );
+        self.free.push(slot);
+    }
+
+    /// Read access to a slot's bytes.
+    #[inline]
+    pub fn slot(&self, slot: u32) -> &[u8] {
+        let s = slot as usize * self.slot_bytes;
+        &self.data[s..s + self.slot_bytes]
+    }
+
+    /// Write access to a slot's bytes (the fault handler copies the page's
+    /// pre-write content here).
+    #[inline]
+    pub fn slot_mut(&mut self, slot: u32) -> &mut [u8] {
+        let s = slot as usize * self.slot_bytes;
+        &mut self.data[s..s + self.slot_bytes]
+    }
+
+    /// Whether this slab stores bytes (vs. accounting only).
+    #[inline]
+    pub fn stores_data(&self) -> bool {
+        !self.data.is_empty() || self.capacity == 0 || self.slot_bytes == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn acquire_until_full_then_release() {
+        let mut slab = CowSlab::new(3, 8, true);
+        assert_eq!(slab.capacity(), 3);
+        assert!(!slab.is_full());
+        let a = slab.acquire().unwrap();
+        let b = slab.acquire().unwrap();
+        let c = slab.acquire().unwrap();
+        assert_eq!((a, b, c), (0, 1, 2), "slots handed out low-first");
+        assert!(slab.is_full());
+        assert!(slab.acquire().is_none());
+        assert_eq!(slab.in_use(), 3);
+        slab.release(b);
+        assert_eq!(slab.in_use(), 2);
+        assert_eq!(slab.acquire(), Some(1), "released slot is reused");
+    }
+
+    #[test]
+    fn peak_tracking() {
+        let mut slab = CowSlab::new(4, 1, false);
+        let s0 = slab.acquire().unwrap();
+        let _s1 = slab.acquire().unwrap();
+        assert_eq!(slab.peak_in_use(), 2);
+        slab.release(s0);
+        assert_eq!(slab.peak_in_use(), 2, "peak survives releases");
+        slab.reset_peak();
+        assert_eq!(slab.peak_in_use(), 1, "reset re-bases on current usage");
+    }
+
+    #[test]
+    fn slot_data_is_isolated_per_slot() {
+        let mut slab = CowSlab::new(2, 4, true);
+        let a = slab.acquire().unwrap();
+        let b = slab.acquire().unwrap();
+        slab.slot_mut(a).copy_from_slice(&[1, 2, 3, 4]);
+        slab.slot_mut(b).copy_from_slice(&[9, 9, 9, 9]);
+        assert_eq!(slab.slot(a), &[1, 2, 3, 4]);
+        assert_eq!(slab.slot(b), &[9, 9, 9, 9]);
+    }
+
+    #[test]
+    fn zero_capacity_slab_never_grants() {
+        let mut slab = CowSlab::new(0, 4096, true);
+        assert!(slab.is_full());
+        assert!(slab.acquire().is_none());
+        assert_eq!(slab.in_use(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "double release")]
+    #[cfg(debug_assertions)]
+    fn double_release_is_caught_in_debug() {
+        let mut slab = CowSlab::new(2, 1, false);
+        let a = slab.acquire().unwrap();
+        slab.release(a);
+        slab.release(a);
+    }
+
+    #[test]
+    fn release_does_not_grow_past_capacity() {
+        let mut slab = CowSlab::new(8, 1, false);
+        let cap_before = slab.free.capacity();
+        let mut held: Vec<u32> = (0..8).map(|_| slab.acquire().unwrap()).collect();
+        for s in held.drain(..) {
+            slab.release(s);
+        }
+        assert_eq!(slab.free.capacity(), cap_before, "no reallocation");
+        assert_eq!(slab.in_use(), 0);
+    }
+}

@@ -1,0 +1,248 @@
+//! Fundamental page-level types: identifiers, per-epoch access types and the
+//! page state machine shared by the committer and the write-fault handler.
+//!
+//! The vocabulary follows §3.3 of the paper verbatim: a page is
+//! `PAGE_PROCESSED`, `PAGE_SCHEDULED` or `PAGE_INPROGRESS`, and the access it
+//! triggered during an epoch is `UNTOUCHED`, `COW`, `WAIT`, `AVOIDED` or
+//! `AFTER`. We add one extra state, [`PageState::Cowed`], to represent a
+//! scheduled page whose pre-checkpoint content has been preserved in a
+//! copy-on-write slot (the paper encodes this implicitly through
+//! `AT[p] = COW`; a dedicated state makes the committer/handler hand-off
+//! explicit and race-free).
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// Index of a page within the managed page set.
+///
+/// `u32` supports 16 TiB of protected memory at 4 KiB pages, far beyond the
+/// per-process footprints in the paper (≤ 1 GiB per rank).
+pub type PageId = u32;
+
+/// Sentinel for "no copy-on-write slot assigned".
+pub const NO_SLOT: u32 = u32::MAX;
+
+/// The kind of interference a first write to a page caused during an epoch
+/// (§3.1 "Leverage access pattern history to optimize flushing").
+///
+/// Recorded once per page per epoch, at the page's *first* write (subsequent
+/// writes do not fault because write protection is lifted after the first).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(u8)]
+pub enum AccessType {
+    /// The page has not been written since the last checkpoint request.
+    Untouched = 0,
+    /// The first write triggered a copy-on-write: the pre-checkpoint content
+    /// was preserved in a slot and the write proceeded on the original page.
+    Cow = 1,
+    /// The application had to wait for the page to be committed first
+    /// (either it was being flushed, or no copy-on-write slots were free).
+    Wait = 2,
+    /// The page was written while the checkpoint was still in progress, but
+    /// it had already been committed, so no wait or copy was necessary.
+    Avoided = 3,
+    /// The page was written after the checkpoint had completed.
+    After = 4,
+}
+
+impl AccessType {
+    /// Decode from the byte representation used in the packed per-page table.
+    #[inline]
+    pub fn from_u8(v: u8) -> Self {
+        match v {
+            0 => AccessType::Untouched,
+            1 => AccessType::Cow,
+            2 => AccessType::Wait,
+            3 => AccessType::Avoided,
+            4 => AccessType::After,
+            _ => unreachable!("invalid AccessType byte {v}"),
+        }
+    }
+
+    /// All variants, in discriminant order. Useful for stats tables.
+    pub const ALL: [AccessType; 5] = [
+        AccessType::Untouched,
+        AccessType::Cow,
+        AccessType::Wait,
+        AccessType::Avoided,
+        AccessType::After,
+    ];
+
+    /// Short label used by reports and the figure harness.
+    pub fn label(self) -> &'static str {
+        match self {
+            AccessType::Untouched => "UNTOUCHED",
+            AccessType::Cow => "COW",
+            AccessType::Wait => "WAIT",
+            AccessType::Avoided => "AVOIDED",
+            AccessType::After => "AFTER",
+        }
+    }
+}
+
+/// Commit status of a page with respect to the checkpoint currently being
+/// flushed (§3.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum PageState {
+    /// Already handled by the checkpointing process: either committed, or it
+    /// was not part of the checkpoint at all. Writes may proceed freely
+    /// (after being recorded).
+    Processed = 0,
+    /// Dirty at the last checkpoint request; must be committed, not yet
+    /// started. A write to such a page either takes a CoW slot or waits.
+    Scheduled = 1,
+    /// Locked by the committer; being written to storage right now. A write
+    /// must wait for [`PageState::Processed`].
+    InProgress = 2,
+    /// Scheduled, but its pre-checkpoint content has been captured in a CoW
+    /// slot; the application may write the original page. The committer
+    /// still owes a flush of the slot content.
+    Cowed = 3,
+}
+
+impl PageState {
+    /// Decode from the byte representation used in [`StateTable`].
+    #[inline]
+    pub fn from_u8(v: u8) -> Self {
+        match v {
+            0 => PageState::Processed,
+            1 => PageState::Scheduled,
+            2 => PageState::InProgress,
+            3 => PageState::Cowed,
+            _ => unreachable!("invalid PageState byte {v}"),
+        }
+    }
+}
+
+/// Where the committer must read the bytes of a selected page from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlushSource {
+    /// Read the live page content from application memory. Safe because the
+    /// page is `InProgress`: any concurrent writer is blocked in the fault
+    /// handler until the flush completes.
+    Memory,
+    /// Read from the given copy-on-write slot; the application may already
+    /// have overwritten the live page.
+    CowSlot(u32),
+}
+
+/// A page picked by the scheduler, ready to be committed to storage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlushItem {
+    /// Which page to commit.
+    pub page: PageId,
+    /// Where its epoch-consistent bytes live.
+    pub source: FlushSource,
+}
+
+/// Shared, atomically readable view of every page's [`PageState`].
+///
+/// The table is written only under the engine lock, but it is *read* without
+/// any lock by threads blocked inside the SIGSEGV handler (spinning until
+/// their page becomes [`PageState::Processed`]). Using atomics makes that
+/// lock-free read well-defined; `Release` stores pair with `Acquire` loads so
+/// a waiter that observes `Processed` also observes the committed data.
+#[derive(Debug)]
+pub struct StateTable {
+    states: Box<[AtomicU8]>,
+}
+
+impl StateTable {
+    /// Create a table of `pages` entries, all [`PageState::Processed`].
+    pub fn new(pages: usize) -> Self {
+        let mut v = Vec::with_capacity(pages);
+        v.resize_with(pages, || AtomicU8::new(PageState::Processed as u8));
+        Self {
+            states: v.into_boxed_slice(),
+        }
+    }
+
+    /// Number of pages tracked.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.states.len()
+    }
+
+    /// True when the table tracks no pages.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.states.is_empty()
+    }
+
+    /// Current state of page `p` (acquire load; safe from the fault handler).
+    #[inline]
+    pub fn get(&self, p: PageId) -> PageState {
+        PageState::from_u8(self.states[p as usize].load(Ordering::Acquire))
+    }
+
+    /// Store a new state for page `p` (release store).
+    #[inline]
+    pub fn set(&self, p: PageId, s: PageState) {
+        self.states[p as usize].store(s as u8, Ordering::Release);
+    }
+
+    /// True once the committer has fully handled page `p` for the current
+    /// checkpoint. This is the condition waited on by blocked writers.
+    #[inline]
+    pub fn is_processed(&self, p: PageId) -> bool {
+        self.get(p) == PageState::Processed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn access_type_round_trips_through_u8() {
+        for at in AccessType::ALL {
+            assert_eq!(AccessType::from_u8(at as u8), at);
+        }
+    }
+
+    #[test]
+    fn access_type_labels_are_paper_vocabulary() {
+        assert_eq!(AccessType::Cow.label(), "COW");
+        assert_eq!(AccessType::Wait.label(), "WAIT");
+        assert_eq!(AccessType::Avoided.label(), "AVOIDED");
+        assert_eq!(AccessType::After.label(), "AFTER");
+        assert_eq!(AccessType::Untouched.label(), "UNTOUCHED");
+    }
+
+    #[test]
+    fn page_state_round_trips_through_u8() {
+        for s in [
+            PageState::Processed,
+            PageState::Scheduled,
+            PageState::InProgress,
+            PageState::Cowed,
+        ] {
+            assert_eq!(PageState::from_u8(s as u8), s);
+        }
+    }
+
+    #[test]
+    fn state_table_starts_processed_and_updates() {
+        let t = StateTable::new(8);
+        assert_eq!(t.len(), 8);
+        assert!(!t.is_empty());
+        for p in 0..8 {
+            assert_eq!(t.get(p), PageState::Processed);
+            assert!(t.is_processed(p));
+        }
+        t.set(3, PageState::Scheduled);
+        assert_eq!(t.get(3), PageState::Scheduled);
+        assert!(!t.is_processed(3));
+        t.set(3, PageState::InProgress);
+        assert_eq!(t.get(3), PageState::InProgress);
+        t.set(3, PageState::Processed);
+        assert!(t.is_processed(3));
+    }
+
+    #[test]
+    fn empty_state_table() {
+        let t = StateTable::new(0);
+        assert!(t.is_empty());
+        assert_eq!(t.len(), 0);
+    }
+}

@@ -1,0 +1,340 @@
+//! Flush-ordering policies: the paper's adaptive strategy (Algorithm 4) and
+//! the baselines / ablations it is compared against.
+//!
+//! A [`FlushPlan`] is built once per checkpoint request from the previous
+//! epoch's records. It is a set of priority queues that the engine drains;
+//! the *dynamic* adaptations (the `WaitedPage` hint and the preference for
+//! pages that triggered a copy-on-write in the current epoch) are layered on
+//! top by the engine itself, because they react to events after the plan was
+//! built.
+
+use crate::history::EpochRecord;
+use crate::page::{AccessType, PageId};
+use crate::rng::SplitMix64;
+
+/// Which static flush order to use for a checkpoint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SchedulerKind {
+    /// The paper's `our-approach` (Algorithm 4): last-epoch `WAIT` pages
+    /// first, then last-epoch `COW`, then `AVOIDED`, then the rest; ties
+    /// broken by ascending last-epoch access order (`LastIndex`).
+    Adaptive,
+    /// The paper's `async-no-pattern` baseline: ascending page address.
+    AddressOrder,
+    /// Ablation: pure last-epoch access order (temporal history only, no
+    /// access-type buckets).
+    AccessOrder,
+    /// Adversarial ablation: descending page address.
+    ReverseAddress,
+    /// Ablation: uniformly random order from the given seed.
+    Random(u64),
+}
+
+impl SchedulerKind {
+    /// Stable label used by reports and the figure harness.
+    pub fn label(self) -> &'static str {
+        match self {
+            SchedulerKind::Adaptive => "adaptive",
+            SchedulerKind::AddressOrder => "address-order",
+            SchedulerKind::AccessOrder => "access-order",
+            SchedulerKind::ReverseAddress => "reverse-address",
+            SchedulerKind::Random(_) => "random",
+        }
+    }
+}
+
+/// Priority bucket identifiers for introspection / tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Bucket {
+    /// Last-epoch `WAIT` pages (Algorithm 4, line 8).
+    LastWait,
+    /// Last-epoch `COW` pages (line 11).
+    LastCow,
+    /// Last-epoch `AVOIDED` pages (line 14).
+    LastAvoided,
+    /// Everything else (line 17).
+    Rest,
+}
+
+/// A static flush order for one checkpoint: priority queues drained front to
+/// back. Every scheduled page appears exactly once across all queues.
+#[derive(Debug)]
+pub struct FlushPlan {
+    queues: Vec<Vec<PageId>>,
+    queue_idx: usize,
+    pos: usize,
+    total: usize,
+}
+
+impl FlushPlan {
+    /// Build the plan for `kind` from the previous epoch's records.
+    ///
+    /// `last` supplies `LastDirty` (the pages to schedule), `LastAT` and
+    /// `LastIndex`. Building is O(n log n) in the number of scheduled pages
+    /// and happens in normal (non-signal) context at the checkpoint request.
+    pub fn build(kind: SchedulerKind, last: &EpochRecord) -> Self {
+        let dirty = last.dirty();
+        let queues = match kind {
+            SchedulerKind::Adaptive => {
+                let mut wait = Vec::new();
+                let mut cow = Vec::new();
+                let mut avoided = Vec::new();
+                let mut rest = Vec::new();
+                for &p in dirty {
+                    match last.access_type(p) {
+                        AccessType::Wait => wait.push(p),
+                        AccessType::Cow => cow.push(p),
+                        AccessType::Avoided => avoided.push(p),
+                        AccessType::After | AccessType::Untouched => rest.push(p),
+                    }
+                }
+                // `dirty` is already in access order, i.e. ascending
+                // LastIndex, so the three history buckets are pre-sorted
+                // exactly as Algorithm 4 requires ("preference is given to
+                // the page that was accessed the earliest"). The rest bucket
+                // has no history signal; use ascending address for
+                // determinism (what the baseline would do).
+                rest.sort_unstable();
+                vec![wait, cow, avoided, rest]
+            }
+            SchedulerKind::AddressOrder => {
+                let mut q: Vec<PageId> = dirty.to_vec();
+                q.sort_unstable();
+                vec![q]
+            }
+            SchedulerKind::AccessOrder => {
+                // `dirty` is already ascending in LastIndex.
+                vec![dirty.to_vec()]
+            }
+            SchedulerKind::ReverseAddress => {
+                let mut q: Vec<PageId> = dirty.to_vec();
+                q.sort_unstable_by(|a, b| b.cmp(a));
+                vec![q]
+            }
+            SchedulerKind::Random(seed) => {
+                let mut q: Vec<PageId> = dirty.to_vec();
+                q.sort_unstable();
+                SplitMix64::new(seed).shuffle(&mut q);
+                vec![q]
+            }
+        };
+        let total = queues.iter().map(Vec::len).sum();
+        Self {
+            queues,
+            queue_idx: 0,
+            pos: 0,
+            total,
+        }
+    }
+
+    /// An empty plan (first checkpoint before anything is dirty).
+    pub fn empty() -> Self {
+        Self {
+            queues: Vec::new(),
+            queue_idx: 0,
+            pos: 0,
+            total: 0,
+        }
+    }
+
+    /// Total number of pages the plan was built with.
+    #[inline]
+    pub fn planned(&self) -> usize {
+        self.total
+    }
+
+    /// Pop the next candidate in static priority order, skipping pages for
+    /// which `still_pending` returns false (they were already handled through
+    /// a dynamic path: `WaitedPage` hint or current-epoch CoW preference).
+    pub fn next(&mut self, mut still_pending: impl FnMut(PageId) -> bool) -> Option<PageId> {
+        while self.queue_idx < self.queues.len() {
+            let q = &self.queues[self.queue_idx];
+            while self.pos < q.len() {
+                let p = q[self.pos];
+                self.pos += 1;
+                if still_pending(p) {
+                    return Some(p);
+                }
+            }
+            self.queue_idx += 1;
+            self.pos = 0;
+        }
+        None
+    }
+
+    /// Remaining candidates (including ones that may be skipped later).
+    pub fn remaining(&self) -> usize {
+        if self.queue_idx >= self.queues.len() {
+            return 0;
+        }
+        let head = self.queues[self.queue_idx].len() - self.pos;
+        head + self.queues[self.queue_idx + 1..]
+            .iter()
+            .map(Vec::len)
+            .sum::<usize>()
+    }
+
+    /// Which bucket a page would fall into under the adaptive policy; test
+    /// and introspection helper.
+    pub fn bucket_of(last: &EpochRecord, p: PageId) -> Bucket {
+        match last.access_type(p) {
+            AccessType::Wait => Bucket::LastWait,
+            AccessType::Cow => Bucket::LastCow,
+            AccessType::Avoided => Bucket::LastAvoided,
+            _ => Bucket::Rest,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::history::EpochRecord;
+
+    /// Record helper: mark pages in the given order with given types.
+    fn record_seq(pages: usize, seq: &[(PageId, AccessType)]) -> EpochRecord {
+        let mut r = EpochRecord::new(pages);
+        for &(p, ty) in seq {
+            assert!(r.record(p, ty));
+        }
+        r
+    }
+
+    #[test]
+    fn adaptive_orders_wait_cow_avoided_rest() {
+        // Access order: 5(AVOIDED), 1(COW), 9(WAIT), 3(AFTER), 7(WAIT)
+        let r = record_seq(
+            12,
+            &[
+                (5, AccessType::Avoided),
+                (1, AccessType::Cow),
+                (9, AccessType::Wait),
+                (3, AccessType::After),
+                (7, AccessType::Wait),
+            ],
+        );
+        let mut plan = FlushPlan::build(SchedulerKind::Adaptive, &r);
+        let order: Vec<PageId> = std::iter::from_fn(|| plan.next(|_| true)).collect();
+        // WAITs by access order (9 before 7), then COW, then AVOIDED, then AFTER.
+        assert_eq!(order, vec![9, 7, 1, 5, 3]);
+    }
+
+    #[test]
+    fn adaptive_ties_break_by_earliest_access() {
+        let r = record_seq(
+            8,
+            &[
+                (6, AccessType::Wait),
+                (2, AccessType::Wait),
+                (4, AccessType::Wait),
+            ],
+        );
+        let mut plan = FlushPlan::build(SchedulerKind::Adaptive, &r);
+        let order: Vec<PageId> = std::iter::from_fn(|| plan.next(|_| true)).collect();
+        assert_eq!(order, vec![6, 2, 4], "earliest-accessed first, not by id");
+    }
+
+    #[test]
+    fn address_order_ignores_history() {
+        let r = record_seq(
+            8,
+            &[
+                (6, AccessType::Wait),
+                (2, AccessType::After),
+                (4, AccessType::Cow),
+            ],
+        );
+        let mut plan = FlushPlan::build(SchedulerKind::AddressOrder, &r);
+        let order: Vec<PageId> = std::iter::from_fn(|| plan.next(|_| true)).collect();
+        assert_eq!(order, vec![2, 4, 6]);
+    }
+
+    #[test]
+    fn reverse_address_is_descending() {
+        let r = record_seq(
+            8,
+            &[
+                (6, AccessType::After),
+                (2, AccessType::After),
+                (4, AccessType::After),
+            ],
+        );
+        let mut plan = FlushPlan::build(SchedulerKind::ReverseAddress, &r);
+        let order: Vec<PageId> = std::iter::from_fn(|| plan.next(|_| true)).collect();
+        assert_eq!(order, vec![6, 4, 2]);
+    }
+
+    #[test]
+    fn access_order_follows_last_epoch_timeline() {
+        let r = record_seq(
+            8,
+            &[
+                (6, AccessType::After),
+                (2, AccessType::Wait),
+                (4, AccessType::Cow),
+            ],
+        );
+        let mut plan = FlushPlan::build(SchedulerKind::AccessOrder, &r);
+        let order: Vec<PageId> = std::iter::from_fn(|| plan.next(|_| true)).collect();
+        assert_eq!(order, vec![6, 2, 4]);
+    }
+
+    #[test]
+    fn random_is_a_permutation_and_seed_stable() {
+        let r = record_seq(
+            32,
+            &(0..32)
+                .map(|p| (p as PageId, AccessType::After))
+                .collect::<Vec<_>>(),
+        );
+        let take =
+            |mut plan: FlushPlan| std::iter::from_fn(move || plan.next(|_| true)).collect::<Vec<_>>();
+        let a = take(FlushPlan::build(SchedulerKind::Random(42), &r));
+        let b = take(FlushPlan::build(SchedulerKind::Random(42), &r));
+        let c = take(FlushPlan::build(SchedulerKind::Random(43), &r));
+        assert_eq!(a, b, "same seed, same order");
+        assert_ne!(a, c, "different seed, different order");
+        let mut sorted = a.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..32).collect::<Vec<_>>(), "still a permutation");
+    }
+
+    #[test]
+    fn next_skips_non_pending_pages() {
+        let r = record_seq(
+            8,
+            &[
+                (1, AccessType::Wait),
+                (2, AccessType::Wait),
+                (3, AccessType::Wait),
+            ],
+        );
+        let mut plan = FlushPlan::build(SchedulerKind::Adaptive, &r);
+        assert_eq!(plan.next(|p| p != 1), Some(2), "page 1 already handled");
+        assert_eq!(plan.next(|_| true), Some(3));
+        assert_eq!(plan.next(|_| true), None);
+    }
+
+    #[test]
+    fn remaining_counts_down() {
+        let r = record_seq(
+            8,
+            &[(1, AccessType::After), (2, AccessType::After)],
+        );
+        let mut plan = FlushPlan::build(SchedulerKind::AddressOrder, &r);
+        assert_eq!(plan.planned(), 2);
+        assert_eq!(plan.remaining(), 2);
+        plan.next(|_| true);
+        assert_eq!(plan.remaining(), 1);
+        plan.next(|_| true);
+        assert_eq!(plan.remaining(), 0);
+        assert!(plan.next(|_| true).is_none());
+    }
+
+    #[test]
+    fn empty_plan_yields_nothing() {
+        let mut plan = FlushPlan::empty();
+        assert_eq!(plan.planned(), 0);
+        assert!(plan.next(|_| true).is_none());
+    }
+}

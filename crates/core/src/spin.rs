@@ -1,0 +1,147 @@
+//! A minimal spinlock that is safe to take inside a signal handler.
+//!
+//! The threaded runtime serialises the engine between the application's
+//! SIGSEGV handler and the background committer. Ordinary mutexes
+//! (`std::sync::Mutex`, `parking_lot::Mutex`) are off-limits in signal
+//! context: they may allocate, use thread-local state, or interact with the
+//! thread parker. A raw test-and-test-and-set spinlock with exponential
+//! backoff uses nothing but atomics and `spin_loop`, which is
+//! async-signal-safe.
+//!
+//! Discipline required of callers (documented, asserted in tests): a thread
+//! must never write to *protected* application memory while holding the
+//! lock, otherwise its own fault handler would try to re-acquire it.
+//! Critical sections must stay short (no I/O) — the committer performs
+//! storage writes outside the lock.
+
+use std::cell::UnsafeCell;
+use std::ops::{Deref, DerefMut};
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Mutual exclusion by busy-waiting; usable from signal handlers.
+#[derive(Debug, Default)]
+pub struct SpinLock<T> {
+    locked: AtomicBool,
+    value: UnsafeCell<T>,
+}
+
+// SAFETY: the lock provides exclusive access to `T`; `T: Send` suffices for
+// both Send and Sync, exactly like std's Mutex.
+unsafe impl<T: Send> Send for SpinLock<T> {}
+unsafe impl<T: Send> Sync for SpinLock<T> {}
+
+impl<T> SpinLock<T> {
+    /// Wrap a value.
+    pub const fn new(value: T) -> Self {
+        Self {
+            locked: AtomicBool::new(false),
+            value: UnsafeCell::new(value),
+        }
+    }
+
+    /// Acquire the lock, spinning until available.
+    pub fn lock(&self) -> SpinGuard<'_, T> {
+        let mut spins = 0u32;
+        loop {
+            // Test-and-test-and-set: spin on a plain load to avoid hammering
+            // the cache line with RMW traffic (guide: "Rust Atomics and
+            // Locks", ch. 4).
+            if !self.locked.swap(true, Ordering::Acquire) {
+                return SpinGuard { lock: self };
+            }
+            while self.locked.load(Ordering::Relaxed) {
+                spins = spins.saturating_add(1);
+                if spins < 64 {
+                    std::hint::spin_loop();
+                } else {
+                    // Long holder (e.g. checkpoint-request setup): yield the
+                    // CPU instead of burning it. `sched_yield` via
+                    // `yield_now` is async-signal-safe on Linux.
+                    std::thread::yield_now();
+                }
+            }
+        }
+    }
+
+    /// Try to acquire without spinning.
+    pub fn try_lock(&self) -> Option<SpinGuard<'_, T>> {
+        if !self.locked.swap(true, Ordering::Acquire) {
+            Some(SpinGuard { lock: self })
+        } else {
+            None
+        }
+    }
+
+    /// Consume the lock, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.value.into_inner()
+    }
+}
+
+/// RAII guard; releases on drop.
+pub struct SpinGuard<'a, T> {
+    lock: &'a SpinLock<T>,
+}
+
+impl<T> Deref for SpinGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        // SAFETY: the guard's existence proves exclusive ownership.
+        unsafe { &*self.lock.value.get() }
+    }
+}
+
+impl<T> DerefMut for SpinGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        // SAFETY: as above.
+        unsafe { &mut *self.lock.value.get() }
+    }
+}
+
+impl<T> Drop for SpinGuard<'_, T> {
+    fn drop(&mut self) {
+        self.lock.locked.store(false, Ordering::Release);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn exclusive_increments_from_many_threads() {
+        let lock = Arc::new(SpinLock::new(0u64));
+        let threads = 8;
+        let per_thread = 10_000;
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let lock = Arc::clone(&lock);
+                std::thread::spawn(move || {
+                    for _ in 0..per_thread {
+                        *lock.lock() += 1;
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(*lock.lock(), threads * per_thread);
+    }
+
+    #[test]
+    fn try_lock_fails_while_held() {
+        let lock = SpinLock::new(1);
+        let g = lock.lock();
+        assert!(lock.try_lock().is_none());
+        drop(g);
+        assert!(lock.try_lock().is_some());
+    }
+
+    #[test]
+    fn into_inner_returns_value() {
+        let lock = SpinLock::new(vec![1, 2, 3]);
+        assert_eq!(lock.into_inner(), vec![1, 2, 3]);
+    }
+}

@@ -1,0 +1,169 @@
+//! Per-epoch access-type statistics and checkpoint reports — the metrics the
+//! paper's evaluation plots (§4.2: "Access type statistics", checkpointing
+//! time, impact on application performance).
+
+use crate::page::AccessType;
+
+/// Counters for one epoch: the access types recorded between two consecutive
+/// checkpoint requests, plus flush-side metrics for the checkpoint that was
+/// written during that epoch.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EpochStats {
+    /// Epoch number (0 = from engine creation to the first request).
+    pub epoch: u64,
+    /// Pages first-written during the epoch (size of `Dirty`).
+    pub dirty_pages: u64,
+    /// Pages whose first write triggered a copy-on-write.
+    pub cow: u64,
+    /// Pages whose first write had to wait for the page to be committed.
+    pub wait: u64,
+    /// Pages written while checkpointing was in progress but already
+    /// committed (no wait, no copy).
+    pub avoided: u64,
+    /// Pages written after the checkpoint completed.
+    pub after: u64,
+    /// Pages committed to storage for the checkpoint flushed this epoch.
+    pub flushed_pages: u64,
+    /// ... of which served from copy-on-write slots.
+    pub flushed_from_cow: u64,
+    /// Bytes committed to storage.
+    pub flushed_bytes: u64,
+    /// High-water mark of simultaneously occupied CoW slots.
+    pub peak_cow_slots: u32,
+}
+
+impl EpochStats {
+    /// Record one access of the given type.
+    #[inline]
+    pub(crate) fn bump(&mut self, ty: AccessType) {
+        self.dirty_pages += 1;
+        match ty {
+            AccessType::Cow => self.cow += 1,
+            AccessType::Wait => self.wait += 1,
+            AccessType::Avoided => self.avoided += 1,
+            AccessType::After => self.after += 1,
+            AccessType::Untouched => unreachable!("UNTOUCHED is never recorded"),
+        }
+    }
+
+    /// Count for a given access type (reporting helper).
+    pub fn count(&self, ty: AccessType) -> u64 {
+        match ty {
+            AccessType::Untouched => 0,
+            AccessType::Cow => self.cow,
+            AccessType::Wait => self.wait,
+            AccessType::Avoided => self.avoided,
+            AccessType::After => self.after,
+        }
+    }
+}
+
+/// Summary returned by `EpochEngine::begin_checkpoint`: what the new
+/// checkpoint will flush, and the closed epoch's statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CheckpointPlanInfo {
+    /// Checkpoint sequence number (1-based; checkpoint *n* persists the
+    /// dirty set accumulated during epoch *n − 1*).
+    pub checkpoint: u64,
+    /// Pages scheduled for flushing.
+    pub scheduled_pages: u64,
+    /// Bytes scheduled for flushing.
+    pub scheduled_bytes: u64,
+    /// Statistics of the epoch that just closed.
+    pub closed_epoch: EpochStats,
+}
+
+/// Running aggregate over all completed epochs; convenient for the figure
+/// harness ("average for the three checkpoints is reported").
+#[derive(Debug, Clone, Default)]
+pub struct StatsAggregate {
+    epochs: Vec<EpochStats>,
+}
+
+impl StatsAggregate {
+    /// Add one epoch's stats.
+    pub fn push(&mut self, s: EpochStats) {
+        self.epochs.push(s);
+    }
+
+    /// All recorded epochs.
+    pub fn epochs(&self) -> &[EpochStats] {
+        &self.epochs
+    }
+
+    /// Mean WAIT count over epochs `[from..]` (skipping warm-up epochs, as
+    /// the paper skips the full first checkpoint).
+    pub fn mean_wait(&self, from: usize) -> f64 {
+        Self::mean(&self.epochs[from.min(self.epochs.len())..], |e| e.wait)
+    }
+
+    /// Mean AVOIDED count over epochs `[from..]`.
+    pub fn mean_avoided(&self, from: usize) -> f64 {
+        Self::mean(&self.epochs[from.min(self.epochs.len())..], |e| e.avoided)
+    }
+
+    /// Mean COW count over epochs `[from..]`.
+    pub fn mean_cow(&self, from: usize) -> f64 {
+        Self::mean(&self.epochs[from.min(self.epochs.len())..], |e| e.cow)
+    }
+
+    fn mean(slice: &[EpochStats], f: impl Fn(&EpochStats) -> u64) -> f64 {
+        if slice.is_empty() {
+            return 0.0;
+        }
+        slice.iter().map(|e| f(e) as f64).sum::<f64>() / slice.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bump_classifies_each_type() {
+        let mut s = EpochStats::default();
+        s.bump(AccessType::Cow);
+        s.bump(AccessType::Cow);
+        s.bump(AccessType::Wait);
+        s.bump(AccessType::Avoided);
+        s.bump(AccessType::After);
+        assert_eq!(s.dirty_pages, 5);
+        assert_eq!(s.count(AccessType::Cow), 2);
+        assert_eq!(s.count(AccessType::Wait), 1);
+        assert_eq!(s.count(AccessType::Avoided), 1);
+        assert_eq!(s.count(AccessType::After), 1);
+        assert_eq!(s.count(AccessType::Untouched), 0);
+    }
+
+    #[test]
+    fn aggregate_means_skip_warmup() {
+        let mut agg = StatsAggregate::default();
+        agg.push(EpochStats {
+            wait: 100,
+            avoided: 0,
+            ..Default::default()
+        });
+        agg.push(EpochStats {
+            wait: 10,
+            avoided: 4,
+            ..Default::default()
+        });
+        agg.push(EpochStats {
+            wait: 20,
+            avoided: 8,
+            ..Default::default()
+        });
+        assert_eq!(agg.mean_wait(1), 15.0);
+        assert_eq!(agg.mean_avoided(1), 6.0);
+        assert_eq!(agg.mean_wait(0), (100.0 + 10.0 + 20.0) / 3.0);
+    }
+
+    #[test]
+    fn aggregate_empty_and_out_of_range() {
+        let agg = StatsAggregate::default();
+        assert_eq!(agg.mean_wait(0), 0.0);
+        let mut agg = StatsAggregate::default();
+        agg.push(EpochStats::default());
+        assert_eq!(agg.mean_wait(5), 0.0, "from beyond the end is empty");
+    }
+}

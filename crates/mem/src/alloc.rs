@@ -1,0 +1,249 @@
+//! Transparent allocation tracking — the Rust equivalent of the paper's
+//! second library (§3.4), which interposed on `malloc`/`free` (via a custom
+//! jemalloc-based allocator, preloaded) so that "all dynamic memory
+//! allocations performed by the application" are automatically reported to
+//! the page manager.
+//!
+//! In Rust, every heap allocation funnels through the registered
+//! `#[global_allocator]`, so a wrapper allocator is the idiomatic
+//! interposition point. [`TrackingAllocator`] routes *large* allocations
+//! (≥ the configurable threshold, default one page) through pluggable hooks
+//! that the runtime connects to its page manager: such allocations land in
+//! dedicated mmap'd protected regions, exactly like the paper's dedicated
+//! jemalloc arenas. Small allocations — allocator metadata, `String`s,
+//! collections' nodes — stay on the normal heap, keeping the protected set
+//! equal to the application's bulk data (the `allocatable` arrays in CM1's
+//! case).
+//!
+//! ```no_run
+//! use ai_ckpt_mem::alloc::TrackingAllocator;
+//!
+//! #[global_allocator]
+//! static ALLOC: TrackingAllocator = TrackingAllocator::new();
+//! // ... later, the runtime calls `set_alloc_hooks` to start capturing.
+//! ```
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicPtr, AtomicUsize, Ordering};
+
+/// Hook table supplied by the page manager. All functions must be callable
+/// from any thread; `alloc` may allocate internally (re-entrancy into the
+/// global allocator is fine for requests below the tracking threshold).
+pub struct AllocHooks {
+    /// Try to serve a large allocation from a protected region. `None`
+    /// falls back to the system allocator.
+    pub alloc: fn(layout: Layout) -> Option<*mut u8>,
+    /// Free a pointer previously returned by `alloc`.
+    pub dealloc: fn(ptr: *mut u8, layout: Layout),
+    /// Does `ptr` belong to a protected region? (Registry lookup.)
+    pub owns: fn(ptr: *mut u8) -> bool,
+}
+
+static HOOKS: AtomicPtr<AllocHooks> = AtomicPtr::new(std::ptr::null_mut());
+static THRESHOLD: AtomicUsize = AtomicUsize::new(4096);
+
+thread_local! {
+    /// Threads that serve the checkpointing machinery itself (the committer,
+    /// storage backends) must never have their allocations routed into
+    /// protected regions: the hooks take the page-manager lock, and the
+    /// committer blocking on it while the application waits for the
+    /// committer is a deadlock.
+    static EXEMPT: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+/// Exempt the calling thread from allocation tracking (used by the
+/// runtime's committer thread; also useful for I/O or logging threads that
+/// should never allocate protected memory).
+pub fn exempt_thread_from_tracking(on: bool) {
+    EXEMPT.with(|e| e.set(on));
+}
+
+/// Is the calling thread exempt?
+pub fn thread_exempt() -> bool {
+    EXEMPT.with(|e| e.get())
+}
+
+/// Connect the hooks (runtime side). `hooks` must live for the rest of the
+/// process (a `&'static` or leaked box).
+pub fn set_alloc_hooks(hooks: &'static AllocHooks) {
+    HOOKS.store(hooks as *const _ as *mut _, Ordering::Release);
+}
+
+/// Disconnect the hooks; subsequent allocations go to the system allocator.
+/// Outstanding tracked allocations are still freed correctly as long as the
+/// hook table itself stays alive (it is `&'static`).
+pub fn clear_alloc_hooks() {
+    HOOKS.store(std::ptr::null_mut(), Ordering::Release);
+}
+
+/// Set the minimum allocation size that gets routed to protected regions.
+pub fn set_tracking_threshold(bytes: usize) {
+    THRESHOLD.store(bytes.max(1), Ordering::Release);
+}
+
+/// Current tracking threshold.
+pub fn tracking_threshold() -> usize {
+    THRESHOLD.load(Ordering::Acquire)
+}
+
+fn hooks() -> Option<&'static AllocHooks> {
+    let p = HOOKS.load(Ordering::Acquire);
+    // SAFETY: set_alloc_hooks only stores `&'static` references.
+    unsafe { p.cast_const().as_ref() }
+}
+
+/// Global allocator wrapper that teleports large allocations into protected
+/// regions once hooks are connected. Zero overhead (one atomic load) before
+/// that.
+pub struct TrackingAllocator {
+    inner: System,
+}
+
+impl TrackingAllocator {
+    /// Const constructor suitable for `#[global_allocator]`.
+    pub const fn new() -> Self {
+        Self { inner: System }
+    }
+}
+
+impl Default for TrackingAllocator {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+// SAFETY: delegates to `System` or to the hook table, which guarantees
+// GlobalAlloc's contract (unique, well-aligned blocks; dealloc matches).
+unsafe impl GlobalAlloc for TrackingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        if layout.size() >= tracking_threshold() && !thread_exempt() {
+            if let Some(h) = hooks() {
+                if let Some(ptr) = (h.alloc)(layout) {
+                    return ptr;
+                }
+            }
+        }
+        // SAFETY: forwarding the exact layout to System.
+        unsafe { self.inner.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        if let Some(h) = hooks() {
+            if (h.owns)(ptr) {
+                (h.dealloc)(ptr, layout);
+                return;
+            }
+        }
+        // SAFETY: `ptr` came from System (hooks own everything they serve).
+        unsafe { self.inner.dealloc(ptr, layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        if layout.size() >= tracking_threshold() && !thread_exempt() {
+            if let Some(h) = hooks() {
+                if let Some(ptr) = (h.alloc)(layout) {
+                    // Fresh mmap'd regions are already zeroed; hooks
+                    // guarantee zeroed memory for new blocks.
+                    return ptr;
+                }
+            }
+        }
+        // SAFETY: forwarding to System.
+        unsafe { self.inner.alloc_zeroed(layout) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    static SERVED: AtomicUsize = AtomicUsize::new(0);
+    static FREED: AtomicUsize = AtomicUsize::new(0);
+    // A fixed fake block, identifiable by address.
+    static mut FAKE_BLOCK: [u8; 1 << 16] = [0; 1 << 16];
+
+    fn fake_alloc(layout: Layout) -> Option<*mut u8> {
+        if layout.size() > 1 << 15 {
+            return None; // force fallback path
+        }
+        SERVED.fetch_add(1, Ordering::Relaxed);
+        // Offset so alignment up to 4096 holds.
+        let base = (&raw mut FAKE_BLOCK) as usize;
+        let aligned = (base + layout.align()) & !(layout.align() - 1);
+        Some(aligned as *mut u8)
+    }
+    fn fake_dealloc(_ptr: *mut u8, _layout: Layout) {
+        FREED.fetch_add(1, Ordering::Relaxed);
+    }
+    fn fake_owns(ptr: *mut u8) -> bool {
+        let base = (&raw const FAKE_BLOCK) as usize;
+        (ptr as usize) >= base && (ptr as usize) < base + (1 << 16)
+    }
+
+    static TEST_HOOKS: AllocHooks = AllocHooks {
+        alloc: fake_alloc,
+        dealloc: fake_dealloc,
+        owns: fake_owns,
+    };
+
+    // NOTE: the allocator under test is driven directly (not installed as
+    // the global allocator) so this test crate stays hermetic.
+    #[test]
+    fn routes_large_allocations_through_hooks() {
+        let a = TrackingAllocator::new();
+        set_tracking_threshold(1024);
+        set_alloc_hooks(&TEST_HOOKS);
+        SERVED.store(0, Ordering::Relaxed);
+        FREED.store(0, Ordering::Relaxed);
+
+        let small = Layout::from_size_align(64, 8).unwrap();
+        let big = Layout::from_size_align(8192, 8).unwrap();
+
+        // SAFETY: alloc/dealloc pairs with matching layouts.
+        unsafe {
+            let ps = a.alloc(small);
+            assert!(!fake_owns(ps), "small goes to System");
+            a.dealloc(ps, small);
+
+            let pb = a.alloc(big);
+            assert!(fake_owns(pb), "large served by hooks");
+            a.dealloc(pb, big);
+        }
+        assert_eq!(SERVED.load(Ordering::Relaxed), 1);
+        assert_eq!(FREED.load(Ordering::Relaxed), 1);
+
+        // Hook refusal falls back to System.
+        let huge = Layout::from_size_align(1 << 16, 8).unwrap();
+        unsafe {
+            let ph = a.alloc(huge);
+            assert!(!fake_owns(ph));
+            assert!(!ph.is_null());
+            a.dealloc(ph, huge);
+        }
+        clear_alloc_hooks();
+    }
+
+    #[test]
+    fn threshold_is_configurable() {
+        set_tracking_threshold(0);
+        assert_eq!(tracking_threshold(), 1, "clamped to at least 1");
+        set_tracking_threshold(1 << 20);
+        assert_eq!(tracking_threshold(), 1 << 20);
+        set_tracking_threshold(4096);
+    }
+
+    #[test]
+    fn without_hooks_everything_goes_to_system() {
+        clear_alloc_hooks();
+        let a = TrackingAllocator::new();
+        let big = Layout::from_size_align(1 << 20, 4096).unwrap();
+        // SAFETY: alloc/dealloc pair with matching layout.
+        unsafe {
+            let p = a.alloc(big);
+            assert!(!p.is_null());
+            p.write(1);
+            a.dealloc(p, big);
+        }
+    }
+}

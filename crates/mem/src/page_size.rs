@@ -1,0 +1,57 @@
+//! Cached OS page size.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+static PAGE_SIZE: AtomicUsize = AtomicUsize::new(0);
+
+/// The system page size in bytes (4096 on the paper's testbeds and on every
+/// mainstream x86-64 Linux). Queried once via `sysconf` and cached.
+#[inline]
+pub fn page_size() -> usize {
+    let cached = PAGE_SIZE.load(Ordering::Relaxed);
+    if cached != 0 {
+        return cached;
+    }
+    // SAFETY: sysconf is always safe to call.
+    let sz = unsafe { libc::sysconf(libc::_SC_PAGESIZE) };
+    let sz = if sz > 0 { sz as usize } else { 4096 };
+    PAGE_SIZE.store(sz, Ordering::Relaxed);
+    sz
+}
+
+/// Round `len` up to a whole number of pages.
+#[inline]
+pub fn round_up_to_page(len: usize) -> usize {
+    let ps = page_size();
+    len.div_ceil(ps) * ps
+}
+
+/// Round an address down to its page base.
+#[inline]
+pub fn page_base(addr: usize) -> usize {
+    addr & !(page_size() - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn page_size_is_power_of_two_and_stable() {
+        let ps = page_size();
+        assert!(ps >= 4096);
+        assert!(ps.is_power_of_two());
+        assert_eq!(page_size(), ps, "cached value is stable");
+    }
+
+    #[test]
+    fn rounding() {
+        let ps = page_size();
+        assert_eq!(round_up_to_page(0), 0);
+        assert_eq!(round_up_to_page(1), ps);
+        assert_eq!(round_up_to_page(ps), ps);
+        assert_eq!(round_up_to_page(ps + 1), 2 * ps);
+        assert_eq!(page_base(ps + 123), ps);
+        assert_eq!(page_base(ps - 1), 0);
+    }
+}

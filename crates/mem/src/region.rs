@@ -1,0 +1,178 @@
+//! Page-aligned anonymous memory mappings — the backing for "protected
+//! memory regions" (§3.1: regions are "directly managed by AI-Ckpt").
+//!
+//! Allocating protected memory via `mmap` (rather than carving it out of the
+//! process heap) guarantees page alignment, lets whole regions be protected
+//! with one `mprotect` call at each checkpoint request, and keeps allocator
+//! metadata out of the protected range so the allocator itself never faults.
+
+use std::io;
+use std::ptr::NonNull;
+
+use crate::page_size::{page_size, round_up_to_page};
+use crate::protect::{set_protection, Protection};
+
+/// An owned anonymous mapping, unmapped on drop.
+#[derive(Debug)]
+pub struct MappedRegion {
+    ptr: NonNull<u8>,
+    len: usize,
+}
+
+// SAFETY: the region is plain memory; ownership semantics are those of a
+// Box<[u8]>. Concurrent access control is layered on top by the runtime.
+unsafe impl Send for MappedRegion {}
+unsafe impl Sync for MappedRegion {}
+
+impl MappedRegion {
+    /// Map `len` bytes (rounded up to whole pages), zero-filled, read-write.
+    pub fn new(len: usize) -> io::Result<Self> {
+        let len = round_up_to_page(len.max(1));
+        // SAFETY: anonymous private mapping with no fixed address.
+        let ptr = unsafe {
+            libc::mmap(
+                std::ptr::null_mut(),
+                len,
+                libc::PROT_READ | libc::PROT_WRITE,
+                libc::MAP_PRIVATE | libc::MAP_ANONYMOUS,
+                -1,
+                0,
+            )
+        };
+        if ptr == libc::MAP_FAILED {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(Self {
+            ptr: NonNull::new(ptr as *mut u8).expect("mmap returned non-null"),
+            len,
+        })
+    }
+
+    /// Base address.
+    #[inline]
+    pub fn addr(&self) -> usize {
+        self.ptr.as_ptr() as usize
+    }
+
+    /// Base pointer.
+    #[inline]
+    pub fn as_ptr(&self) -> *mut u8 {
+        self.ptr.as_ptr()
+    }
+
+    /// Mapping length in bytes (whole pages).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if the mapping is empty (never the case after `new`).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of pages.
+    #[inline]
+    pub fn pages(&self) -> usize {
+        self.len / page_size()
+    }
+
+    /// Address of page `idx`.
+    #[inline]
+    pub fn page_addr(&self, idx: usize) -> usize {
+        debug_assert!(idx < self.pages());
+        self.addr() + idx * page_size()
+    }
+
+    /// Change protection of the whole region.
+    pub fn protect(&self, prot: Protection) -> io::Result<()> {
+        // SAFETY: our own mapping, page-aligned by construction.
+        unsafe { set_protection(self.addr(), self.len, prot) }
+    }
+
+    /// Change protection of a single page.
+    pub fn protect_page(&self, idx: usize, prot: Protection) -> io::Result<()> {
+        // SAFETY: our own mapping, page-aligned by construction.
+        unsafe { set_protection(self.page_addr(idx), page_size(), prot) }
+    }
+
+    /// View the region as a byte slice.
+    ///
+    /// # Safety
+    /// The caller must guarantee no concurrent mutation for the borrow's
+    /// lifetime, and that the region is readable (it always is: we never
+    /// drop `PROT_READ`).
+    #[inline]
+    pub unsafe fn as_slice(&self) -> &[u8] {
+        // SAFETY: deferred to the caller per the doc contract.
+        unsafe { std::slice::from_raw_parts(self.ptr.as_ptr(), self.len) }
+    }
+
+    /// View one page as a byte slice (same safety contract as `as_slice`).
+    ///
+    /// # Safety
+    /// See [`MappedRegion::as_slice`].
+    #[inline]
+    pub unsafe fn page_slice(&self, idx: usize) -> &[u8] {
+        let ps = page_size();
+        // SAFETY: in-bounds by `page_addr`'s debug assertion; aliasing
+        // deferred to the caller.
+        unsafe { std::slice::from_raw_parts(self.page_addr(idx) as *const u8, ps) }
+    }
+}
+
+impl Drop for MappedRegion {
+    fn drop(&mut self) {
+        // SAFETY: we own the mapping; len is the exact mapped length.
+        unsafe {
+            libc::munmap(self.ptr.as_ptr() as *mut libc::c_void, self.len);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mapping_is_zeroed_and_page_aligned() {
+        let r = MappedRegion::new(3 * page_size() + 1).unwrap();
+        assert_eq!(r.addr() % page_size(), 0);
+        assert_eq!(r.pages(), 4, "rounded up");
+        assert!(unsafe { r.as_slice() }.iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn writes_persist() {
+        let r = MappedRegion::new(page_size()).unwrap();
+        unsafe {
+            r.as_ptr().add(100).write(7);
+        }
+        assert_eq!(unsafe { r.as_slice() }[100], 7);
+    }
+
+    #[test]
+    fn page_addr_strides_by_page_size() {
+        let r = MappedRegion::new(4 * page_size()).unwrap();
+        assert_eq!(r.page_addr(0), r.addr());
+        assert_eq!(r.page_addr(3), r.addr() + 3 * page_size());
+    }
+
+    #[test]
+    fn minimum_one_page() {
+        let r = MappedRegion::new(0).unwrap();
+        assert_eq!(r.pages(), 1);
+        assert!(!r.is_empty());
+    }
+
+    #[test]
+    fn protect_page_granularity() {
+        let r = MappedRegion::new(2 * page_size()).unwrap();
+        r.protect_page(0, Protection::ReadOnly).unwrap();
+        // Page 1 stays writable.
+        unsafe { r.as_ptr().add(page_size()).write(9) };
+        r.protect_page(0, Protection::ReadWrite).unwrap();
+        unsafe { r.as_ptr().write(9) };
+    }
+}

@@ -1,0 +1,225 @@
+//! SIGSEGV interception and dispatch to the page manager's fault callback —
+//! the trap half of the paper's dirty-page tracking (§3.4: "If the
+//! application attempts to write to such pages, the kernel will trigger a
+//! SIGSEGV signal, which we trap using a custom signal handler that
+//! implements PROTECTED_PAGE_HANDLER").
+//!
+//! The installed handler is deliberately tiny and auditable:
+//!
+//! 1. save `errno`;
+//! 2. resolve the fault address through the lock-free
+//!    [`registry`](crate::registry);
+//! 3. if it belongs to a protected region, invoke the registered callback
+//!    (the runtime's `PROTECTED_PAGE_HANDLER`), which must itself stay
+//!    async-signal-safe: atomics, spinlock, `memcpy`, `mprotect`,
+//!    `sched_yield`/`nanosleep` only;
+//! 4. otherwise forward to whatever handler was installed before ours, or
+//!    re-raise with the default disposition so genuine crashes still crash.
+
+use std::io;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+use crate::registry::{self, RegionHit};
+
+/// The runtime's fault entry point. Returns `true` if the fault was handled
+/// (the faulting instruction will be retried), `false` to escalate.
+pub type FaultCallback = fn(hit: RegionHit, fault_addr: usize) -> bool;
+
+static CALLBACK: AtomicUsize = AtomicUsize::new(0);
+static INSTALLED: AtomicBool = AtomicBool::new(false);
+/// Previous SIGSEGV disposition, captured exactly once at install time.
+static mut PREVIOUS: MaybeUninit<libc::sigaction> = MaybeUninit::uninit();
+
+/// Install the SIGSEGV handler (idempotent) and set the fault callback.
+///
+/// Must be called before any region is write-protected; the runtime does
+/// this during page-manager construction.
+pub fn install(callback: FaultCallback) -> io::Result<()> {
+    CALLBACK.store(callback as usize, Ordering::Release);
+    if INSTALLED.swap(true, Ordering::AcqRel) {
+        return Ok(()); // already installed; callback swapped above
+    }
+    // SAFETY: standard sigaction installation; `PREVIOUS` is written only
+    // here, before any fault can possibly be routed to `forward`.
+    unsafe {
+        let mut action: libc::sigaction = std::mem::zeroed();
+        action.sa_sigaction = handler as *const () as usize;
+        action.sa_flags = libc::SA_SIGINFO;
+        libc::sigemptyset(&mut action.sa_mask);
+        let prev_ptr = &raw mut PREVIOUS;
+        if libc::sigaction(libc::SIGSEGV, &action, (*prev_ptr).as_mut_ptr()) != 0 {
+            INSTALLED.store(false, Ordering::Release);
+            return Err(io::Error::last_os_error());
+        }
+    }
+    Ok(())
+}
+
+/// Whether the handler has been installed.
+pub fn is_installed() -> bool {
+    INSTALLED.load(Ordering::Acquire)
+}
+
+/// Clear the callback (used by tests between scenarios). Faults on
+/// registered regions after this escalate to the previous disposition.
+pub fn clear_callback() {
+    CALLBACK.store(0, Ordering::Release);
+}
+
+unsafe extern "C" fn handler(
+    sig: libc::c_int,
+    info: *mut libc::siginfo_t,
+    ctx: *mut libc::c_void,
+) {
+    // SAFETY: errno location is thread-local and always valid.
+    let saved_errno = unsafe { *libc::__errno_location() };
+    // SAFETY: the kernel hands us a valid siginfo for SA_SIGINFO handlers.
+    let addr = unsafe { (*info).si_addr() } as usize;
+    if let Some(hit) = registry::lookup(addr) {
+        let cb = CALLBACK.load(Ordering::Acquire);
+        if cb != 0 {
+            // SAFETY: only ever stores a valid `FaultCallback` (or 0).
+            let f: FaultCallback = unsafe { std::mem::transmute(cb) };
+            if f(hit, addr) {
+                // SAFETY: restoring thread-local errno.
+                unsafe { *libc::__errno_location() = saved_errno };
+                return;
+            }
+        }
+    }
+    // Not ours (or unhandled): forward to the pre-existing disposition.
+    // SAFETY: see `forward`.
+    unsafe { forward(sig, info, ctx) };
+}
+
+/// Chain to the handler that was installed before ours, or restore the
+/// default action so the re-executed instruction terminates the process
+/// with the usual SIGSEGV semantics (core dump, crash reporters, ...).
+unsafe fn forward(sig: libc::c_int, info: *mut libc::siginfo_t, ctx: *mut libc::c_void) {
+    // SAFETY: PREVIOUS was initialised at install time (forward is only
+    // reachable from the installed handler).
+    let prev = unsafe { PREVIOUS.assume_init() };
+    let prev_fn = prev.sa_sigaction;
+    if prev_fn == libc::SIG_DFL || prev_fn == libc::SIG_IGN {
+        // SAFETY: reinstalling the default disposition; returning will
+        // re-execute the faulting instruction and terminate the process.
+        unsafe {
+            let mut dfl: libc::sigaction = std::mem::zeroed();
+            dfl.sa_sigaction = libc::SIG_DFL;
+            libc::sigemptyset(&mut dfl.sa_mask);
+            libc::sigaction(libc::SIGSEGV, &dfl, std::ptr::null_mut());
+        }
+        return;
+    }
+    if prev.sa_flags & libc::SA_SIGINFO != 0 {
+        // SAFETY: the previous handler declared the 3-argument signature.
+        let f: unsafe extern "C" fn(libc::c_int, *mut libc::siginfo_t, *mut libc::c_void) =
+            unsafe { std::mem::transmute(prev_fn) };
+        // SAFETY: forwarding the kernel-provided arguments verbatim.
+        unsafe { f(sig, info, ctx) };
+    } else {
+        // SAFETY: the previous handler declared the 1-argument signature.
+        let f: unsafe extern "C" fn(libc::c_int) = unsafe { std::mem::transmute(prev_fn) };
+        // SAFETY: forwarding the signal number.
+        unsafe { f(sig) };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protect::Protection;
+    use crate::region::MappedRegion;
+    use std::sync::atomic::AtomicUsize;
+    use std::sync::Mutex;
+
+    /// Faulting tests share process-global handler state; serialise them.
+    static FAULT_TEST_LOCK: Mutex<()> = Mutex::new(());
+
+    static FAULTS: AtomicUsize = AtomicUsize::new(0);
+    static LAST_PAGE: AtomicUsize = AtomicUsize::new(usize::MAX);
+
+    fn unprotect_and_count(hit: RegionHit, _addr: usize) -> bool {
+        FAULTS.fetch_add(1, Ordering::Relaxed);
+        LAST_PAGE.store(hit.page, Ordering::Relaxed);
+        // SAFETY: page_addr is page-aligned inside a registered mapping.
+        unsafe {
+            crate::protect::set_protection_raw(
+                hit.page_addr,
+                crate::page_size(),
+                Protection::ReadWrite,
+            )
+            .unwrap();
+        }
+        true
+    }
+
+    #[test]
+    fn write_fault_is_trapped_and_resumed() {
+        let _g = FAULT_TEST_LOCK.lock().unwrap();
+        let region = MappedRegion::new(4 * crate::page_size()).unwrap();
+        install(unprotect_and_count).unwrap();
+        let handle =
+            registry::register(region.addr(), region.len(), 0x11, 1000).unwrap();
+        region.protect(Protection::ReadOnly).unwrap();
+
+        FAULTS.store(0, Ordering::Relaxed);
+        // Write to page 2: exactly one fault, then writes flow freely.
+        let p2 = region.page_addr(2) as *mut u8;
+        unsafe {
+            p2.write_volatile(55);
+            p2.add(1).write_volatile(56);
+        }
+        assert_eq!(FAULTS.load(Ordering::Relaxed), 1);
+        assert_eq!(LAST_PAGE.load(Ordering::Relaxed), 1002);
+        assert_eq!(unsafe { region.page_slice(2) }[0], 55);
+        assert_eq!(unsafe { region.page_slice(2) }[1], 56);
+
+        // Reads never fault.
+        let _ = unsafe { region.page_slice(3) }[0];
+        assert_eq!(FAULTS.load(Ordering::Relaxed), 1);
+
+        region.protect(Protection::ReadWrite).unwrap();
+        registry::deregister(handle);
+        clear_callback();
+    }
+
+    #[test]
+    fn faults_from_multiple_threads_each_handled() {
+        let _g = FAULT_TEST_LOCK.lock().unwrap();
+        let pages = 8;
+        let region = MappedRegion::new(pages * crate::page_size()).unwrap();
+        install(unprotect_and_count).unwrap();
+        let handle = registry::register(region.addr(), region.len(), 0x22, 0).unwrap();
+        region.protect(Protection::ReadOnly).unwrap();
+        FAULTS.store(0, Ordering::Relaxed);
+
+        let base = region.addr();
+        std::thread::scope(|s| {
+            for t in 0..pages {
+                s.spawn(move || {
+                    let p = (base + t * crate::page_size()) as *mut u8;
+                    // SAFETY: in-bounds write to our own mapping.
+                    unsafe { p.write_volatile(t as u8 + 1) };
+                });
+            }
+        });
+        assert_eq!(FAULTS.load(Ordering::Relaxed), pages);
+        for t in 0..pages {
+            assert_eq!(unsafe { region.page_slice(t) }[0], t as u8 + 1);
+        }
+        region.protect(Protection::ReadWrite).unwrap();
+        registry::deregister(handle);
+        clear_callback();
+    }
+
+    #[test]
+    fn install_is_idempotent() {
+        let _g = FAULT_TEST_LOCK.lock().unwrap();
+        install(unprotect_and_count).unwrap();
+        install(unprotect_and_count).unwrap();
+        assert!(is_installed());
+        clear_callback();
+    }
+}

@@ -1,0 +1,168 @@
+//! `ProtectedBuffer`: the safe, owned handle to a protected memory region —
+//! what `malloc_protected` returns in the paper's API (§3.4).
+//!
+//! Dropping the buffer is `free_protected`: its pages are withdrawn from any
+//! in-flight checkpoint (waiting out pages the committer holds locked), the
+//! region is removed from the fault registry and unmapped.
+
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+use ai_ckpt_core::PageId;
+use ai_ckpt_mem::{registry, MappedRegion};
+use parking_lot::Mutex;
+
+use crate::manager::{Ctl, Regions};
+
+/// Owned protected memory. Reads are always plain; writes may fault into
+/// the page manager's handler (transparently — the write simply proceeds
+/// after bookkeeping, exactly like a soft page fault).
+pub struct ProtectedBuffer {
+    ctl: Arc<Ctl>,
+    regions: Arc<Mutex<Regions>>,
+    region: Option<MappedRegion>,
+    entry_idx: usize,
+    base_page: usize,
+    pages: usize,
+    len: usize,
+    name: String,
+}
+
+impl ProtectedBuffer {
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn new(
+        ctl: Arc<Ctl>,
+        regions: Arc<Mutex<Regions>>,
+        region: MappedRegion,
+        entry_idx: usize,
+        base_page: usize,
+        pages: usize,
+        len: usize,
+        name: String,
+    ) -> Self {
+        Self {
+            ctl,
+            regions,
+            region: Some(region),
+            entry_idx,
+            base_page,
+            pages,
+            len,
+            name,
+        }
+    }
+
+    fn region(&self) -> &MappedRegion {
+        self.region.as_ref().expect("region present until drop")
+    }
+
+    /// Requested length in bytes (the mapping is rounded up to pages).
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True for zero-length requests (still occupying one page).
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// First global page id (stable across the buffer's life; recorded in
+    /// the checkpoint layout).
+    pub fn base_page(&self) -> usize {
+        self.base_page
+    }
+
+    /// Number of pages backing the buffer.
+    pub fn pages(&self) -> usize {
+        self.pages
+    }
+
+    /// The name given at allocation ("" if anonymous).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Base pointer.
+    pub fn as_ptr(&self) -> *mut u8 {
+        self.region().as_ptr()
+    }
+
+    /// Read access to the buffer.
+    ///
+    /// Note for mixed workloads: while a checkpoint is in flight the
+    /// committer also reads pages of this buffer (never writes), which is
+    /// why this takes `&self` and stays sound.
+    pub fn as_slice(&self) -> &[u8] {
+        // SAFETY: we own the mapping; len <= mapping length; writers need
+        // &mut self, so no mutable alias can exist while this borrow lives.
+        unsafe { std::slice::from_raw_parts(self.region().as_ptr(), self.len) }
+    }
+
+    /// Write access. Writes to pages that are being checkpointed are
+    /// transparently intercepted by the page manager (copy-on-write or a
+    /// short wait), preserving snapshot consistency.
+    pub fn as_mut_slice(&mut self) -> &mut [u8] {
+        // SAFETY: exclusive borrow of the owned mapping. The committer may
+        // concurrently *read* pages in PAGE_INPROGRESS state, but those
+        // reads happen via raw pointers only while any writing thread is
+        // blocked in the fault handler, which serialises the access.
+        unsafe { std::slice::from_raw_parts_mut(self.region().as_ptr(), self.len) }
+    }
+
+    /// View as a slice of plain-old-data elements (e.g. `f64` grid cells).
+    /// Panics if the buffer is not large/aligned enough (page alignment
+    /// satisfies every primitive type).
+    pub fn as_slice_of<T: Copy>(&self) -> &[T] {
+        let n = self.len / std::mem::size_of::<T>();
+        assert_eq!(
+            self.as_ptr() as usize % std::mem::align_of::<T>(),
+            0,
+            "page-aligned buffer misaligned for T?!"
+        );
+        // SAFETY: within the owned mapping; alignment checked; T: Copy
+        // forbids drop glue. Contents are plain bytes (zero-initialised).
+        unsafe { std::slice::from_raw_parts(self.as_ptr() as *const T, n) }
+    }
+
+    /// Mutable typed view; see [`ProtectedBuffer::as_slice_of`].
+    pub fn as_mut_slice_of<T: Copy>(&mut self) -> &mut [T] {
+        let n = self.len / std::mem::size_of::<T>();
+        assert_eq!(self.as_ptr() as usize % std::mem::align_of::<T>(), 0);
+        // SAFETY: as above, with exclusive borrow.
+        unsafe { std::slice::from_raw_parts_mut(self.as_ptr() as *mut T, n) }
+    }
+}
+
+impl Drop for ProtectedBuffer {
+    fn drop(&mut self) {
+        // 1. Remove from the manager's table so the next CHECKPOINT neither
+        //    protects nor lays out this region.
+        let handle = {
+            let mut regions = self.regions.lock();
+            let entry = regions.entries[self.entry_idx]
+                .take()
+                .expect("entry taken once, by drop");
+            entry.handle
+        };
+        // 2. Withdraw every page from checkpointing. discard_page refuses
+        //    while the committer holds a page locked; wait it out.
+        for p in self.base_page..self.base_page + self.pages {
+            loop {
+                let done = self.ctl.shared.engine.lock().discard_page(p as PageId);
+                if done {
+                    break;
+                }
+                std::thread::yield_now();
+            }
+            self.ctl.shared.page_addr[p].store(0, Ordering::Release);
+        }
+        // 3. Stop routing faults for these addresses...
+        registry::deregister(handle);
+        // 4. ...and only then unmap (Region drop).
+        self.region.take();
+    }
+}
+
+// SAFETY: the buffer owns its mapping; cross-thread hand-off is safe. It is
+// intentionally NOT Sync-shareable for writing (writes need &mut).
+unsafe impl Send for ProtectedBuffer {}

@@ -1,0 +1,121 @@
+//! Runtime configuration: checkpoint mode, flush strategy and resource
+//! budgets (§4.2's three evaluated settings are presets here).
+
+use ai_ckpt_core::SchedulerKind;
+use ai_ckpt_mem::page_size;
+
+/// How `CHECKPOINT` behaves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CkptMode {
+    /// Asynchronous: `CHECKPOINT` returns after scheduling; a background
+    /// committer flushes while the application runs (the paper's default).
+    Async,
+    /// Synchronous: `CHECKPOINT` blocks until every dirty page is on stable
+    /// storage (the paper's `sync` baseline). Dirty-page tracking is still
+    /// used to find the increment.
+    Sync,
+}
+
+/// Configuration for a [`PageManager`](crate::PageManager).
+#[derive(Debug, Clone)]
+pub struct CkptConfig {
+    /// Checkpoint mode.
+    pub mode: CkptMode,
+    /// Static flush order (Algorithm 4 vs. baselines).
+    pub scheduler: SchedulerKind,
+    /// Current-epoch adaptations (`WaitedPage` + CoW preference).
+    pub dynamic_hints: bool,
+    /// Copy-on-write budget in bytes; rounded down to whole pages. The
+    /// paper's synthetic benchmark uses 16 MiB against 256 MiB of protected
+    /// memory.
+    pub cow_bytes: usize,
+    /// Capacity of the page-id space. All per-page metadata is allocated up
+    /// front (≈ 30 bytes/page), so this bounds the total protected memory:
+    /// `max_pages * page_size`. Default 262 144 pages = 1 GiB at 4 KiB.
+    pub max_pages: usize,
+}
+
+impl CkptConfig {
+    /// The paper's `our-approach`: adaptive asynchronous incremental
+    /// checkpointing with the given CoW budget.
+    pub fn ai_ckpt(cow_bytes: usize) -> Self {
+        Self {
+            mode: CkptMode::Async,
+            scheduler: SchedulerKind::Adaptive,
+            dynamic_hints: true,
+            cow_bytes,
+            max_pages: 1 << 18,
+        }
+    }
+
+    /// The paper's `async-no-pattern` baseline: identical machinery,
+    /// ascending-address flush order, no dynamic adaptation.
+    pub fn async_no_pattern(cow_bytes: usize) -> Self {
+        Self {
+            mode: CkptMode::Async,
+            scheduler: SchedulerKind::AddressOrder,
+            dynamic_hints: false,
+            cow_bytes,
+            max_pages: 1 << 18,
+        }
+    }
+
+    /// The paper's `sync` baseline: blocking incremental checkpointing.
+    pub fn sync() -> Self {
+        Self {
+            mode: CkptMode::Sync,
+            scheduler: SchedulerKind::AddressOrder,
+            dynamic_hints: false,
+            cow_bytes: 0,
+            max_pages: 1 << 18,
+        }
+    }
+
+    /// Override the page-id capacity.
+    pub fn with_max_pages(mut self, max_pages: usize) -> Self {
+        self.max_pages = max_pages;
+        self
+    }
+
+    /// Override the scheduler.
+    pub fn with_scheduler(mut self, scheduler: SchedulerKind) -> Self {
+        self.scheduler = scheduler;
+        self
+    }
+
+    /// CoW slots implied by `cow_bytes` at the OS page size.
+    pub fn cow_slots(&self) -> u32 {
+        (self.cow_bytes / page_size()) as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_match_paper_settings() {
+        let ours = CkptConfig::ai_ckpt(16 << 20);
+        assert_eq!(ours.mode, CkptMode::Async);
+        assert_eq!(ours.scheduler, SchedulerKind::Adaptive);
+        assert!(ours.dynamic_hints);
+        assert_eq!(ours.cow_slots() as usize, (16 << 20) / page_size());
+
+        let base = CkptConfig::async_no_pattern(16 << 20);
+        assert_eq!(base.scheduler, SchedulerKind::AddressOrder);
+        assert!(!base.dynamic_hints);
+
+        let sync = CkptConfig::sync();
+        assert_eq!(sync.mode, CkptMode::Sync);
+        assert_eq!(sync.cow_slots(), 0, "no CoW in sync mode");
+    }
+
+    #[test]
+    fn builders() {
+        let c = CkptConfig::ai_ckpt(0)
+            .with_max_pages(1024)
+            .with_scheduler(SchedulerKind::AccessOrder);
+        assert_eq!(c.max_pages, 1024);
+        assert_eq!(c.scheduler, SchedulerKind::AccessOrder);
+    }
+}

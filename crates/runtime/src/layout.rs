@@ -1,0 +1,162 @@
+//! Region-layout metadata persisted alongside every checkpoint so restore
+//! can rebuild the protected buffers of a fresh process and refill them.
+//!
+//! Format: one line per buffer, `name base_page pages len_bytes`, with names
+//! percent-escaped for whitespace. Hand-rolled (it is four fields) to avoid
+//! a serde dependency.
+
+use std::io;
+
+/// One protected buffer's placement in the global page-id space.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BufferLayout {
+    /// User-assigned name ("" if anonymous).
+    pub name: String,
+    /// First global page id.
+    pub base_page: u64,
+    /// Page count.
+    pub pages: u64,
+    /// Exact requested byte length (≤ pages * page_size).
+    pub len_bytes: u64,
+}
+
+fn escape(name: &str) -> String {
+    let mut out = String::with_capacity(name.len());
+    for b in name.bytes() {
+        match b {
+            b' ' | b'%' | b'\n' | b'\r' | b'\t' => out.push_str(&format!("%{b:02X}")),
+            _ => out.push(b as char),
+        }
+    }
+    out
+}
+
+fn unescape(s: &str) -> io::Result<String> {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b'%' {
+            if i + 2 > bytes.len() {
+                return Err(bad("truncated escape"));
+            }
+            let hex = s
+                .get(i + 1..i + 3)
+                .ok_or_else(|| bad("truncated escape"))?;
+            out.push(
+                u8::from_str_radix(hex, 16).map_err(|_| bad("bad escape digits"))?,
+            );
+            i += 3;
+        } else {
+            out.push(bytes[i]);
+            i += 1;
+        }
+    }
+    String::from_utf8(out).map_err(|_| bad("layout name not UTF-8"))
+}
+
+fn bad(msg: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, format!("layout blob: {msg}"))
+}
+
+/// Serialise a layout list.
+pub fn encode(buffers: &[BufferLayout]) -> Vec<u8> {
+    let mut out = String::new();
+    for b in buffers {
+        out.push_str(&format!(
+            "{} {} {} {}\n",
+            escape(&b.name),
+            b.base_page,
+            b.pages,
+            b.len_bytes
+        ));
+    }
+    out.into_bytes()
+}
+
+/// Parse a layout list.
+pub fn decode(data: &[u8]) -> io::Result<Vec<BufferLayout>> {
+    let text = std::str::from_utf8(data).map_err(|_| bad("not UTF-8"))?;
+    let mut out = Vec::new();
+    for line in text.lines() {
+        if line.is_empty() {
+            continue;
+        }
+        let mut parts = line.split(' ');
+        let name = unescape(parts.next().ok_or_else(|| bad("missing name"))?)?;
+        let parse = |p: Option<&str>, what: &str| -> io::Result<u64> {
+            p.ok_or_else(|| bad(what))?
+                .parse::<u64>()
+                .map_err(|_| bad(what))
+        };
+        let base_page = parse(parts.next(), "missing/invalid base_page")?;
+        let pages = parse(parts.next(), "missing/invalid pages")?;
+        let len_bytes = parse(parts.next(), "missing/invalid len_bytes")?;
+        if parts.next().is_some() {
+            return Err(bad("trailing fields"));
+        }
+        out.push(BufferLayout {
+            name,
+            base_page,
+            pages,
+            len_bytes,
+        });
+    }
+    Ok(out)
+}
+
+/// Blob name for the layout as of checkpoint `seq`.
+pub fn blob_name(seq: u64) -> String {
+    format!("layout_{seq:010}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_including_odd_names() {
+        let layouts = vec![
+            BufferLayout {
+                name: "grid".into(),
+                base_page: 0,
+                pages: 64,
+                len_bytes: 262144,
+            },
+            BufferLayout {
+                name: "my buffer %1\n".into(),
+                base_page: 64,
+                pages: 1,
+                len_bytes: 17,
+            },
+            BufferLayout {
+                name: String::new(),
+                base_page: 65,
+                pages: 2,
+                len_bytes: 8192,
+            },
+        ];
+        let enc = encode(&layouts);
+        assert_eq!(decode(&enc).unwrap(), layouts);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(decode(b"name only-two\n").is_err());
+        assert!(decode(b"n 1 2 notanumber\n").is_err());
+        assert!(decode(b"n 1 2 3 4\n").is_err(), "trailing fields");
+        assert!(decode(&[0xFF, 0xFE]).is_err(), "not UTF-8");
+    }
+
+    #[test]
+    fn empty_is_fine() {
+        assert!(decode(b"").unwrap().is_empty());
+        assert!(decode(b"\n\n").unwrap().is_empty());
+    }
+
+    #[test]
+    fn blob_names_sort_with_epoch() {
+        assert!(blob_name(2) > blob_name(1));
+        assert_eq!(blob_name(3), "layout_0000000003");
+    }
+}

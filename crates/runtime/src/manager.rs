@@ -1,0 +1,539 @@
+//! The page manager: "the central actor of our approach" (§3.2), tying the
+//! deterministic engine to real memory protection, a background committer
+//! thread and a storage backend.
+//!
+//! Thread/lock architecture (the paper's two concurrent modules, §3.3):
+//!
+//! * **Application threads** run `PROTECTED_PAGE_HANDLER` inside the SIGSEGV
+//!   handler ([`fault_entry`]): they take the engine spin lock briefly, may
+//!   copy a page into a CoW slot under it, may spin-wait (lock-free, on the
+//!   shared [`StateTable`]) until the committer processes their page, then
+//!   lift the page's write protection and retry the faulting instruction.
+//! * **The committer thread** runs `ASYNC_COMMIT`: it picks pages under the
+//!   engine lock (Algorithm 4) but performs storage I/O *outside* it, so
+//!   fault handling never blocks on the disk.
+//! * **`CHECKPOINT`** (any application thread) waits for the previous
+//!   checkpoint, rolls the epoch under the engine lock, re-protects every
+//!   region, and hands the flush to the committer (async mode) or waits for
+//!   it (sync mode).
+//!
+//! Lock ordering: `regions` → `engine`. The engine lock is the only lock
+//! touched by the fault handler; nothing allocates while holding it.
+//!
+//! ## Caller contract (same as the paper's)
+//!
+//! `CHECKPOINT` must not race with writes to protected memory from *other*
+//! threads of the same rank: the paper's MPI model has one writer per
+//! process that itself calls `CHECKPOINT` at iteration boundaries.
+//! Concurrent writers between checkpoints are fine (the handler is
+//! thread-safe); only the request itself must be quiesced.
+
+use std::io;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::time::Instant;
+
+use parking_lot::{Condvar, Mutex};
+
+use ai_ckpt_core::{
+    CheckpointPlanInfo, EngineConfig, EpochEngine, FlushSource, PageId, SpinLock, StateTable,
+    WriteOutcome,
+};
+use ai_ckpt_mem::{page_size, registry, sigsegv, MappedRegion, Protection, RegionHit};
+use ai_ckpt_storage::StorageBackend;
+
+use crate::config::{CkptConfig, CkptMode};
+use crate::layout::{self, BufferLayout};
+use crate::stats::{CheckpointRecord, RuntimeStats};
+
+/// State reachable from the SIGSEGV handler. Lives behind an `Arc` whose
+/// address is the registry token, so the handler can reach it without any
+/// global lookup table.
+pub(crate) struct Shared {
+    pub(crate) engine: SpinLock<EpochEngine>,
+    /// Lock-free view of page states for blocked writers.
+    pub(crate) states: Arc<StateTable>,
+    pub(crate) page_bytes: usize,
+    /// Global page id -> page base address (0 = unregistered). Written at
+    /// buffer allocation, read by the committer.
+    pub(crate) page_addr: Box<[AtomicUsize]>,
+}
+
+/// Committer/manager shared control block.
+pub(crate) struct Ctl {
+    pub(crate) shared: Arc<Shared>,
+    pub(crate) status: Mutex<Status>,
+    pub(crate) done: Condvar,
+    pub(crate) stats: Mutex<Vec<CheckpointRecord>>,
+}
+
+#[derive(Default)]
+pub(crate) struct Status {
+    pub(crate) busy: bool,
+    pub(crate) failed: Option<String>,
+}
+
+/// Registered-region bookkeeping (the MappedRegion itself is owned by the
+/// [`ProtectedBuffer`](crate::ProtectedBuffer)).
+pub(crate) struct RegionEntry {
+    pub(crate) addr: usize,
+    pub(crate) len: usize,
+    pub(crate) base_page: usize,
+    pub(crate) pages: usize,
+    pub(crate) len_bytes: usize,
+    pub(crate) name: String,
+    pub(crate) handle: registry::RegionHandle,
+}
+
+#[derive(Default)]
+pub(crate) struct Regions {
+    pub(crate) entries: Vec<Option<RegionEntry>>,
+    pub(crate) next_page: usize,
+}
+
+impl Regions {
+    pub(crate) fn live(&self) -> impl Iterator<Item = &RegionEntry> {
+        self.entries.iter().flatten()
+    }
+
+    fn layout(&self) -> Vec<BufferLayout> {
+        let mut v: Vec<BufferLayout> = self
+            .live()
+            .map(|e| BufferLayout {
+                name: e.name.clone(),
+                base_page: e.base_page as u64,
+                pages: e.pages as u64,
+                len_bytes: e.len_bytes as u64,
+            })
+            .collect();
+        v.sort_by_key(|l| l.base_page);
+        v
+    }
+}
+
+enum Cmd {
+    Checkpoint {
+        seq: u64,
+        started: Instant,
+        layout_blob: Vec<u8>,
+    },
+    Shutdown,
+}
+
+/// The AI-Ckpt runtime entry point. One per process is typical (the paper's
+/// page manager), but multiple independent managers are supported.
+pub struct PageManager {
+    pub(crate) ctl: Arc<Ctl>,
+    pub(crate) regions: Arc<Mutex<Regions>>,
+    cfg: CkptConfig,
+    tx: mpsc::Sender<Cmd>,
+    join: Option<std::thread::JoinHandle<()>>,
+    /// Backend epochs committed before this manager started (restart case):
+    /// checkpoint `n` of this manager persists as epoch `epoch_base + n`.
+    epoch_base: u64,
+}
+
+impl PageManager {
+    /// Create a manager with the given configuration and storage backend,
+    /// installing the process-wide SIGSEGV handler if necessary.
+    pub fn new(cfg: CkptConfig, backend: Box<dyn StorageBackend>) -> io::Result<Self> {
+        sigsegv::install(fault_entry)?;
+        // Resume epoch numbering after the backend's last committed
+        // checkpoint (fresh backends start at 0).
+        let epoch_base = backend.epochs()?.last().copied().unwrap_or(0);
+        let ps = page_size();
+        let engine_cfg = EngineConfig {
+            pages: cfg.max_pages,
+            page_bytes: ps,
+            cow_slots: cfg.cow_slots(),
+            scheduler: cfg.scheduler,
+            dynamic_hints: cfg.dynamic_hints,
+            cow_data: true,
+        };
+        let engine = EpochEngine::new(engine_cfg)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e.to_string()))?;
+        let states = Arc::clone(engine.states());
+        let mut page_addr = Vec::with_capacity(cfg.max_pages);
+        page_addr.resize_with(cfg.max_pages, || AtomicUsize::new(0));
+        let shared = Arc::new(Shared {
+            engine: SpinLock::new(engine),
+            states,
+            page_bytes: ps,
+            page_addr: page_addr.into_boxed_slice(),
+        });
+        let ctl = Arc::new(Ctl {
+            shared,
+            status: Mutex::new(Status::default()),
+            done: Condvar::new(),
+            stats: Mutex::new(Vec::new()),
+        });
+        let (tx, rx) = mpsc::channel();
+        let committer_ctl = Arc::clone(&ctl);
+        let join = std::thread::Builder::new()
+            .name("ai-ckpt-committer".into())
+            .spawn(move || committer_loop(committer_ctl, rx, backend))?;
+        Ok(Self {
+            ctl,
+            regions: Arc::new(Mutex::new(Regions::default())),
+            cfg,
+            tx,
+            join: Some(join),
+            epoch_base,
+        })
+    }
+
+    /// The configuration this manager runs with.
+    pub fn config(&self) -> &CkptConfig {
+        &self.cfg
+    }
+
+    /// Allocate an anonymous protected buffer (the paper's
+    /// `malloc_protected`). The memory is zero-filled, page-aligned and
+    /// write-protected from the start: every first write per epoch is
+    /// tracked.
+    pub fn alloc_protected(&self, len: usize) -> io::Result<crate::ProtectedBuffer> {
+        self.alloc_protected_named("", len)
+    }
+
+    /// Like [`PageManager::alloc_protected`] but with a name recorded in the
+    /// checkpoint layout, so restore can find the buffer again.
+    pub fn alloc_protected_named(
+        &self,
+        name: &str,
+        len: usize,
+    ) -> io::Result<crate::ProtectedBuffer> {
+        let region = MappedRegion::new(len)?;
+        let pages = region.pages();
+        let mut regions = self.regions.lock();
+        let base = regions.next_page;
+        if base + pages > self.cfg.max_pages {
+            return Err(io::Error::new(
+                io::ErrorKind::OutOfMemory,
+                format!(
+                    "page-id space exhausted: {} + {} pages exceeds max_pages {}",
+                    base, pages, self.cfg.max_pages
+                ),
+            ));
+        }
+        regions.next_page = base + pages;
+        for i in 0..pages {
+            self.ctl.shared.page_addr[base + i]
+                .store(region.addr() + i * self.ctl.shared.page_bytes, Ordering::Release);
+        }
+        let token = Arc::as_ptr(&self.ctl.shared) as usize;
+        let handle = registry::register(region.addr(), region.len(), token, base)
+            .map_err(|e| io::Error::other(e.to_string()))?;
+        region.protect(Protection::ReadOnly)?;
+        let entry = RegionEntry {
+            addr: region.addr(),
+            len: region.len(),
+            base_page: base,
+            pages,
+            len_bytes: len,
+            name: name.to_string(),
+            handle,
+        };
+        let slot = regions.entries.iter().position(Option::is_none);
+        let entry_idx = match slot {
+            Some(i) => {
+                regions.entries[i] = Some(entry);
+                i
+            }
+            None => {
+                regions.entries.push(Some(entry));
+                regions.entries.len() - 1
+            }
+        };
+        drop(regions);
+        Ok(crate::ProtectedBuffer::new(
+            Arc::clone(&self.ctl),
+            Arc::clone(&self.regions),
+            region,
+            entry_idx,
+            base,
+            pages,
+            len,
+            name.to_string(),
+        ))
+    }
+
+    /// The `CHECKPOINT` primitive (Algorithm 1). Waits for any previous
+    /// checkpoint to complete, snapshots the epoch, schedules the dirty set
+    /// and (in async mode) returns while the committer flushes in the
+    /// background. In sync mode, blocks until everything is on storage.
+    ///
+    /// Returns the plan (pages/bytes scheduled, closed-epoch statistics).
+    /// Surfaces a pending committer failure from a *previous* checkpoint as
+    /// an error (cleared on return, so the application can decide whether to
+    /// continue).
+    pub fn checkpoint(&self) -> io::Result<CheckpointPlanInfo> {
+        // Lines 2-4: wait until the previous checkpoint completed.
+        {
+            let mut st = self.ctl.status.lock();
+            while st.busy {
+                self.ctl.done.wait(&mut st);
+            }
+            if let Some(msg) = st.failed.take() {
+                return Err(io::Error::other(format!(
+                    "previous checkpoint failed: {msg}"
+                )));
+            }
+            st.busy = true;
+        }
+        let started = Instant::now();
+        let (mut info, layout_blob) = {
+            let regions = self.regions.lock();
+            let mut eng = self.ctl.shared.engine.lock();
+            let info = eng
+                .begin_checkpoint()
+                .expect("no checkpoint can be active here");
+            // Write-protect every region so the new epoch's first writes
+            // trap (Algorithm 1 lines 10-14). One mprotect per region.
+            for e in regions.live() {
+                // SAFETY: registered regions are page-aligned mappings we
+                // own; the SIGSEGV handler is installed.
+                unsafe {
+                    ai_ckpt_mem::set_protection(e.addr, e.len, Protection::ReadOnly)
+                        .expect("mprotect(PROT_READ) on own region cannot fail");
+                }
+            }
+            (info, layout::encode(&regions.layout()))
+        };
+        // Report and persist under the absolute epoch number.
+        info.checkpoint += self.epoch_base;
+        self.ctl.stats.lock().push(CheckpointRecord {
+            seq: info.checkpoint,
+            scheduled_pages: info.scheduled_pages,
+            scheduled_bytes: info.scheduled_bytes,
+            duration: None,
+            failed: false,
+            closed_epoch: info.closed_epoch,
+        });
+        self.tx
+            .send(Cmd::Checkpoint {
+                seq: info.checkpoint,
+                started,
+                layout_blob,
+            })
+            .map_err(|_| io::Error::other("committer thread is gone"))?;
+        if self.cfg.mode == CkptMode::Sync {
+            self.wait_checkpoint()?;
+        }
+        Ok(info)
+    }
+
+    /// Block until the in-flight checkpoint (if any) is durably committed.
+    /// Returns the committer's error, if it failed.
+    pub fn wait_checkpoint(&self) -> io::Result<()> {
+        let mut st = self.ctl.status.lock();
+        while st.busy {
+            self.ctl.done.wait(&mut st);
+        }
+        match st.failed.take() {
+            Some(msg) => Err(io::Error::other(format!("checkpoint failed: {msg}"))),
+            None => Ok(()),
+        }
+    }
+
+    /// True while a checkpoint is being flushed in the background.
+    pub fn checkpoint_in_progress(&self) -> bool {
+        self.ctl.status.lock().busy
+    }
+
+    /// Snapshot of runtime metrics.
+    pub fn stats(&self) -> RuntimeStats {
+        RuntimeStats {
+            checkpoints: self.ctl.stats.lock().clone(),
+            live_epoch: self.ctl.shared.engine.lock().current_stats(),
+        }
+    }
+
+    /// Number of checkpoints requested so far.
+    pub fn checkpoints(&self) -> u64 {
+        self.ctl.shared.engine.lock().checkpoints()
+    }
+
+    /// Total protected bytes currently registered.
+    pub fn protected_bytes(&self) -> usize {
+        self.regions.lock().live().map(|e| e.len).sum()
+    }
+}
+
+impl Drop for PageManager {
+    fn drop(&mut self) {
+        let _ = self.tx.send(Cmd::Shutdown);
+        if let Some(j) = self.join.take() {
+            let _ = j.join();
+        }
+    }
+}
+
+/// `PROTECTED_PAGE_HANDLER` (Algorithm 2), invoked from the SIGSEGV handler.
+///
+/// Async-signal-safety: engine spin lock, atomics, `memcpy`, `mprotect`,
+/// `sched_yield`/`nanosleep`. No allocation, no ordinary mutexes.
+fn fault_entry(hit: RegionHit, _addr: usize) -> bool {
+    // SAFETY: the token is the address of the manager's `Shared`, kept alive
+    // by the `Arc` in `Ctl` (and buffers); regions are deregistered before
+    // any of that is dropped.
+    let shared = unsafe { &*(hit.token as *const Shared) };
+    let p = hit.page as PageId;
+    let mut must_wait = false;
+    {
+        let mut eng = shared.engine.lock();
+        match eng.on_write(p) {
+            WriteOutcome::Proceed | WriteOutcome::AlreadyHandled => {}
+            WriteOutcome::CopyToSlot(slot) => {
+                // Copy the pre-write content while still holding the lock,
+                // so no other thread can see the page writable before the
+                // snapshot is safe (see WriteOutcome::CopyToSlot docs).
+                let dst = eng.slab_slot_mut(slot);
+                // SAFETY: page_addr is a live page of page_bytes; dst is a
+                // slot of the same size; ranges cannot overlap.
+                unsafe {
+                    std::ptr::copy_nonoverlapping(
+                        hit.page_addr as *const u8,
+                        dst.as_mut_ptr(),
+                        shared.page_bytes,
+                    );
+                }
+            }
+            WriteOutcome::MustWait => must_wait = true,
+        }
+    }
+    if must_wait {
+        // Algorithm 2 lines 12-15: block until the committer processed this
+        // very page. Spin, then yield, then sleep — storage is slow (ms),
+        // burning a core for the whole wait would add the very interference
+        // we are measuring.
+        let mut spins = 0u32;
+        while !shared.states.is_processed(p) {
+            spins = spins.saturating_add(1);
+            if spins < 64 {
+                std::hint::spin_loop();
+            } else if spins < 256 {
+                std::thread::yield_now();
+            } else {
+                let ts = libc::timespec {
+                    tv_sec: 0,
+                    tv_nsec: 20_000, // 20 µs
+                };
+                // SAFETY: nanosleep with a valid timespec; async-signal-safe.
+                unsafe { libc::nanosleep(&ts, std::ptr::null_mut()) };
+            }
+        }
+        shared.engine.lock().complete_wait(p);
+    }
+    // Lift the write protection and let the instruction retry
+    // (Algorithm 2 line 22).
+    // SAFETY: page-aligned page of a registered region.
+    unsafe {
+        ai_ckpt_mem::set_protection_raw(hit.page_addr, shared.page_bytes, Protection::ReadWrite)
+            .is_ok()
+    }
+}
+
+/// `ASYNC_COMMIT` (Algorithm 3): the background committer thread.
+fn committer_loop(ctl: Arc<Ctl>, rx: mpsc::Receiver<Cmd>, mut backend: Box<dyn StorageBackend>) {
+    // The committer's own allocations (backend buffers, error strings) must
+    // never be routed into protected regions by the transparent-tracking
+    // allocator: the hooks take the page-manager lock, which can deadlock
+    // against an application thread waiting for this very thread.
+    ai_ckpt_mem::alloc::exempt_thread_from_tracking(true);
+    let page_bytes = ctl.shared.page_bytes;
+    let mut staging = vec![0u8; page_bytes];
+    while let Ok(cmd) = rx.recv() {
+        match cmd {
+            Cmd::Shutdown => break,
+            Cmd::Checkpoint {
+                seq,
+                started,
+                layout_blob,
+            } => {
+                let result =
+                    flush_checkpoint(&ctl, backend.as_mut(), seq, &layout_blob, &mut staging);
+                let duration = started.elapsed();
+                {
+                    let mut stats = ctl.stats.lock();
+                    if let Some(rec) = stats.iter_mut().rev().find(|r| r.seq == seq) {
+                        rec.duration = Some(duration);
+                        rec.failed = result.is_err();
+                    }
+                }
+                let mut st = ctl.status.lock();
+                if let Err(e) = result {
+                    st.failed = Some(e.to_string());
+                }
+                st.busy = false;
+                ctl.done.notify_all();
+            }
+        }
+    }
+}
+
+/// Drain one checkpoint. On storage error, keeps draining the engine
+/// *without* writing so page states stay consistent and blocked writers
+/// wake; the epoch is then not committed (no manifest record), and the error
+/// is reported through `wait_checkpoint`/the next `checkpoint` call.
+fn flush_checkpoint(
+    ctl: &Ctl,
+    backend: &mut dyn StorageBackend,
+    seq: u64,
+    layout_blob: &[u8],
+    staging: &mut [u8],
+) -> io::Result<()> {
+    let page_bytes = ctl.shared.page_bytes;
+    let mut io_result = backend.begin_epoch(seq);
+    loop {
+        let item = {
+            let mut eng = ctl.shared.engine.lock();
+            match eng.select_next() {
+                Some(item) => item,
+                None => {
+                    if !eng.checkpoint_active() {
+                        break;
+                    }
+                    drop(eng);
+                    // Unreachable with a single committer; be safe anyway.
+                    std::thread::yield_now();
+                    continue;
+                }
+            }
+        };
+        if io_result.is_ok() {
+            match item.source {
+                FlushSource::Memory => {
+                    let addr = ctl.shared.page_addr[item.page as usize].load(Ordering::Acquire);
+                    debug_assert_ne!(addr, 0, "flushing an unregistered page");
+                    // Copy through raw pointers into the staging buffer: the
+                    // page is PAGE_INPROGRESS so no application thread can
+                    // write it (they block in the fault handler), and we
+                    // never materialise a & reference into app memory.
+                    // SAFETY: addr is a live page; staging has page_bytes.
+                    unsafe {
+                        std::ptr::copy_nonoverlapping(
+                            addr as *const u8,
+                            staging.as_mut_ptr(),
+                            page_bytes,
+                        );
+                    }
+                }
+                FlushSource::CowSlot(slot) => {
+                    let eng = ctl.shared.engine.lock();
+                    staging.copy_from_slice(eng.slab_slot(slot));
+                }
+            }
+            if let Err(e) = backend.write_page(item.page as u64, staging) {
+                io_result = Err(e);
+            }
+        }
+        ctl.shared.engine.lock().complete_flush(item);
+    }
+    if let Err(e) = io_result {
+        let _ = backend.abort_epoch(); // never expose a partial epoch
+        return Err(e);
+    }
+    backend.put_blob(&layout::blob_name(seq), layout_blob)?;
+    backend.finish_epoch()
+}

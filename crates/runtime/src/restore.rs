@@ -1,0 +1,107 @@
+//! Restart: rebuild a fresh process's protected buffers from a checkpoint
+//! chain (the "Restart" half of Checkpoint-Restart).
+//!
+//! The committer stores, with every epoch, a layout blob describing the live
+//! buffers (name, base page, length). Restore replays that layout against a
+//! *fresh* [`PageManager`] — same allocation order ⇒ same page ids — then
+//! fills the buffers from the latest-wins page image.
+//!
+//! Pages the application never wrote are absent from every epoch and remain
+//! zero, which is exactly their pre-crash content (regions are zero-filled).
+//!
+//! The copies performed during restore fault like ordinary writes, so the
+//! restored data is automatically part of the *next* checkpoint's dirty set
+//! — the first checkpoint after a restart is close to full, which is the
+//! conservative, correct behaviour.
+
+use std::collections::HashMap;
+use std::io;
+
+use ai_ckpt_storage::{CheckpointImage, StorageBackend};
+
+use crate::layout;
+use crate::manager::PageManager;
+use crate::ProtectedBuffer;
+
+/// The outcome of a restore: the rebuilt buffers, in layout order, plus an
+/// index by name.
+pub struct RestoredState {
+    /// Rebuilt protected buffers, in the original allocation order.
+    pub buffers: Vec<ProtectedBuffer>,
+    /// Indices into `buffers`, keyed by buffer name (anonymous buffers are
+    /// not indexed).
+    pub by_name: HashMap<String, usize>,
+    /// The checkpoint sequence number that was restored.
+    pub checkpoint: u64,
+}
+
+/// Restore the most recent committed checkpoint, or `None` if the backend
+/// holds no checkpoint yet (fresh start).
+pub fn restore_latest(
+    manager: &PageManager,
+    backend: &dyn StorageBackend,
+) -> io::Result<Option<RestoredState>> {
+    match backend.epochs()?.last() {
+        Some(&seq) => restore_at(manager, backend, seq).map(Some),
+        None => Ok(None),
+    }
+}
+
+/// Restore a specific checkpoint. `manager` must be fresh: no buffers
+/// allocated yet (page ids must replay identically).
+pub fn restore_at(
+    manager: &PageManager,
+    backend: &dyn StorageBackend,
+    seq: u64,
+) -> io::Result<RestoredState> {
+    let blob = backend
+        .get_blob(&layout::blob_name(seq))?
+        .ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::NotFound,
+                format!("no layout blob for checkpoint {seq}"),
+            )
+        })?;
+    let layouts = layout::decode(&blob)?;
+    let image = CheckpointImage::load(backend, seq)?;
+    let page_bytes = ai_ckpt_mem::page_size();
+
+    let mut buffers = Vec::with_capacity(layouts.len());
+    let mut by_name = HashMap::new();
+    for l in &layouts {
+        let mut buf = manager.alloc_protected_named(&l.name, l.len_bytes as usize)?;
+        if buf.base_page() as u64 != l.base_page {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!(
+                    "layout replay diverged: buffer '{}' expected base page {}, got {} \
+                     (restore requires a fresh PageManager)",
+                    l.name,
+                    l.base_page,
+                    buf.base_page()
+                ),
+            ));
+        }
+        // Fill from the image; writes fault + record, making the restored
+        // content part of the next dirty set.
+        {
+            let slice = buf.as_mut_slice();
+            for page in l.base_page..l.base_page + l.pages {
+                if let Some(data) = image.page(page) {
+                    let off = (page - l.base_page) as usize * page_bytes;
+                    let n = data.len().min(slice.len().saturating_sub(off));
+                    slice[off..off + n].copy_from_slice(&data[..n]);
+                }
+            }
+        }
+        if !l.name.is_empty() {
+            by_name.insert(l.name.clone(), buffers.len());
+        }
+        buffers.push(buf);
+    }
+    Ok(RestoredState {
+        buffers,
+        by_name,
+        checkpoint: seq,
+    })
+}

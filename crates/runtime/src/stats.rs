@@ -1,0 +1,146 @@
+//! Runtime-level metrics: per-checkpoint durations and the closed epochs'
+//! access-type statistics — the quantities plotted throughout §4 of the
+//! paper.
+
+use std::time::Duration;
+
+use ai_ckpt_core::EpochStats;
+
+/// Everything known about one checkpoint after it finished.
+#[derive(Debug, Clone, Default)]
+pub struct CheckpointRecord {
+    /// Checkpoint sequence number (1-based).
+    pub seq: u64,
+    /// Pages scheduled (the incremental dirty set).
+    pub scheduled_pages: u64,
+    /// Bytes scheduled.
+    pub scheduled_bytes: u64,
+    /// Wall time from the `CHECKPOINT` call to the last page durably
+    /// committed — the paper's "checkpointing time" metric. `None` while
+    /// still flushing.
+    pub duration: Option<Duration>,
+    /// The committer hit a storage error; the epoch was not committed.
+    pub failed: bool,
+    /// Access-type statistics of the epoch *preceding* this request (the
+    /// epoch whose dirty set this checkpoint flushes).
+    pub closed_epoch: EpochStats,
+}
+
+/// Snapshot of the runtime's accumulated metrics.
+#[derive(Debug, Clone, Default)]
+pub struct RuntimeStats {
+    /// One record per checkpoint, in sequence order.
+    pub checkpoints: Vec<CheckpointRecord>,
+    /// Statistics of the epoch currently accumulating (not yet closed by a
+    /// checkpoint request).
+    pub live_epoch: EpochStats,
+}
+
+impl RuntimeStats {
+    /// Mean checkpoint duration, skipping the first `skip` checkpoints (the
+    /// paper omits the first, full, checkpoint). Unfinished/failed
+    /// checkpoints are excluded.
+    pub fn mean_checkpoint_time(&self, skip: usize) -> Option<Duration> {
+        let times: Vec<Duration> = self
+            .checkpoints
+            .iter()
+            .skip(skip)
+            .filter(|c| !c.failed)
+            .filter_map(|c| c.duration)
+            .collect();
+        if times.is_empty() {
+            return None;
+        }
+        Some(times.iter().sum::<Duration>() / times.len() as u32)
+    }
+
+    /// Mean WAIT count per epoch, skipping the first `skip` epochs. The
+    /// epoch stats attached to checkpoint *n+1* describe the interference
+    /// experienced while checkpoint *n* was flushing.
+    pub fn mean_wait(&self, skip: usize) -> f64 {
+        self.mean_epoch(skip, |e| e.wait)
+    }
+
+    /// Mean AVOIDED count per epoch.
+    pub fn mean_avoided(&self, skip: usize) -> f64 {
+        self.mean_epoch(skip, |e| e.avoided)
+    }
+
+    /// Mean COW count per epoch.
+    pub fn mean_cow(&self, skip: usize) -> f64 {
+        self.mean_epoch(skip, |e| e.cow)
+    }
+
+    fn mean_epoch(&self, skip: usize, f: impl Fn(&EpochStats) -> u64) -> f64 {
+        // Epoch k's stats are carried by checkpoint k+1's `closed_epoch`
+        // (and the final epoch by `live_epoch`). Collect epochs >= skip.
+        let vals: Vec<u64> = self
+            .checkpoints
+            .iter()
+            .map(|c| &c.closed_epoch)
+            .chain(std::iter::once(&self.live_epoch))
+            .filter(|e| e.epoch as usize >= skip)
+            .map(f)
+            .collect();
+        if vals.is_empty() {
+            return 0.0;
+        }
+        vals.iter().map(|&v| v as f64).sum::<f64>() / vals.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(seq: u64, ms: Option<u64>, failed: bool, wait: u64, epoch: u64) -> CheckpointRecord {
+        CheckpointRecord {
+            seq,
+            duration: ms.map(Duration::from_millis),
+            failed,
+            closed_epoch: EpochStats {
+                epoch,
+                wait,
+                ..Default::default()
+            },
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn mean_checkpoint_time_skips_and_filters() {
+        let stats = RuntimeStats {
+            checkpoints: vec![
+                record(1, Some(100), false, 0, 0),
+                record(2, Some(20), false, 0, 1),
+                record(3, Some(40), false, 0, 2),
+                record(4, None, true, 0, 3),
+            ],
+            live_epoch: EpochStats::default(),
+        };
+        assert_eq!(
+            stats.mean_checkpoint_time(1),
+            Some(Duration::from_millis(30))
+        );
+        assert_eq!(
+            stats.mean_checkpoint_time(0),
+            Some(Duration::from_millis(160) / 3)
+        );
+        assert_eq!(RuntimeStats::default().mean_checkpoint_time(0), None);
+    }
+
+    #[test]
+    fn mean_wait_includes_live_epoch() {
+        let stats = RuntimeStats {
+            checkpoints: vec![record(1, Some(1), false, 100, 0), record(2, Some(1), false, 10, 1)],
+            live_epoch: EpochStats {
+                epoch: 2,
+                wait: 20,
+                ..Default::default()
+            },
+        };
+        // Epochs 1 and 2 (skip epoch 0 = pre-first-checkpoint).
+        assert_eq!(stats.mean_wait(1), 15.0);
+        assert_eq!(stats.mean_wait(0), 130.0 / 3.0);
+    }
+}

@@ -1,0 +1,145 @@
+//! Transparent checkpointing: route the application's own large heap
+//! allocations into protected regions with zero source changes beyond
+//! installing an allocator — the runtime-side wiring for
+//! [`ai_ckpt_mem::alloc::TrackingAllocator`] (§3.4's preload library).
+//!
+//! ```no_run
+//! use ai_ckpt_mem::alloc::TrackingAllocator;
+//! use ai_ckpt::{transparent, CkptConfig};
+//! use ai_ckpt_storage::MemoryBackend;
+//!
+//! #[global_allocator]
+//! static ALLOC: TrackingAllocator = TrackingAllocator::new();
+//!
+//! # fn main() -> std::io::Result<()> {
+//! let manager = ai_ckpt::PageManager::new(
+//!     CkptConfig::ai_ckpt(16 << 20),
+//!     Box::new(MemoryBackend::new()),
+//! )?;
+//! transparent::enable(manager);
+//! let mut data = vec![0.0f64; 1 << 20]; // lands in a protected region
+//! data[0] = 1.0;
+//! transparent::checkpoint()?; // CHECKPOINT primitive
+//! # Ok(())
+//! # }
+//! ```
+
+use std::alloc::Layout;
+use std::cell::Cell;
+use std::collections::HashMap;
+use std::io;
+
+use parking_lot::Mutex;
+
+use ai_ckpt_core::CheckpointPlanInfo;
+use ai_ckpt_mem::alloc::{clear_alloc_hooks, set_alloc_hooks, AllocHooks};
+use ai_ckpt_mem::page_size;
+
+use crate::manager::PageManager;
+use crate::stats::RuntimeStats;
+use crate::ProtectedBuffer;
+
+static MANAGER: Mutex<Option<PageManager>> = Mutex::new(None);
+static TRACKED: Mutex<Option<HashMap<usize, ProtectedBuffer>>> = Mutex::new(None);
+
+thread_local! {
+    /// Re-entrancy guard: internal allocations made *while serving* a hook
+    /// must not recurse into the hooks.
+    static IN_HOOK: Cell<bool> = const { Cell::new(false) };
+}
+
+static HOOKS: AllocHooks = AllocHooks {
+    alloc: hook_alloc,
+    dealloc: hook_dealloc,
+    owns: hook_owns,
+};
+
+fn hook_alloc(layout: Layout) -> Option<*mut u8> {
+    if layout.align() > page_size() {
+        return None; // cannot guarantee over-page alignment
+    }
+    if IN_HOOK.with(|f| f.get()) {
+        return None;
+    }
+    IN_HOOK.with(|f| f.set(true));
+    let result = (|| {
+        let mgr = MANAGER.lock();
+        let mgr = mgr.as_ref()?;
+        let buf = mgr.alloc_protected(layout.size()).ok()?;
+        let ptr = buf.as_ptr();
+        TRACKED
+            .lock()
+            .get_or_insert_with(HashMap::new)
+            .insert(ptr as usize, buf);
+        Some(ptr)
+    })();
+    IN_HOOK.with(|f| f.set(false));
+    result
+}
+
+fn hook_dealloc(ptr: *mut u8, _layout: Layout) {
+    IN_HOOK.with(|f| f.set(true));
+    if let Some(map) = TRACKED.lock().as_mut() {
+        map.remove(&(ptr as usize)); // buffer drop = free_protected
+    }
+    IN_HOOK.with(|f| f.set(false));
+}
+
+fn hook_owns(ptr: *mut u8) -> bool {
+    // Registry lookup is lock-free; cheap enough for every dealloc.
+    ai_ckpt_mem::registry::lookup(ptr as usize).is_some()
+}
+
+/// Start transparent tracking: every allocation at or above the
+/// [`ai_ckpt_mem::alloc::tracking_threshold`] made through a
+/// [`TrackingAllocator`](ai_ckpt_mem::alloc::TrackingAllocator) global
+/// allocator now lands in protected regions of `manager`.
+pub fn enable(manager: PageManager) {
+    *TRACKED.lock() = Some(HashMap::new());
+    *MANAGER.lock() = Some(manager);
+    set_alloc_hooks(&HOOKS);
+}
+
+/// Stop tracking and return the manager. Outstanding tracked allocations
+/// remain valid and protected; they are released when freed (the hook table
+/// stays connected for `owns`/`dealloc` until every tracked block is gone).
+pub fn disable() -> Option<PageManager> {
+    let remaining = TRACKED.lock().as_ref().map_or(0, HashMap::len);
+    if remaining == 0 {
+        clear_alloc_hooks();
+        *TRACKED.lock() = None;
+        MANAGER.lock().take()
+    } else {
+        // Keep dealloc routing alive; just stop capturing new allocations by
+        // removing the manager (hook_alloc returns None without it).
+        MANAGER.lock().take()
+    }
+}
+
+/// The `CHECKPOINT` primitive against the transparent manager.
+pub fn checkpoint() -> io::Result<CheckpointPlanInfo> {
+    let mgr = MANAGER.lock();
+    match mgr.as_ref() {
+        Some(m) => m.checkpoint(),
+        None => Err(io::Error::other("transparent checkpointing not enabled")),
+    }
+}
+
+/// Wait for the in-flight transparent checkpoint.
+pub fn wait_checkpoint() -> io::Result<()> {
+    let mgr = MANAGER.lock();
+    match mgr.as_ref() {
+        Some(m) => m.wait_checkpoint(),
+        None => Err(io::Error::other("transparent checkpointing not enabled")),
+    }
+}
+
+/// Runtime statistics of the transparent manager.
+pub fn stats() -> Option<RuntimeStats> {
+    MANAGER.lock().as_ref().map(PageManager::stats)
+}
+
+/// Number of currently tracked allocations.
+pub fn tracked_allocations() -> usize {
+    TRACKED.lock().as_ref().map_or(0, HashMap::len)
+}

@@ -1,0 +1,259 @@
+//! Experiment drivers: bundle an application model, a storage model and a
+//! cluster configuration, run them under each strategy, and compute the
+//! paper's metrics (§4.2): increase in execution time vs. a
+//! checkpointing-disabled baseline, average checkpointing time, and
+//! access-type statistics.
+
+use crate::app::AppModel;
+use crate::cluster::{Cluster, ClusterConfig, SimOutcome, Strategy};
+use crate::lattice::LatticeApp;
+use crate::stencil::StencilApp;
+use crate::storage::StorageModel;
+use crate::synthetic::{Pattern, SyntheticApp};
+
+/// Which application model to instantiate per rank.
+#[derive(Debug, Clone)]
+pub enum AppKind {
+    /// §4.3 synthetic benchmark.
+    Synthetic {
+        /// Protected pages.
+        pages: usize,
+        /// Bytes per page.
+        page_bytes: usize,
+        /// Touch pattern.
+        pattern: Pattern,
+        /// Compute cost per page write.
+        per_write_ns: u64,
+        /// Per-iteration tail compute.
+        tail_ns: u64,
+    },
+    /// CM1-like stencil (§4.4) at a given block granularity and iteration
+    /// duration.
+    Cm1 {
+        /// Simulation block size.
+        page_bytes: usize,
+        /// Unimpeded iteration duration.
+        iteration_ns: u64,
+        /// Field-permutation seed.
+        seed: u64,
+    },
+    /// MILC-like lattice (§4.5).
+    Milc {
+        /// Simulation block size.
+        page_bytes: usize,
+        /// Unimpeded iteration duration.
+        iteration_ns: u64,
+    },
+}
+
+impl AppKind {
+    /// Instantiate the model for one rank.
+    pub fn build(&self, _rank: usize) -> Box<dyn AppModel> {
+        match *self {
+            AppKind::Synthetic {
+                pages,
+                page_bytes,
+                pattern,
+                per_write_ns,
+                tail_ns,
+            } => Box::new(SyntheticApp::new(
+                pages,
+                page_bytes,
+                pattern,
+                per_write_ns,
+                tail_ns,
+            )),
+            AppKind::Cm1 {
+                page_bytes,
+                iteration_ns,
+                seed,
+            } => Box::new(StencilApp::cm1(page_bytes, iteration_ns, seed)),
+            AppKind::Milc {
+                page_bytes,
+                iteration_ns,
+            } => Box::new(LatticeApp::milc(page_bytes, iteration_ns)),
+        }
+    }
+}
+
+/// A fully specified experiment, minus the strategy.
+#[derive(Debug, Clone)]
+pub struct Experiment {
+    /// Cluster geometry and costs; `strategy` is overridden per run.
+    pub cluster: ClusterConfig,
+    /// Storage fabric.
+    pub storage: StorageModel,
+    /// Application model.
+    pub app: AppKind,
+}
+
+impl Experiment {
+    /// Run under one strategy.
+    pub fn run(&self, strategy: Strategy) -> SimOutcome {
+        let mut cfg = self.cluster.clone();
+        cfg.strategy = strategy;
+        let app = self.app.clone();
+        Cluster::new(cfg, self.storage.clone(), move |r| app.build(r)).run()
+    }
+
+    /// Run the checkpointing-disabled baseline plus each given strategy.
+    pub fn compare(&self, strategies: &[Strategy]) -> Comparison {
+        let baseline = self.run(Strategy::None);
+        let rows = strategies
+            .iter()
+            .map(|&s| {
+                let out = self.run(s);
+                StrategyRow::from_outcome(s, &out, &baseline)
+            })
+            .collect();
+        Comparison {
+            baseline_secs: baseline.completion.as_secs_f64(),
+            rows,
+        }
+    }
+}
+
+/// One strategy's measurements against the baseline.
+#[derive(Debug, Clone)]
+pub struct StrategyRow {
+    /// The strategy.
+    pub strategy: Strategy,
+    /// Total completion time (s).
+    pub completion_secs: f64,
+    /// Increase in execution time vs. baseline (s) — Fig 2a/3b/5's metric.
+    pub increase_secs: f64,
+    /// Average checkpointing time (s), skipping the first (full)
+    /// checkpoint — Fig 3a's metric.
+    pub mean_ckpt_secs: f64,
+    /// Mean WAIT pages per checkpoint per rank — Fig 2b's metric.
+    pub wait_pages: f64,
+    /// Mean AVOIDED pages per checkpoint per rank — Fig 2c's metric.
+    pub avoided_pages: f64,
+    /// Mean COW pages per checkpoint per rank.
+    pub cow_pages: f64,
+}
+
+impl StrategyRow {
+    fn from_outcome(strategy: Strategy, out: &SimOutcome, baseline: &SimOutcome) -> Self {
+        Self {
+            strategy,
+            completion_secs: out.completion.as_secs_f64(),
+            increase_secs: out.completion.as_secs_f64() - baseline.completion.as_secs_f64(),
+            mean_ckpt_secs: out.mean_checkpoint_secs(1),
+            wait_pages: out.mean_wait_pages(1),
+            avoided_pages: out.mean_avoided_pages(1),
+            cow_pages: out.mean_cow_pages(1),
+        }
+    }
+}
+
+/// Comparison across strategies for one experiment.
+#[derive(Debug, Clone)]
+pub struct Comparison {
+    /// Baseline (no checkpointing) completion time in seconds.
+    pub baseline_secs: f64,
+    /// Measurements per strategy, in the order requested.
+    pub rows: Vec<StrategyRow>,
+}
+
+impl Comparison {
+    /// Find a strategy's row.
+    pub fn row(&self, strategy: Strategy) -> Option<&StrategyRow> {
+        self.rows.iter().find(|r| r.strategy == strategy)
+    }
+
+    /// The paper's Fig. 4 metric: percent reduction in checkpointing
+    /// overhead of `strategy` relative to `sync` — `100 * (1 -
+    /// increase(strategy)/increase(sync))`.
+    pub fn reduction_vs_sync(&self, strategy: Strategy) -> Option<f64> {
+        let sync = self.row(Strategy::Sync)?.increase_secs;
+        let s = self.row(strategy)?.increase_secs;
+        if sync <= 0.0 {
+            return Some(0.0);
+        }
+        Some((1.0 - s / sync) * 100.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::Strategy;
+
+    fn toy_experiment() -> Experiment {
+        Experiment {
+            cluster: ClusterConfig {
+                ranks: 2,
+                ranks_per_node: 2,
+                iterations: 9,
+                ckpt_every: 3,
+                ckpt_at_end: false,
+                strategy: Strategy::None, // overridden
+                cow_slots: 4,
+                barrier_ns: 1_000,
+                fault_ns: 500,
+                cow_copy_ns: 300,
+                jitter: 0.01,
+                async_compute_drag: 1.0,
+                seed: 7,
+            },
+            storage: StorageModel::local_disk(1),
+            app: AppKind::Synthetic {
+                pages: 64,
+                page_bytes: 4096,
+                pattern: Pattern::Random(3),
+                per_write_ns: 3_000,
+                tail_ns: 20_000,
+            },
+        }
+    }
+
+    #[test]
+    fn compare_produces_rows_and_sane_ordering() {
+        let exp = toy_experiment();
+        let cmp = exp.compare(&[Strategy::Sync, Strategy::AsyncNoPattern, Strategy::AiCkpt]);
+        assert!(cmp.baseline_secs > 0.0);
+        assert_eq!(cmp.rows.len(), 3);
+        for row in &cmp.rows {
+            assert!(
+                row.increase_secs >= -1e-9,
+                "{:?} finished before baseline?",
+                row.strategy
+            );
+            assert!(row.completion_secs >= cmp.baseline_secs - 1e-9);
+        }
+        let sync = cmp.row(Strategy::Sync).unwrap();
+        let ours = cmp.row(Strategy::AiCkpt).unwrap();
+        assert!(
+            ours.increase_secs <= sync.increase_secs + 1e-9,
+            "adaptive async must not lose to sync on this workload"
+        );
+    }
+
+    #[test]
+    fn reduction_vs_sync_math() {
+        let exp = toy_experiment();
+        let cmp = exp.compare(&[Strategy::Sync, Strategy::AiCkpt]);
+        let red = cmp.reduction_vs_sync(Strategy::AiCkpt).unwrap();
+        assert!((-1.0..=100.0).contains(&red), "reduction {red}%");
+        assert_eq!(cmp.reduction_vs_sync(Strategy::Sync), Some(0.0));
+        assert!(cmp.reduction_vs_sync(Strategy::AsyncNoPattern).is_none());
+    }
+
+    #[test]
+    fn app_kinds_build() {
+        assert!(AppKind::Cm1 {
+            page_bytes: 1 << 16,
+            iteration_ns: 1_000_000,
+            seed: 1
+        }
+        .build(0)
+        .pages() > 0);
+        assert!(AppKind::Milc {
+            page_bytes: 1 << 16,
+            iteration_ns: 1_000_000
+        }
+        .build(0)
+        .pages() > 0);
+    }
+}

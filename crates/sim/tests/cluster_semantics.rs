@@ -1,0 +1,152 @@
+//! Cluster-simulation semantics that unit tests in `cluster.rs` don't
+//! reach: trailing checkpoints, deferred checkpoint requests (Algorithm 1's
+//! wait), barrier/flush event ordering, and cross-strategy accounting.
+
+use ai_ckpt_sim::{
+    AppModel, Cluster, ClusterConfig, Pattern, Routing, ServiceParams, StorageModel, Strategy,
+    SyntheticApp,
+};
+
+fn base_cfg(strategy: Strategy) -> ClusterConfig {
+    ClusterConfig {
+        ranks: 2,
+        ranks_per_node: 2,
+        iterations: 3,
+        ckpt_every: 1,
+        ckpt_at_end: false,
+        strategy,
+        cow_slots: 4,
+        barrier_ns: 10_000,
+        fault_ns: 1_000,
+        cow_copy_ns: 500,
+        jitter: 0.0,
+        async_compute_drag: 1.0,
+        seed: 5,
+    }
+}
+
+fn app(pages: usize, per_write_ns: u64) -> impl Fn(usize) -> Box<dyn AppModel> + Clone {
+    move |_r| {
+        Box::new(SyntheticApp::new(
+            pages,
+            4096,
+            Pattern::Ascending,
+            per_write_ns,
+            1_000_000,
+        )) as Box<dyn AppModel>
+    }
+}
+
+fn storage(service_ns: u64) -> StorageModel {
+    StorageModel::new(
+        1,
+        ServiceParams::fixed(service_ns, 1e12),
+        Routing::NodeLocal,
+        0,
+        1.0,
+    )
+}
+
+#[test]
+fn trailing_checkpoint_counts_and_extends_completion() {
+    // Without ckpt_at_end: 2 checkpoints (after iters 1, 2).
+    let cfg = base_cfg(Strategy::AiCkpt);
+    let out = Cluster::new(cfg.clone(), storage(50_000), app(64, 10_000)).run();
+    assert!(out.ranks.iter().all(|r| r.checkpoints.len() == 2));
+
+    // With ckpt_at_end: 3 checkpoints, and completion covers the trailing
+    // flush even though the application itself has finished.
+    let mut cfg_end = cfg;
+    cfg_end.ckpt_at_end = true;
+    let out_end = Cluster::new(cfg_end, storage(50_000), app(64, 10_000)).run();
+    assert!(out_end.ranks.iter().all(|r| r.checkpoints.len() == 3));
+    assert!(
+        out_end.completion > out.completion,
+        "trailing flush must extend completion: {} vs {}",
+        out_end.completion,
+        out.completion
+    );
+    // Completion covers the trailing flush (which outlives the app finish).
+    let last_flush_end = out_end
+        .ranks
+        .iter()
+        .map(|r| r.checkpoints.last().unwrap().1)
+        .max()
+        .unwrap();
+    assert_eq!(out_end.completion, last_flush_end);
+    assert!(out_end.ranks.iter().all(|r| r.finish < last_flush_end));
+}
+
+#[test]
+fn slow_flush_defers_next_checkpoint_request() {
+    // Storage so slow that one flush takes longer than a whole iteration:
+    // the next CHECKPOINT must wait for the previous one (Algorithm 1,
+    // lines 2-4), never overlap.
+    let cfg = base_cfg(Strategy::AiCkpt);
+    // 64 pages x 2ms service = 128ms flush; iteration = 64x10µs + 1ms ≈ 1.6ms.
+    let out = Cluster::new(cfg, storage(2_000_000), app(64, 10_000)).run();
+    for r in &out.ranks {
+        for w in r.checkpoints.windows(2) {
+            let (_, end_prev) = w[0];
+            let (start_next, _) = w[1];
+            assert!(
+                start_next >= end_prev,
+                "checkpoint flushes overlapped: {end_prev} then {start_next}"
+            );
+        }
+    }
+}
+
+#[test]
+fn sync_strategy_records_no_interference_ever() {
+    let out = Cluster::new(base_cfg(Strategy::Sync), storage(500_000), app(64, 5_000)).run();
+    for r in &out.ranks {
+        assert_eq!(r.waits, 0);
+        for e in &r.epochs {
+            assert_eq!(e.cow, 0, "sync never copies");
+            assert_eq!(e.wait, 0, "sync never waits on pages");
+            assert_eq!(e.avoided, 0, "no concurrent flush to avoid");
+        }
+    }
+}
+
+#[test]
+fn async_flush_overlaps_application_time() {
+    // Async checkpoint duration must overlap subsequent compute: the rank's
+    // finish under async is earlier than under sync for the same workload.
+    let sync = Cluster::new(base_cfg(Strategy::Sync), storage(300_000), app(64, 5_000)).run();
+    let ours = Cluster::new(base_cfg(Strategy::AiCkpt), storage(300_000), app(64, 5_000)).run();
+    assert!(
+        ours.completion < sync.completion,
+        "async {} must beat sync {} when flushes are slow",
+        ours.completion,
+        sync.completion
+    );
+}
+
+#[test]
+fn storage_requests_equal_flushed_pages() {
+    let out = Cluster::new(base_cfg(Strategy::AiCkpt), storage(20_000), app(48, 8_000)).run();
+    let flushed: u64 = out
+        .ranks
+        .iter()
+        .flat_map(|r| r.epochs.iter())
+        .map(|e| e.flushed_pages)
+        .sum();
+    assert_eq!(out.storage_requests, flushed);
+    // 2 checkpoints x 48 pages x 2 ranks.
+    assert_eq!(flushed, 2 * 48 * 2);
+}
+
+#[test]
+fn barriers_couple_rank_finish_times() {
+    // With jitter, ranks arrive at barriers at different times but leave
+    // together: finish times must be identical across ranks.
+    let mut cfg = base_cfg(Strategy::None);
+    cfg.jitter = 0.1;
+    cfg.ranks = 4;
+    cfg.ranks_per_node = 4;
+    let out = Cluster::new(cfg, storage(10_000), app(32, 5_000)).run();
+    let first = out.ranks[0].finish;
+    assert!(out.ranks.iter().all(|r| r.finish == first));
+}

@@ -1,0 +1,168 @@
+//! Failure-injecting wrapper: drives the committer's and restore's error
+//! paths in tests (storage *will* fail in production — the whole point of
+//! checkpointing is surviving faults, so the library itself must handle its
+//! own substrate failing).
+
+use std::io;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crate::backend::StorageBackend;
+
+/// Shared knob controlling when the wrapped backend starts failing.
+#[derive(Debug, Clone, Default)]
+pub struct FailureControl {
+    /// Writes remaining before page writes start failing (`u64::MAX` =
+    /// never).
+    writes_until_failure: Arc<AtomicU64>,
+    /// When set, `finish_epoch` fails.
+    fail_finish: Arc<AtomicU64>,
+}
+
+impl FailureControl {
+    /// A control that never fails until configured.
+    pub fn new() -> Self {
+        Self {
+            writes_until_failure: Arc::new(AtomicU64::new(u64::MAX)),
+            fail_finish: Arc::new(AtomicU64::new(0)),
+        }
+    }
+
+    /// Let `n` more writes succeed, then fail every subsequent write.
+    pub fn fail_writes_after(&self, n: u64) {
+        self.writes_until_failure.store(n, Ordering::SeqCst);
+    }
+
+    /// Stop injecting write failures.
+    pub fn heal(&self) {
+        self.writes_until_failure.store(u64::MAX, Ordering::SeqCst);
+        self.fail_finish.store(0, Ordering::SeqCst);
+    }
+
+    /// Make `finish_epoch` fail.
+    pub fn fail_finish(&self, yes: bool) {
+        self.fail_finish.store(yes as u64, Ordering::SeqCst);
+    }
+
+    fn take_write_token(&self) -> bool {
+        let mut cur = self.writes_until_failure.load(Ordering::SeqCst);
+        loop {
+            if cur == u64::MAX {
+                return true; // unlimited
+            }
+            if cur == 0 {
+                return false;
+            }
+            match self.writes_until_failure.compare_exchange(
+                cur,
+                cur - 1,
+                Ordering::SeqCst,
+                Ordering::SeqCst,
+            ) {
+                Ok(_) => return true,
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+}
+
+/// Backend wrapper that fails on command.
+#[derive(Debug)]
+pub struct FailingBackend<B> {
+    inner: B,
+    control: FailureControl,
+}
+
+impl<B: StorageBackend> FailingBackend<B> {
+    /// Wrap `inner`; keep the returned control to trigger failures.
+    pub fn new(inner: B) -> (Self, FailureControl) {
+        let control = FailureControl::new();
+        (
+            Self {
+                inner,
+                control: control.clone(),
+            },
+            control,
+        )
+    }
+
+    fn injected() -> io::Error {
+        io::Error::other("injected storage failure")
+    }
+}
+
+impl<B: StorageBackend> StorageBackend for FailingBackend<B> {
+    fn begin_epoch(&mut self, epoch: u64) -> io::Result<()> {
+        self.inner.begin_epoch(epoch)
+    }
+
+    fn write_page(&mut self, page: u64, data: &[u8]) -> io::Result<()> {
+        if !self.control.take_write_token() {
+            return Err(Self::injected());
+        }
+        self.inner.write_page(page, data)
+    }
+
+    fn finish_epoch(&mut self) -> io::Result<()> {
+        if self.control.fail_finish.load(Ordering::SeqCst) != 0 {
+            return Err(Self::injected());
+        }
+        self.inner.finish_epoch()
+    }
+
+    fn abort_epoch(&mut self) -> io::Result<()> {
+        self.inner.abort_epoch()
+    }
+
+    fn put_blob(&mut self, name: &str, data: &[u8]) -> io::Result<()> {
+        self.inner.put_blob(name, data)
+    }
+
+    fn get_blob(&self, name: &str) -> io::Result<Option<Vec<u8>>> {
+        self.inner.get_blob(name)
+    }
+
+    fn epochs(&self) -> io::Result<Vec<u64>> {
+        self.inner.epochs()
+    }
+
+    fn read_epoch(&self, epoch: u64, visit: &mut dyn FnMut(u64, &[u8])) -> io::Result<()> {
+        self.inner.read_epoch(epoch, visit)
+    }
+
+    fn bytes_written(&self) -> u64 {
+        self.inner.bytes_written()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::memory::MemoryBackend;
+
+    #[test]
+    fn fails_after_budget_then_heals() {
+        let (mut b, ctl) = FailingBackend::new(MemoryBackend::new());
+        b.begin_epoch(1).unwrap();
+        ctl.fail_writes_after(2);
+        b.write_page(0, &[0]).unwrap();
+        b.write_page(1, &[1]).unwrap();
+        assert!(b.write_page(2, &[2]).is_err());
+        assert!(b.write_page(3, &[3]).is_err(), "stays failed");
+        ctl.heal();
+        b.write_page(4, &[4]).unwrap();
+        b.finish_epoch().unwrap();
+    }
+
+    #[test]
+    fn finish_failure_injection() {
+        let (mut b, ctl) = FailingBackend::new(MemoryBackend::new());
+        b.begin_epoch(1).unwrap();
+        b.write_page(0, &[0]).unwrap();
+        ctl.fail_finish(true);
+        assert!(b.finish_epoch().is_err());
+        ctl.fail_finish(false);
+        b.finish_epoch().unwrap();
+        assert_eq!(b.epochs().unwrap(), vec![1]);
+    }
+}

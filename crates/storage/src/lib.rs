@@ -1,0 +1,50 @@
+//! # ai-ckpt-storage — checkpoint storage substrate
+//!
+//! Pluggable stable-storage backends for AI-Ckpt (§3.2 of the paper: the
+//! page manager "is designed in a modular fashion such that it is easy to
+//! plug in different storage backends"), plus the incremental-restore logic
+//! that turns a chain of epochs back into a memory image.
+//!
+//! * [`backend`] — the `StorageBackend` trait (epoch-structured page sink +
+//!   source with named metadata blobs);
+//! * [`file`] — POSIX file-system backend: per-epoch segment files with
+//!   CRC-64-protected records and an append-only commit manifest (covers
+//!   both local disks and PVFS-style parallel file systems, which mount as
+//!   directories);
+//! * [`memory`] — in-RAM reference backend for tests and experiments;
+//! * [`throttle`] — bandwidth/latency emulation (the paper's 55 MB/s SATA
+//!   disks, on modern hardware);
+//! * [`failing`] — failure injection for error-path testing;
+//! * [`replicate`] — n-way replication across backends (the paper's
+//!   straightforward remedy for unreliable local storage);
+//! * [`parity`] — XOR single-erasure coding (the cheaper remedy the paper
+//!   cites from its prior work);
+//! * [`manifest`] / [`checksum`] — the commit log and integrity primitives;
+//! * [`image`] — latest-wins reconstruction for restart.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod backend;
+pub mod checksum;
+pub mod failing;
+pub mod file;
+pub mod image;
+pub mod manifest;
+pub mod memory;
+pub mod null;
+pub mod parity;
+pub mod replicate;
+pub mod throttle;
+
+pub use backend::{write_epoch, StorageBackend};
+pub use checksum::{crc64, crc64_update};
+pub use failing::{FailingBackend, FailureControl};
+pub use file::FileBackend;
+pub use image::CheckpointImage;
+pub use manifest::ManifestRecord;
+pub use memory::MemoryBackend;
+pub use null::NullBackend;
+pub use parity::ParityBackend;
+pub use replicate::ReplicatedBackend;
+pub use throttle::ThrottledBackend;

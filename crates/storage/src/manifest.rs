@@ -1,0 +1,148 @@
+//! The checkpoint manifest: a tiny append-only binary log recording which
+//! epochs are durably complete.
+//!
+//! An epoch's segment file only "counts" once its manifest record exists —
+//! the record is appended *after* the segment is fsynced, so a crash during
+//! checkpointing can never yield a half-written checkpoint that restore
+//! would trust. (This is the standard write-ahead ordering for atomic
+//! commit; hand-rolled here because the format is 24 bytes per record and a
+//! serde dependency would be heavier than the format itself.)
+
+use std::fs::{File, OpenOptions};
+use std::io::{self, Read, Write};
+use std::path::Path;
+
+/// Magic prefix of a manifest file (8 bytes, versioned).
+pub const MANIFEST_MAGIC: &[u8; 8] = b"AICKMAN1";
+
+/// One durably finished epoch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ManifestRecord {
+    /// Epoch (checkpoint) number.
+    pub epoch: u64,
+    /// Number of page records in the segment.
+    pub records: u64,
+    /// Total payload bytes (excluding framing).
+    pub payload_bytes: u64,
+}
+
+impl ManifestRecord {
+    const WIRE_LEN: usize = 24;
+
+    fn to_bytes(self) -> [u8; Self::WIRE_LEN] {
+        let mut out = [0u8; Self::WIRE_LEN];
+        out[0..8].copy_from_slice(&self.epoch.to_le_bytes());
+        out[8..16].copy_from_slice(&self.records.to_le_bytes());
+        out[16..24].copy_from_slice(&self.payload_bytes.to_le_bytes());
+        out
+    }
+
+    fn from_bytes(b: &[u8]) -> Self {
+        Self {
+            epoch: u64::from_le_bytes(b[0..8].try_into().unwrap()),
+            records: u64::from_le_bytes(b[8..16].try_into().unwrap()),
+            payload_bytes: u64::from_le_bytes(b[16..24].try_into().unwrap()),
+        }
+    }
+}
+
+/// Append one record, durably (O_APPEND + fsync). Creates the manifest with
+/// its magic header on first use.
+pub fn append(path: &Path, record: ManifestRecord) -> io::Result<()> {
+    let fresh = !path.exists();
+    let mut f = OpenOptions::new().create(true).append(true).open(path)?;
+    if fresh {
+        f.write_all(MANIFEST_MAGIC)?;
+    }
+    f.write_all(&record.to_bytes())?;
+    f.sync_all()?;
+    Ok(())
+}
+
+/// Read all complete records; a torn trailing record (crash mid-append) is
+/// ignored, matching the commit protocol above.
+pub fn read(path: &Path) -> io::Result<Vec<ManifestRecord>> {
+    let mut f = match File::open(path) {
+        Ok(f) => f,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) => return Err(e),
+    };
+    let mut buf = Vec::new();
+    f.read_to_end(&mut buf)?;
+    if buf.len() < MANIFEST_MAGIC.len() || &buf[..MANIFEST_MAGIC.len()] != MANIFEST_MAGIC {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "bad manifest magic",
+        ));
+    }
+    let body = &buf[MANIFEST_MAGIC.len()..];
+    let mut records = Vec::with_capacity(body.len() / ManifestRecord::WIRE_LEN);
+    for chunk in body.chunks_exact(ManifestRecord::WIRE_LEN) {
+        records.push(ManifestRecord::from_bytes(chunk));
+    }
+    Ok(records)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp() -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "aickpt-manifest-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join("MANIFEST")
+    }
+
+    #[test]
+    fn append_and_read_round_trip() {
+        let path = tmp();
+        let _ = std::fs::remove_file(&path);
+        assert!(read(&path).unwrap().is_empty(), "missing file = no records");
+        let r1 = ManifestRecord {
+            epoch: 1,
+            records: 10,
+            payload_bytes: 40960,
+        };
+        let r2 = ManifestRecord {
+            epoch: 2,
+            records: 3,
+            payload_bytes: 12288,
+        };
+        append(&path, r1).unwrap();
+        append(&path, r2).unwrap();
+        assert_eq!(read(&path).unwrap(), vec![r1, r2]);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_is_ignored() {
+        let path = tmp();
+        let _ = std::fs::remove_file(&path);
+        let r = ManifestRecord {
+            epoch: 7,
+            records: 1,
+            payload_bytes: 8,
+        };
+        append(&path, r).unwrap();
+        // Simulate a crash mid-append: write half a record.
+        {
+            use std::io::Write;
+            let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+            f.write_all(&[0xFF; 10]).unwrap();
+        }
+        assert_eq!(read(&path).unwrap(), vec![r], "torn record dropped");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn bad_magic_is_an_error() {
+        let path = tmp();
+        std::fs::write(&path, b"NOTMAGIC____________________").unwrap();
+        assert!(read(&path).is_err());
+        std::fs::remove_file(&path).unwrap();
+    }
+}

@@ -1,0 +1,205 @@
+//! In-memory storage backend: the reference implementation of the backend
+//! contract, used by unit/property tests and by experiments that only care
+//! about checkpointing dynamics, not durability.
+//!
+//! [`MemoryBackend::shared`] returns a handle pair so a test can hand the
+//! backend to the committer thread while keeping a window into what was
+//! persisted.
+
+use std::collections::BTreeMap;
+use std::io;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::backend::StorageBackend;
+
+/// Page records of one epoch, in write order.
+type Records = Vec<(u64, Vec<u8>)>;
+
+#[derive(Debug, Default)]
+struct Store {
+    /// epoch -> records in write order.
+    finished: BTreeMap<u64, Records>,
+    open: Option<(u64, Records)>,
+    blobs: BTreeMap<String, Vec<u8>>,
+    bytes_written: u64,
+}
+
+/// Backend keeping everything in RAM.
+#[derive(Debug, Clone, Default)]
+pub struct MemoryBackend {
+    store: Arc<Mutex<Store>>,
+}
+
+impl MemoryBackend {
+    /// Fresh, empty backend.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A backend plus a second handle observing the same store (both are
+    /// the same `Arc` under the hood).
+    pub fn shared() -> (Self, Self) {
+        let b = Self::new();
+        (b.clone(), b)
+    }
+
+    /// Snapshot of a finished epoch's records (test convenience).
+    pub fn epoch_records(&self, epoch: u64) -> Option<Vec<(u64, Vec<u8>)>> {
+        self.store.lock().finished.get(&epoch).cloned()
+    }
+
+    /// Page count across all finished epochs.
+    pub fn total_pages(&self) -> usize {
+        self.store.lock().finished.values().map(Vec::len).sum()
+    }
+}
+
+impl StorageBackend for MemoryBackend {
+    fn begin_epoch(&mut self, epoch: u64) -> io::Result<()> {
+        let mut s = self.store.lock();
+        if s.open.is_some() {
+            return Err(io::Error::other("previous epoch still open"));
+        }
+        if s.finished.keys().next_back().is_some_and(|&last| epoch <= last) {
+            return Err(io::Error::other(format!(
+                "epoch {epoch} not increasing"
+            )));
+        }
+        s.open = Some((epoch, Vec::new()));
+        Ok(())
+    }
+
+    fn write_page(&mut self, page: u64, data: &[u8]) -> io::Result<()> {
+        let mut s = self.store.lock();
+        s.bytes_written += data.len() as u64;
+        match &mut s.open {
+            Some((_, records)) => {
+                records.push((page, data.to_vec()));
+                Ok(())
+            }
+            None => Err(io::Error::other("no open epoch")),
+        }
+    }
+
+    fn finish_epoch(&mut self) -> io::Result<()> {
+        let mut s = self.store.lock();
+        match s.open.take() {
+            Some((epoch, records)) => {
+                s.finished.insert(epoch, records);
+                Ok(())
+            }
+            None => Err(io::Error::other("no open epoch")),
+        }
+    }
+
+    fn abort_epoch(&mut self) -> io::Result<()> {
+        self.store.lock().open = None;
+        Ok(())
+    }
+
+    fn put_blob(&mut self, name: &str, data: &[u8]) -> io::Result<()> {
+        self.store.lock().blobs.insert(name.to_string(), data.to_vec());
+        Ok(())
+    }
+
+    fn get_blob(&self, name: &str) -> io::Result<Option<Vec<u8>>> {
+        Ok(self.store.lock().blobs.get(name).cloned())
+    }
+
+    fn epochs(&self) -> io::Result<Vec<u64>> {
+        Ok(self.store.lock().finished.keys().copied().collect())
+    }
+
+    fn read_epoch(
+        &self,
+        epoch: u64,
+        visit: &mut dyn FnMut(u64, &[u8]),
+    ) -> io::Result<()> {
+        let s = self.store.lock();
+        let records = s
+            .finished
+            .get(&epoch)
+            .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, format!("epoch {epoch}")))?;
+        for (page, data) in records {
+            visit(*page, data);
+        }
+        Ok(())
+    }
+
+    fn bytes_written(&self) -> u64 {
+        self.store.lock().bytes_written
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epochs_are_ordered_and_isolated() {
+        let mut b = MemoryBackend::new();
+        b.begin_epoch(1).unwrap();
+        b.write_page(10, &[1]).unwrap();
+        b.finish_epoch().unwrap();
+        b.begin_epoch(2).unwrap();
+        b.write_page(20, &[2]).unwrap();
+        b.finish_epoch().unwrap();
+        assert_eq!(b.epochs().unwrap(), vec![1, 2]);
+        assert_eq!(b.epoch_records(1).unwrap(), vec![(10, vec![1])]);
+        assert_eq!(b.epoch_records(2).unwrap(), vec![(20, vec![2])]);
+        assert_eq!(b.bytes_written(), 2);
+    }
+
+    #[test]
+    fn non_increasing_epoch_rejected() {
+        let mut b = MemoryBackend::new();
+        b.begin_epoch(5).unwrap();
+        b.finish_epoch().unwrap();
+        assert!(b.begin_epoch(5).is_err());
+        assert!(b.begin_epoch(4).is_err());
+        b.begin_epoch(6).unwrap();
+    }
+
+    #[test]
+    fn write_without_open_epoch_fails() {
+        let mut b = MemoryBackend::new();
+        assert!(b.write_page(0, &[0]).is_err());
+        assert!(b.finish_epoch().is_err());
+    }
+
+    #[test]
+    fn double_begin_fails() {
+        let mut b = MemoryBackend::new();
+        b.begin_epoch(1).unwrap();
+        assert!(b.begin_epoch(2).is_err());
+    }
+
+    #[test]
+    fn unfinished_epoch_is_invisible() {
+        let mut b = MemoryBackend::new();
+        b.begin_epoch(1).unwrap();
+        b.write_page(0, &[9]).unwrap();
+        assert!(b.epochs().unwrap().is_empty(), "not finished yet");
+        assert!(b.read_epoch(1, &mut |_, _| {}).is_err());
+    }
+
+    #[test]
+    fn blobs_round_trip_and_overwrite() {
+        let mut b = MemoryBackend::new();
+        assert_eq!(b.get_blob("layout").unwrap(), None);
+        b.put_blob("layout", b"v1").unwrap();
+        b.put_blob("layout", b"v2").unwrap();
+        assert_eq!(b.get_blob("layout").unwrap().unwrap(), b"v2");
+    }
+
+    #[test]
+    fn shared_handles_observe_each_other() {
+        let (mut writer, reader) = MemoryBackend::shared();
+        writer.begin_epoch(1).unwrap();
+        writer.write_page(7, &[7, 7]).unwrap();
+        writer.finish_epoch().unwrap();
+        assert_eq!(reader.epoch_records(1).unwrap(), vec![(7, vec![7, 7])]);
+    }
+}

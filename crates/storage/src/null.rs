@@ -1,0 +1,119 @@
+//! Discard backend: accepts everything, stores nothing. Used by benchmark
+//! harnesses that measure checkpointing *dynamics* (wait/CoW behaviour,
+//! timings through a throttle) without burning RAM or disk on the payload.
+
+use std::io;
+
+use crate::backend::StorageBackend;
+
+/// A backend that swallows page data, keeping only counts.
+#[derive(Debug, Default)]
+pub struct NullBackend {
+    epochs: Vec<u64>,
+    open: Option<u64>,
+    pages_written: u64,
+    bytes_written: u64,
+}
+
+impl NullBackend {
+    /// Fresh counter-only backend.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total pages accepted.
+    pub fn pages_written(&self) -> u64 {
+        self.pages_written
+    }
+}
+
+impl StorageBackend for NullBackend {
+    fn begin_epoch(&mut self, epoch: u64) -> io::Result<()> {
+        if self.open.is_some() {
+            return Err(io::Error::other("previous epoch still open"));
+        }
+        if self.epochs.last().is_some_and(|&l| epoch <= l) {
+            return Err(io::Error::other("epoch not increasing"));
+        }
+        self.open = Some(epoch);
+        Ok(())
+    }
+
+    fn write_page(&mut self, _page: u64, data: &[u8]) -> io::Result<()> {
+        if self.open.is_none() {
+            return Err(io::Error::other("no open epoch"));
+        }
+        self.pages_written += 1;
+        self.bytes_written += data.len() as u64;
+        Ok(())
+    }
+
+    fn finish_epoch(&mut self) -> io::Result<()> {
+        match self.open.take() {
+            Some(e) => {
+                self.epochs.push(e);
+                Ok(())
+            }
+            None => Err(io::Error::other("no open epoch")),
+        }
+    }
+
+    fn abort_epoch(&mut self) -> io::Result<()> {
+        self.open = None;
+        Ok(())
+    }
+
+    fn put_blob(&mut self, _name: &str, _data: &[u8]) -> io::Result<()> {
+        Ok(())
+    }
+
+    fn get_blob(&self, _name: &str) -> io::Result<Option<Vec<u8>>> {
+        Ok(None)
+    }
+
+    fn epochs(&self) -> io::Result<Vec<u64>> {
+        Ok(self.epochs.clone())
+    }
+
+    fn read_epoch(&self, epoch: u64, _visit: &mut dyn FnMut(u64, &[u8])) -> io::Result<()> {
+        Err(io::Error::new(
+            io::ErrorKind::Unsupported,
+            format!("NullBackend discarded epoch {epoch}; nothing to read"),
+        ))
+    }
+
+    fn bytes_written(&self) -> u64 {
+        self.bytes_written
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_but_stores_nothing() {
+        let mut b = NullBackend::new();
+        b.begin_epoch(1).unwrap();
+        b.write_page(0, &[0u8; 100]).unwrap();
+        b.write_page(1, &[0u8; 50]).unwrap();
+        b.finish_epoch().unwrap();
+        assert_eq!(b.pages_written(), 2);
+        assert_eq!(b.bytes_written(), 150);
+        assert_eq!(b.epochs().unwrap(), vec![1]);
+        assert!(b.read_epoch(1, &mut |_, _| {}).is_err());
+        assert_eq!(b.get_blob("x").unwrap(), None);
+    }
+
+    #[test]
+    fn epoch_discipline_enforced() {
+        let mut b = NullBackend::new();
+        assert!(b.write_page(0, &[]).is_err());
+        b.begin_epoch(3).unwrap();
+        assert!(b.begin_epoch(4).is_err());
+        b.abort_epoch().unwrap();
+        b.begin_epoch(4).unwrap();
+        b.finish_epoch().unwrap();
+        assert!(b.begin_epoch(4).is_err(), "must increase");
+    }
+}

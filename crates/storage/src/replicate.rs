@@ -1,0 +1,163 @@
+//! Replication across multiple backends (§3.2: local storage "is prone to
+//! failures and thus unreliable. However, there are several options to
+//! overcome this issue, with data replication on different nodes being the
+//! most straight-forward").
+//!
+//! Every write goes to all replicas; reads are served by the first replica
+//! that can satisfy them, falling through on error — so a restore survives
+//! the loss of any strict subset of replicas.
+
+use std::io;
+
+use crate::backend::StorageBackend;
+
+/// Mirrors every operation across `n` replicas.
+pub struct ReplicatedBackend {
+    replicas: Vec<Box<dyn StorageBackend>>,
+}
+
+impl ReplicatedBackend {
+    /// Build from at least one replica.
+    pub fn new(replicas: Vec<Box<dyn StorageBackend>>) -> Self {
+        assert!(!replicas.is_empty(), "need at least one replica");
+        Self { replicas }
+    }
+
+    /// Number of replicas.
+    pub fn width(&self) -> usize {
+        self.replicas.len()
+    }
+
+    /// Drop a replica (simulating the loss of a node). Panics if it is the
+    /// last one.
+    pub fn fail_replica(&mut self, idx: usize) {
+        assert!(self.replicas.len() > 1, "cannot lose the last replica");
+        self.replicas.remove(idx);
+    }
+
+    fn read_fallback<T>(
+        &self,
+        mut op: impl FnMut(&dyn StorageBackend) -> io::Result<T>,
+    ) -> io::Result<T> {
+        let mut last_err = None;
+        for r in &self.replicas {
+            match op(r.as_ref()) {
+                Ok(v) => return Ok(v),
+                Err(e) => last_err = Some(e),
+            }
+        }
+        Err(last_err.unwrap_or_else(|| io::Error::other("no replicas")))
+    }
+}
+
+impl StorageBackend for ReplicatedBackend {
+    fn begin_epoch(&mut self, epoch: u64) -> io::Result<()> {
+        for r in &mut self.replicas {
+            r.begin_epoch(epoch)?;
+        }
+        Ok(())
+    }
+
+    fn write_page(&mut self, page: u64, data: &[u8]) -> io::Result<()> {
+        for r in &mut self.replicas {
+            r.write_page(page, data)?;
+        }
+        Ok(())
+    }
+
+    fn finish_epoch(&mut self) -> io::Result<()> {
+        for r in &mut self.replicas {
+            r.finish_epoch()?;
+        }
+        Ok(())
+    }
+
+    fn abort_epoch(&mut self) -> io::Result<()> {
+        for r in &mut self.replicas {
+            r.abort_epoch()?;
+        }
+        Ok(())
+    }
+
+    fn put_blob(&mut self, name: &str, data: &[u8]) -> io::Result<()> {
+        for r in &mut self.replicas {
+            r.put_blob(name, data)?;
+        }
+        Ok(())
+    }
+
+    fn get_blob(&self, name: &str) -> io::Result<Option<Vec<u8>>> {
+        self.read_fallback(|r| r.get_blob(name))
+    }
+
+    fn epochs(&self) -> io::Result<Vec<u64>> {
+        self.read_fallback(|r| r.epochs())
+    }
+
+    fn read_epoch(&self, epoch: u64, visit: &mut dyn FnMut(u64, &[u8])) -> io::Result<()> {
+        // Buffer from the first healthy replica, then deliver, so a replica
+        // failing mid-stream cannot deliver half an epoch twice.
+        let records = self.read_fallback(|r| {
+            let mut buf: Vec<(u64, Vec<u8>)> = Vec::new();
+            r.read_epoch(epoch, &mut |p, d| buf.push((p, d.to_vec())))?;
+            Ok(buf)
+        })?;
+        for (p, d) in records {
+            visit(p, &d);
+        }
+        Ok(())
+    }
+
+    fn bytes_written(&self) -> u64 {
+        // Logical payload bytes (not multiplied by replication factor).
+        self.replicas.first().map_or(0, |r| r.bytes_written())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::memory::MemoryBackend;
+
+    fn two_way() -> (ReplicatedBackend, MemoryBackend, MemoryBackend) {
+        let (a, a_view) = MemoryBackend::shared();
+        let (b, b_view) = MemoryBackend::shared();
+        (
+            ReplicatedBackend::new(vec![Box::new(a), Box::new(b)]),
+            a_view,
+            b_view,
+        )
+    }
+
+    #[test]
+    fn writes_reach_all_replicas() {
+        let (mut r, a, b) = two_way();
+        r.begin_epoch(1).unwrap();
+        r.write_page(9, &[5, 5]).unwrap();
+        r.finish_epoch().unwrap();
+        assert_eq!(a.epoch_records(1).unwrap(), vec![(9, vec![5, 5])]);
+        assert_eq!(b.epoch_records(1).unwrap(), vec![(9, vec![5, 5])]);
+    }
+
+    #[test]
+    fn restore_survives_replica_loss() {
+        let (mut r, _a, _b) = two_way();
+        r.begin_epoch(1).unwrap();
+        r.write_page(1, &[1]).unwrap();
+        r.finish_epoch().unwrap();
+        r.fail_replica(0);
+        assert_eq!(r.width(), 1);
+        let mut seen = Vec::new();
+        r.read_epoch(1, &mut |p, d| seen.push((p, d.to_vec()))).unwrap();
+        assert_eq!(seen, vec![(1, vec![1])]);
+        assert_eq!(r.epochs().unwrap(), vec![1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot lose the last replica")]
+    fn last_replica_cannot_fail() {
+        let (mut r, _a, _b) = two_way();
+        r.fail_replica(0);
+        r.fail_replica(0);
+    }
+}

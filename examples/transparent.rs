@@ -1,0 +1,100 @@
+//! Transparent checkpointing: zero source changes beyond installing the
+//! tracking allocator — the paper's second library (§3.4), which interposed
+//! on malloc so that "all dynamic memory allocations performed by the
+//! application" are captured.
+//!
+//! Every ordinary `Vec`/`Box` allocation at or above one page lands in a
+//! protected region automatically; `transparent::checkpoint()` is the only
+//! AI-Ckpt call in the "application" below.
+//!
+//! ```text
+//! cargo run --release --example transparent
+//! ```
+
+use ai_ckpt::{transparent, CkptConfig, PageManager};
+use ai_ckpt_mem::alloc::TrackingAllocator;
+use ai_ckpt_storage::{CheckpointImage, MemoryBackend};
+
+#[global_allocator]
+static ALLOC: TrackingAllocator = TrackingAllocator::new();
+
+/// The "application": knows nothing about checkpointing.
+struct Simulation {
+    field: Vec<f64>,
+    moments: Vec<f64>,
+}
+
+impl Simulation {
+    fn new(n: usize) -> Self {
+        Self {
+            field: vec![0.0; n],
+            moments: vec![0.0; 8],
+        }
+    }
+
+    fn advance(&mut self, step: usize) {
+        for (i, v) in self.field.iter_mut().enumerate() {
+            *v += ((i + step) % 17) as f64;
+        }
+        self.moments[step % 8] = self.field.iter().sum::<f64>();
+    }
+}
+
+fn main() -> std::io::Result<()> {
+    let (backend, view) = MemoryBackend::shared();
+    let manager = PageManager::new(CkptConfig::ai_ckpt(1 << 20), Box::new(backend))?;
+    transparent::enable(manager);
+    // Track only bulk data (the paper's use case: the application's field
+    // arrays), not every page-sized temporary.
+    ai_ckpt_mem::alloc::set_tracking_threshold(64 << 10);
+
+    // Allocations made AFTER enabling are captured: the 2 MiB field vector
+    // goes to a protected region, the tiny Vec stays on the normal heap.
+    let mut sim = Simulation::new(1 << 18);
+    println!(
+        "tracked allocations after setup: {}",
+        transparent::tracked_allocations()
+    );
+    assert!(transparent::tracked_allocations() >= 1);
+
+    for step in 0..6 {
+        sim.advance(step);
+        if step % 2 == 1 {
+            let plan = transparent::checkpoint()?;
+            println!(
+                "step {step}: checkpoint {} captured {} dirty pages",
+                plan.checkpoint, plan.scheduled_pages
+            );
+        }
+    }
+    transparent::wait_checkpoint()?;
+
+    let stats = transparent::stats().expect("enabled");
+    println!(
+        "checkpoints taken: {}, live-epoch dirty pages so far: {}",
+        stats.checkpoints.len(),
+        stats.live_epoch.dirty_pages
+    );
+    assert_eq!(stats.checkpoints.len(), 3);
+
+    // The checkpointed bytes really are the application's data.
+    let image = CheckpointImage::load_latest(&view)?.expect("checkpoints exist");
+    let total_bytes: usize = image.iter().map(|(_, d)| d.len()).sum();
+    println!(
+        "latest checkpoint: {} pages, {} KiB",
+        image.len(),
+        total_bytes >> 10
+    );
+    assert!(total_bytes >= (1 << 18) * 8 / 2, "bulk of the field captured");
+
+    // Dropping the app's data releases the protected regions (free_protected).
+    drop(sim);
+    println!(
+        "tracked allocations after drop: {}",
+        transparent::tracked_allocations()
+    );
+    assert_eq!(transparent::tracked_allocations(), 0);
+    ai_ckpt_mem::alloc::set_tracking_threshold(4096);
+    transparent::disable();
+    Ok(())
+}

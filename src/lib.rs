@@ -1,0 +1,21 @@
+//! # ai-ckpt-repro — reproduction of AI-Ckpt (HPDC '13)
+//!
+//! Umbrella crate tying the workspace together for the examples and
+//! integration tests. The functionality lives in the member crates:
+//!
+//! * [`ai_ckpt`] — the runtime (page manager, `CHECKPOINT`, restore);
+//! * [`ai_ckpt_core`] — the deterministic engine (Algorithms 1–4);
+//! * [`ai_ckpt_mem`] — mprotect/SIGSEGV substrate;
+//! * [`ai_ckpt_storage`] — storage backends and incremental restore;
+//! * [`ai_ckpt_sim`] — the discrete-event cluster simulator;
+//! * [`ai_ckpt_bench`] — the figure harness.
+//!
+//! See `README.md` for a tour, `DESIGN.md` for the system inventory and
+//! `EXPERIMENTS.md` for the paper-vs-measured record.
+
+pub use ai_ckpt;
+pub use ai_ckpt_bench;
+pub use ai_ckpt_core;
+pub use ai_ckpt_mem;
+pub use ai_ckpt_sim;
+pub use ai_ckpt_storage;

@@ -1,0 +1,88 @@
+//! Transparent tracking through a real `#[global_allocator]`: ordinary
+//! `Vec` allocations land in protected regions, get checkpointed, and are
+//! restorable — with zero per-allocation code in the "application".
+//!
+//! (Integration tests are separate crates, so installing the global
+//! allocator here affects only this test binary.)
+
+use ai_ckpt::{transparent, CkptConfig, PageManager};
+use ai_ckpt_mem::alloc::TrackingAllocator;
+use ai_ckpt_storage::{CheckpointImage, MemoryBackend};
+
+#[global_allocator]
+static ALLOC: TrackingAllocator = TrackingAllocator::new();
+
+/// The whole file shares one process; run scenarios under one test to avoid
+/// global-allocator state interleaving between parallel tests.
+#[test]
+fn transparent_end_to_end() {
+    // --- capture + checkpoint ------------------------------------------
+    let (backend, view) = MemoryBackend::shared();
+    let mgr = PageManager::new(CkptConfig::ai_ckpt(1 << 20), Box::new(backend)).unwrap();
+    transparent::enable(mgr);
+    ai_ckpt_mem::alloc::set_tracking_threshold(64 << 10);
+
+    let n = 1 << 16; // 512 KiB of f64
+    let mut data = vec![0.0f64; n];
+    assert_eq!(
+        transparent::tracked_allocations(),
+        1,
+        "the big Vec must be captured"
+    );
+    let small = vec![1u8; 100]; // stays on the system heap
+    assert_eq!(transparent::tracked_allocations(), 1);
+
+    for (i, v) in data.iter_mut().enumerate() {
+        *v = i as f64;
+    }
+    transparent::checkpoint().unwrap();
+    transparent::wait_checkpoint().unwrap();
+
+    let stats = transparent::stats().unwrap();
+    assert_eq!(stats.checkpoints.len(), 1);
+    assert!(stats.checkpoints[0].scheduled_pages >= (n * 8 / 4096) as u64);
+
+    // --- the persisted bytes are the Vec's content ----------------------
+    // (scoped: the verification buffer itself crosses the tracking
+    // threshold and must be gone before the next incremental checkpoint)
+    {
+        let img = CheckpointImage::load_latest(&view).unwrap().unwrap();
+        let mut restored_bytes: Vec<u8> = Vec::new();
+        for (_, d) in img.iter() {
+            restored_bytes.extend_from_slice(d);
+        }
+        let original: &[u8] =
+            unsafe { std::slice::from_raw_parts(data.as_ptr() as *const u8, n * 8) };
+        assert!(restored_bytes.len() >= original.len());
+        assert_eq!(&restored_bytes[..original.len()], original);
+    }
+
+    // --- incremental second epoch ---------------------------------------
+    data[0] = -1.0;
+    data[n - 1] = -2.0;
+    transparent::checkpoint().unwrap();
+    transparent::wait_checkpoint().unwrap();
+    let stats = transparent::stats().unwrap();
+    assert!(
+        stats.checkpoints[1].scheduled_pages <= 4,
+        "incremental: only the touched pages, got {}",
+        stats.checkpoints[1].scheduled_pages
+    );
+
+    // --- dealloc routes back through the hooks ---------------------------
+    drop(data);
+    assert_eq!(transparent::tracked_allocations(), 0);
+    drop(small);
+
+    // --- realloc path: growing a tracked Vec crosses regions -------------
+    let mut grower: Vec<u64> = Vec::with_capacity(16 << 10); // 128 KiB
+    assert_eq!(transparent::tracked_allocations(), 1);
+    grower.resize(17 << 10, 7); // forces realloc into a new region
+    assert_eq!(transparent::tracked_allocations(), 1);
+    assert!(grower.iter().all(|&x| x == 7));
+    drop(grower);
+    assert_eq!(transparent::tracked_allocations(), 0);
+
+    ai_ckpt_mem::alloc::set_tracking_threshold(4096);
+    transparent::disable();
+}
