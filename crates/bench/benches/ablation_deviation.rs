@@ -17,6 +17,7 @@ fn experiment(deviation: f64, strategy: Strategy) -> ai_ckpt_sim::SimOutcome {
         ckpt_every: 1,
         ckpt_at_end: false,
         strategy,
+        committer_streams: 1,
         cow_slots: 64,
         barrier_ns: 100_000,
         fault_ns: 5_000,

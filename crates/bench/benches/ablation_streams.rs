@@ -1,0 +1,106 @@
+//! Streams ablation: flush wall-time versus the number of committer
+//! streams, on the real mprotect runtime against a throttled backend (each
+//! stream gets its own emulated storage channel, as on a striped parallel
+//! file system), and in the simulator against the striped PVFS model.
+//!
+//! The headline expectation: checkpoint flush time decreases as streams
+//! increase until the backend's channel count (or the dirty set per stream)
+//! saturates.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+use ai_ckpt::{CkptConfig, PageManager};
+use ai_ckpt_mem::page_size;
+use ai_ckpt_sim::{Cluster, Routing, ServiceParams, StorageModel, Strategy};
+use ai_ckpt_storage::{NullBackend, ThrottledBackend};
+
+/// One checkpoint of `pages` dirty pages through `streams` committer
+/// streams; returns the mean checkpoint time reported by the runtime.
+fn flush_once(streams: usize, pages: usize) -> Duration {
+    let ps = page_size();
+    // ~12 MiB/s per emulated channel: slow enough that the throttle (not
+    // the memcpy) dominates, fast enough for a bench iteration.
+    let backend = ThrottledBackend::new(NullBackend::new(), 12.0 * 1024.0 * 1024.0, Duration::ZERO);
+    let cfg = CkptConfig::ai_ckpt(0)
+        .with_max_pages(pages + 16)
+        .with_committer_streams(streams);
+    let mgr = PageManager::new(cfg, Box::new(backend)).expect("manager");
+    let mut buf = mgr.alloc_protected(pages * ps).expect("alloc");
+    buf.as_mut_slice().fill(1);
+    mgr.checkpoint().expect("checkpoint");
+    mgr.wait_checkpoint().expect("flush");
+    mgr.stats().mean_checkpoint_time(0).unwrap_or_default()
+}
+
+fn bench_runtime_streams(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_streams/runtime_throttled");
+    g.sample_size(3);
+    let pages = 256; // 1 MiB at 4 KiB pages ≈ 85 ms serial at 12 MiB/s
+    for streams in [1usize, 2, 4, 8] {
+        g.bench_with_input(
+            BenchmarkId::new("flush", streams),
+            &streams,
+            |b, &streams| b.iter(|| black_box(flush_once(streams, pages))),
+        );
+    }
+    g.finish();
+}
+
+fn sim_config(streams: usize) -> ai_ckpt_sim::ClusterConfig {
+    ai_ckpt_sim::ClusterConfig {
+        ranks: 4,
+        ranks_per_node: 1,
+        iterations: 4,
+        ckpt_every: 1,
+        ckpt_at_end: false,
+        strategy: Strategy::AiCkpt,
+        committer_streams: streams,
+        cow_slots: 64,
+        barrier_ns: 100_000,
+        fault_ns: 5_000,
+        cow_copy_ns: 2_000,
+        jitter: 0.02,
+        async_compute_drag: 1.1,
+        seed: 9,
+    }
+}
+
+/// The striped PVFS model: the quantity of interest is *simulated* flush
+/// time, so this prints its own one-line table instead of wrapping the
+/// simulator's wall time in the harness.
+fn bench_sim_streams(_c: &mut Criterion) {
+    println!("ablation_streams/sim_pvfs_striped  (simulated mean flush time, 4 ranks, 8 servers)");
+    for streams in [1usize, 2, 4, 8] {
+        let storage = StorageModel::new(
+            8,
+            ServiceParams {
+                overhead_ns: 150_000,
+                bytes_per_sec: 55.0 * 1024.0 * 1024.0,
+                jitter: 0.3,
+            },
+            Routing::Striped,
+            50_000,
+            1.1,
+        );
+        let out = Cluster::new(sim_config(streams), storage, |_r| {
+            Box::new(ai_ckpt_sim::SyntheticApp::new(
+                2048,
+                4096,
+                ai_ckpt_sim::Pattern::Ascending,
+                20_000,
+                50_000_000,
+            )) as Box<dyn ai_ckpt_sim::AppModel>
+        })
+        .run();
+        println!(
+            "  streams={streams}: flush {:.3}s  (completion {:.3}s)",
+            black_box(out.mean_checkpoint_secs(1)),
+            out.completion.as_secs_f64()
+        );
+    }
+}
+
+criterion_group!(benches, bench_runtime_streams, bench_sim_streams);
+criterion_main!(benches);

@@ -11,10 +11,8 @@ use ai_ckpt_core::{CowSlab, EngineConfig, EpochEngine, FlushPlan, SchedulerKind}
 const PAGES: usize = 16_384;
 
 fn dirty_engine(cow_slots: u32) -> EpochEngine {
-    let mut e = EpochEngine::new(
-        EngineConfig::adaptive(PAGES, 4096, cow_slots).without_cow_data(),
-    )
-    .unwrap();
+    let mut e = EpochEngine::new(EngineConfig::adaptive(PAGES, 4096, cow_slots).without_cow_data())
+        .unwrap();
     for p in 0..PAGES as u32 {
         e.on_write(p);
     }
@@ -27,10 +25,8 @@ fn bench_on_write(c: &mut Criterion) {
     g.bench_function("first_writes_16k_pages", |b| {
         b.iter_batched(
             || {
-                EpochEngine::new(
-                    EngineConfig::adaptive(PAGES, 4096, 64).without_cow_data(),
-                )
-                .unwrap()
+                EpochEngine::new(EngineConfig::adaptive(PAGES, 4096, 64).without_cow_data())
+                    .unwrap()
             },
             |mut e| {
                 for p in 0..PAGES as u32 {

@@ -14,11 +14,9 @@ fn bench_fig3(c: &mut Criterion) {
     for ranks in [1usize, 4] {
         for strategy in [Strategy::Sync, Strategy::AsyncNoPattern, Strategy::AiCkpt] {
             let exp = presets::quick::cm1(ranks, 16 << 20, 1);
-            g.bench_with_input(
-                BenchmarkId::new(strategy.label(), ranks),
-                &exp,
-                |b, exp| b.iter(|| black_box(exp.run(strategy).completion)),
-            );
+            g.bench_with_input(BenchmarkId::new(strategy.label(), ranks), &exp, |b, exp| {
+                b.iter(|| black_box(exp.run(strategy).completion))
+            });
         }
     }
     g.finish();

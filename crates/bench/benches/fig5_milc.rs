@@ -13,11 +13,9 @@ fn bench_fig5(c: &mut Criterion) {
     for ranks in [10usize, 20] {
         for strategy in [Strategy::Sync, Strategy::AsyncNoPattern, Strategy::AiCkpt] {
             let exp = presets::quick::milc(ranks, 0, 1);
-            g.bench_with_input(
-                BenchmarkId::new(strategy.label(), ranks),
-                &exp,
-                |b, exp| b.iter(|| black_box(exp.run(strategy).completion)),
-            );
+            g.bench_with_input(BenchmarkId::new(strategy.label(), ranks), &exp, |b, exp| {
+                b.iter(|| black_box(exp.run(strategy).completion))
+            });
         }
     }
     g.finish();

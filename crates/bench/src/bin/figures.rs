@@ -100,7 +100,12 @@ fn run_fig3(quick: bool) {
     println!("paper claims: (3a) sync ckpt time rises sharply with ranks; async flat-ish,");
     println!("higher absolute at small scale; (3b) ours best; no-pattern ~33% slower and");
     println!("sync ~67% slower than ours at 32 ranks.\n");
-    let mut t3a = Table::new(["ranks", "sync ckpt(s)", "no-pattern ckpt(s)", "ours ckpt(s)"]);
+    let mut t3a = Table::new([
+        "ranks",
+        "sync ckpt(s)",
+        "no-pattern ckpt(s)",
+        "ours ckpt(s)",
+    ]);
     let mut t3b = Table::new([
         "ranks",
         "sync +exec(s)",

@@ -16,11 +16,7 @@ pub const CM1_BLOCK: usize = 16 << 10;
 pub const MILC_BLOCK: usize = 64 << 10;
 
 /// The three strategies every figure compares.
-pub const STRATEGIES: [Strategy; 3] = [
-    Strategy::Sync,
-    Strategy::AsyncNoPattern,
-    Strategy::AiCkpt,
-];
+pub const STRATEGIES: [Strategy; 3] = [Strategy::Sync, Strategy::AsyncNoPattern, Strategy::AiCkpt];
 
 /// Grid'5000 PVFS model at CM1's block granularity.
 ///
@@ -81,9 +77,10 @@ pub fn cm1_experiment(ranks: usize, cow_bytes: u64, seed: u64) -> Experiment {
             ckpt_every: 1,
             ckpt_at_end: false,
             strategy: Strategy::None, // overridden per run
+            committer_streams: 1,
             cow_slots: (cow_bytes / CM1_BLOCK as u64) as u32,
             barrier_ns: 200_000,
-            fault_ns: 12_000,  // 4 real faults per 16 KiB block
+            fault_ns: 12_000, // 4 real faults per 16 KiB block
             cow_copy_ns: 4_000,
             jitter: 0.02,
             async_compute_drag: 1.2,
@@ -115,6 +112,7 @@ pub fn milc_experiment(ranks: usize, cow_bytes: u64, seed: u64) -> Experiment {
             ckpt_every: 1,
             ckpt_at_end: true,
             strategy: Strategy::None, // overridden per run
+            committer_streams: 1,
             cow_slots: (cow_bytes / MILC_BLOCK as u64) as u32,
             barrier_ns: 150_000,
             fault_ns: 48_000, // 16 real faults per 64 KiB block
@@ -136,14 +134,7 @@ pub const FIG3_RANKS: [usize; 6] = [1, 2, 4, 8, 16, 32];
 /// Rank counts for the MILC weak-scaling sweep (Fig. 5).
 pub const FIG5_RANKS: [usize; 5] = [10, 40, 80, 160, 280];
 /// CoW buffer sizes for the Fig. 4 sweeps, in bytes.
-pub const FIG4_COW_BYTES: [u64; 6] = [
-    0,
-    1 << 20,
-    4 << 20,
-    16 << 20,
-    64 << 20,
-    256 << 20,
-];
+pub const FIG4_COW_BYTES: [u64; 6] = [0, 1 << 20, 4 << 20, 16 << 20, 64 << 20, 256 << 20];
 
 /// Scaled-down variants for benches/CI: same models, smaller problems.
 pub mod quick {

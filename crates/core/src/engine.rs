@@ -101,6 +101,8 @@ pub struct EpochEngine {
     /// The `WaitedPage` hint (single cell, as in the paper).
     waited: Option<PageId>,
     plan: FlushPlan,
+    /// Reusable page-id buffer for [`EpochEngine::select_batch`] claims.
+    batch_scratch: Vec<PageId>,
     /// Pages of the active checkpoint not yet committed.
     pending: usize,
     /// `CheckpointInProgress`.
@@ -125,6 +127,7 @@ impl EpochEngine {
             cow_now,
             waited: None,
             plan: FlushPlan::empty(),
+            batch_scratch: Vec::new(),
             pending: 0,
             ckpt_active: false,
             checkpoint_seq: 0,
@@ -314,42 +317,112 @@ impl EpochEngine {
 
     /// Algorithm 4: `SELECT_NEXT_PAGE`. Pick the next page to commit and
     /// lock it (`PAGE_INPROGRESS`). Returns `None` when nothing is currently
-    /// selectable — with a single committer that means the checkpoint is
-    /// complete (check [`EpochEngine::checkpoint_active`]).
+    /// selectable — with a single committer stream that means the checkpoint
+    /// is complete; with several streams it can also mean every remaining
+    /// page is `PAGE_INPROGRESS` on another stream, so callers must check
+    /// [`EpochEngine::checkpoint_active`] before concluding the drain is
+    /// done.
     pub fn select_next(&mut self) -> Option<FlushItem> {
         if !self.ckpt_active {
             return None;
         }
-        if self.cfg.dynamic_hints {
-            // Line 2-4: the waited page preempts everything.
-            if let Some(w) = self.waited {
-                match self.states.get(w) {
-                    PageState::Scheduled => return Some(self.take(w)),
-                    PageState::Cowed => return Some(self.take(w)),
-                    // InProgress: already being committed; Processed: the
-                    // waiter will wake up on its own.
-                    _ => {}
-                }
-            }
-            // Lines 5-7: prefer current-epoch CoW pages to free slots early.
-            while let Some(&p) = self.cow_now.front() {
-                if self.states.get(p) == PageState::Cowed {
-                    self.cow_now.pop_front();
-                    return Some(self.take(p));
-                }
-                // Already taken through another path; drop the stale entry.
-                self.cow_now.pop_front();
-            }
+        if let Some(item) = self.select_dynamic() {
+            return Some(item);
         }
         // Lines 8-17: static history order.
         let states = &self.states;
-        let next = self.plan.next(|p| {
-            matches!(
-                states.get(p),
-                PageState::Scheduled | PageState::Cowed
-            )
-        });
+        let next = self
+            .plan
+            .next(|p| matches!(states.get(p), PageState::Scheduled | PageState::Cowed));
         next.map(|p| self.take(p))
+    }
+
+    /// The dynamic-hint half of Algorithm 4: the `WaitedPage` preempts
+    /// everything (lines 2-4), then current-epoch CoW pages are preferred
+    /// to free slots early (lines 5-7). `None` when no hint applies (or
+    /// hints are disabled).
+    fn select_dynamic(&mut self) -> Option<FlushItem> {
+        if !self.cfg.dynamic_hints {
+            return None;
+        }
+        if let Some(w) = self.waited {
+            match self.states.get(w) {
+                PageState::Scheduled | PageState::Cowed => return Some(self.take(w)),
+                // InProgress: already being committed; Processed: the
+                // waiter will wake up on its own.
+                _ => {}
+            }
+        }
+        while let Some(&p) = self.cow_now.front() {
+            if self.states.get(p) == PageState::Cowed {
+                self.cow_now.pop_front();
+                return Some(self.take(p));
+            }
+            // Already taken through another path; drop the stale entry.
+            self.cow_now.pop_front();
+        }
+        None
+    }
+
+    /// Batched [`EpochEngine::select_next`]: claim up to `max` pages under
+    /// one lock acquisition, in the same priority order, appending to `out`.
+    /// Returns how many were claimed.
+    ///
+    /// This is what the multi-stream committer calls: each worker stream
+    /// takes a run of pages per engine-lock acquisition, performs the
+    /// storage I/O outside the lock, then completes them. Dynamic hints
+    /// (the `WaitedPage` and current-epoch CoW preferences) head the run,
+    /// then the remainder is claimed from the static plan in one
+    /// [`FlushPlan::next_batch`](crate::schedule::FlushPlan::next_batch)
+    /// call. Hints cannot change mid-claim — they are only set under the
+    /// same engine lock the caller holds — and hints raised *after* the
+    /// batch was claimed are picked up by the next claim (with one stream
+    /// and `max == 1` this degenerates to exactly the paper's Algorithm 4
+    /// loop).
+    ///
+    /// Claimed items' sources are stable until the claiming stream calls
+    /// [`EpochEngine::complete_flush`]: memory-sourced pages are
+    /// `PAGE_INPROGRESS` (writers block in the fault handler), and a
+    /// CoW-sourced item's slot can only be released by completing that very
+    /// item — so both may be read after unlocking (the slab via a brief
+    /// re-lock for [`EpochEngine::slab_slot`]). Amortised allocation-free
+    /// (an internal scratch buffer grows to the largest `max` seen).
+    pub fn select_batch(&mut self, max: usize, out: &mut Vec<FlushItem>) -> usize {
+        if !self.ckpt_active {
+            return 0;
+        }
+        let mut taken = 0;
+        // Dynamic hints head the run...
+        while taken < max {
+            match self.select_dynamic() {
+                Some(item) => {
+                    out.push(item);
+                    taken += 1;
+                }
+                None => break,
+            }
+        }
+        // ...then one next_batch claim fills the rest from the static plan.
+        // Taking the claimed pages *after* the whole run was popped is
+        // sound because a FlushPlan lists every scheduled page exactly once
+        // (its documented invariant): the pending-state predicate can never
+        // admit the same page twice within one run.
+        if taken < max {
+            let mut scratch = std::mem::take(&mut self.batch_scratch);
+            scratch.clear();
+            let states = &self.states;
+            self.plan.next_batch(
+                max - taken,
+                |p| matches!(states.get(p), PageState::Scheduled | PageState::Cowed),
+                &mut scratch,
+            );
+            for &p in &scratch {
+                out.push(self.take(p));
+            }
+            taken += scratch.len();
+            self.batch_scratch = scratch;
+        }
+        taken
     }
 
     /// Post-commit bookkeeping for a flushed page (Algorithm 3, lines 6-14).
@@ -436,10 +509,7 @@ mod tests {
     use crate::schedule::SchedulerKind;
 
     fn engine(pages: usize, cow_slots: u32) -> EpochEngine {
-        EpochEngine::new(
-            EngineConfig::adaptive(pages, 64, cow_slots).without_cow_data(),
-        )
-        .unwrap()
+        EpochEngine::new(EngineConfig::adaptive(pages, 64, cow_slots).without_cow_data()).unwrap()
     }
 
     /// Drain the whole checkpoint, returning the flush order.
@@ -460,7 +530,10 @@ mod tests {
         let info = e.begin_checkpoint().unwrap();
         assert_eq!(info.checkpoint, 1);
         assert_eq!(info.scheduled_pages, 2);
-        assert_eq!(info.closed_epoch.after, 2, "pre-checkpoint writes are AFTER");
+        assert_eq!(
+            info.closed_epoch.after, 2,
+            "pre-checkpoint writes are AFTER"
+        );
         assert!(e.checkpoint_active());
         let order = drain(&mut e);
         assert_eq!(order.len(), 2);
@@ -581,10 +654,8 @@ mod tests {
 
     #[test]
     fn no_pattern_ignores_waited_hint() {
-        let mut e = EpochEngine::new(
-            EngineConfig::no_pattern(8, 64, 0).without_cow_data(),
-        )
-        .unwrap();
+        let mut e =
+            EpochEngine::new(EngineConfig::no_pattern(8, 64, 0).without_cow_data()).unwrap();
         for p in [0, 1, 2, 3] {
             e.on_write(p);
         }
@@ -620,6 +691,56 @@ mod tests {
         assert_eq!(e.cow_in_use(), 0);
         let rest = drain(&mut e);
         assert_eq!(rest, vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn select_batch_claims_runs_and_interleaves_with_streams() {
+        let mut e = engine(16, 0);
+        for p in 0..8 {
+            e.on_write(p);
+        }
+        e.begin_checkpoint().unwrap();
+        // Two "streams" claim disjoint runs.
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        assert_eq!(e.select_batch(3, &mut a), 3);
+        assert_eq!(e.select_batch(3, &mut b), 3);
+        let pages_a: Vec<_> = a.iter().map(|i| i.page).collect();
+        let pages_b: Vec<_> = b.iter().map(|i| i.page).collect();
+        assert!(pages_a.iter().all(|p| !pages_b.contains(p)), "disjoint");
+        // Stream B finishes first; the checkpoint stays active because A
+        // still holds InProgress pages plus two are unclaimed.
+        for item in b {
+            e.complete_flush(item);
+        }
+        assert!(e.checkpoint_active());
+        // A drains its run and the tail.
+        for item in a {
+            e.complete_flush(item);
+        }
+        let mut tail = Vec::new();
+        assert_eq!(e.select_batch(8, &mut tail), 2, "two pages left");
+        for item in tail {
+            e.complete_flush(item);
+        }
+        assert!(!e.checkpoint_active());
+    }
+
+    #[test]
+    fn select_batch_prioritizes_waited_page_within_run() {
+        let mut e = engine(8, 0);
+        for p in [0, 1, 2, 3] {
+            e.on_write(p);
+        }
+        e.begin_checkpoint().unwrap();
+        assert_eq!(e.on_write(3), WriteOutcome::MustWait);
+        let mut run = Vec::new();
+        e.select_batch(4, &mut run);
+        assert_eq!(run[0].page, 3, "waited page heads the batch");
+        for item in run {
+            e.complete_flush(item);
+        }
+        e.complete_wait(3);
     }
 
     #[test]

@@ -162,6 +162,34 @@ impl FlushPlan {
         None
     }
 
+    /// Pop up to `n` candidates in static priority order into `out`,
+    /// skipping pages for which `still_pending` returns false.
+    ///
+    /// This is the multi-stream committer's claim primitive: a worker takes
+    /// a whole *run* of pages under one engine-lock acquisition instead of
+    /// re-locking per page, while the run still follows the plan's
+    /// CoW-first/Waited-page-aware priority order — so splitting the drain
+    /// across `N` streams preserves the paper's flush ordering between the
+    /// batch boundaries.
+    pub fn next_batch(
+        &mut self,
+        n: usize,
+        mut still_pending: impl FnMut(PageId) -> bool,
+        out: &mut Vec<PageId>,
+    ) -> usize {
+        let mut taken = 0;
+        while taken < n {
+            match self.next(&mut still_pending) {
+                Some(p) => {
+                    out.push(p);
+                    taken += 1;
+                }
+                None => break,
+            }
+        }
+        taken
+    }
+
     /// Remaining candidates (including ones that may be skipped later).
     pub fn remaining(&self) -> usize {
         if self.queue_idx >= self.queues.len() {
@@ -287,8 +315,9 @@ mod tests {
                 .map(|p| (p as PageId, AccessType::After))
                 .collect::<Vec<_>>(),
         );
-        let take =
-            |mut plan: FlushPlan| std::iter::from_fn(move || plan.next(|_| true)).collect::<Vec<_>>();
+        let take = |mut plan: FlushPlan| {
+            std::iter::from_fn(move || plan.next(|_| true)).collect::<Vec<_>>()
+        };
         let a = take(FlushPlan::build(SchedulerKind::Random(42), &r));
         let b = take(FlushPlan::build(SchedulerKind::Random(42), &r));
         let c = take(FlushPlan::build(SchedulerKind::Random(43), &r));
@@ -317,10 +346,7 @@ mod tests {
 
     #[test]
     fn remaining_counts_down() {
-        let r = record_seq(
-            8,
-            &[(1, AccessType::After), (2, AccessType::After)],
-        );
+        let r = record_seq(8, &[(1, AccessType::After), (2, AccessType::After)]);
         let mut plan = FlushPlan::build(SchedulerKind::AddressOrder, &r);
         assert_eq!(plan.planned(), 2);
         assert_eq!(plan.remaining(), 2);
@@ -329,6 +355,44 @@ mod tests {
         plan.next(|_| true);
         assert_eq!(plan.remaining(), 0);
         assert!(plan.next(|_| true).is_none());
+    }
+
+    #[test]
+    fn next_batch_claims_runs_in_priority_order() {
+        let r = record_seq(
+            12,
+            &[
+                (5, AccessType::Avoided),
+                (1, AccessType::Cow),
+                (9, AccessType::Wait),
+                (3, AccessType::After),
+                (7, AccessType::Wait),
+            ],
+        );
+        let mut plan = FlushPlan::build(SchedulerKind::Adaptive, &r);
+        let mut a = Vec::new();
+        assert_eq!(plan.next_batch(3, |_| true, &mut a), 3);
+        assert_eq!(a, vec![9, 7, 1], "first run follows priority order");
+        let mut b = Vec::new();
+        assert_eq!(plan.next_batch(8, |_| true, &mut b), 2, "short final run");
+        assert_eq!(b, vec![5, 3]);
+        assert_eq!(plan.next_batch(1, |_| true, &mut b), 0, "drained");
+    }
+
+    #[test]
+    fn next_batch_skips_non_pending() {
+        let r = record_seq(
+            8,
+            &[
+                (1, AccessType::Wait),
+                (2, AccessType::Wait),
+                (3, AccessType::Wait),
+            ],
+        );
+        let mut plan = FlushPlan::build(SchedulerKind::Adaptive, &r);
+        let mut out = Vec::new();
+        assert_eq!(plan.next_batch(3, |p| p != 2, &mut out), 2);
+        assert_eq!(out, vec![1, 3]);
     }
 
     #[test]

@@ -2,7 +2,7 @@
 //! randomised property tests are unlikely to pin down explicitly.
 
 use ai_ckpt_core::{
-    AccessType, EngineConfig, EngineError, EpochEngine, FlushSource, SchedulerKind, WriteOutcome,
+    EngineConfig, EngineError, EpochEngine, FlushSource, SchedulerKind, WriteOutcome,
 };
 
 fn engine(pages: usize, cow: u32) -> EpochEngine {
@@ -155,7 +155,11 @@ fn per_epoch_indices_restart_from_one() {
     e.begin_checkpoint().unwrap();
     drain(&mut e);
     e.on_write(2);
-    assert_eq!(e.history().current().index(2), 1, "fresh epoch, fresh order");
+    assert_eq!(
+        e.history().current().index(2),
+        1,
+        "fresh epoch, fresh order"
+    );
     assert_eq!(e.history().last().index(3), 1);
     assert_eq!(e.history().last().index(1), 2);
 }

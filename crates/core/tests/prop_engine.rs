@@ -9,10 +9,10 @@
 //! and checkpoint requests against a model "memory", and assert the
 //! invariant (plus completeness and slot accounting) on every checkpoint.
 
+use ai_ckpt_core::rng::SplitMix64;
 use ai_ckpt_core::{
     AccessType, EngineConfig, EpochEngine, FlushSource, SchedulerKind, WriteOutcome,
 };
-use proptest::prelude::*;
 use std::collections::HashMap;
 
 const PAGE_BYTES: usize = 8;
@@ -29,12 +29,19 @@ enum Op {
     Checkpoint,
 }
 
-fn op_strategy(pages: u32) -> impl Strategy<Value = Op> {
-    prop_oneof![
-        4 => (0..pages, any::<u8>()).prop_map(|(page, val)| Op::Write { page, val }),
-        3 => Just(Op::FlushOne),
-        1 => Just(Op::Checkpoint),
-    ]
+/// Seeded workload generator (stands in for the proptest strategies the
+/// original tests used; the weights are the same 4:3:1).
+fn gen_ops(rng: &mut SplitMix64, pages: u32, len: usize) -> Vec<Op> {
+    (0..len)
+        .map(|_| match rng.next_below(8) {
+            0..=3 => Op::Write {
+                page: rng.next_below(pages as u64) as u32,
+                val: rng.next_u64() as u8,
+            },
+            4..=6 => Op::FlushOne,
+            _ => Op::Checkpoint,
+        })
+        .collect()
 }
 
 /// Test harness: engine + model memory + model stable storage.
@@ -190,57 +197,64 @@ impl Harness {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    /// The flagship invariant, for the paper's adaptive strategy.
-    #[test]
-    fn snapshot_consistency_adaptive(
-        ops in prop::collection::vec(op_strategy(12), 1..200),
-        cow_slots in 0u32..5,
-    ) {
+/// The flagship invariant, for the paper's adaptive strategy.
+#[test]
+fn snapshot_consistency_adaptive() {
+    let mut rng = SplitMix64::new(0xA1);
+    for case in 0..192u64 {
+        let cow_slots = (case % 5) as u32;
+        let len = 1 + rng.next_below(199) as usize;
+        let ops = gen_ops(&mut rng, 12, len);
         let mut h = Harness::new(12, cow_slots, SchedulerKind::Adaptive, true);
         h.run(&ops);
     }
+}
 
-    /// Same invariant for the async-no-pattern baseline (address order, no
-    /// dynamic hints) — correctness must not depend on the schedule.
-    #[test]
-    fn snapshot_consistency_no_pattern(
-        ops in prop::collection::vec(op_strategy(12), 1..200),
-        cow_slots in 0u32..5,
-    ) {
+/// Same invariant for the async-no-pattern baseline (address order, no
+/// dynamic hints) — correctness must not depend on the schedule.
+#[test]
+fn snapshot_consistency_no_pattern() {
+    let mut rng = SplitMix64::new(0xB2);
+    for case in 0..192u64 {
+        let cow_slots = (case % 5) as u32;
+        let len = 1 + rng.next_below(199) as usize;
+        let ops = gen_ops(&mut rng, 12, len);
         let mut h = Harness::new(12, cow_slots, SchedulerKind::AddressOrder, false);
         h.run(&ops);
     }
+}
 
-    /// And for the ablation schedulers.
-    #[test]
-    fn snapshot_consistency_other_schedulers(
-        ops in prop::collection::vec(op_strategy(10), 1..150),
-        cow_slots in 0u32..4,
-        which in 0usize..3,
-    ) {
+/// And for the ablation schedulers.
+#[test]
+fn snapshot_consistency_other_schedulers() {
+    let mut rng = SplitMix64::new(0xC3);
+    for case in 0..144u64 {
+        let cow_slots = (case % 4) as u32;
         let kind = [
             SchedulerKind::AccessOrder,
             SchedulerKind::ReverseAddress,
             SchedulerKind::Random(0xC0FFEE),
-        ][which];
+        ][(case / 4 % 3) as usize];
+        let len = 1 + rng.next_below(149) as usize;
+        let ops = gen_ops(&mut rng, 10, len);
         let mut h = Harness::new(10, cow_slots, kind, true);
         h.run(&ops);
     }
+}
 
-    /// Every dirty page is flushed exactly once per checkpoint and the
-    /// engine always drains (no live-lock, no lost pages).
-    #[test]
-    fn flush_completeness(
-        ops in prop::collection::vec(op_strategy(8), 1..120),
-    ) {
+/// Every dirty page is flushed exactly once per checkpoint and the
+/// engine always drains (no live-lock, no lost pages).
+#[test]
+fn flush_completeness() {
+    let mut rng = SplitMix64::new(0xD4);
+    for _ in 0..128u64 {
+        let len = 1 + rng.next_below(119) as usize;
+        let ops = gen_ops(&mut rng, 8, len);
         let mut h = Harness::new(8, 2, SchedulerKind::Adaptive, true);
         h.run(&ops);
         // If any checkpoint was requested it must have verified.
         let requested = ops.iter().filter(|o| matches!(o, Op::Checkpoint)).count();
-        prop_assert!(h.checkpoints_verified >= requested.min(1));
+        assert!(h.checkpoints_verified >= requested.min(1));
     }
 }
 

@@ -220,7 +220,10 @@ mod tests {
 
     #[test]
     fn degenerate_ranges_rejected() {
-        assert_eq!(register(0, ps(), 1, 0).unwrap_err(), RegistryError::BadRange);
+        assert_eq!(
+            register(0, ps(), 1, 0).unwrap_err(),
+            RegistryError::BadRange
+        );
         assert_eq!(
             register(0x7200_0000_0000, 0, 1, 0).unwrap_err(),
             RegistryError::BadRange

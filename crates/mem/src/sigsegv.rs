@@ -67,11 +67,7 @@ pub fn clear_callback() {
     CALLBACK.store(0, Ordering::Release);
 }
 
-unsafe extern "C" fn handler(
-    sig: libc::c_int,
-    info: *mut libc::siginfo_t,
-    ctx: *mut libc::c_void,
-) {
+unsafe extern "C" fn handler(sig: libc::c_int, info: *mut libc::siginfo_t, ctx: *mut libc::c_void) {
     // SAFETY: errno location is thread-local and always valid.
     let saved_errno = unsafe { *libc::__errno_location() };
     // SAFETY: the kernel hands us a valid siginfo for SA_SIGINFO handlers.
@@ -160,8 +156,7 @@ mod tests {
         let _g = FAULT_TEST_LOCK.lock().unwrap();
         let region = MappedRegion::new(4 * crate::page_size()).unwrap();
         install(unprotect_and_count).unwrap();
-        let handle =
-            registry::register(region.addr(), region.len(), 0x11, 1000).unwrap();
+        let handle = registry::register(region.addr(), region.len(), 0x11, 1000).unwrap();
         region.protect(Protection::ReadOnly).unwrap();
 
         FAULTS.store(0, Ordering::Relaxed);

@@ -33,7 +33,27 @@ pub struct CkptConfig {
     /// front (≈ 30 bytes/page), so this bounds the total protected memory:
     /// `max_pages * page_size`. Default 262 144 pages = 1 GiB at 4 KiB.
     pub max_pages: usize,
+    /// Number of concurrent committer streams draining the flush plan into
+    /// the storage backend. 1 reproduces the paper's single `ASYNC_COMMIT`
+    /// thread; more streams exploit backend parallelism (striped parallel
+    /// file systems, replicated fan-out, multi-channel devices). Default:
+    /// `min(4, available cores)`. Clamped to at least 1.
+    pub committer_streams: usize,
+    /// Pages a committer stream claims from the flush plan per engine-lock
+    /// acquisition (and writes per `write_pages` batch). Larger batches
+    /// amortise locking and per-request storage overhead; smaller batches
+    /// react faster to dynamic hints. Clamped to at least 1.
+    pub flush_batch_pages: usize,
 }
+
+/// Default committer stream count: `min(4, available cores)`.
+pub fn default_committer_streams() -> usize {
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    cores.min(4)
+}
+
+/// Default pages per claimed flush batch.
+pub const DEFAULT_FLUSH_BATCH_PAGES: usize = 32;
 
 impl CkptConfig {
     /// The paper's `our-approach`: adaptive asynchronous incremental
@@ -45,6 +65,8 @@ impl CkptConfig {
             dynamic_hints: true,
             cow_bytes,
             max_pages: 1 << 18,
+            committer_streams: default_committer_streams(),
+            flush_batch_pages: DEFAULT_FLUSH_BATCH_PAGES,
         }
     }
 
@@ -57,6 +79,8 @@ impl CkptConfig {
             dynamic_hints: false,
             cow_bytes,
             max_pages: 1 << 18,
+            committer_streams: default_committer_streams(),
+            flush_batch_pages: DEFAULT_FLUSH_BATCH_PAGES,
         }
     }
 
@@ -68,6 +92,8 @@ impl CkptConfig {
             dynamic_hints: false,
             cow_bytes: 0,
             max_pages: 1 << 18,
+            committer_streams: default_committer_streams(),
+            flush_batch_pages: DEFAULT_FLUSH_BATCH_PAGES,
         }
     }
 
@@ -80,6 +106,18 @@ impl CkptConfig {
     /// Override the scheduler.
     pub fn with_scheduler(mut self, scheduler: SchedulerKind) -> Self {
         self.scheduler = scheduler;
+        self
+    }
+
+    /// Override the number of committer streams (clamped to ≥ 1).
+    pub fn with_committer_streams(mut self, streams: usize) -> Self {
+        self.committer_streams = streams.max(1);
+        self
+    }
+
+    /// Override the flush batch size (clamped to ≥ 1).
+    pub fn with_flush_batch_pages(mut self, pages: usize) -> Self {
+        self.flush_batch_pages = pages.max(1);
         self
     }
 
@@ -114,8 +152,23 @@ mod tests {
     fn builders() {
         let c = CkptConfig::ai_ckpt(0)
             .with_max_pages(1024)
-            .with_scheduler(SchedulerKind::AccessOrder);
+            .with_scheduler(SchedulerKind::AccessOrder)
+            .with_committer_streams(0)
+            .with_flush_batch_pages(0);
         assert_eq!(c.max_pages, 1024);
         assert_eq!(c.scheduler, SchedulerKind::AccessOrder);
+        assert_eq!(c.committer_streams, 1, "clamped to at least one stream");
+        assert_eq!(c.flush_batch_pages, 1, "clamped to at least one page");
+    }
+
+    #[test]
+    fn default_streams_bounded_by_four() {
+        let d = default_committer_streams();
+        assert!((1..=4).contains(&d), "default streams {d}");
+        assert_eq!(CkptConfig::ai_ckpt(0).committer_streams, d);
+        assert_eq!(
+            CkptConfig::ai_ckpt(0).flush_batch_pages,
+            DEFAULT_FLUSH_BATCH_PAGES
+        );
     }
 }

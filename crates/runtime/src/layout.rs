@@ -40,12 +40,8 @@ fn unescape(s: &str) -> io::Result<String> {
             if i + 2 > bytes.len() {
                 return Err(bad("truncated escape"));
             }
-            let hex = s
-                .get(i + 1..i + 3)
-                .ok_or_else(|| bad("truncated escape"))?;
-            out.push(
-                u8::from_str_radix(hex, 16).map_err(|_| bad("bad escape digits"))?,
-            );
+            let hex = s.get(i + 1..i + 3).ok_or_else(|| bad("truncated escape"))?;
+            out.push(u8::from_str_radix(hex, 16).map_err(|_| bad("bad escape digits"))?);
             i += 3;
         } else {
             out.push(bytes[i]);

@@ -5,8 +5,9 @@
 //! HPDC '13): a checkpointing runtime for iterative applications that
 //!
 //! * tracks dirty pages with `mprotect`/`SIGSEGV` (incremental),
-//! * flushes them from a background thread while the application keeps
-//!   running (asynchronous),
+//! * flushes them from a pool of background committer streams while the
+//!   application keeps running (asynchronous, multi-stream: see
+//!   [`CkptConfig::committer_streams`](config::CkptConfig::committer_streams)),
 //! * absorbs conflicting writes in a small, bounded copy-on-write buffer,
 //! * and — the paper's contribution — orders the flush by the
 //!   application's *current and past* memory access pattern so the

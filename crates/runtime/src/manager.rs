@@ -1,21 +1,35 @@
 //! The page manager: "the central actor of our approach" (§3.2), tying the
-//! deterministic engine to real memory protection, a background committer
-//! thread and a storage backend.
+//! deterministic engine to real memory protection, a pool of background
+//! committer streams and a storage backend.
 //!
-//! Thread/lock architecture (the paper's two concurrent modules, §3.3):
+//! Thread/lock architecture (the paper's two concurrent modules, §3.3,
+//! generalised to N committer streams):
 //!
 //! * **Application threads** run `PROTECTED_PAGE_HANDLER` inside the SIGSEGV
 //!   handler ([`fault_entry`]): they take the engine spin lock briefly, may
 //!   copy a page into a CoW slot under it, may spin-wait (lock-free, on the
-//!   shared [`StateTable`]) until the committer processes their page, then
-//!   lift the page's write protection and retry the faulting instruction.
-//! * **The committer thread** runs `ASYNC_COMMIT`: it picks pages under the
-//!   engine lock (Algorithm 4) but performs storage I/O *outside* it, so
-//!   fault handling never blocks on the disk.
+//!   shared [`StateTable`]) until a committer stream processes their page,
+//!   then lift the page's write protection and retry the faulting
+//!   instruction.
+//! * **The committer pool** runs `ASYNC_COMMIT` across
+//!   `CkptConfig::committer_streams` worker threads: each stream claims a
+//!   *batch* of pages under the engine lock
+//!   ([`EpochEngine::select_batch`], built on `FlushPlan::next_batch`) and
+//!   performs storage I/O *outside* it through a shared per-epoch
+//!   [`EpochWriter`] session, so fault handling never blocks on the disk
+//!   and independent storage channels are driven concurrently. The
+//!   engine's `select_*`/`complete_flush` transitions serialise correctly
+//!   under the existing spin lock, so no new synchronisation is needed on
+//!   the scheduling side.
+//! * **A coordinator thread** sequences whole checkpoints: it opens the
+//!   epoch session, fans the drain out to the worker pool, waits for every
+//!   stream to finish, then commits the epoch atomically
+//!   (`finish`) or aborts it if any stream failed — a failed stream never
+//!   leaves a partially visible epoch.
 //! * **`CHECKPOINT`** (any application thread) waits for the previous
 //!   checkpoint, rolls the epoch under the engine lock, re-protects every
-//!   region, and hands the flush to the committer (async mode) or waits for
-//!   it (sync mode).
+//!   region, and hands the flush to the coordinator (async mode) or waits
+//!   for it (sync mode).
 //!
 //! Lock ordering: `regions` → `engine`. The engine lock is the only lock
 //! touched by the fault handler; nothing allocates while holding it.
@@ -29,7 +43,7 @@
 //! thread-safe); only the request itself must be quiesced.
 
 use std::io;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc;
 use std::sync::Arc;
 use std::time::Instant;
@@ -37,15 +51,15 @@ use std::time::Instant;
 use parking_lot::{Condvar, Mutex};
 
 use ai_ckpt_core::{
-    CheckpointPlanInfo, EngineConfig, EpochEngine, FlushSource, PageId, SpinLock, StateTable,
-    WriteOutcome,
+    CheckpointPlanInfo, EngineConfig, EpochEngine, FlushItem, FlushSource, PageId, SpinLock,
+    StateTable, WriteOutcome,
 };
 use ai_ckpt_mem::{page_size, registry, sigsegv, MappedRegion, Protection, RegionHit};
-use ai_ckpt_storage::StorageBackend;
+use ai_ckpt_storage::{EpochWriter, StorageBackend};
 
 use crate::config::{CkptConfig, CkptMode};
 use crate::layout::{self, BufferLayout};
-use crate::stats::{CheckpointRecord, RuntimeStats};
+use crate::stats::{CheckpointRecord, RuntimeStats, StreamStats};
 
 /// State reachable from the SIGSEGV handler. Lives behind an `Arc` whose
 /// address is the registry token, so the handler can reach it without any
@@ -121,14 +135,67 @@ enum Cmd {
     Shutdown,
 }
 
+/// Upper bound on pages written+completed per sub-batch inside a claimed
+/// run: caps how long a MustWait-blocked application thread can be stuck
+/// behind in-flight batch I/O (the seed's single committer completed per
+/// page; large uncut batches would multiply that wait by the batch size).
+const WAKE_BATCH_PAGES: usize = 8;
+
+/// Work counters of one committer stream (atomics: bumped by the worker,
+/// snapshot by `PageManager::stats`).
+#[derive(Default)]
+struct StreamCounters {
+    pages: AtomicU64,
+    bytes: AtomicU64,
+    batches: AtomicU64,
+}
+
+/// One checkpoint's shared drain state, published by the coordinator to the
+/// worker streams.
+#[derive(Clone)]
+struct FlushJob {
+    /// The epoch session every stream writes into. `None` when opening the
+    /// epoch failed — the streams then drain the engine *without* writing
+    /// so page states settle and blocked writers wake.
+    writer: Option<Arc<dyn EpochWriter>>,
+    /// Set by the first stream that hits a storage error; later batches are
+    /// skipped (drain-only) and the coordinator aborts the epoch.
+    failed: Arc<AtomicBool>,
+    /// The first storage error's message (first writer wins).
+    error: Arc<Mutex<Option<String>>>,
+}
+
+#[derive(Default)]
+struct PoolState {
+    /// Bumped per published job; workers track the last generation they
+    /// served so a stale wake-up never re-runs an old job.
+    generation: u64,
+    job: Option<FlushJob>,
+    /// Streams still draining the current job.
+    running: usize,
+    shutdown: bool,
+}
+
+/// Coordinator/worker hand-off for the committer pool.
+struct Pool {
+    state: Mutex<PoolState>,
+    /// Workers wait here for the next job (or shutdown).
+    work: Condvar,
+    /// The coordinator waits here for the drain to complete.
+    drained: Condvar,
+    streams: Vec<StreamCounters>,
+}
+
 /// The AI-Ckpt runtime entry point. One per process is typical (the paper's
 /// page manager), but multiple independent managers are supported.
 pub struct PageManager {
     pub(crate) ctl: Arc<Ctl>,
     pub(crate) regions: Arc<Mutex<Regions>>,
     cfg: CkptConfig,
+    pool: Arc<Pool>,
     tx: mpsc::Sender<Cmd>,
     join: Option<std::thread::JoinHandle<()>>,
+    workers: Vec<std::thread::JoinHandle<()>>,
     /// Backend epochs committed before this manager started (restart case):
     /// checkpoint `n` of this manager persists as epoch `epoch_base + n`.
     epoch_base: u64,
@@ -139,6 +206,7 @@ impl PageManager {
     /// installing the process-wide SIGSEGV handler if necessary.
     pub fn new(cfg: CkptConfig, backend: Box<dyn StorageBackend>) -> io::Result<Self> {
         sigsegv::install(fault_entry)?;
+        let backend: Arc<dyn StorageBackend> = Arc::from(backend);
         // Resume epoch numbering after the backend's last committed
         // checkpoint (fresh backends start at 0).
         let epoch_base = backend.epochs()?.last().copied().unwrap_or(0);
@@ -168,17 +236,54 @@ impl PageManager {
             done: Condvar::new(),
             stats: Mutex::new(Vec::new()),
         });
+        let n_streams = cfg.committer_streams.max(1);
+        let batch_pages = cfg.flush_batch_pages.max(1);
         let (tx, rx) = mpsc::channel();
-        let committer_ctl = Arc::clone(&ctl);
-        let join = std::thread::Builder::new()
-            .name("ai-ckpt-committer".into())
-            .spawn(move || committer_loop(committer_ctl, rx, backend))?;
+        let pool = Arc::new(Pool {
+            state: Mutex::new(PoolState::default()),
+            work: Condvar::new(),
+            drained: Condvar::new(),
+            streams: (0..n_streams).map(|_| StreamCounters::default()).collect(),
+        });
+        let mut workers = Vec::with_capacity(n_streams);
+        let spawned = (|| -> io::Result<std::thread::JoinHandle<()>> {
+            for stream in 0..n_streams {
+                let pool = Arc::clone(&pool);
+                let ctl = Arc::clone(&ctl);
+                workers.push(
+                    std::thread::Builder::new()
+                        .name(format!("ai-ckpt-stream-{stream}"))
+                        .spawn(move || stream_loop(ctl, pool, stream, batch_pages))?,
+                );
+            }
+            let committer_ctl = Arc::clone(&ctl);
+            let committer_pool = Arc::clone(&pool);
+            std::thread::Builder::new()
+                .name("ai-ckpt-committer".into())
+                .spawn(move || committer_loop(committer_ctl, committer_pool, rx, backend))
+        })();
+        let join = match spawned {
+            Ok(join) => join,
+            Err(e) => {
+                // A later spawn failed: release the workers already parked
+                // on the pool, or they (and everything the Ctl pins) would
+                // leak for the process lifetime.
+                pool.state.lock().shutdown = true;
+                pool.work.notify_all();
+                for w in workers {
+                    let _ = w.join();
+                }
+                return Err(e);
+            }
+        };
         Ok(Self {
             ctl,
             regions: Arc::new(Mutex::new(Regions::default())),
             cfg,
+            pool,
             tx,
             join: Some(join),
+            workers,
             epoch_base,
         })
     }
@@ -218,8 +323,10 @@ impl PageManager {
         }
         regions.next_page = base + pages;
         for i in 0..pages {
-            self.ctl.shared.page_addr[base + i]
-                .store(region.addr() + i * self.ctl.shared.page_bytes, Ordering::Release);
+            self.ctl.shared.page_addr[base + i].store(
+                region.addr() + i * self.ctl.shared.page_bytes,
+                Ordering::Release,
+            );
         }
         let token = Arc::as_ptr(&self.ctl.shared) as usize;
         let handle = registry::register(region.addr(), region.len(), token, base)
@@ -346,6 +453,18 @@ impl PageManager {
         RuntimeStats {
             checkpoints: self.ctl.stats.lock().clone(),
             live_epoch: self.ctl.shared.engine.lock().current_stats(),
+            streams: self
+                .pool
+                .streams
+                .iter()
+                .enumerate()
+                .map(|(stream, c)| StreamStats {
+                    stream,
+                    pages: c.pages.load(Ordering::Relaxed),
+                    bytes: c.bytes.load(Ordering::Relaxed),
+                    batches: c.batches.load(Ordering::Relaxed),
+                })
+                .collect(),
         }
     }
 
@@ -365,6 +484,15 @@ impl Drop for PageManager {
         let _ = self.tx.send(Cmd::Shutdown);
         if let Some(j) = self.join.take() {
             let _ = j.join();
+        }
+        // The coordinator normally sets the pool's shutdown flag on its way
+        // out, but set it here too (idempotent): a coordinator that died by
+        // panic must not leave the streams parked forever — this join would
+        // then hang the process in Drop.
+        self.pool.state.lock().shutdown = true;
+        self.pool.work.notify_all();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
         }
     }
 }
@@ -434,15 +562,19 @@ fn fault_entry(hit: RegionHit, _addr: usize) -> bool {
     }
 }
 
-/// `ASYNC_COMMIT` (Algorithm 3): the background committer thread.
-fn committer_loop(ctl: Arc<Ctl>, rx: mpsc::Receiver<Cmd>, mut backend: Box<dyn StorageBackend>) {
+/// The coordinator thread: sequences whole checkpoints, delegating the page
+/// drain to the committer stream pool.
+fn committer_loop(
+    ctl: Arc<Ctl>,
+    pool: Arc<Pool>,
+    rx: mpsc::Receiver<Cmd>,
+    backend: Arc<dyn StorageBackend>,
+) {
     // The committer's own allocations (backend buffers, error strings) must
     // never be routed into protected regions by the transparent-tracking
     // allocator: the hooks take the page-manager lock, which can deadlock
     // against an application thread waiting for this very thread.
     ai_ckpt_mem::alloc::exempt_thread_from_tracking(true);
-    let page_bytes = ctl.shared.page_bytes;
-    let mut staging = vec![0u8; page_bytes];
     while let Ok(cmd) = rx.recv() {
         match cmd {
             Cmd::Shutdown => break,
@@ -451,8 +583,7 @@ fn committer_loop(ctl: Arc<Ctl>, rx: mpsc::Receiver<Cmd>, mut backend: Box<dyn S
                 started,
                 layout_blob,
             } => {
-                let result =
-                    flush_checkpoint(&ctl, backend.as_mut(), seq, &layout_blob, &mut staging);
+                let result = flush_checkpoint(&pool, backend.as_ref(), seq, &layout_blob);
                 let duration = started.elapsed();
                 {
                     let mut stats = ctl.stats.lock();
@@ -470,70 +601,245 @@ fn committer_loop(ctl: Arc<Ctl>, rx: mpsc::Receiver<Cmd>, mut backend: Box<dyn S
             }
         }
     }
+    // Release the stream pool on the way out.
+    let mut st = pool.state.lock();
+    st.shutdown = true;
+    pool.work.notify_all();
 }
 
-/// Drain one checkpoint. On storage error, keeps draining the engine
-/// *without* writing so page states stay consistent and blocked writers
-/// wake; the epoch is then not committed (no manifest record), and the error
-/// is reported through `wait_checkpoint`/the next `checkpoint` call.
+/// Drain one checkpoint through the stream pool. On any storage error
+/// (opening the epoch, writing a batch, committing), the streams keep
+/// draining the engine *without* writing so page states stay consistent and
+/// blocked writers wake; the epoch is then aborted atomically (never
+/// partially visible), and the error is reported through
+/// `wait_checkpoint`/the next `checkpoint` call.
 fn flush_checkpoint(
-    ctl: &Ctl,
-    backend: &mut dyn StorageBackend,
+    pool: &Arc<Pool>,
+    backend: &dyn StorageBackend,
     seq: u64,
     layout_blob: &[u8],
-    staging: &mut [u8],
 ) -> io::Result<()> {
+    let (writer, open_error) = match backend.begin_epoch(seq) {
+        Ok(w) => (Some(Arc::<dyn EpochWriter>::from(w)), None),
+        Err(e) => (None, Some(e)),
+    };
+    let job = FlushJob {
+        writer: writer.clone(),
+        failed: Arc::new(AtomicBool::new(open_error.is_some())),
+        error: Arc::new(Mutex::new(open_error.map(|e| e.to_string()))),
+    };
+    // Publish the drain job to the worker streams.
+    {
+        let mut st = pool.state.lock();
+        debug_assert!(st.job.is_none(), "one checkpoint in flight at a time");
+        st.generation += 1;
+        st.running = pool.streams.len();
+        st.job = Some(job.clone());
+        pool.work.notify_all();
+    }
+    // Wait until every stream finished draining, then collect the verdict.
+    {
+        let mut st = pool.state.lock();
+        while st.running > 0 {
+            pool.drained.wait(&mut st);
+        }
+        st.job = None;
+    }
+    let error = job.error.lock().take();
+    match (writer, error) {
+        (Some(writer), None) => {
+            if let Err(e) = backend.put_blob(&layout::blob_name(seq), layout_blob) {
+                // Abort explicitly rather than relying on the writer Arc's
+                // last drop: a worker may still hold its FlushJob clone for
+                // a moment, and the next checkpoint's begin_epoch must not
+                // race that drop and see the session still open.
+                let _ = writer.abort();
+                return Err(e);
+            }
+            writer.finish()
+        }
+        (writer, Some(msg)) => {
+            if let Some(w) = writer {
+                let _ = w.abort(); // never expose a partial epoch
+            }
+            Err(io::Error::other(msg))
+        }
+        (None, None) => unreachable!("no writer implies an open error"),
+    }
+}
+
+/// `ASYNC_COMMIT` (Algorithm 3), one stream of it: wait for a drain job,
+/// then repeatedly claim a batch of pages under the engine lock and commit
+/// it to the epoch session outside the lock.
+fn stream_loop(ctl: Arc<Ctl>, pool: Arc<Pool>, stream: usize, batch_pages: usize) {
+    // Same exemption as the coordinator: never allocate into protected
+    // regions from checkpointing machinery (deadlock; see committer_loop).
+    ai_ckpt_mem::alloc::exempt_thread_from_tracking(true);
     let page_bytes = ctl.shared.page_bytes;
-    let mut io_result = backend.begin_epoch(seq);
+    let mut staging = vec![0u8; batch_pages * page_bytes];
+    let mut items: Vec<FlushItem> = Vec::with_capacity(batch_pages);
+    let mut served_generation = 0u64;
     loop {
-        let item = {
-            let mut eng = ctl.shared.engine.lock();
-            match eng.select_next() {
-                Some(item) => item,
-                None => {
-                    if !eng.checkpoint_active() {
-                        break;
-                    }
-                    drop(eng);
-                    // Unreachable with a single committer; be safe anyway.
-                    std::thread::yield_now();
-                    continue;
+        let job = {
+            let mut st = pool.state.lock();
+            loop {
+                if st.shutdown {
+                    return;
                 }
+                if st.generation != served_generation {
+                    if let Some(job) = st.job.clone() {
+                        served_generation = st.generation;
+                        break job;
+                    }
+                }
+                pool.work.wait(&mut st);
             }
         };
-        if io_result.is_ok() {
-            match item.source {
-                FlushSource::Memory => {
-                    let addr = ctl.shared.page_addr[item.page as usize].load(Ordering::Acquire);
-                    debug_assert_ne!(addr, 0, "flushing an unregistered page");
-                    // Copy through raw pointers into the staging buffer: the
-                    // page is PAGE_INPROGRESS so no application thread can
-                    // write it (they block in the fault handler), and we
-                    // never materialise a & reference into app memory.
-                    // SAFETY: addr is a live page; staging has page_bytes.
-                    unsafe {
-                        std::ptr::copy_nonoverlapping(
-                            addr as *const u8,
-                            staging.as_mut_ptr(),
-                            page_bytes,
-                        );
+        drain_stream(
+            &ctl,
+            &job,
+            &pool.streams[stream],
+            batch_pages,
+            &mut staging,
+            &mut items,
+        );
+        let mut st = pool.state.lock();
+        st.running -= 1;
+        if st.running == 0 {
+            pool.drained.notify_all();
+        }
+    }
+}
+
+/// One stream's share of a checkpoint drain. Returns when the checkpoint is
+/// fully drained (every scheduled page `PAGE_PROCESSED`).
+fn drain_stream(
+    ctl: &Ctl,
+    job: &FlushJob,
+    counters: &StreamCounters,
+    batch_pages: usize,
+    staging: &mut [u8],
+    items: &mut Vec<FlushItem>,
+) {
+    let page_bytes = ctl.shared.page_bytes;
+    // Tail-wait backoff: when the drain's remainder is all on other
+    // streams, poll gently instead of hammering the engine spin lock.
+    let mut idle_polls = 0u32;
+    loop {
+        items.clear();
+        let active = {
+            let mut eng = ctl.shared.engine.lock();
+            eng.select_batch(batch_pages, items);
+            eng.checkpoint_active()
+        };
+        if items.is_empty() {
+            if !active {
+                return;
+            }
+            // Remaining pages are PAGE_INPROGRESS on other streams; they
+            // will complete them (storage I/O is ms-scale, so burning a
+            // core here would add interference for nothing). Yield briefly,
+            // then back off to short sleeps.
+            idle_polls = idle_polls.saturating_add(1);
+            if idle_polls < 8 {
+                std::thread::yield_now();
+            } else {
+                std::thread::sleep(std::time::Duration::from_micros(200));
+            }
+            continue;
+        }
+        idle_polls = 0;
+        // Drain-only (a stream failed, or the epoch never opened): skip the
+        // staging copies — nothing will be written; only the bookkeeping
+        // below matters, so blocked writers wake without a gratuitous
+        // memcpy of the whole remaining dirty set.
+        let drain_only = job.writer.is_none() || job.failed.load(Ordering::Acquire);
+        if !drain_only {
+            // Stage the claimed pages outside the selection's critical
+            // section. Memory-sourced pages are PAGE_INPROGRESS, so any
+            // writer is blocked in the fault handler until this stream
+            // completes the flush. CoW slots of claimed items are equally
+            // stable — only this stream's complete_flush can release them —
+            // but reading the slab needs the engine lock, so each CoW page
+            // is copied under its own brief lock hold (one page per
+            // critical section, like the single-committer design:
+            // fault-handler latency stays bounded by one memcpy, not a
+            // whole batch of them).
+            for (i, item) in items.iter().enumerate() {
+                match item.source {
+                    FlushSource::Memory => {
+                        let addr = ctl.shared.page_addr[item.page as usize].load(Ordering::Acquire);
+                        debug_assert_ne!(addr, 0, "flushing an unregistered page");
+                        // SAFETY: addr is a live page of page_bytes; the
+                        // staging slice is page_bytes at offset i; ranges
+                        // cannot overlap.
+                        unsafe {
+                            std::ptr::copy_nonoverlapping(
+                                addr as *const u8,
+                                staging[i * page_bytes..].as_mut_ptr(),
+                                page_bytes,
+                            );
+                        }
+                    }
+                    FlushSource::CowSlot(slot) => {
+                        let eng = ctl.shared.engine.lock();
+                        staging[i * page_bytes..(i + 1) * page_bytes]
+                            .copy_from_slice(eng.slab_slot(slot));
                     }
                 }
-                FlushSource::CowSlot(slot) => {
-                    let eng = ctl.shared.engine.lock();
-                    staging.copy_from_slice(eng.slab_slot(slot));
-                }
-            }
-            if let Err(e) = backend.write_page(item.page as u64, staging) {
-                io_result = Err(e);
             }
         }
-        ctl.shared.engine.lock().complete_flush(item);
+        // Write and complete in wake-bounded sub-batches: completing only
+        // after the whole claimed run's I/O would make a MustWait-blocked
+        // application thread sleep for up to `flush_batch_pages` pages of
+        // storage time instead of a few — a sub-batch caps that latency at
+        // WAKE_BATCH_PAGES pages while still amortising per-request backend
+        // overhead and engine-lock acquisitions.
+        let sub = batch_pages.clamp(1, WAKE_BATCH_PAGES);
+        let mut idx = 0;
+        while idx < items.len() {
+            let end = (idx + sub).min(items.len());
+            if !drain_only && !job.failed.load(Ordering::Acquire) {
+                if let Some(writer) = &job.writer {
+                    // Stack-built batch (sub ≤ WAKE_BATCH_PAGES): the hot
+                    // flush path stays allocation-free.
+                    let mut batch: [(u64, &[u8]); WAKE_BATCH_PAGES] = [(0, &[]); WAKE_BATCH_PAGES];
+                    for (k, (item, i)) in items[idx..end].iter().zip(idx..end).enumerate() {
+                        batch[k] = (
+                            item.page as u64,
+                            &staging[i * page_bytes..(i + 1) * page_bytes],
+                        );
+                    }
+                    let batch = &batch[..end - idx];
+                    match writer.write_pages(batch) {
+                        Ok(()) => {
+                            counters.batches.fetch_add(1, Ordering::Relaxed);
+                            counters
+                                .pages
+                                .fetch_add(batch.len() as u64, Ordering::Relaxed);
+                            counters
+                                .bytes
+                                .fetch_add((batch.len() * page_bytes) as u64, Ordering::Relaxed);
+                        }
+                        Err(e) => {
+                            // First error wins; every stream switches to
+                            // drain-only so the epoch aborts atomically.
+                            if !job.failed.swap(true, Ordering::AcqRel) {
+                                *job.error.lock() = Some(e.to_string());
+                            }
+                        }
+                    }
+                }
+            }
+            // Completing the sub-batch releases CoW slots, publishes
+            // PAGE_PROCESSED (waking blocked writers) and detects
+            // checkpoint completion — one lock acquisition per sub-batch.
+            let mut eng = ctl.shared.engine.lock();
+            for &item in &items[idx..end] {
+                eng.complete_flush(item);
+            }
+            idx = end;
+        }
+        items.clear();
     }
-    if let Err(e) = io_result {
-        let _ = backend.abort_epoch(); // never expose a partial epoch
-        return Err(e);
-    }
-    backend.put_blob(&layout::blob_name(seq), layout_blob)?;
-    backend.finish_epoch()
 }

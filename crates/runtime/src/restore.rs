@@ -54,14 +54,12 @@ pub fn restore_at(
     backend: &dyn StorageBackend,
     seq: u64,
 ) -> io::Result<RestoredState> {
-    let blob = backend
-        .get_blob(&layout::blob_name(seq))?
-        .ok_or_else(|| {
-            io::Error::new(
-                io::ErrorKind::NotFound,
-                format!("no layout blob for checkpoint {seq}"),
-            )
-        })?;
+    let blob = backend.get_blob(&layout::blob_name(seq))?.ok_or_else(|| {
+        io::Error::new(
+            io::ErrorKind::NotFound,
+            format!("no layout blob for checkpoint {seq}"),
+        )
+    })?;
     let layouts = layout::decode(&blob)?;
     let image = CheckpointImage::load(backend, seq)?;
     let page_bytes = ai_ckpt_mem::page_size();

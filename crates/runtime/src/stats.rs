@@ -26,6 +26,39 @@ pub struct CheckpointRecord {
     pub closed_epoch: EpochStats,
 }
 
+/// Cumulative work performed by one committer stream (since the manager
+/// started). The flush pipeline's load balance is visible here: with `N`
+/// streams on a parallel backend, pages/bytes should spread roughly evenly;
+/// a single hot stream means the backend serialises internally.
+///
+/// The counters record work *issued to the backend*, including pages
+/// written into an epoch session that was later aborted on a storage error
+/// — they measure pipeline throughput, not durable data (use
+/// [`CheckpointRecord::failed`] / the backend's `epochs()` for
+/// durability).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StreamStats {
+    /// Stream index (0-based).
+    pub stream: usize,
+    /// Pages this stream wrote to the backend.
+    pub pages: u64,
+    /// Payload bytes this stream wrote to the backend.
+    pub bytes: u64,
+    /// `write_pages` batches this stream issued.
+    pub batches: u64,
+}
+
+impl StreamStats {
+    /// Mean pages per issued batch.
+    pub fn mean_batch_pages(&self) -> f64 {
+        if self.batches == 0 {
+            0.0
+        } else {
+            self.pages as f64 / self.batches as f64
+        }
+    }
+}
+
 /// Snapshot of the runtime's accumulated metrics.
 #[derive(Debug, Clone, Default)]
 pub struct RuntimeStats {
@@ -34,6 +67,8 @@ pub struct RuntimeStats {
     /// Statistics of the epoch currently accumulating (not yet closed by a
     /// checkpoint request).
     pub live_epoch: EpochStats,
+    /// Per-committer-stream work counters, one entry per configured stream.
+    pub streams: Vec<StreamStats>,
 }
 
 impl RuntimeStats {
@@ -117,6 +152,7 @@ mod tests {
                 record(4, None, true, 0, 3),
             ],
             live_epoch: EpochStats::default(),
+            streams: Vec::new(),
         };
         assert_eq!(
             stats.mean_checkpoint_time(1),
@@ -132,12 +168,16 @@ mod tests {
     #[test]
     fn mean_wait_includes_live_epoch() {
         let stats = RuntimeStats {
-            checkpoints: vec![record(1, Some(1), false, 100, 0), record(2, Some(1), false, 10, 1)],
+            checkpoints: vec![
+                record(1, Some(1), false, 100, 0),
+                record(2, Some(1), false, 10, 1),
+            ],
             live_epoch: EpochStats {
                 epoch: 2,
                 wait: 20,
                 ..Default::default()
             },
+            streams: Vec::new(),
         };
         // Epochs 1 and 2 (skip epoch 0 = pre-first-checkpoint).
         assert_eq!(stats.mean_wait(1), 15.0);

@@ -1,30 +1,36 @@
 //! Stress the fault path under thread contention: many threads writing the
 //! SAME pages concurrently while the committer flushes — exercising the
 //! racing-CoW (`AlreadyHandled`), double-wait and spinlock paths that
-//! single-threaded tests cannot reach.
+//! single-threaded tests cannot reach. Every scenario runs across multiple
+//! committer-stream counts: 1 (the paper's single `ASYNC_COMMIT` thread), 2
+//! and 8 (oversubscribed pipeline).
 
-use std::sync::atomic::AtomicUsize;
 use std::time::Duration;
 
 use ai_ckpt::{CkptConfig, PageManager};
 use ai_ckpt_mem::page_size;
-use ai_ckpt_storage::{CheckpointImage, MemoryBackend, StorageBackend, ThrottledBackend};
+use ai_ckpt_storage::{
+    CheckpointImage, FailingBackend, MemoryBackend, StorageBackend, ThrottledBackend,
+};
 
-#[test]
-fn racing_writers_on_shared_pages() {
+/// The stream counts every stress scenario is exercised with.
+const STREAM_COUNTS: [usize; 3] = [1, 2, 8];
+
+fn racing_writers_with_streams(streams: usize) {
     let ps = page_size();
     let pages = 32;
     let threads = 4;
     let (mem, view) = MemoryBackend::shared();
     let backend = ThrottledBackend::new(mem, 16.0 * 1024.0 * 1024.0, Duration::ZERO);
-    let mgr = PageManager::new(CkptConfig::ai_ckpt(4 * ps), Box::new(backend)).unwrap();
+    let cfg = CkptConfig::ai_ckpt(4 * ps)
+        .with_committer_streams(streams)
+        .with_flush_batch_pages(4);
+    let mgr = PageManager::new(cfg, Box::new(backend)).unwrap();
     let mut buf = mgr.alloc_protected(pages * ps).unwrap();
     let base = buf.base_page() as u64;
 
     for epoch in 1..=4u8 {
         let ptr = buf.as_mut_slice().as_mut_ptr() as usize;
-        let faults_before = AtomicUsize::new(0);
-        let _ = &faults_before;
         std::thread::scope(|s| {
             for t in 0..threads {
                 s.spawn(move || {
@@ -49,17 +55,128 @@ fn racing_writers_on_shared_pages() {
     // Every epoch's image carries that epoch's bytes for all threads.
     for epoch in 1..=4u8 {
         let img = CheckpointImage::load(&view, epoch as u64).unwrap();
-        assert_eq!(img.len(), pages, "epoch {epoch} page count");
+        assert_eq!(
+            img.len(),
+            pages,
+            "epoch {epoch} page count ({streams} streams)"
+        );
         for p in 0..pages as u64 {
             let data = img.page(base + p).unwrap();
             for (t, &byte) in data.iter().enumerate().take(threads) {
                 assert_eq!(
                     byte,
                     epoch.wrapping_add(t as u8),
-                    "epoch {epoch}, page {p}, thread-byte {t}"
+                    "epoch {epoch}, page {p}, thread-byte {t} ({streams} streams)"
                 );
             }
         }
+    }
+    // Every configured stream is reported; together they flushed every page.
+    let stats = mgr.stats();
+    assert_eq!(stats.streams.len(), streams);
+    let total_pages: u64 = stats.streams.iter().map(|s| s.pages).sum();
+    assert_eq!(total_pages, 4 * pages as u64, "{streams} streams");
+}
+
+#[test]
+fn racing_writers_on_shared_pages() {
+    for streams in STREAM_COUNTS {
+        racing_writers_with_streams(streams);
+    }
+}
+
+#[test]
+fn multi_stream_restore_is_byte_identical_to_single_stream() {
+    // The acceptance bar for the flush pipeline: the number of committer
+    // streams is invisible in the persisted data. Run the same deterministic
+    // workload under 1 and 4 streams and diff the restore images per epoch.
+    let ps = page_size();
+    let pages = 48;
+    let run = |streams: usize| {
+        let (mem, view) = MemoryBackend::shared();
+        let cfg = CkptConfig::ai_ckpt(4 * ps)
+            .with_committer_streams(streams)
+            .with_flush_batch_pages(3);
+        let mgr = PageManager::new(cfg, Box::new(mem)).unwrap();
+        let mut buf = mgr.alloc_protected_named("state", pages * ps).unwrap();
+        let base = buf.base_page() as u64;
+        for epoch in 1..=3u8 {
+            let slice = buf.as_mut_slice();
+            for p in 0..pages {
+                if (p + epoch as usize).is_multiple_of(epoch as usize + 1) {
+                    slice[p * ps..p * ps + 8].fill(epoch.wrapping_mul(17) ^ p as u8);
+                }
+            }
+            mgr.checkpoint().unwrap();
+        }
+        mgr.wait_checkpoint().unwrap();
+        let mut images = Vec::new();
+        for epoch in 1..=3u64 {
+            let img = CheckpointImage::load(&view, epoch).unwrap();
+            images.push(
+                img.iter()
+                    .map(|(p, d)| (p - base, d.to_vec()))
+                    .collect::<Vec<_>>(),
+            );
+        }
+        images
+    };
+    let single = run(1);
+    let multi = run(4);
+    assert_eq!(single, multi, "restore images differ between stream counts");
+}
+
+#[test]
+fn mid_epoch_stream_error_aborts_epoch_atomically() {
+    // A storage error on one stream mid-epoch must (a) wake every blocked
+    // writer, (b) surface the error, and (c) leave NO trace of the epoch —
+    // not a partial one — while later checkpoints commit normally.
+    let ps = page_size();
+    let pages = 64;
+    for streams in STREAM_COUNTS {
+        let (mem, view) = MemoryBackend::shared();
+        let (backend, control) = FailingBackend::new(mem);
+        let cfg = CkptConfig::ai_ckpt(0)
+            .with_committer_streams(streams)
+            .with_flush_batch_pages(4);
+        let mgr = PageManager::new(cfg, Box::new(backend)).unwrap();
+        let mut buf = mgr.alloc_protected(pages * ps).unwrap();
+        buf.as_mut_slice().fill(1);
+        // Fail after ~a third of the epoch's records: several streams are
+        // mid-flight when the error hits.
+        control.fail_writes_after(pages as u64 / 3);
+        mgr.checkpoint().unwrap();
+        // Writers racing the failing flush must not deadlock (no CoW slots:
+        // every conflicting write blocks until its page is "processed").
+        buf.as_mut_slice().fill(2);
+        let err = mgr.wait_checkpoint().unwrap_err();
+        assert!(err.to_string().contains("injected"), "got: {err}");
+        assert!(
+            view.epochs().unwrap().is_empty(),
+            "failed epoch visible with {streams} streams"
+        );
+        assert!(
+            view.total_pages() == 0,
+            "aborted epoch leaked records with {streams} streams"
+        );
+
+        // The runtime stays usable: heal and commit the next checkpoint.
+        control.heal();
+        buf.as_mut_slice().fill(3);
+        mgr.checkpoint().unwrap();
+        mgr.wait_checkpoint().unwrap();
+        assert_eq!(view.epochs().unwrap(), vec![2], "{streams} streams");
+        let img = CheckpointImage::load(&view, 2).unwrap();
+        let base = buf.base_page() as u64;
+        for p in 0..pages as u64 {
+            assert!(
+                img.page(base + p).unwrap().iter().all(|&b| b == 3),
+                "epoch 2 content wrong with {streams} streams"
+            );
+        }
+        let stats = mgr.stats();
+        assert!(stats.checkpoints[0].failed);
+        assert!(!stats.checkpoints[1].failed);
     }
 }
 

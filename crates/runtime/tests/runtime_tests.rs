@@ -59,7 +59,11 @@ fn incremental_chain_latest_wins() {
     let base = buf.base_page() as u64;
     assert_eq!(img.page(base).unwrap()[0], 1, "page 0 from epoch 1");
     assert_eq!(img.page(base + 1).unwrap()[0], 99, "page 1 from epoch 2");
-    assert_eq!(img.page(base + 1).unwrap()[1], 1, "rest of page 1 unchanged");
+    assert_eq!(
+        img.page(base + 1).unwrap()[1],
+        1,
+        "rest of page 1 unchanged"
+    );
 }
 
 #[test]
@@ -67,13 +71,16 @@ fn snapshot_consistency_under_concurrent_writes() {
     // Throttle storage so the flush demonstrably overlaps the writes.
     let (mem, view) = MemoryBackend::shared();
     let backend = ThrottledBackend::new(mem, 8.0 * 1024.0 * 1024.0, Duration::ZERO);
-    let mgr = PageManager::new(CkptConfig::ai_ckpt(4 * page_size()), Box::new(backend)).unwrap();
+    // One committer stream: the throttle is per-stream, and the test needs
+    // the flush to stay slow enough to demonstrably overlap the writes.
+    let cfg = CkptConfig::ai_ckpt(4 * page_size()).with_committer_streams(1);
+    let mgr = PageManager::new(cfg, Box::new(backend)).unwrap();
     let pages = 64;
     let mut buf = mgr.alloc_protected(pages * page_size()).unwrap();
 
     fill_pages(&mut buf, 7);
     mgr.checkpoint().unwrap(); // checkpoint 1 captures all-7s
-    // Immediately overwrite everything with 8s while the flush is running.
+                               // Immediately overwrite everything with 8s while the flush is running.
     fill_pages(&mut buf, 8);
     mgr.wait_checkpoint().unwrap();
 
@@ -165,7 +172,9 @@ fn restore_round_trip_two_buffers() {
     }
 
     let mgr = PageManager::new(CkptConfig::ai_ckpt(1 << 20), Box::new(view.clone())).unwrap();
-    let restored = restore_latest(&mgr, &view).unwrap().expect("checkpoints exist");
+    let restored = restore_latest(&mgr, &view)
+        .unwrap()
+        .expect("checkpoints exist");
     assert_eq!(restored.checkpoint, 2);
     assert_eq!(restored.buffers.len(), 2);
     let a = &restored.buffers[restored.by_name["grid"]];
@@ -210,7 +219,11 @@ fn many_epochs_stress() {
     let img = CheckpointImage::load(&view, 10).unwrap();
     let base = buf.base_page() as u64;
     // Epoch 10 (dirty set from epoch 9, val 10 at second half's first write)
-    assert_eq!(img.page(base).unwrap()[0], 9, "even epochs write first half");
+    assert_eq!(
+        img.page(base).unwrap()[0],
+        9,
+        "even epochs write first half"
+    );
     assert_eq!(
         img.page(base + pages as u64 / 2).unwrap()[0],
         10,
@@ -224,7 +237,10 @@ fn empty_checkpoint_commits_cleanly() {
     let mgr = PageManager::new(CkptConfig::ai_ckpt(0), Box::new(backend)).unwrap();
     let _buf = mgr.alloc_protected(page_size()).unwrap();
     let plan = mgr.checkpoint().unwrap();
-    assert_eq!(plan.scheduled_pages, 0, "nothing written, nothing scheduled");
+    assert_eq!(
+        plan.scheduled_pages, 0,
+        "nothing written, nothing scheduled"
+    );
     mgr.wait_checkpoint().unwrap();
     assert_eq!(view.epochs().unwrap(), vec![1], "epoch exists regardless");
 }
@@ -232,8 +248,7 @@ fn empty_checkpoint_commits_cleanly() {
 #[test]
 fn no_pattern_runtime_works_end_to_end() {
     let (backend, view) = MemoryBackend::shared();
-    let mgr =
-        PageManager::new(CkptConfig::async_no_pattern(1 << 16), Box::new(backend)).unwrap();
+    let mgr = PageManager::new(CkptConfig::async_no_pattern(1 << 16), Box::new(backend)).unwrap();
     let mut buf = mgr.alloc_protected(8 * page_size()).unwrap();
     fill_pages(&mut buf, 1);
     mgr.checkpoint().unwrap();

@@ -9,7 +9,9 @@
 //!
 //! * `Resume(rank)` — the rank continues executing its iteration script
 //!   (page writes → barrier → possibly `CHECKPOINT`);
-//! * `FlushDone(rank)` — the rank's in-flight storage request completed.
+//! * `FlushDone(rank, stream)` — one of the rank's in-flight storage
+//!   requests completed (a rank keeps up to
+//!   [`ClusterConfig::committer_streams`] requests in flight).
 //!
 //! A rank's writes are processed inline (no event per write) *up to the
 //! horizon of the next scheduled event*, so engine state observed by the
@@ -71,7 +73,12 @@ impl Strategy {
         matches!(self, Strategy::Sync | Strategy::Custom { sync: true, .. })
     }
 
-    fn engine_config(&self, pages: usize, page_bytes: usize, cow_slots: u32) -> Option<EngineConfig> {
+    fn engine_config(
+        &self,
+        pages: usize,
+        page_bytes: usize,
+        cow_slots: u32,
+    ) -> Option<EngineConfig> {
         let (scheduler, hints) = match self {
             Strategy::None => return None,
             Strategy::Sync => (SchedulerKind::AddressOrder, false),
@@ -81,16 +88,14 @@ impl Strategy {
                 scheduler, hints, ..
             } => (*scheduler, *hints),
         };
-        Some(
-            EngineConfig {
-                pages,
-                page_bytes,
-                cow_slots: if self.is_sync() { 0 } else { cow_slots },
-                scheduler,
-                dynamic_hints: hints,
-                cow_data: false,
-            },
-        )
+        Some(EngineConfig {
+            pages,
+            page_bytes,
+            cow_slots: if self.is_sync() { 0 } else { cow_slots },
+            scheduler,
+            dynamic_hints: hints,
+            cow_data: false,
+        })
     }
 }
 
@@ -111,6 +116,13 @@ pub struct ClusterConfig {
     pub ckpt_at_end: bool,
     /// Strategy under test.
     pub strategy: Strategy,
+    /// Concurrent committer streams per rank: how many storage requests a
+    /// rank's flusher keeps in flight simultaneously (the runtime's
+    /// `CkptConfig::committer_streams`). 1 reproduces the paper's single
+    /// `ASYNC_COMMIT` thread; more streams exploit storage-fabric
+    /// parallelism (striping spreads the in-flight requests over servers).
+    /// Clamped to at least 1.
+    pub committer_streams: usize,
     /// Copy-on-write slots per rank.
     pub cow_slots: u32,
     /// Barrier cost once every rank has arrived.
@@ -183,7 +195,9 @@ struct Rank {
     /// between tail and barrier, possibly yielding to earlier events).
     tail_done: bool,
     io_seq: u64,
-    inflight: Option<FlushItem>,
+    /// One slot per committer stream; `Some` while that stream has a
+    /// storage request in flight.
+    inflight: Vec<Option<FlushItem>>,
     wait_started: SimTime,
     ckpt_started: SimTime,
     jitter: SplitMix64,
@@ -195,7 +209,8 @@ struct Rank {
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 enum Ev {
     Resume(usize),
-    FlushDone(usize),
+    /// `(rank, stream slot)`: the request issued by that stream completed.
+    FlushDone(usize, usize),
 }
 
 /// The simulated cluster.
@@ -237,7 +252,7 @@ impl Cluster {
                 epoch_first_iter: 1,
                 io_seq: 0,
                 tail_done: false,
-                inflight: None,
+                inflight: vec![None; cfg.committer_streams.max(1)],
                 wait_started: SimTime::ZERO,
                 ckpt_started: SimTime::ZERO,
                 jitter: SplitMix64::new(cfg.seed ^ (r as u64).wrapping_mul(0x9E3779B97F4A7C15)),
@@ -281,7 +296,7 @@ impl Cluster {
                     self.after_barrier(r, t)
                 }
                 Ev::Resume(r) => self.step(r, t),
-                Ev::FlushDone(r) => self.flush_done(r, t),
+                Ev::FlushDone(r, slot) => self.flush_done(r, slot, t),
             }
         }
         // Close out the final epoch's statistics.
@@ -367,8 +382,7 @@ impl Cluster {
                 let mut write_cost = rank.app.per_write_ns() + rank.app.write_gap_ns(rank.pos);
                 if let Some(eng) = &rank.engine {
                     if eng.checkpoint_active() && !self.cfg.strategy.is_sync() {
-                        write_cost =
-                            (write_cost as f64 * self.cfg.async_compute_drag) as u64;
+                        write_cost = (write_cost as f64 * self.cfg.async_compute_drag) as u64;
                     }
                 }
                 if let Some(eng) = &mut rank.engine {
@@ -396,8 +410,7 @@ impl Cluster {
             // Iteration complete: tail compute + jitter...
             if !rank.tail_done {
                 let it_ns = rank.app.iteration_ns();
-                let extra =
-                    (it_ns as f64 * self.cfg.jitter * rank.jitter.next_f64()) as u64;
+                let extra = (it_ns as f64 * self.cfg.jitter * rank.jitter.next_f64()) as u64;
                 let mut tail = rank.app.tail_compute_ns() + extra;
                 if let Some(eng) = &rank.engine {
                     if eng.checkpoint_active() && !self.cfg.strategy.is_sync() {
@@ -510,35 +523,40 @@ impl Cluster {
         }
     }
 
-    /// Issue the next storage request for rank `r`'s flusher, if idle.
+    /// Top up rank `r`'s committer streams: issue one storage request per
+    /// idle stream while the engine still yields selectable pages.
     fn issue_flush(&mut self, r: usize, now: SimTime) {
-        let rank = &mut self.ranks[r];
-        if rank.inflight.is_some() {
-            return;
+        loop {
+            let rank = &mut self.ranks[r];
+            let Some(slot) = rank.inflight.iter().position(Option::is_none) else {
+                return; // every stream busy
+            };
+            let Some(eng) = rank.engine.as_mut() else {
+                return;
+            };
+            let Some(item) = eng.select_next() else {
+                return; // nothing selectable right now
+            };
+            rank.inflight[slot] = Some(item);
+            let app_running = rank.state == RankState::Running;
+            let bytes = rank.app.page_bytes() as u64;
+            let seq = rank.io_seq;
+            rank.io_seq += 1;
+            let node = rank.node;
+            let issue = now + self.storage.client_overhead(app_running);
+            let done = self.storage.submit(issue, r, node, seq, bytes);
+            self.push(done, Ev::FlushDone(r, slot));
         }
-        let Some(eng) = rank.engine.as_mut() else {
-            return;
-        };
-        let Some(item) = eng.select_next() else {
-            return;
-        };
-        rank.inflight = Some(item);
-        let app_running = rank.state == RankState::Running;
-        let bytes = rank.app.page_bytes() as u64;
-        let seq = rank.io_seq;
-        rank.io_seq += 1;
-        let node = rank.node;
-        let issue = now + self.storage.client_overhead(app_running);
-        let done = self.storage.submit(issue, r, node, seq, bytes);
-        self.push(done, Ev::FlushDone(r));
     }
 
-    /// A storage request of rank `r` completed at `now`.
-    fn flush_done(&mut self, r: usize, now: SimTime) {
+    /// The storage request of rank `r`'s stream `slot` completed at `now`.
+    fn flush_done(&mut self, r: usize, slot: usize, now: SimTime) {
         // Phase 1: engine bookkeeping and state transitions on the rank.
         let (ckpt_done, resume_at, deferred_ckpt, sync_finished) = {
             let rank = &mut self.ranks[r];
-            let item: FlushItem = rank.inflight.take().expect("completion without request");
+            let item: FlushItem = rank.inflight[slot]
+                .take()
+                .expect("completion without request");
             let eng = rank.engine.as_mut().expect("flush without engine");
             eng.complete_flush(item);
             let ckpt_done = !eng.checkpoint_active();
@@ -555,9 +573,8 @@ impl Cluster {
                     let finished = rank.pos;
                     rank.pos += 1;
                     rank.stats.writes += 1;
-                    resume_at = Some(
-                        now + rank.app.per_write_ns() + rank.app.write_gap_ns(finished),
-                    );
+                    resume_at =
+                        Some(now + rank.app.per_write_ns() + rank.app.write_gap_ns(finished));
                 }
             }
 
@@ -661,6 +678,7 @@ mod tests {
             ckpt_every: 2,
             ckpt_at_end: false,
             strategy,
+            committer_streams: 1,
             cow_slots: 2,
             barrier_ns: 1_000,
             fault_ns: 500,
@@ -676,7 +694,13 @@ mod tests {
     }
 
     fn tiny_app(_r: usize) -> Box<dyn AppModel> {
-        Box::new(SyntheticApp::new(32, 4096, Pattern::Ascending, 2_000, 10_000))
+        Box::new(SyntheticApp::new(
+            32,
+            4096,
+            Pattern::Ascending,
+            2_000,
+            10_000,
+        ))
     }
 
     #[test]
@@ -739,6 +763,37 @@ mod tests {
                 assert_eq!(e.dirty_pages, 32, "epoch {e:?}");
             }
         }
+    }
+
+    #[test]
+    fn more_streams_shorten_flushes_on_striped_storage() {
+        // 8 striped servers, fixed service cost: one stream serialises the
+        // round trips, four streams keep four servers busy.
+        let run = |streams: usize| {
+            let mut cfg = tiny_cfg(Strategy::AiCkpt);
+            cfg.committer_streams = streams;
+            cfg.jitter = 0.0;
+            let storage = StorageModel::new(
+                8,
+                crate::storage::ServiceParams::fixed(200_000, 1e9),
+                crate::storage::Routing::Striped,
+                10_000,
+                1.0,
+            );
+            Cluster::new(cfg, storage, tiny_app).run()
+        };
+        let s1 = run(1);
+        let s4 = run(4);
+        assert_eq!(
+            s1.storage_requests, s4.storage_requests,
+            "same pages flushed regardless of stream count"
+        );
+        let t1 = s1.mean_checkpoint_secs(0);
+        let t4 = s4.mean_checkpoint_secs(0);
+        assert!(
+            t4 < t1 * 0.6,
+            "4 streams must overlap service time: {t4:.6}s vs {t1:.6}s"
+        );
     }
 
     #[test]

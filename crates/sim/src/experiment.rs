@@ -189,6 +189,7 @@ mod tests {
                 ckpt_every: 3,
                 ckpt_at_end: false,
                 strategy: Strategy::None, // overridden
+                committer_streams: 1,
                 cow_slots: 4,
                 barrier_ns: 1_000,
                 fault_ns: 500,
@@ -242,18 +243,24 @@ mod tests {
 
     #[test]
     fn app_kinds_build() {
-        assert!(AppKind::Cm1 {
-            page_bytes: 1 << 16,
-            iteration_ns: 1_000_000,
-            seed: 1
-        }
-        .build(0)
-        .pages() > 0);
-        assert!(AppKind::Milc {
-            page_bytes: 1 << 16,
-            iteration_ns: 1_000_000
-        }
-        .build(0)
-        .pages() > 0);
+        assert!(
+            AppKind::Cm1 {
+                page_bytes: 1 << 16,
+                iteration_ns: 1_000_000,
+                seed: 1
+            }
+            .build(0)
+            .pages()
+                > 0
+        );
+        assert!(
+            AppKind::Milc {
+                page_bytes: 1 << 16,
+                iteration_ns: 1_000_000
+            }
+            .build(0)
+            .pages()
+                > 0
+        );
     }
 }

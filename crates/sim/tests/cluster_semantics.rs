@@ -15,6 +15,7 @@ fn base_cfg(strategy: Strategy) -> ClusterConfig {
         ckpt_every: 1,
         ckpt_at_end: false,
         strategy,
+        committer_streams: 1,
         cow_slots: 4,
         barrier_ns: 10_000,
         fault_ns: 1_000,

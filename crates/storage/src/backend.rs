@@ -2,38 +2,63 @@
 //! modular fashion such that it is easy to plug in different storage
 //! backends where the dirty pages can be committed").
 //!
-//! A backend persists *epochs*: for each checkpoint, a sequence of
+//! A backend persists *epochs*: for each checkpoint, a set of
 //! `(page id, page bytes)` records, finished atomically. Restore walks
 //! epochs oldest-to-newest and applies records latest-wins (incremental
 //! checkpointing semantics).
+//!
+//! ## The multi-stream write contract
+//!
+//! Committing an epoch goes through a per-epoch [`EpochWriter`] session so
+//! that several committer streams can feed one epoch concurrently:
+//!
+//! * [`StorageBackend::begin_epoch`] opens the session (at most one may be
+//!   open per backend; epoch numbers must be strictly increasing);
+//! * [`EpochWriter::write_pages`] appends a *batch* of page records and may
+//!   be called from any number of threads concurrently — implementations
+//!   serialise internally as needed;
+//! * [`EpochWriter::finish`] is the single atomic commit barrier: it is
+//!   called exactly once, after every `write_pages` call has returned, and
+//!   must make the epoch durable before returning (the paper's
+//!   "successfully committed to stable storage");
+//! * [`EpochWriter::abort`] discards the session on the error path — the
+//!   epoch must never become visible to `epochs`/`read_epoch`. Dropping a
+//!   writer without finishing aborts implicitly.
+//!
+//! Record order *within* an epoch is unspecified when multiple streams
+//! write concurrently. That is sound because the engine commits each page
+//! at most once per checkpoint, so latest-wins reconstruction never depends
+//! on intra-epoch order. Single-stream writers (tests, `write_epoch`)
+//! still observe their own write order on `read_epoch`.
 
 use std::io;
 
-/// A sink + source of checkpoint epochs.
-///
-/// Write side (committer thread): `begin_epoch` → `write_page`* →
-/// `finish_epoch`. `finish_epoch` must make the epoch durable before
-/// returning (the paper's "successfully committed to stable storage").
-///
-/// Read side (restore): `epochs` lists finished epochs, `read_epoch` streams
-/// records, `get_blob` retrieves named metadata written with `put_blob`.
-pub trait StorageBackend: Send {
-    /// Start a new epoch. Epoch numbers must be strictly increasing.
-    fn begin_epoch(&mut self, epoch: u64) -> io::Result<()>;
+/// One open epoch-commit session. See the module docs for the contract.
+pub trait EpochWriter: Send + Sync {
+    /// Append a batch of page records. Thread-safe: committer streams call
+    /// this concurrently on the same session.
+    fn write_pages(&self, batch: &[(u64, &[u8])]) -> io::Result<()>;
 
-    /// Append one page record to the open epoch.
-    fn write_page(&mut self, page: u64, data: &[u8]) -> io::Result<()>;
+    /// Durably complete the epoch (the atomic commit barrier). Must be
+    /// called at most once, after all `write_pages` calls have returned.
+    fn finish(&self) -> io::Result<()>;
 
-    /// Durably complete the open epoch.
-    fn finish_epoch(&mut self) -> io::Result<()>;
+    /// Discard the epoch (committer error path): it must never become
+    /// visible to `epochs`/`read_epoch`.
+    fn abort(&self) -> io::Result<()>;
+}
 
-    /// Discard the open epoch (committer error path): the epoch must never
-    /// become visible to `epochs`/`read_epoch`. A no-op if none is open.
-    fn abort_epoch(&mut self) -> io::Result<()>;
+/// A sink + source of checkpoint epochs. `Send + Sync`: the runtime shares
+/// one backend between the checkpoint requester, N committer streams and
+/// restore.
+pub trait StorageBackend: Send + Sync {
+    /// Open the commit session for a new epoch. Epoch numbers must be
+    /// strictly increasing; at most one epoch may be open at a time.
+    fn begin_epoch(&self, epoch: u64) -> io::Result<Box<dyn EpochWriter>>;
 
     /// Store a named metadata blob (e.g. the runtime's region layout),
     /// overwriting any previous value. Durable once written.
-    fn put_blob(&mut self, name: &str, data: &[u8]) -> io::Result<()>;
+    fn put_blob(&self, name: &str, data: &[u8]) -> io::Result<()>;
 
     /// Retrieve a named metadata blob.
     fn get_blob(&self, name: &str) -> io::Result<Option<Vec<u8>>>;
@@ -41,45 +66,85 @@ pub trait StorageBackend: Send {
     /// All *finished* epochs, ascending.
     fn epochs(&self) -> io::Result<Vec<u64>>;
 
-    /// Stream the records of a finished epoch in write order, verifying
-    /// integrity. `visit(page, bytes)` is called per record.
-    fn read_epoch(
-        &self,
-        epoch: u64,
-        visit: &mut dyn FnMut(u64, &[u8]),
-    ) -> io::Result<()>;
+    /// Stream the records of a finished epoch, verifying integrity.
+    /// `visit(page, bytes)` is called per record.
+    fn read_epoch(&self, epoch: u64, visit: &mut dyn FnMut(u64, &[u8])) -> io::Result<()>;
 
     /// Total payload bytes written since creation (diagnostics; excludes
-    /// framing overhead).
+    /// framing overhead). Implementations keep this in atomics so the count
+    /// stays exact under concurrent streams.
     fn bytes_written(&self) -> u64;
 }
 
-/// Convenience: write a full epoch from an iterator (used by tests and the
-/// sync checkpointing path).
+/// Convenience: write a full epoch from an iterator through a single stream
+/// (used by tests and simple callers).
 pub fn write_epoch<B: StorageBackend + ?Sized>(
-    backend: &mut B,
+    backend: &B,
     epoch: u64,
     pages: impl IntoIterator<Item = (u64, Vec<u8>)>,
 ) -> io::Result<()> {
-    backend.begin_epoch(epoch)?;
+    let writer = backend.begin_epoch(epoch)?;
     for (page, data) in pages {
-        backend.write_page(page, &data)?;
+        writer.write_pages(&[(page, &data)])?;
     }
-    backend.finish_epoch()
+    writer.finish()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::memory::MemoryBackend;
+    use std::sync::Arc;
 
     #[test]
     fn write_epoch_helper_round_trips() {
-        let mut b = MemoryBackend::new();
-        write_epoch(&mut b, 1, vec![(3, vec![1, 2]), (5, vec![3, 4])]).unwrap();
+        let b = MemoryBackend::new();
+        write_epoch(&b, 1, vec![(3, vec![1, 2]), (5, vec![3, 4])]).unwrap();
         assert_eq!(b.epochs().unwrap(), vec![1]);
         let mut seen = Vec::new();
-        b.read_epoch(1, &mut |p, d| seen.push((p, d.to_vec()))).unwrap();
+        b.read_epoch(1, &mut |p, d| seen.push((p, d.to_vec())))
+            .unwrap();
         assert_eq!(seen, vec![(3, vec![1, 2]), (5, vec![3, 4])]);
+    }
+
+    #[test]
+    fn concurrent_streams_commit_one_epoch() {
+        let b = MemoryBackend::new();
+        let writer: Arc<dyn EpochWriter> = Arc::from(b.begin_epoch(1).unwrap());
+        std::thread::scope(|s| {
+            for stream in 0..4u64 {
+                let writer = Arc::clone(&writer);
+                s.spawn(move || {
+                    for i in 0..8u64 {
+                        let page = stream * 8 + i;
+                        let data = [page as u8; 16];
+                        writer.write_pages(&[(page, &data)]).unwrap();
+                    }
+                });
+            }
+        });
+        writer.finish().unwrap();
+        let mut seen = Vec::new();
+        b.read_epoch(1, &mut |p, d| seen.push((p, d[0]))).unwrap();
+        seen.sort_unstable();
+        assert_eq!(seen.len(), 32, "every stream's records landed");
+        for (p, v) in seen {
+            assert_eq!(v as u64, p, "no torn records under concurrency");
+        }
+        assert_eq!(b.bytes_written(), 32 * 16);
+    }
+
+    #[test]
+    fn dropped_writer_aborts_epoch() {
+        let b = MemoryBackend::new();
+        {
+            let w = b.begin_epoch(1).unwrap();
+            w.write_pages(&[(0, &[1, 2, 3])]).unwrap();
+            // Dropped without finish: implicit abort.
+        }
+        assert!(b.epochs().unwrap().is_empty());
+        // The backend accepts a new session afterwards.
+        write_epoch(&b, 1, vec![(0, vec![9])]).unwrap();
+        assert_eq!(b.epochs().unwrap(), vec![1]);
     }
 }

@@ -7,15 +7,17 @@ use std::io;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use crate::backend::StorageBackend;
+use crate::backend::{EpochWriter, StorageBackend};
 
-/// Shared knob controlling when the wrapped backend starts failing.
+/// Shared knob controlling when the wrapped backend starts failing. The
+/// counters are atomics: failure budgets stay exact when multiple committer
+/// streams write concurrently.
 #[derive(Debug, Clone, Default)]
 pub struct FailureControl {
-    /// Writes remaining before page writes start failing (`u64::MAX` =
+    /// Records remaining before page writes start failing (`u64::MAX` =
     /// never).
     writes_until_failure: Arc<AtomicU64>,
-    /// When set, `finish_epoch` fails.
+    /// When set, `finish` fails.
     fail_finish: Arc<AtomicU64>,
 }
 
@@ -28,7 +30,7 @@ impl FailureControl {
         }
     }
 
-    /// Let `n` more writes succeed, then fail every subsequent write.
+    /// Let `n` more page records succeed, then fail every subsequent write.
     pub fn fail_writes_after(&self, n: u64) {
         self.writes_until_failure.store(n, Ordering::SeqCst);
     }
@@ -39,7 +41,7 @@ impl FailureControl {
         self.fail_finish.store(0, Ordering::SeqCst);
     }
 
-    /// Make `finish_epoch` fail.
+    /// Make `finish` fail.
     pub fn fail_finish(&self, yes: bool) {
         self.fail_finish.store(yes as u64, Ordering::SeqCst);
     }
@@ -85,36 +87,59 @@ impl<B: StorageBackend> FailingBackend<B> {
             control,
         )
     }
+}
 
-    fn injected() -> io::Error {
-        io::Error::other("injected storage failure")
+fn injected() -> io::Error {
+    io::Error::other("injected storage failure")
+}
+
+/// Open-epoch session that consumes one failure token per record.
+struct FailingEpochWriter {
+    inner: Box<dyn EpochWriter>,
+    control: FailureControl,
+}
+
+impl EpochWriter for FailingEpochWriter {
+    fn write_pages(&self, batch: &[(u64, &[u8])]) -> io::Result<()> {
+        // Consume tokens record by record: a budget of `n` lets exactly `n`
+        // records through even when they arrive in one batch.
+        let mut allowed = 0;
+        for _ in batch {
+            if !self.control.take_write_token() {
+                break;
+            }
+            allowed += 1;
+        }
+        if allowed > 0 {
+            self.inner.write_pages(&batch[..allowed])?;
+        }
+        if allowed < batch.len() {
+            return Err(injected());
+        }
+        Ok(())
+    }
+
+    fn finish(&self) -> io::Result<()> {
+        if self.control.fail_finish.load(Ordering::SeqCst) != 0 {
+            return Err(injected());
+        }
+        self.inner.finish()
+    }
+
+    fn abort(&self) -> io::Result<()> {
+        self.inner.abort()
     }
 }
 
 impl<B: StorageBackend> StorageBackend for FailingBackend<B> {
-    fn begin_epoch(&mut self, epoch: u64) -> io::Result<()> {
-        self.inner.begin_epoch(epoch)
+    fn begin_epoch(&self, epoch: u64) -> io::Result<Box<dyn EpochWriter>> {
+        Ok(Box::new(FailingEpochWriter {
+            inner: self.inner.begin_epoch(epoch)?,
+            control: self.control.clone(),
+        }))
     }
 
-    fn write_page(&mut self, page: u64, data: &[u8]) -> io::Result<()> {
-        if !self.control.take_write_token() {
-            return Err(Self::injected());
-        }
-        self.inner.write_page(page, data)
-    }
-
-    fn finish_epoch(&mut self) -> io::Result<()> {
-        if self.control.fail_finish.load(Ordering::SeqCst) != 0 {
-            return Err(Self::injected());
-        }
-        self.inner.finish_epoch()
-    }
-
-    fn abort_epoch(&mut self) -> io::Result<()> {
-        self.inner.abort_epoch()
-    }
-
-    fn put_blob(&mut self, name: &str, data: &[u8]) -> io::Result<()> {
+    fn put_blob(&self, name: &str, data: &[u8]) -> io::Result<()> {
         self.inner.put_blob(name, data)
     }
 
@@ -142,27 +167,44 @@ mod tests {
 
     #[test]
     fn fails_after_budget_then_heals() {
-        let (mut b, ctl) = FailingBackend::new(MemoryBackend::new());
-        b.begin_epoch(1).unwrap();
+        let (b, ctl) = FailingBackend::new(MemoryBackend::new());
+        let w = b.begin_epoch(1).unwrap();
         ctl.fail_writes_after(2);
-        b.write_page(0, &[0]).unwrap();
-        b.write_page(1, &[1]).unwrap();
-        assert!(b.write_page(2, &[2]).is_err());
-        assert!(b.write_page(3, &[3]).is_err(), "stays failed");
+        w.write_pages(&[(0, &[0])]).unwrap();
+        w.write_pages(&[(1, &[1])]).unwrap();
+        assert!(w.write_pages(&[(2, &[2])]).is_err());
+        assert!(w.write_pages(&[(3, &[3])]).is_err(), "stays failed");
         ctl.heal();
-        b.write_page(4, &[4]).unwrap();
-        b.finish_epoch().unwrap();
+        w.write_pages(&[(4, &[4])]).unwrap();
+        w.finish().unwrap();
+    }
+
+    #[test]
+    fn budget_applies_within_one_batch() {
+        let (b, ctl) = FailingBackend::new(MemoryBackend::new());
+        let w = b.begin_epoch(1).unwrap();
+        ctl.fail_writes_after(2);
+        let err = w
+            .write_pages(&[(0, &[0]), (1, &[1]), (2, &[2])])
+            .unwrap_err();
+        assert!(err.to_string().contains("injected"));
+        ctl.heal();
+        w.finish().unwrap();
+        // Exactly the two budgeted records made it through.
+        let mut pages = Vec::new();
+        b.read_epoch(1, &mut |p, _| pages.push(p)).unwrap();
+        assert_eq!(pages, vec![0, 1]);
     }
 
     #[test]
     fn finish_failure_injection() {
-        let (mut b, ctl) = FailingBackend::new(MemoryBackend::new());
-        b.begin_epoch(1).unwrap();
-        b.write_page(0, &[0]).unwrap();
+        let (b, ctl) = FailingBackend::new(MemoryBackend::new());
+        let w = b.begin_epoch(1).unwrap();
+        w.write_pages(&[(0, &[0])]).unwrap();
         ctl.fail_finish(true);
-        assert!(b.finish_epoch().is_err());
+        assert!(w.finish().is_err());
         ctl.fail_finish(false);
-        b.finish_epoch().unwrap();
+        w.finish().unwrap();
         assert_eq!(b.epochs().unwrap(), vec![1]);
     }
 }

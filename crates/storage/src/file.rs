@@ -13,28 +13,51 @@
 //! blob_layout               named metadata blobs (`put_blob`)
 //! ```
 //!
-//! Segment format: an 16-byte header (`AICKSEG1` + epoch), then per page
+//! Segment format: a 16-byte header (`AICKSEG1` + epoch), then per page
 //! `[page u64][len u32][crc64 u64][payload]`, all little-endian. CRCs are
 //! verified on read; a mismatch fails the restore rather than silently
 //! resurrecting corrupt state.
+//!
+//! Multi-stream note: an epoch is one append-only segment file, so
+//! concurrent `write_pages` batches are serialised on the session's writer
+//! mutex — per-epoch file layout trades intra-epoch parallelism for a dead
+//! simple recovery story. Stream parallelism still pays off whenever this
+//! backend is wrapped (throttle emulation, replication fan-out) or when the
+//! underlying mount is a striped parallel file system that benefits from
+//! fewer, larger batched writes.
 
 use std::fs::{self, File, OpenOptions};
 use std::io::{self, BufReader, BufWriter, Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
 
-use crate::backend::StorageBackend;
+use parking_lot::Mutex;
+
+use crate::backend::{EpochWriter, StorageBackend};
 use crate::checksum::crc64;
 use crate::manifest::{self, ManifestRecord};
 
 /// Magic prefix of a segment file.
 pub const SEGMENT_MAGIC: &[u8; 8] = b"AICKSEG1";
 
+/// Name of the append-only commit log inside the checkpoint directory
+/// (shared by the read path and the epoch writer's commit point).
+const MANIFEST_FILE: &str = "MANIFEST";
+
+#[derive(Debug, Default)]
+struct FileShared {
+    /// Payload bytes accepted across all sessions (diagnostics).
+    bytes_written: AtomicU64,
+    /// At most one epoch session may be open.
+    epoch_open: AtomicBool,
+}
+
 /// File-system storage backend.
 #[derive(Debug)]
 pub struct FileBackend {
     dir: PathBuf,
-    open: Option<OpenEpoch>,
-    bytes_written: u64,
+    shared: Arc<FileShared>,
     /// `fsync` on epoch finish (and blob writes). Disable only for
     /// throughput experiments where durability is irrelevant.
     pub sync_on_finish: bool,
@@ -42,7 +65,6 @@ pub struct FileBackend {
 
 #[derive(Debug)]
 struct OpenEpoch {
-    epoch: u64,
     writer: BufWriter<File>,
     records: u64,
     payload_bytes: u64,
@@ -55,8 +77,7 @@ impl FileBackend {
         fs::create_dir_all(&dir)?;
         Ok(Self {
             dir,
-            open: None,
-            bytes_written: 0,
+            shared: Arc::new(FileShared::default()),
             sync_on_finish: true,
         })
     }
@@ -66,12 +87,12 @@ impl FileBackend {
         &self.dir
     }
 
-    fn segment_path(&self, epoch: u64) -> PathBuf {
-        self.dir.join(format!("epoch_{epoch:010}.seg"))
+    fn segment_path(dir: &Path, epoch: u64) -> PathBuf {
+        dir.join(format!("epoch_{epoch:010}.seg"))
     }
 
     fn manifest_path(&self) -> PathBuf {
-        self.dir.join("MANIFEST")
+        self.dir.join(MANIFEST_FILE)
     }
 
     fn blob_path(&self, name: &str) -> PathBuf {
@@ -89,92 +110,146 @@ impl FileBackend {
     }
 }
 
-impl StorageBackend for FileBackend {
-    fn begin_epoch(&mut self, epoch: u64) -> io::Result<()> {
-        if self.open.is_some() {
-            return Err(io::Error::other("previous epoch still open"));
-        }
-        if let Some(last) = self.manifest_records()?.last() {
-            if epoch <= last.epoch {
-                return Err(io::Error::other(format!(
-                    "epoch {epoch} not greater than committed epoch {}",
-                    last.epoch
-                )));
-            }
-        }
-        let file = OpenOptions::new()
-            .create(true)
-            .write(true)
-            .truncate(true)
-            .open(self.segment_path(epoch))?;
-        let mut writer = BufWriter::with_capacity(1 << 20, file);
-        writer.write_all(SEGMENT_MAGIC)?;
-        writer.write_all(&epoch.to_le_bytes())?;
-        self.open = Some(OpenEpoch {
-            epoch,
-            writer,
-            records: 0,
-            payload_bytes: 0,
-        });
-        Ok(())
-    }
+/// Open-epoch session on a [`FileBackend`].
+struct FileEpochWriter {
+    shared: Arc<FileShared>,
+    dir: PathBuf,
+    epoch: u64,
+    sync_on_finish: bool,
+    /// `None` once closed (finished or aborted).
+    open: Mutex<Option<OpenEpoch>>,
+}
 
-    fn write_page(&mut self, page: u64, data: &[u8]) -> io::Result<()> {
-        let open = self
-            .open
+impl FileEpochWriter {
+    fn release_session(&self) {
+        self.shared.epoch_open.store(false, Ordering::Release);
+    }
+}
+
+impl EpochWriter for FileEpochWriter {
+    fn write_pages(&self, batch: &[(u64, &[u8])]) -> io::Result<()> {
+        let mut guard = self.open.lock();
+        let open = guard
             .as_mut()
-            .ok_or_else(|| io::Error::other("no open epoch"))?;
-        open.writer.write_all(&page.to_le_bytes())?;
-        open.writer.write_all(&(data.len() as u32).to_le_bytes())?;
-        open.writer.write_all(&crc64(data).to_le_bytes())?;
-        open.writer.write_all(data)?;
-        open.records += 1;
-        open.payload_bytes += data.len() as u64;
-        self.bytes_written += data.len() as u64;
+            .ok_or_else(|| io::Error::other("epoch session closed"))?;
+        for &(page, data) in batch {
+            open.writer.write_all(&page.to_le_bytes())?;
+            open.writer.write_all(&(data.len() as u32).to_le_bytes())?;
+            open.writer.write_all(&crc64(data).to_le_bytes())?;
+            open.writer.write_all(data)?;
+            open.records += 1;
+            open.payload_bytes += data.len() as u64;
+            self.shared
+                .bytes_written
+                .fetch_add(data.len() as u64, Ordering::Relaxed);
+        }
         Ok(())
     }
 
-    fn finish_epoch(&mut self) -> io::Result<()> {
+    fn finish(&self) -> io::Result<()> {
         let open = self
             .open
+            .lock()
             .take()
-            .ok_or_else(|| io::Error::other("no open epoch"))?;
-        let OpenEpoch {
-            epoch,
-            writer,
-            records,
-            payload_bytes,
-        } = open;
-        let file = writer
-            .into_inner()
-            .map_err(|e| io::Error::other(e.to_string()))?;
-        if self.sync_on_finish {
-            file.sync_all()?;
-        }
-        drop(file);
-        // Commit point: the manifest record makes the epoch visible.
-        manifest::append(
-            &self.manifest_path(),
-            ManifestRecord {
-                epoch,
+            .ok_or_else(|| io::Error::other("epoch session closed"))?;
+        let result = (|| {
+            let OpenEpoch {
+                writer,
                 records,
                 payload_bytes,
-            },
-        )
+            } = open;
+            let file = writer
+                .into_inner()
+                .map_err(|e| io::Error::other(e.to_string()))?;
+            if self.sync_on_finish {
+                file.sync_all()?;
+            }
+            drop(file);
+            // Commit point: the manifest record makes the epoch visible.
+            manifest::append(
+                &self.dir.join(MANIFEST_FILE),
+                ManifestRecord {
+                    epoch: self.epoch,
+                    records,
+                    payload_bytes,
+                },
+            )
+        })();
+        if result.is_err() {
+            // Failed commit: the manifest never saw the epoch, so drop the
+            // segment like an abort would.
+            let _ = fs::remove_file(FileBackend::segment_path(&self.dir, self.epoch));
+        }
+        // Win or lose, the session is over — a finish error must not wedge
+        // the backend (`begin_epoch` would otherwise refuse forever).
+        self.release_session();
+        result
     }
 
-    fn abort_epoch(&mut self) -> io::Result<()> {
-        if let Some(open) = self.open.take() {
-            let epoch = open.epoch;
+    fn abort(&self) -> io::Result<()> {
+        if let Some(open) = self.open.lock().take() {
             drop(open.writer);
             // Best-effort cleanup; the manifest never saw this epoch, so a
             // leftover file would be ignored anyway.
-            let _ = fs::remove_file(self.segment_path(epoch));
+            let _ = fs::remove_file(FileBackend::segment_path(&self.dir, self.epoch));
+            self.release_session();
         }
         Ok(())
     }
+}
 
-    fn put_blob(&mut self, name: &str, data: &[u8]) -> io::Result<()> {
+impl Drop for FileEpochWriter {
+    fn drop(&mut self) {
+        if self.open.lock().is_some() {
+            let _ = self.abort();
+        }
+    }
+}
+
+impl StorageBackend for FileBackend {
+    fn begin_epoch(&self, epoch: u64) -> io::Result<Box<dyn EpochWriter>> {
+        if self.shared.epoch_open.swap(true, Ordering::AcqRel) {
+            return Err(io::Error::other("previous epoch still open"));
+        }
+        let open_or_err = (|| {
+            if let Some(last) = self.manifest_records()?.last() {
+                if epoch <= last.epoch {
+                    return Err(io::Error::other(format!(
+                        "epoch {epoch} not greater than committed epoch {}",
+                        last.epoch
+                    )));
+                }
+            }
+            let file = OpenOptions::new()
+                .create(true)
+                .write(true)
+                .truncate(true)
+                .open(Self::segment_path(&self.dir, epoch))?;
+            let mut writer = BufWriter::with_capacity(1 << 20, file);
+            writer.write_all(SEGMENT_MAGIC)?;
+            writer.write_all(&epoch.to_le_bytes())?;
+            Ok(OpenEpoch {
+                writer,
+                records: 0,
+                payload_bytes: 0,
+            })
+        })();
+        match open_or_err {
+            Ok(open) => Ok(Box::new(FileEpochWriter {
+                shared: Arc::clone(&self.shared),
+                dir: self.dir.clone(),
+                epoch,
+                sync_on_finish: self.sync_on_finish,
+                open: Mutex::new(Some(open)),
+            })),
+            Err(e) => {
+                self.shared.epoch_open.store(false, Ordering::Release);
+                Err(e)
+            }
+        }
+    }
+
+    fn put_blob(&self, name: &str, data: &[u8]) -> io::Result<()> {
         let path = self.blob_path(name);
         let tmp = path.with_extension("tmp");
         {
@@ -199,19 +274,19 @@ impl StorageBackend for FileBackend {
         Ok(self.manifest_records()?.iter().map(|r| r.epoch).collect())
     }
 
-    fn read_epoch(
-        &self,
-        epoch: u64,
-        visit: &mut dyn FnMut(u64, &[u8]),
-    ) -> io::Result<()> {
+    fn read_epoch(&self, epoch: u64, visit: &mut dyn FnMut(u64, &[u8])) -> io::Result<()> {
         let rec = self
             .manifest_records()?
             .into_iter()
             .find(|r| r.epoch == epoch)
             .ok_or_else(|| {
-                io::Error::new(io::ErrorKind::NotFound, format!("epoch {epoch} not committed"))
+                io::Error::new(
+                    io::ErrorKind::NotFound,
+                    format!("epoch {epoch} not committed"),
+                )
             })?;
-        let mut reader = BufReader::with_capacity(1 << 20, File::open(self.segment_path(epoch))?);
+        let mut reader =
+            BufReader::with_capacity(1 << 20, File::open(Self::segment_path(&self.dir, epoch))?);
         let mut header = [0u8; 16];
         reader.read_exact(&mut header)?;
         if &header[..8] != SEGMENT_MAGIC {
@@ -248,7 +323,7 @@ impl StorageBackend for FileBackend {
     }
 
     fn bytes_written(&self) -> u64 {
-        self.bytes_written
+        self.shared.bytes_written.load(Ordering::Relaxed)
     }
 }
 
@@ -273,6 +348,7 @@ pub fn corrupt_record_payload(dir: &Path, epoch: u64, byte_offset: u64) -> io::R
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::backend::write_epoch;
 
     fn tmpdir(tag: &str) -> PathBuf {
         let dir = std::env::temp_dir().join(format!(
@@ -287,15 +363,16 @@ mod tests {
     #[test]
     fn epoch_round_trip_with_crc() {
         let dir = tmpdir("rt");
-        let mut b = FileBackend::open(&dir).unwrap();
-        b.begin_epoch(1).unwrap();
-        b.write_page(42, &[1u8; 128]).unwrap();
-        b.write_page(7, &[2u8; 128]).unwrap();
-        b.finish_epoch().unwrap();
+        let b = FileBackend::open(&dir).unwrap();
+        let w = b.begin_epoch(1).unwrap();
+        w.write_pages(&[(42, &[1u8; 128]), (7, &[2u8; 128])])
+            .unwrap();
+        w.finish().unwrap();
 
         assert_eq!(b.epochs().unwrap(), vec![1]);
         let mut seen = Vec::new();
-        b.read_epoch(1, &mut |p, d| seen.push((p, d.to_vec()))).unwrap();
+        b.read_epoch(1, &mut |p, d| seen.push((p, d.to_vec())))
+            .unwrap();
         assert_eq!(seen.len(), 2);
         assert_eq!(seen[0].0, 42);
         assert_eq!(seen[0].1, vec![1u8; 128]);
@@ -308,13 +385,14 @@ mod tests {
     fn unfinished_epoch_is_not_visible_after_reopen() {
         let dir = tmpdir("crash");
         {
-            let mut b = FileBackend::open(&dir).unwrap();
-            b.begin_epoch(1).unwrap();
-            b.write_page(0, &[1, 2, 3]).unwrap();
-            b.finish_epoch().unwrap();
-            b.begin_epoch(2).unwrap();
-            b.write_page(1, &[4, 5, 6]).unwrap();
-            // Simulated crash: never finish_epoch(2).
+            let b = FileBackend::open(&dir).unwrap();
+            write_epoch(&b, 1, vec![(0, vec![1, 2, 3])]).unwrap();
+            let w = b.begin_epoch(2).unwrap();
+            w.write_pages(&[(1, &[4, 5, 6])]).unwrap();
+            // Simulated crash: never finish epoch 2. (std::mem::forget keeps
+            // even the implicit-drop abort from tidying the segment file up,
+            // exactly like a killed process.)
+            std::mem::forget(w);
         }
         let b = FileBackend::open(&dir).unwrap();
         assert_eq!(
@@ -326,12 +404,68 @@ mod tests {
     }
 
     #[test]
+    fn abort_removes_segment_and_frees_session() {
+        let dir = tmpdir("abort");
+        let b = FileBackend::open(&dir).unwrap();
+        let w = b.begin_epoch(1).unwrap();
+        w.write_pages(&[(0, &[1])]).unwrap();
+        w.abort().unwrap();
+        assert!(b.epochs().unwrap().is_empty());
+        assert!(!FileBackend::segment_path(&dir, 1).exists());
+        write_epoch(&b, 1, vec![(0, vec![2])]).unwrap();
+        assert_eq!(b.epochs().unwrap(), vec![1]);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn failed_finish_releases_session() {
+        // A finish error (here: the directory vanished under the writer, so
+        // the manifest append fails) must not wedge the backend — the next
+        // begin_epoch must succeed instead of reporting "still open".
+        let dir = tmpdir("ffin");
+        let b = FileBackend::open(&dir).unwrap();
+        let w = b.begin_epoch(1).unwrap();
+        w.write_pages(&[(0, &[1])]).unwrap();
+        fs::remove_dir_all(&dir).unwrap();
+        assert!(w.finish().is_err(), "manifest append cannot succeed");
+        fs::create_dir_all(&dir).unwrap();
+        write_epoch(&b, 1, vec![(0, vec![2])]).unwrap();
+        assert_eq!(b.epochs().unwrap(), vec![1]);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn concurrent_batches_one_epoch() {
+        let dir = tmpdir("conc");
+        let b = FileBackend::open(&dir).unwrap();
+        let w: std::sync::Arc<dyn EpochWriter> = std::sync::Arc::from(b.begin_epoch(1).unwrap());
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                let w = std::sync::Arc::clone(&w);
+                s.spawn(move || {
+                    let data = [t as u8; 64];
+                    let batch: Vec<(u64, &[u8])> = (0..8).map(|i| (t * 8 + i, &data[..])).collect();
+                    w.write_pages(&batch).unwrap();
+                });
+            }
+        });
+        w.finish().unwrap();
+        let mut pages = Vec::new();
+        b.read_epoch(1, &mut |p, d| {
+            assert!(d.iter().all(|&x| x as u64 == p / 8), "no torn records");
+            pages.push(p);
+        })
+        .unwrap();
+        pages.sort_unstable();
+        assert_eq!(pages, (0..32).collect::<Vec<u64>>());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
     fn corruption_is_detected() {
         let dir = tmpdir("corrupt");
-        let mut b = FileBackend::open(&dir).unwrap();
-        b.begin_epoch(1).unwrap();
-        b.write_page(3, &[9u8; 64]).unwrap();
-        b.finish_epoch().unwrap();
+        let b = FileBackend::open(&dir).unwrap();
+        write_epoch(&b, 1, vec![(3, vec![9u8; 64])]).unwrap();
         corrupt_record_payload(&dir, 1, 10).unwrap();
         let err = b.read_epoch(1, &mut |_, _| {}).unwrap_err();
         assert_eq!(err.kind(), io::ErrorKind::InvalidData);
@@ -342,7 +476,7 @@ mod tests {
     fn blobs_survive_reopen() {
         let dir = tmpdir("blob");
         {
-            let mut b = FileBackend::open(&dir).unwrap();
+            let b = FileBackend::open(&dir).unwrap();
             b.put_blob("layout", b"hello").unwrap();
         }
         let b = FileBackend::open(&dir).unwrap();
@@ -355,27 +489,21 @@ mod tests {
     fn epoch_numbers_must_increase_across_reopen() {
         let dir = tmpdir("inc");
         {
-            let mut b = FileBackend::open(&dir).unwrap();
-            b.begin_epoch(3).unwrap();
-            b.finish_epoch().unwrap();
+            let b = FileBackend::open(&dir).unwrap();
+            b.begin_epoch(3).unwrap().finish().unwrap();
         }
-        let mut b = FileBackend::open(&dir).unwrap();
+        let b = FileBackend::open(&dir).unwrap();
         assert!(b.begin_epoch(3).is_err());
         assert!(b.begin_epoch(2).is_err());
-        b.begin_epoch(4).unwrap();
-        b.finish_epoch().unwrap();
+        b.begin_epoch(4).unwrap().finish().unwrap();
         fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]
     fn variable_record_sizes() {
         let dir = tmpdir("var");
-        let mut b = FileBackend::open(&dir).unwrap();
-        b.begin_epoch(1).unwrap();
-        b.write_page(0, &[]).unwrap();
-        b.write_page(1, &[1]).unwrap();
-        b.write_page(2, &vec![2u8; 9000]).unwrap();
-        b.finish_epoch().unwrap();
+        let b = FileBackend::open(&dir).unwrap();
+        write_epoch(&b, 1, vec![(0, vec![]), (1, vec![1]), (2, vec![2u8; 9000])]).unwrap();
         let mut sizes = Vec::new();
         b.read_epoch(1, &mut |_, d| sizes.push(d.len())).unwrap();
         assert_eq!(sizes, vec![0, 1, 9000]);

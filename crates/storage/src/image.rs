@@ -94,10 +94,10 @@ mod tests {
 
     #[test]
     fn latest_wins_across_epochs() {
-        let mut b = MemoryBackend::new();
-        write_epoch(&mut b, 1, vec![(0, vec![1]), (1, vec![1]), (2, vec![1])]).unwrap();
-        write_epoch(&mut b, 2, vec![(1, vec![2])]).unwrap();
-        write_epoch(&mut b, 3, vec![(2, vec![3]), (3, vec![3])]).unwrap();
+        let b = MemoryBackend::new();
+        write_epoch(&b, 1, vec![(0, vec![1]), (1, vec![1]), (2, vec![1])]).unwrap();
+        write_epoch(&b, 2, vec![(1, vec![2])]).unwrap();
+        write_epoch(&b, 3, vec![(2, vec![3]), (3, vec![3])]).unwrap();
 
         let at2 = CheckpointImage::load(&b, 2).unwrap();
         assert_eq!(at2.page(0), Some(&[1u8][..]));
@@ -113,10 +113,10 @@ mod tests {
 
     #[test]
     fn load_latest_and_missing() {
-        let mut b = MemoryBackend::new();
+        let b = MemoryBackend::new();
         assert!(CheckpointImage::load_latest(&b).unwrap().is_none());
         assert!(CheckpointImage::load(&b, 1).is_err());
-        write_epoch(&mut b, 1, vec![(5, vec![9])]).unwrap();
+        write_epoch(&b, 1, vec![(5, vec![9])]).unwrap();
         let img = CheckpointImage::load_latest(&b).unwrap().unwrap();
         assert_eq!(img.checkpoint(), 1);
         assert_eq!(img.page(5), Some(&[9u8][..]));
@@ -125,8 +125,8 @@ mod tests {
 
     #[test]
     fn apply_visits_in_page_order() {
-        let mut b = MemoryBackend::new();
-        write_epoch(&mut b, 1, vec![(9, vec![9]), (1, vec![1]), (5, vec![5])]).unwrap();
+        let b = MemoryBackend::new();
+        write_epoch(&b, 1, vec![(9, vec![9]), (1, vec![1]), (5, vec![5])]).unwrap();
         let img = CheckpointImage::load(&b, 1).unwrap();
         let mut order = Vec::new();
         img.apply(|p, _| order.push(p));

@@ -37,7 +37,7 @@ pub mod parity;
 pub mod replicate;
 pub mod throttle;
 
-pub use backend::{write_epoch, StorageBackend};
+pub use backend::{write_epoch, EpochWriter, StorageBackend};
 pub use checksum::{crc64, crc64_update};
 pub use failing::{FailingBackend, FailureControl};
 pub use file::FileBackend;

@@ -3,33 +3,38 @@
 //! about checkpointing dynamics, not durability.
 //!
 //! [`MemoryBackend::shared`] returns a handle pair so a test can hand the
-//! backend to the committer thread while keeping a window into what was
-//! persisted.
+//! backend to the committer while keeping a window into what was persisted.
 
 use std::collections::BTreeMap;
 use std::io;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
 
-use crate::backend::StorageBackend;
+use crate::backend::{EpochWriter, StorageBackend};
 
-/// Page records of one epoch, in write order.
+/// Page records of one epoch, in arrival order.
 type Records = Vec<(u64, Vec<u8>)>;
 
 #[derive(Debug, Default)]
 struct Store {
-    /// epoch -> records in write order.
+    /// epoch -> records in arrival order.
     finished: BTreeMap<u64, Records>,
     open: Option<(u64, Records)>,
     blobs: BTreeMap<String, Vec<u8>>,
-    bytes_written: u64,
+}
+
+#[derive(Debug, Default)]
+struct Shared {
+    store: Mutex<Store>,
+    bytes_written: AtomicU64,
 }
 
 /// Backend keeping everything in RAM.
 #[derive(Debug, Clone, Default)]
 pub struct MemoryBackend {
-    store: Arc<Mutex<Store>>,
+    shared: Arc<Shared>,
 }
 
 impl MemoryBackend {
@@ -47,77 +52,133 @@ impl MemoryBackend {
 
     /// Snapshot of a finished epoch's records (test convenience).
     pub fn epoch_records(&self, epoch: u64) -> Option<Vec<(u64, Vec<u8>)>> {
-        self.store.lock().finished.get(&epoch).cloned()
+        self.shared.store.lock().finished.get(&epoch).cloned()
     }
 
     /// Page count across all finished epochs.
     pub fn total_pages(&self) -> usize {
-        self.store.lock().finished.values().map(Vec::len).sum()
+        self.shared
+            .store
+            .lock()
+            .finished
+            .values()
+            .map(Vec::len)
+            .sum()
+    }
+}
+
+/// Open-epoch session on a [`MemoryBackend`].
+#[derive(Debug)]
+struct MemoryEpochWriter {
+    shared: Arc<Shared>,
+    epoch: u64,
+    closed: AtomicBool,
+}
+
+impl MemoryEpochWriter {
+    /// Close the session; `commit` decides finished vs. discarded.
+    fn close(&self, commit: bool) -> io::Result<()> {
+        if self.closed.swap(true, Ordering::AcqRel) {
+            return Err(io::Error::other("epoch session already closed"));
+        }
+        let mut s = self.shared.store.lock();
+        match s.open.take() {
+            Some((epoch, records)) => {
+                debug_assert_eq!(epoch, self.epoch);
+                if commit {
+                    s.finished.insert(epoch, records);
+                }
+                Ok(())
+            }
+            None => Err(io::Error::other("no open epoch")),
+        }
+    }
+}
+
+impl EpochWriter for MemoryEpochWriter {
+    fn write_pages(&self, batch: &[(u64, &[u8])]) -> io::Result<()> {
+        let mut s = self.shared.store.lock();
+        // Checked under the store lock (close() flips the flag before it
+        // takes the lock, so this cannot race a concurrent abort): the
+        // epoch-number match below is not enough on its own — an aborted
+        // epoch's number may be reused by a *new* session, and this stale
+        // writer must not inject records into it.
+        if self.closed.load(Ordering::Acquire) {
+            return Err(io::Error::other("epoch session closed"));
+        }
+        let bytes: u64 = batch.iter().map(|(_, d)| d.len() as u64).sum();
+        match &mut s.open {
+            Some((epoch, records)) if *epoch == self.epoch => {
+                records.extend(batch.iter().map(|&(p, d)| (p, d.to_vec())));
+                self.shared
+                    .bytes_written
+                    .fetch_add(bytes, Ordering::Relaxed);
+                Ok(())
+            }
+            _ => Err(io::Error::other("no open epoch")),
+        }
+    }
+
+    fn finish(&self) -> io::Result<()> {
+        self.close(true)
+    }
+
+    fn abort(&self) -> io::Result<()> {
+        self.close(false)
+    }
+}
+
+impl Drop for MemoryEpochWriter {
+    fn drop(&mut self) {
+        if !self.closed.load(Ordering::Acquire) {
+            let _ = self.close(false);
+        }
     }
 }
 
 impl StorageBackend for MemoryBackend {
-    fn begin_epoch(&mut self, epoch: u64) -> io::Result<()> {
-        let mut s = self.store.lock();
+    fn begin_epoch(&self, epoch: u64) -> io::Result<Box<dyn EpochWriter>> {
+        let mut s = self.shared.store.lock();
         if s.open.is_some() {
             return Err(io::Error::other("previous epoch still open"));
         }
-        if s.finished.keys().next_back().is_some_and(|&last| epoch <= last) {
-            return Err(io::Error::other(format!(
-                "epoch {epoch} not increasing"
-            )));
+        if s.finished
+            .keys()
+            .next_back()
+            .is_some_and(|&last| epoch <= last)
+        {
+            return Err(io::Error::other(format!("epoch {epoch} not increasing")));
         }
         s.open = Some((epoch, Vec::new()));
-        Ok(())
+        Ok(Box::new(MemoryEpochWriter {
+            shared: Arc::clone(&self.shared),
+            epoch,
+            closed: AtomicBool::new(false),
+        }))
     }
 
-    fn write_page(&mut self, page: u64, data: &[u8]) -> io::Result<()> {
-        let mut s = self.store.lock();
-        s.bytes_written += data.len() as u64;
-        match &mut s.open {
-            Some((_, records)) => {
-                records.push((page, data.to_vec()));
-                Ok(())
-            }
-            None => Err(io::Error::other("no open epoch")),
-        }
-    }
-
-    fn finish_epoch(&mut self) -> io::Result<()> {
-        let mut s = self.store.lock();
-        match s.open.take() {
-            Some((epoch, records)) => {
-                s.finished.insert(epoch, records);
-                Ok(())
-            }
-            None => Err(io::Error::other("no open epoch")),
-        }
-    }
-
-    fn abort_epoch(&mut self) -> io::Result<()> {
-        self.store.lock().open = None;
-        Ok(())
-    }
-
-    fn put_blob(&mut self, name: &str, data: &[u8]) -> io::Result<()> {
-        self.store.lock().blobs.insert(name.to_string(), data.to_vec());
+    fn put_blob(&self, name: &str, data: &[u8]) -> io::Result<()> {
+        self.shared
+            .store
+            .lock()
+            .blobs
+            .insert(name.to_string(), data.to_vec());
         Ok(())
     }
 
     fn get_blob(&self, name: &str) -> io::Result<Option<Vec<u8>>> {
-        Ok(self.store.lock().blobs.get(name).cloned())
+        Ok(self.shared.store.lock().blobs.get(name).cloned())
     }
 
     fn epochs(&self) -> io::Result<Vec<u64>> {
-        Ok(self.store.lock().finished.keys().copied().collect())
+        Ok(self.shared.store.lock().finished.keys().copied().collect())
     }
 
-    fn read_epoch(
-        &self,
-        epoch: u64,
-        visit: &mut dyn FnMut(u64, &[u8]),
-    ) -> io::Result<()> {
-        let s = self.store.lock();
+    fn read_epoch(&self, epoch: u64, visit: &mut dyn FnMut(u64, &[u8])) -> io::Result<()> {
+        // Visit under the store lock (no copy of the epoch's records):
+        // `visit` must not reenter this backend, which no restore-path
+        // consumer does.
+        let s = self.shared.store.lock();
         let records = s
             .finished
             .get(&epoch)
@@ -129,23 +190,20 @@ impl StorageBackend for MemoryBackend {
     }
 
     fn bytes_written(&self) -> u64 {
-        self.store.lock().bytes_written
+        self.shared.bytes_written.load(Ordering::Relaxed)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::backend::write_epoch;
 
     #[test]
     fn epochs_are_ordered_and_isolated() {
-        let mut b = MemoryBackend::new();
-        b.begin_epoch(1).unwrap();
-        b.write_page(10, &[1]).unwrap();
-        b.finish_epoch().unwrap();
-        b.begin_epoch(2).unwrap();
-        b.write_page(20, &[2]).unwrap();
-        b.finish_epoch().unwrap();
+        let b = MemoryBackend::new();
+        write_epoch(&b, 1, vec![(10, vec![1])]).unwrap();
+        write_epoch(&b, 2, vec![(20, vec![2])]).unwrap();
         assert_eq!(b.epochs().unwrap(), vec![1, 2]);
         assert_eq!(b.epoch_records(1).unwrap(), vec![(10, vec![1])]);
         assert_eq!(b.epoch_records(2).unwrap(), vec![(20, vec![2])]);
@@ -154,40 +212,68 @@ mod tests {
 
     #[test]
     fn non_increasing_epoch_rejected() {
-        let mut b = MemoryBackend::new();
-        b.begin_epoch(5).unwrap();
-        b.finish_epoch().unwrap();
+        let b = MemoryBackend::new();
+        b.begin_epoch(5).unwrap().finish().unwrap();
         assert!(b.begin_epoch(5).is_err());
         assert!(b.begin_epoch(4).is_err());
-        b.begin_epoch(6).unwrap();
+        b.begin_epoch(6).unwrap().finish().unwrap();
     }
 
     #[test]
-    fn write_without_open_epoch_fails() {
-        let mut b = MemoryBackend::new();
-        assert!(b.write_page(0, &[0]).is_err());
-        assert!(b.finish_epoch().is_err());
+    fn write_after_close_fails() {
+        let b = MemoryBackend::new();
+        let w = b.begin_epoch(1).unwrap();
+        w.write_pages(&[(0, &[0])]).unwrap();
+        w.finish().unwrap();
+        assert!(w.write_pages(&[(1, &[1])]).is_err());
+        assert!(w.finish().is_err(), "finish is exactly-once");
     }
 
     #[test]
     fn double_begin_fails() {
-        let mut b = MemoryBackend::new();
-        b.begin_epoch(1).unwrap();
+        let b = MemoryBackend::new();
+        let _w = b.begin_epoch(1).unwrap();
         assert!(b.begin_epoch(2).is_err());
     }
 
     #[test]
     fn unfinished_epoch_is_invisible() {
-        let mut b = MemoryBackend::new();
-        b.begin_epoch(1).unwrap();
-        b.write_page(0, &[9]).unwrap();
+        let b = MemoryBackend::new();
+        let w = b.begin_epoch(1).unwrap();
+        w.write_pages(&[(0, &[9])]).unwrap();
         assert!(b.epochs().unwrap().is_empty(), "not finished yet");
         assert!(b.read_epoch(1, &mut |_, _| {}).is_err());
     }
 
     #[test]
+    fn aborted_epoch_discarded_and_number_reusable() {
+        let b = MemoryBackend::new();
+        let w = b.begin_epoch(3).unwrap();
+        w.write_pages(&[(1, &[1, 1])]).unwrap();
+        w.abort().unwrap();
+        assert!(b.epochs().unwrap().is_empty());
+        // An aborted epoch number may be retried (it was never committed).
+        write_epoch(&b, 3, vec![(2, vec![2])]).unwrap();
+        assert_eq!(b.epochs().unwrap(), vec![3]);
+    }
+
+    #[test]
+    fn stale_writer_cannot_inject_into_reused_epoch_number() {
+        let b = MemoryBackend::new();
+        let w1 = b.begin_epoch(3).unwrap();
+        w1.write_pages(&[(0, &[9])]).unwrap();
+        w1.abort().unwrap();
+        // Same epoch number, fresh session: the stale writer must bounce.
+        let w2 = b.begin_epoch(3).unwrap();
+        assert!(w1.write_pages(&[(1, &[8])]).is_err(), "stale writer");
+        w2.write_pages(&[(2, &[7])]).unwrap();
+        w2.finish().unwrap();
+        assert_eq!(b.epoch_records(3).unwrap(), vec![(2, vec![7])]);
+    }
+
+    #[test]
     fn blobs_round_trip_and_overwrite() {
-        let mut b = MemoryBackend::new();
+        let b = MemoryBackend::new();
         assert_eq!(b.get_blob("layout").unwrap(), None);
         b.put_blob("layout", b"v1").unwrap();
         b.put_blob("layout", b"v2").unwrap();
@@ -196,10 +282,8 @@ mod tests {
 
     #[test]
     fn shared_handles_observe_each_other() {
-        let (mut writer, reader) = MemoryBackend::shared();
-        writer.begin_epoch(1).unwrap();
-        writer.write_page(7, &[7, 7]).unwrap();
-        writer.finish_epoch().unwrap();
+        let (writer, reader) = MemoryBackend::shared();
+        write_epoch(&writer, 1, vec![(7, vec![7, 7])]).unwrap();
         assert_eq!(reader.epoch_records(1).unwrap(), vec![(7, vec![7, 7])]);
     }
 }

@@ -3,16 +3,25 @@
 //! timings through a throttle) without burning RAM or disk on the payload.
 
 use std::io;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
 
-use crate::backend::StorageBackend;
+use parking_lot::Mutex;
+
+use crate::backend::{EpochWriter, StorageBackend};
+
+#[derive(Debug, Default)]
+struct NullShared {
+    epochs: Mutex<Vec<u64>>,
+    open: Mutex<Option<u64>>,
+    pages_written: AtomicU64,
+    bytes_written: AtomicU64,
+}
 
 /// A backend that swallows page data, keeping only counts.
 #[derive(Debug, Default)]
 pub struct NullBackend {
-    epochs: Vec<u64>,
-    open: Option<u64>,
-    pages_written: u64,
-    bytes_written: u64,
+    shared: Arc<NullShared>,
 }
 
 impl NullBackend {
@@ -23,47 +32,93 @@ impl NullBackend {
 
     /// Total pages accepted.
     pub fn pages_written(&self) -> u64 {
-        self.pages_written
+        self.shared.pages_written.load(Ordering::Relaxed)
     }
 }
 
-impl StorageBackend for NullBackend {
-    fn begin_epoch(&mut self, epoch: u64) -> io::Result<()> {
-        if self.open.is_some() {
-            return Err(io::Error::other("previous epoch still open"));
-        }
-        if self.epochs.last().is_some_and(|&l| epoch <= l) {
-            return Err(io::Error::other("epoch not increasing"));
-        }
-        self.open = Some(epoch);
-        Ok(())
-    }
+/// Open-epoch session on a [`NullBackend`].
+#[derive(Debug)]
+struct NullEpochWriter {
+    shared: Arc<NullShared>,
+    epoch: u64,
+    closed: AtomicBool,
+}
 
-    fn write_page(&mut self, _page: u64, data: &[u8]) -> io::Result<()> {
-        if self.open.is_none() {
-            return Err(io::Error::other("no open epoch"));
+impl NullEpochWriter {
+    fn close(&self, commit: bool) -> io::Result<()> {
+        if self.closed.swap(true, Ordering::AcqRel) {
+            return Err(io::Error::other("epoch session already closed"));
         }
-        self.pages_written += 1;
-        self.bytes_written += data.len() as u64;
-        Ok(())
-    }
-
-    fn finish_epoch(&mut self) -> io::Result<()> {
-        match self.open.take() {
+        let mut open = self.shared.open.lock();
+        match open.take() {
             Some(e) => {
-                self.epochs.push(e);
+                debug_assert_eq!(e, self.epoch);
+                if commit {
+                    self.shared.epochs.lock().push(e);
+                }
                 Ok(())
             }
             None => Err(io::Error::other("no open epoch")),
         }
     }
+}
 
-    fn abort_epoch(&mut self) -> io::Result<()> {
-        self.open = None;
+impl EpochWriter for NullEpochWriter {
+    fn write_pages(&self, batch: &[(u64, &[u8])]) -> io::Result<()> {
+        if self.closed.load(Ordering::Acquire) {
+            return Err(io::Error::other("epoch session closed"));
+        }
+        let bytes: u64 = batch.iter().map(|(_, d)| d.len() as u64).sum();
+        self.shared
+            .pages_written
+            .fetch_add(batch.len() as u64, Ordering::Relaxed);
+        self.shared
+            .bytes_written
+            .fetch_add(bytes, Ordering::Relaxed);
         Ok(())
     }
 
-    fn put_blob(&mut self, _name: &str, _data: &[u8]) -> io::Result<()> {
+    fn finish(&self) -> io::Result<()> {
+        self.close(true)
+    }
+
+    fn abort(&self) -> io::Result<()> {
+        self.close(false)
+    }
+}
+
+impl Drop for NullEpochWriter {
+    fn drop(&mut self) {
+        if !self.closed.load(Ordering::Acquire) {
+            let _ = self.close(false);
+        }
+    }
+}
+
+impl StorageBackend for NullBackend {
+    fn begin_epoch(&self, epoch: u64) -> io::Result<Box<dyn EpochWriter>> {
+        let mut open = self.shared.open.lock();
+        if open.is_some() {
+            return Err(io::Error::other("previous epoch still open"));
+        }
+        if self
+            .shared
+            .epochs
+            .lock()
+            .last()
+            .is_some_and(|&l| epoch <= l)
+        {
+            return Err(io::Error::other("epoch not increasing"));
+        }
+        *open = Some(epoch);
+        Ok(Box::new(NullEpochWriter {
+            shared: Arc::clone(&self.shared),
+            epoch,
+            closed: AtomicBool::new(false),
+        }))
+    }
+
+    fn put_blob(&self, _name: &str, _data: &[u8]) -> io::Result<()> {
         Ok(())
     }
 
@@ -72,7 +127,7 @@ impl StorageBackend for NullBackend {
     }
 
     fn epochs(&self) -> io::Result<Vec<u64>> {
-        Ok(self.epochs.clone())
+        Ok(self.shared.epochs.lock().clone())
     }
 
     fn read_epoch(&self, epoch: u64, _visit: &mut dyn FnMut(u64, &[u8])) -> io::Result<()> {
@@ -83,7 +138,7 @@ impl StorageBackend for NullBackend {
     }
 
     fn bytes_written(&self) -> u64 {
-        self.bytes_written
+        self.shared.bytes_written.load(Ordering::Relaxed)
     }
 }
 
@@ -93,11 +148,10 @@ mod tests {
 
     #[test]
     fn counts_but_stores_nothing() {
-        let mut b = NullBackend::new();
-        b.begin_epoch(1).unwrap();
-        b.write_page(0, &[0u8; 100]).unwrap();
-        b.write_page(1, &[0u8; 50]).unwrap();
-        b.finish_epoch().unwrap();
+        let b = NullBackend::new();
+        let w = b.begin_epoch(1).unwrap();
+        w.write_pages(&[(0, &[0u8; 100]), (1, &[0u8; 50])]).unwrap();
+        w.finish().unwrap();
         assert_eq!(b.pages_written(), 2);
         assert_eq!(b.bytes_written(), 150);
         assert_eq!(b.epochs().unwrap(), vec![1]);
@@ -107,13 +161,11 @@ mod tests {
 
     #[test]
     fn epoch_discipline_enforced() {
-        let mut b = NullBackend::new();
-        assert!(b.write_page(0, &[]).is_err());
-        b.begin_epoch(3).unwrap();
-        assert!(b.begin_epoch(4).is_err());
-        b.abort_epoch().unwrap();
-        b.begin_epoch(4).unwrap();
-        b.finish_epoch().unwrap();
+        let b = NullBackend::new();
+        let w = b.begin_epoch(3).unwrap();
+        assert!(b.begin_epoch(4).is_err(), "one open epoch at a time");
+        w.abort().unwrap();
+        b.begin_epoch(4).unwrap().finish().unwrap();
         assert!(b.begin_epoch(4).is_err(), "must increase");
     }
 }

@@ -4,8 +4,8 @@
 //! in order to reduce both performance overhead and storage space
 //! requirements").
 //!
-//! Pages are grouped in write order into groups of `k`; for each full group
-//! (and the trailing partial group) one parity record is emitted whose
+//! Pages are grouped in arrival order into groups of `k`; for each full
+//! group (and the trailing partial group) one parity record is emitted whose
 //! payload is the XOR of the members plus a header listing them. Storage
 //! overhead is `1/k` instead of replication's `1×`, and any *single* lost or
 //! corrupted page per group can be reconstructed with
@@ -14,10 +14,18 @@
 //! Parity records are stored through the same backend with the high bit of
 //! the page id set; `read_epoch` filters them out so ordinary consumers (the
 //! restore path) see only data pages.
+//!
+//! Under concurrent streams, group membership follows arrival order at the
+//! session's accumulator (a mutex serialises the XOR state); which pages
+//! share a group is then nondeterministic, but every data page still lands
+//! in exactly one group, which is all the recovery invariant needs.
 
 use std::io;
+use std::sync::Arc;
 
-use crate::backend::StorageBackend;
+use parking_lot::Mutex;
+
+use crate::backend::{EpochWriter, StorageBackend};
 
 /// Page-id flag marking parity records inside the wrapped backend.
 pub const PARITY_FLAG: u64 = 1 << 63;
@@ -26,6 +34,11 @@ pub const PARITY_FLAG: u64 = 1 << 63;
 pub struct ParityBackend<B> {
     inner: B,
     k: usize,
+}
+
+/// Accumulating parity group of one epoch session.
+#[derive(Debug, Default)]
+struct ParityState {
     /// Members of the currently accumulating group.
     group: Vec<u64>,
     /// Running XOR of the group members' payloads.
@@ -33,27 +46,11 @@ pub struct ParityBackend<B> {
     groups_emitted: u64,
 }
 
-impl<B: StorageBackend> ParityBackend<B> {
-    /// Group size `k` (storage overhead `1/k`). `k >= 2`.
-    pub fn new(inner: B, k: usize) -> Self {
-        assert!(k >= 2, "parity group needs at least 2 members");
-        Self {
-            inner,
-            k,
-            group: Vec::with_capacity(k),
-            xor: Vec::new(),
-            groups_emitted: 0,
-        }
-    }
-
-    /// The wrapped backend.
-    pub fn inner(&self) -> &B {
-        &self.inner
-    }
-
-    fn emit_parity(&mut self) -> io::Result<()> {
+impl ParityState {
+    /// Build the parity record payload for the current group, if any.
+    fn take_parity_record(&mut self) -> Option<(u64, Vec<u8>)> {
         if self.group.is_empty() {
-            return Ok(());
+            return None;
         }
         // Payload: [k u32][member ids u64 * k][xor bytes]
         let mut payload = Vec::with_capacity(4 + self.group.len() * 8 + self.xor.len());
@@ -66,7 +63,20 @@ impl<B: StorageBackend> ParityBackend<B> {
         self.groups_emitted += 1;
         self.group.clear();
         self.xor.clear();
-        self.inner.write_page(id, &payload)
+        Some((id, payload))
+    }
+}
+
+impl<B: StorageBackend> ParityBackend<B> {
+    /// Group size `k` (storage overhead `1/k`). `k >= 2`.
+    pub fn new(inner: B, k: usize) -> Self {
+        assert!(k >= 2, "parity group needs at least 2 members");
+        Self { inner, k }
+    }
+
+    /// The wrapped backend.
+    pub fn inner(&self) -> &B {
+        &self.inner
     }
 
     /// Reconstruct a lost/corrupt page of a finished epoch from its parity
@@ -112,41 +122,74 @@ impl<B: StorageBackend> ParityBackend<B> {
     }
 }
 
-impl<B: StorageBackend> StorageBackend for ParityBackend<B> {
-    fn begin_epoch(&mut self, epoch: u64) -> io::Result<()> {
-        self.group.clear();
-        self.xor.clear();
-        self.inner.begin_epoch(epoch)
-    }
+/// Epoch session that interleaves parity records with the data stream.
+struct ParityEpochWriter {
+    inner: Box<dyn EpochWriter>,
+    k: usize,
+    state: Arc<Mutex<ParityState>>,
+}
 
-    fn write_page(&mut self, page: u64, data: &[u8]) -> io::Result<()> {
-        assert_eq!(page & PARITY_FLAG, 0, "page id collides with parity flag");
-        self.inner.write_page(page, data)?;
-        if self.xor.len() < data.len() {
-            self.xor.resize(data.len(), 0);
+impl EpochWriter for ParityEpochWriter {
+    fn write_pages(&self, batch: &[(u64, &[u8])]) -> io::Result<()> {
+        for &(page, _) in batch {
+            assert_eq!(page & PARITY_FLAG, 0, "page id collides with parity flag");
         }
-        for (a, b) in self.xor.iter_mut().zip(data) {
-            *a ^= b;
+        self.inner.write_pages(batch)?;
+        // Fold the batch into the accumulating group under the state lock;
+        // emit full groups' parity records through the inner session.
+        let mut parity_records = Vec::new();
+        {
+            let mut st = self.state.lock();
+            for &(page, data) in batch {
+                if st.xor.len() < data.len() {
+                    st.xor.resize(data.len(), 0);
+                }
+                for (a, b) in st.xor.iter_mut().zip(data) {
+                    *a ^= b;
+                }
+                st.group.push(page);
+                if st.group.len() == self.k {
+                    parity_records.extend(st.take_parity_record());
+                }
+            }
         }
-        self.group.push(page);
-        if self.group.len() == self.k {
-            self.emit_parity()?;
+        if !parity_records.is_empty() {
+            let batch: Vec<(u64, &[u8])> = parity_records
+                .iter()
+                .map(|(id, payload)| (*id, payload.as_slice()))
+                .collect();
+            self.inner.write_pages(&batch)?;
         }
         Ok(())
     }
 
-    fn finish_epoch(&mut self) -> io::Result<()> {
-        self.emit_parity()?; // trailing partial group
-        self.inner.finish_epoch()
+    fn finish(&self) -> io::Result<()> {
+        // Trailing partial group.
+        if let Some((id, payload)) = self.state.lock().take_parity_record() {
+            self.inner.write_pages(&[(id, &payload)])?;
+        }
+        self.inner.finish()
     }
 
-    fn abort_epoch(&mut self) -> io::Result<()> {
-        self.group.clear();
-        self.xor.clear();
-        self.inner.abort_epoch()
+    fn abort(&self) -> io::Result<()> {
+        let mut st = self.state.lock();
+        st.group.clear();
+        st.xor.clear();
+        drop(st);
+        self.inner.abort()
+    }
+}
+
+impl<B: StorageBackend> StorageBackend for ParityBackend<B> {
+    fn begin_epoch(&self, epoch: u64) -> io::Result<Box<dyn EpochWriter>> {
+        Ok(Box::new(ParityEpochWriter {
+            inner: self.inner.begin_epoch(epoch)?,
+            k: self.k,
+            state: Arc::new(Mutex::new(ParityState::default())),
+        }))
     }
 
-    fn put_blob(&mut self, name: &str, data: &[u8]) -> io::Result<()> {
+    fn put_blob(&self, name: &str, data: &[u8]) -> io::Result<()> {
         self.inner.put_blob(name, data)
     }
 
@@ -174,6 +217,7 @@ impl<B: StorageBackend> StorageBackend for ParityBackend<B> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::backend::write_epoch;
     use crate::memory::MemoryBackend;
 
     fn page(v: u8) -> Vec<u8> {
@@ -182,12 +226,8 @@ mod tests {
 
     #[test]
     fn data_pages_visible_parity_hidden() {
-        let mut b = ParityBackend::new(MemoryBackend::new(), 2);
-        b.begin_epoch(1).unwrap();
-        for p in 0..5u64 {
-            b.write_page(p, &page(p as u8)).unwrap();
-        }
-        b.finish_epoch().unwrap();
+        let b = ParityBackend::new(MemoryBackend::new(), 2);
+        write_epoch(&b, 1, (0..5u64).map(|p| (p, page(p as u8)))).unwrap();
         let mut seen = Vec::new();
         b.read_epoch(1, &mut |p, _| seen.push(p)).unwrap();
         assert_eq!(seen, vec![0, 1, 2, 3, 4], "parity records filtered");
@@ -197,12 +237,8 @@ mod tests {
 
     #[test]
     fn recovers_any_single_member() {
-        let mut b = ParityBackend::new(MemoryBackend::new(), 3);
-        b.begin_epoch(1).unwrap();
-        for p in 0..7u64 {
-            b.write_page(p, &page(p as u8 + 10)).unwrap();
-        }
-        b.finish_epoch().unwrap();
+        let b = ParityBackend::new(MemoryBackend::new(), 3);
+        write_epoch(&b, 1, (0..7u64).map(|p| (p, page(p as u8 + 10)))).unwrap();
         for lost in 0..7u64 {
             let recovered = b.recover_page(1, lost).unwrap();
             assert_eq!(
@@ -214,21 +250,38 @@ mod tests {
     }
 
     #[test]
+    fn recovers_under_concurrent_streams() {
+        let b = ParityBackend::new(MemoryBackend::new(), 3);
+        let w: Arc<dyn EpochWriter> = Arc::from(b.begin_epoch(1).unwrap());
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                let w = Arc::clone(&w);
+                s.spawn(move || {
+                    for i in 0..5u64 {
+                        let p = t * 5 + i;
+                        w.write_pages(&[(p, &page(p as u8))]).unwrap();
+                    }
+                });
+            }
+        });
+        w.finish().unwrap();
+        for lost in 0..20u64 {
+            let recovered = b.recover_page(1, lost).unwrap();
+            assert_eq!(&recovered[..32], &page(lost as u8)[..]);
+        }
+    }
+
+    #[test]
     fn uncovered_page_is_an_error() {
-        let mut b = ParityBackend::new(MemoryBackend::new(), 2);
-        b.begin_epoch(1).unwrap();
-        b.write_page(0, &page(1)).unwrap();
-        b.finish_epoch().unwrap();
+        let b = ParityBackend::new(MemoryBackend::new(), 2);
+        write_epoch(&b, 1, vec![(0, page(1))]).unwrap();
         assert!(b.recover_page(1, 99).is_err());
     }
 
     #[test]
     fn variable_sized_members_pad_with_zeros() {
-        let mut b = ParityBackend::new(MemoryBackend::new(), 2);
-        b.begin_epoch(1).unwrap();
-        b.write_page(0, &[0xAA; 8]).unwrap();
-        b.write_page(1, &[0x55; 16]).unwrap();
-        b.finish_epoch().unwrap();
+        let b = ParityBackend::new(MemoryBackend::new(), 2);
+        write_epoch(&b, 1, vec![(0, vec![0xAA; 8]), (1, vec![0x55; 16])]).unwrap();
         let r0 = b.recover_page(1, 0).unwrap();
         assert_eq!(&r0[..8], &[0xAA; 8]);
         let r1 = b.recover_page(1, 1).unwrap();

@@ -9,7 +9,7 @@
 
 use std::io;
 
-use crate::backend::StorageBackend;
+use crate::backend::{EpochWriter, StorageBackend};
 
 /// Mirrors every operation across `n` replicas.
 pub struct ReplicatedBackend {
@@ -50,37 +50,46 @@ impl ReplicatedBackend {
     }
 }
 
+/// One epoch session fanned out over every replica's session.
+struct ReplicatedEpochWriter {
+    writers: Vec<Box<dyn EpochWriter>>,
+}
+
+impl EpochWriter for ReplicatedEpochWriter {
+    fn write_pages(&self, batch: &[(u64, &[u8])]) -> io::Result<()> {
+        for w in &self.writers {
+            w.write_pages(batch)?;
+        }
+        Ok(())
+    }
+
+    fn finish(&self) -> io::Result<()> {
+        for w in &self.writers {
+            w.finish()?;
+        }
+        Ok(())
+    }
+
+    fn abort(&self) -> io::Result<()> {
+        for w in &self.writers {
+            w.abort()?;
+        }
+        Ok(())
+    }
+}
+
 impl StorageBackend for ReplicatedBackend {
-    fn begin_epoch(&mut self, epoch: u64) -> io::Result<()> {
-        for r in &mut self.replicas {
-            r.begin_epoch(epoch)?;
-        }
-        Ok(())
+    fn begin_epoch(&self, epoch: u64) -> io::Result<Box<dyn EpochWriter>> {
+        let writers = self
+            .replicas
+            .iter()
+            .map(|r| r.begin_epoch(epoch))
+            .collect::<io::Result<Vec<_>>>()?;
+        Ok(Box::new(ReplicatedEpochWriter { writers }))
     }
 
-    fn write_page(&mut self, page: u64, data: &[u8]) -> io::Result<()> {
-        for r in &mut self.replicas {
-            r.write_page(page, data)?;
-        }
-        Ok(())
-    }
-
-    fn finish_epoch(&mut self) -> io::Result<()> {
-        for r in &mut self.replicas {
-            r.finish_epoch()?;
-        }
-        Ok(())
-    }
-
-    fn abort_epoch(&mut self) -> io::Result<()> {
-        for r in &mut self.replicas {
-            r.abort_epoch()?;
-        }
-        Ok(())
-    }
-
-    fn put_blob(&mut self, name: &str, data: &[u8]) -> io::Result<()> {
-        for r in &mut self.replicas {
+    fn put_blob(&self, name: &str, data: &[u8]) -> io::Result<()> {
+        for r in &self.replicas {
             r.put_blob(name, data)?;
         }
         Ok(())
@@ -117,6 +126,7 @@ impl StorageBackend for ReplicatedBackend {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::backend::write_epoch;
     use crate::memory::MemoryBackend;
 
     fn two_way() -> (ReplicatedBackend, MemoryBackend, MemoryBackend) {
@@ -131,24 +141,31 @@ mod tests {
 
     #[test]
     fn writes_reach_all_replicas() {
-        let (mut r, a, b) = two_way();
-        r.begin_epoch(1).unwrap();
-        r.write_page(9, &[5, 5]).unwrap();
-        r.finish_epoch().unwrap();
+        let (r, a, b) = two_way();
+        write_epoch(&r, 1, vec![(9, vec![5, 5])]).unwrap();
         assert_eq!(a.epoch_records(1).unwrap(), vec![(9, vec![5, 5])]);
         assert_eq!(b.epoch_records(1).unwrap(), vec![(9, vec![5, 5])]);
     }
 
     #[test]
+    fn abort_propagates_to_all_replicas() {
+        let (r, a, b) = two_way();
+        let w = r.begin_epoch(1).unwrap();
+        w.write_pages(&[(0, &[1])]).unwrap();
+        w.abort().unwrap();
+        assert!(a.epochs().unwrap().is_empty());
+        assert!(b.epochs().unwrap().is_empty());
+    }
+
+    #[test]
     fn restore_survives_replica_loss() {
         let (mut r, _a, _b) = two_way();
-        r.begin_epoch(1).unwrap();
-        r.write_page(1, &[1]).unwrap();
-        r.finish_epoch().unwrap();
+        write_epoch(&r, 1, vec![(1, vec![1])]).unwrap();
         r.fail_replica(0);
         assert_eq!(r.width(), 1);
         let mut seen = Vec::new();
-        r.read_epoch(1, &mut |p, d| seen.push((p, d.to_vec()))).unwrap();
+        r.read_epoch(1, &mut |p, d| seen.push((p, d.to_vec())))
+            .unwrap();
         assert_eq!(seen, vec![(1, vec![1])]);
         assert_eq!(r.epochs().unwrap(), vec![1]);
     }

@@ -105,7 +105,10 @@ impl Solver {
                 );
             }
             if crash_at == Some(self.step_no) {
-                println!("  step {:>3}: simulated CRASH (no clean shutdown)", self.step_no);
+                println!(
+                    "  step {:>3}: simulated CRASH (no clean shutdown)",
+                    self.step_no
+                );
                 return Ok(false);
             }
         }
@@ -149,9 +152,7 @@ fn main() -> std::io::Result<()> {
         .zip(&reference_grid)
         .map(|(a, b)| (a - b).abs())
         .fold(0.0f64, f64::max);
-    println!(
-        "checksum: reference {want:.6}, recovered {got:.6}, max cell diff {max_diff:.3e}"
-    );
+    println!("checksum: reference {want:.6}, recovered {got:.6}, max cell diff {max_diff:.3e}");
     assert!(
         max_diff == 0.0,
         "restart must reproduce the reference bit-for-bit (deterministic solver)"

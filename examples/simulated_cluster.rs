@@ -20,6 +20,7 @@ fn main() {
             ckpt_every: 1,
             ckpt_at_end: false,
             strategy: Strategy::None, // overridden per run
+            committer_streams: 1,
             cow_slots: 256,
             barrier_ns: 100_000,
             fault_ns: 5_000,

@@ -85,7 +85,10 @@ fn main() -> std::io::Result<()> {
         image.len(),
         total_bytes >> 10
     );
-    assert!(total_bytes >= (1 << 18) * 8 / 2, "bulk of the field captured");
+    assert!(
+        total_bytes >= (1 << 18) * 8 / 2,
+        "bulk of the field captured"
+    );
 
     // Dropping the app's data releases the protected regions (free_protected).
     drop(sim);

@@ -10,8 +10,9 @@
 //! * [`ai_ckpt_sim`] — the discrete-event cluster simulator;
 //! * [`ai_ckpt_bench`] — the figure harness.
 //!
-//! See `README.md` for a tour, `DESIGN.md` for the system inventory and
-//! `EXPERIMENTS.md` for the paper-vs-measured record.
+//! See `README.md` for a tour and `DESIGN.md` for the system inventory;
+//! the `figures` binary in `ai-ckpt-bench` regenerates the paper-vs-measured
+//! record.
 
 pub use ai_ckpt;
 pub use ai_ckpt_bench;

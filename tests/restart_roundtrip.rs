@@ -5,8 +5,7 @@
 use ai_ckpt::{restore_at, restore_latest, CkptConfig, PageManager};
 use ai_ckpt_mem::page_size;
 use ai_ckpt_storage::{
-    CheckpointImage, FileBackend, MemoryBackend, ParityBackend, ReplicatedBackend,
-    StorageBackend,
+    CheckpointImage, FileBackend, MemoryBackend, ParityBackend, ReplicatedBackend, StorageBackend,
 };
 
 fn tmpdir(tag: &str) -> std::path::PathBuf {
@@ -33,9 +32,11 @@ fn fill(buf: &mut ai_ckpt::ProtectedBuffer, pages: &[usize], e: u8) {
 fn file_backend_three_epoch_restart() {
     let dir = tmpdir("file3");
     {
-        let mgr =
-            PageManager::new(CkptConfig::ai_ckpt(1 << 16), Box::new(FileBackend::open(&dir).unwrap()))
-                .unwrap();
+        let mgr = PageManager::new(
+            CkptConfig::ai_ckpt(1 << 16),
+            Box::new(FileBackend::open(&dir).unwrap()),
+        )
+        .unwrap();
         let mut buf = mgr.alloc_protected_named("state", 8 * page_size()).unwrap();
         fill(&mut buf, &[0, 1, 2, 3, 4, 5, 6, 7], 1);
         mgr.checkpoint().unwrap();
@@ -46,9 +47,11 @@ fn file_backend_three_epoch_restart() {
         mgr.wait_checkpoint().unwrap();
     }
     // Fresh process: restore the latest checkpoint.
-    let mgr =
-        PageManager::new(CkptConfig::ai_ckpt(1 << 16), Box::new(FileBackend::open(&dir).unwrap()))
-            .unwrap();
+    let mgr = PageManager::new(
+        CkptConfig::ai_ckpt(1 << 16),
+        Box::new(FileBackend::open(&dir).unwrap()),
+    )
+    .unwrap();
     let view = FileBackend::open(&dir).unwrap();
     let restored = restore_latest(&mgr, &view).unwrap().unwrap();
     assert_eq!(restored.checkpoint, 3);
@@ -67,9 +70,11 @@ fn file_backend_three_epoch_restart() {
 fn restore_at_earlier_checkpoint() {
     let dir = tmpdir("earlier");
     {
-        let mgr =
-            PageManager::new(CkptConfig::ai_ckpt(0), Box::new(FileBackend::open(&dir).unwrap()))
-                .unwrap();
+        let mgr = PageManager::new(
+            CkptConfig::ai_ckpt(0),
+            Box::new(FileBackend::open(&dir).unwrap()),
+        )
+        .unwrap();
         let mut buf = mgr.alloc_protected_named("v", 2 * page_size()).unwrap();
         fill(&mut buf, &[0, 1], 1);
         mgr.checkpoint().unwrap();
@@ -77,14 +82,20 @@ fn restore_at_earlier_checkpoint() {
         mgr.checkpoint().unwrap();
         mgr.wait_checkpoint().unwrap();
     }
-    let mgr =
-        PageManager::new(CkptConfig::ai_ckpt(0), Box::new(FileBackend::open(&dir).unwrap()))
-            .unwrap();
+    let mgr = PageManager::new(
+        CkptConfig::ai_ckpt(0),
+        Box::new(FileBackend::open(&dir).unwrap()),
+    )
+    .unwrap();
     let view = FileBackend::open(&dir).unwrap();
     let restored = restore_at(&mgr, &view, 1).unwrap();
     let ps = page_size();
     let s = restored.buffers[0].as_slice();
-    assert_eq!(s[ps], 1u8.wrapping_mul(31).wrapping_add(1), "epoch-1 version");
+    assert_eq!(
+        s[ps],
+        1u8.wrapping_mul(31).wrapping_add(1),
+        "epoch-1 version"
+    );
     std::fs::remove_dir_all(&dir).unwrap();
 }
 
@@ -92,9 +103,11 @@ fn restore_at_earlier_checkpoint() {
 fn restart_continues_epoch_numbering() {
     let dir = tmpdir("continue");
     {
-        let mgr =
-            PageManager::new(CkptConfig::ai_ckpt(0), Box::new(FileBackend::open(&dir).unwrap()))
-                .unwrap();
+        let mgr = PageManager::new(
+            CkptConfig::ai_ckpt(0),
+            Box::new(FileBackend::open(&dir).unwrap()),
+        )
+        .unwrap();
         let mut buf = mgr.alloc_protected_named("x", page_size()).unwrap();
         fill(&mut buf, &[0], 1);
         mgr.checkpoint().unwrap();
@@ -102,9 +115,11 @@ fn restart_continues_epoch_numbering() {
     }
     // Second life: restore, mutate, checkpoint again.
     {
-        let mgr =
-            PageManager::new(CkptConfig::ai_ckpt(0), Box::new(FileBackend::open(&dir).unwrap()))
-                .unwrap();
+        let mgr = PageManager::new(
+            CkptConfig::ai_ckpt(0),
+            Box::new(FileBackend::open(&dir).unwrap()),
+        )
+        .unwrap();
         let view = FileBackend::open(&dir).unwrap();
         let restored = restore_latest(&mgr, &view).unwrap().unwrap();
         assert_eq!(restored.checkpoint, 1);
@@ -162,9 +177,11 @@ fn sync_and_async_checkpoints_are_interchangeable_on_disk() {
     // identically — the storage format is strategy-independent.
     let dir = tmpdir("mixed");
     {
-        let mgr =
-            PageManager::new(CkptConfig::sync(), Box::new(FileBackend::open(&dir).unwrap()))
-                .unwrap();
+        let mgr = PageManager::new(
+            CkptConfig::sync(),
+            Box::new(FileBackend::open(&dir).unwrap()),
+        )
+        .unwrap();
         let mut buf = mgr.alloc_protected_named("m", 2 * page_size()).unwrap();
         fill(&mut buf, &[0, 1], 1);
         mgr.checkpoint().unwrap();

@@ -1,0 +1,189 @@
+//! Minimal, dependency-free stand-in for the `libc` crate, providing exactly
+//! the FFI surface this workspace uses (see `vendor/README.md`).
+//!
+//! Targets `x86_64`/`aarch64` Linux with glibc: the `sigaction`, `sigset_t`
+//! and `siginfo_t` layouts below are the glibc layouts shared by those two
+//! architectures. A compile-time check rejects other platforms rather than
+//! miscompiling signal handling.
+
+#![allow(non_camel_case_types)]
+
+#[cfg(not(all(
+    target_os = "linux",
+    any(target_arch = "x86_64", target_arch = "aarch64")
+)))]
+compile_error!("the vendored libc shim supports only x86_64/aarch64 Linux");
+
+pub use core::ffi::c_void;
+
+/// C `int`.
+pub type c_int = i32;
+/// C `long` (LP64).
+pub type c_long = i64;
+/// C `size_t`.
+pub type size_t = usize;
+/// C `off_t`.
+pub type off_t = i64;
+/// C `time_t`.
+pub type time_t = i64;
+/// Signal handler address, as stored in `sigaction.sa_sigaction`.
+pub type sighandler_t = size_t;
+
+/// `PROT_READ`.
+pub const PROT_READ: c_int = 1;
+/// `PROT_WRITE`.
+pub const PROT_WRITE: c_int = 2;
+/// `MAP_PRIVATE`.
+pub const MAP_PRIVATE: c_int = 0x02;
+/// `MAP_ANONYMOUS`.
+pub const MAP_ANONYMOUS: c_int = 0x20;
+/// `mmap` failure sentinel (`(void *) -1`).
+pub const MAP_FAILED: *mut c_void = !0usize as *mut c_void;
+/// `ENOMEM`.
+pub const ENOMEM: c_int = 12;
+/// `_SC_PAGESIZE` (glibc's `sysconf` index on Linux).
+pub const _SC_PAGESIZE: c_int = 30;
+/// `SIGSEGV`.
+pub const SIGSEGV: c_int = 11;
+/// `SA_SIGINFO`.
+pub const SA_SIGINFO: c_int = 0x0000_0004;
+/// `SIG_DFL`.
+pub const SIG_DFL: sighandler_t = 0;
+/// `SIG_IGN`.
+pub const SIG_IGN: sighandler_t = 1;
+
+/// glibc `__sigset_t`: 1024 bits.
+#[repr(C)]
+#[derive(Clone, Copy)]
+pub struct sigset_t {
+    __val: [u64; 16],
+}
+
+/// glibc `struct sigaction` (x86_64/aarch64 field order).
+#[repr(C)]
+#[derive(Clone, Copy)]
+pub struct sigaction {
+    /// Handler address (`sa_handler`/`sa_sigaction` union).
+    pub sa_sigaction: sighandler_t,
+    /// Signals blocked during the handler.
+    pub sa_mask: sigset_t,
+    /// `SA_*` flags.
+    pub sa_flags: c_int,
+    /// Obsolete trampoline slot (set by glibc, never by callers).
+    pub sa_restorer: sighandler_t,
+}
+
+/// Kernel `siginfo_t`: 128 bytes; for `SIGSEGV` the fault address is the
+/// first pointer-sized field after the 16-byte header (x86_64/aarch64).
+#[repr(C)]
+pub struct siginfo_t {
+    /// Signal number.
+    pub si_signo: c_int,
+    /// Errno value associated with the signal.
+    pub si_errno: c_int,
+    /// Signal code.
+    pub si_code: c_int,
+    _pad: c_int,
+    _sifields: [usize; 14],
+}
+
+impl siginfo_t {
+    /// Fault address (`si_addr`), valid for `SIGSEGV`/`SIGBUS`.
+    ///
+    /// # Safety
+    /// Only meaningful when the kernel delivered a signal for which
+    /// `si_addr` is defined.
+    pub unsafe fn si_addr(&self) -> *mut c_void {
+        self._sifields[0] as *mut c_void
+    }
+}
+
+/// `struct timespec`.
+#[repr(C)]
+#[derive(Clone, Copy)]
+pub struct timespec {
+    /// Whole seconds.
+    pub tv_sec: time_t,
+    /// Nanoseconds `[0, 1e9)`.
+    pub tv_nsec: c_long,
+}
+
+extern "C" {
+    /// `mmap(2)`.
+    pub fn mmap(
+        addr: *mut c_void,
+        len: size_t,
+        prot: c_int,
+        flags: c_int,
+        fd: c_int,
+        offset: off_t,
+    ) -> *mut c_void;
+    /// `munmap(2)`.
+    pub fn munmap(addr: *mut c_void, len: size_t) -> c_int;
+    /// `mprotect(2)`.
+    pub fn mprotect(addr: *mut c_void, len: size_t, prot: c_int) -> c_int;
+    /// `sysconf(3)`.
+    pub fn sysconf(name: c_int) -> c_long;
+    /// `sigaction(2)` (glibc wrapper; installs the rt restorer itself).
+    pub fn sigaction(signum: c_int, act: *const sigaction, oldact: *mut sigaction) -> c_int;
+    /// `sigemptyset(3)`.
+    pub fn sigemptyset(set: *mut sigset_t) -> c_int;
+    /// `nanosleep(2)` — async-signal-safe sleep.
+    pub fn nanosleep(req: *const timespec, rem: *mut timespec) -> c_int;
+    /// glibc's thread-local errno accessor.
+    pub fn __errno_location() -> *mut c_int;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn abi_sizes_match_glibc() {
+        // Pinned against the real glibc layouts; a mismatch here means the
+        // shim would corrupt signal state.
+        assert_eq!(core::mem::size_of::<sigset_t>(), 128);
+        assert_eq!(core::mem::size_of::<siginfo_t>(), 128);
+        assert_eq!(core::mem::size_of::<sigaction>(), 8 + 128 + 8 + 8);
+        assert_eq!(core::mem::align_of::<siginfo_t>(), 8);
+    }
+
+    #[test]
+    fn sysconf_pagesize_sane() {
+        let ps = unsafe { sysconf(_SC_PAGESIZE) };
+        assert!(ps >= 4096, "sysconf(_SC_PAGESIZE) = {ps}");
+        assert!((ps as u64).is_power_of_two());
+    }
+
+    #[test]
+    fn mmap_mprotect_munmap_round_trip() {
+        unsafe {
+            let len = 2 * sysconf(_SC_PAGESIZE) as usize;
+            let p = mmap(
+                core::ptr::null_mut(),
+                len,
+                PROT_READ | PROT_WRITE,
+                MAP_PRIVATE | MAP_ANONYMOUS,
+                -1,
+                0,
+            );
+            assert_ne!(p, MAP_FAILED);
+            (p as *mut u8).write(42);
+            assert_eq!(mprotect(p, len, PROT_READ), 0);
+            assert_eq!((p as *const u8).read(), 42);
+            assert_eq!(mprotect(p, len, PROT_READ | PROT_WRITE), 0);
+            assert_eq!(munmap(p, len), 0);
+        }
+    }
+
+    #[test]
+    fn errno_location_is_thread_local_and_writable() {
+        unsafe {
+            let e = __errno_location();
+            let saved = *e;
+            *e = 7;
+            assert_eq!(*__errno_location(), 7);
+            *e = saved;
+        }
+    }
+}
