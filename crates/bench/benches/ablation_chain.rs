@@ -1,0 +1,122 @@
+//! Chain ablation: restore cost versus chain length, with and without
+//! compaction.
+//!
+//! The headline expectation: without compaction, `CheckpointImage::load`
+//! replays every delta since epoch 0, so restore time grows linearly with
+//! the number of checkpoints ever taken; with a bounded chain (compaction
+//! folding the prefix into a full segment) it stays flat. The second part
+//! sweeps the simulator's two-tier drain bandwidth to show where a bounded
+//! fast tier starts throttling checkpoints.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use ai_ckpt_sim::{Cluster, Routing, ServiceParams, StorageModel, Strategy, TierParams};
+use ai_ckpt_storage::{write_epoch, CheckpointImage, MemoryBackend, StorageBackend};
+
+const PAGE: usize = 4096;
+const PAGES_PER_EPOCH: u64 = 32;
+
+/// Build a chain of `epochs` delta epochs, each dirtying a sliding window
+/// of pages; optionally fold the whole prefix after every `fold_every`
+/// epochs (the maintenance worker's behaviour).
+fn build_chain(epochs: u64, fold_every: Option<u64>) -> MemoryBackend {
+    let b = MemoryBackend::new();
+    for e in 1..=epochs {
+        let first = (e * 7) % 256;
+        write_epoch(
+            &b,
+            e,
+            (first..first + PAGES_PER_EPOCH).map(|p| (p, vec![e as u8; PAGE])),
+        )
+        .unwrap();
+        if let Some(n) = fold_every {
+            if e % n == 0 {
+                b.compact(e).unwrap();
+            }
+        }
+    }
+    b
+}
+
+fn bench_restore_vs_chain_length(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_chain/restore");
+    for &epochs in &[16u64, 64, 256] {
+        let unbounded = build_chain(epochs, None);
+        let bounded = build_chain(epochs, Some(8));
+        assert_eq!(
+            CheckpointImage::load_latest(&unbounded).unwrap().unwrap(),
+            CheckpointImage::load_latest(&bounded).unwrap().unwrap(),
+            "compaction must not change the image"
+        );
+        g.bench_with_input(BenchmarkId::new("unbounded", epochs), &epochs, |bch, &e| {
+            bch.iter(|| black_box(CheckpointImage::load(&unbounded, e).unwrap()));
+        });
+        g.bench_with_input(
+            BenchmarkId::new("chain_le_8", epochs),
+            &epochs,
+            |bch, &e| {
+                bch.iter(|| black_box(CheckpointImage::load(&bounded, e).unwrap()));
+            },
+        );
+    }
+    g.finish();
+}
+
+/// Simulated two-tier sweep: mean flush time as the outer-tier drain
+/// bandwidth shrinks below the checkpoint production rate. Prints its own
+/// table (the quantity of interest is simulated time, not wall time).
+fn bench_sim_tier_sweep(_c: &mut Criterion) {
+    println!("ablation_chain/sim_tier_drain  (4 ranks, 16 MiB fast tier per rank)");
+    for drain_mibps in [200.0, 50.0, 12.0, 3.0] {
+        let storage = StorageModel::new(
+            4,
+            ServiceParams {
+                overhead_ns: 20_000,
+                bytes_per_sec: 400.0 * 1024.0 * 1024.0,
+                jitter: 0.2,
+            },
+            Routing::NodeLocal,
+            5_000,
+            1.05,
+        )
+        .with_tier(TierParams {
+            fast_capacity_bytes: 16 << 20,
+            drain_bytes_per_sec: drain_mibps * 1024.0 * 1024.0,
+        });
+        let cfg = ai_ckpt_sim::ClusterConfig {
+            ranks: 4,
+            ranks_per_node: 1,
+            iterations: 6,
+            ckpt_every: 1,
+            ckpt_at_end: false,
+            strategy: Strategy::AiCkpt,
+            committer_streams: 2,
+            cow_slots: 128,
+            barrier_ns: 100_000,
+            fault_ns: 5_000,
+            cow_copy_ns: 2_000,
+            jitter: 0.02,
+            async_compute_drag: 1.1,
+            seed: 11,
+        };
+        let out = Cluster::new(cfg, storage, |_r| {
+            Box::new(ai_ckpt_sim::SyntheticApp::new(
+                4096, // 16 MiB dirty per epoch per rank
+                4096,
+                ai_ckpt_sim::Pattern::Ascending,
+                10_000,
+                30_000_000,
+            )) as Box<dyn ai_ckpt_sim::AppModel>
+        })
+        .run();
+        println!(
+            "  drain={drain_mibps:>5.0} MiB/s: flush {:.3}s  completion {:.3}s",
+            black_box(out.mean_checkpoint_secs(1)),
+            out.completion.as_secs_f64()
+        );
+    }
+}
+
+criterion_group!(benches, bench_restore_vs_chain_length, bench_sim_tier_sweep);
+criterion_main!(benches);

@@ -16,6 +16,45 @@ pub enum CkptMode {
     Sync,
 }
 
+/// When the background maintenance worker folds the checkpoint chain.
+///
+/// An incremental chain grows one segment per checkpoint; without bounds,
+/// restore replays the job's entire history. The maintenance worker
+/// compacts the committed chain into a single full segment whenever either
+/// trigger fires, so on-disk segment count stays ≤ `max_chain_len` (+ the
+/// epochs committed while a fold is in flight) and restore replays at most
+/// that many segments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CompactionPolicy {
+    /// Fold when the live chain exceeds this many segments (0 = never).
+    pub max_chain_len: usize,
+    /// Fold when more than this many epochs accumulated since the newest
+    /// full segment (0 = never). Subsumed by `max_chain_len` unless
+    /// segments are also retired by tier draining.
+    pub full_every_n: usize,
+}
+
+impl CompactionPolicy {
+    /// No automatic compaction (the pre-compaction behaviour).
+    pub const DISABLED: Self = Self {
+        max_chain_len: 0,
+        full_every_n: 0,
+    };
+
+    /// Keep the live chain at or below `len` segments.
+    pub fn chain_len(len: usize) -> Self {
+        Self {
+            max_chain_len: len,
+            full_every_n: 0,
+        }
+    }
+
+    /// True when neither trigger can ever fire.
+    pub fn is_disabled(&self) -> bool {
+        self.max_chain_len == 0 && self.full_every_n == 0
+    }
+}
+
 /// Configuration for a [`PageManager`](crate::PageManager).
 #[derive(Debug, Clone)]
 pub struct CkptConfig {
@@ -44,6 +83,10 @@ pub struct CkptConfig {
     /// amortise locking and per-request storage overhead; smaller batches
     /// react faster to dynamic hints. Clamped to at least 1.
     pub flush_batch_pages: usize,
+    /// Background chain compaction (see [`CompactionPolicy`]). Disabled by
+    /// default: every preset reproduces the paper's unbounded chain unless
+    /// the application opts into bounded-restore maintenance.
+    pub compaction: CompactionPolicy,
 }
 
 /// Default committer stream count: `min(4, available cores)`.
@@ -67,6 +110,7 @@ impl CkptConfig {
             max_pages: 1 << 18,
             committer_streams: default_committer_streams(),
             flush_batch_pages: DEFAULT_FLUSH_BATCH_PAGES,
+            compaction: CompactionPolicy::DISABLED,
         }
     }
 
@@ -81,6 +125,7 @@ impl CkptConfig {
             max_pages: 1 << 18,
             committer_streams: default_committer_streams(),
             flush_batch_pages: DEFAULT_FLUSH_BATCH_PAGES,
+            compaction: CompactionPolicy::DISABLED,
         }
     }
 
@@ -94,6 +139,7 @@ impl CkptConfig {
             max_pages: 1 << 18,
             committer_streams: default_committer_streams(),
             flush_batch_pages: DEFAULT_FLUSH_BATCH_PAGES,
+            compaction: CompactionPolicy::DISABLED,
         }
     }
 
@@ -118,6 +164,12 @@ impl CkptConfig {
     /// Override the flush batch size (clamped to ≥ 1).
     pub fn with_flush_batch_pages(mut self, pages: usize) -> Self {
         self.flush_batch_pages = pages.max(1);
+        self
+    }
+
+    /// Enable background chain compaction under the given policy.
+    pub fn with_compaction(mut self, policy: CompactionPolicy) -> Self {
+        self.compaction = policy;
         self
     }
 
@@ -146,6 +198,16 @@ mod tests {
         let sync = CkptConfig::sync();
         assert_eq!(sync.mode, CkptMode::Sync);
         assert_eq!(sync.cow_slots(), 0, "no CoW in sync mode");
+    }
+
+    #[test]
+    fn compaction_disabled_by_default() {
+        assert!(CkptConfig::ai_ckpt(0).compaction.is_disabled());
+        assert!(CkptConfig::sync().compaction.is_disabled());
+        let c = CkptConfig::ai_ckpt(0).with_compaction(CompactionPolicy::chain_len(8));
+        assert!(!c.compaction.is_disabled());
+        assert_eq!(c.compaction.max_chain_len, 8);
+        assert_eq!(CompactionPolicy::default(), CompactionPolicy::DISABLED);
     }
 
     #[test]

@@ -68,10 +68,10 @@ pub mod stats;
 pub mod transparent;
 
 pub use buffer::ProtectedBuffer;
-pub use config::{CkptConfig, CkptMode};
+pub use config::{CkptConfig, CkptMode, CompactionPolicy};
 pub use manager::PageManager;
 pub use restore::{restore_at, restore_latest, RestoredState};
-pub use stats::{CheckpointRecord, RuntimeStats};
+pub use stats::{CheckpointRecord, MaintenanceStats, RuntimeStats};
 
 // Re-export the vocabulary types users need alongside the runtime.
 pub use ai_ckpt_core::{AccessType, CheckpointPlanInfo, EpochStats, SchedulerKind};

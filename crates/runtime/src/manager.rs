@@ -55,11 +55,11 @@ use ai_ckpt_core::{
     StateTable, WriteOutcome,
 };
 use ai_ckpt_mem::{page_size, registry, sigsegv, MappedRegion, Protection, RegionHit};
-use ai_ckpt_storage::{EpochWriter, StorageBackend};
+use ai_ckpt_storage::{EpochKind, EpochWriter, StorageBackend};
 
-use crate::config::{CkptConfig, CkptMode};
+use crate::config::{CkptConfig, CkptMode, CompactionPolicy};
 use crate::layout::{self, BufferLayout};
-use crate::stats::{CheckpointRecord, RuntimeStats, StreamStats};
+use crate::stats::{CheckpointRecord, MaintenanceStats, RuntimeStats, StreamStats};
 
 /// State reachable from the SIGSEGV handler. Lives behind an `Arc` whose
 /// address is the registry token, so the handler can reach it without any
@@ -186,6 +186,40 @@ struct Pool {
     streams: Vec<StreamCounters>,
 }
 
+/// Work counters of the maintenance worker (atomics: bumped by the worker,
+/// snapshot by `PageManager::stats`).
+#[derive(Default)]
+struct MaintCounters {
+    compactions: AtomicU64,
+    segments_removed: AtomicU64,
+    bytes_reclaimed: AtomicU64,
+    bytes_compacted: AtomicU64,
+    epochs_drained: AtomicU64,
+    failures: AtomicU64,
+}
+
+#[derive(Default)]
+struct MaintState {
+    /// Bumped by the coordinator after every finished checkpoint; the
+    /// worker runs one cycle per kick.
+    kicks: u64,
+    /// Highest kick value a *completed* cycle had observed when it started
+    /// (`wait_maintenance_idle` waits for this to catch its own kick up).
+    served: u64,
+    shutdown: bool,
+}
+
+/// Control block of the low-priority maintenance worker (chain compaction,
+/// segment GC, tier draining).
+struct Maint {
+    state: Mutex<MaintState>,
+    /// The worker waits here; the coordinator and Drop notify it.
+    wake: Condvar,
+    /// Observers (tests, `wait_maintenance_idle`) wait here for cycles.
+    idle: Condvar,
+    counters: MaintCounters,
+}
+
 /// The AI-Ckpt runtime entry point. One per process is typical (the paper's
 /// page manager), but multiple independent managers are supported.
 pub struct PageManager {
@@ -193,9 +227,11 @@ pub struct PageManager {
     pub(crate) regions: Arc<Mutex<Regions>>,
     cfg: CkptConfig,
     pool: Arc<Pool>,
+    maint: Arc<Maint>,
     tx: mpsc::Sender<Cmd>,
     join: Option<std::thread::JoinHandle<()>>,
     workers: Vec<std::thread::JoinHandle<()>>,
+    maint_join: Option<std::thread::JoinHandle<()>>,
     /// Backend epochs committed before this manager started (restart case):
     /// checkpoint `n` of this manager persists as epoch `epoch_base + n`.
     epoch_base: u64,
@@ -245,7 +281,22 @@ impl PageManager {
             drained: Condvar::new(),
             streams: (0..n_streams).map(|_| StreamCounters::default()).collect(),
         });
+        let maint = Arc::new(Maint {
+            state: Mutex::new(MaintState::default()),
+            wake: Condvar::new(),
+            idle: Condvar::new(),
+            counters: MaintCounters::default(),
+        });
         let mut workers = Vec::with_capacity(n_streams);
+        let release_pool = |pool: &Pool, workers: Vec<std::thread::JoinHandle<()>>| {
+            // Release threads already parked on the pool, or they (and
+            // everything the Ctl pins) would leak for the process lifetime.
+            pool.state.lock().shutdown = true;
+            pool.work.notify_all();
+            for w in workers {
+                let _ = w.join();
+            }
+        };
         let spawned = (|| -> io::Result<std::thread::JoinHandle<()>> {
             for stream in 0..n_streams {
                 let pool = Arc::clone(&pool);
@@ -258,21 +309,38 @@ impl PageManager {
             }
             let committer_ctl = Arc::clone(&ctl);
             let committer_pool = Arc::clone(&pool);
+            let committer_backend = Arc::clone(&backend);
+            let committer_maint = Arc::clone(&maint);
             std::thread::Builder::new()
                 .name("ai-ckpt-committer".into())
-                .spawn(move || committer_loop(committer_ctl, committer_pool, rx, backend))
+                .spawn(move || {
+                    committer_loop(
+                        committer_ctl,
+                        committer_pool,
+                        rx,
+                        committer_backend,
+                        committer_maint,
+                    )
+                })
         })();
         let join = match spawned {
             Ok(join) => join,
             Err(e) => {
-                // A later spawn failed: release the workers already parked
-                // on the pool, or they (and everything the Ctl pins) would
-                // leak for the process lifetime.
-                pool.state.lock().shutdown = true;
-                pool.work.notify_all();
-                for w in workers {
-                    let _ = w.join();
-                }
+                release_pool(&pool, workers);
+                return Err(e);
+            }
+        };
+        let maint_worker = Arc::clone(&maint);
+        let policy = cfg.compaction;
+        let maint_join = match std::thread::Builder::new()
+            .name("ai-ckpt-maintenance".into())
+            .spawn(move || maintenance_loop(maint_worker, backend, policy))
+        {
+            Ok(j) => j,
+            Err(e) => {
+                release_pool(&pool, workers);
+                let _ = tx.send(Cmd::Shutdown);
+                let _ = join.join();
                 return Err(e);
             }
         };
@@ -281,9 +349,11 @@ impl PageManager {
             regions: Arc::new(Mutex::new(Regions::default())),
             cfg,
             pool,
+            maint,
             tx,
             join: Some(join),
             workers,
+            maint_join: Some(maint_join),
             epoch_base,
         })
     }
@@ -450,6 +520,7 @@ impl PageManager {
 
     /// Snapshot of runtime metrics.
     pub fn stats(&self) -> RuntimeStats {
+        let m = &self.maint.counters;
         RuntimeStats {
             checkpoints: self.ctl.stats.lock().clone(),
             live_epoch: self.ctl.shared.engine.lock().current_stats(),
@@ -465,7 +536,38 @@ impl PageManager {
                     batches: c.batches.load(Ordering::Relaxed),
                 })
                 .collect(),
+            maintenance: MaintenanceStats {
+                compactions: m.compactions.load(Ordering::Relaxed),
+                segments_removed: m.segments_removed.load(Ordering::Relaxed),
+                bytes_reclaimed: m.bytes_reclaimed.load(Ordering::Relaxed),
+                bytes_compacted: m.bytes_compacted.load(Ordering::Relaxed),
+                epochs_drained: m.epochs_drained.load(Ordering::Relaxed),
+                failures: m.failures.load(Ordering::Relaxed),
+            },
         }
+    }
+
+    /// Block until the maintenance worker has completed a cycle that
+    /// started after every checkpoint finished so far — i.e. chain
+    /// compaction and tier draining have caught up with the committed
+    /// state. Mainly for tests and orderly shutdown points; the worker
+    /// needs no help making progress.
+    pub fn wait_maintenance_idle(&self) -> io::Result<()> {
+        self.wait_checkpoint()?;
+        let target = {
+            let mut st = self.maint.state.lock();
+            st.kicks += 1; // force a cycle that starts after this instant
+            self.maint.wake.notify_all();
+            st.kicks
+        };
+        // `served` only advances to `target` once a cycle that *began*
+        // after our kick completed — a cycle already in flight (which may
+        // have read pre-kick state) cannot satisfy the wait.
+        let mut st = self.maint.state.lock();
+        while st.served < target && !st.shutdown {
+            self.maint.idle.wait(&mut st);
+        }
+        Ok(())
     }
 
     /// Number of checkpoints requested so far.
@@ -483,6 +585,16 @@ impl Drop for PageManager {
     fn drop(&mut self) {
         let _ = self.tx.send(Cmd::Shutdown);
         if let Some(j) = self.join.take() {
+            let _ = j.join();
+        }
+        // Stop the maintenance worker (it holds a backend Arc).
+        {
+            let mut st = self.maint.state.lock();
+            st.shutdown = true;
+        }
+        self.maint.wake.notify_all();
+        self.maint.idle.notify_all();
+        if let Some(j) = self.maint_join.take() {
             let _ = j.join();
         }
         // The coordinator normally sets the pool's shutdown flag on its way
@@ -569,6 +681,7 @@ fn committer_loop(
     pool: Arc<Pool>,
     rx: mpsc::Receiver<Cmd>,
     backend: Arc<dyn StorageBackend>,
+    maint: Arc<Maint>,
 ) {
     // The committer's own allocations (backend buffers, error strings) must
     // never be routed into protected regions by the transparent-tracking
@@ -598,6 +711,12 @@ fn committer_loop(
                 }
                 st.busy = false;
                 ctl.done.notify_all();
+                drop(st);
+                // Kick the maintenance worker: a new epoch may have pushed
+                // the chain past the compaction policy's bound, and a
+                // tiered backend has a fresh epoch to drain.
+                maint.state.lock().kicks += 1;
+                maint.wake.notify_all();
             }
         }
     }
@@ -666,6 +785,123 @@ fn flush_checkpoint(
         }
         (None, None) => unreachable!("no writer implies an open error"),
     }
+}
+
+/// The low-priority maintenance worker: runs beside the committer streams,
+/// draining tiered-backend backlog and compacting the committed chain when
+/// the [`CompactionPolicy`] fires — never blocking an active checkpoint
+/// (compaction only touches *committed* epochs; the open epoch session is
+/// invisible to `chain()` until its `finish`).
+///
+/// Wakes on every finished checkpoint (kick from the coordinator); each
+/// cycle drains the whole tier backlog, so between checkpoints there is
+/// nothing to poll for and the worker parks without any timer — except
+/// after a failed cycle, where a 50 ms-timed wait retries the work even if
+/// no new checkpoint ever arrives. Errors are counted, never fatal: a
+/// failed fold leaves the (longer) chain fully restorable. A backend that
+/// reports compaction as unsupported disarms the policy permanently (one
+/// failure recorded) instead of re-attempting forever.
+fn maintenance_loop(
+    maint: Arc<Maint>,
+    backend: Arc<dyn StorageBackend>,
+    mut policy: CompactionPolicy,
+) {
+    // Same exemption as the committer: maintenance allocations must never
+    // route into protected regions (deadlock; see committer_loop).
+    ai_ckpt_mem::alloc::exempt_thread_from_tracking(true);
+    if !policy.is_disabled() && !backend.supports_compaction() {
+        maint.counters.failures.fetch_add(1, Ordering::Relaxed);
+        policy = CompactionPolicy::DISABLED;
+    }
+    let mut retry = false;
+    loop {
+        let observed_kicks = {
+            let mut st = maint.state.lock();
+            loop {
+                if st.shutdown {
+                    return;
+                }
+                if st.kicks != st.served {
+                    break;
+                }
+                if retry {
+                    if maint
+                        .wake
+                        .wait_for(&mut st, std::time::Duration::from_millis(50))
+                        .timed_out()
+                    {
+                        break; // re-run the failed cycle without a kick
+                    }
+                } else {
+                    maint.wake.wait(&mut st);
+                }
+            }
+            if st.shutdown {
+                return;
+            }
+            st.kicks
+        };
+        retry = match maintenance_cycle(backend.as_ref(), policy, &maint.counters) {
+            Ok(()) => false,
+            Err(e) => {
+                maint.counters.failures.fetch_add(1, Ordering::Relaxed);
+                if e.kind() == io::ErrorKind::Unsupported {
+                    policy = CompactionPolicy::DISABLED;
+                    false
+                } else {
+                    true
+                }
+            }
+        };
+        let mut st = maint.state.lock();
+        st.served = st.served.max(observed_kicks);
+        maint.idle.notify_all();
+    }
+}
+
+/// One maintenance cycle: drain the tier backlog, then fold the chain if
+/// the policy says so.
+fn maintenance_cycle(
+    backend: &dyn StorageBackend,
+    policy: CompactionPolicy,
+    counters: &MaintCounters,
+) -> io::Result<()> {
+    // Tier drain first: it shortens the fast tier, and compaction works on
+    // the durable chain below.
+    while backend.drain_one()?.is_some() {
+        counters.epochs_drained.fetch_add(1, Ordering::Relaxed);
+    }
+    if policy.is_disabled() {
+        return Ok(());
+    }
+    let chain = backend.chain()?;
+    let Some(head) = chain.last().map(|c| c.epoch) else {
+        return Ok(());
+    };
+    // Segments a restore of `head` would replay: everything after (and
+    // including) the newest full segment.
+    let since_full = chain
+        .iter()
+        .rposition(|c| c.kind == EpochKind::Full)
+        .map(|i| chain.len() - 1 - i)
+        .unwrap_or(chain.len());
+    let over_len = policy.max_chain_len > 0 && chain.len() > policy.max_chain_len;
+    let full_due = policy.full_every_n > 0 && since_full >= policy.full_every_n;
+    if !(over_len || full_due) {
+        return Ok(());
+    }
+    let stats = backend.compact(head)?;
+    counters.compactions.fetch_add(1, Ordering::Relaxed);
+    counters
+        .segments_removed
+        .fetch_add(stats.segments_removed, Ordering::Relaxed);
+    counters
+        .bytes_reclaimed
+        .fetch_add(stats.bytes_reclaimed(), Ordering::Relaxed);
+    counters
+        .bytes_compacted
+        .fetch_add(stats.bytes_after, Ordering::Relaxed);
+    Ok(())
 }
 
 /// `ASYNC_COMMIT` (Algorithm 3), one stream of it: wait for a drain job,

@@ -59,6 +59,33 @@ impl StreamStats {
     }
 }
 
+/// Cumulative work of the background maintenance worker (chain compaction,
+/// segment GC and tier draining) since the manager started.
+///
+/// Invariants a healthy run upholds (asserted by the stress tests):
+/// `bytes_reclaimed ≥ 0` with `bytes_compacted ≤` the payload folded
+/// (latest-wins merges never grow), and `segments_removed ≥ compactions`
+/// (every fold supersedes at least the segment it replaced).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MaintenanceStats {
+    /// Chain compactions performed.
+    pub compactions: u64,
+    /// Superseded segments garbage-collected by those compactions.
+    pub segments_removed: u64,
+    /// Payload bytes freed: folded-away duplicates (bytes before the merge
+    /// minus bytes after).
+    pub bytes_reclaimed: u64,
+    /// Payload bytes written into full (compacted) segments.
+    pub bytes_compacted: u64,
+    /// Epochs drained from a fast tier to the durable tier.
+    pub epochs_drained: u64,
+    /// Maintenance cycles that failed. Never fatal to the application: the
+    /// worker retries the cycle (or, for a backend without compaction
+    /// support, disarms the policy after recording one failure); the chain
+    /// merely stays longer until a retry succeeds.
+    pub failures: u64,
+}
+
 /// Snapshot of the runtime's accumulated metrics.
 #[derive(Debug, Clone, Default)]
 pub struct RuntimeStats {
@@ -69,6 +96,9 @@ pub struct RuntimeStats {
     pub live_epoch: EpochStats,
     /// Per-committer-stream work counters, one entry per configured stream.
     pub streams: Vec<StreamStats>,
+    /// Chain-maintenance counters (zero when compaction is disabled and the
+    /// backend has no drain backlog).
+    pub maintenance: MaintenanceStats,
 }
 
 impl RuntimeStats {
@@ -153,6 +183,7 @@ mod tests {
             ],
             live_epoch: EpochStats::default(),
             streams: Vec::new(),
+            maintenance: MaintenanceStats::default(),
         };
         assert_eq!(
             stats.mean_checkpoint_time(1),
@@ -178,6 +209,7 @@ mod tests {
                 ..Default::default()
             },
             streams: Vec::new(),
+            maintenance: MaintenanceStats::default(),
         };
         // Epochs 1 and 2 (skip epoch 0 = pre-first-checkpoint).
         assert_eq!(stats.mean_wait(1), 15.0);

@@ -1,0 +1,169 @@
+//! Stress the maintenance worker against the live flush pipeline: chain
+//! compaction and tier draining run *concurrently* with multi-stream
+//! checkpoints of an application that keeps overwriting its buffer. The
+//! worker must never deadlock the pipeline, never fold away state an
+//! in-flight epoch depends on, and its counters must stay consistent.
+
+use std::time::Duration;
+
+use ai_ckpt::{CkptConfig, CompactionPolicy, PageManager};
+use ai_ckpt_mem::page_size;
+use ai_ckpt_storage::{
+    CheckpointImage, EpochKind, MemoryBackend, StorageBackend, ThrottledBackend, TieredBackend,
+};
+
+/// Write a deterministic, epoch-dependent pattern over the whole buffer.
+fn scribble(buf: &mut ai_ckpt::ProtectedBuffer, epoch: u8, pages: usize) {
+    let ps = page_size();
+    let slice = buf.as_mut_slice();
+    for p in 0..pages {
+        let v = (p as u8) ^ epoch.wrapping_mul(0x5D);
+        slice[p * ps..(p + 1) * ps].fill(v);
+    }
+}
+
+fn assert_epoch_image(view: &dyn StorageBackend, epoch: u64, tag: u8, base: u64, pages: usize) {
+    let img = CheckpointImage::load(view, epoch).unwrap();
+    for p in 0..pages {
+        let want = (p as u8) ^ tag.wrapping_mul(0x5D);
+        let data = img
+            .page(base + p as u64)
+            .unwrap_or_else(|| panic!("page {p} missing at epoch {epoch}"));
+        assert!(
+            data.iter().all(|&b| b == want),
+            "epoch {epoch} page {p}: compaction corrupted the snapshot"
+        );
+    }
+}
+
+#[test]
+fn compaction_races_active_checkpoints_without_corruption() {
+    const PAGES: usize = 64;
+    const EPOCHS: u8 = 24;
+    const MAX_CHAIN: usize = 4;
+    let (mem, view) = MemoryBackend::shared();
+    // Slow storage: the flush of epoch N reliably overlaps the application
+    // writing epoch N+1 *and* the maintenance worker folding epochs ≤ N-1.
+    let backend = ThrottledBackend::new(mem, 48.0 * 1024.0 * 1024.0, Duration::ZERO);
+    let cfg = CkptConfig::ai_ckpt(8 * page_size())
+        .with_compaction(CompactionPolicy::chain_len(MAX_CHAIN));
+    let mgr = PageManager::new(cfg, Box::new(backend)).unwrap();
+    let mut buf = mgr.alloc_protected(PAGES * page_size()).unwrap();
+    let base = buf.base_page() as u64;
+
+    for e in 1..=EPOCHS {
+        scribble(&mut buf, e, PAGES);
+        mgr.checkpoint().unwrap();
+        // Keep overwriting immediately: CoW/waits + compaction all overlap.
+    }
+    mgr.wait_checkpoint().unwrap();
+    mgr.wait_maintenance_idle().unwrap();
+
+    // The head must restore byte-identically to the last scribble.
+    assert_epoch_image(&view, EPOCHS as u64, EPOCHS, base, PAGES);
+
+    // The chain is bounded (+1: an epoch may land between fold and check).
+    let chain = view.chain().unwrap();
+    assert!(
+        chain.len() <= MAX_CHAIN + 1,
+        "chain not bounded: {} segments",
+        chain.len()
+    );
+    assert!(
+        chain.iter().any(|c| c.kind == EpochKind::Full),
+        "no full segment after {EPOCHS} epochs under chain_len({MAX_CHAIN})"
+    );
+    // Restore replays only the bounded suffix, so every live epoch at or
+    // above the newest full one is still a valid restore point.
+    let newest_full = chain
+        .iter()
+        .rev()
+        .find(|c| c.kind == EpochKind::Full)
+        .unwrap()
+        .epoch;
+    for c in chain.iter().filter(|c| c.epoch >= newest_full) {
+        assert_epoch_image(&view, c.epoch, c.epoch as u8, base, PAGES);
+    }
+
+    // Counter consistency.
+    let m = mgr.stats().maintenance;
+    assert_eq!(m.failures, 0, "maintenance cycles failed");
+    assert!(m.compactions >= 1, "policy never fired: {m:?}");
+    assert!(
+        m.segments_removed >= m.compactions,
+        "every fold supersedes at least one segment: {m:?}"
+    );
+    assert!(
+        m.bytes_compacted > 0,
+        "full segments must carry the folded payload: {m:?}"
+    );
+    // Latest-wins folding of overlapping epochs must reclaim something:
+    // every epoch rewrites all pages, so each fold drops (k-1)/k of its
+    // input bytes.
+    assert!(m.bytes_reclaimed > 0, "nothing reclaimed: {m:?}");
+}
+
+#[test]
+fn maintenance_drains_a_tiered_backend_in_the_background() {
+    const PAGES: usize = 32;
+    const EPOCHS: u8 = 10;
+    let (fast, fast_view) = MemoryBackend::shared();
+    let (slow, slow_view) = MemoryBackend::shared();
+    let tiered = TieredBackend::new(Box::new(fast), Box::new(slow), 3).unwrap();
+    let cfg = CkptConfig::ai_ckpt(4 * page_size()).with_compaction(CompactionPolicy::chain_len(6));
+    let mgr = PageManager::new(cfg, Box::new(tiered)).unwrap();
+    let mut buf = mgr.alloc_protected(PAGES * page_size()).unwrap();
+    let base = buf.base_page() as u64;
+
+    for e in 1..=EPOCHS {
+        scribble(&mut buf, e, PAGES);
+        mgr.checkpoint().unwrap();
+    }
+    mgr.wait_checkpoint().unwrap();
+    mgr.wait_maintenance_idle().unwrap();
+
+    let m = mgr.stats().maintenance;
+    assert_eq!(m.failures, 0, "maintenance failed: {m:?}");
+    assert!(m.epochs_drained > 0, "nothing drained: {m:?}");
+    assert!(
+        fast_view.epochs().unwrap().is_empty(),
+        "fast tier not emptied: {:?}",
+        fast_view.epochs().unwrap()
+    );
+    // The durable tier (compacted there) restores the last state.
+    let img = CheckpointImage::load_latest(&slow_view).unwrap().unwrap();
+    assert_eq!(img.checkpoint(), EPOCHS as u64);
+    for p in 0..PAGES {
+        let want = (p as u8) ^ EPOCHS.wrapping_mul(0x5D);
+        assert!(
+            img.page(base + p as u64)
+                .unwrap()
+                .iter()
+                .all(|&b| b == want),
+            "page {p} wrong after tiered drain + compaction"
+        );
+    }
+}
+
+#[test]
+fn disabled_policy_changes_nothing() {
+    const PAGES: usize = 16;
+    let (mem, view) = MemoryBackend::shared();
+    let mgr = PageManager::new(CkptConfig::ai_ckpt(0), Box::new(mem)).unwrap();
+    let mut buf = mgr.alloc_protected(PAGES * page_size()).unwrap();
+    for e in 1..=6u8 {
+        scribble(&mut buf, e, PAGES);
+        mgr.checkpoint().unwrap();
+        mgr.wait_checkpoint().unwrap();
+    }
+    mgr.wait_maintenance_idle().unwrap();
+    let m = mgr.stats().maintenance;
+    assert_eq!(m.compactions, 0);
+    assert_eq!(m.epochs_drained, 0);
+    assert_eq!(view.epochs().unwrap().len(), 6, "all deltas kept");
+    assert!(view
+        .chain()
+        .unwrap()
+        .iter()
+        .all(|c| c.kind == EpochKind::Delta));
+}

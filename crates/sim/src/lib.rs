@@ -40,7 +40,7 @@ pub use experiment::{AppKind, Comparison, Experiment, StrategyRow};
 pub use lattice::{LatticeApp, LatticeConfig};
 pub use report::Table;
 pub use stencil::{StencilApp, StencilConfig};
-pub use storage::{Routing, ServiceParams, StorageModel};
+pub use storage::{Routing, ServiceParams, StorageModel, TierParams};
 pub use synthetic::{Pattern, SyntheticApp};
 pub use time::SimTime;
 

@@ -30,7 +30,30 @@
 //! at most once per checkpoint, so latest-wins reconstruction never depends
 //! on intra-epoch order. Single-stream writers (tests, `write_epoch`)
 //! still observe their own write order on `read_epoch`.
+//!
+//! ## The chain lifecycle (compaction + tiering)
+//!
+//! An incremental chain grows one delta segment per checkpoint, so restore
+//! cost and segment count grow without bound. Two trait operations bound
+//! them:
+//!
+//! * [`StorageBackend::compact`] folds the live chain prefix `..= up_to`
+//!   into a single **full** segment stored under epoch `up_to` (latest-wins
+//!   merge) and garbage-collects the superseded segments. Restore then
+//!   replays from the newest full segment instead of epoch 0. Restore
+//!   points *below* the compaction horizon are intentionally given up —
+//!   that is the trade that bounds the chain.
+//! * [`StorageBackend::drain_one`] moves the oldest epoch of a fast tier
+//!   toward a slower durable tier (see `TieredBackend`); it is a no-op for
+//!   single-tier backends.
+//!
+//! The default `compact` materialises the merged image in memory and hands
+//! it to [`StorageBackend::install_compacted`] — the one primitive a
+//! backend must implement (atomically: after a crash either the old chain
+//! or the new full segment is visible, never neither) to opt into
+//! compaction.
 
+use std::collections::BTreeMap;
 use std::io;
 
 /// One open epoch-commit session. See the module docs for the contract.
@@ -46,6 +69,47 @@ pub trait EpochWriter: Send + Sync {
     /// Discard the epoch (committer error path): it must never become
     /// visible to `epochs`/`read_epoch`.
     fn abort(&self) -> io::Result<()>;
+}
+
+/// How a live epoch's segment relates to the chain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EpochKind {
+    /// Full image: restore may start here, ignoring everything earlier.
+    Full,
+    /// Incremental delta over the preceding live epoch.
+    Delta,
+}
+
+/// One live epoch of a backend's chain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChainEntry {
+    /// Epoch number.
+    pub epoch: u64,
+    /// Full or delta segment.
+    pub kind: EpochKind,
+}
+
+/// Outcome of one [`StorageBackend::compact`] call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CompactionStats {
+    /// Oldest epoch folded.
+    pub from: u64,
+    /// Epoch now holding the full segment.
+    pub into: u64,
+    /// Superseded segments removed (0 when the call was a no-op).
+    pub segments_removed: u64,
+    /// Payload bytes of the superseded segments.
+    pub bytes_before: u64,
+    /// Payload bytes of the new full segment (≤ `bytes_before`: the
+    /// latest-wins merge keeps at most one version per page).
+    pub bytes_after: u64,
+}
+
+impl CompactionStats {
+    /// Payload bytes the compaction freed.
+    pub fn bytes_reclaimed(&self) -> u64 {
+        self.bytes_before.saturating_sub(self.bytes_after)
+    }
 }
 
 /// A sink + source of checkpoint epochs. `Send + Sync`: the runtime shares
@@ -74,6 +138,135 @@ pub trait StorageBackend: Send + Sync {
     /// framing overhead). Implementations keep this in atomics so the count
     /// stays exact under concurrent streams.
     fn bytes_written(&self) -> u64;
+
+    /// The live chain with per-epoch kinds, ascending. The default derives
+    /// it from [`StorageBackend::epochs`]: all deltas (pre-compaction
+    /// semantics — restore replays everything).
+    fn chain(&self) -> io::Result<Vec<ChainEntry>> {
+        Ok(self
+            .epochs()?
+            .into_iter()
+            .map(|epoch| ChainEntry {
+                epoch,
+                kind: EpochKind::Delta,
+            })
+            .collect())
+    }
+
+    /// Fold the live chain prefix `..= up_to` into one full segment stored
+    /// under epoch `up_to`, superseding (and reclaiming) every earlier live
+    /// epoch. Restore to epochs below `up_to` becomes impossible; restore
+    /// to `up_to` and beyond is byte-identical to the uncompacted chain.
+    ///
+    /// The default is the latest-wins merge over `read_epoch`, installed
+    /// through [`StorageBackend::install_compacted`]; backends only
+    /// override it to stream instead of buffering. Safe to call while a
+    /// *later* epoch session is open — the open epoch is not part of the
+    /// committed chain yet.
+    fn compact(&self, up_to: u64) -> io::Result<CompactionStats> {
+        // Probe capability *before* materialising the merge: without this,
+        // an unsupported backend would buffer the entire chain in memory on
+        // every call only to fail at the final install.
+        if !self.supports_compaction() {
+            return Err(io::Error::new(
+                io::ErrorKind::Unsupported,
+                "backend does not support compaction",
+            ));
+        }
+        let live: Vec<ChainEntry> = self
+            .chain()?
+            .into_iter()
+            .filter(|c| c.epoch <= up_to)
+            .collect();
+        let Some(&last) = live.last() else {
+            return Err(io::Error::new(
+                io::ErrorKind::NotFound,
+                format!("compact({up_to}): no live epoch at or below it"),
+            ));
+        };
+        if last.epoch != up_to {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!(
+                    "compact({up_to}): epoch not live (newest live at or below is {})",
+                    last.epoch
+                ),
+            ));
+        }
+        if live.len() == 1 && last.kind == EpochKind::Full {
+            // Already a lone full segment: nothing to fold.
+            return Ok(CompactionStats {
+                from: up_to,
+                into: up_to,
+                ..CompactionStats::default()
+            });
+        }
+        let from = live[0].epoch;
+        let mut pages: BTreeMap<u64, Vec<u8>> = BTreeMap::new();
+        let mut bytes_before = 0u64;
+        for c in &live {
+            self.read_epoch(c.epoch, &mut |p, d| {
+                bytes_before += d.len() as u64;
+                pages.insert(p, d.to_vec());
+            })?;
+        }
+        let records: Vec<(u64, Vec<u8>)> = pages.into_iter().collect();
+        let bytes_after: u64 = records.iter().map(|(_, d)| d.len() as u64).sum();
+        self.install_compacted(from, up_to, &records)?;
+        Ok(CompactionStats {
+            from,
+            into: up_to,
+            segments_removed: live.len() as u64,
+            bytes_before,
+            bytes_after,
+        })
+    }
+
+    /// Whether this backend can fold its chain (cheap capability probe the
+    /// default [`StorageBackend::compact`] checks before doing any work,
+    /// and policy-driven callers check before scheduling folds at all).
+    /// Override to `true` together with
+    /// [`StorageBackend::install_compacted`]; wrappers forward to their
+    /// inner backend.
+    fn supports_compaction(&self) -> bool {
+        false
+    }
+
+    /// Compaction primitive behind the default [`StorageBackend::compact`]:
+    /// atomically replace the live epochs `from ..= into` with one full
+    /// segment at `into` containing `records`, then reclaim the superseded
+    /// segments. Unsupported by default — implementing this (plus
+    /// [`StorageBackend::supports_compaction`]) opts a backend into the
+    /// default latest-wins compaction.
+    fn install_compacted(
+        &self,
+        from: u64,
+        into: u64,
+        records: &[(u64, Vec<u8>)],
+    ) -> io::Result<()> {
+        let _ = (from, into, records);
+        Err(io::Error::new(
+            io::ErrorKind::Unsupported,
+            "backend does not support compaction",
+        ))
+    }
+
+    /// Retire a committed epoch from this backend (tier eviction). The
+    /// caller must guarantee the epoch is durable elsewhere — dropping a
+    /// delta from the middle of a single-tier chain corrupts restore.
+    fn remove_epoch(&self, epoch: u64) -> io::Result<()> {
+        Err(io::Error::new(
+            io::ErrorKind::Unsupported,
+            format!("backend cannot retire epoch {epoch}"),
+        ))
+    }
+
+    /// Move the oldest not-yet-drained epoch one tier outward (see
+    /// `TieredBackend`), returning it, or `None` when there is no backlog.
+    /// Single-tier backends have no backlog.
+    fn drain_one(&self) -> io::Result<Option<u64>> {
+        Ok(None)
+    }
 }
 
 /// Convenience: write a full epoch from an iterator through a single stream

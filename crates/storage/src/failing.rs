@@ -158,6 +158,35 @@ impl<B: StorageBackend> StorageBackend for FailingBackend<B> {
     fn bytes_written(&self) -> u64 {
         self.inner.bytes_written()
     }
+
+    fn chain(&self) -> io::Result<Vec<crate::backend::ChainEntry>> {
+        self.inner.chain()
+    }
+
+    fn supports_compaction(&self) -> bool {
+        self.inner.supports_compaction()
+    }
+
+    fn compact(&self, up_to: u64) -> io::Result<crate::backend::CompactionStats> {
+        self.inner.compact(up_to)
+    }
+
+    fn install_compacted(
+        &self,
+        from: u64,
+        into: u64,
+        records: &[(u64, Vec<u8>)],
+    ) -> io::Result<()> {
+        self.inner.install_compacted(from, into, records)
+    }
+
+    fn remove_epoch(&self, epoch: u64) -> io::Result<()> {
+        self.inner.remove_epoch(epoch)
+    }
+
+    fn drain_one(&self) -> io::Result<Option<u64>> {
+        self.inner.drain_one()
+    }
 }
 
 #[cfg(test)]

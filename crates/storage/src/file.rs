@@ -8,8 +8,9 @@
 //!
 //! ```text
 //! MANIFEST                  append-only commit log (see `manifest`)
-//! epoch_0000000001.seg      page records of checkpoint 1
+//! epoch_0000000001.seg      page records of checkpoint 1 (delta)
 //! epoch_0000000002.seg      ...
+//! full_0000000005.seg       compacted full image as of checkpoint 5
 //! blob_layout               named metadata blobs (`put_blob`)
 //! ```
 //!
@@ -17,6 +18,21 @@
 //! `[page u64][len u32][crc64 u64][payload]`, all little-endian. CRCs are
 //! verified on read; a mismatch fails the restore rather than silently
 //! resurrecting corrupt state.
+//!
+//! ## Compaction and crash recovery
+//!
+//! `install_compacted` writes the merged full image to `full_N.seg.tmp`,
+//! fsyncs, renames it to `full_N.seg`, and only then appends the
+//! `Full` manifest record — the atomic commit point. Garbage collection of
+//! the superseded delta segments happens *after* the commit, so a crash at
+//! any instant leaves either the old chain (no `Full` record yet) or the
+//! new one (superseded segments are mere orphans). [`FileBackend::open`]
+//! sweeps the directory for such orphans — `*.tmp` files, segment files
+//! whose epoch was never committed (a process killed mid-checkpoint), and
+//! segments superseded by a committed compaction — which also fixes the
+//! historical leak of `.tmp`/segment files after an `abort()`-ed epoch
+//! whose `remove_file` never ran (killed process). One process per
+//! checkpoint directory is assumed, as everywhere in this backend.
 //!
 //! Multi-stream note: an epoch is one append-only segment file, so
 //! concurrent `write_pages` batches are serialised on the session's writer
@@ -34,9 +50,9 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 
-use crate::backend::{EpochWriter, StorageBackend};
+use crate::backend::{ChainEntry, EpochKind, EpochWriter, StorageBackend};
 use crate::checksum::crc64;
-use crate::manifest::{self, ManifestRecord};
+use crate::manifest::{self, ManifestRecord, RecordKind};
 
 /// Magic prefix of a segment file.
 pub const SEGMENT_MAGIC: &[u8; 8] = b"AICKSEG1";
@@ -51,6 +67,10 @@ struct FileShared {
     bytes_written: AtomicU64,
     /// At most one epoch session may be open.
     epoch_open: AtomicBool,
+    /// Serialises manifest appends between the committer's `finish` and the
+    /// maintenance worker's compaction/retirement (a v1→v2 manifest
+    /// migration rewrites the file, which must not race an append).
+    manifest_lock: Mutex<()>,
 }
 
 /// File-system storage backend.
@@ -71,15 +91,20 @@ struct OpenEpoch {
 }
 
 impl FileBackend {
-    /// Open (creating if needed) a checkpoint directory.
+    /// Open (creating if needed) a checkpoint directory, sweeping orphaned
+    /// files left by a crashed or killed predecessor (uncommitted segments,
+    /// `*.tmp` blobs/compactions, segments superseded by a committed
+    /// compaction whose GC never ran).
     pub fn open(dir: impl Into<PathBuf>) -> io::Result<Self> {
         let dir = dir.into();
         fs::create_dir_all(&dir)?;
-        Ok(Self {
+        let backend = Self {
             dir,
             shared: Arc::new(FileShared::default()),
             sync_on_finish: true,
-        })
+        };
+        backend.sweep_orphans()?;
+        Ok(backend)
     }
 
     /// The backing directory.
@@ -89,6 +114,10 @@ impl FileBackend {
 
     fn segment_path(dir: &Path, epoch: u64) -> PathBuf {
         dir.join(format!("epoch_{epoch:010}.seg"))
+    }
+
+    fn full_path(dir: &Path, epoch: u64) -> PathBuf {
+        dir.join(format!("full_{epoch:010}.seg"))
     }
 
     fn manifest_path(&self) -> PathBuf {
@@ -108,6 +137,54 @@ impl FileBackend {
     fn manifest_records(&self) -> io::Result<Vec<ManifestRecord>> {
         manifest::read(&self.manifest_path())
     }
+
+    /// The live chain as full manifest records (commit counts included).
+    fn live_records(&self) -> io::Result<Vec<ManifestRecord>> {
+        Ok(manifest::fold_live(&self.manifest_records()?))
+    }
+
+    /// Delete every file in the directory that the manifest does not
+    /// account for. Safe at open time only: no epoch session or compaction
+    /// of *this* process can be in flight.
+    fn sweep_orphans(&self) -> io::Result<()> {
+        let live: std::collections::BTreeMap<u64, RecordKind> = self
+            .live_records()?
+            .iter()
+            .map(|r| (r.epoch, r.kind))
+            .collect();
+        for entry in fs::read_dir(&self.dir)? {
+            let path = entry?.path();
+            let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
+                continue;
+            };
+            let doomed = if name.ends_with(".tmp") || name.ends_with(".mig") {
+                // Half-written blob, compaction image or manifest migration.
+                true
+            } else if let Some(epoch) = parse_segment_name(name, "epoch_") {
+                // A delta segment is live only while its manifest record is
+                // the live entry (a Full entry means compaction superseded
+                // it; absence means the writer died before the commit or
+                // after a retirement whose GC never ran).
+                live.get(&epoch) != Some(&RecordKind::Delta)
+            } else if let Some(epoch) = parse_segment_name(name, "full_") {
+                live.get(&epoch) != Some(&RecordKind::Full)
+            } else {
+                false
+            };
+            if doomed {
+                fs::remove_file(&path)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Parse `"{prefix}{epoch:010}.seg"` names; `None` for anything else.
+fn parse_segment_name(name: &str, prefix: &str) -> Option<u64> {
+    name.strip_prefix(prefix)?
+        .strip_suffix(".seg")?
+        .parse()
+        .ok()
 }
 
 /// Open-epoch session on a [`FileBackend`].
@@ -166,13 +243,10 @@ impl EpochWriter for FileEpochWriter {
             }
             drop(file);
             // Commit point: the manifest record makes the epoch visible.
+            let _manifest = self.shared.manifest_lock.lock();
             manifest::append(
                 &self.dir.join(MANIFEST_FILE),
-                ManifestRecord {
-                    epoch: self.epoch,
-                    records,
-                    payload_bytes,
-                },
+                ManifestRecord::delta(self.epoch, records, payload_bytes),
             )
         })();
         if result.is_err() {
@@ -212,11 +286,13 @@ impl StorageBackend for FileBackend {
             return Err(io::Error::other("previous epoch still open"));
         }
         let open_or_err = (|| {
-            if let Some(last) = self.manifest_records()?.last() {
-                if epoch <= last.epoch {
+            // Epoch numbers must rise above everything the manifest ever
+            // recorded — including retired epochs, whose numbers must not
+            // be reused after a drain or compaction.
+            if let Some(last) = self.manifest_records()?.iter().map(|r| r.epoch).max() {
+                if epoch <= last {
                     return Err(io::Error::other(format!(
-                        "epoch {epoch} not greater than committed epoch {}",
-                        last.epoch
+                        "epoch {epoch} not greater than committed epoch {last}"
                     )));
                 }
             }
@@ -271,60 +347,177 @@ impl StorageBackend for FileBackend {
     }
 
     fn epochs(&self) -> io::Result<Vec<u64>> {
-        Ok(self.manifest_records()?.iter().map(|r| r.epoch).collect())
+        Ok(self.live_records()?.iter().map(|r| r.epoch).collect())
     }
 
     fn read_epoch(&self, epoch: u64, visit: &mut dyn FnMut(u64, &[u8])) -> io::Result<()> {
         let rec = self
-            .manifest_records()?
+            .live_records()?
             .into_iter()
             .find(|r| r.epoch == epoch)
             .ok_or_else(|| {
                 io::Error::new(
                     io::ErrorKind::NotFound,
-                    format!("epoch {epoch} not committed"),
+                    format!("epoch {epoch} not committed (or compacted away)"),
                 )
             })?;
-        let mut reader =
-            BufReader::with_capacity(1 << 20, File::open(Self::segment_path(&self.dir, epoch))?);
-        let mut header = [0u8; 16];
-        reader.read_exact(&mut header)?;
-        if &header[..8] != SEGMENT_MAGIC {
-            return Err(io::Error::new(
-                io::ErrorKind::InvalidData,
-                "bad segment magic",
-            ));
-        }
-        let seg_epoch = u64::from_le_bytes(header[8..16].try_into().unwrap());
-        if seg_epoch != epoch {
-            return Err(io::Error::new(
-                io::ErrorKind::InvalidData,
-                format!("segment claims epoch {seg_epoch}, expected {epoch}"),
-            ));
-        }
-        let mut frame = [0u8; 20];
-        let mut payload = Vec::new();
-        for _ in 0..rec.records {
-            reader.read_exact(&mut frame)?;
-            let page = u64::from_le_bytes(frame[0..8].try_into().unwrap());
-            let len = u32::from_le_bytes(frame[8..12].try_into().unwrap()) as usize;
-            let crc = u64::from_le_bytes(frame[12..20].try_into().unwrap());
-            payload.resize(len, 0);
-            reader.read_exact(&mut payload)?;
-            if crc64(&payload) != crc {
-                return Err(io::Error::new(
-                    io::ErrorKind::InvalidData,
-                    format!("CRC mismatch for page {page} in epoch {epoch}"),
-                ));
-            }
-            visit(page, &payload);
-        }
-        Ok(())
+        let path = match rec.kind {
+            RecordKind::Full => Self::full_path(&self.dir, epoch),
+            _ => Self::segment_path(&self.dir, epoch),
+        };
+        read_segment(&path, epoch, rec.records, visit)
     }
 
     fn bytes_written(&self) -> u64 {
         self.shared.bytes_written.load(Ordering::Relaxed)
     }
+
+    fn supports_compaction(&self) -> bool {
+        true
+    }
+
+    fn chain(&self) -> io::Result<Vec<ChainEntry>> {
+        Ok(self
+            .live_records()?
+            .iter()
+            .map(|r| ChainEntry {
+                epoch: r.epoch,
+                kind: match r.kind {
+                    RecordKind::Full => EpochKind::Full,
+                    _ => EpochKind::Delta,
+                },
+            })
+            .collect())
+    }
+
+    fn install_compacted(
+        &self,
+        from: u64,
+        into: u64,
+        records: &[(u64, Vec<u8>)],
+    ) -> io::Result<()> {
+        let superseded: Vec<ManifestRecord> = self
+            .live_records()?
+            .into_iter()
+            .filter(|r| r.epoch <= into)
+            .collect();
+        if !superseded.iter().any(|r| r.epoch == into) {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!("install_compacted: epoch {into} is not live"),
+            ));
+        }
+        // 1. Write the full image to a temp name and make it durable.
+        let final_path = Self::full_path(&self.dir, into);
+        let tmp = final_path.with_extension("seg.tmp");
+        let mut payload_bytes = 0u64;
+        {
+            let file = File::create(&tmp)?;
+            let mut w = BufWriter::with_capacity(1 << 20, file);
+            w.write_all(SEGMENT_MAGIC)?;
+            w.write_all(&into.to_le_bytes())?;
+            for (page, data) in records {
+                w.write_all(&page.to_le_bytes())?;
+                w.write_all(&(data.len() as u32).to_le_bytes())?;
+                w.write_all(&crc64(data).to_le_bytes())?;
+                w.write_all(data)?;
+                payload_bytes += data.len() as u64;
+            }
+            let file = w
+                .into_inner()
+                .map_err(|e| io::Error::other(e.to_string()))?;
+            if self.sync_on_finish {
+                file.sync_all()?;
+            }
+        }
+        // 2. Move it into place (still invisible: no manifest record yet).
+        fs::rename(&tmp, &final_path)?;
+        // 3. Commit: one durable manifest append. A crash before this line
+        //    leaves the old chain intact plus one orphan file.
+        {
+            let _manifest = self.shared.manifest_lock.lock();
+            manifest::append(
+                &self.manifest_path(),
+                ManifestRecord::full(into, records.len() as u64, payload_bytes, from),
+            )?;
+        }
+        // 4. GC the superseded segments. A crash in here leaves orphans
+        //    that the next `open` sweeps; restore is already correct.
+        for r in superseded {
+            let path = match r.kind {
+                RecordKind::Full => Self::full_path(&self.dir, r.epoch),
+                _ => Self::segment_path(&self.dir, r.epoch),
+            };
+            let _ = fs::remove_file(path);
+        }
+        Ok(())
+    }
+
+    fn remove_epoch(&self, epoch: u64) -> io::Result<()> {
+        let rec = self
+            .live_records()?
+            .into_iter()
+            .find(|r| r.epoch == epoch)
+            .ok_or_else(|| {
+                io::Error::new(io::ErrorKind::NotFound, format!("epoch {epoch} not live"))
+            })?;
+        {
+            let _manifest = self.shared.manifest_lock.lock();
+            manifest::append(
+                &self.manifest_path(),
+                ManifestRecord::compacted_into(epoch, 0),
+            )?;
+        }
+        let path = match rec.kind {
+            RecordKind::Full => Self::full_path(&self.dir, epoch),
+            _ => Self::segment_path(&self.dir, epoch),
+        };
+        let _ = fs::remove_file(path);
+        Ok(())
+    }
+}
+
+/// Stream one segment file, verifying magic, epoch and per-record CRCs.
+fn read_segment(
+    path: &Path,
+    epoch: u64,
+    records: u64,
+    visit: &mut dyn FnMut(u64, &[u8]),
+) -> io::Result<()> {
+    let mut reader = BufReader::with_capacity(1 << 20, File::open(path)?);
+    let mut header = [0u8; 16];
+    reader.read_exact(&mut header)?;
+    if &header[..8] != SEGMENT_MAGIC {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "bad segment magic",
+        ));
+    }
+    let seg_epoch = u64::from_le_bytes(header[8..16].try_into().unwrap());
+    if seg_epoch != epoch {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("segment claims epoch {seg_epoch}, expected {epoch}"),
+        ));
+    }
+    let mut frame = [0u8; 20];
+    let mut payload = Vec::new();
+    for _ in 0..records {
+        reader.read_exact(&mut frame)?;
+        let page = u64::from_le_bytes(frame[0..8].try_into().unwrap());
+        let len = u32::from_le_bytes(frame[8..12].try_into().unwrap()) as usize;
+        let crc = u64::from_le_bytes(frame[12..20].try_into().unwrap());
+        payload.resize(len, 0);
+        reader.read_exact(&mut payload)?;
+        if crc64(&payload) != crc {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("CRC mismatch for page {page} in epoch {epoch}"),
+            ));
+        }
+        visit(page, &payload);
+    }
+    Ok(())
 }
 
 /// Corrupt a single byte of a page's payload inside a finished segment —
@@ -469,6 +662,114 @@ mod tests {
         corrupt_record_payload(&dir, 1, 10).unwrap();
         let err = b.read_epoch(1, &mut |_, _| {}).unwrap_err();
         assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn reopen_sweeps_uncommitted_segments_and_tmp_files() {
+        let dir = tmpdir("sweep");
+        {
+            let b = FileBackend::open(&dir).unwrap();
+            write_epoch(&b, 1, vec![(0, vec![1, 2, 3])]).unwrap();
+            let w = b.begin_epoch(2).unwrap();
+            w.write_pages(&[(1, &[4, 5, 6])]).unwrap();
+            // Killed process: neither finish nor the implicit-drop abort.
+            std::mem::forget(w);
+            // Crash mid-blob-write and mid-compaction leave temp files too.
+            fs::write(dir.join("blob_layout.tmp"), b"half").unwrap();
+            fs::write(dir.join("full_0000000009.seg.tmp"), b"half").unwrap();
+        }
+        let b = FileBackend::open(&dir).unwrap();
+        assert_eq!(b.epochs().unwrap(), vec![1]);
+        assert!(
+            !FileBackend::segment_path(&dir, 2).exists(),
+            "uncommitted segment swept at reopen"
+        );
+        assert!(!dir.join("blob_layout.tmp").exists(), "tmp blob swept");
+        assert!(
+            !dir.join("full_0000000009.seg.tmp").exists(),
+            "tmp compaction image swept"
+        );
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn compact_folds_chain_into_full_segment() {
+        let dir = tmpdir("compact");
+        let b = FileBackend::open(&dir).unwrap();
+        write_epoch(&b, 1, vec![(0, vec![1; 16]), (1, vec![1; 16])]).unwrap();
+        write_epoch(&b, 2, vec![(1, vec![2; 16]), (2, vec![2; 16])]).unwrap();
+        write_epoch(&b, 3, vec![(0, vec![3; 16])]).unwrap();
+        let stats = b.compact(3).unwrap();
+        assert_eq!((stats.from, stats.into), (1, 3));
+        assert_eq!(stats.segments_removed, 3);
+        assert_eq!(stats.bytes_before, 5 * 16);
+        assert_eq!(stats.bytes_after, 3 * 16, "one version per page remains");
+        // The chain is now a single full segment; deltas are gone from disk.
+        assert_eq!(b.epochs().unwrap(), vec![3]);
+        assert_eq!(
+            b.chain().unwrap(),
+            vec![ChainEntry {
+                epoch: 3,
+                kind: EpochKind::Full
+            }]
+        );
+        for e in 1..=3 {
+            assert!(!FileBackend::segment_path(&dir, e).exists(), "epoch {e}");
+        }
+        assert!(FileBackend::full_path(&dir, 3).exists());
+        let mut seen = Vec::new();
+        b.read_epoch(3, &mut |p, d| seen.push((p, d[0]))).unwrap();
+        assert_eq!(seen, vec![(0, 3), (1, 2), (2, 2)], "latest-wins image");
+        // Epochs after the compaction stack on top as deltas.
+        write_epoch(&b, 4, vec![(5, vec![4])]).unwrap();
+        assert_eq!(b.epochs().unwrap(), vec![3, 4]);
+        // Restore below the horizon fails cleanly.
+        assert_eq!(
+            b.read_epoch(2, &mut |_, _| {}).unwrap_err().kind(),
+            io::ErrorKind::NotFound
+        );
+        // Compacting a lone full epoch is a no-op.
+        let again = b.compact(3).unwrap();
+        assert_eq!(again.segments_removed, 0);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn compacted_chain_survives_reopen() {
+        let dir = tmpdir("compact-reopen");
+        {
+            let b = FileBackend::open(&dir).unwrap();
+            write_epoch(&b, 1, vec![(0, vec![1])]).unwrap();
+            write_epoch(&b, 2, vec![(1, vec![2])]).unwrap();
+            b.compact(2).unwrap();
+        }
+        let b = FileBackend::open(&dir).unwrap();
+        assert_eq!(b.epochs().unwrap(), vec![2]);
+        let mut seen = Vec::new();
+        b.read_epoch(2, &mut |p, d| seen.push((p, d[0]))).unwrap();
+        assert_eq!(seen, vec![(0, 1), (1, 2)]);
+        // Epoch numbers continue above the compaction point after reopen.
+        assert!(b.begin_epoch(2).is_err());
+        write_epoch(&b, 3, vec![(0, vec![3])]).unwrap();
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn remove_epoch_retires_and_is_durable() {
+        let dir = tmpdir("retire");
+        {
+            let b = FileBackend::open(&dir).unwrap();
+            write_epoch(&b, 1, vec![(0, vec![1])]).unwrap();
+            write_epoch(&b, 2, vec![(1, vec![2])]).unwrap();
+            b.remove_epoch(1).unwrap();
+            assert_eq!(b.epochs().unwrap(), vec![2]);
+            assert!(!FileBackend::segment_path(&dir, 1).exists());
+            assert!(b.remove_epoch(1).is_err(), "already retired");
+        }
+        let b = FileBackend::open(&dir).unwrap();
+        assert_eq!(b.epochs().unwrap(), vec![2], "retirement survived reopen");
+        assert!(b.begin_epoch(1).is_err(), "retired numbers are not reused");
         fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -19,8 +19,16 @@
 //!   straightforward remedy for unreliable local storage);
 //! * [`parity`] — XOR single-erasure coding (the cheaper remedy the paper
 //!   cites from its prior work);
+//! * [`tiered`] — fast-tier + slow-tier pipeline with a background drain
+//!   queue (the VELOC-style multi-level checkpoint path);
 //! * [`manifest`] / [`checksum`] — the commit log and integrity primitives;
-//! * [`image`] — latest-wins reconstruction for restart.
+//! * [`image`] — latest-wins reconstruction for restart, starting from the
+//!   newest full (compacted) segment.
+//!
+//! The chain lifecycle — full → deltas → compaction → GC — is defined in
+//! [`backend`]: `compact(up_to)` folds the live prefix into one full
+//! segment so restore cost and segment count stay bounded no matter how
+//! many checkpoints were ever taken.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -36,15 +44,19 @@ pub mod null;
 pub mod parity;
 pub mod replicate;
 pub mod throttle;
+pub mod tiered;
 
-pub use backend::{write_epoch, EpochWriter, StorageBackend};
+pub use backend::{
+    write_epoch, ChainEntry, CompactionStats, EpochKind, EpochWriter, StorageBackend,
+};
 pub use checksum::{crc64, crc64_update};
 pub use failing::{FailingBackend, FailureControl};
 pub use file::FileBackend;
 pub use image::CheckpointImage;
-pub use manifest::ManifestRecord;
+pub use manifest::{ManifestRecord, RecordKind};
 pub use memory::MemoryBackend;
 pub use null::NullBackend;
 pub use parity::ParityBackend;
 pub use replicate::ReplicatedBackend;
 pub use throttle::ThrottledBackend;
+pub use tiered::TieredBackend;

@@ -1,86 +1,327 @@
 //! The checkpoint manifest: a tiny append-only binary log recording which
-//! epochs are durably complete.
+//! epochs are durably complete and how the chain has been compacted.
 //!
 //! An epoch's segment file only "counts" once its manifest record exists —
 //! the record is appended *after* the segment is fsynced, so a crash during
 //! checkpointing can never yield a half-written checkpoint that restore
 //! would trust. (This is the standard write-ahead ordering for atomic
-//! commit; hand-rolled here because the format is 24 bytes per record and a
-//! serde dependency would be heavier than the format itself.)
+//! commit; hand-rolled here because the format is a few dozen bytes per
+//! record and a serde dependency would be heavier than the format itself.)
+//!
+//! ## Versions
+//!
+//! * `AICKMAN1` — the original format: 24-byte records, every record a
+//!   plain (delta) epoch commit. Still read transparently.
+//! * `AICKMAN2` — adds a record *kind* and an auxiliary field:
+//!   - [`RecordKind::Delta`] — an incremental epoch commit (v1 semantics);
+//!   - [`RecordKind::Full`] — epoch `epoch` is a *full* segment covering
+//!     every live epoch `aux ..= epoch`; it supersedes all earlier live
+//!     epochs (appended as the atomic commit point of a compaction);
+//!   - [`RecordKind::CompactedInto`] — epoch `epoch` was retired from this
+//!     backend; `aux` names the epoch that absorbed it (0 when it was
+//!     drained to another tier rather than folded locally).
+//!
+//! New manifests are written as v2. Appending a `Delta` record to an
+//! existing v1 manifest keeps the file v1 (old readers stay compatible);
+//! the first non-delta append migrates the file to v2 atomically
+//! (write-temp + rename).
 
 use std::fs::{File, OpenOptions};
 use std::io::{self, Read, Write};
 use std::path::Path;
 
-/// Magic prefix of a manifest file (8 bytes, versioned).
-pub const MANIFEST_MAGIC: &[u8; 8] = b"AICKMAN1";
+/// Magic prefix of a version-1 manifest (delta-only records).
+pub const MANIFEST_MAGIC_V1: &[u8; 8] = b"AICKMAN1";
 
-/// One durably finished epoch.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// Magic prefix of a version-2 manifest (kinded records).
+pub const MANIFEST_MAGIC_V2: &[u8; 8] = b"AICKMAN2";
+
+/// Magic prefix of a freshly created manifest (compat alias: pre-v2 code
+/// referred to "the" manifest magic).
+pub const MANIFEST_MAGIC: &[u8; 8] = MANIFEST_MAGIC_V1;
+
+/// What a manifest record says about its epoch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RecordKind {
+    /// Incremental epoch commit (the only kind v1 could express).
+    #[default]
+    Delta,
+    /// The epoch's segment is a full image superseding all earlier live
+    /// epochs; `aux` records the oldest epoch it folded.
+    Full,
+    /// The epoch was retired: folded into epoch `aux` by compaction, or
+    /// drained to another tier (`aux == 0`).
+    CompactedInto,
+}
+
+impl RecordKind {
+    fn to_wire(self) -> u8 {
+        match self {
+            RecordKind::Delta => 0,
+            RecordKind::Full => 1,
+            RecordKind::CompactedInto => 2,
+        }
+    }
+
+    fn from_wire(b: u8) -> io::Result<Self> {
+        match b {
+            0 => Ok(RecordKind::Delta),
+            1 => Ok(RecordKind::Full),
+            2 => Ok(RecordKind::CompactedInto),
+            other => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("unknown manifest record kind {other}"),
+            )),
+        }
+    }
+}
+
+/// One manifest entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct ManifestRecord {
     /// Epoch (checkpoint) number.
     pub epoch: u64,
-    /// Number of page records in the segment.
+    /// Number of page records in the segment (0 for `CompactedInto`).
     pub records: u64,
     /// Total payload bytes (excluding framing).
     pub payload_bytes: u64,
+    /// What this record means for the chain.
+    pub kind: RecordKind,
+    /// Kind-dependent companion epoch (see [`RecordKind`]).
+    pub aux: u64,
 }
 
 impl ManifestRecord {
-    const WIRE_LEN: usize = 24;
+    /// A plain epoch commit (what v1 appended).
+    pub fn delta(epoch: u64, records: u64, payload_bytes: u64) -> Self {
+        Self {
+            epoch,
+            records,
+            payload_bytes,
+            kind: RecordKind::Delta,
+            aux: 0,
+        }
+    }
 
-    fn to_bytes(self) -> [u8; Self::WIRE_LEN] {
-        let mut out = [0u8; Self::WIRE_LEN];
+    /// A compaction commit: `epoch`'s segment is now a full image folding
+    /// the live chain since `from`.
+    pub fn full(epoch: u64, records: u64, payload_bytes: u64, from: u64) -> Self {
+        Self {
+            epoch,
+            records,
+            payload_bytes,
+            kind: RecordKind::Full,
+            aux: from,
+        }
+    }
+
+    /// A retirement: `epoch` is gone from this backend (`into == 0` means
+    /// drained elsewhere, not folded locally).
+    pub fn compacted_into(epoch: u64, into: u64) -> Self {
+        Self {
+            epoch,
+            records: 0,
+            payload_bytes: 0,
+            kind: RecordKind::CompactedInto,
+            aux: into,
+        }
+    }
+
+    const WIRE_LEN_V1: usize = 24;
+    const WIRE_LEN_V2: usize = 33;
+
+    fn to_bytes_v1(self) -> [u8; Self::WIRE_LEN_V1] {
+        debug_assert_eq!(self.kind, RecordKind::Delta, "v1 stores deltas only");
+        let mut out = [0u8; Self::WIRE_LEN_V1];
         out[0..8].copy_from_slice(&self.epoch.to_le_bytes());
         out[8..16].copy_from_slice(&self.records.to_le_bytes());
         out[16..24].copy_from_slice(&self.payload_bytes.to_le_bytes());
         out
     }
 
-    fn from_bytes(b: &[u8]) -> Self {
+    fn from_bytes_v1(b: &[u8]) -> Self {
         Self {
             epoch: u64::from_le_bytes(b[0..8].try_into().unwrap()),
             records: u64::from_le_bytes(b[8..16].try_into().unwrap()),
             payload_bytes: u64::from_le_bytes(b[16..24].try_into().unwrap()),
+            kind: RecordKind::Delta,
+            aux: 0,
         }
     }
-}
 
-/// Append one record, durably (O_APPEND + fsync). Creates the manifest with
-/// its magic header on first use.
-pub fn append(path: &Path, record: ManifestRecord) -> io::Result<()> {
-    let fresh = !path.exists();
-    let mut f = OpenOptions::new().create(true).append(true).open(path)?;
-    if fresh {
-        f.write_all(MANIFEST_MAGIC)?;
+    fn to_bytes_v2(self) -> [u8; Self::WIRE_LEN_V2] {
+        let mut out = [0u8; Self::WIRE_LEN_V2];
+        out[0] = self.kind.to_wire();
+        out[1..9].copy_from_slice(&self.epoch.to_le_bytes());
+        out[9..17].copy_from_slice(&self.records.to_le_bytes());
+        out[17..25].copy_from_slice(&self.payload_bytes.to_le_bytes());
+        out[25..33].copy_from_slice(&self.aux.to_le_bytes());
+        out
     }
-    f.write_all(&record.to_bytes())?;
-    f.sync_all()?;
-    Ok(())
+
+    fn from_bytes_v2(b: &[u8]) -> io::Result<Self> {
+        Ok(Self {
+            kind: RecordKind::from_wire(b[0])?,
+            epoch: u64::from_le_bytes(b[1..9].try_into().unwrap()),
+            records: u64::from_le_bytes(b[9..17].try_into().unwrap()),
+            payload_bytes: u64::from_le_bytes(b[17..25].try_into().unwrap()),
+            aux: u64::from_le_bytes(b[25..33].try_into().unwrap()),
+        })
+    }
 }
 
-/// Read all complete records; a torn trailing record (crash mid-append) is
-/// ignored, matching the commit protocol above.
-pub fn read(path: &Path) -> io::Result<Vec<ManifestRecord>> {
+fn read_raw(path: &Path) -> io::Result<Option<Vec<u8>>> {
     let mut f = match File::open(path) {
         Ok(f) => f,
-        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
         Err(e) => return Err(e),
     };
     let mut buf = Vec::new();
     f.read_to_end(&mut buf)?;
-    if buf.len() < MANIFEST_MAGIC.len() || &buf[..MANIFEST_MAGIC.len()] != MANIFEST_MAGIC {
+    Ok(Some(buf))
+}
+
+fn parse(buf: &[u8]) -> io::Result<Vec<ManifestRecord>> {
+    let magic_len = MANIFEST_MAGIC_V1.len();
+    if buf.len() < magic_len {
         return Err(io::Error::new(
             io::ErrorKind::InvalidData,
             "bad manifest magic",
         ));
     }
-    let body = &buf[MANIFEST_MAGIC.len()..];
-    let mut records = Vec::with_capacity(body.len() / ManifestRecord::WIRE_LEN);
-    for chunk in body.chunks_exact(ManifestRecord::WIRE_LEN) {
-        records.push(ManifestRecord::from_bytes(chunk));
+    let body = &buf[magic_len..];
+    match &buf[..magic_len] {
+        m if m == MANIFEST_MAGIC_V1 => {
+            // Torn trailing record (crash mid-append) is ignored, matching
+            // the commit protocol: the epoch never became visible.
+            Ok(body
+                .chunks_exact(ManifestRecord::WIRE_LEN_V1)
+                .map(ManifestRecord::from_bytes_v1)
+                .collect())
+        }
+        m if m == MANIFEST_MAGIC_V2 => body
+            .chunks_exact(ManifestRecord::WIRE_LEN_V2)
+            .map(ManifestRecord::from_bytes_v2)
+            .collect(),
+        _ => Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "bad manifest magic",
+        )),
     }
-    Ok(records)
+}
+
+/// Append one record, durably (O_APPEND + fsync). Creates the manifest (v2)
+/// with its magic header on first use; appends format-preserving records to
+/// a v1 manifest and migrates it to v2 atomically when a non-delta record
+/// must be stored.
+pub fn append(path: &Path, record: ManifestRecord) -> io::Result<()> {
+    // Peek only the magic — appends must stay O(1) in manifest size.
+    let mut magic = [0u8; 8];
+    let version = match File::open(path) {
+        Ok(mut f) => {
+            f.read_exact(&mut magic)?;
+            if magic == *MANIFEST_MAGIC_V1 {
+                1
+            } else if magic == *MANIFEST_MAGIC_V2 {
+                2
+            } else {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    "bad manifest magic",
+                ));
+            }
+        }
+        Err(e) if e.kind() == io::ErrorKind::NotFound => 0,
+        Err(e) => return Err(e),
+    };
+    if version != 0 {
+        // A crash mid-append can leave a torn trailing record. Readers
+        // ignore it, but appending *after* it would misalign every future
+        // record — truncate the tear away before the new commit lands.
+        let rec_len = if version == 1 {
+            ManifestRecord::WIRE_LEN_V1
+        } else {
+            ManifestRecord::WIRE_LEN_V2
+        } as u64;
+        let len = std::fs::metadata(path)?.len();
+        let torn = (len - magic.len() as u64) % rec_len;
+        if torn != 0 {
+            let f = OpenOptions::new().write(true).open(path)?;
+            f.set_len(len - torn)?;
+            f.sync_all()?;
+        }
+    }
+    match version {
+        0 => {
+            let mut f = OpenOptions::new().create(true).append(true).open(path)?;
+            f.write_all(MANIFEST_MAGIC_V2)?;
+            f.write_all(&record.to_bytes_v2())?;
+            f.sync_all()
+        }
+        1 if record.kind == RecordKind::Delta => {
+            // Keep the file v1: old readers stay compatible.
+            let mut f = OpenOptions::new().append(true).open(path)?;
+            f.write_all(&record.to_bytes_v1())?;
+            f.sync_all()
+        }
+        1 => {
+            // First non-delta record: migrate to v2 atomically.
+            let records = read(path)?;
+            let tmp = path.with_extension("mig");
+            {
+                let mut f = File::create(&tmp)?;
+                f.write_all(MANIFEST_MAGIC_V2)?;
+                for r in records {
+                    f.write_all(&r.to_bytes_v2())?;
+                }
+                f.write_all(&record.to_bytes_v2())?;
+                f.sync_all()?;
+            }
+            std::fs::rename(&tmp, path)
+        }
+        _ => {
+            let mut f = OpenOptions::new().append(true).open(path)?;
+            f.write_all(&record.to_bytes_v2())?;
+            f.sync_all()
+        }
+    }
+}
+
+/// Read all complete records of either manifest version; a torn trailing
+/// record (crash mid-append) is ignored, matching the commit protocol.
+pub fn read(path: &Path) -> io::Result<Vec<ManifestRecord>> {
+    match read_raw(path)? {
+        None => Ok(Vec::new()),
+        Some(buf) => parse(&buf),
+    }
+}
+
+/// The live chain implied by a record log: fold commits, compactions and
+/// retirements into the record list a restore may replay, ascending by
+/// epoch.
+///
+/// * `Delta{e}` adds `e`;
+/// * `Full{e}` replaces every live epoch `<= e` with one full entry at `e`
+///   (compaction always folds the live prefix);
+/// * `CompactedInto{e}` removes `e`.
+pub fn fold_live(records: &[ManifestRecord]) -> Vec<ManifestRecord> {
+    let mut live: std::collections::BTreeMap<u64, ManifestRecord> =
+        std::collections::BTreeMap::new();
+    for r in records {
+        match r.kind {
+            RecordKind::Delta => {
+                live.insert(r.epoch, *r);
+            }
+            RecordKind::Full => {
+                live.retain(|&e, _| e > r.epoch);
+                live.insert(r.epoch, *r);
+            }
+            RecordKind::CompactedInto => {
+                live.remove(&r.epoch);
+            }
+        }
+    }
+    live.into_values().collect()
 }
 
 #[cfg(test)]
@@ -102,16 +343,8 @@ mod tests {
         let path = tmp();
         let _ = std::fs::remove_file(&path);
         assert!(read(&path).unwrap().is_empty(), "missing file = no records");
-        let r1 = ManifestRecord {
-            epoch: 1,
-            records: 10,
-            payload_bytes: 40960,
-        };
-        let r2 = ManifestRecord {
-            epoch: 2,
-            records: 3,
-            payload_bytes: 12288,
-        };
+        let r1 = ManifestRecord::delta(1, 10, 40960);
+        let r2 = ManifestRecord::delta(2, 3, 12288);
         append(&path, r1).unwrap();
         append(&path, r2).unwrap();
         assert_eq!(read(&path).unwrap(), vec![r1, r2]);
@@ -119,22 +352,52 @@ mod tests {
     }
 
     #[test]
+    fn kinded_records_round_trip() {
+        let path = tmp();
+        let _ = std::fs::remove_file(&path);
+        let records = vec![
+            ManifestRecord::delta(1, 4, 64),
+            ManifestRecord::delta(2, 1, 16),
+            ManifestRecord::full(2, 5, 80, 1),
+            ManifestRecord::compacted_into(3, 0),
+        ];
+        for r in &records {
+            append(&path, *r).unwrap();
+        }
+        assert_eq!(read(&path).unwrap(), records);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
     fn torn_tail_is_ignored() {
         let path = tmp();
         let _ = std::fs::remove_file(&path);
-        let r = ManifestRecord {
-            epoch: 7,
-            records: 1,
-            payload_bytes: 8,
-        };
+        let r = ManifestRecord::delta(7, 1, 8);
         append(&path, r).unwrap();
         // Simulate a crash mid-append: write half a record.
         {
             use std::io::Write;
             let mut f = OpenOptions::new().append(true).open(&path).unwrap();
-            f.write_all(&[0xFF; 10]).unwrap();
+            f.write_all(&[0u8; 10]).unwrap();
         }
         assert_eq!(read(&path).unwrap(), vec![r], "torn record dropped");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn append_after_torn_tail_realigns() {
+        let path = tmp();
+        let _ = std::fs::remove_file(&path);
+        let r1 = ManifestRecord::delta(1, 1, 8);
+        append(&path, r1).unwrap();
+        {
+            use std::io::Write;
+            let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+            f.write_all(&[0xAB; 21]).unwrap(); // crash mid-append
+        }
+        let r2 = ManifestRecord::full(1, 1, 8, 1);
+        append(&path, r2).unwrap();
+        assert_eq!(read(&path).unwrap(), vec![r1, r2], "tear excised");
         std::fs::remove_file(&path).unwrap();
     }
 
@@ -143,6 +406,99 @@ mod tests {
         let path = tmp();
         std::fs::write(&path, b"NOTMAGIC____________________").unwrap();
         assert!(read(&path).is_err());
+        assert!(append(&path, ManifestRecord::delta(1, 0, 0)).is_err());
         std::fs::remove_file(&path).unwrap();
+    }
+
+    /// Hand-write a v1 manifest exactly as the old code would have.
+    fn write_v1(path: &Path, records: &[ManifestRecord]) {
+        let mut buf = MANIFEST_MAGIC_V1.to_vec();
+        for r in records {
+            buf.extend_from_slice(&r.to_bytes_v1());
+        }
+        std::fs::write(path, buf).unwrap();
+    }
+
+    #[test]
+    fn v1_manifests_read_as_deltas() {
+        let path = tmp();
+        let records = vec![
+            ManifestRecord::delta(1, 2, 100),
+            ManifestRecord::delta(2, 1, 50),
+        ];
+        write_v1(&path, &records);
+        assert_eq!(read(&path).unwrap(), records);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn delta_append_keeps_v1_format() {
+        let path = tmp();
+        write_v1(&path, &[ManifestRecord::delta(1, 1, 8)]);
+        append(&path, ManifestRecord::delta(2, 2, 16)).unwrap();
+        let raw = std::fs::read(&path).unwrap();
+        assert!(raw.starts_with(MANIFEST_MAGIC_V1), "still v1 on disk");
+        assert_eq!(read(&path).unwrap().len(), 2);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn non_delta_append_migrates_v1_to_v2() {
+        let path = tmp();
+        write_v1(
+            &path,
+            &[
+                ManifestRecord::delta(1, 1, 8),
+                ManifestRecord::delta(2, 1, 8),
+            ],
+        );
+        let full = ManifestRecord::full(2, 2, 16, 1);
+        append(&path, full).unwrap();
+        let raw = std::fs::read(&path).unwrap();
+        assert!(raw.starts_with(MANIFEST_MAGIC_V2), "migrated to v2");
+        assert_eq!(
+            read(&path).unwrap(),
+            vec![
+                ManifestRecord::delta(1, 1, 8),
+                ManifestRecord::delta(2, 1, 8),
+                full
+            ]
+        );
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn fold_live_applies_compactions() {
+        let log = vec![
+            ManifestRecord::delta(1, 1, 8),
+            ManifestRecord::delta(2, 1, 8),
+            ManifestRecord::delta(3, 1, 8),
+            ManifestRecord::delta(4, 1, 8),
+            // Compaction of 1..=3 committed while epoch 4 already exists.
+            ManifestRecord::full(3, 3, 24, 1),
+            // Epoch 4 drained to another tier.
+            ManifestRecord::compacted_into(4, 0),
+        ];
+        let kinds = |rs: &[ManifestRecord]| {
+            fold_live(rs)
+                .iter()
+                .map(|r| (r.epoch, r.kind))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(kinds(&log), vec![(3, RecordKind::Full)]);
+        assert_eq!(
+            kinds(&log[..5]),
+            vec![(3, RecordKind::Full), (4, RecordKind::Delta)]
+        );
+        assert_eq!(
+            kinds(&log[..3]),
+            vec![
+                (1, RecordKind::Delta),
+                (2, RecordKind::Delta),
+                (3, RecordKind::Delta)
+            ]
+        );
+        // The live full record keeps its own counts, not the delta's.
+        assert_eq!(fold_live(&log)[0].records, 3);
     }
 }

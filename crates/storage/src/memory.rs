@@ -12,7 +12,7 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 
-use crate::backend::{EpochWriter, StorageBackend};
+use crate::backend::{ChainEntry, EpochKind, EpochWriter, StorageBackend};
 
 /// Page records of one epoch, in arrival order.
 type Records = Vec<(u64, Vec<u8>)>;
@@ -21,6 +21,11 @@ type Records = Vec<(u64, Vec<u8>)>;
 struct Store {
     /// epoch -> records in arrival order.
     finished: BTreeMap<u64, Records>,
+    /// Epochs holding a full (compacted) image instead of a delta.
+    full: std::collections::BTreeSet<u64>,
+    /// Highest epoch number ever committed or retired — retired numbers
+    /// must not be reused (mirrors the file backend's manifest history).
+    high_water: Option<u64>,
     open: Option<(u64, Records)>,
     blobs: BTreeMap<String, Vec<u8>>,
 }
@@ -87,6 +92,7 @@ impl MemoryEpochWriter {
                 debug_assert_eq!(epoch, self.epoch);
                 if commit {
                     s.finished.insert(epoch, records);
+                    s.high_water = Some(s.high_water.map_or(epoch, |h| h.max(epoch)));
                 }
                 Ok(())
             }
@@ -142,11 +148,7 @@ impl StorageBackend for MemoryBackend {
         if s.open.is_some() {
             return Err(io::Error::other("previous epoch still open"));
         }
-        if s.finished
-            .keys()
-            .next_back()
-            .is_some_and(|&last| epoch <= last)
-        {
+        if s.high_water.is_some_and(|h| epoch <= h) {
             return Err(io::Error::other(format!("epoch {epoch} not increasing")));
         }
         s.open = Some((epoch, Vec::new()));
@@ -191,6 +193,58 @@ impl StorageBackend for MemoryBackend {
 
     fn bytes_written(&self) -> u64 {
         self.shared.bytes_written.load(Ordering::Relaxed)
+    }
+
+    fn chain(&self) -> io::Result<Vec<ChainEntry>> {
+        let s = self.shared.store.lock();
+        Ok(s.finished
+            .keys()
+            .map(|&epoch| ChainEntry {
+                epoch,
+                kind: if s.full.contains(&epoch) {
+                    EpochKind::Full
+                } else {
+                    EpochKind::Delta
+                },
+            })
+            .collect())
+    }
+
+    fn supports_compaction(&self) -> bool {
+        true
+    }
+
+    fn install_compacted(
+        &self,
+        _from: u64,
+        into: u64,
+        records: &[(u64, Vec<u8>)],
+    ) -> io::Result<()> {
+        let mut s = self.shared.store.lock();
+        if !s.finished.contains_key(&into) {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!("install_compacted: epoch {into} is not live"),
+            ));
+        }
+        s.finished.retain(|&e, _| e > into);
+        s.full.retain(|&e| e > into);
+        s.finished.insert(into, records.to_vec());
+        s.full.insert(into);
+        Ok(())
+    }
+
+    fn remove_epoch(&self, epoch: u64) -> io::Result<()> {
+        let mut s = self.shared.store.lock();
+        if s.finished.remove(&epoch).is_none() {
+            return Err(io::Error::new(
+                io::ErrorKind::NotFound,
+                format!("epoch {epoch} not live"),
+            ));
+        }
+        s.full.remove(&epoch);
+        // Retired numbers stay burned (high_water already covers them).
+        Ok(())
     }
 }
 
@@ -269,6 +323,49 @@ mod tests {
         w2.write_pages(&[(2, &[7])]).unwrap();
         w2.finish().unwrap();
         assert_eq!(b.epoch_records(3).unwrap(), vec![(2, vec![7])]);
+    }
+
+    #[test]
+    fn default_compact_is_latest_wins() {
+        use crate::backend::{ChainEntry, EpochKind};
+        let b = MemoryBackend::new();
+        write_epoch(&b, 1, vec![(0, vec![1]), (1, vec![1])]).unwrap();
+        write_epoch(&b, 2, vec![(1, vec![2]), (2, vec![2])]).unwrap();
+        write_epoch(&b, 3, vec![(0, vec![3])]).unwrap();
+        let stats = b.compact(2).unwrap();
+        assert_eq!((stats.from, stats.into), (1, 2));
+        assert_eq!(stats.segments_removed, 2);
+        assert_eq!(b.epochs().unwrap(), vec![2, 3], "epoch 3 untouched");
+        assert_eq!(
+            b.chain().unwrap(),
+            vec![
+                ChainEntry {
+                    epoch: 2,
+                    kind: EpochKind::Full
+                },
+                ChainEntry {
+                    epoch: 3,
+                    kind: EpochKind::Delta
+                }
+            ]
+        );
+        let mut seen = Vec::new();
+        b.read_epoch(2, &mut |p, d| seen.push((p, d[0]))).unwrap();
+        assert_eq!(seen, vec![(0, 1), (1, 2), (2, 2)]);
+        // Epoch numbers below the fold stay burned.
+        assert!(b.begin_epoch(3).is_err());
+        write_epoch(&b, 4, vec![(9, vec![4])]).unwrap();
+    }
+
+    #[test]
+    fn remove_epoch_burns_the_number() {
+        let b = MemoryBackend::new();
+        write_epoch(&b, 1, vec![(0, vec![1])]).unwrap();
+        write_epoch(&b, 2, vec![(1, vec![2])]).unwrap();
+        b.remove_epoch(1).unwrap();
+        assert_eq!(b.epochs().unwrap(), vec![2]);
+        assert!(b.remove_epoch(1).is_err());
+        assert!(b.begin_epoch(1).is_err(), "retired number not reusable");
     }
 
     #[test]

@@ -121,6 +121,52 @@ impl StorageBackend for ReplicatedBackend {
         // Logical payload bytes (not multiplied by replication factor).
         self.replicas.first().map_or(0, |r| r.bytes_written())
     }
+
+    fn chain(&self) -> io::Result<Vec<crate::backend::ChainEntry>> {
+        self.read_fallback(|r| r.chain())
+    }
+
+    fn supports_compaction(&self) -> bool {
+        self.replicas.iter().all(|r| r.supports_compaction())
+    }
+
+    fn compact(&self, up_to: u64) -> io::Result<crate::backend::CompactionStats> {
+        // Every replica folds its own chain; the stats are logical (same on
+        // each replica), so report the first's.
+        let mut first = None;
+        for r in &self.replicas {
+            let stats = r.compact(up_to)?;
+            first.get_or_insert(stats);
+        }
+        Ok(first.expect("at least one replica"))
+    }
+
+    fn install_compacted(
+        &self,
+        from: u64,
+        into: u64,
+        records: &[(u64, Vec<u8>)],
+    ) -> io::Result<()> {
+        for r in &self.replicas {
+            r.install_compacted(from, into, records)?;
+        }
+        Ok(())
+    }
+
+    fn remove_epoch(&self, epoch: u64) -> io::Result<()> {
+        for r in &self.replicas {
+            r.remove_epoch(epoch)?;
+        }
+        Ok(())
+    }
+
+    fn drain_one(&self) -> io::Result<Option<u64>> {
+        let mut drained = None;
+        for r in &self.replicas {
+            drained = drained.or(r.drain_one()?);
+        }
+        Ok(drained)
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,419 @@
+//! Two-tier storage: a fast inner tier absorbs checkpoints at memory/SSD
+//! speed, a background drain moves finished epochs to a slow durable outer
+//! tier (the multi-level pipeline of VELOC and DataStates-LLM, applied to
+//! this runtime's epoch chain).
+//!
+//! * [`StorageBackend::begin_epoch`] commits to the **fast** tier only —
+//!   checkpoint latency is the fast tier's latency;
+//! * [`StorageBackend::drain_one`] copies the oldest not-yet-drained epoch
+//!   into the **slow** tier and evicts it from the fast tier (the runtime's
+//!   maintenance worker calls this continuously);
+//! * when the fast tier already holds `fast_capacity` undrained epochs, the
+//!   next `begin_epoch` drains synchronously first — back-pressure instead
+//!   of unbounded fast-tier growth;
+//! * reads (`epochs`/`read_epoch`/restore) see the union of both tiers, so
+//!   an epoch is visible from the moment the fast tier committed it;
+//! * `compact` drains everything up to the target first, then folds the
+//!   slow tier's chain — the long chain lives (and is bounded) there.
+//!
+//! Crash story: the fast tier is typically volatile ([`MemoryBackend`]), so
+//! a crash loses exactly the epochs that had not drained yet — the slow
+//! tier always holds a consistent prefix of the chain (drains are
+//! oldest-first and each epoch is committed to the slow tier before it is
+//! evicted from the fast one). On reconstruction the pending queue is
+//! recovered as `fast.epochs() − slow.epochs()`.
+
+use std::collections::VecDeque;
+use std::io;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::backend::{ChainEntry, CompactionStats, EpochWriter, StorageBackend};
+
+struct TierState {
+    /// Epochs committed to the fast tier, not yet on the slow tier;
+    /// ascending (pushed on commit, popped by drains).
+    pending: VecDeque<u64>,
+    /// Highest epoch ever committed through this backend (either tier).
+    high_water: Option<u64>,
+}
+
+/// Fast tier + slow tier with an explicit drain queue between them.
+pub struct TieredBackend {
+    fast: Box<dyn StorageBackend>,
+    slow: Box<dyn StorageBackend>,
+    /// Undrained epochs the fast tier may hold before `begin_epoch` applies
+    /// back-pressure (0 = unbounded).
+    fast_capacity: usize,
+    /// Shared with open epoch writers (they enqueue on `finish`).
+    state: Arc<Mutex<TierState>>,
+    /// Serialises drains (maintenance worker vs. inline back-pressure)
+    /// without blocking commits or reads.
+    drain_lock: Mutex<()>,
+}
+
+impl TieredBackend {
+    /// Build a tiered backend; recovers the pending-drain queue from the
+    /// two tiers' committed epochs.
+    pub fn new(
+        fast: Box<dyn StorageBackend>,
+        slow: Box<dyn StorageBackend>,
+        fast_capacity: usize,
+    ) -> io::Result<Self> {
+        let fast_epochs = fast.epochs()?;
+        let slow_epochs = slow.epochs()?;
+        let pending: VecDeque<u64> = fast_epochs
+            .iter()
+            .copied()
+            .filter(|e| !slow_epochs.contains(e))
+            .collect();
+        let high_water = fast_epochs.last().copied().max(slow_epochs.last().copied());
+        Ok(Self {
+            fast,
+            slow,
+            fast_capacity,
+            state: Arc::new(Mutex::new(TierState {
+                pending,
+                high_water,
+            })),
+            drain_lock: Mutex::new(()),
+        })
+    }
+
+    /// The fast (inner) tier.
+    pub fn fast(&self) -> &dyn StorageBackend {
+        self.fast.as_ref()
+    }
+
+    /// The slow (outer) tier.
+    pub fn slow(&self) -> &dyn StorageBackend {
+        self.slow.as_ref()
+    }
+
+    /// Epochs waiting to drain, oldest first.
+    pub fn pending_drain(&self) -> Vec<u64> {
+        self.state.lock().pending.iter().copied().collect()
+    }
+
+    /// Drain until the fast tier holds no finished epoch.
+    pub fn drain_all(&self) -> io::Result<u64> {
+        let mut n = 0;
+        while self.drain_one()?.is_some() {
+            n += 1;
+        }
+        Ok(n)
+    }
+
+    /// Drain until every epoch `<= up_to` is on the slow tier.
+    fn drain_through(&self, up_to: u64) -> io::Result<()> {
+        loop {
+            let due = self
+                .state
+                .lock()
+                .pending
+                .front()
+                .is_some_and(|&e| e <= up_to);
+            if !due {
+                return Ok(());
+            }
+            if self.drain_one()?.is_none() {
+                return Ok(()); // raced another drainer to empty
+            }
+        }
+    }
+}
+
+/// Fast-tier epoch session that enqueues the epoch for draining once the
+/// fast tier committed it.
+struct TieredEpochWriter {
+    inner: Box<dyn EpochWriter>,
+    state: Arc<Mutex<TierState>>,
+    epoch: u64,
+}
+
+impl EpochWriter for TieredEpochWriter {
+    fn write_pages(&self, batch: &[(u64, &[u8])]) -> io::Result<()> {
+        self.inner.write_pages(batch)
+    }
+
+    fn finish(&self) -> io::Result<()> {
+        self.inner.finish()?;
+        let mut st = self.state.lock();
+        st.pending.push_back(self.epoch);
+        st.high_water = Some(st.high_water.map_or(self.epoch, |h| h.max(self.epoch)));
+        Ok(())
+    }
+
+    fn abort(&self) -> io::Result<()> {
+        self.inner.abort()
+    }
+}
+
+impl StorageBackend for TieredBackend {
+    fn begin_epoch(&self, epoch: u64) -> io::Result<Box<dyn EpochWriter>> {
+        {
+            let st = self.state.lock();
+            if st.high_water.is_some_and(|h| epoch <= h) {
+                return Err(io::Error::other(format!(
+                    "epoch {epoch} not increasing across tiers"
+                )));
+            }
+        }
+        // Back-pressure: the fast tier may not grow past its capacity.
+        if self.fast_capacity > 0 {
+            while self.state.lock().pending.len() >= self.fast_capacity {
+                if self.drain_one()?.is_none() {
+                    break; // raced another drainer below capacity
+                }
+            }
+        }
+        let inner = self.fast.begin_epoch(epoch)?;
+        Ok(Box::new(TieredEpochWriter {
+            inner,
+            state: Arc::clone(&self.state),
+            epoch,
+        }))
+    }
+
+    fn put_blob(&self, name: &str, data: &[u8]) -> io::Result<()> {
+        // Blobs are small metadata: write them straight through to the
+        // durable tier (and the fast one for symmetric reads).
+        self.slow.put_blob(name, data)?;
+        self.fast.put_blob(name, data)
+    }
+
+    fn get_blob(&self, name: &str) -> io::Result<Option<Vec<u8>>> {
+        match self.fast.get_blob(name)? {
+            Some(v) => Ok(Some(v)),
+            None => self.slow.get_blob(name),
+        }
+    }
+
+    fn epochs(&self) -> io::Result<Vec<u64>> {
+        // Read the FAST tier first: a concurrent drain commits an epoch to
+        // the slow tier *before* evicting it from the fast one, so
+        // fast-then-slow can observe an in-flight epoch twice but never
+        // zero times (slow-then-fast could miss it entirely, and a restore
+        // over that snapshot would silently drop its pages).
+        let mut all = self.fast.epochs()?;
+        for e in self.slow.epochs()? {
+            if !all.contains(&e) {
+                all.push(e);
+            }
+        }
+        all.sort_unstable();
+        Ok(all)
+    }
+
+    fn read_epoch(&self, epoch: u64, visit: &mut dyn FnMut(u64, &[u8])) -> io::Result<()> {
+        // Buffer the fast tier's copy rather than streaming it: if the
+        // epoch is mid-drain we must not fall back to the slow tier after
+        // having already delivered some records.
+        let mut records: Vec<(u64, Vec<u8>)> = Vec::new();
+        match self
+            .fast
+            .read_epoch(epoch, &mut |p, d| records.push((p, d.to_vec())))
+        {
+            Ok(()) => {
+                for (p, d) in records {
+                    visit(p, &d);
+                }
+                Ok(())
+            }
+            // Not in the fast tier (never was, or evicted after its drain
+            // committed): the slow tier is authoritative.
+            Err(e) if e.kind() == io::ErrorKind::NotFound => self.slow.read_epoch(epoch, visit),
+            Err(e) => Err(e),
+        }
+    }
+
+    fn bytes_written(&self) -> u64 {
+        // Logical checkpoint bytes: what the application committed (drain
+        // copies to the slow tier are internal traffic).
+        self.fast.bytes_written()
+    }
+
+    fn supports_compaction(&self) -> bool {
+        // Folds happen on the slow tier (see `compact`).
+        self.slow.supports_compaction()
+    }
+
+    fn chain(&self) -> io::Result<Vec<ChainEntry>> {
+        // Fast tier first — same drain-race reasoning as `epochs`. For an
+        // epoch present in both tiers the slow entry wins: compaction runs
+        // on the slow tier, so only it can carry a `Full` kind.
+        let fast = self.fast.chain()?;
+        let mut chain = self.slow.chain()?;
+        let on_slow: Vec<u64> = chain.iter().map(|c| c.epoch).collect();
+        for c in fast {
+            if !on_slow.contains(&c.epoch) {
+                chain.push(c);
+            }
+        }
+        chain.sort_unstable_by_key(|c| c.epoch);
+        Ok(chain)
+    }
+
+    fn compact(&self, up_to: u64) -> io::Result<CompactionStats> {
+        // The long-lived chain is the slow tier's; fold it there, draining
+        // whatever part of the target range is still in the fast tier.
+        self.drain_through(up_to)?;
+        self.slow.compact(up_to)
+    }
+
+    fn remove_epoch(&self, epoch: u64) -> io::Result<()> {
+        if self.fast.epochs()?.contains(&epoch) {
+            self.fast.remove_epoch(epoch)?;
+            self.state.lock().pending.retain(|&e| e != epoch);
+            Ok(())
+        } else {
+            self.slow.remove_epoch(epoch)
+        }
+    }
+
+    fn drain_one(&self) -> io::Result<Option<u64>> {
+        let _serial = self.drain_lock.lock();
+        let Some(&epoch) = self.state.lock().pending.front() else {
+            return Ok(None);
+        };
+        // A previous attempt may have committed the copy and then failed
+        // the fast-tier eviction; re-running begin_epoch would then be
+        // rejected forever ("epoch not increasing"). Detect and resume at
+        // the eviction, exactly as `new`'s recovery would.
+        if !self.slow.epochs()?.contains(&epoch) {
+            // Copy fast → slow. Buffered: the epoch is bounded by the fast
+            // tier's capacity, and the slow tier wants batched writes
+            // anyway.
+            let mut records: Vec<(u64, Vec<u8>)> = Vec::new();
+            self.fast
+                .read_epoch(epoch, &mut |p, d| records.push((p, d.to_vec())))?;
+            let writer = self.slow.begin_epoch(epoch)?;
+            let result = (|| {
+                for (page, data) in &records {
+                    writer.write_pages(&[(*page, data)])?;
+                }
+                writer.finish()
+            })();
+            if let Err(e) = result {
+                let _ = writer.abort();
+                return Err(e);
+            }
+        }
+        // The epoch is durable on the slow tier: evict it from the fast
+        // tier and release the queue slot. The queue only pops once the
+        // eviction succeeded, so `pending` stays truthful (a failed
+        // eviction is retried by the next drain, skipping the copy).
+        self.fast.remove_epoch(epoch)?;
+        self.state.lock().pending.pop_front();
+        Ok(Some(epoch))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::write_epoch;
+    use crate::image::CheckpointImage;
+    use crate::memory::MemoryBackend;
+
+    fn tiered(capacity: usize) -> (TieredBackend, MemoryBackend, MemoryBackend) {
+        let (fast, fast_view) = MemoryBackend::shared();
+        let (slow, slow_view) = MemoryBackend::shared();
+        (
+            TieredBackend::new(Box::new(fast), Box::new(slow), capacity).unwrap(),
+            fast_view,
+            slow_view,
+        )
+    }
+
+    #[test]
+    fn commits_land_fast_and_drain_slow() {
+        let (t, fast, slow) = tiered(0);
+        write_epoch(&t, 1, vec![(0, vec![1])]).unwrap();
+        write_epoch(&t, 2, vec![(1, vec![2])]).unwrap();
+        assert_eq!(fast.epochs().unwrap(), vec![1, 2]);
+        assert!(slow.epochs().unwrap().is_empty());
+        assert_eq!(t.pending_drain(), vec![1, 2]);
+        assert_eq!(t.epochs().unwrap(), vec![1, 2], "union view");
+
+        assert_eq!(t.drain_one().unwrap(), Some(1), "oldest first");
+        assert_eq!(slow.epochs().unwrap(), vec![1]);
+        assert_eq!(fast.epochs().unwrap(), vec![2], "evicted after drain");
+        assert_eq!(t.drain_all().unwrap(), 1);
+        assert_eq!(t.drain_one().unwrap(), None);
+        assert_eq!(slow.epochs().unwrap(), vec![1, 2]);
+        assert_eq!(t.epochs().unwrap(), vec![1, 2]);
+
+        // The image is identical whichever tier serves it.
+        let img = CheckpointImage::load(&t, 2).unwrap();
+        assert_eq!(img.page(0), Some(&[1u8][..]));
+        assert_eq!(img.page(1), Some(&[2u8][..]));
+    }
+
+    #[test]
+    fn capacity_applies_backpressure() {
+        let (t, fast, slow) = tiered(2);
+        write_epoch(&t, 1, vec![(0, vec![1])]).unwrap();
+        write_epoch(&t, 2, vec![(1, vec![2])]).unwrap();
+        // Third commit must synchronously drain the oldest epoch first.
+        write_epoch(&t, 3, vec![(2, vec![3])]).unwrap();
+        assert_eq!(slow.epochs().unwrap(), vec![1], "epoch 1 force-drained");
+        assert!(fast.epochs().unwrap().len() <= 2);
+        assert_eq!(t.pending_drain(), vec![2, 3]);
+    }
+
+    #[test]
+    fn pending_queue_recovers_from_tiers() {
+        let (fast, fast_view) = MemoryBackend::shared();
+        let (slow, slow_view) = MemoryBackend::shared();
+        write_epoch(&fast_view, 1, vec![(0, vec![1])]).unwrap();
+        write_epoch(&fast_view, 2, vec![(1, vec![2])]).unwrap();
+        write_epoch(&slow_view, 1, vec![(0, vec![1])]).unwrap();
+        let t = TieredBackend::new(Box::new(fast), Box::new(slow), 0).unwrap();
+        assert_eq!(t.pending_drain(), vec![2], "only the undrained epoch");
+        assert!(t.begin_epoch(2).is_err(), "numbering spans both tiers");
+    }
+
+    #[test]
+    fn compact_drains_then_folds_the_slow_chain() {
+        let (t, fast, slow) = tiered(0);
+        write_epoch(&t, 1, vec![(0, vec![1]), (1, vec![1])]).unwrap();
+        write_epoch(&t, 2, vec![(1, vec![2])]).unwrap();
+        write_epoch(&t, 3, vec![(2, vec![3])]).unwrap();
+        let stats = t.compact(3).unwrap();
+        assert_eq!((stats.from, stats.into), (1, 3));
+        assert!(fast.epochs().unwrap().is_empty(), "all drained");
+        assert_eq!(slow.epochs().unwrap(), vec![3], "slow chain folded");
+        let img = CheckpointImage::load(&t, 3).unwrap();
+        assert_eq!(img.page(0), Some(&[1u8][..]));
+        assert_eq!(img.page(1), Some(&[2u8][..]));
+        assert_eq!(img.page(2), Some(&[3u8][..]));
+    }
+
+    #[test]
+    fn drain_resumes_after_a_failed_eviction() {
+        // State left by a drain that committed the copy but failed the
+        // fast-tier eviction: the epoch exists on BOTH tiers and is still
+        // pending. The retry must skip the copy (begin_epoch would reject
+        // the duplicate) and go straight to the eviction.
+        let (t, fast, slow) = tiered(0);
+        write_epoch(&t, 1, vec![(0, vec![1])]).unwrap();
+        write_epoch(&slow, 1, vec![(0, vec![1])]).unwrap();
+        assert_eq!(t.pending_drain(), vec![1]);
+        assert_eq!(t.drain_one().unwrap(), Some(1));
+        assert!(fast.epochs().unwrap().is_empty(), "eviction completed");
+        assert_eq!(slow.epochs().unwrap(), vec![1]);
+        assert!(t.pending_drain().is_empty());
+        // The union view never showed the epoch twice.
+        assert_eq!(t.epochs().unwrap(), vec![1]);
+    }
+
+    #[test]
+    fn blobs_reach_the_durable_tier() {
+        let (t, _fast, slow) = tiered(0);
+        t.put_blob("layout", b"x").unwrap();
+        assert_eq!(slow.get_blob("layout").unwrap().unwrap(), b"x");
+        assert_eq!(t.get_blob("layout").unwrap().unwrap(), b"x");
+    }
+}

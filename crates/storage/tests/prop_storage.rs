@@ -7,7 +7,7 @@
 use ai_ckpt_core::rng::SplitMix64;
 use ai_ckpt_storage::{
     write_epoch, CheckpointImage, EpochWriter, FileBackend, MemoryBackend, ParityBackend,
-    ReplicatedBackend, StorageBackend, ThrottledBackend,
+    ReplicatedBackend, StorageBackend, ThrottledBackend, TieredBackend,
 };
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -135,6 +135,113 @@ fn parity_backend_is_transparent_and_recoverable() {
             );
         }
     }
+}
+
+/// The image a chain materialises must be invariant under any interleaving
+/// of compactions (fold the committed prefix), tier drains (migrate the
+/// oldest epoch outward) and further checkpoints: all of them are
+/// representation changes, never data changes.
+#[test]
+fn compacted_chain_image_equals_uncompacted_chain_image() {
+    let mut rng = SplitMix64::new(0xC0_FFEE);
+    for case in 0..48u64 {
+        // Twin setup: `plain` only ever appends; `folded` additionally
+        // compacts/drains at random points.
+        let plain = MemoryBackend::new();
+        let folded: Box<dyn StorageBackend> = if case % 2 == 0 {
+            Box::new(MemoryBackend::new())
+        } else {
+            Box::new(
+                TieredBackend::new(
+                    Box::new(MemoryBackend::new()),
+                    Box::new(MemoryBackend::new()),
+                    1 + rng.next_below(3) as usize,
+                )
+                .unwrap(),
+            )
+        };
+        let mut committed = 0u64;
+        for _ in 0..(2 + rng.next_below(12)) {
+            match rng.next_below(10) {
+                // 60%: take a checkpoint (same content on both chains).
+                0..=5 => {
+                    committed += 1;
+                    let epoch = gen_epoch(&mut rng);
+                    write_epoch(&plain, committed, epoch.clone()).unwrap();
+                    write_epoch(folded.as_ref(), committed, epoch).unwrap();
+                }
+                // 20%: compact everything committed so far.
+                6 | 7 => {
+                    if committed > 0 {
+                        folded.compact(committed).unwrap();
+                    }
+                }
+                // 20%: drain one epoch outward (no-op on single tier).
+                _ => {
+                    folded.drain_one().unwrap();
+                }
+            }
+            // Invariant after *every* step, not just at the end.
+            match (
+                CheckpointImage::load_latest(&plain).unwrap(),
+                CheckpointImage::load_latest(folded.as_ref()).unwrap(),
+            ) {
+                (None, None) => {}
+                (Some(a), Some(b)) => {
+                    assert_eq!(a, b, "case {case}: images diverged");
+                }
+                (a, b) => panic!(
+                    "case {case}: presence diverged (plain {:?} vs folded {:?})",
+                    a.map(|i| i.checkpoint()),
+                    b.map(|i| i.checkpoint())
+                ),
+            }
+        }
+        // Restore at the head must also agree via explicit epoch number.
+        if committed > 0 {
+            let a = CheckpointImage::load(&plain, committed).unwrap();
+            let b = CheckpointImage::load(folded.as_ref(), committed).unwrap();
+            assert_eq!(a, b, "case {case}: head image diverged");
+        }
+    }
+}
+
+/// The same property on disk: the file backend's compaction (manifest v2,
+/// full segments, GC) must never change restored bytes.
+#[test]
+fn file_backend_compaction_preserves_the_image() {
+    let dir = std::env::temp_dir().join(format!(
+        "aickpt-prop-compact-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let mut rng = SplitMix64::new(0xF0_1DED);
+    for case in 0..12u64 {
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut b = FileBackend::open(&dir).unwrap();
+        b.sync_on_finish = false;
+        let plain = MemoryBackend::new();
+        let mut committed = 0u64;
+        for _ in 0..(3 + rng.next_below(8)) {
+            if committed == 0 || rng.next_below(4) < 3 {
+                committed += 1;
+                let epoch = gen_epoch(&mut rng);
+                write_epoch(&b, committed, epoch.clone()).unwrap();
+                write_epoch(&plain, committed, epoch).unwrap();
+            } else {
+                b.compact(committed).unwrap();
+            }
+        }
+        let want = CheckpointImage::load(&plain, committed).unwrap();
+        let got = CheckpointImage::load(&b, committed).unwrap();
+        assert_eq!(got, want, "case {case}");
+        // And across a reopen (manifest + segments re-parsed from disk).
+        drop(b);
+        let b = FileBackend::open(&dir).unwrap();
+        let got = CheckpointImage::load(&b, committed).unwrap();
+        assert_eq!(got, want, "case {case} after reopen");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 /// Hammer one epoch session from several threads and return the exact

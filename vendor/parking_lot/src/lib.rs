@@ -116,6 +116,24 @@ impl Condvar {
         let _ = guard.mutex; // keep the field used even if wait is never called
     }
 
+    /// Block until notified or `timeout` elapses (parking_lot's `wait_for`
+    /// calling convention: the result reports whether the wait timed out).
+    pub fn wait_for<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        timeout: std::time::Duration,
+    ) -> WaitTimeoutResult {
+        let std_guard = guard.inner.take().expect("guard present before wait");
+        let (reacquired, result) = self
+            .inner
+            .wait_timeout(std_guard, timeout)
+            .unwrap_or_else(PoisonError::into_inner);
+        guard.inner = Some(reacquired);
+        WaitTimeoutResult {
+            timed_out: result.timed_out(),
+        }
+    }
+
     /// Wake one waiter.
     pub fn notify_one(&self) {
         self.inner.notify_one();
@@ -130,6 +148,19 @@ impl Condvar {
 impl Default for Condvar {
     fn default() -> Self {
         Self::new()
+    }
+}
+
+/// Outcome of [`Condvar::wait_for`].
+#[derive(Debug, Clone, Copy)]
+pub struct WaitTimeoutResult {
+    timed_out: bool,
+}
+
+impl WaitTimeoutResult {
+    /// True when the wait ended by timeout rather than notification.
+    pub fn timed_out(&self) -> bool {
+        self.timed_out
     }
 }
 
