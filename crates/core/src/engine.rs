@@ -240,6 +240,14 @@ impl EpochEngine {
         }
         self.pending = scheduled as usize;
         self.plan = FlushPlan::build(self.cfg.scheduler, self.history.last());
+        // The plan filters the same tombstones the loop above skipped; a
+        // divergence would desynchronise `planned()`/`remaining()` from the
+        // committer's pending count.
+        debug_assert_eq!(
+            self.plan.planned() as u64,
+            scheduled,
+            "flush plan disagrees with the scheduled page count"
+        );
         self.ckpt_active = self.pending > 0;
 
         Ok(CheckpointPlanInfo {
@@ -787,6 +795,29 @@ mod tests {
         assert!(!e.discard_page(0), "page is locked by the committer");
         e.complete_flush(item);
         assert!(e.discard_page(0), "trivially succeeds once processed");
+    }
+
+    #[test]
+    fn discarded_page_leaves_no_plan_tombstone() {
+        // Regression: tombstones used to land in the flush queues, so
+        // planned() exceeded the scheduled count and select_batch
+        // skip-scanned dead entries.
+        let mut e = engine(8, 0);
+        for p in 0..4 {
+            e.on_write(p);
+        }
+        e.discard_page(2);
+        let info = e.begin_checkpoint().unwrap();
+        assert_eq!(info.scheduled_pages, 3);
+        let mut run = Vec::new();
+        assert_eq!(e.select_batch(8, &mut run), 3, "no dead entries");
+        let mut pages: Vec<_> = run.iter().map(|i| i.page).collect();
+        pages.sort_unstable();
+        assert_eq!(pages, vec![0, 1, 3]);
+        for item in run {
+            e.complete_flush(item);
+        }
+        assert!(!e.checkpoint_active());
     }
 
     #[test]

@@ -72,8 +72,20 @@ impl FlushPlan {
     /// `last` supplies `LastDirty` (the pages to schedule), `LastAT` and
     /// `LastIndex`. Building is O(n log n) in the number of scheduled pages
     /// and happens in normal (non-signal) context at the checkpoint request.
+    ///
+    /// `discard_page` tombstones (dirty-list entries whose access type
+    /// reverted to `UNTOUCHED`) are filtered out here, so every queue entry
+    /// is a genuinely scheduled page and `planned()`/`remaining()` agree
+    /// with the engine's scheduled count — the committer never skip-scans
+    /// dead entries.
     pub fn build(kind: SchedulerKind, last: &EpochRecord) -> Self {
-        let dirty = last.dirty();
+        let dirty: Vec<PageId> = last
+            .dirty()
+            .iter()
+            .copied()
+            .filter(|&p| last.access_type(p) != AccessType::Untouched)
+            .collect();
+        let dirty = dirty.as_slice();
         let queues = match kind {
             SchedulerKind::Adaptive => {
                 let mut wait = Vec::new();
@@ -85,7 +97,8 @@ impl FlushPlan {
                         AccessType::Wait => wait.push(p),
                         AccessType::Cow => cow.push(p),
                         AccessType::Avoided => avoided.push(p),
-                        AccessType::After | AccessType::Untouched => rest.push(p),
+                        AccessType::After => rest.push(p),
+                        AccessType::Untouched => unreachable!("tombstones filtered above"),
                     }
                 }
                 // `dirty` is already in access order, i.e. ascending
@@ -393,6 +406,36 @@ mod tests {
         let mut out = Vec::new();
         assert_eq!(plan.next_batch(3, |p| p != 2, &mut out), 2);
         assert_eq!(out, vec![1, 3]);
+    }
+
+    #[test]
+    fn tombstones_are_filtered_at_build_time() {
+        // A freed page leaves a dirty-list tombstone (AT back to UNTOUCHED).
+        // Every scheduler must exclude it from its queues, keeping
+        // planned()/remaining() equal to the true scheduled count.
+        for kind in [
+            SchedulerKind::Adaptive,
+            SchedulerKind::AddressOrder,
+            SchedulerKind::AccessOrder,
+            SchedulerKind::ReverseAddress,
+            SchedulerKind::Random(3),
+        ] {
+            let mut r = record_seq(
+                8,
+                &[
+                    (1, AccessType::Wait),
+                    (4, AccessType::After),
+                    (6, AccessType::Cow),
+                ],
+            );
+            r.unrecord(4);
+            let mut plan = FlushPlan::build(kind, &r);
+            assert_eq!(plan.planned(), 2, "{kind:?}");
+            assert_eq!(plan.remaining(), 2, "{kind:?}");
+            let mut order: Vec<PageId> = std::iter::from_fn(|| plan.next(|_| true)).collect();
+            order.sort_unstable();
+            assert_eq!(order, vec![1, 6], "{kind:?}: tombstone never surfaced");
+        }
     }
 
     #[test]

@@ -8,7 +8,7 @@
 //!
 //! 1. save `errno`;
 //! 2. resolve the fault address through the lock-free
-//!    [`registry`](crate::registry);
+//!    [`registry`];
 //! 3. if it belongs to a protected region, invoke the registered callback
 //!    (the runtime's `PROTECTED_PAGE_HANDLER`), which must itself stay
 //!    async-signal-safe: atomics, spinlock, `memcpy`, `mprotect`,

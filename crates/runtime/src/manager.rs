@@ -6,7 +6,7 @@
 //! generalised to N committer streams):
 //!
 //! * **Application threads** run `PROTECTED_PAGE_HANDLER` inside the SIGSEGV
-//!   handler ([`fault_entry`]): they take the engine spin lock briefly, may
+//!   handler (`fault_entry`): they take the engine spin lock briefly, may
 //!   copy a page into a CoW slot under it, may spin-wait (lock-free, on the
 //!   shared [`StateTable`]) until a committer stream processes their page,
 //!   then lift the page's write protection and retry the faulting
@@ -55,7 +55,7 @@ use ai_ckpt_core::{
     StateTable, WriteOutcome,
 };
 use ai_ckpt_mem::{page_size, registry, sigsegv, MappedRegion, Protection, RegionHit};
-use ai_ckpt_storage::{EpochKind, EpochWriter, StorageBackend};
+use ai_ckpt_storage::{crc64, EpochKind, EpochWriter, StorageBackend};
 
 use crate::config::{CkptConfig, CkptMode, CompactionPolicy};
 use crate::layout::{self, BufferLayout};
@@ -80,6 +80,59 @@ pub(crate) struct Ctl {
     pub(crate) status: Mutex<Status>,
     pub(crate) done: Condvar,
     pub(crate) stats: Mutex<Vec<CheckpointRecord>>,
+    /// Clean-dirty filtering state; `None` when
+    /// `CkptConfig::content_filter` is off.
+    pub(crate) filter: Option<ContentFilter>,
+}
+
+/// Per-page CRC-64 digests of the last *committed* payload version.
+/// `present` distinguishes "never committed" from a digest that happens to
+/// be any particular value.
+pub(crate) struct DigestTable {
+    present: Box<[bool]>,
+    digest: Box<[u64]>,
+}
+
+impl DigestTable {
+    fn new(pages: usize) -> Self {
+        Self {
+            present: vec![false; pages].into_boxed_slice(),
+            digest: vec![0u64; pages].into_boxed_slice(),
+        }
+    }
+
+    fn matches(&self, page: u64, digest: u64) -> bool {
+        self.present[page as usize] && self.digest[page as usize] == digest
+    }
+
+    fn set(&mut self, page: u64, digest: u64) {
+        self.present[page as usize] = true;
+        self.digest[page as usize] = digest;
+    }
+}
+
+/// Content-filter state: the digest table plus skip accounting.
+///
+/// Lifecycle: committer streams *read* the table to drop clean-dirty pages
+/// and stage `(page, digest)` updates in the flush job; the coordinator
+/// applies the staged updates only after the epoch's `finish` succeeded —
+/// an aborted epoch must leave the table describing what storage still
+/// holds. Restore seeds the table from the restored image
+/// ([`PageManager::seed_content_digests`]).
+pub(crate) struct ContentFilter {
+    table: Mutex<DigestTable>,
+    skipped_pages: AtomicU64,
+    skipped_bytes: AtomicU64,
+}
+
+impl ContentFilter {
+    fn new(pages: usize) -> Self {
+        Self {
+            table: Mutex::new(DigestTable::new(pages)),
+            skipped_pages: AtomicU64::new(0),
+            skipped_bytes: AtomicU64::new(0),
+        }
+    }
 }
 
 #[derive(Default)]
@@ -163,6 +216,15 @@ struct FlushJob {
     failed: Arc<AtomicBool>,
     /// The first storage error's message (first writer wins).
     error: Arc<Mutex<Option<String>>>,
+    /// `(page, digest)` pairs of the payloads written into this epoch,
+    /// applied to the digest table by the coordinator iff `finish`
+    /// succeeds (unused when the content filter is off).
+    digest_updates: Arc<Mutex<Vec<(u64, u64)>>>,
+    /// Clean-dirty pages dropped while draining this epoch; folded into
+    /// the filter's counters by the coordinator iff `finish` succeeds, so
+    /// the stats describe committed checkpoints only (a retried epoch must
+    /// not double-count its skips).
+    skipped_pages: Arc<AtomicU64>,
 }
 
 #[derive(Default)]
@@ -271,6 +333,9 @@ impl PageManager {
             status: Mutex::new(Status::default()),
             done: Condvar::new(),
             stats: Mutex::new(Vec::new()),
+            filter: cfg
+                .content_filter
+                .then(|| ContentFilter::new(cfg.max_pages)),
         });
         let n_streams = cfg.committer_streams.max(1);
         let batch_pages = cfg.flush_batch_pages.max(1);
@@ -521,7 +586,20 @@ impl PageManager {
     /// Snapshot of runtime metrics.
     pub fn stats(&self) -> RuntimeStats {
         let m = &self.maint.counters;
+        let (pages_skipped_clean, bytes_skipped) = self
+            .ctl
+            .filter
+            .as_ref()
+            .map(|f| {
+                (
+                    f.skipped_pages.load(Ordering::Relaxed),
+                    f.skipped_bytes.load(Ordering::Relaxed),
+                )
+            })
+            .unwrap_or((0, 0));
         RuntimeStats {
+            pages_skipped_clean,
+            bytes_skipped,
             checkpoints: self.ctl.stats.lock().clone(),
             live_epoch: self.ctl.shared.engine.lock().current_stats(),
             streams: self
@@ -568,6 +646,36 @@ impl PageManager {
             self.maint.idle.wait(&mut st);
         }
         Ok(())
+    }
+
+    /// Seed the content-filter digest table from the *current* content of
+    /// every registered protected buffer — i.e. declare that storage
+    /// already holds exactly these bytes. Restore calls this after filling
+    /// the buffers from the checkpoint image, so the first post-restore
+    /// checkpoint (whose dirty set is near-full, because the restore copies
+    /// fault) skips everything the restart did not actually change and
+    /// stays incremental. No-op when the filter is disabled.
+    ///
+    /// Caller contract: no concurrent writers to protected memory (the
+    /// restore context), and no checkpoint in flight.
+    pub fn seed_content_digests(&self) {
+        let Some(filter) = &self.ctl.filter else {
+            return;
+        };
+        let page_bytes = self.ctl.shared.page_bytes;
+        let regions = self.regions.lock();
+        let mut table = filter.table.lock();
+        for e in regions.live() {
+            for i in 0..e.pages {
+                let addr = e.addr + i * page_bytes;
+                // SAFETY: a registered region's pages are mapped and at
+                // least PROT_READ for their whole registered lifetime;
+                // `regions` is locked, so the region cannot be freed under
+                // us.
+                let page = unsafe { std::slice::from_raw_parts(addr as *const u8, page_bytes) };
+                table.set((e.base_page + i) as u64, crc64(page));
+            }
+        }
     }
 
     /// Number of checkpoints requested so far.
@@ -696,7 +804,7 @@ fn committer_loop(
                 started,
                 layout_blob,
             } => {
-                let result = flush_checkpoint(&pool, backend.as_ref(), seq, &layout_blob);
+                let result = flush_checkpoint(&ctl, &pool, backend.as_ref(), seq, &layout_blob);
                 let duration = started.elapsed();
                 {
                     let mut stats = ctl.stats.lock();
@@ -733,6 +841,7 @@ fn committer_loop(
 /// partially visible), and the error is reported through
 /// `wait_checkpoint`/the next `checkpoint` call.
 fn flush_checkpoint(
+    ctl: &Ctl,
     pool: &Arc<Pool>,
     backend: &dyn StorageBackend,
     seq: u64,
@@ -746,6 +855,8 @@ fn flush_checkpoint(
         writer: writer.clone(),
         failed: Arc::new(AtomicBool::new(open_error.is_some())),
         error: Arc::new(Mutex::new(open_error.map(|e| e.to_string()))),
+        digest_updates: Arc::new(Mutex::new(Vec::new())),
+        skipped_pages: Arc::new(AtomicU64::new(0)),
     };
     // Publish the drain job to the worker streams.
     {
@@ -775,7 +886,29 @@ fn flush_checkpoint(
                 let _ = writer.abort();
                 return Err(e);
             }
-            writer.finish()
+            writer.finish()?;
+            // The epoch is durable: the digest table may now describe its
+            // payloads, and the epoch's skips count. (On any failure path
+            // above, both die with the job — the table keeps describing
+            // what storage actually holds, and a retried epoch does not
+            // double-count its skips.)
+            if let Some(filter) = &ctl.filter {
+                {
+                    let updates = job.digest_updates.lock();
+                    let mut table = filter.table.lock();
+                    for &(page, digest) in updates.iter() {
+                        table.set(page, digest);
+                    }
+                }
+                let skipped = job.skipped_pages.load(Ordering::Relaxed);
+                if skipped > 0 {
+                    filter.skipped_pages.fetch_add(skipped, Ordering::Relaxed);
+                    filter
+                        .skipped_bytes
+                        .fetch_add(skipped * ctl.shared.page_bytes as u64, Ordering::Relaxed);
+                }
+            }
+            Ok(())
         }
         (writer, Some(msg)) => {
             if let Some(w) = writer {
@@ -914,6 +1047,8 @@ fn stream_loop(ctl: Arc<Ctl>, pool: Arc<Pool>, stream: usize, batch_pages: usize
     let page_bytes = ctl.shared.page_bytes;
     let mut staging = vec![0u8; batch_pages * page_bytes];
     let mut items: Vec<FlushItem> = Vec::with_capacity(batch_pages);
+    let mut skip: Vec<bool> = Vec::with_capacity(batch_pages);
+    let mut digests: Vec<u64> = Vec::with_capacity(batch_pages);
     let mut served_generation = 0u64;
     loop {
         let job = {
@@ -938,6 +1073,8 @@ fn stream_loop(ctl: Arc<Ctl>, pool: Arc<Pool>, stream: usize, batch_pages: usize
             batch_pages,
             &mut staging,
             &mut items,
+            &mut skip,
+            &mut digests,
         );
         let mut st = pool.state.lock();
         st.running -= 1;
@@ -949,6 +1086,7 @@ fn stream_loop(ctl: Arc<Ctl>, pool: Arc<Pool>, stream: usize, batch_pages: usize
 
 /// One stream's share of a checkpoint drain. Returns when the checkpoint is
 /// fully drained (every scheduled page `PAGE_PROCESSED`).
+#[allow(clippy::too_many_arguments)]
 fn drain_stream(
     ctl: &Ctl,
     job: &FlushJob,
@@ -956,6 +1094,8 @@ fn drain_stream(
     batch_pages: usize,
     staging: &mut [u8],
     items: &mut Vec<FlushItem>,
+    skip: &mut Vec<bool>,
+    digests: &mut Vec<u64>,
 ) {
     let page_bytes = ctl.shared.page_bytes;
     // Tail-wait backoff: when the drain's remainder is all on other
@@ -990,6 +1130,11 @@ fn drain_stream(
         // below matters, so blocked writers wake without a gratuitous
         // memcpy of the whole remaining dirty set.
         let drain_only = job.writer.is_none() || job.failed.load(Ordering::Acquire);
+        // Clean-dirty filtering: `skip[i]` marks staged pages whose CRC-64
+        // matches the last committed version — storage already holds these
+        // exact bytes, so they complete without any I/O.
+        skip.clear();
+        skip.resize(items.len(), false);
         if !drain_only {
             // Stage the claimed pages outside the selection's critical
             // section. Memory-sourced pages are PAGE_INPROGRESS, so any
@@ -1024,6 +1169,38 @@ fn drain_stream(
                     }
                 }
             }
+            if let Some(filter) = &ctl.filter {
+                // Digest the staged copies outside any lock (into a reused
+                // scratch buffer — the flush path stays allocation-free in
+                // steady state), then decide skips under one table-lock
+                // hold per claimed run.
+                digests.clear();
+                digests.extend(
+                    (0..items.len()).map(|i| crc64(&staging[i * page_bytes..(i + 1) * page_bytes])),
+                );
+                {
+                    let table = filter.table.lock();
+                    for (i, item) in items.iter().enumerate() {
+                        skip[i] = table.matches(item.page as u64, digests[i]);
+                    }
+                }
+                let skipped = skip.iter().filter(|&&s| s).count() as u64;
+                if skipped > 0 {
+                    // Job-level, not the filter's counters: skips only
+                    // count once the epoch commits.
+                    job.skipped_pages.fetch_add(skipped, Ordering::Relaxed);
+                }
+                if skipped < items.len() as u64 {
+                    let mut updates = job.digest_updates.lock();
+                    updates.extend(
+                        items
+                            .iter()
+                            .enumerate()
+                            .filter(|&(i, _)| !skip[i])
+                            .map(|(i, item)| (item.page as u64, digests[i])),
+                    );
+                }
+            }
         }
         // Write and complete in wake-bounded sub-batches: completing only
         // after the whole claimed run's I/O would make a MustWait-blocked
@@ -1038,30 +1215,40 @@ fn drain_stream(
             if !drain_only && !job.failed.load(Ordering::Acquire) {
                 if let Some(writer) = &job.writer {
                     // Stack-built batch (sub ≤ WAKE_BATCH_PAGES): the hot
-                    // flush path stays allocation-free.
+                    // flush path stays allocation-free. Clean-dirty pages
+                    // are left out — they complete below with no I/O.
                     let mut batch: [(u64, &[u8]); WAKE_BATCH_PAGES] = [(0, &[]); WAKE_BATCH_PAGES];
-                    for (k, (item, i)) in items[idx..end].iter().zip(idx..end).enumerate() {
-                        batch[k] = (
+                    let mut n = 0;
+                    for (item, i) in items[idx..end].iter().zip(idx..end) {
+                        if skip[i] {
+                            continue;
+                        }
+                        batch[n] = (
                             item.page as u64,
                             &staging[i * page_bytes..(i + 1) * page_bytes],
                         );
+                        n += 1;
                     }
-                    let batch = &batch[..end - idx];
-                    match writer.write_pages(batch) {
-                        Ok(()) => {
-                            counters.batches.fetch_add(1, Ordering::Relaxed);
-                            counters
-                                .pages
-                                .fetch_add(batch.len() as u64, Ordering::Relaxed);
-                            counters
-                                .bytes
-                                .fetch_add((batch.len() * page_bytes) as u64, Ordering::Relaxed);
-                        }
-                        Err(e) => {
-                            // First error wins; every stream switches to
-                            // drain-only so the epoch aborts atomically.
-                            if !job.failed.swap(true, Ordering::AcqRel) {
-                                *job.error.lock() = Some(e.to_string());
+                    let batch = &batch[..n];
+                    // An all-clean sub-batch issues no write at all.
+                    if !batch.is_empty() {
+                        match writer.write_pages(batch) {
+                            Ok(()) => {
+                                counters.batches.fetch_add(1, Ordering::Relaxed);
+                                counters
+                                    .pages
+                                    .fetch_add(batch.len() as u64, Ordering::Relaxed);
+                                counters.bytes.fetch_add(
+                                    (batch.len() * page_bytes) as u64,
+                                    Ordering::Relaxed,
+                                );
+                            }
+                            Err(e) => {
+                                // First error wins; every stream switches to
+                                // drain-only so the epoch aborts atomically.
+                                if !job.failed.swap(true, Ordering::AcqRel) {
+                                    *job.error.lock() = Some(e.to_string());
+                                }
                             }
                         }
                     }

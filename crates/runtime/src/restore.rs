@@ -12,7 +12,11 @@
 //! The copies performed during restore fault like ordinary writes, so the
 //! restored data is automatically part of the *next* checkpoint's dirty set
 //! — the first checkpoint after a restart is close to full, which is the
-//! conservative, correct behaviour.
+//! conservative, correct behaviour. With `CkptConfig::content_filter`
+//! enabled, restore additionally seeds the digest table from the restored
+//! image ([`PageManager::seed_content_digests`]), so the committer drops
+//! the pages the restart did not actually change and that first checkpoint
+//! stays incremental in bytes while remaining full in coverage.
 
 use std::collections::HashMap;
 use std::io;
@@ -97,6 +101,13 @@ pub fn restore_at(
         }
         buffers.push(buf);
     }
+    // Content filter: declare that storage already holds exactly the bytes
+    // just restored. The restore copies faulted, so the next checkpoint's
+    // dirty set is near-full — without this seeding it would be flushed
+    // near-fully too; with it, only pages the restart actually changes are
+    // written and the chain stays incremental. No-op when the filter is
+    // disabled.
+    manager.seed_content_digests();
     Ok(RestoredState {
         buffers,
         by_name,

@@ -99,6 +99,13 @@ pub struct RuntimeStats {
     /// Chain-maintenance counters (zero when compaction is disabled and the
     /// backend has no drain backlog).
     pub maintenance: MaintenanceStats,
+    /// Clean-dirty pages dropped before any I/O by the content filter:
+    /// pages that faulted this epoch but whose bytes equal the last
+    /// committed version (`CkptConfig::content_filter`; always zero when
+    /// the filter is off).
+    pub pages_skipped_clean: u64,
+    /// Payload bytes those skipped pages would have written.
+    pub bytes_skipped: u64,
 }
 
 impl RuntimeStats {
@@ -184,6 +191,7 @@ mod tests {
             live_epoch: EpochStats::default(),
             streams: Vec::new(),
             maintenance: MaintenanceStats::default(),
+            ..Default::default()
         };
         assert_eq!(
             stats.mean_checkpoint_time(1),
@@ -210,6 +218,7 @@ mod tests {
             },
             streams: Vec::new(),
             maintenance: MaintenanceStats::default(),
+            ..Default::default()
         };
         // Epochs 1 and 2 (skip epoch 0 = pre-first-checkpoint).
         assert_eq!(stats.mean_wait(1), 15.0);

@@ -109,6 +109,10 @@ pub struct StorageModel {
     pub interference: f64,
     /// Total requests served (diagnostics).
     requests: u64,
+    /// Total payload bytes moved through the service points (diagnostics:
+    /// with a content-aware flusher this is the *post-filter, post-
+    /// compression* traffic, the quantity `ablation_content` sweeps).
+    bytes_served: u64,
     /// Deterministic stream for routing hashes and service jitter.
     rng: SplitMix64,
     /// Optional two-tier drain model.
@@ -137,6 +141,7 @@ impl StorageModel {
             client_overhead_ns,
             interference,
             requests: 0,
+            bytes_served: 0,
             rng: SplitMix64::new(0x5707_A6E5_u64),
             tier: None,
             tier_ranks: Vec::new(),
@@ -207,6 +212,11 @@ impl StorageModel {
         self.requests
     }
 
+    /// Payload bytes served so far.
+    pub fn bytes_served(&self) -> u64 {
+        self.bytes_served
+    }
+
     /// Effective client overhead for a rank whose application is currently
     /// computing (`true`) or blocked (`false`).
     pub fn client_overhead(&self, app_running: bool) -> u64 {
@@ -250,6 +260,7 @@ impl StorageModel {
         let done = start + service;
         self.busy_until[s] = done;
         self.requests += 1;
+        self.bytes_served += bytes;
         done
     }
 

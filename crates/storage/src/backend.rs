@@ -139,6 +139,15 @@ pub trait StorageBackend: Send + Sync {
     /// stays exact under concurrent streams.
     fn bytes_written(&self) -> u64;
 
+    /// Physical payload bytes stored after per-record encoding
+    /// (diagnostics). Backends without a compression stage report
+    /// [`StorageBackend::bytes_written`]; wrappers forward to their inner
+    /// backend. `bytes_stored <= bytes_written` whenever compression is
+    /// active (the encoder never grows a record).
+    fn bytes_stored(&self) -> u64 {
+        self.bytes_written()
+    }
+
     /// The live chain with per-epoch kinds, ascending. The default derives
     /// it from [`StorageBackend::epochs`]: all deltas (pre-compaction
     /// semantics — restore replays everything).
@@ -173,53 +182,29 @@ pub trait StorageBackend: Send + Sync {
                 "backend does not support compaction",
             ));
         }
-        let live: Vec<ChainEntry> = self
-            .chain()?
-            .into_iter()
-            .filter(|c| c.epoch <= up_to)
-            .collect();
-        let Some(&last) = live.last() else {
-            return Err(io::Error::new(
-                io::ErrorKind::NotFound,
-                format!("compact({up_to}): no live epoch at or below it"),
-            ));
-        };
-        if last.epoch != up_to {
-            return Err(io::Error::new(
-                io::ErrorKind::InvalidInput,
-                format!(
-                    "compact({up_to}): epoch not live (newest live at or below is {})",
-                    last.epoch
-                ),
-            ));
-        }
-        if live.len() == 1 && last.kind == EpochKind::Full {
-            // Already a lone full segment: nothing to fold.
-            return Ok(CompactionStats {
+        match merge_live_prefix(self, up_to)? {
+            MergeOutcome::AlreadyCompact => Ok(CompactionStats {
                 from: up_to,
                 into: up_to,
                 ..CompactionStats::default()
-            });
+            }),
+            MergeOutcome::Merged {
+                from,
+                segments,
+                bytes_before,
+                records,
+            } => {
+                let bytes_after: u64 = records.iter().map(|(_, d)| d.len() as u64).sum();
+                self.install_compacted(from, up_to, &records)?;
+                Ok(CompactionStats {
+                    from,
+                    into: up_to,
+                    segments_removed: segments,
+                    bytes_before,
+                    bytes_after,
+                })
+            }
         }
-        let from = live[0].epoch;
-        let mut pages: BTreeMap<u64, Vec<u8>> = BTreeMap::new();
-        let mut bytes_before = 0u64;
-        for c in &live {
-            self.read_epoch(c.epoch, &mut |p, d| {
-                bytes_before += d.len() as u64;
-                pages.insert(p, d.to_vec());
-            })?;
-        }
-        let records: Vec<(u64, Vec<u8>)> = pages.into_iter().collect();
-        let bytes_after: u64 = records.iter().map(|(_, d)| d.len() as u64).sum();
-        self.install_compacted(from, up_to, &records)?;
-        Ok(CompactionStats {
-            from,
-            into: up_to,
-            segments_removed: live.len() as u64,
-            bytes_before,
-            bytes_after,
-        })
     }
 
     /// Whether this backend can fold its chain (cheap capability probe the
@@ -267,6 +252,73 @@ pub trait StorageBackend: Send + Sync {
     fn drain_one(&self) -> io::Result<Option<u64>> {
         Ok(None)
     }
+}
+
+/// Result of [`merge_live_prefix`].
+pub(crate) enum MergeOutcome {
+    /// The prefix is already a lone full segment at the target epoch:
+    /// nothing to fold.
+    AlreadyCompact,
+    /// The latest-wins merge of the live prefix.
+    Merged {
+        /// Oldest epoch folded.
+        from: u64,
+        /// Live segments the merge supersedes.
+        segments: u64,
+        /// Payload bytes of the superseded segments.
+        bytes_before: u64,
+        /// One record per surviving page version, ascending by page id.
+        records: Vec<(u64, Vec<u8>)>,
+    },
+}
+
+/// Latest-wins merge of the live chain prefix `..= up_to` — the shared
+/// core of the default [`StorageBackend::compact`], also used by wrappers
+/// that post-process the merged image before installing it (e.g.
+/// `ParityBackend` re-emitting parity groups) so they can append to the
+/// merge buffer they already own instead of copying the whole image.
+pub(crate) fn merge_live_prefix<B: StorageBackend + ?Sized>(
+    backend: &B,
+    up_to: u64,
+) -> io::Result<MergeOutcome> {
+    let live: Vec<ChainEntry> = backend
+        .chain()?
+        .into_iter()
+        .filter(|c| c.epoch <= up_to)
+        .collect();
+    let Some(&last) = live.last() else {
+        return Err(io::Error::new(
+            io::ErrorKind::NotFound,
+            format!("compact({up_to}): no live epoch at or below it"),
+        ));
+    };
+    if last.epoch != up_to {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!(
+                "compact({up_to}): epoch not live (newest live at or below is {})",
+                last.epoch
+            ),
+        ));
+    }
+    if live.len() == 1 && last.kind == EpochKind::Full {
+        return Ok(MergeOutcome::AlreadyCompact);
+    }
+    let from = live[0].epoch;
+    let mut pages: BTreeMap<u64, Vec<u8>> = BTreeMap::new();
+    let mut bytes_before = 0u64;
+    for c in &live {
+        backend.read_epoch(c.epoch, &mut |p, d| {
+            bytes_before += d.len() as u64;
+            pages.insert(p, d.to_vec());
+        })?;
+    }
+    Ok(MergeOutcome::Merged {
+        from,
+        segments: live.len() as u64,
+        bytes_before,
+        records: pages.into_iter().collect(),
+    })
 }
 
 /// Convenience: write a full epoch from an iterator through a single stream

@@ -159,6 +159,10 @@ impl<B: StorageBackend> StorageBackend for FailingBackend<B> {
         self.inner.bytes_written()
     }
 
+    fn bytes_stored(&self) -> u64 {
+        self.inner.bytes_stored()
+    }
+
     fn chain(&self) -> io::Result<Vec<crate::backend::ChainEntry>> {
         self.inner.chain()
     }

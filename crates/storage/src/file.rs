@@ -14,10 +14,26 @@
 //! blob_layout               named metadata blobs (`put_blob`)
 //! ```
 //!
-//! Segment format: a 16-byte header (`AICKSEG1` + epoch), then per page
-//! `[page u64][len u32][crc64 u64][payload]`, all little-endian. CRCs are
-//! verified on read; a mismatch fails the restore rather than silently
-//! resurrecting corrupt state.
+//! ## Segment format
+//!
+//! New segments are written as version 2; version 1 files remain readable
+//! (the reader dispatches on the magic, so a directory can mix both after
+//! an upgrade). All integers little-endian.
+//!
+//! * **v1** (`AICKSEG1` + epoch, 16-byte header), per page:
+//!   `[page u64][len u32][crc64 u64][payload]` — always raw payloads.
+//! * **v2** (`AICKSEG2` + epoch, 16-byte header), per page:
+//!   `[page u64][enc u8][raw_len u32][stored_len u32][crc64 u64][stored]`
+//!   where `enc` is a [`codec::Encoding`] and `crc64` covers the
+//!   *uncompressed* payload — restore verification is independent of the
+//!   encoding, and a corrupt compressed stream surfaces as `InvalidData`
+//!   either from the decoder or from the CRC check.
+//!
+//! CRCs are verified on read; a mismatch fails the restore rather than
+//! silently resurrecting corrupt state. The per-record encoding is chosen
+//! by [`FileBackend::compression`] ([`Compression::Auto`] by default:
+//! smallest of raw/RLE/LZ, falling back to raw so incompressible data costs
+//! nothing but the 5 extra frame bytes).
 //!
 //! ## Compaction and crash recovery
 //!
@@ -52,10 +68,18 @@ use parking_lot::Mutex;
 
 use crate::backend::{ChainEntry, EpochKind, EpochWriter, StorageBackend};
 use crate::checksum::crc64;
+use crate::codec::{self, Compression, Encoding};
 use crate::manifest::{self, ManifestRecord, RecordKind};
 
-/// Magic prefix of a segment file.
-pub const SEGMENT_MAGIC: &[u8; 8] = b"AICKSEG1";
+/// Magic prefix of a version-1 segment file (raw records; still readable).
+pub const SEGMENT_MAGIC_V1: &[u8; 8] = b"AICKSEG1";
+
+/// Magic prefix of a version-2 segment file (per-record encodings).
+pub const SEGMENT_MAGIC_V2: &[u8; 8] = b"AICKSEG2";
+
+/// Compat alias for pre-v2 callers (names the v1 magic; new segments are
+/// written with [`SEGMENT_MAGIC_V2`]).
+pub const SEGMENT_MAGIC: &[u8; 8] = SEGMENT_MAGIC_V1;
 
 /// Name of the append-only commit log inside the checkpoint directory
 /// (shared by the read path and the epoch writer's commit point).
@@ -65,6 +89,9 @@ const MANIFEST_FILE: &str = "MANIFEST";
 struct FileShared {
     /// Payload bytes accepted across all sessions (diagnostics).
     bytes_written: AtomicU64,
+    /// Physical bytes stored after per-record encoding (diagnostics; equals
+    /// `bytes_written` when compression never pays or is disabled).
+    bytes_stored: AtomicU64,
     /// At most one epoch session may be open.
     epoch_open: AtomicBool,
     /// Serialises manifest appends between the committer's `finish` and the
@@ -81,6 +108,9 @@ pub struct FileBackend {
     /// `fsync` on epoch finish (and blob writes). Disable only for
     /// throughput experiments where durability is irrelevant.
     pub sync_on_finish: bool,
+    /// Per-record payload encoding policy for new segments (v2 framing
+    /// either way; see the module docs).
+    pub compression: Compression,
 }
 
 #[derive(Debug)]
@@ -102,9 +132,16 @@ impl FileBackend {
             dir,
             shared: Arc::new(FileShared::default()),
             sync_on_finish: true,
+            compression: Compression::default(),
         };
         backend.sweep_orphans()?;
         Ok(backend)
+    }
+
+    /// Set the payload-encoding policy for subsequently written segments.
+    pub fn with_compression(mut self, compression: Compression) -> Self {
+        self.compression = compression;
+        self
     }
 
     /// The backing directory.
@@ -187,12 +224,32 @@ fn parse_segment_name(name: &str, prefix: &str) -> Option<u64> {
         .ok()
 }
 
+/// Append one v2 page record under `compression`, returning the stored
+/// (post-encoding) payload length. The CRC covers the uncompressed payload.
+fn write_record_v2(
+    w: &mut impl Write,
+    page: u64,
+    data: &[u8],
+    compression: Compression,
+) -> io::Result<u64> {
+    let (enc, encoded) = codec::encode(data, compression);
+    let stored = encoded.as_deref().unwrap_or(data);
+    w.write_all(&page.to_le_bytes())?;
+    w.write_all(&[enc as u8])?;
+    w.write_all(&(data.len() as u32).to_le_bytes())?;
+    w.write_all(&(stored.len() as u32).to_le_bytes())?;
+    w.write_all(&crc64(data).to_le_bytes())?;
+    w.write_all(stored)?;
+    Ok(stored.len() as u64)
+}
+
 /// Open-epoch session on a [`FileBackend`].
 struct FileEpochWriter {
     shared: Arc<FileShared>,
     dir: PathBuf,
     epoch: u64,
     sync_on_finish: bool,
+    compression: Compression,
     /// `None` once closed (finished or aborted).
     open: Mutex<Option<OpenEpoch>>,
 }
@@ -210,15 +267,15 @@ impl EpochWriter for FileEpochWriter {
             .as_mut()
             .ok_or_else(|| io::Error::other("epoch session closed"))?;
         for &(page, data) in batch {
-            open.writer.write_all(&page.to_le_bytes())?;
-            open.writer.write_all(&(data.len() as u32).to_le_bytes())?;
-            open.writer.write_all(&crc64(data).to_le_bytes())?;
-            open.writer.write_all(data)?;
+            let stored = write_record_v2(&mut open.writer, page, data, self.compression)?;
             open.records += 1;
             open.payload_bytes += data.len() as u64;
             self.shared
                 .bytes_written
                 .fetch_add(data.len() as u64, Ordering::Relaxed);
+            self.shared
+                .bytes_stored
+                .fetch_add(stored, Ordering::Relaxed);
         }
         Ok(())
     }
@@ -302,7 +359,7 @@ impl StorageBackend for FileBackend {
                 .truncate(true)
                 .open(Self::segment_path(&self.dir, epoch))?;
             let mut writer = BufWriter::with_capacity(1 << 20, file);
-            writer.write_all(SEGMENT_MAGIC)?;
+            writer.write_all(SEGMENT_MAGIC_V2)?;
             writer.write_all(&epoch.to_le_bytes())?;
             Ok(OpenEpoch {
                 writer,
@@ -316,6 +373,7 @@ impl StorageBackend for FileBackend {
                 dir: self.dir.clone(),
                 epoch,
                 sync_on_finish: self.sync_on_finish,
+                compression: self.compression,
                 open: Mutex::new(Some(open)),
             })),
             Err(e) => {
@@ -372,6 +430,10 @@ impl StorageBackend for FileBackend {
         self.shared.bytes_written.load(Ordering::Relaxed)
     }
 
+    fn bytes_stored(&self) -> u64 {
+        self.shared.bytes_stored.load(Ordering::Relaxed)
+    }
+
     fn supports_compaction(&self) -> bool {
         true
     }
@@ -414,13 +476,14 @@ impl StorageBackend for FileBackend {
         {
             let file = File::create(&tmp)?;
             let mut w = BufWriter::with_capacity(1 << 20, file);
-            w.write_all(SEGMENT_MAGIC)?;
+            w.write_all(SEGMENT_MAGIC_V2)?;
             w.write_all(&into.to_le_bytes())?;
             for (page, data) in records {
-                w.write_all(&page.to_le_bytes())?;
-                w.write_all(&(data.len() as u32).to_le_bytes())?;
-                w.write_all(&crc64(data).to_le_bytes())?;
-                w.write_all(data)?;
+                // The folded full segment re-encodes every surviving page
+                // under the current policy (deltas may have been written
+                // raw by an older process; the rewrite is the natural place
+                // to shrink them).
+                write_record_v2(&mut w, *page, data, self.compression)?;
                 payload_bytes += data.len() as u64;
             }
             let file = w
@@ -477,22 +540,27 @@ impl StorageBackend for FileBackend {
     }
 }
 
-/// Stream one segment file, verifying magic, epoch and per-record CRCs.
-fn read_segment(
-    path: &Path,
-    epoch: u64,
-    records: u64,
-    visit: &mut dyn FnMut(u64, &[u8]),
-) -> io::Result<()> {
-    let mut reader = BufReader::with_capacity(1 << 20, File::open(path)?);
+/// Segment-format version, dispatched on the file's magic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SegmentVersion {
+    V1,
+    V2,
+}
+
+/// Read and validate a segment header, returning the format version.
+fn read_segment_header(reader: &mut impl Read, epoch: u64) -> io::Result<SegmentVersion> {
     let mut header = [0u8; 16];
     reader.read_exact(&mut header)?;
-    if &header[..8] != SEGMENT_MAGIC {
-        return Err(io::Error::new(
-            io::ErrorKind::InvalidData,
-            "bad segment magic",
-        ));
-    }
+    let version = match &header[..8] {
+        m if m == SEGMENT_MAGIC_V1 => SegmentVersion::V1,
+        m if m == SEGMENT_MAGIC_V2 => SegmentVersion::V2,
+        _ => {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "bad segment magic",
+            ))
+        }
+    };
     let seg_epoch = u64::from_le_bytes(header[8..16].try_into().unwrap());
     if seg_epoch != epoch {
         return Err(io::Error::new(
@@ -500,35 +568,118 @@ fn read_segment(
             format!("segment claims epoch {seg_epoch}, expected {epoch}"),
         ));
     }
-    let mut frame = [0u8; 20];
-    let mut payload = Vec::new();
+    Ok(version)
+}
+
+/// Stream one segment file (either version), verifying magic, epoch and
+/// per-record CRCs — always computed over the uncompressed payload, so a
+/// compressed record that decodes wrongly can never pass verification.
+fn read_segment(
+    path: &Path,
+    epoch: u64,
+    records: u64,
+    visit: &mut dyn FnMut(u64, &[u8]),
+) -> io::Result<()> {
+    let mut reader = BufReader::with_capacity(1 << 20, File::open(path)?);
+    let version = read_segment_header(&mut reader, epoch)?;
+    let mut stored = Vec::new();
     for _ in 0..records {
-        reader.read_exact(&mut frame)?;
-        let page = u64::from_le_bytes(frame[0..8].try_into().unwrap());
-        let len = u32::from_le_bytes(frame[8..12].try_into().unwrap()) as usize;
-        let crc = u64::from_le_bytes(frame[12..20].try_into().unwrap());
-        payload.resize(len, 0);
-        reader.read_exact(&mut payload)?;
-        if crc64(&payload) != crc {
+        let (page, crc, raw_len, enc) = match version {
+            SegmentVersion::V1 => {
+                let mut frame = [0u8; 20];
+                reader.read_exact(&mut frame)?;
+                let page = u64::from_le_bytes(frame[0..8].try_into().unwrap());
+                let len = u32::from_le_bytes(frame[8..12].try_into().unwrap()) as usize;
+                let crc = u64::from_le_bytes(frame[12..20].try_into().unwrap());
+                stored.resize(len, 0);
+                reader.read_exact(&mut stored)?;
+                (page, crc, len, Encoding::Raw)
+            }
+            SegmentVersion::V2 => {
+                let mut frame = [0u8; 25];
+                reader.read_exact(&mut frame)?;
+                let page = u64::from_le_bytes(frame[0..8].try_into().unwrap());
+                let enc = Encoding::from_u8(frame[8])?;
+                let raw_len = u32::from_le_bytes(frame[9..13].try_into().unwrap()) as usize;
+                let stored_len = u32::from_le_bytes(frame[13..17].try_into().unwrap()) as usize;
+                let crc = u64::from_le_bytes(frame[17..25].try_into().unwrap());
+                stored.resize(stored_len, 0);
+                reader.read_exact(&mut stored)?;
+                (page, crc, raw_len, enc)
+            }
+        };
+        let decoded = codec::decode(enc, &stored, raw_len)?;
+        let payload = decoded.as_deref().unwrap_or(&stored);
+        if crc64(payload) != crc {
             return Err(io::Error::new(
                 io::ErrorKind::InvalidData,
                 format!("CRC mismatch for page {page} in epoch {epoch}"),
             ));
         }
-        visit(page, &payload);
+        visit(page, payload);
     }
     Ok(())
 }
 
-/// Corrupt a single byte of a page's payload inside a finished segment —
-/// test helper for integrity verification (exposed so integration tests and
-/// failure-injection examples can share it).
+/// Hand-write a v1 (`AICKSEG1`) segment plus its manifest record, exactly
+/// as the pre-upgrade backend laid them out — test-support helper for the
+/// cross-version compatibility suites, kept next to the reader so a format
+/// change updates writer and parser together. Not used by any production
+/// path (new segments are always v2).
+pub fn write_v1_epoch_for_tests(
+    dir: &Path,
+    epoch: u64,
+    pages: &[(u64, Vec<u8>)],
+) -> io::Result<()> {
+    fs::create_dir_all(dir)?;
+    let mut seg = Vec::new();
+    seg.extend_from_slice(SEGMENT_MAGIC_V1);
+    seg.extend_from_slice(&epoch.to_le_bytes());
+    let mut payload_bytes = 0u64;
+    for (page, data) in pages {
+        seg.extend_from_slice(&page.to_le_bytes());
+        seg.extend_from_slice(&(data.len() as u32).to_le_bytes());
+        seg.extend_from_slice(&crc64(data).to_le_bytes());
+        seg.extend_from_slice(data);
+        payload_bytes += data.len() as u64;
+    }
+    fs::write(FileBackend::segment_path(dir, epoch), &seg)?;
+    manifest::append(
+        &dir.join(MANIFEST_FILE),
+        ManifestRecord::delta(epoch, pages.len() as u64, payload_bytes),
+    )
+}
+
+/// Corrupt a single byte of the first record's *stored* payload inside a
+/// finished segment — test helper for integrity verification (exposed so
+/// integration tests and failure-injection examples can share it). Parses
+/// the segment header, so it works for both v1 and v2 (compressed) layouts;
+/// `byte_offset` is taken modulo the stored payload length.
 pub fn corrupt_record_payload(dir: &Path, epoch: u64, byte_offset: u64) -> io::Result<()> {
     let path = dir.join(format!("epoch_{epoch:010}.seg"));
     let mut f = OpenOptions::new().read(true).write(true).open(path)?;
-    // Header is 16 bytes; first record frame is 20 bytes; flip inside the
-    // first payload.
-    let pos = 16 + 20 + byte_offset;
+    let version = read_segment_header(&mut f, epoch)?;
+    let (frame_len, stored_len) = match version {
+        SegmentVersion::V1 => {
+            let mut frame = [0u8; 20];
+            f.read_exact(&mut frame)?;
+            let len = u32::from_le_bytes(frame[8..12].try_into().unwrap()) as u64;
+            (20u64, len)
+        }
+        SegmentVersion::V2 => {
+            let mut frame = [0u8; 25];
+            f.read_exact(&mut frame)?;
+            let len = u32::from_le_bytes(frame[13..17].try_into().unwrap()) as u64;
+            (25u64, len)
+        }
+    };
+    if stored_len == 0 {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            "first record has an empty payload",
+        ));
+    }
+    let pos = 16 + frame_len + byte_offset % stored_len;
     let mut b = [0u8; 1];
     f.seek(SeekFrom::Start(pos))?;
     f.read_exact(&mut b)?;

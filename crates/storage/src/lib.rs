@@ -7,7 +7,7 @@
 //!
 //! * [`backend`] — the `StorageBackend` trait (epoch-structured page sink +
 //!   source with named metadata blobs);
-//! * [`file`] — POSIX file-system backend: per-epoch segment files with
+//! * [`file`](mod@file) — POSIX file-system backend: per-epoch segment files with
 //!   CRC-64-protected records and an append-only commit manifest (covers
 //!   both local disks and PVFS-style parallel file systems, which mount as
 //!   directories);
@@ -22,6 +22,8 @@
 //! * [`tiered`] — fast-tier + slow-tier pipeline with a background drain
 //!   queue (the VELOC-style multi-level checkpoint path);
 //! * [`manifest`] / [`checksum`] — the commit log and integrity primitives;
+//! * [`codec`] — per-record payload encodings (raw / RLE / vendored LZ)
+//!   for `AICKSEG2` segments, CRC-verified over the uncompressed bytes;
 //! * [`image`] — latest-wins reconstruction for restart, starting from the
 //!   newest full (compacted) segment.
 //!
@@ -35,6 +37,7 @@
 
 pub mod backend;
 pub mod checksum;
+pub mod codec;
 pub mod failing;
 pub mod file;
 pub mod image;
@@ -50,6 +53,7 @@ pub use backend::{
     write_epoch, ChainEntry, CompactionStats, EpochKind, EpochWriter, StorageBackend,
 };
 pub use checksum::{crc64, crc64_update};
+pub use codec::{Compression, Encoding};
 pub use failing::{FailingBackend, FailureControl};
 pub use file::FileBackend;
 pub use image::CheckpointImage;

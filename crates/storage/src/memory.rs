@@ -13,9 +13,37 @@ use std::sync::Arc;
 use parking_lot::Mutex;
 
 use crate::backend::{ChainEntry, EpochKind, EpochWriter, StorageBackend};
+use crate::codec::{self, Compression, Encoding};
+
+/// One stored page payload: kept in its encoded form (same codec as the
+/// file backend's `AICKSEG2` records), decoded on read.
+#[derive(Debug, Clone)]
+struct StoredPayload {
+    enc: Encoding,
+    raw_len: usize,
+    stored: Vec<u8>,
+}
+
+impl StoredPayload {
+    fn encode(data: &[u8], compression: Compression) -> Self {
+        let (enc, encoded) = codec::encode(data, compression);
+        Self {
+            enc,
+            raw_len: data.len(),
+            stored: encoded.unwrap_or_else(|| data.to_vec()),
+        }
+    }
+
+    /// Decoded payload bytes (in-memory records cannot be corrupt).
+    fn decode(&self) -> Vec<u8> {
+        codec::decode(self.enc, &self.stored, self.raw_len)
+            .expect("in-memory record decodes")
+            .unwrap_or_else(|| self.stored.clone())
+    }
+}
 
 /// Page records of one epoch, in arrival order.
-type Records = Vec<(u64, Vec<u8>)>;
+type Records = Vec<(u64, StoredPayload)>;
 
 #[derive(Debug, Default)]
 struct Store {
@@ -30,10 +58,28 @@ struct Store {
     blobs: BTreeMap<String, Vec<u8>>,
 }
 
-#[derive(Debug, Default)]
+#[derive(Debug)]
 struct Shared {
     store: Mutex<Store>,
     bytes_written: AtomicU64,
+    bytes_stored: AtomicU64,
+    compression: Compression,
+}
+
+impl Default for Shared {
+    fn default() -> Self {
+        Self {
+            store: Mutex::default(),
+            bytes_written: AtomicU64::new(0),
+            bytes_stored: AtomicU64::new(0),
+            // Raw by default: the common role of an in-memory backend is
+            // the latency-critical fast tier (or a test double), where
+            // encode-at-commit + decode-at-drain would be pure overhead —
+            // the durable tier re-encodes anyway. Opt in per instance via
+            // `MemoryBackend::with_compression`.
+            compression: Compression::None,
+        }
+    }
 }
 
 /// Backend keeping everything in RAM.
@@ -43,9 +89,21 @@ pub struct MemoryBackend {
 }
 
 impl MemoryBackend {
-    /// Fresh, empty backend.
+    /// Fresh, empty backend (records stored raw; see
+    /// [`MemoryBackend::with_compression`] to opt into the `AICKSEG2`
+    /// codec).
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Fresh backend with an explicit payload-encoding policy.
+    pub fn with_compression(compression: Compression) -> Self {
+        Self {
+            shared: Arc::new(Shared {
+                compression,
+                ..Shared::default()
+            }),
+        }
     }
 
     /// A backend plus a second handle observing the same store (both are
@@ -55,9 +113,14 @@ impl MemoryBackend {
         (b.clone(), b)
     }
 
-    /// Snapshot of a finished epoch's records (test convenience).
+    /// Snapshot of a finished epoch's records, decoded (test convenience).
     pub fn epoch_records(&self, epoch: u64) -> Option<Vec<(u64, Vec<u8>)>> {
-        self.shared.store.lock().finished.get(&epoch).cloned()
+        self.shared
+            .store
+            .lock()
+            .finished
+            .get(&epoch)
+            .map(|records| records.iter().map(|(p, d)| (*p, d.decode())).collect())
     }
 
     /// Page count across all finished epochs.
@@ -113,12 +176,21 @@ impl EpochWriter for MemoryEpochWriter {
             return Err(io::Error::other("epoch session closed"));
         }
         let bytes: u64 = batch.iter().map(|(_, d)| d.len() as u64).sum();
+        let compression = self.shared.compression;
         match &mut s.open {
             Some((epoch, records)) if *epoch == self.epoch => {
-                records.extend(batch.iter().map(|&(p, d)| (p, d.to_vec())));
+                let mut stored_bytes = 0u64;
+                records.extend(batch.iter().map(|&(p, d)| {
+                    let rec = StoredPayload::encode(d, compression);
+                    stored_bytes += rec.stored.len() as u64;
+                    (p, rec)
+                }));
                 self.shared
                     .bytes_written
                     .fetch_add(bytes, Ordering::Relaxed);
+                self.shared
+                    .bytes_stored
+                    .fetch_add(stored_bytes, Ordering::Relaxed);
                 Ok(())
             }
             _ => Err(io::Error::other("no open epoch")),
@@ -177,22 +249,29 @@ impl StorageBackend for MemoryBackend {
     }
 
     fn read_epoch(&self, epoch: u64, visit: &mut dyn FnMut(u64, &[u8])) -> io::Result<()> {
-        // Visit under the store lock (no copy of the epoch's records):
-        // `visit` must not reenter this backend, which no restore-path
-        // consumer does.
+        // Visit under the store lock (records are decoded one at a time,
+        // never snapshot wholesale): `visit` must not reenter this backend,
+        // which no restore-path consumer does.
         let s = self.shared.store.lock();
         let records = s
             .finished
             .get(&epoch)
             .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, format!("epoch {epoch}")))?;
         for (page, data) in records {
-            visit(*page, data);
+            match codec::decode(data.enc, &data.stored, data.raw_len)? {
+                Some(decoded) => visit(*page, &decoded),
+                None => visit(*page, &data.stored),
+            }
         }
         Ok(())
     }
 
     fn bytes_written(&self) -> u64 {
         self.shared.bytes_written.load(Ordering::Relaxed)
+    }
+
+    fn bytes_stored(&self) -> u64 {
+        self.shared.bytes_stored.load(Ordering::Relaxed)
     }
 
     fn chain(&self) -> io::Result<Vec<ChainEntry>> {
@@ -227,9 +306,16 @@ impl StorageBackend for MemoryBackend {
                 format!("install_compacted: epoch {into} is not live"),
             ));
         }
+        // Like the file backend's fold: surviving pages are re-encoded
+        // under the current policy.
+        let compression = self.shared.compression;
+        let encoded: Records = records
+            .iter()
+            .map(|(p, d)| (*p, StoredPayload::encode(d, compression)))
+            .collect();
         s.finished.retain(|&e, _| e > into);
         s.full.retain(|&e| e > into);
-        s.finished.insert(into, records.to_vec());
+        s.finished.insert(into, encoded);
         s.full.insert(into);
         Ok(())
     }

@@ -122,6 +122,10 @@ impl StorageBackend for ReplicatedBackend {
         self.replicas.first().map_or(0, |r| r.bytes_written())
     }
 
+    fn bytes_stored(&self) -> u64 {
+        self.replicas.first().map_or(0, |r| r.bytes_stored())
+    }
+
     fn chain(&self) -> io::Result<Vec<crate::backend::ChainEntry>> {
         self.read_fallback(|r| r.chain())
     }

@@ -210,6 +210,10 @@ impl<B: StorageBackend> StorageBackend for ThrottledBackend<B> {
         self.inner.bytes_written()
     }
 
+    fn bytes_stored(&self) -> u64 {
+        self.inner.bytes_stored()
+    }
+
     fn chain(&self) -> io::Result<Vec<crate::backend::ChainEntry>> {
         self.inner.chain()
     }

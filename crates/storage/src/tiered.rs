@@ -16,7 +16,8 @@
 //! * `compact` drains everything up to the target first, then folds the
 //!   slow tier's chain — the long chain lives (and is bounded) there.
 //!
-//! Crash story: the fast tier is typically volatile ([`MemoryBackend`]), so
+//! Crash story: the fast tier is typically volatile
+//! ([`MemoryBackend`](crate::memory::MemoryBackend)), so
 //! a crash loses exactly the epochs that had not drained yet — the slow
 //! tier always holds a consistent prefix of the chain (drains are
 //! oldest-first and each epoch is committed to the slow tier before it is
@@ -234,6 +235,10 @@ impl StorageBackend for TieredBackend {
         self.fast.bytes_written()
     }
 
+    fn bytes_stored(&self) -> u64 {
+        self.fast.bytes_stored()
+    }
+
     fn supports_compaction(&self) -> bool {
         // Folds happen on the slow tier (see `compact`).
         self.slow.supports_compaction()
@@ -260,6 +265,20 @@ impl StorageBackend for TieredBackend {
         // whatever part of the target range is still in the fast tier.
         self.drain_through(up_to)?;
         self.slow.compact(up_to)
+    }
+
+    fn install_compacted(
+        &self,
+        from: u64,
+        into: u64,
+        records: &[(u64, Vec<u8>)],
+    ) -> io::Result<()> {
+        // A wrapper above this backend (e.g. `ParityBackend`) may run the
+        // default merge itself and install through this primitive. The full
+        // segment belongs on the durable tier, so everything it supersedes
+        // must have drained there first.
+        self.drain_through(into)?;
+        self.slow.install_compacted(from, into, records)
     }
 
     fn remove_epoch(&self, epoch: u64) -> io::Result<()> {

@@ -141,6 +141,56 @@ fn truncated_segment_fails_cleanly() {
 }
 
 #[test]
+fn torn_v2_segment_with_compressed_record_fails_cleanly() {
+    // A v2 epoch whose payloads compress (constant fill -> RLE): tearing
+    // the segment anywhere inside a compressed record must fail the
+    // restore of that epoch cleanly — decoder error or short read, never a
+    // partial/garbage page — while earlier epochs stay byte-identical.
+    let dir = tmpdir("torn-v2");
+    {
+        let b = FileBackend::open(&dir).unwrap();
+        write_epoch(&b, 1, epoch_pages(1)).unwrap();
+        write_epoch(
+            &b,
+            2,
+            vec![
+                (0, vec![0x5A; 4096]),
+                (1, vec![0xA5; 4096]),
+                (2, vec![7; 64]),
+            ],
+        )
+        .unwrap();
+    }
+    let seg = dir.join("epoch_0000000002.seg");
+    let full_len = fs::metadata(&seg).unwrap().len();
+    assert!(
+        full_len < 16 + 3 * (25 + 4096),
+        "compression kicked in ({full_len} bytes), so cuts land inside \
+         compressed records"
+    );
+    for cut in [1u64, 3, 9, full_len / 2, full_len - 17] {
+        let dir2 = tmpdir(&format!("torn-v2-{cut}"));
+        fs::create_dir_all(&dir2).unwrap();
+        for entry in fs::read_dir(&dir).unwrap() {
+            let e = entry.unwrap();
+            fs::copy(e.path(), dir2.join(e.file_name())).unwrap();
+        }
+        let seg2 = dir2.join("epoch_0000000002.seg");
+        let f = OpenOptions::new().write(true).open(&seg2).unwrap();
+        f.set_len(full_len - cut).unwrap();
+        drop(f);
+        let b = FileBackend::open(&dir2).unwrap();
+        assert!(
+            CheckpointImage::load(&b, 2).is_err(),
+            "cut {cut}: torn compressed record must not restore"
+        );
+        assert_image_matches(&b, 1);
+        fs::remove_dir_all(&dir2).unwrap();
+    }
+    fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
 fn corrupted_full_segment_fails_cleanly() {
     let dir = tmpdir("bad-full");
     let b = populate(&dir, 3);

@@ -1,0 +1,285 @@
+//! A minimal, dependency-free LZ77-style codec in the spirit of LZ4's block
+//! format, vendored because the build environment is offline (see
+//! `vendor/README.md`).
+//!
+//! ## Block format
+//!
+//! A compressed block is a sequence of *tokens*:
+//!
+//! ```text
+//! [token u8][ext literal lens...][literals][offset u16 le][ext match lens...]
+//! ```
+//!
+//! * high nibble of the token: literal run length (15 = read extension
+//!   bytes, each 0-255, until a byte < 255);
+//! * literals follow verbatim;
+//! * low nibble: match length − `MIN_MATCH` (15 = same extension scheme);
+//!   a match copies `len` bytes from `out_pos - offset`, and overlapping
+//!   copies (offset < len) repeat the window byte-by-byte, RLE-style;
+//! * the final token of a block may omit the offset/match half entirely
+//!   (trailing literals).
+//!
+//! The format is self-terminating on the input length; the decoder takes
+//! the exact decompressed size (callers of a checkpoint record know it from
+//! the record header) and fails on any mismatch or out-of-window reference
+//! instead of reading out of bounds.
+
+#![warn(missing_docs)]
+
+/// Shortest match worth encoding (a token + offset costs 3 bytes).
+const MIN_MATCH: usize = 4;
+
+/// Window the 16-bit offset can reach back.
+const MAX_OFFSET: usize = u16::MAX as usize;
+
+/// Hash-table size for match finding. 2048 u32 entries = 8 KiB of stack,
+/// zero-initialised per call — sized for the page-record inputs the
+/// checkpoint pipeline feeds this codec (a table much larger than the
+/// input would make the per-call init, not the scan, the dominant cost).
+const HASH_BITS: u32 = 11;
+
+/// Hash-table sentinel: no candidate position recorded.
+const EMPTY: u32 = u32::MAX;
+
+#[inline]
+fn hash4(data: &[u8], i: usize) -> usize {
+    let v = u32::from_le_bytes([data[i], data[i + 1], data[i + 2], data[i + 3]]);
+    (v.wrapping_mul(0x9E37_79B1) >> (32 - HASH_BITS)) as usize
+}
+
+fn push_len(out: &mut Vec<u8>, mut len: usize) {
+    while len >= 255 {
+        out.push(255);
+        len -= 255;
+    }
+    out.push(len as u8);
+}
+
+/// Compress `input`. The output is never guaranteed to be smaller — callers
+/// compare lengths and keep the raw bytes when compression does not pay.
+pub fn compress(input: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(input.len() / 2 + 16);
+    let mut table = [EMPTY; 1 << HASH_BITS];
+    let mut pos = 0usize;
+    let mut literal_start = 0usize;
+    // Candidate positions are stored as u32 (halves the table the hot path
+    // zero-fills); beyond that range matching stops and the tail is
+    // emitted as literals — far past any checkpoint record, whose stored
+    // length is itself a u32.
+    let match_horizon = input.len().min(EMPTY as usize);
+    while pos + MIN_MATCH <= match_horizon {
+        let h = hash4(input, pos);
+        let candidate = table[h];
+        table[h] = pos as u32;
+        let candidate = candidate as usize;
+        let found = candidate != EMPTY as usize
+            && pos - candidate <= MAX_OFFSET
+            && input[candidate..candidate + MIN_MATCH] == input[pos..pos + MIN_MATCH];
+        if !found {
+            pos += 1;
+            continue;
+        }
+        // Extend the match as far as it goes.
+        let mut len = MIN_MATCH;
+        while pos + len < input.len() && input[candidate + len] == input[pos + len] {
+            len += 1;
+        }
+        emit_token(
+            &mut out,
+            &input[literal_start..pos],
+            Some((pos - candidate, len)),
+        );
+        // Seed the table inside the match so runs keep finding themselves.
+        let end = pos + len;
+        while pos < end && pos + MIN_MATCH <= match_horizon {
+            table[hash4(input, pos)] = pos as u32;
+            pos += 1;
+        }
+        pos = end;
+        literal_start = pos;
+    }
+    if literal_start < input.len() || input.is_empty() {
+        emit_token(&mut out, &input[literal_start..], None);
+    }
+    out
+}
+
+fn emit_token(out: &mut Vec<u8>, literals: &[u8], m: Option<(usize, usize)>) {
+    let lit_nibble = literals.len().min(15) as u8;
+    let match_nibble = match m {
+        Some((_, len)) => (len - MIN_MATCH).min(15) as u8,
+        // Trailing-literals token: the decoder knows from the input length
+        // that no offset follows, so the nibble value is irrelevant.
+        None => 0,
+    };
+    out.push((lit_nibble << 4) | match_nibble);
+    if literals.len() >= 15 {
+        push_len(out, literals.len() - 15);
+    }
+    out.extend_from_slice(literals);
+    if let Some((offset, len)) = m {
+        debug_assert!((1..=MAX_OFFSET).contains(&offset));
+        out.extend_from_slice(&(offset as u16).to_le_bytes());
+        if len - MIN_MATCH >= 15 {
+            push_len(out, len - MIN_MATCH - 15);
+        }
+    }
+}
+
+/// Decompression failure: the block is corrupt (or was not produced by
+/// [`compress`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecodeError(pub &'static str);
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "minilz decode error: {}", self.0)
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+fn read_ext_len(input: &[u8], pos: &mut usize, base: usize) -> Result<usize, DecodeError> {
+    let mut len = base;
+    if base == 15 {
+        loop {
+            let b = *input.get(*pos).ok_or(DecodeError("truncated length"))?;
+            *pos += 1;
+            len += b as usize;
+            if b < 255 {
+                break;
+            }
+        }
+    }
+    Ok(len)
+}
+
+/// Decompress a block produced by [`compress`] into exactly `raw_len`
+/// bytes. Any structural mismatch is an error, never a panic or an
+/// out-of-bounds read.
+pub fn decompress(input: &[u8], raw_len: usize) -> Result<Vec<u8>, DecodeError> {
+    let mut out = Vec::with_capacity(raw_len);
+    let mut pos = 0usize;
+    while pos < input.len() {
+        let token = input[pos];
+        pos += 1;
+        let lit_len = read_ext_len(input, &mut pos, (token >> 4) as usize)?;
+        let lit_end = pos.checked_add(lit_len).ok_or(DecodeError("overflow"))?;
+        if lit_end > input.len() {
+            return Err(DecodeError("truncated literals"));
+        }
+        out.extend_from_slice(&input[pos..lit_end]);
+        pos = lit_end;
+        if pos == input.len() {
+            break; // trailing-literals token
+        }
+        if pos + 2 > input.len() {
+            return Err(DecodeError("truncated offset"));
+        }
+        let offset = u16::from_le_bytes([input[pos], input[pos + 1]]) as usize;
+        pos += 2;
+        let match_len = read_ext_len(input, &mut pos, (token & 0x0F) as usize)? + MIN_MATCH;
+        if offset == 0 || offset > out.len() {
+            return Err(DecodeError("offset outside window"));
+        }
+        if out.len() + match_len > raw_len {
+            return Err(DecodeError("match overruns declared length"));
+        }
+        let start = out.len() - offset;
+        // Byte-by-byte: overlapping matches (offset < len) intentionally
+        // replicate the just-written bytes.
+        for i in 0..match_len {
+            let b = out[start + i];
+            out.push(b);
+        }
+    }
+    if out.len() != raw_len {
+        return Err(DecodeError("decoded length mismatch"));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(data: &[u8]) {
+        let c = compress(data);
+        let d = decompress(&c, data.len()).expect("decode");
+        assert_eq!(d, data);
+    }
+
+    #[test]
+    fn empty_and_tiny() {
+        round_trip(b"");
+        round_trip(b"a");
+        round_trip(b"abc");
+        round_trip(b"abcd");
+    }
+
+    #[test]
+    fn repetitive_input_shrinks() {
+        let data = vec![0xABu8; 4096];
+        let c = compress(&data);
+        assert!(c.len() < data.len() / 8, "constant page: {} bytes", c.len());
+        assert_eq!(decompress(&c, data.len()).unwrap(), data);
+    }
+
+    #[test]
+    fn structured_input_shrinks() {
+        let mut data = Vec::new();
+        for i in 0..256u32 {
+            data.extend_from_slice(&(i / 7).to_le_bytes());
+            data.extend_from_slice(b"field=");
+        }
+        let c = compress(&data);
+        assert!(c.len() < data.len(), "{} vs {}", c.len(), data.len());
+        assert_eq!(decompress(&c, data.len()).unwrap(), data);
+    }
+
+    #[test]
+    fn incompressible_round_trips() {
+        // A simple PRNG stream: effectively incompressible, must still be
+        // bit-exact (the caller, not the codec, decides whether to keep it).
+        let mut x = 0x1234_5678_9ABC_DEFFu64;
+        let data: Vec<u8> = (0..4096)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                x as u8
+            })
+            .collect();
+        round_trip(&data);
+    }
+
+    #[test]
+    fn long_runs_and_long_literals() {
+        let mut data = vec![7u8; 1000];
+        data.extend((0..1000u32).flat_map(|i| i.to_le_bytes()));
+        data.extend(vec![9u8; 70000]); // match-length extensions > 255
+        round_trip(&data);
+    }
+
+    #[test]
+    fn wrong_declared_length_is_an_error() {
+        let c = compress(b"hello hello hello hello");
+        assert!(decompress(&c, 5).is_err());
+        assert!(decompress(&c, 1 << 20).is_err());
+    }
+
+    #[test]
+    fn corrupt_blocks_error_not_panic() {
+        let data = vec![0x5Au8; 512];
+        let c = compress(&data);
+        for cut in [1, 2, 3, c.len() - 1] {
+            let _ = decompress(&c[..cut], data.len()); // must not panic
+        }
+        let mut bad = c.clone();
+        for i in 0..bad.len() {
+            bad[i] ^= 0xFF;
+            let _ = decompress(&bad, data.len()); // must not panic
+            bad[i] ^= 0xFF;
+        }
+    }
+}
