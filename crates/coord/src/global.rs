@@ -1,0 +1,388 @@
+//! The global commit manifest (`AICKGLB1`): a tiny append-only binary log
+//! recording which *group* epochs are globally consistent — the phase-2
+//! commit point of the two-phase protocol in
+//! [`CheckpointGroup`](crate::CheckpointGroup).
+//!
+//! A group epoch only "counts" once its [`GlobalRecordKind::Commit`] record
+//! exists: the record is appended *after* every rank durably finished the
+//! epoch, so a crash at any instant leaves either the previous globally
+//! consistent epoch (no record yet — the ranks' newer local epochs are
+//! orphans that open-time recovery retires) or the new one. This is the
+//! same write-ahead discipline as the per-rank `AICKMAN2` manifest, with
+//! one addition: every record carries a CRC-64, so a torn or scribbled
+//! tail is detected even when the tear happens to be record-aligned.
+//!
+//! ## Wire format
+//!
+//! `AICKGLB1` magic, then 29-byte records, all integers little-endian:
+//!
+//! ```text
+//! [kind u8][epoch u64][ranks u32][aux u64][crc64 u64]
+//! ```
+//!
+//! `crc64` covers the preceding 21 bytes. Readers return the longest valid
+//! prefix: parsing stops at the first incomplete or CRC-mismatched record
+//! (a crash mid-append can only tear the tail; anything after a tear is
+//! unreachable by the append protocol). [`append`] truncates that tear away
+//! before committing the new record, so the log never misaligns.
+
+use std::fs::{File, OpenOptions};
+use std::io::{self, Read, Write};
+use std::path::Path;
+
+use ai_ckpt_storage::crc64;
+
+/// Magic prefix of a version-1 global manifest.
+pub const GLOBAL_MAGIC: &[u8; 8] = b"AICKGLB1";
+
+/// What a global record says about its group epoch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GlobalRecordKind {
+    /// Every rank durably committed the epoch: it is globally consistent
+    /// and restorable.
+    Commit,
+    /// The group epoch was aborted (some rank failed phase 1); the number
+    /// is burned and the already-finished ranks' local epochs were retired.
+    Abort,
+}
+
+impl GlobalRecordKind {
+    fn to_wire(self) -> u8 {
+        match self {
+            GlobalRecordKind::Commit => 0,
+            GlobalRecordKind::Abort => 1,
+        }
+    }
+
+    fn from_wire(b: u8) -> Option<Self> {
+        match b {
+            0 => Some(GlobalRecordKind::Commit),
+            1 => Some(GlobalRecordKind::Abort),
+            _ => None,
+        }
+    }
+}
+
+/// One global-manifest entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GlobalRecord {
+    /// Commit or abort.
+    pub kind: GlobalRecordKind,
+    /// Group epoch number (equals every rank's local epoch number for this
+    /// checkpoint — the coordinator keeps ranks in numbering lockstep).
+    pub epoch: u64,
+    /// Group size when the record was appended (diagnostics; restore
+    /// cross-checks it against the group it is asked to rebuild).
+    pub ranks: u32,
+    /// Kind-dependent companion: for [`GlobalRecordKind::Abort`], the index
+    /// of the first rank that failed phase 1; 0 for commits.
+    pub aux: u64,
+}
+
+impl GlobalRecord {
+    /// A successful global commit.
+    pub fn commit(epoch: u64, ranks: u32) -> Self {
+        Self {
+            kind: GlobalRecordKind::Commit,
+            epoch,
+            ranks,
+            aux: 0,
+        }
+    }
+
+    /// An aborted group epoch (`failed_rank` = first rank that failed).
+    pub fn abort(epoch: u64, ranks: u32, failed_rank: u64) -> Self {
+        Self {
+            kind: GlobalRecordKind::Abort,
+            epoch,
+            ranks,
+            aux: failed_rank,
+        }
+    }
+
+    /// Record size on the wire.
+    pub const WIRE_LEN: usize = 29;
+
+    /// XOR-folded into the stored CRC so an all-zero region (fallocate'd
+    /// tail, zero-page scribble) can never self-validate — the plain CRC-64
+    /// of all-zero input is 0.
+    const CRC_SALT: u64 = u64::from_le_bytes(*GLOBAL_MAGIC);
+
+    fn to_bytes(self) -> [u8; Self::WIRE_LEN] {
+        let mut out = [0u8; Self::WIRE_LEN];
+        out[0] = self.kind.to_wire();
+        out[1..9].copy_from_slice(&self.epoch.to_le_bytes());
+        out[9..13].copy_from_slice(&self.ranks.to_le_bytes());
+        out[13..21].copy_from_slice(&self.aux.to_le_bytes());
+        let crc = crc64(&out[..21]) ^ Self::CRC_SALT;
+        out[21..29].copy_from_slice(&crc.to_le_bytes());
+        out
+    }
+
+    /// `None` when the bytes fail validation (torn/corrupt record).
+    fn from_bytes(b: &[u8]) -> Option<Self> {
+        debug_assert_eq!(b.len(), Self::WIRE_LEN);
+        let crc = u64::from_le_bytes(b[21..29].try_into().unwrap());
+        if crc64(&b[..21]) ^ Self::CRC_SALT != crc {
+            return None;
+        }
+        Some(Self {
+            kind: GlobalRecordKind::from_wire(b[0])?,
+            epoch: u64::from_le_bytes(b[1..9].try_into().unwrap()),
+            ranks: u32::from_le_bytes(b[9..13].try_into().unwrap()),
+            aux: u64::from_le_bytes(b[13..21].try_into().unwrap()),
+        })
+    }
+}
+
+/// Parse the longest valid record prefix of a raw log body (after the
+/// magic). Returns the records plus the byte length of the valid region.
+fn parse_prefix(body: &[u8]) -> (Vec<GlobalRecord>, usize) {
+    let mut records = Vec::new();
+    let mut valid = 0;
+    for chunk in body.chunks_exact(GlobalRecord::WIRE_LEN) {
+        match GlobalRecord::from_bytes(chunk) {
+            Some(r) => {
+                records.push(r);
+                valid += GlobalRecord::WIRE_LEN;
+            }
+            None => break,
+        }
+    }
+    (records, valid)
+}
+
+fn read_raw(path: &Path) -> io::Result<Option<Vec<u8>>> {
+    let mut f = match File::open(path) {
+        Ok(f) => f,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(e),
+    };
+    let mut buf = Vec::new();
+    f.read_to_end(&mut buf)?;
+    Ok(Some(buf))
+}
+
+/// Read the valid record prefix of a global manifest. A missing file is an
+/// empty log; so is one shorter than the magic — under the append protocol
+/// that can only be the remains of a crashed *first* append, so treating it
+/// as foreign would brick the group forever over a torn 8-byte write. A
+/// torn or corrupt record tail is dropped (the record's epoch never became
+/// consistent). Only a full-length wrong magic is a foreign file.
+pub fn read(path: &Path) -> io::Result<Vec<GlobalRecord>> {
+    match read_raw(path)? {
+        None => Ok(Vec::new()),
+        Some(buf) if buf.len() < GLOBAL_MAGIC.len() => Ok(Vec::new()),
+        Some(buf) => {
+            if &buf[..GLOBAL_MAGIC.len()] != GLOBAL_MAGIC {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    "bad global manifest magic",
+                ));
+            }
+            Ok(parse_prefix(&buf[GLOBAL_MAGIC.len()..]).0)
+        }
+    }
+}
+
+/// Truncate the log to its longest valid prefix and return that prefix —
+/// the once-per-open repair pass. After it, the file ends on a record
+/// boundary with every record CRC-valid, so [`append`] can realign by
+/// length alone (O(1) in log size) instead of re-validating the whole file
+/// on the latency-critical phase-2 commit path.
+pub fn repair(path: &Path) -> io::Result<Vec<GlobalRecord>> {
+    let Some(buf) = read_raw(path)? else {
+        return Ok(Vec::new());
+    };
+    if buf.len() < GLOBAL_MAGIC.len() {
+        // Torn first append: restart the log.
+        if !buf.is_empty() {
+            OpenOptions::new().write(true).open(path)?.set_len(0)?;
+        }
+        return Ok(Vec::new());
+    }
+    if &buf[..GLOBAL_MAGIC.len()] != GLOBAL_MAGIC {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "bad global manifest magic",
+        ));
+    }
+    let (records, valid) = parse_prefix(&buf[GLOBAL_MAGIC.len()..]);
+    let keep = (GLOBAL_MAGIC.len() + valid) as u64;
+    if keep < buf.len() as u64 {
+        let f = OpenOptions::new().write(true).open(path)?;
+        f.set_len(keep)?;
+        f.sync_all()?;
+    }
+    Ok(records)
+}
+
+/// Append one record, durably (write + fsync), creating the manifest with
+/// its magic header on first use. O(1) in log size: only the magic is
+/// peeked and a torn tail is excised by length modulo — complete within a
+/// process lifetime because [`repair`] already removed any record-aligned
+/// corruption a previous life could have left (a crashed `write_all` of one
+/// record can only leave a *short* tail, which the modulo catches).
+pub fn append(path: &Path, record: GlobalRecord) -> io::Result<()> {
+    let len = match File::open(path) {
+        Ok(mut f) => {
+            let mut magic = [0u8; 8];
+            match f.read_exact(&mut magic) {
+                Ok(()) if magic == *GLOBAL_MAGIC => Some(f.metadata()?.len()),
+                Ok(()) => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        "bad global manifest magic",
+                    ))
+                }
+                // Shorter than the magic: torn first append, restart.
+                Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => None,
+                Err(e) => return Err(e),
+            }
+        }
+        Err(e) if e.kind() == io::ErrorKind::NotFound => None,
+        Err(e) => return Err(e),
+    };
+    match len {
+        None => {
+            let mut f = OpenOptions::new()
+                .create(true)
+                .write(true)
+                .truncate(true)
+                .open(path)?;
+            f.write_all(GLOBAL_MAGIC)?;
+            f.write_all(&record.to_bytes())?;
+            f.sync_all()
+        }
+        Some(len) => {
+            let torn = (len - GLOBAL_MAGIC.len() as u64) % GlobalRecord::WIRE_LEN as u64;
+            if torn != 0 {
+                let f = OpenOptions::new().write(true).open(path)?;
+                f.set_len(len - torn)?;
+                f.sync_all()?;
+            }
+            let mut f = OpenOptions::new().append(true).open(path)?;
+            f.write_all(&record.to_bytes())?;
+            f.sync_all()
+        }
+    }
+}
+
+/// The newest globally consistent epoch of a record log, if any.
+pub fn last_committed(records: &[GlobalRecord]) -> Option<u64> {
+    records
+        .iter()
+        .filter(|r| r.kind == GlobalRecordKind::Commit)
+        .map(|r| r.epoch)
+        .max()
+}
+
+/// The highest group epoch number the log has ever accounted for —
+/// committed *or* aborted (aborted numbers stay burned: every rank's
+/// engine consumed them).
+pub fn high_water(records: &[GlobalRecord]) -> Option<u64> {
+    records.iter().map(|r| r.epoch).max()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp() -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "aickpt-global-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join("GLOBAL")
+    }
+
+    #[test]
+    fn append_and_read_round_trip() {
+        let path = tmp();
+        let _ = std::fs::remove_file(&path);
+        assert!(read(&path).unwrap().is_empty(), "missing file = empty log");
+        let records = vec![
+            GlobalRecord::commit(1, 4),
+            GlobalRecord::abort(2, 4, 3),
+            GlobalRecord::commit(3, 4),
+        ];
+        for r in &records {
+            append(&path, *r).unwrap();
+        }
+        assert_eq!(read(&path).unwrap(), records);
+        assert_eq!(last_committed(&records), Some(3));
+        assert_eq!(high_water(&records), Some(3));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn aborts_do_not_count_as_consistent() {
+        let records = vec![GlobalRecord::commit(1, 2), GlobalRecord::abort(2, 2, 0)];
+        assert_eq!(last_committed(&records), Some(1));
+        assert_eq!(high_water(&records), Some(2), "aborted number burned");
+        assert_eq!(last_committed(&[]), None);
+    }
+
+    #[test]
+    fn torn_tail_is_dropped_and_excised_on_append() {
+        let path = tmp();
+        let _ = std::fs::remove_file(&path);
+        let r1 = GlobalRecord::commit(1, 2);
+        append(&path, r1).unwrap();
+        {
+            let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+            f.write_all(&[0xAB; 11]).unwrap(); // crash mid-append
+        }
+        assert_eq!(read(&path).unwrap(), vec![r1], "tear ignored");
+        let r2 = GlobalRecord::commit(2, 2);
+        append(&path, r2).unwrap();
+        assert_eq!(read(&path).unwrap(), vec![r1, r2], "tear excised");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn crc_catches_record_aligned_corruption() {
+        let path = tmp();
+        let _ = std::fs::remove_file(&path);
+        append(&path, GlobalRecord::commit(1, 2)).unwrap();
+        // A record-aligned scribble (29 zero bytes would even parse as a
+        // kind-0 record without the CRC).
+        {
+            let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+            f.write_all(&[0u8; GlobalRecord::WIRE_LEN]).unwrap();
+        }
+        assert_eq!(read(&path).unwrap(), vec![GlobalRecord::commit(1, 2)]);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn torn_first_append_self_heals() {
+        // The process died mid-way through writing the very magic of a
+        // fresh log: the group must be able to restart, not brick.
+        let path = tmp();
+        let _ = std::fs::remove_file(&path);
+        std::fs::write(&path, &GLOBAL_MAGIC[..3]).unwrap();
+        assert!(read(&path).unwrap().is_empty(), "torn magic = empty log");
+        assert!(repair(&path).unwrap().is_empty());
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), 0, "restarted");
+        let r = GlobalRecord::commit(1, 2);
+        append(&path, r).unwrap();
+        assert_eq!(read(&path).unwrap(), vec![r]);
+        // Same for a direct append over the torn magic.
+        std::fs::write(&path, &GLOBAL_MAGIC[..5]).unwrap();
+        append(&path, r).unwrap();
+        assert_eq!(read(&path).unwrap(), vec![r]);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn bad_magic_is_an_error() {
+        let path = tmp();
+        std::fs::write(&path, b"NOTMAGIC________________________").unwrap();
+        assert!(read(&path).is_err());
+        assert!(append(&path, GlobalRecord::commit(1, 1)).is_err());
+        std::fs::remove_file(&path).unwrap();
+    }
+}

@@ -1,0 +1,87 @@
+//! Group-level metrics: the per-rank [`RuntimeStats`] rollup plus the
+//! global commit/abort history of the two-phase protocol.
+
+use ai_ckpt::RuntimeStats;
+
+/// Snapshot of a [`CheckpointGroup`](crate::CheckpointGroup)'s accumulated
+/// metrics.
+#[derive(Debug, Clone, Default)]
+pub struct GroupStats {
+    /// One runtime snapshot per rank, indexed by rank.
+    pub ranks: Vec<RuntimeStats>,
+    /// Group epochs that reached the phase-2 global append.
+    pub global_commits: u64,
+    /// Group epochs aborted (a rank failed phase 1, or the global append
+    /// itself failed and phase 1 was rolled back).
+    pub global_aborts: u64,
+    /// Rank-chain folds performed by group-driven maintenance.
+    pub group_compactions: u64,
+    /// Group-driven folds that failed (never fatal — the chain merely
+    /// stays longer until a later fold succeeds).
+    pub compaction_failures: u64,
+    /// The newest globally consistent epoch, if any.
+    pub last_committed: Option<u64>,
+}
+
+impl GroupStats {
+    /// Pages written to storage across all ranks and streams (pipeline
+    /// throughput — includes pages of epochs that later aborted, exactly
+    /// like the per-stream counters it sums).
+    pub fn pages_flushed(&self) -> u64 {
+        self.ranks
+            .iter()
+            .flat_map(|r| r.streams.iter())
+            .map(|s| s.pages)
+            .sum()
+    }
+
+    /// Payload bytes written to storage across all ranks and streams.
+    pub fn bytes_flushed(&self) -> u64 {
+        self.ranks
+            .iter()
+            .flat_map(|r| r.streams.iter())
+            .map(|s| s.bytes)
+            .sum()
+    }
+
+    /// Clean-dirty pages dropped before any I/O, summed over ranks (zero
+    /// when the content filter is off).
+    pub fn pages_skipped_clean(&self) -> u64 {
+        self.ranks.iter().map(|r| r.pages_skipped_clean).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ai_ckpt::stats::StreamStats;
+
+    #[test]
+    fn rollup_sums_across_ranks_and_streams() {
+        let rank = |pages: u64, bytes: u64, skipped: u64| RuntimeStats {
+            streams: vec![
+                StreamStats {
+                    stream: 0,
+                    pages,
+                    bytes,
+                    batches: 1,
+                },
+                StreamStats {
+                    stream: 1,
+                    pages: pages * 2,
+                    bytes: bytes * 2,
+                    batches: 2,
+                },
+            ],
+            pages_skipped_clean: skipped,
+            ..Default::default()
+        };
+        let stats = GroupStats {
+            ranks: vec![rank(10, 100, 1), rank(5, 50, 2)],
+            ..Default::default()
+        };
+        assert_eq!(stats.pages_flushed(), 30 + 15);
+        assert_eq!(stats.bytes_flushed(), 300 + 150);
+        assert_eq!(stats.pages_skipped_clean(), 3);
+    }
+}

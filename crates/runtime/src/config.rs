@@ -87,6 +87,14 @@ pub struct CkptConfig {
     /// default: every preset reproduces the paper's unbounded chain unless
     /// the application opts into bounded-restore maintenance.
     pub compaction: CompactionPolicy,
+    /// Checkpoint-numbering floor: epoch numbers start strictly above
+    /// `max(backend history, epoch_floor)`. 0 (the default) defers entirely
+    /// to the backend's high-water mark. Group hook: a multi-rank
+    /// coordinator raises every rank's floor to the *group-wide* high-water
+    /// mark so ranks stay in numbering lockstep even after an uneven crash
+    /// recovery (one rank committed-then-retired an epoch the others never
+    /// reached).
+    pub epoch_floor: u64,
     /// Content-aware clean-dirty filtering: the runtime keeps a CRC-64
     /// digest of every page's last *committed* payload and the committer
     /// drops pages that faulted this epoch but are byte-identical to what
@@ -122,6 +130,7 @@ impl CkptConfig {
             committer_streams: default_committer_streams(),
             flush_batch_pages: DEFAULT_FLUSH_BATCH_PAGES,
             compaction: CompactionPolicy::DISABLED,
+            epoch_floor: 0,
             content_filter: false,
         }
     }
@@ -138,6 +147,7 @@ impl CkptConfig {
             committer_streams: default_committer_streams(),
             flush_batch_pages: DEFAULT_FLUSH_BATCH_PAGES,
             compaction: CompactionPolicy::DISABLED,
+            epoch_floor: 0,
             content_filter: false,
         }
     }
@@ -153,6 +163,7 @@ impl CkptConfig {
             committer_streams: default_committer_streams(),
             flush_batch_pages: DEFAULT_FLUSH_BATCH_PAGES,
             compaction: CompactionPolicy::DISABLED,
+            epoch_floor: 0,
             content_filter: false,
         }
     }
@@ -190,6 +201,13 @@ impl CkptConfig {
     /// Enable (or disable) content-aware clean-dirty filtering.
     pub fn with_content_filter(mut self, on: bool) -> Self {
         self.content_filter = on;
+        self
+    }
+
+    /// Raise the checkpoint-numbering floor (see
+    /// [`CkptConfig::epoch_floor`]).
+    pub fn with_epoch_floor(mut self, floor: u64) -> Self {
+        self.epoch_floor = floor;
         self
     }
 

@@ -288,6 +288,7 @@ pub struct PageManager {
     pub(crate) ctl: Arc<Ctl>,
     pub(crate) regions: Arc<Mutex<Regions>>,
     cfg: CkptConfig,
+    backend: Arc<dyn StorageBackend>,
     pool: Arc<Pool>,
     maint: Arc<Maint>,
     tx: mpsc::Sender<Cmd>,
@@ -303,11 +304,24 @@ impl PageManager {
     /// Create a manager with the given configuration and storage backend,
     /// installing the process-wide SIGSEGV handler if necessary.
     pub fn new(cfg: CkptConfig, backend: Box<dyn StorageBackend>) -> io::Result<Self> {
+        Self::with_shared_backend(cfg, Arc::from(backend))
+    }
+
+    /// Like [`PageManager::new`], but over a backend the caller keeps a
+    /// handle to — the group-coordination hook: a multi-rank coordinator
+    /// needs the same backend the manager commits through for epoch
+    /// retirement (global aborts), restore and group-driven compaction.
+    pub fn with_shared_backend(
+        cfg: CkptConfig,
+        backend: Arc<dyn StorageBackend>,
+    ) -> io::Result<Self> {
         sigsegv::install(fault_entry)?;
-        let backend: Arc<dyn StorageBackend> = Arc::from(backend);
-        // Resume epoch numbering after the backend's last committed
-        // checkpoint (fresh backends start at 0).
-        let epoch_base = backend.epochs()?.last().copied().unwrap_or(0);
+        // Resume epoch numbering above everything the backend has ever
+        // accounted for — committed *or* retired: a chain whose newest
+        // epoch was drained or folded away must not hand its number out
+        // again. `epoch_floor` lets a coordinator raise the base further
+        // (numbering lockstep across ranks).
+        let epoch_base = backend.high_water()?.unwrap_or(0).max(cfg.epoch_floor);
         let ps = page_size();
         let engine_cfg = EngineConfig {
             pages: cfg.max_pages,
@@ -396,10 +410,11 @@ impl PageManager {
             }
         };
         let maint_worker = Arc::clone(&maint);
+        let maint_backend = Arc::clone(&backend);
         let policy = cfg.compaction;
         let maint_join = match std::thread::Builder::new()
             .name("ai-ckpt-maintenance".into())
-            .spawn(move || maintenance_loop(maint_worker, backend, policy))
+            .spawn(move || maintenance_loop(maint_worker, maint_backend, policy))
         {
             Ok(j) => j,
             Err(e) => {
@@ -413,6 +428,7 @@ impl PageManager {
             ctl,
             regions: Arc::new(Mutex::new(Regions::default())),
             cfg,
+            backend,
             pool,
             maint,
             tx,
@@ -426,6 +442,14 @@ impl PageManager {
     /// The configuration this manager runs with.
     pub fn config(&self) -> &CkptConfig {
         &self.cfg
+    }
+
+    /// The storage backend this manager commits to. Restores and group
+    /// coordination read/retire epochs through this handle; mutating calls
+    /// that race an in-flight checkpoint are the caller's responsibility to
+    /// avoid (the group coordinator only acts between checkpoints).
+    pub fn backend(&self) -> &Arc<dyn StorageBackend> {
+        &self.backend
     }
 
     /// Allocate an anonymous protected buffer (the paper's

@@ -644,6 +644,13 @@ pub struct SimOutcome {
 }
 
 impl SimOutcome {
+    /// Checkpoints each rank performed, indexed by rank. Coordinated runs
+    /// produce the same count on every rank — the quantity a real
+    /// checkpoint-group coordinator is validated against.
+    pub fn checkpoints_per_rank(&self) -> Vec<usize> {
+        self.ranks.iter().map(|r| r.checkpoints.len()).collect()
+    }
+
     /// Mean checkpoint flush duration across ranks, skipping each rank's
     /// first `skip` checkpoints (the paper skips the full first one).
     pub fn mean_checkpoint_secs(&self, skip: usize) -> f64 {
@@ -743,6 +750,7 @@ mod tests {
         for r in &out.ranks {
             assert_eq!(r.checkpoints.len(), 2, "{:?}", r.checkpoints);
         }
+        assert_eq!(out.checkpoints_per_rank(), vec![2, 2]);
         // Every dirty page flushed: 32 pages x 2 checkpoints x 2 ranks.
         assert_eq!(out.storage_requests, 32 * 2 * 2);
     }

@@ -130,6 +130,17 @@ pub trait StorageBackend: Send + Sync {
     /// All *finished* epochs, ascending.
     fn epochs(&self) -> io::Result<Vec<u64>>;
 
+    /// The highest epoch number this backend has ever *accounted for* —
+    /// committed, compacted away or retired. New epochs must exceed it.
+    /// The default derives it from [`StorageBackend::epochs`], which is
+    /// only correct for backends that never burn numbers; backends with a
+    /// retirement history (manifest, high-water mark) override it so a
+    /// fresh process resumes numbering above retired epochs instead of
+    /// colliding with them. `None` means the backend is untouched.
+    fn high_water(&self) -> io::Result<Option<u64>> {
+        Ok(self.epochs()?.last().copied())
+    }
+
     /// Stream the records of a finished epoch, verifying integrity.
     /// `visit(page, bytes)` is called per record.
     fn read_epoch(&self, epoch: u64, visit: &mut dyn FnMut(u64, &[u8])) -> io::Result<()>;

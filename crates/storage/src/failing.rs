@@ -12,6 +12,12 @@ use crate::backend::{EpochWriter, StorageBackend};
 /// Shared knob controlling when the wrapped backend starts failing. The
 /// counters are atomics: failure budgets stay exact when multiple committer
 /// streams write concurrently.
+///
+/// Beyond the original page-write budget and `finish` switch, every other
+/// mutating entry point can be failed individually — epoch opens, blob
+/// writes, and the whole chain API (`remove_epoch`, `drain_one`,
+/// `install_compacted`), so manifest-append paths and the maintenance
+/// worker are testable under fault too.
 #[derive(Debug, Clone, Default)]
 pub struct FailureControl {
     /// Records remaining before page writes start failing (`u64::MAX` =
@@ -19,6 +25,16 @@ pub struct FailureControl {
     writes_until_failure: Arc<AtomicU64>,
     /// When set, `finish` fails.
     fail_finish: Arc<AtomicU64>,
+    /// When set, `begin_epoch` fails (the session never opens).
+    fail_begin_epoch: Arc<AtomicU64>,
+    /// When set, `put_blob` fails.
+    fail_put_blob: Arc<AtomicU64>,
+    /// When set, `remove_epoch` fails (tier eviction / group abort path).
+    fail_remove_epoch: Arc<AtomicU64>,
+    /// When set, `drain_one` fails (maintenance drain path).
+    fail_drain_one: Arc<AtomicU64>,
+    /// When set, `install_compacted` fails (the compaction commit point).
+    fail_install_compacted: Arc<AtomicU64>,
 }
 
 impl FailureControl {
@@ -26,7 +42,7 @@ impl FailureControl {
     pub fn new() -> Self {
         Self {
             writes_until_failure: Arc::new(AtomicU64::new(u64::MAX)),
-            fail_finish: Arc::new(AtomicU64::new(0)),
+            ..Self::default()
         }
     }
 
@@ -35,15 +51,57 @@ impl FailureControl {
         self.writes_until_failure.store(n, Ordering::SeqCst);
     }
 
-    /// Stop injecting write failures.
+    /// Stop injecting failures of every kind.
     pub fn heal(&self) {
         self.writes_until_failure.store(u64::MAX, Ordering::SeqCst);
-        self.fail_finish.store(0, Ordering::SeqCst);
+        for flag in [
+            &self.fail_finish,
+            &self.fail_begin_epoch,
+            &self.fail_put_blob,
+            &self.fail_remove_epoch,
+            &self.fail_drain_one,
+            &self.fail_install_compacted,
+        ] {
+            flag.store(0, Ordering::SeqCst);
+        }
     }
 
     /// Make `finish` fail.
     pub fn fail_finish(&self, yes: bool) {
         self.fail_finish.store(yes as u64, Ordering::SeqCst);
+    }
+
+    /// Make `begin_epoch` fail.
+    pub fn fail_begin_epoch(&self, yes: bool) {
+        self.fail_begin_epoch.store(yes as u64, Ordering::SeqCst);
+    }
+
+    /// Make `put_blob` fail.
+    pub fn fail_put_blob(&self, yes: bool) {
+        self.fail_put_blob.store(yes as u64, Ordering::SeqCst);
+    }
+
+    /// Make `remove_epoch` fail.
+    pub fn fail_remove_epoch(&self, yes: bool) {
+        self.fail_remove_epoch.store(yes as u64, Ordering::SeqCst);
+    }
+
+    /// Make `drain_one` fail.
+    pub fn fail_drain_one(&self, yes: bool) {
+        self.fail_drain_one.store(yes as u64, Ordering::SeqCst);
+    }
+
+    /// Make `install_compacted` fail.
+    pub fn fail_install_compacted(&self, yes: bool) {
+        self.fail_install_compacted
+            .store(yes as u64, Ordering::SeqCst);
+    }
+
+    fn armed(flag: &AtomicU64) -> io::Result<()> {
+        if flag.load(Ordering::SeqCst) != 0 {
+            return Err(injected());
+        }
+        Ok(())
     }
 
     fn take_write_token(&self) -> bool {
@@ -133,6 +191,7 @@ impl EpochWriter for FailingEpochWriter {
 
 impl<B: StorageBackend> StorageBackend for FailingBackend<B> {
     fn begin_epoch(&self, epoch: u64) -> io::Result<Box<dyn EpochWriter>> {
+        FailureControl::armed(&self.control.fail_begin_epoch)?;
         Ok(Box::new(FailingEpochWriter {
             inner: self.inner.begin_epoch(epoch)?,
             control: self.control.clone(),
@@ -140,6 +199,7 @@ impl<B: StorageBackend> StorageBackend for FailingBackend<B> {
     }
 
     fn put_blob(&self, name: &str, data: &[u8]) -> io::Result<()> {
+        FailureControl::armed(&self.control.fail_put_blob)?;
         self.inner.put_blob(name, data)
     }
 
@@ -171,9 +231,11 @@ impl<B: StorageBackend> StorageBackend for FailingBackend<B> {
         self.inner.supports_compaction()
     }
 
-    fn compact(&self, up_to: u64) -> io::Result<crate::backend::CompactionStats> {
-        self.inner.compact(up_to)
-    }
+    // `compact` is deliberately NOT forwarded: the default trait merge runs
+    // over this wrapper's (forwarded) `chain`/`read_epoch` and commits
+    // through `install_compacted` below, so an armed
+    // `fail_install_compacted` hits the compaction commit point exactly as
+    // it would on the real backend.
 
     fn install_compacted(
         &self,
@@ -181,15 +243,22 @@ impl<B: StorageBackend> StorageBackend for FailingBackend<B> {
         into: u64,
         records: &[(u64, Vec<u8>)],
     ) -> io::Result<()> {
+        FailureControl::armed(&self.control.fail_install_compacted)?;
         self.inner.install_compacted(from, into, records)
     }
 
     fn remove_epoch(&self, epoch: u64) -> io::Result<()> {
+        FailureControl::armed(&self.control.fail_remove_epoch)?;
         self.inner.remove_epoch(epoch)
     }
 
     fn drain_one(&self) -> io::Result<Option<u64>> {
+        FailureControl::armed(&self.control.fail_drain_one)?;
         self.inner.drain_one()
+    }
+
+    fn high_water(&self) -> io::Result<Option<u64>> {
+        self.inner.high_water()
     }
 }
 
@@ -227,6 +296,48 @@ mod tests {
         let mut pages = Vec::new();
         b.read_epoch(1, &mut |p, _| pages.push(p)).unwrap();
         assert_eq!(pages, vec![0, 1]);
+    }
+
+    #[test]
+    fn begin_epoch_and_blob_injection() {
+        let (b, ctl) = FailingBackend::new(MemoryBackend::new());
+        ctl.fail_begin_epoch(true);
+        assert!(b.begin_epoch(1).is_err());
+        ctl.fail_put_blob(true);
+        assert!(b.put_blob("layout", b"x").is_err());
+        ctl.heal();
+        b.begin_epoch(1).unwrap().finish().unwrap();
+        b.put_blob("layout", b"x").unwrap();
+        assert_eq!(b.get_blob("layout").unwrap().unwrap(), b"x");
+    }
+
+    #[test]
+    fn chain_api_injection() {
+        use crate::backend::write_epoch;
+        use crate::tiered::TieredBackend;
+        let tier = TieredBackend::new(
+            Box::new(MemoryBackend::new()),
+            Box::new(MemoryBackend::new()),
+            0,
+        )
+        .unwrap();
+        let (b, ctl) = FailingBackend::new(tier);
+        write_epoch(&b, 1, vec![(0, vec![1])]).unwrap();
+        write_epoch(&b, 2, vec![(0, vec![2])]).unwrap();
+
+        ctl.fail_drain_one(true);
+        assert!(b.drain_one().is_err());
+        ctl.fail_remove_epoch(true);
+        assert!(b.remove_epoch(1).is_err());
+        ctl.fail_install_compacted(true);
+        assert!(b.compact(2).is_err(), "compaction commit point injected");
+        // Nothing was lost: both epochs still restore after healing.
+        ctl.heal();
+        assert_eq!(b.epochs().unwrap(), vec![1, 2]);
+        assert_eq!(b.drain_one().unwrap(), Some(1));
+        b.compact(2).unwrap();
+        assert_eq!(b.epochs().unwrap(), vec![2]);
+        assert_eq!(b.high_water().unwrap(), Some(2));
     }
 
     #[test]

@@ -408,6 +408,12 @@ impl StorageBackend for FileBackend {
         Ok(self.live_records()?.iter().map(|r| r.epoch).collect())
     }
 
+    fn high_water(&self) -> io::Result<Option<u64>> {
+        // Over *all* manifest records, not just the live chain: a retired
+        // epoch's number stays burned (`begin_epoch` enforces the same).
+        Ok(self.manifest_records()?.iter().map(|r| r.epoch).max())
+    }
+
     fn read_epoch(&self, epoch: u64, visit: &mut dyn FnMut(u64, &[u8])) -> io::Result<()> {
         let rec = self
             .live_records()?

@@ -248,6 +248,10 @@ impl StorageBackend for MemoryBackend {
         Ok(self.shared.store.lock().finished.keys().copied().collect())
     }
 
+    fn high_water(&self) -> io::Result<Option<u64>> {
+        Ok(self.shared.store.lock().high_water)
+    }
+
     fn read_epoch(&self, epoch: u64, visit: &mut dyn FnMut(u64, &[u8])) -> io::Result<()> {
         // Visit under the store lock (records are decoded one at a time,
         // never snapshot wholesale): `visit` must not reenter this backend,

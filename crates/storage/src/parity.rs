@@ -231,6 +231,10 @@ impl<B: StorageBackend> StorageBackend for ParityBackend<B> {
         self.inner.epochs()
     }
 
+    fn high_water(&self) -> io::Result<Option<u64>> {
+        self.inner.high_water()
+    }
+
     fn read_epoch(&self, epoch: u64, visit: &mut dyn FnMut(u64, &[u8])) -> io::Result<()> {
         self.inner.read_epoch(epoch, &mut |id, data| {
             if id & PARITY_FLAG == 0 {

@@ -103,6 +103,16 @@ impl StorageBackend for ReplicatedBackend {
         self.read_fallback(|r| r.epochs())
     }
 
+    fn high_water(&self) -> io::Result<Option<u64>> {
+        // The max across replicas: a replica that got further before a
+        // crash still burned its numbers everywhere numbering matters.
+        let mut high = None;
+        for r in &self.replicas {
+            high = high.max(r.high_water()?);
+        }
+        Ok(high)
+    }
+
     fn read_epoch(&self, epoch: u64, visit: &mut dyn FnMut(u64, &[u8])) -> io::Result<()> {
         // Buffer from the first healthy replica, then deliver, so a replica
         // failing mid-stream cannot deliver half an epoch twice.

@@ -202,6 +202,10 @@ impl<B: StorageBackend> StorageBackend for ThrottledBackend<B> {
         self.inner.epochs()
     }
 
+    fn high_water(&self) -> io::Result<Option<u64>> {
+        self.inner.high_water()
+    }
+
     fn read_epoch(&self, epoch: u64, visit: &mut dyn FnMut(u64, &[u8])) -> io::Result<()> {
         self.inner.read_epoch(epoch, visit)
     }

@@ -229,6 +229,14 @@ impl StorageBackend for TieredBackend {
         }
     }
 
+    fn high_water(&self) -> io::Result<Option<u64>> {
+        // The in-memory mark covers everything committed through this
+        // instance; the tiers' own marks cover retirement history from
+        // previous lives (a drained epoch is burned on the fast tier).
+        let st = self.state.lock().high_water;
+        Ok(st.max(self.fast.high_water()?).max(self.slow.high_water()?))
+    }
+
     fn bytes_written(&self) -> u64 {
         // Logical checkpoint bytes: what the application committed (drain
         // copies to the slow tier are internal traffic).

@@ -7,6 +7,8 @@
 //! * [`ai_ckpt_core`] — the deterministic engine (Algorithms 1–4);
 //! * [`ai_ckpt_mem`] — mprotect/SIGSEGV substrate;
 //! * [`ai_ckpt_storage`] — storage backends and incremental restore;
+//! * [`ai_ckpt_coord`] — coordinated multi-rank checkpoint groups
+//!   (two-phase global commit, group restore);
 //! * [`ai_ckpt_sim`] — the discrete-event cluster simulator;
 //! * [`ai_ckpt_bench`] — the figure harness.
 //!
@@ -16,6 +18,7 @@
 
 pub use ai_ckpt;
 pub use ai_ckpt_bench;
+pub use ai_ckpt_coord;
 pub use ai_ckpt_core;
 pub use ai_ckpt_mem;
 pub use ai_ckpt_sim;
