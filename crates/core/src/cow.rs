@@ -11,16 +11,145 @@
 //! All storage is allocated at construction; `acquire`/`release` never
 //! allocate, which makes them callable (under the engine spinlock) from a
 //! SIGSEGV handler.
+//!
+//! ## The slot-ownership rule
+//!
+//! Slot *accounting* (the free list, the peak counter) lives in [`CowSlab`]
+//! and is only ever touched under the engine lock. Slot *bytes* live in a
+//! shared [`CowSlotStore`] behind an `Arc`, so a committer stream can read a
+//! claimed slot **without holding the engine lock**. That is sound because a
+//! slot is, at every instant, in exactly one of three phases:
+//!
+//! 1. **Free** — on the free list; nobody reads or writes its bytes.
+//! 2. **Filling** — just acquired by the fault handler, which copies the
+//!    page's pre-write content into it *while still holding the engine
+//!    lock*. No other thread can learn the slot index before the lock is
+//!    released.
+//! 3. **Stable** — the copy is complete; the bytes never change again until
+//!    the slot is released. The one committer stream that claims the owning
+//!    page (under the engine lock) is the only reader, and only that
+//!    stream's `complete_flush`/`complete_published` (under the engine lock
+//!    again) returns the slot to the free list.
+//!
+//! The lock hand-offs between phases give the reader the necessary
+//! happens-before edge: the handler's copy (phase 2) is ordered before the
+//! stream's claim (engine-lock release/acquire), and the stream reads after
+//! its claim, so lock-free reads observe fully written bytes.
+
+use std::cell::UnsafeCell;
+use std::sync::Arc;
 
 use crate::page::NO_SLOT;
 
-/// Fixed-capacity pool of page-sized copy slots.
+/// Shared byte storage of the CoW slab: `capacity * slot_bytes` bytes,
+/// readable and writable through raw slot accessors **without the engine
+/// lock**, under the slot-ownership rule (see the module docs).
+///
+/// The store is `Sync` even though accessors hand out plain slices, because
+/// the ownership rule guarantees that at most one thread touches any given
+/// slot's bytes at a time, and concurrent accesses to *different* slots are
+/// disjoint ranges.
+#[derive(Debug)]
+pub struct CowSlotStore {
+    slot_bytes: usize,
+    capacity: u32,
+    /// Backing bytes; empty when built with `store_data = false` (slot
+    /// accounting only — the simulator's mode). `UnsafeCell` elements make
+    /// interior mutation through a shared reference well-defined.
+    data: Box<[UnsafeCell<u8>]>,
+}
+
+// SAFETY: all byte access goes through `slot`/`slot_mut`, whose contracts
+// require the caller to hold exclusive ownership of the addressed slot (the
+// slot-ownership rule above); distinct slots are disjoint ranges.
+unsafe impl Send for CowSlotStore {}
+unsafe impl Sync for CowSlotStore {}
+
+impl CowSlotStore {
+    fn new(capacity: u32, slot_bytes: usize, store_data: bool) -> Self {
+        let len = if store_data {
+            capacity as usize * slot_bytes
+        } else {
+            0
+        };
+        let data: Box<[UnsafeCell<u8>]> = (0..len).map(|_| UnsafeCell::new(0)).collect();
+        Self {
+            slot_bytes,
+            capacity,
+            data,
+        }
+    }
+
+    /// Size of one slot in bytes.
+    #[inline]
+    pub fn slot_bytes(&self) -> usize {
+        self.slot_bytes
+    }
+
+    /// Whether this store holds bytes (vs. accounting only).
+    #[inline]
+    pub fn stores_data(&self) -> bool {
+        !self.data.is_empty() || self.capacity == 0 || self.slot_bytes == 0
+    }
+
+    /// Byte offset of `slot`, bounds-checked against the backing storage.
+    #[inline]
+    fn offset(&self, slot: u32) -> usize {
+        let start = slot as usize * self.slot_bytes;
+        assert!(
+            start + self.slot_bytes <= self.data.len(),
+            "CoW slot {slot} out of range (capacity {}, data-less: {})",
+            self.capacity,
+            self.data.is_empty(),
+        );
+        start
+    }
+
+    /// Read a slot's bytes without any lock.
+    ///
+    /// # Safety
+    /// The caller must own the slot per the slot-ownership rule: the slot is
+    /// claimed by the calling committer stream (its page was selected and
+    /// not yet completed), so no other thread writes or releases it for the
+    /// lifetime of the returned slice.
+    #[inline]
+    pub unsafe fn slot(&self, slot: u32) -> &[u8] {
+        let start = self.offset(slot);
+        // SAFETY: in-bounds (checked above); the cast follows
+        // `UnsafeCell::raw_get` semantics (`*const UnsafeCell<u8>` and
+        // `*mut u8` are interconvertible); disjoint from every other slot;
+        // exclusivity for THIS slot is the caller's contract.
+        unsafe {
+            std::slice::from_raw_parts(self.data.as_ptr().add(start) as *const u8, self.slot_bytes)
+        }
+    }
+
+    /// Write a slot's bytes without any lock.
+    ///
+    /// # Safety
+    /// The caller must own the slot per the slot-ownership rule: the slot
+    /// was just acquired and its index has not been published to any other
+    /// thread (the fault handler's "filling" phase, under the engine lock).
+    #[inline]
+    #[allow(clippy::mut_from_ref)] // interior mutability; exclusivity is the caller's contract
+    pub unsafe fn slot_mut(&self, slot: u32) -> &mut [u8] {
+        let start = self.offset(slot);
+        // SAFETY: as `slot`, with exclusive access guaranteed by contract.
+        unsafe {
+            std::slice::from_raw_parts_mut(
+                self.data.as_ptr().add(start) as *mut u8,
+                self.slot_bytes,
+            )
+        }
+    }
+}
+
+/// Fixed-capacity pool of page-sized copy slots: the accounting half of the
+/// slab (engine-lock domain) over a shared [`CowSlotStore`] (lock-free
+/// domain).
 #[derive(Debug)]
 pub struct CowSlab {
-    slot_bytes: usize,
-    /// Backing bytes, `capacity * slot_bytes` long; empty when the slab was
-    /// built with `store_data = false` (slot accounting only).
-    data: Box<[u8]>,
+    store: Arc<CowSlotStore>,
     /// LIFO free list of slot indices. Pre-sized to capacity; push/pop never
     /// reallocate.
     free: Vec<u32>,
@@ -36,20 +165,21 @@ impl CowSlab {
     /// bytes (the simulator's mode); calling [`CowSlab::slot`] or
     /// [`CowSlab::slot_mut`] then panics.
     pub fn new(capacity: u32, slot_bytes: usize, store_data: bool) -> Self {
-        let data = if store_data {
-            vec![0u8; capacity as usize * slot_bytes].into_boxed_slice()
-        } else {
-            Box::default()
-        };
         // LIFO order: hand out low indices first so tests are deterministic.
         let free: Vec<u32> = (0..capacity).rev().collect();
         Self {
-            slot_bytes,
-            data,
+            store: Arc::new(CowSlotStore::new(capacity, slot_bytes, store_data)),
             free,
             capacity,
             peak_in_use: 0,
         }
+    }
+
+    /// The shared byte store. Committer streams clone this `Arc` to read
+    /// claimed slots without the engine lock (slot-ownership rule).
+    #[inline]
+    pub fn store(&self) -> &Arc<CowSlotStore> {
+        &self.store
     }
 
     /// Total number of slots.
@@ -107,22 +237,27 @@ impl CowSlab {
     /// Read access to a slot's bytes.
     #[inline]
     pub fn slot(&self, slot: u32) -> &[u8] {
-        let s = slot as usize * self.slot_bytes;
-        &self.data[s..s + self.slot_bytes]
+        // SAFETY: `&self` is only reachable under the engine lock, which
+        // also guards every acquire/fill/release transition — no concurrent
+        // writer can exist for the borrow's lifetime.
+        unsafe { self.store.slot(slot) }
     }
 
     /// Write access to a slot's bytes (the fault handler copies the page's
     /// pre-write content here).
     #[inline]
     pub fn slot_mut(&mut self, slot: u32) -> &mut [u8] {
-        let s = slot as usize * self.slot_bytes;
-        &mut self.data[s..s + self.slot_bytes]
+        // SAFETY: `&mut self` is only reachable under the engine lock; a
+        // lock-free committer reader can only address slots whose pages it
+        // claimed, and claimed slots are never handed to `slot_mut` (they
+        // left `acquire` long ago and are in their stable phase).
+        unsafe { self.store.slot_mut(slot) }
     }
 
     /// Whether this slab stores bytes (vs. accounting only).
     #[inline]
     pub fn stores_data(&self) -> bool {
-        !self.data.is_empty() || self.capacity == 0 || self.slot_bytes == 0
+        self.store.stores_data()
     }
 }
 
@@ -171,11 +306,43 @@ mod tests {
     }
 
     #[test]
+    fn shared_store_reads_do_not_need_the_slab() {
+        // The committer-side pattern: fill a slot through the slab (engine
+        // lock domain), read it back through the shared store only.
+        let mut slab = CowSlab::new(2, 4, true);
+        let store = Arc::clone(slab.store());
+        let a = slab.acquire().unwrap();
+        slab.slot_mut(a).copy_from_slice(&[5, 6, 7, 8]);
+        // SAFETY: slot `a` is owned by this test until released.
+        assert_eq!(unsafe { store.slot(a) }, &[5, 6, 7, 8]);
+        let read = std::thread::scope(|s| {
+            let store = &store;
+            s.spawn(move || {
+                // SAFETY: as above; the owning "stream" moved here.
+                unsafe { store.slot(a).to_vec() }
+            })
+            .join()
+            .unwrap()
+        });
+        assert_eq!(read, vec![5, 6, 7, 8]);
+        slab.release(a);
+    }
+
+    #[test]
     fn zero_capacity_slab_never_grants() {
         let mut slab = CowSlab::new(0, 4096, true);
         assert!(slab.is_full());
         assert!(slab.acquire().is_none());
         assert_eq!(slab.in_use(), 0);
+        assert!(slab.stores_data());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn data_less_store_panics_on_byte_access() {
+        let mut slab = CowSlab::new(2, 4, false);
+        let a = slab.acquire().unwrap();
+        let _ = slab.slot(a);
     }
 
     #[test]

@@ -34,7 +34,7 @@ use crate::history::EpochHistory;
 use crate::page::{AccessType, FlushItem, FlushSource, PageId, PageState, StateTable, NO_SLOT};
 use crate::schedule::FlushPlan;
 use crate::stats::{CheckpointPlanInfo, EpochStats};
-use crate::CowSlab;
+use crate::{CowSlab, CowSlotStore};
 
 /// Errors surfaced by the engine.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -185,6 +185,16 @@ impl EpochEngine {
     #[inline]
     pub fn slab_slot(&self, slot: u32) -> &[u8] {
         self.slab.slot(slot)
+    }
+
+    /// The shared CoW byte store. A committer stream clones this `Arc` once
+    /// and then reads *claimed* slots lock-free via
+    /// [`CowSlotStore::slot`] — see the slot-ownership rule in
+    /// [`crate::cow`]. The engine lock is only needed for slot accounting
+    /// (acquire/release), never for payload movement.
+    #[inline]
+    pub fn slab_store(&self) -> &Arc<CowSlotStore> {
+        self.slab.store()
     }
 
     /// Write a CoW slot's bytes (fault-handler side, after
@@ -434,6 +444,7 @@ impl EpochEngine {
     }
 
     /// Post-commit bookkeeping for a flushed page (Algorithm 3, lines 6-14).
+    /// Publishes `PAGE_PROCESSED` and reconciles the engine's counters.
     /// Allocation-free.
     pub fn complete_flush(&mut self, item: FlushItem) {
         debug_assert_eq!(
@@ -441,13 +452,41 @@ impl EpochEngine {
             PageState::InProgress,
             "complete_flush for a page that was not selected"
         );
+        self.states.set(item.page, PageState::Processed);
+        self.reconcile_flush(item);
+    }
+
+    /// Post-commit bookkeeping for a page whose `PAGE_PROCESSED` state the
+    /// caller already published through the shared [`StateTable`] — the
+    /// multi-stream runtime's fast wake path: after a sub-batch's storage
+    /// I/O completes, the stream stores `Processed` for each page *without
+    /// the engine lock* (one atomic store per page, waking `MustWait`
+    /// writers immediately), then reconciles the engine's counters for the
+    /// whole sub-batch under one lock hold via this method.
+    ///
+    /// Between the publication and this call the page is `Processed` to
+    /// every observer — writers proceed (recorded `AVOIDED`/`AFTER`),
+    /// `discard_page` no-ops — while the pending count and any CoW slot are
+    /// still owed; both settle here. Allocation-free.
+    pub fn complete_published(&mut self, item: FlushItem) {
+        debug_assert_eq!(
+            self.states.get(item.page),
+            PageState::Processed,
+            "complete_published before the state was published"
+        );
+        self.reconcile_flush(item);
+    }
+
+    /// Shared tail of [`EpochEngine::complete_flush`] /
+    /// [`EpochEngine::complete_published`]: release the CoW slot, count the
+    /// flush, detect checkpoint completion.
+    fn reconcile_flush(&mut self, item: FlushItem) {
         if let FlushSource::CowSlot(slot) = item.source {
             debug_assert_eq!(self.cow_slot_of[item.page as usize], slot);
             self.slab.release(slot);
             self.cow_slot_of[item.page as usize] = NO_SLOT;
             self.current_stats.flushed_from_cow += 1;
         }
-        self.states.set(item.page, PageState::Processed);
         self.current_stats.flushed_pages += 1;
         self.current_stats.flushed_bytes += self.cfg.page_bytes as u64;
         self.pending -= 1;
@@ -749,6 +788,34 @@ mod tests {
             e.complete_flush(item);
         }
         e.complete_wait(3);
+    }
+
+    #[test]
+    fn complete_published_after_external_state_store() {
+        // The runtime's fast wake path: PAGE_PROCESSED is stored through the
+        // shared StateTable first (lock-free), the engine reconciles later.
+        let mut e = engine(4, 1);
+        e.on_write(0);
+        e.on_write(1);
+        e.begin_checkpoint().unwrap();
+        assert!(matches!(e.on_write(0), WriteOutcome::CopyToSlot(_)));
+        let states = Arc::clone(e.states());
+        let mut run = Vec::new();
+        assert_eq!(e.select_batch(4, &mut run), 2);
+        for item in &run {
+            states.set(item.page, PageState::Processed);
+            assert!(states.is_processed(item.page));
+        }
+        assert!(e.checkpoint_active(), "counters not yet reconciled");
+        assert_eq!(e.cow_in_use(), 1, "slot still owed");
+        for item in run {
+            e.complete_published(item);
+        }
+        assert!(!e.checkpoint_active());
+        assert_eq!(e.cow_in_use(), 0);
+        let s = e.current_stats();
+        assert_eq!(s.flushed_pages, 2);
+        assert_eq!(s.flushed_from_cow, 1);
     }
 
     #[test]

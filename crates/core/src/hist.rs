@@ -1,0 +1,216 @@
+//! A lock-free log-scale latency histogram, safe to update from a SIGSEGV
+//! handler.
+//!
+//! The runtime records every protected-write fault's entry-to-exit latency
+//! here — the paper's headline "interference" quantity turned into a
+//! measured distribution (p50/p99/max) instead of a mean. Recording is a
+//! handful of relaxed atomic RMWs: no locks, no allocation, so the fault
+//! handler may call [`LatencyHistogram::record`] directly.
+//!
+//! Buckets are powers of two of nanoseconds (bucket *b* holds samples whose
+//! value needs *b* significant bits, i.e. `[2^(b-1), 2^b)`), which resolves
+//! everything from a sub-microsecond proceed-immediately fault to a
+//! multi-millisecond `MustWait` stall in 64 counters. Quantiles are
+//! reported as the matched bucket's upper bound (clamped to the observed
+//! maximum): a conservative ≤2× overestimate, plenty for ablation-level
+//! comparisons.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of power-of-two buckets (enough for any u64 nanosecond value).
+const BUCKETS: usize = 64;
+
+/// Concurrent histogram of nanosecond latencies. All methods are lock-free;
+/// `record` is async-signal-safe.
+#[derive(Debug)]
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum_ns: AtomicU64,
+    max_ns: AtomicU64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self {
+            buckets: [const { AtomicU64::new(0) }; BUCKETS],
+            count: AtomicU64::new(0),
+            sum_ns: AtomicU64::new(0),
+            max_ns: AtomicU64::new(0),
+        }
+    }
+
+    /// Bucket index for a sample: its bit length (0 → bucket 0).
+    #[inline]
+    fn bucket_of(ns: u64) -> usize {
+        ((u64::BITS - ns.leading_zeros()) as usize).min(BUCKETS - 1)
+    }
+
+    /// Upper bound (inclusive) of a bucket's value range.
+    #[inline]
+    fn bucket_bound(bucket: usize) -> u64 {
+        if bucket >= 63 {
+            u64::MAX
+        } else {
+            (1u64 << bucket) - 1
+        }
+    }
+
+    /// Record one sample. Lock-free, allocation-free, async-signal-safe.
+    #[inline]
+    pub fn record(&self, ns: u64) {
+        self.buckets[Self::bucket_of(ns)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_ns.fetch_add(ns, Ordering::Relaxed);
+        self.max_ns.fetch_max(ns, Ordering::Relaxed);
+    }
+
+    /// Number of samples recorded so far.
+    #[inline]
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Capture the current distribution. Concurrent `record`s make the
+    /// snapshot approximate (counters are read one by one), which is fine
+    /// for monitoring; quiesce writers for exact numbers.
+    pub fn snapshot(&self) -> LatencySnapshot {
+        let buckets: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let count: u64 = buckets.iter().sum();
+        let max_ns = self.max_ns.load(Ordering::Relaxed);
+        let quantile = |q: f64| -> u64 {
+            if count == 0 {
+                return 0;
+            }
+            // Rank of the q-quantile sample, 1-based, at least 1.
+            let rank = ((q * count as f64).ceil() as u64).clamp(1, count);
+            let mut seen = 0u64;
+            for (i, &c) in buckets.iter().enumerate() {
+                seen += c;
+                if seen >= rank {
+                    return Self::bucket_bound(i).min(max_ns);
+                }
+            }
+            max_ns
+        };
+        LatencySnapshot {
+            count,
+            sum_ns: self.sum_ns.load(Ordering::Relaxed),
+            max_ns,
+            p50_ns: quantile(0.50),
+            p99_ns: quantile(0.99),
+        }
+    }
+}
+
+/// A point-in-time summary of a [`LatencyHistogram`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LatencySnapshot {
+    /// Samples recorded.
+    pub count: u64,
+    /// Sum of all samples (for means over arbitrary windows).
+    pub sum_ns: u64,
+    /// Largest sample.
+    pub max_ns: u64,
+    /// Median (bucket upper bound, clamped to `max_ns`).
+    pub p50_ns: u64,
+    /// 99th percentile (bucket upper bound, clamped to `max_ns`).
+    pub p99_ns: u64,
+}
+
+impl LatencySnapshot {
+    /// Mean sample value in nanoseconds (0 when empty).
+    pub fn mean_ns(&self) -> u64 {
+        self.sum_ns.checked_div(self.count).unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_snapshot_is_zeroed() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.snapshot(), LatencySnapshot::default());
+        assert_eq!(h.count(), 0);
+    }
+
+    #[test]
+    fn single_sample_pins_every_stat() {
+        let h = LatencyHistogram::new();
+        h.record(1000);
+        let s = h.snapshot();
+        assert_eq!(s.count, 1);
+        assert_eq!(s.sum_ns, 1000);
+        assert_eq!(s.max_ns, 1000);
+        assert_eq!(s.mean_ns(), 1000);
+        // 1000 needs 10 bits -> bucket 10, bound 1023, clamped to max 1000.
+        assert_eq!(s.p50_ns, 1000);
+        assert_eq!(s.p99_ns, 1000);
+    }
+
+    #[test]
+    fn quantiles_split_a_bimodal_distribution() {
+        let h = LatencyHistogram::new();
+        for _ in 0..99 {
+            h.record(100); // bucket 7, bound 127
+        }
+        h.record(1_000_000);
+        let s = h.snapshot();
+        assert_eq!(s.count, 100);
+        assert_eq!(s.p50_ns, 127, "median in the fast mode");
+        assert_eq!(s.p99_ns, 127, "p99 rank 99 still in the fast mode");
+        assert_eq!(s.max_ns, 1_000_000);
+        // With 2% slow samples the p99 moves to the slow mode.
+        let h = LatencyHistogram::new();
+        for _ in 0..98 {
+            h.record(100);
+        }
+        h.record(1_000_000);
+        h.record(1_000_000);
+        let s = h.snapshot();
+        assert_eq!(s.p50_ns, 127);
+        assert!(s.p99_ns >= 1_000_000 / 2, "p99 reached the slow mode");
+    }
+
+    #[test]
+    fn zero_and_huge_samples_stay_in_range() {
+        let h = LatencyHistogram::new();
+        h.record(0);
+        h.record(u64::MAX);
+        let s = h.snapshot();
+        assert_eq!(s.count, 2);
+        assert_eq!(s.max_ns, u64::MAX);
+        assert_eq!(s.p50_ns, 0);
+        assert_eq!(s.p99_ns, u64::MAX);
+    }
+
+    #[test]
+    fn concurrent_records_all_land() {
+        let h = std::sync::Arc::new(LatencyHistogram::new());
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let h = std::sync::Arc::clone(&h);
+                s.spawn(move || {
+                    for i in 0..1000u64 {
+                        h.record(i * (t + 1));
+                    }
+                });
+            }
+        });
+        assert_eq!(h.count(), 4000);
+        assert_eq!(h.snapshot().count, 4000);
+    }
+}

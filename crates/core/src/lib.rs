@@ -59,6 +59,7 @@
 pub mod config;
 pub mod cow;
 pub mod engine;
+pub mod hist;
 pub mod history;
 pub mod page;
 pub mod rng;
@@ -67,8 +68,9 @@ pub mod spin;
 pub mod stats;
 
 pub use config::EngineConfig;
-pub use cow::CowSlab;
+pub use cow::{CowSlab, CowSlotStore};
 pub use engine::{EngineError, EpochEngine, WriteOutcome};
+pub use hist::{LatencyHistogram, LatencySnapshot};
 pub use history::{EpochHistory, EpochRecord};
 pub use page::{AccessType, FlushItem, FlushSource, PageId, PageState, StateTable, NO_SLOT};
 pub use schedule::{FlushPlan, SchedulerKind};

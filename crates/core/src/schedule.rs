@@ -64,6 +64,10 @@ pub struct FlushPlan {
     queue_idx: usize,
     pos: usize,
     total: usize,
+    /// Entries not yet popped by [`FlushPlan::next`] (whether they will be
+    /// yielded or skipped): keeps [`FlushPlan::remaining`] O(1) instead of
+    /// re-summing queue suffixes on every call.
+    left: usize,
 }
 
 impl FlushPlan {
@@ -137,6 +141,7 @@ impl FlushPlan {
             queue_idx: 0,
             pos: 0,
             total,
+            left: total,
         }
     }
 
@@ -147,6 +152,7 @@ impl FlushPlan {
             queue_idx: 0,
             pos: 0,
             total: 0,
+            left: 0,
         }
     }
 
@@ -165,6 +171,7 @@ impl FlushPlan {
             while self.pos < q.len() {
                 let p = q[self.pos];
                 self.pos += 1;
+                self.left -= 1;
                 if still_pending(p) {
                     return Some(p);
                 }
@@ -204,15 +211,11 @@ impl FlushPlan {
     }
 
     /// Remaining candidates (including ones that may be skipped later).
+    /// O(1): maintained as a counter decremented by every pop in
+    /// [`FlushPlan::next`].
+    #[inline]
     pub fn remaining(&self) -> usize {
-        if self.queue_idx >= self.queues.len() {
-            return 0;
-        }
-        let head = self.queues[self.queue_idx].len() - self.pos;
-        head + self.queues[self.queue_idx + 1..]
-            .iter()
-            .map(Vec::len)
-            .sum::<usize>()
+        self.left
     }
 
     /// Which bucket a page would fall into under the adaptive policy; test
@@ -368,6 +371,29 @@ mod tests {
         plan.next(|_| true);
         assert_eq!(plan.remaining(), 0);
         assert!(plan.next(|_| true).is_none());
+    }
+
+    #[test]
+    fn remaining_counts_skipped_pops_too() {
+        // remaining() counts entries not yet popped, whether the pop yields
+        // or skips — the documented pre-O(1) semantics, preserved.
+        let r = record_seq(
+            8,
+            &[
+                (1, AccessType::Wait),
+                (2, AccessType::Wait),
+                (3, AccessType::Wait),
+            ],
+        );
+        let mut plan = FlushPlan::build(SchedulerKind::Adaptive, &r);
+        assert_eq!(plan.remaining(), 3);
+        // Page 1 is skipped AND page 2 yielded: two entries popped.
+        assert_eq!(plan.next(|p| p != 1), Some(2));
+        assert_eq!(plan.remaining(), 1);
+        assert_eq!(plan.next(|_| true), Some(3));
+        assert_eq!(plan.remaining(), 0);
+        assert!(plan.next(|_| true).is_none());
+        assert_eq!(plan.remaining(), 0);
     }
 
     #[test]

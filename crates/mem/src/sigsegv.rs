@@ -31,6 +31,46 @@ static INSTALLED: AtomicBool = AtomicBool::new(false);
 /// Previous SIGSEGV disposition, captured exactly once at install time.
 static mut PREVIOUS: MaybeUninit<libc::sigaction> = MaybeUninit::uninit();
 
+#[cfg(debug_assertions)]
+thread_local! {
+    /// Handler nesting depth of this thread. Debug-build tripwire for the
+    /// callback discipline: the fault callback must never itself write to
+    /// protected memory (or otherwise fault) — a nested SIGSEGV on the same
+    /// thread would re-enter the engine spin lock and deadlock. Const-init
+    /// TLS compiles to a plain TLS-block access (no lazy allocation), which
+    /// keeps the debug path tolerably signal-safe; release builds skip it
+    /// entirely.
+    static HANDLER_DEPTH: std::cell::Cell<u32> = const { std::cell::Cell::new(0) };
+}
+
+/// Debug guard asserting the SIGSEGV callback is never re-entered on the
+/// same thread. Constructed at callback dispatch, dropped on return.
+#[cfg(debug_assertions)]
+struct ReentryGuard;
+
+#[cfg(debug_assertions)]
+impl ReentryGuard {
+    fn enter() -> Self {
+        HANDLER_DEPTH.with(|d| {
+            let depth = d.get() + 1;
+            d.set(depth);
+            assert_eq!(
+                depth, 1,
+                "SIGSEGV handler re-entered on the same thread: the fault \
+                 callback touched protected memory or faulted itself"
+            );
+        });
+        ReentryGuard
+    }
+}
+
+#[cfg(debug_assertions)]
+impl Drop for ReentryGuard {
+    fn drop(&mut self) {
+        HANDLER_DEPTH.with(|d| d.set(d.get() - 1));
+    }
+}
+
 /// Install the SIGSEGV handler (idempotent) and set the fault callback.
 ///
 /// Must be called before any region is write-protected; the runtime does
@@ -77,6 +117,8 @@ unsafe extern "C" fn handler(sig: libc::c_int, info: *mut libc::siginfo_t, ctx: 
         if cb != 0 {
             // SAFETY: only ever stores a valid `FaultCallback` (or 0).
             let f: FaultCallback = unsafe { std::mem::transmute(cb) };
+            #[cfg(debug_assertions)]
+            let _reentry = ReentryGuard::enter();
             if f(hit, addr) {
                 // SAFETY: restoring thread-local errno.
                 unsafe { *libc::__errno_location() = saved_errno };

@@ -145,14 +145,28 @@ impl Drop for ProtectedBuffer {
             entry.handle
         };
         // 2. Withdraw every page from checkpointing. discard_page refuses
-        //    while the committer holds a page locked; wait it out.
+        //    while the committer holds a page locked; wait it out with
+        //    bounded exponential backoff — the committer holds a page for
+        //    storage-write time (µs to ms), so an unbounded yield_now loop
+        //    would burn a core for the whole wait behind a slow backend.
         for p in self.base_page..self.base_page + self.pages {
+            let mut attempts = 0u32;
             loop {
-                let done = self.ctl.shared.engine.lock().discard_page(p as PageId);
+                let done = self.ctl.shared.engine().discard_page(p as PageId);
                 if done {
                     break;
                 }
-                std::thread::yield_now();
+                attempts = attempts.saturating_add(1);
+                if attempts < 4 {
+                    std::hint::spin_loop();
+                } else if attempts < 16 {
+                    std::thread::yield_now();
+                } else {
+                    // 10 µs doubling to a 1.28 ms ceiling: sub-ms reaction
+                    // to fast backends, negligible CPU against slow ones.
+                    let exp = (attempts - 16).min(7);
+                    std::thread::sleep(std::time::Duration::from_micros(10u64 << exp));
+                }
             }
             self.ctl.shared.page_addr[p].store(0, Ordering::Release);
         }

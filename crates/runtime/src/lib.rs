@@ -74,4 +74,6 @@ pub use restore::{restore_at, restore_latest, RestoredState};
 pub use stats::{CheckpointRecord, MaintenanceStats, RuntimeStats};
 
 // Re-export the vocabulary types users need alongside the runtime.
-pub use ai_ckpt_core::{AccessType, CheckpointPlanInfo, EpochStats, SchedulerKind};
+pub use ai_ckpt_core::{
+    AccessType, CheckpointPlanInfo, EpochStats, LatencySnapshot, SchedulerKind,
+};

@@ -10,26 +10,40 @@
 //!   copy a page into a CoW slot under it, may spin-wait (lock-free, on the
 //!   shared [`StateTable`]) until a committer stream processes their page,
 //!   then lift the page's write protection and retry the faulting
-//!   instruction.
+//!   instruction. Every handler entry's latency lands in the write-stall
+//!   histogram ([`RuntimeStats::write_stall`]).
 //! * **The committer pool** runs `ASYNC_COMMIT` across
 //!   `CkptConfig::committer_streams` worker threads: each stream claims a
 //!   *batch* of pages under the engine lock
 //!   ([`EpochEngine::select_batch`], built on `FlushPlan::next_batch`) and
-//!   performs storage I/O *outside* it through a shared per-epoch
-//!   [`EpochWriter`] session, so fault handling never blocks on the disk
-//!   and independent storage channels are driven concurrently. The
-//!   engine's `select_*`/`complete_flush` transitions serialise correctly
-//!   under the existing spin lock, so no new synchronisation is needed on
-//!   the scheduling side.
+//!   does everything else *outside* it — staging copies read application
+//!   memory and the shared CoW slot store directly, clean-dirty digests
+//!   probe a page-id-sharded table, storage I/O goes through a shared
+//!   per-epoch [`EpochWriter`] session, and completed pages are published
+//!   `PAGE_PROCESSED` straight through the lock-free [`StateTable`] (one
+//!   atomic store per page, waking `MustWait` writers immediately). The
+//!   engine lock is re-taken only once per sub-batch, to reconcile slot
+//!   and pending counters ([`EpochEngine::complete_published`]). A stream
+//!   whose claim comes back empty exits its drain — no tail polling.
 //! * **A coordinator thread** sequences whole checkpoints: it opens the
 //!   epoch session, fans the drain out to the worker pool, waits for every
 //!   stream to finish, then commits the epoch atomically
 //!   (`finish`) or aborts it if any stream failed — a failed stream never
-//!   leaves a partially visible epoch.
+//!   leaves a partially visible epoch. On success it merges each stream's
+//!   private digest-update buffer into the sharded filter table.
 //! * **`CHECKPOINT`** (any application thread) waits for the previous
 //!   checkpoint, rolls the epoch under the engine lock, re-protects every
 //!   region, and hands the flush to the coordinator (async mode) or waits
 //!   for it (sync mode).
+//!
+//! Lock domains (see DESIGN.md §4 for the full inventory): the engine spin
+//! lock guards scheduling state only (plan cursor, slot *accounting*, epoch
+//! bookkeeping); page states, page addresses, CoW slot *bytes* and the
+//! stall histogram are atomics or ownership-protected shared memory; the
+//! digest table is sharded by page id; per-stream buffers need no
+//! synchronisation at all. The steady-state flush path performs **zero**
+//! engine-lock acquisitions for payload staging or digest filtering —
+//! debug builds assert this with a per-thread lock-acquisition counter.
 //!
 //! Lock ordering: `regions` → `engine`. The engine lock is the only lock
 //! touched by the fault handler; nothing allocates while holding it.
@@ -51,8 +65,8 @@ use std::time::Instant;
 use parking_lot::{Condvar, Mutex};
 
 use ai_ckpt_core::{
-    CheckpointPlanInfo, EngineConfig, EpochEngine, FlushItem, FlushSource, PageId, SpinLock,
-    StateTable, WriteOutcome,
+    CheckpointPlanInfo, CowSlotStore, EngineConfig, EpochEngine, FlushItem, FlushSource,
+    LatencyHistogram, PageId, PageState, SpinGuard, SpinLock, StateTable, WriteOutcome,
 };
 use ai_ckpt_mem::{page_size, registry, sigsegv, MappedRegion, Protection, RegionHit};
 use ai_ckpt_storage::{crc64, EpochKind, EpochWriter, StorageBackend};
@@ -68,10 +82,61 @@ pub(crate) struct Shared {
     pub(crate) engine: SpinLock<EpochEngine>,
     /// Lock-free view of page states for blocked writers.
     pub(crate) states: Arc<StateTable>,
+    /// CoW slab byte store, readable by committer streams *without* the
+    /// engine lock under the slot-ownership rule (see
+    /// [`CowSlotStore`]): a claimed slot belongs to exactly one stream
+    /// until that stream completes the flush.
+    pub(crate) slab_store: Arc<CowSlotStore>,
     pub(crate) page_bytes: usize,
     /// Global page id -> page base address (0 = unregistered). Written at
     /// buffer allocation, read by the committer.
     pub(crate) page_addr: Box<[AtomicUsize]>,
+    /// Application write-stall distribution: entry-to-exit latency of every
+    /// protected-write fault (lock-free; recorded from the SIGSEGV
+    /// handler). The paper's interference metric as a histogram.
+    pub(crate) stall: LatencyHistogram,
+    /// Total engine-lock acquisitions (all threads; relaxed counter).
+    pub(crate) engine_locks: AtomicU64,
+}
+
+#[cfg(debug_assertions)]
+thread_local! {
+    /// Engine-lock acquisitions by *this* thread, via [`Shared::engine`].
+    /// Debug-build proof harness: the committer's staging/digest sections
+    /// assert this counter does not move while they run, i.e. the payload
+    /// path is engine-lock-free. (`fault_entry` bypasses `Shared::engine`
+    /// and this TLS — no thread-local access from signal context.)
+    static ENGINE_LOCKS_BY_THREAD: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
+}
+
+/// Engine-lock acquisitions performed by the calling thread so far
+/// (debug builds only; see [`ENGINE_LOCKS_BY_THREAD`]).
+#[cfg(debug_assertions)]
+pub(crate) fn engine_locks_by_this_thread() -> u64 {
+    ENGINE_LOCKS_BY_THREAD.with(|c| c.get())
+}
+
+impl Shared {
+    /// Acquire the engine lock, counting the acquisition (process-wide
+    /// always; per-thread in debug builds). Every normal-context lock
+    /// acquisition goes through here; the SIGSEGV handler uses
+    /// [`Shared::engine_from_handler`] instead (no TLS in signal context).
+    #[inline]
+    pub(crate) fn engine(&self) -> SpinGuard<'_, EpochEngine> {
+        self.engine_locks.fetch_add(1, Ordering::Relaxed);
+        #[cfg(debug_assertions)]
+        ENGINE_LOCKS_BY_THREAD.with(|c| c.set(c.get() + 1));
+        self.engine.lock()
+    }
+
+    /// [`Shared::engine`] for the fault handler: counts the process-wide
+    /// total only (atomics are async-signal-safe; thread-locals are not
+    /// guaranteed to be).
+    #[inline]
+    fn engine_from_handler(&self) -> SpinGuard<'_, EpochEngine> {
+        self.engine_locks.fetch_add(1, Ordering::Relaxed);
+        self.engine.lock()
+    }
 }
 
 /// Committer/manager shared control block.
@@ -79,7 +144,11 @@ pub(crate) struct Ctl {
     pub(crate) shared: Arc<Shared>,
     pub(crate) status: Mutex<Status>,
     pub(crate) done: Condvar,
-    pub(crate) stats: Mutex<Vec<CheckpointRecord>>,
+    /// Per-checkpoint records behind an `Arc` so
+    /// [`PageManager::stats`] can snapshot them O(1) under the lock and
+    /// clone outside it; writers use `Arc::make_mut` (copy-on-write only
+    /// while a reader still holds a snapshot).
+    pub(crate) stats: Mutex<Arc<Vec<CheckpointRecord>>>,
     /// Clean-dirty filtering state; `None` when
     /// `CkptConfig::content_filter` is off.
     pub(crate) filter: Option<ContentFilter>,
@@ -101,37 +170,66 @@ impl DigestTable {
         }
     }
 
-    fn matches(&self, page: u64, digest: u64) -> bool {
-        self.present[page as usize] && self.digest[page as usize] == digest
+    fn matches(&self, idx: usize, digest: u64) -> bool {
+        self.present[idx] && self.digest[idx] == digest
     }
 
-    fn set(&mut self, page: u64, digest: u64) {
-        self.present[page as usize] = true;
-        self.digest[page as usize] = digest;
+    fn set(&mut self, idx: usize, digest: u64) {
+        self.present[idx] = true;
+        self.digest[idx] = digest;
     }
 }
 
-/// Content-filter state: the digest table plus skip accounting.
+/// Number of digest-table shards. Page `p` lives in shard
+/// `p % DIGEST_SHARDS` at local index `p / DIGEST_SHARDS`, so consecutive
+/// pages of one claimed run spread across shards and concurrent streams
+/// rarely meet on a shard lock.
+pub(crate) const DIGEST_SHARDS: usize = 16;
+
+/// Content-filter state: the page-id-sharded digest table plus skip
+/// accounting. There is deliberately no table-wide lock: the flush hot path
+/// takes one shard lock per digest probe (uncontended in steady state),
+/// never a global one.
 ///
-/// Lifecycle: committer streams *read* the table to drop clean-dirty pages
-/// and stage `(page, digest)` updates in the flush job; the coordinator
-/// applies the staged updates only after the epoch's `finish` succeeded —
-/// an aborted epoch must leave the table describing what storage still
-/// holds. Restore seeds the table from the restored image
+/// Lifecycle: committer streams *read* the shards to drop clean-dirty pages
+/// and stage `(page, digest)` updates in private per-stream buffers
+/// ([`FlushJob::digest_updates`]); the coordinator merges the buffers into
+/// the shards only after the epoch's `finish` succeeded — an aborted epoch
+/// must leave the table describing what storage still holds. Restore seeds
+/// the table from the restored image
 /// ([`PageManager::seed_content_digests`]).
 pub(crate) struct ContentFilter {
-    table: Mutex<DigestTable>,
+    shards: Box<[Mutex<DigestTable>]>,
     skipped_pages: AtomicU64,
     skipped_bytes: AtomicU64,
 }
 
 impl ContentFilter {
     fn new(pages: usize) -> Self {
+        let per_shard = pages.div_ceil(DIGEST_SHARDS);
         Self {
-            table: Mutex::new(DigestTable::new(pages)),
+            shards: (0..DIGEST_SHARDS)
+                .map(|_| Mutex::new(DigestTable::new(per_shard)))
+                .collect(),
             skipped_pages: AtomicU64::new(0),
             skipped_bytes: AtomicU64::new(0),
         }
+    }
+
+    /// True when `page`'s last committed payload had this digest.
+    fn matches(&self, page: u64, digest: u64) -> bool {
+        let shard = page as usize % DIGEST_SHARDS;
+        self.shards[shard]
+            .lock()
+            .matches(page as usize / DIGEST_SHARDS, digest)
+    }
+
+    /// Record `page`'s committed payload digest.
+    fn set(&self, page: u64, digest: u64) {
+        let shard = page as usize % DIGEST_SHARDS;
+        self.shards[shard]
+            .lock()
+            .set(page as usize / DIGEST_SHARDS, digest);
     }
 }
 
@@ -188,6 +286,9 @@ enum Cmd {
     Shutdown,
 }
 
+/// One epoch's `(page, digest)` pairs staged by a committer stream.
+type DigestUpdates = Vec<(u64, u64)>;
+
 /// Upper bound on pages written+completed per sub-batch inside a claimed
 /// run: caps how long a MustWait-blocked application thread can be stuck
 /// behind in-flight batch I/O (the seed's single committer completed per
@@ -216,10 +317,14 @@ struct FlushJob {
     failed: Arc<AtomicBool>,
     /// The first storage error's message (first writer wins).
     error: Arc<Mutex<Option<String>>>,
-    /// `(page, digest)` pairs of the payloads written into this epoch,
-    /// applied to the digest table by the coordinator iff `finish`
-    /// succeeds (unused when the content filter is off).
-    digest_updates: Arc<Mutex<Vec<(u64, u64)>>>,
+    /// `(page, digest)` pairs of the payloads written into this epoch, one
+    /// private buffer per committer stream: stream `i` appends only to slot
+    /// `i` (once, at the end of its drain), and the coordinator reads the
+    /// slots only after every stream finished — so these mutexes are never
+    /// contended and the flush hot path shares no digest-update state
+    /// across streams. Applied to the digest shards iff `finish` succeeds
+    /// (unused when the content filter is off).
+    digest_updates: Arc<[Mutex<DigestUpdates>]>,
     /// Clean-dirty pages dropped while draining this epoch; folded into
     /// the filter's counters by the coordinator iff `finish` succeeds, so
     /// the stats describe committed checkpoints only (a retried epoch must
@@ -334,19 +439,23 @@ impl PageManager {
         let engine = EpochEngine::new(engine_cfg)
             .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e.to_string()))?;
         let states = Arc::clone(engine.states());
+        let slab_store = Arc::clone(engine.slab_store());
         let mut page_addr = Vec::with_capacity(cfg.max_pages);
         page_addr.resize_with(cfg.max_pages, || AtomicUsize::new(0));
         let shared = Arc::new(Shared {
             engine: SpinLock::new(engine),
             states,
+            slab_store,
             page_bytes: ps,
             page_addr: page_addr.into_boxed_slice(),
+            stall: LatencyHistogram::new(),
+            engine_locks: AtomicU64::new(0),
         });
         let ctl = Arc::new(Ctl {
             shared,
             status: Mutex::new(Status::default()),
             done: Condvar::new(),
-            stats: Mutex::new(Vec::new()),
+            stats: Mutex::new(Arc::new(Vec::new())),
             filter: cfg
                 .content_filter
                 .then(|| ContentFilter::new(cfg.max_pages)),
@@ -550,7 +659,7 @@ impl PageManager {
         let started = Instant::now();
         let (mut info, layout_blob) = {
             let regions = self.regions.lock();
-            let mut eng = self.ctl.shared.engine.lock();
+            let mut eng = self.ctl.shared.engine();
             let info = eng
                 .begin_checkpoint()
                 .expect("no checkpoint can be active here");
@@ -568,7 +677,7 @@ impl PageManager {
         };
         // Report and persist under the absolute epoch number.
         info.checkpoint += self.epoch_base;
-        self.ctl.stats.lock().push(CheckpointRecord {
+        Arc::make_mut(&mut *self.ctl.stats.lock()).push(CheckpointRecord {
             seq: info.checkpoint,
             scheduled_pages: info.scheduled_pages,
             scheduled_bytes: info.scheduled_bytes,
@@ -621,11 +730,15 @@ impl PageManager {
                 )
             })
             .unwrap_or((0, 0));
+        // O(1) under the records lock: clone the Arc, materialise outside.
+        let records = Arc::clone(&self.ctl.stats.lock());
         RuntimeStats {
             pages_skipped_clean,
             bytes_skipped,
-            checkpoints: self.ctl.stats.lock().clone(),
-            live_epoch: self.ctl.shared.engine.lock().current_stats(),
+            checkpoints: (*records).clone(),
+            write_stall: self.ctl.shared.stall.snapshot(),
+            engine_lock_acquisitions: self.ctl.shared.engine_locks.load(Ordering::Relaxed),
+            live_epoch: self.ctl.shared.engine().current_stats(),
             streams: self
                 .pool
                 .streams
@@ -688,7 +801,6 @@ impl PageManager {
         };
         let page_bytes = self.ctl.shared.page_bytes;
         let regions = self.regions.lock();
-        let mut table = filter.table.lock();
         for e in regions.live() {
             for i in 0..e.pages {
                 let addr = e.addr + i * page_bytes;
@@ -697,14 +809,14 @@ impl PageManager {
                 // `regions` is locked, so the region cannot be freed under
                 // us.
                 let page = unsafe { std::slice::from_raw_parts(addr as *const u8, page_bytes) };
-                table.set((e.base_page + i) as u64, crc64(page));
+                filter.set((e.base_page + i) as u64, crc64(page));
             }
         }
     }
 
     /// Number of checkpoints requested so far.
     pub fn checkpoints(&self) -> u64 {
-        self.ctl.shared.engine.lock().checkpoints()
+        self.ctl.shared.engine().checkpoints()
     }
 
     /// Total protected bytes currently registered.
@@ -744,16 +856,21 @@ impl Drop for PageManager {
 /// `PROTECTED_PAGE_HANDLER` (Algorithm 2), invoked from the SIGSEGV handler.
 ///
 /// Async-signal-safety: engine spin lock, atomics, `memcpy`, `mprotect`,
-/// `sched_yield`/`nanosleep`. No allocation, no ordinary mutexes.
+/// `sched_yield`/`nanosleep`, `clock_gettime` (for the write-stall
+/// histogram; AS-safe on Linux). No allocation, no ordinary mutexes, no
+/// thread-locals.
 fn fault_entry(hit: RegionHit, _addr: usize) -> bool {
     // SAFETY: the token is the address of the manager's `Shared`, kept alive
     // by the `Arc` in `Ctl` (and buffers); regions are deregistered before
     // any of that is dropped.
     let shared = unsafe { &*(hit.token as *const Shared) };
+    // Entry-to-exit latency of the handler IS the application's write
+    // stall: the faulting store retries the moment we return.
+    let stall_started = Instant::now();
     let p = hit.page as PageId;
     let mut must_wait = false;
     {
-        let mut eng = shared.engine.lock();
+        let mut eng = shared.engine_from_handler();
         match eng.on_write(p) {
             WriteOutcome::Proceed | WriteOutcome::AlreadyHandled => {}
             WriteOutcome::CopyToSlot(slot) => {
@@ -795,15 +912,19 @@ fn fault_entry(hit: RegionHit, _addr: usize) -> bool {
                 unsafe { libc::nanosleep(&ts, std::ptr::null_mut()) };
             }
         }
-        shared.engine.lock().complete_wait(p);
+        shared.engine_from_handler().complete_wait(p);
     }
     // Lift the write protection and let the instruction retry
     // (Algorithm 2 line 22).
     // SAFETY: page-aligned page of a registered region.
-    unsafe {
+    let handled = unsafe {
         ai_ckpt_mem::set_protection_raw(hit.page_addr, shared.page_bytes, Protection::ReadWrite)
             .is_ok()
-    }
+    };
+    shared
+        .stall
+        .record(stall_started.elapsed().as_nanos() as u64);
+    handled
 }
 
 /// The coordinator thread: sequences whole checkpoints, delegating the page
@@ -832,7 +953,8 @@ fn committer_loop(
                 let duration = started.elapsed();
                 {
                     let mut stats = ctl.stats.lock();
-                    if let Some(rec) = stats.iter_mut().rev().find(|r| r.seq == seq) {
+                    let records = Arc::make_mut(&mut stats);
+                    if let Some(rec) = records.iter_mut().rev().find(|r| r.seq == seq) {
                         rec.duration = Some(duration);
                         rec.failed = result.is_err();
                     }
@@ -879,7 +1001,9 @@ fn flush_checkpoint(
         writer: writer.clone(),
         failed: Arc::new(AtomicBool::new(open_error.is_some())),
         error: Arc::new(Mutex::new(open_error.map(|e| e.to_string()))),
-        digest_updates: Arc::new(Mutex::new(Vec::new())),
+        digest_updates: (0..pool.streams.len())
+            .map(|_| Mutex::new(Vec::new()))
+            .collect(),
         skipped_pages: Arc::new(AtomicU64::new(0)),
     };
     // Publish the drain job to the worker streams.
@@ -917,11 +1041,13 @@ fn flush_checkpoint(
             // what storage actually holds, and a retried epoch does not
             // double-count its skips.)
             if let Some(filter) = &ctl.filter {
-                {
-                    let updates = job.digest_updates.lock();
-                    let mut table = filter.table.lock();
+                // Merge every stream's private digest buffer into the
+                // sharded table — the drain barrier (`running == 0`) has
+                // passed, so no stream touches its buffer anymore.
+                for slot in job.digest_updates.iter() {
+                    let updates = slot.lock();
                     for &(page, digest) in updates.iter() {
-                        table.set(page, digest);
+                        filter.set(page, digest);
                     }
                 }
                 let skipped = job.skipped_pages.load(Ordering::Relaxed);
@@ -1073,6 +1199,7 @@ fn stream_loop(ctl: Arc<Ctl>, pool: Arc<Pool>, stream: usize, batch_pages: usize
     let mut items: Vec<FlushItem> = Vec::with_capacity(batch_pages);
     let mut skip: Vec<bool> = Vec::with_capacity(batch_pages);
     let mut digests: Vec<u64> = Vec::with_capacity(batch_pages);
+    let mut updates: Vec<(u64, u64)> = Vec::new();
     let mut served_generation = 0u64;
     loop {
         let job = {
@@ -1099,7 +1226,14 @@ fn stream_loop(ctl: Arc<Ctl>, pool: Arc<Pool>, stream: usize, batch_pages: usize
             &mut items,
             &mut skip,
             &mut digests,
+            &mut updates,
         );
+        // Hand the epoch's digest updates to the coordinator through this
+        // stream's private slot (uncontended by construction), *before*
+        // signalling the drain barrier below.
+        if !updates.is_empty() {
+            job.digest_updates[stream].lock().append(&mut updates);
+        }
         let mut st = pool.state.lock();
         st.running -= 1;
         if st.running == 0 {
@@ -1108,8 +1242,18 @@ fn stream_loop(ctl: Arc<Ctl>, pool: Arc<Pool>, stream: usize, batch_pages: usize
     }
 }
 
-/// One stream's share of a checkpoint drain. Returns when the checkpoint is
-/// fully drained (every scheduled page `PAGE_PROCESSED`).
+/// One stream's share of a checkpoint drain. Returns when this stream can
+/// contribute nothing more: every page it claimed is completed and no
+/// claimable page remains (the remainder, if any, is `PAGE_INPROGRESS` on
+/// other streams, which complete their own claims — the pool's running
+/// count is the coordinator's completion barrier, so nobody polls).
+///
+/// The steady-state hot path takes the engine lock exactly twice per
+/// claimed run: once to claim the batch, and once per completed sub-batch
+/// to reconcile counters. Payload staging (application memory *and* CoW
+/// slots) and digest filtering run entirely outside the engine lock —
+/// asserted per iteration in debug builds via the thread-local
+/// acquisition counter.
 #[allow(clippy::too_many_arguments)]
 fn drain_stream(
     ctl: &Ctl,
@@ -1120,35 +1264,20 @@ fn drain_stream(
     items: &mut Vec<FlushItem>,
     skip: &mut Vec<bool>,
     digests: &mut Vec<u64>,
+    updates: &mut Vec<(u64, u64)>,
 ) {
-    let page_bytes = ctl.shared.page_bytes;
-    // Tail-wait backoff: when the drain's remainder is all on other
-    // streams, poll gently instead of hammering the engine spin lock.
-    let mut idle_polls = 0u32;
+    let shared = &ctl.shared;
+    let page_bytes = shared.page_bytes;
     loop {
         items.clear();
-        let active = {
-            let mut eng = ctl.shared.engine.lock();
-            eng.select_batch(batch_pages, items);
-            eng.checkpoint_active()
-        };
+        shared.engine().select_batch(batch_pages, items);
         if items.is_empty() {
-            if !active {
-                return;
-            }
-            // Remaining pages are PAGE_INPROGRESS on other streams; they
-            // will complete them (storage I/O is ms-scale, so burning a
-            // core here would add interference for nothing). Yield briefly,
-            // then back off to short sleeps.
-            idle_polls = idle_polls.saturating_add(1);
-            if idle_polls < 8 {
-                std::thread::yield_now();
-            } else {
-                std::thread::sleep(std::time::Duration::from_micros(200));
-            }
-            continue;
+            // Nothing claimable. Within one epoch a page only ever moves
+            // Scheduled/Cowed -> InProgress -> Processed, so the claimable
+            // set shrinks monotonically: an empty claim now means empty
+            // forever — exit instead of the old 200 µs tail-sleep polling.
+            return;
         }
-        idle_polls = 0;
         // Drain-only (a stream failed, or the epoch never opened): skip the
         // staging copies — nothing will be written; only the bookkeeping
         // below matters, so blocked writers wake without a gratuitous
@@ -1159,54 +1288,52 @@ fn drain_stream(
         // exact bytes, so they complete without any I/O.
         skip.clear();
         skip.resize(items.len(), false);
+        #[cfg(debug_assertions)]
+        let locks_before_staging = engine_locks_by_this_thread();
         if !drain_only {
-            // Stage the claimed pages outside the selection's critical
-            // section. Memory-sourced pages are PAGE_INPROGRESS, so any
-            // writer is blocked in the fault handler until this stream
-            // completes the flush. CoW slots of claimed items are equally
-            // stable — only this stream's complete_flush can release them —
-            // but reading the slab needs the engine lock, so each CoW page
-            // is copied under its own brief lock hold (one page per
-            // critical section, like the single-committer design:
-            // fault-handler latency stays bounded by one memcpy, not a
-            // whole batch of them).
+            // Stage the claimed pages without touching the engine lock.
+            // Memory-sourced pages are PAGE_INPROGRESS, so any writer is
+            // blocked in the fault handler until this stream completes the
+            // flush. CoW-sourced items are read straight from the shared
+            // slab store: a claimed slot is owned by this stream until its
+            // complete_* call (slot-ownership rule), and the claim's lock
+            // release/acquire pair ordered the fault handler's copy before
+            // these reads.
             for (i, item) in items.iter().enumerate() {
+                let dst = staging[i * page_bytes..(i + 1) * page_bytes].as_mut_ptr();
                 match item.source {
                     FlushSource::Memory => {
-                        let addr = ctl.shared.page_addr[item.page as usize].load(Ordering::Acquire);
+                        let addr = shared.page_addr[item.page as usize].load(Ordering::Acquire);
                         debug_assert_ne!(addr, 0, "flushing an unregistered page");
                         // SAFETY: addr is a live page of page_bytes; the
                         // staging slice is page_bytes at offset i; ranges
                         // cannot overlap.
                         unsafe {
-                            std::ptr::copy_nonoverlapping(
-                                addr as *const u8,
-                                staging[i * page_bytes..].as_mut_ptr(),
-                                page_bytes,
-                            );
+                            std::ptr::copy_nonoverlapping(addr as *const u8, dst, page_bytes);
                         }
                     }
                     FlushSource::CowSlot(slot) => {
-                        let eng = ctl.shared.engine.lock();
-                        staging[i * page_bytes..(i + 1) * page_bytes]
-                            .copy_from_slice(eng.slab_slot(slot));
+                        // SAFETY: the slot is claimed by this stream (see
+                        // above); the staging range is disjoint from the
+                        // slab.
+                        unsafe {
+                            let src = shared.slab_store.slot(slot);
+                            std::ptr::copy_nonoverlapping(src.as_ptr(), dst, page_bytes);
+                        }
                     }
                 }
             }
             if let Some(filter) = &ctl.filter {
-                // Digest the staged copies outside any lock (into a reused
-                // scratch buffer — the flush path stays allocation-free in
-                // steady state), then decide skips under one table-lock
-                // hold per claimed run.
+                // Digest the staged copies (reused scratch buffer — the
+                // flush path stays allocation-free in steady state), then
+                // probe the sharded table: one uncontended shard lock per
+                // page, no global filter lock, no engine lock.
                 digests.clear();
                 digests.extend(
                     (0..items.len()).map(|i| crc64(&staging[i * page_bytes..(i + 1) * page_bytes])),
                 );
-                {
-                    let table = filter.table.lock();
-                    for (i, item) in items.iter().enumerate() {
-                        skip[i] = table.matches(item.page as u64, digests[i]);
-                    }
+                for (i, item) in items.iter().enumerate() {
+                    skip[i] = filter.matches(item.page as u64, digests[i]);
                 }
                 let skipped = skip.iter().filter(|&&s| s).count() as u64;
                 if skipped > 0 {
@@ -1214,18 +1341,24 @@ fn drain_stream(
                     // count once the epoch commits.
                     job.skipped_pages.fetch_add(skipped, Ordering::Relaxed);
                 }
-                if skipped < items.len() as u64 {
-                    let mut updates = job.digest_updates.lock();
-                    updates.extend(
-                        items
-                            .iter()
-                            .enumerate()
-                            .filter(|&(i, _)| !skip[i])
-                            .map(|(i, item)| (item.page as u64, digests[i])),
-                    );
-                }
+                // Written pages' digests accumulate in this stream's
+                // private buffer; the coordinator merges it iff the epoch
+                // commits.
+                updates.extend(
+                    items
+                        .iter()
+                        .enumerate()
+                        .filter(|&(i, _)| !skip[i])
+                        .map(|(i, item)| (item.page as u64, digests[i])),
+                );
             }
         }
+        #[cfg(debug_assertions)]
+        debug_assert_eq!(
+            engine_locks_by_this_thread(),
+            locks_before_staging,
+            "payload staging / digest filtering must not take the engine lock"
+        );
         // Write and complete in wake-bounded sub-batches: completing only
         // after the whole claimed run's I/O would make a MustWait-blocked
         // application thread sleep for up to `flush_batch_pages` pages of
@@ -1278,13 +1411,21 @@ fn drain_stream(
                     }
                 }
             }
-            // Completing the sub-batch releases CoW slots, publishes
-            // PAGE_PROCESSED (waking blocked writers) and detects
-            // checkpoint completion — one lock acquisition per sub-batch.
-            let mut eng = ctl.shared.engine.lock();
-            for &item in &items[idx..end] {
-                eng.complete_flush(item);
+            // Publish PAGE_PROCESSED for the sub-batch lock-free, straight
+            // through the shared state table: a MustWait-blocked writer
+            // wakes on this atomic store — it no longer queues behind
+            // other streams' engine-lock holds to learn its page is done.
+            for item in &items[idx..end] {
+                shared.states.set(item.page, PageState::Processed);
             }
+            // Then reconcile the engine's counters (CoW slot release,
+            // pending count, checkpoint completion) under one lock hold
+            // per sub-batch.
+            let mut eng = shared.engine();
+            for &item in &items[idx..end] {
+                eng.complete_published(item);
+            }
+            drop(eng);
             idx = end;
         }
         items.clear();

@@ -4,7 +4,7 @@
 
 use std::time::Duration;
 
-use ai_ckpt_core::EpochStats;
+use ai_ckpt_core::{EpochStats, LatencySnapshot};
 
 /// Everything known about one checkpoint after it finished.
 #[derive(Debug, Clone, Default)]
@@ -106,6 +106,17 @@ pub struct RuntimeStats {
     pub pages_skipped_clean: u64,
     /// Payload bytes those skipped pages would have written.
     pub bytes_skipped: u64,
+    /// Application write-stall distribution: entry-to-exit latency of every
+    /// protected-write fault (first write per page per epoch), including
+    /// copy-on-write copies and `MustWait` blocks — the paper's
+    /// interference metric as p50/p99/max instead of a mean. Recorded
+    /// lock-free from the SIGSEGV handler.
+    pub write_stall: LatencySnapshot,
+    /// Total engine-lock acquisitions since the manager started (fault
+    /// handler, committer streams, checkpoint requests). The contention
+    /// ablation tracks this against pages flushed: the steady-state flush
+    /// path acquires the lock O(batches), never O(bytes).
+    pub engine_lock_acquisitions: u64,
 }
 
 impl RuntimeStats {
