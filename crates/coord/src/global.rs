@@ -269,11 +269,22 @@ pub fn append(path: &Path, record: GlobalRecord) -> io::Result<()> {
 }
 
 /// The newest globally consistent epoch of a record log, if any.
+///
+/// The log is append-ordered and the **last** record per epoch is
+/// authoritative: a `Commit` whose append reached disk but whose success
+/// was never observed (crash or I/O error after the write) gets a
+/// compensating `Abort` appended by the coordinator, which then retires
+/// the ranks' local epochs — the earlier `Commit` must not resurrect an
+/// epoch whose segments are gone.
 pub fn last_committed(records: &[GlobalRecord]) -> Option<u64> {
-    records
-        .iter()
-        .filter(|r| r.kind == GlobalRecordKind::Commit)
-        .map(|r| r.epoch)
+    let mut last: std::collections::HashMap<u64, GlobalRecordKind> =
+        std::collections::HashMap::new();
+    for r in records {
+        last.insert(r.epoch, r.kind);
+    }
+    last.into_iter()
+        .filter(|&(_, kind)| kind == GlobalRecordKind::Commit)
+        .map(|(epoch, _)| epoch)
         .max()
 }
 
@@ -323,6 +334,26 @@ mod tests {
         assert_eq!(last_committed(&records), Some(1));
         assert_eq!(high_water(&records), Some(2), "aborted number burned");
         assert_eq!(last_committed(&[]), None);
+    }
+
+    #[test]
+    fn later_abort_overrides_a_disk_reached_commit() {
+        // The commit append hit the disk but its success was never
+        // observed (crash/error after the write): the coordinator appends
+        // a compensating abort and retires the ranks' epoch-3 segments.
+        // The last record per epoch is authoritative — epoch 3 must not
+        // resurrect.
+        let records = vec![
+            GlobalRecord::commit(2, 2),
+            GlobalRecord::commit(3, 2),
+            GlobalRecord::abort(3, 2, 0),
+        ];
+        assert_eq!(last_committed(&records), Some(2));
+        assert_eq!(high_water(&records), Some(3), "the number stays burned");
+        // And a re-commit after the abort wins again (fresh attempt of the
+        // same number never happens in practice, but order must decide).
+        let records = vec![GlobalRecord::abort(3, 2, 0), GlobalRecord::commit(3, 2)];
+        assert_eq!(last_committed(&records), Some(3));
     }
 
     #[test]

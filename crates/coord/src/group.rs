@@ -187,13 +187,15 @@ impl CheckpointGroup {
         let mut backends: Vec<Arc<dyn StorageBackend>> = Vec::with_capacity(cfg.ranks);
         for rank in 0..cfg.ranks {
             let backend: Arc<dyn StorageBackend> = Arc::from(backend_for_rank(rank)?);
-            // Recovery: retire orphaned phase-1 epochs (newest first — the
-            // retired suffix is never replayed, so order is cosmetic).
-            for epoch in backend.epochs()?.into_iter().rev() {
-                if committed.is_none_or(|g| epoch > g) {
-                    backend.remove_epoch(epoch)?;
-                }
-            }
+            // Recovery: retire orphaned phase-1 epochs in one batch — the
+            // whole orphan suffix lands as a single manifest append/fsync
+            // per rank instead of one per epoch.
+            let orphans: Vec<u64> = backend
+                .epochs()?
+                .into_iter()
+                .filter(|&epoch| committed.is_none_or(|g| epoch > g))
+                .collect();
+            backend.remove_epochs(&orphans)?;
             floor = floor.max(backend.high_water()?.unwrap_or(0));
             backends.push(backend);
         }

@@ -35,6 +35,15 @@
 //! happens-before edge: the handler's copy (phase 2) is ordered before the
 //! stream's claim (engine-lock release/acquire), and the stream reads after
 //! its claim, so lock-free reads observe fully written bytes.
+//!
+//! Phase 3's write-stability is what makes **zero-copy vectored I/O**
+//! sound: the committer stream hands the storage backend a slice borrowed
+//! straight from the slot (`CowSlotStore::slot`), and the backend's
+//! `pwritev` iovecs point at those very bytes while the syscall runs. The
+//! borrow must end before the stream's `complete_*` call releases the slot
+//! — i.e. every iovec built over slot memory must be consumed (the write
+//! syscall returned) before the page is reported complete. Backends must
+//! not stash such slices past `write_pages`' return.
 
 use std::cell::UnsafeCell;
 use std::sync::Arc;

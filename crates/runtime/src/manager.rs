@@ -16,8 +16,11 @@
 //!   `CkptConfig::committer_streams` worker threads: each stream claims a
 //!   *batch* of pages under the engine lock
 //!   ([`EpochEngine::select_batch`], built on `FlushPlan::next_batch`) and
-//!   does everything else *outside* it — staging copies read application
-//!   memory and the shared CoW slot store directly, clean-dirty digests
+//!   does everything else *outside* it — payload bytes are handed to the
+//!   backend **zero-copy** (batch slices point straight at application page
+//!   memory and the shared CoW slot store; the file backend builds iovecs
+//!   over them, so page bytes cross no intermediate buffer between the
+//!   application and the kernel), clean-dirty digests
 //!   probe a page-id-sharded table, storage I/O goes through a shared
 //!   per-epoch [`EpochWriter`] session, and completed pages are published
 //!   `PAGE_PROCESSED` straight through the lock-free [`StateTable`] (one
@@ -759,6 +762,7 @@ impl PageManager {
                 epochs_drained: m.epochs_drained.load(Ordering::Relaxed),
                 failures: m.failures.load(Ordering::Relaxed),
             },
+            io: self.backend.io_stats(),
         }
     }
 
@@ -1194,8 +1198,6 @@ fn stream_loop(ctl: Arc<Ctl>, pool: Arc<Pool>, stream: usize, batch_pages: usize
     // Same exemption as the coordinator: never allocate into protected
     // regions from checkpointing machinery (deadlock; see committer_loop).
     ai_ckpt_mem::alloc::exempt_thread_from_tracking(true);
-    let page_bytes = ctl.shared.page_bytes;
-    let mut staging = vec![0u8; batch_pages * page_bytes];
     let mut items: Vec<FlushItem> = Vec::with_capacity(batch_pages);
     let mut skip: Vec<bool> = Vec::with_capacity(batch_pages);
     let mut digests: Vec<u64> = Vec::with_capacity(batch_pages);
@@ -1222,7 +1224,6 @@ fn stream_loop(ctl: Arc<Ctl>, pool: Arc<Pool>, stream: usize, batch_pages: usize
             &job,
             &pool.streams[stream],
             batch_pages,
-            &mut staging,
             &mut items,
             &mut skip,
             &mut digests,
@@ -1242,6 +1243,39 @@ fn stream_loop(ctl: Arc<Ctl>, pool: Arc<Pool>, stream: usize, batch_pages: usize
     }
 }
 
+/// Resolve a claimed flush item to the memory its payload already lives in
+/// — the zero-copy handoff: the returned slice is passed straight to
+/// `EpochWriter::write_pages`, where the file backend points an iovec at
+/// it, so page bytes cross no intermediate buffer between the application
+/// and the kernel.
+///
+/// Soundness of the borrow (it outlives digesting *and* the backend write):
+///
+/// * `FlushSource::Memory` — the page is `PAGE_INPROGRESS`, so any
+///   application writer faults into `MustWait` and blocks until this stream
+///   publishes `Processed` (which happens only after `write_pages`
+///   returned); a page that faulted *before* the claim was re-sourced to a
+///   CoW slot by the handler. The bytes cannot change under the borrow.
+/// * `FlushSource::CowSlot` — the slot is claimed by this stream until its
+///   `complete_published` call (the slot-ownership rule, see
+///   [`CowSlotStore`]); the claim's lock release/acquire pair ordered the
+///   fault handler's copy before these reads.
+#[inline]
+fn flush_src<'a>(shared: &'a Shared, item: &FlushItem) -> &'a [u8] {
+    match item.source {
+        FlushSource::Memory => {
+            let addr = shared.page_addr[item.page as usize].load(Ordering::Acquire);
+            debug_assert_ne!(addr, 0, "flushing an unregistered page");
+            // SAFETY: addr is a live registered page of page_bytes, mapped
+            // (at least PROT_READ) for the region's registered lifetime and
+            // write-stable per the state argument above.
+            unsafe { std::slice::from_raw_parts(addr as *const u8, shared.page_bytes) }
+        }
+        // SAFETY: the slot is owned by this stream (see above).
+        FlushSource::CowSlot(slot) => unsafe { shared.slab_store.slot(slot) },
+    }
+}
+
 /// One stream's share of a checkpoint drain. Returns when this stream can
 /// contribute nothing more: every page it claimed is completed and no
 /// claimable page remains (the remainder, if any, is `PAGE_INPROGRESS` on
@@ -1250,17 +1284,16 @@ fn stream_loop(ctl: Arc<Ctl>, pool: Arc<Pool>, stream: usize, batch_pages: usize
 ///
 /// The steady-state hot path takes the engine lock exactly twice per
 /// claimed run: once to claim the batch, and once per completed sub-batch
-/// to reconcile counters. Payload staging (application memory *and* CoW
-/// slots) and digest filtering run entirely outside the engine lock —
-/// asserted per iteration in debug builds via the thread-local
-/// acquisition counter.
+/// to reconcile counters. Payload resolution ([`flush_src`]: application
+/// memory *and* CoW slots, borrowed zero-copy) and digest filtering run
+/// entirely outside the engine lock — asserted per iteration in debug
+/// builds via the thread-local acquisition counter.
 #[allow(clippy::too_many_arguments)]
 fn drain_stream(
     ctl: &Ctl,
     job: &FlushJob,
     counters: &StreamCounters,
     batch_pages: usize,
-    staging: &mut [u8],
     items: &mut Vec<FlushItem>,
     skip: &mut Vec<bool>,
     digests: &mut Vec<u64>,
@@ -1279,11 +1312,11 @@ fn drain_stream(
             return;
         }
         // Drain-only (a stream failed, or the epoch never opened): skip the
-        // staging copies — nothing will be written; only the bookkeeping
-        // below matters, so blocked writers wake without a gratuitous
-        // memcpy of the whole remaining dirty set.
+        // digest probes — nothing will be written; only the bookkeeping
+        // below matters, so blocked writers wake without gratuitous CRC
+        // work over the whole remaining dirty set.
         let drain_only = job.writer.is_none() || job.failed.load(Ordering::Acquire);
-        // Clean-dirty filtering: `skip[i]` marks staged pages whose CRC-64
+        // Clean-dirty filtering: `skip[i]` marks claimed pages whose CRC-64
         // matches the last committed version — storage already holds these
         // exact bytes, so they complete without any I/O.
         skip.clear();
@@ -1291,47 +1324,16 @@ fn drain_stream(
         #[cfg(debug_assertions)]
         let locks_before_staging = engine_locks_by_this_thread();
         if !drain_only {
-            // Stage the claimed pages without touching the engine lock.
-            // Memory-sourced pages are PAGE_INPROGRESS, so any writer is
-            // blocked in the fault handler until this stream completes the
-            // flush. CoW-sourced items are read straight from the shared
-            // slab store: a claimed slot is owned by this stream until its
-            // complete_* call (slot-ownership rule), and the claim's lock
-            // release/acquire pair ordered the fault handler's copy before
-            // these reads.
-            for (i, item) in items.iter().enumerate() {
-                let dst = staging[i * page_bytes..(i + 1) * page_bytes].as_mut_ptr();
-                match item.source {
-                    FlushSource::Memory => {
-                        let addr = shared.page_addr[item.page as usize].load(Ordering::Acquire);
-                        debug_assert_ne!(addr, 0, "flushing an unregistered page");
-                        // SAFETY: addr is a live page of page_bytes; the
-                        // staging slice is page_bytes at offset i; ranges
-                        // cannot overlap.
-                        unsafe {
-                            std::ptr::copy_nonoverlapping(addr as *const u8, dst, page_bytes);
-                        }
-                    }
-                    FlushSource::CowSlot(slot) => {
-                        // SAFETY: the slot is claimed by this stream (see
-                        // above); the staging range is disjoint from the
-                        // slab.
-                        unsafe {
-                            let src = shared.slab_store.slot(slot);
-                            std::ptr::copy_nonoverlapping(src.as_ptr(), dst, page_bytes);
-                        }
-                    }
-                }
-            }
             if let Some(filter) = &ctl.filter {
-                // Digest the staged copies (reused scratch buffer — the
-                // flush path stays allocation-free in steady state), then
-                // probe the sharded table: one uncontended shard lock per
-                // page, no global filter lock, no engine lock.
+                // Digest the payloads in place ([`flush_src`] borrows, no
+                // copy; reused scratch buffer — the flush path stays
+                // allocation-free in steady state), then probe the sharded
+                // table: one uncontended shard lock per page, no global
+                // filter lock, no engine lock. The bytes digested here are
+                // the bytes `write_pages` will read: both borrows are
+                // write-stable until this stream completes the page.
                 digests.clear();
-                digests.extend(
-                    (0..items.len()).map(|i| crc64(&staging[i * page_bytes..(i + 1) * page_bytes])),
-                );
+                digests.extend(items.iter().map(|item| crc64(flush_src(shared, item))));
                 for (i, item) in items.iter().enumerate() {
                     skip[i] = filter.matches(item.page as u64, digests[i]);
                 }
@@ -1357,7 +1359,7 @@ fn drain_stream(
         debug_assert_eq!(
             engine_locks_by_this_thread(),
             locks_before_staging,
-            "payload staging / digest filtering must not take the engine lock"
+            "payload resolution / digest filtering must not take the engine lock"
         );
         // Write and complete in wake-bounded sub-batches: completing only
         // after the whole claimed run's I/O would make a MustWait-blocked
@@ -1373,17 +1375,17 @@ fn drain_stream(
                 if let Some(writer) = &job.writer {
                     // Stack-built batch (sub ≤ WAKE_BATCH_PAGES): the hot
                     // flush path stays allocation-free. Clean-dirty pages
-                    // are left out — they complete below with no I/O.
+                    // are left out — they complete below with no I/O. Each
+                    // entry borrows the payload's home memory zero-copy
+                    // ([`flush_src`]); the backend's iovecs point at these
+                    // very bytes.
                     let mut batch: [(u64, &[u8]); WAKE_BATCH_PAGES] = [(0, &[]); WAKE_BATCH_PAGES];
                     let mut n = 0;
                     for (item, i) in items[idx..end].iter().zip(idx..end) {
                         if skip[i] {
                             continue;
                         }
-                        batch[n] = (
-                            item.page as u64,
-                            &staging[i * page_bytes..(i + 1) * page_bytes],
-                        );
+                        batch[n] = (item.page as u64, flush_src(shared, item));
                         n += 1;
                     }
                     let batch = &batch[..n];

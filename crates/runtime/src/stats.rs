@@ -5,6 +5,7 @@
 use std::time::Duration;
 
 use ai_ckpt_core::{EpochStats, LatencySnapshot};
+use ai_ckpt_storage::IoStats;
 
 /// Everything known about one checkpoint after it finished.
 #[derive(Debug, Clone, Default)]
@@ -117,6 +118,12 @@ pub struct RuntimeStats {
     /// ablation tracks this against pages flushed: the steady-state flush
     /// path acquires the lock O(batches), never O(bytes).
     pub engine_lock_acquisitions: u64,
+    /// Storage-syscall counters of the backend's vectored I/O engine:
+    /// gathered (`pwritev`) writes and bytes per syscall, segment fsyncs
+    /// (group commit pays one per shard per epoch) and manifest
+    /// appends/fsyncs (batched appends coalesce). Zero for backends without
+    /// file I/O; wrapper backends report their children's totals.
+    pub io: IoStats,
 }
 
 impl RuntimeStats {

@@ -56,6 +56,8 @@
 use std::collections::BTreeMap;
 use std::io;
 
+use crate::io::IoStats;
+
 /// One open epoch-commit session. See the module docs for the contract.
 pub trait EpochWriter: Send + Sync {
     /// Append a batch of page records. Thread-safe: committer streams call
@@ -257,11 +259,31 @@ pub trait StorageBackend: Send + Sync {
         ))
     }
 
+    /// Retire a batch of committed epochs. The default loops over
+    /// [`StorageBackend::remove_epoch`]; backends with a commit log
+    /// override it to append all retirement records under **one** log
+    /// fsync (coordinated-group recovery and maintenance drains retire
+    /// many epochs at once). The batch is not atomic across backends: on
+    /// error, a prefix of `epochs` may already be retired.
+    fn remove_epochs(&self, epochs: &[u64]) -> io::Result<()> {
+        for &epoch in epochs {
+            self.remove_epoch(epoch)?;
+        }
+        Ok(())
+    }
+
     /// Move the oldest not-yet-drained epoch one tier outward (see
     /// `TieredBackend`), returning it, or `None` when there is no backlog.
     /// Single-tier backends have no backlog.
     fn drain_one(&self) -> io::Result<Option<u64>> {
         Ok(None)
+    }
+
+    /// Syscall-level I/O accounting (vectored writes, fsyncs, manifest
+    /// append coalescing). Zero by default for backends without a syscall
+    /// path (memory, null); wrappers sum their children.
+    fn io_stats(&self) -> IoStats {
+        IoStats::default()
     }
 }
 

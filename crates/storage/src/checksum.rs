@@ -3,17 +3,28 @@
 //! Checkpoint data that restarts depend on must be verifiable: a silently
 //! corrupted page defeats the whole purpose of checkpoint/restart. Every
 //! page record in a segment carries a CRC-64 of its payload, checked on
-//! restore. Table-driven, one table, built at first use.
+//! restore.
+//!
+//! Slicing-by-8: the CRC sits on the flush hot path — the committer
+//! streams checksum every dirty page before it reaches the vectored
+//! writer, so a bytewise table walk (~1 cycle-chained lookup per byte)
+//! caps the whole I/O engine well below what the page cache absorbs.
+//! Eight derived tables let one iteration fold a full 64-bit word with
+//! eight independent lookups the CPU can overlap. Tables are built at
+//! first use.
 
 use std::sync::OnceLock;
 
 const POLY: u64 = 0x42F0_E1EB_A9EA_3693;
 
-fn table() -> &'static [u64; 256] {
-    static TABLE: OnceLock<[u64; 256]> = OnceLock::new();
-    TABLE.get_or_init(|| {
-        let mut t = [0u64; 256];
-        for (i, entry) in t.iter_mut().enumerate() {
+/// `tables()[0]` is the classic bytewise table; `tables()[k]` is that
+/// table advanced `k` further zero-byte steps, so processing a word is
+/// the XOR of one lookup per byte.
+fn tables() -> &'static [[u64; 256]; 8] {
+    static TABLES: OnceLock<Box<[[u64; 256]; 8]>> = OnceLock::new();
+    TABLES.get_or_init(|| {
+        let mut t = Box::new([[0u64; 256]; 8]);
+        for i in 0..256usize {
             let mut crc = (i as u64) << 56;
             for _ in 0..8 {
                 crc = if crc & (1 << 63) != 0 {
@@ -22,7 +33,13 @@ fn table() -> &'static [u64; 256] {
                     crc << 1
                 };
             }
-            *entry = crc;
+            t[0][i] = crc;
+        }
+        for k in 1..8 {
+            for i in 0..256usize {
+                let prev = t[k - 1][i];
+                t[k][i] = (prev << 8) ^ t[0][(prev >> 56) as usize];
+            }
         }
         t
     })
@@ -35,10 +52,25 @@ pub fn crc64(data: &[u8]) -> u64 {
 
 /// Continue a CRC-64 computation (for chunked hashing).
 pub fn crc64_update(mut crc: u64, data: &[u8]) -> u64 {
-    let t = table();
-    for &b in data {
+    let t = tables();
+    let mut chunks = data.chunks_exact(8);
+    for chunk in &mut chunks {
+        // The register is exactly one word wide: fold it into the next
+        // eight message bytes, then advance each byte the remaining
+        // distance through its own table.
+        let x = crc ^ u64::from_be_bytes(chunk.try_into().unwrap());
+        crc = t[7][(x >> 56) as usize]
+            ^ t[6][(x >> 48) as usize & 0xFF]
+            ^ t[5][(x >> 40) as usize & 0xFF]
+            ^ t[4][(x >> 32) as usize & 0xFF]
+            ^ t[3][(x >> 24) as usize & 0xFF]
+            ^ t[2][(x >> 16) as usize & 0xFF]
+            ^ t[1][(x >> 8) as usize & 0xFF]
+            ^ t[0][x as usize & 0xFF];
+    }
+    for &b in chunks.remainder() {
         let idx = ((crc >> 56) as u8 ^ b) as usize;
-        crc = (crc << 8) ^ t[idx];
+        crc = (crc << 8) ^ t[0][idx];
     }
     crc
 }
@@ -46,6 +78,17 @@ pub fn crc64_update(mut crc: u64, data: &[u8]) -> u64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// The pre-slicing implementation, kept as the reference the sliced
+    /// one must agree with bit-for-bit.
+    fn crc64_bytewise(mut crc: u64, data: &[u8]) -> u64 {
+        let t = tables();
+        for &b in data {
+            let idx = ((crc >> 56) as u8 ^ b) as usize;
+            crc = (crc << 8) ^ t[0][idx];
+        }
+        crc
+    }
 
     #[test]
     fn known_vector() {
@@ -56,6 +99,30 @@ mod tests {
     #[test]
     fn empty_is_zero() {
         assert_eq!(crc64(b""), 0);
+    }
+
+    #[test]
+    fn sliced_matches_bytewise_at_every_length_and_phase() {
+        // xorshift data, lengths crossing every chunk boundary, updates
+        // starting from a non-zero register.
+        let mut x = 0x0123_4567_89AB_CDEFu64;
+        let data: Vec<u8> = (0..4096 + 7)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                x as u8
+            })
+            .collect();
+        for len in (0..64).chain([255, 256, 257, 4095, 4096, 4097, 4103]) {
+            let d = &data[..len];
+            assert_eq!(crc64(d), crc64_bytewise(0, d), "len {len}");
+            assert_eq!(
+                crc64_update(0xDEAD_BEEF, d),
+                crc64_bytewise(0xDEAD_BEEF, d),
+                "len {len} from a mid-stream register"
+            );
+        }
     }
 
     #[test]

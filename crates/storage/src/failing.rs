@@ -252,6 +252,15 @@ impl<B: StorageBackend> StorageBackend for FailingBackend<B> {
         self.inner.remove_epoch(epoch)
     }
 
+    fn remove_epochs(&self, epochs: &[u64]) -> io::Result<()> {
+        FailureControl::armed(&self.control.fail_remove_epoch)?;
+        self.inner.remove_epochs(epochs)
+    }
+
+    fn io_stats(&self) -> crate::io::IoStats {
+        self.inner.io_stats()
+    }
+
     fn drain_one(&self) -> io::Result<Option<u64>> {
         FailureControl::armed(&self.control.fail_drain_one)?;
         self.inner.drain_one()

@@ -8,7 +8,9 @@
 //!
 //! ```text
 //! MANIFEST                  append-only commit log (see `manifest`)
-//! epoch_0000000001.seg      page records of checkpoint 1 (delta)
+//! epoch_0000000001.seg      page records of checkpoint 1 (stream shard 0)
+//! epoch_0000000001.s1.seg   further stream shards of the same epoch,
+//!                           created only under committer-stream contention
 //! epoch_0000000002.seg      ...
 //! full_0000000005.seg       compacted full image as of checkpoint 5
 //! blob_layout               named metadata blobs (`put_blob`)
@@ -50,18 +52,37 @@
 //! whose `remove_file` never ran (killed process). One process per
 //! checkpoint directory is assumed, as everywhere in this backend.
 //!
-//! Multi-stream note: an epoch is one append-only segment file, so
-//! concurrent `write_pages` batches are serialised on the session's writer
-//! mutex — per-epoch file layout trades intra-epoch parallelism for a dead
-//! simple recovery story. Stream parallelism still pays off whenever this
-//! backend is wrapped (throttle emulation, replication fan-out) or when the
-//! underlying mount is a striped parallel file system that benefits from
-//! fewer, larger batched writes.
+//! ## The vectored zero-copy write path
+//!
+//! An open epoch is a small set of per-stream **shard files**, each an
+//! independent `AICKSEG2` chain: shard 0 keeps the legacy
+//! `epoch_N.seg` name, shards `k >= 1` are `epoch_N.sK.seg`. A committer
+//! stream claims the first momentarily uncontended shard slot (`try_lock`
+//! scan), lazily creating its file on first touch — a single-stream
+//! workload therefore never leaves shard 0 and produces the exact
+//! pre-shard on-disk layout, while N contending streams fan out to up to
+//! `MAX_STREAM_SHARDS` files with no writer mutex shared between them.
+//!
+//! Batches are submitted as `pwritev` vectored writes whose payload iovecs
+//! point *straight at the caller's bytes* (live page memory, CoW slot
+//! bytes): raw records are never copied in user space. Record frames and
+//! compressed payloads stage into per-shard reusable aligned buffers
+//! ([`crate::io::AlignedBuf`]), so the steady state allocates nothing.
+//!
+//! `finish` is a group commit: each shard is truncated to its last
+//! complete batch (excising any torn tail a failed vectored write left)
+//! and fsynced exactly once — fsyncs per epoch equal the shards actually
+//! created (= 1 per active stream, 1 total when serial), never the batch
+//! count — and then the single manifest record commits the epoch. The
+//! manifest record's `records` count is the total across shards; the
+//! reader walks every shard file of the epoch to end-of-file and
+//! cross-checks that total, so a missing shard or torn frame fails restore
+//! loudly instead of silently dropping pages.
 
 use std::fs::{self, File, OpenOptions};
 use std::io::{self, BufReader, BufWriter, Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
@@ -69,6 +90,7 @@ use parking_lot::Mutex;
 use crate::backend::{ChainEntry, EpochKind, EpochWriter, StorageBackend};
 use crate::checksum::crc64;
 use crate::codec::{self, Compression, Encoding};
+use crate::io::{pwritev_full, AlignedBuf, IoCounters, IoStats};
 use crate::manifest::{self, ManifestRecord, RecordKind};
 
 /// Magic prefix of a version-1 segment file (raw records; still readable).
@@ -85,6 +107,17 @@ pub const SEGMENT_MAGIC: &[u8; 8] = SEGMENT_MAGIC_V1;
 /// (shared by the read path and the epoch writer's commit point).
 const MANIFEST_FILE: &str = "MANIFEST";
 
+/// Length of a segment header (magic + epoch).
+const SEGMENT_HEADER_LEN: usize = 16;
+
+/// Length of a v2 record frame (page, encoding, lengths, CRC).
+const FRAME_LEN_V2: usize = 25;
+
+/// Upper bound (and default) on per-epoch stream shard files. Shards are
+/// created lazily under actual contention, so a high default costs a
+/// serial workload nothing.
+pub const MAX_STREAM_SHARDS: usize = 8;
+
 #[derive(Debug, Default)]
 struct FileShared {
     /// Payload bytes accepted across all sessions (diagnostics).
@@ -98,6 +131,21 @@ struct FileShared {
     /// maintenance worker's compaction/retirement (a v1→v2 manifest
     /// migration rewrites the file, which must not race an append).
     manifest_lock: Mutex<()>,
+    /// Cached high-water mark: highest epoch the manifest has ever recorded
+    /// *plus one* (0 = manifest empty). Seeded once at `open` and advanced
+    /// on every successful manifest append, so `begin_epoch` never re-reads
+    /// the manifest.
+    high_water: AtomicU64,
+    /// Syscall-level I/O accounting (see [`IoStats`]).
+    io: IoCounters,
+}
+
+impl FileShared {
+    /// Record that `epoch` now exists in the manifest.
+    fn note_epoch(&self, epoch: u64) {
+        self.high_water
+            .fetch_max(epoch.saturating_add(1), Ordering::AcqRel);
+    }
 }
 
 /// File-system storage backend.
@@ -111,13 +159,107 @@ pub struct FileBackend {
     /// Per-record payload encoding policy for new segments (v2 framing
     /// either way; see the module docs).
     pub compression: Compression,
+    /// Shard-slot count per epoch session (1 = the pre-shard single-file
+    /// layout, always serialised).
+    stream_shards: usize,
 }
 
+/// Where one record's stored payload lives during batch staging.
+#[derive(Debug, Clone, Copy)]
+enum PayloadSrc {
+    /// Stored verbatim: the iovec points at the caller's bytes (zero-copy).
+    Caller(usize),
+    /// Compressed: staged at `(offset, len)` in the shard's reuse buffer.
+    Staged(usize, usize),
+}
+
+/// One per-stream shard of an open epoch: an `AICKSEG2` file owned
+/// exclusively by whichever stream holds the slot lock.
 #[derive(Debug)]
-struct OpenEpoch {
-    writer: BufWriter<File>,
+struct Shard {
+    file: File,
+    /// Next write offset = bytes of complete batches (a failed vectored
+    /// write never advances it, so its torn tail is overwritten by the
+    /// next batch and excised by `finish`'s truncate).
+    offset: u64,
     records: u64,
     payload_bytes: u64,
+    /// Reusable staging for record frames (25 bytes per record).
+    frames: AlignedBuf,
+    /// Reusable staging for compressed payloads.
+    staged: AlignedBuf,
+    /// Per-record payload sources of the batch being staged.
+    plan: Vec<PayloadSrc>,
+}
+
+impl Shard {
+    /// Create shard `index` of `epoch` and write its segment header.
+    fn create(dir: &Path, epoch: u64, index: usize, io: &IoCounters) -> io::Result<Shard> {
+        let file = OpenOptions::new()
+            .create(true)
+            .write(true)
+            .truncate(true)
+            .open(shard_path(dir, epoch, index))?;
+        let mut header = [0u8; SEGMENT_HEADER_LEN];
+        header[..8].copy_from_slice(SEGMENT_MAGIC_V2);
+        header[8..].copy_from_slice(&epoch.to_le_bytes());
+        let mut iov = [libc::iovec {
+            iov_base: header.as_ptr() as *mut _,
+            iov_len: header.len(),
+        }];
+        pwritev_full(&file, &mut iov, 0, io)?;
+        Ok(Shard {
+            file,
+            offset: SEGMENT_HEADER_LEN as u64,
+            records: 0,
+            payload_bytes: 0,
+            frames: AlignedBuf::new(),
+            staged: AlignedBuf::new(),
+            plan: Vec::new(),
+        })
+    }
+}
+
+/// Path of shard `index` of a delta epoch (index 0 keeps the legacy
+/// single-file name so serial layouts stay byte-compatible).
+fn shard_path(dir: &Path, epoch: u64, index: usize) -> PathBuf {
+    if index == 0 {
+        FileBackend::segment_path(dir, epoch)
+    } else {
+        dir.join(format!("epoch_{epoch:010}.s{index}.seg"))
+    }
+}
+
+/// Best-effort removal of every shard file of a delta epoch (directory
+/// scan, so it also cleans up after abnormal shard histories).
+fn remove_delta_files(dir: &Path, epoch: u64) {
+    if let Ok(entries) = fs::read_dir(dir) {
+        for entry in entries.flatten() {
+            if let Some(name) = entry.file_name().to_str() {
+                if parse_segment_name(name, "epoch_").map(|(e, _)| e) == Some(epoch) {
+                    let _ = fs::remove_file(entry.path());
+                }
+            }
+        }
+    }
+}
+
+/// All shard files of a delta epoch, ordered by shard index.
+fn delta_shard_files(dir: &Path, epoch: u64) -> io::Result<Vec<PathBuf>> {
+    let mut found: Vec<(u32, PathBuf)> = Vec::new();
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let Some(name) = entry.file_name().to_str().map(str::to_owned) else {
+            continue;
+        };
+        if let Some((e, shard)) = parse_segment_name(&name, "epoch_") {
+            if e == epoch {
+                found.push((shard, entry.path()));
+            }
+        }
+    }
+    found.sort();
+    Ok(found.into_iter().map(|(_, p)| p).collect())
 }
 
 impl FileBackend {
@@ -133,14 +275,29 @@ impl FileBackend {
             shared: Arc::new(FileShared::default()),
             sync_on_finish: true,
             compression: Compression::default(),
+            stream_shards: MAX_STREAM_SHARDS,
         };
-        backend.sweep_orphans()?;
+        // One manifest read seeds both the orphan sweep and the cached
+        // high-water mark; `begin_epoch` never reads the manifest again.
+        let records = backend.manifest_records()?;
+        if let Some(max) = records.iter().map(|r| r.epoch).max() {
+            backend.shared.note_epoch(max);
+        }
+        backend.sweep_orphans(&records)?;
         Ok(backend)
     }
 
     /// Set the payload-encoding policy for subsequently written segments.
     pub fn with_compression(mut self, compression: Compression) -> Self {
         self.compression = compression;
+        self
+    }
+
+    /// Cap the per-epoch stream shard count (clamped to
+    /// `1..=MAX_STREAM_SHARDS`; 1 reproduces the serialized single-file
+    /// writer, useful as an ablation baseline).
+    pub fn with_stream_shards(mut self, shards: usize) -> Self {
+        self.stream_shards = shards.clamp(1, MAX_STREAM_SHARDS);
         self
     }
 
@@ -180,12 +337,11 @@ impl FileBackend {
         Ok(manifest::fold_live(&self.manifest_records()?))
     }
 
-    /// Delete every file in the directory that the manifest does not
-    /// account for. Safe at open time only: no epoch session or compaction
-    /// of *this* process can be in flight.
-    fn sweep_orphans(&self) -> io::Result<()> {
-        let live: std::collections::BTreeMap<u64, RecordKind> = self
-            .live_records()?
+    /// Delete every file in the directory that the manifest (`records`)
+    /// does not account for. Safe at open time only: no epoch session or
+    /// compaction of *this* process can be in flight.
+    fn sweep_orphans(&self, records: &[ManifestRecord]) -> io::Result<()> {
+        let live: std::collections::BTreeMap<u64, RecordKind> = manifest::fold_live(records)
             .iter()
             .map(|r| (r.epoch, r.kind))
             .collect();
@@ -197,14 +353,15 @@ impl FileBackend {
             let doomed = if name.ends_with(".tmp") || name.ends_with(".mig") {
                 // Half-written blob, compaction image or manifest migration.
                 true
-            } else if let Some(epoch) = parse_segment_name(name, "epoch_") {
-                // A delta segment is live only while its manifest record is
+            } else if let Some((epoch, _shard)) = parse_segment_name(name, "epoch_") {
+                // A delta shard is live only while its manifest record is
                 // the live entry (a Full entry means compaction superseded
                 // it; absence means the writer died before the commit or
                 // after a retirement whose GC never ran).
                 live.get(&epoch) != Some(&RecordKind::Delta)
-            } else if let Some(epoch) = parse_segment_name(name, "full_") {
-                live.get(&epoch) != Some(&RecordKind::Full)
+            } else if let Some((epoch, shard)) = parse_segment_name(name, "full_") {
+                // Full images are never sharded.
+                shard != 0 || live.get(&epoch) != Some(&RecordKind::Full)
             } else {
                 false
             };
@@ -216,12 +373,14 @@ impl FileBackend {
     }
 }
 
-/// Parse `"{prefix}{epoch:010}.seg"` names; `None` for anything else.
-fn parse_segment_name(name: &str, prefix: &str) -> Option<u64> {
-    name.strip_prefix(prefix)?
-        .strip_suffix(".seg")?
-        .parse()
-        .ok()
+/// Parse `"{prefix}{epoch:010}.seg"` / `"{prefix}{epoch:010}.s{k}.seg"`
+/// names into `(epoch, shard)`; `None` for anything else.
+fn parse_segment_name(name: &str, prefix: &str) -> Option<(u64, u32)> {
+    let body = name.strip_prefix(prefix)?.strip_suffix(".seg")?;
+    match body.split_once(".s") {
+        None => Some((body.parse().ok()?, 0)),
+        Some((epoch, shard)) => Some((epoch.parse().ok()?, shard.parse().ok()?)),
+    }
 }
 
 /// Append one v2 page record under `compression`, returning the stored
@@ -243,73 +402,206 @@ fn write_record_v2(
     Ok(stored.len() as u64)
 }
 
-/// Open-epoch session on a [`FileBackend`].
+/// Open-epoch session on a [`FileBackend`]: a set of per-stream shard
+/// slots with no lock shared between concurrent `write_pages` callers.
 struct FileEpochWriter {
     shared: Arc<FileShared>,
     dir: PathBuf,
     epoch: u64,
     sync_on_finish: bool,
     compression: Compression,
-    /// `None` once closed (finished or aborted).
-    open: Mutex<Option<OpenEpoch>>,
+    /// Set once `finish`/`abort` ran; `write_pages` then refuses.
+    closed: AtomicBool,
+    /// Shard slots; slot 0 is created by `begin_epoch` (legacy layout),
+    /// the rest lazily on first claim under contention.
+    shards: Box<[Mutex<Option<Shard>>]>,
+    /// Round-robin pick for the rare moment every slot is busy.
+    next_slot: AtomicUsize,
 }
 
 impl FileEpochWriter {
     fn release_session(&self) {
         self.shared.epoch_open.store(false, Ordering::Release);
     }
+
+    /// Run `f` on an exclusively held shard: the first momentarily
+    /// uncontended slot wins (creating its file on first touch), so a lone
+    /// stream always lands in shard 0 while contending streams fan out.
+    fn with_shard<R>(&self, f: impl FnOnce(&mut Shard) -> io::Result<R>) -> io::Result<R> {
+        for (index, slot) in self.shards.iter().enumerate() {
+            if let Some(mut guard) = slot.try_lock() {
+                return f(self.ensure_shard(&mut guard, index)?);
+            }
+        }
+        // Every slot busy: block on one, round-robin.
+        let index = self.next_slot.fetch_add(1, Ordering::Relaxed) % self.shards.len();
+        let mut guard = self.shards[index].lock();
+        f(self.ensure_shard(&mut guard, index)?)
+    }
+
+    fn ensure_shard<'a>(
+        &self,
+        slot: &'a mut Option<Shard>,
+        index: usize,
+    ) -> io::Result<&'a mut Shard> {
+        if slot.is_none() {
+            *slot = Some(Shard::create(
+                &self.dir,
+                self.epoch,
+                index,
+                &self.shared.io,
+            )?);
+        }
+        Ok(slot.as_mut().unwrap())
+    }
+
+    /// Stage one batch into `shard`'s reusable buffers and submit it as a
+    /// single vectored write. Raw payload iovecs point at the caller's
+    /// bytes — the zero-copy path; compressed payloads stage once into the
+    /// shard's aligned reuse buffer.
+    fn write_batch(&self, shard: &mut Shard, batch: &[(u64, &[u8])]) -> io::Result<()> {
+        shard.frames.clear();
+        shard.staged.clear();
+        shard.plan.clear();
+        let mut payload_bytes = 0u64;
+        let mut stored_bytes = 0u64;
+        for &(page, data) in batch {
+            let (enc, encoded) = codec::encode(data, self.compression);
+            let src = match encoded {
+                None => PayloadSrc::Caller(data.len()),
+                Some(v) => PayloadSrc::Staged(shard.staged.extend_from_slice(&v), v.len()),
+            };
+            let stored_len = match src {
+                PayloadSrc::Caller(len) | PayloadSrc::Staged(_, len) => len,
+            };
+            let mut frame = [0u8; FRAME_LEN_V2];
+            frame[0..8].copy_from_slice(&page.to_le_bytes());
+            frame[8] = enc as u8;
+            frame[9..13].copy_from_slice(&(data.len() as u32).to_le_bytes());
+            frame[13..17].copy_from_slice(&(stored_len as u32).to_le_bytes());
+            frame[17..25].copy_from_slice(&crc64(data).to_le_bytes());
+            shard.frames.extend_from_slice(&frame);
+            shard.plan.push(src);
+            payload_bytes += data.len() as u64;
+            stored_bytes += stored_len as u64;
+        }
+        // Staging buffers are final — pointers are stable from here on.
+        let frames_base = shard.frames.as_ptr();
+        let staged_base = shard.staged.as_ptr();
+        let mut iov: Vec<libc::iovec> = Vec::with_capacity(batch.len() * 2);
+        for (i, src) in shard.plan.iter().enumerate() {
+            iov.push(libc::iovec {
+                iov_base: unsafe { frames_base.add(i * FRAME_LEN_V2) } as *mut _,
+                iov_len: FRAME_LEN_V2,
+            });
+            match *src {
+                PayloadSrc::Caller(len) if len > 0 => iov.push(libc::iovec {
+                    iov_base: batch[i].1.as_ptr() as *mut _,
+                    iov_len: len,
+                }),
+                PayloadSrc::Staged(at, len) => iov.push(libc::iovec {
+                    iov_base: unsafe { staged_base.add(at) } as *mut _,
+                    iov_len: len,
+                }),
+                PayloadSrc::Caller(_) => {} // empty payload: frame only
+            }
+        }
+        let written = pwritev_full(&shard.file, &mut iov, shard.offset, &self.shared.io)?;
+        shard.offset += written;
+        shard.records += batch.len() as u64;
+        shard.payload_bytes += payload_bytes;
+        self.shared
+            .bytes_written
+            .fetch_add(payload_bytes, Ordering::Relaxed);
+        self.shared
+            .bytes_stored
+            .fetch_add(stored_bytes, Ordering::Relaxed);
+        Ok(())
+    }
 }
 
 impl EpochWriter for FileEpochWriter {
     fn write_pages(&self, batch: &[(u64, &[u8])]) -> io::Result<()> {
-        let mut guard = self.open.lock();
-        let open = guard
-            .as_mut()
-            .ok_or_else(|| io::Error::other("epoch session closed"))?;
-        for &(page, data) in batch {
-            let stored = write_record_v2(&mut open.writer, page, data, self.compression)?;
-            open.records += 1;
-            open.payload_bytes += data.len() as u64;
-            self.shared
-                .bytes_written
-                .fetch_add(data.len() as u64, Ordering::Relaxed);
-            self.shared
-                .bytes_stored
-                .fetch_add(stored, Ordering::Relaxed);
+        if self.closed.load(Ordering::Acquire) {
+            return Err(io::Error::other("epoch session closed"));
         }
-        Ok(())
+        if batch.is_empty() {
+            return Ok(());
+        }
+        self.with_shard(|shard| self.write_batch(shard, batch))
     }
 
     fn finish(&self) -> io::Result<()> {
-        let open = self
-            .open
-            .lock()
-            .take()
-            .ok_or_else(|| io::Error::other("epoch session closed"))?;
+        if self.closed.swap(true, Ordering::AcqRel) {
+            return Err(io::Error::other("epoch session closed"));
+        }
         let result = (|| {
-            let OpenEpoch {
-                writer,
-                records,
-                payload_bytes,
-            } = open;
-            let file = writer
-                .into_inner()
-                .map_err(|e| io::Error::other(e.to_string()))?;
-            if self.sync_on_finish {
-                file.sync_all()?;
+            // The finish contract says every write_pages call has
+            // returned, so these locks are uncontended.
+            let shards: Vec<Shard> = self
+                .shards
+                .iter()
+                .filter_map(|slot| slot.lock().take())
+                .collect();
+            let records: u64 = shards.iter().map(|s| s.records).sum();
+            let payload_bytes: u64 = shards.iter().map(|s| s.payload_bytes).sum();
+            // Group commit: excise any torn tail a failed vectored write
+            // left past the last complete batch, then one fsync per shard
+            // touched — none were paid on the write path. Multi-shard
+            // epochs issue the fsyncs concurrently: they wait on the same
+            // device, so overlapping them costs the epoch one flush
+            // latency, not one per shard.
+            let sync = self.sync_on_finish;
+            let seal = move |file: &File, offset: u64| -> io::Result<()> {
+                file.set_len(offset)?;
+                if sync {
+                    file.sync_all()?;
+                }
+                Ok(())
+            };
+            match &shards[..] {
+                [] => {}
+                [shard] => seal(&shard.file, shard.offset)?,
+                many => std::thread::scope(|scope| {
+                    let waves: Vec<_> = many
+                        .iter()
+                        .map(|shard| {
+                            let (file, offset) = (&shard.file, shard.offset);
+                            scope.spawn(move || seal(file, offset))
+                        })
+                        .collect();
+                    waves
+                        .into_iter()
+                        .try_for_each(|wave| wave.join().expect("shard seal panicked"))
+                })?,
             }
-            drop(file);
+            if sync {
+                self.shared
+                    .io
+                    .segment_fsyncs
+                    .fetch_add(shards.len() as u64, Ordering::Relaxed);
+            }
             // Commit point: the manifest record makes the epoch visible.
             let _manifest = self.shared.manifest_lock.lock();
             manifest::append(
                 &self.dir.join(MANIFEST_FILE),
                 ManifestRecord::delta(self.epoch, records, payload_bytes),
-            )
+            )?;
+            self.shared
+                .io
+                .manifest_appends
+                .fetch_add(1, Ordering::Relaxed);
+            self.shared
+                .io
+                .manifest_fsyncs
+                .fetch_add(1, Ordering::Relaxed);
+            self.shared.note_epoch(self.epoch);
+            Ok(())
         })();
         if result.is_err() {
             // Failed commit: the manifest never saw the epoch, so drop the
-            // segment like an abort would.
-            let _ = fs::remove_file(FileBackend::segment_path(&self.dir, self.epoch));
+            // shard files like an abort would.
+            remove_delta_files(&self.dir, self.epoch);
         }
         // Win or lose, the session is over — a finish error must not wedge
         // the backend (`begin_epoch` would otherwise refuse forever).
@@ -318,69 +610,80 @@ impl EpochWriter for FileEpochWriter {
     }
 
     fn abort(&self) -> io::Result<()> {
-        if let Some(open) = self.open.lock().take() {
-            drop(open.writer);
-            // Best-effort cleanup; the manifest never saw this epoch, so a
-            // leftover file would be ignored anyway.
-            let _ = fs::remove_file(FileBackend::segment_path(&self.dir, self.epoch));
-            self.release_session();
+        if self.closed.swap(true, Ordering::AcqRel) {
+            return Ok(()); // already finished or aborted
         }
+        for slot in self.shards.iter() {
+            drop(slot.lock().take());
+        }
+        // Best-effort cleanup; the manifest never saw this epoch, so
+        // leftover files would be ignored (and swept at reopen) anyway.
+        remove_delta_files(&self.dir, self.epoch);
+        self.release_session();
         Ok(())
     }
 }
 
 impl Drop for FileEpochWriter {
     fn drop(&mut self) {
-        if self.open.lock().is_some() {
+        if !self.closed.load(Ordering::Acquire) {
             let _ = self.abort();
         }
     }
 }
 
-impl StorageBackend for FileBackend {
-    fn begin_epoch(&self, epoch: u64) -> io::Result<Box<dyn EpochWriter>> {
+impl FileBackend {
+    /// `begin_epoch` body returning the concrete writer (separated so
+    /// white-box tests can reach shard slots directly).
+    fn begin_epoch_impl(&self, epoch: u64) -> io::Result<FileEpochWriter> {
         if self.shared.epoch_open.swap(true, Ordering::AcqRel) {
             return Err(io::Error::other("previous epoch still open"));
         }
         let open_or_err = (|| {
             // Epoch numbers must rise above everything the manifest ever
             // recorded — including retired epochs, whose numbers must not
-            // be reused after a drain or compaction.
-            if let Some(last) = self.manifest_records()?.iter().map(|r| r.epoch).max() {
-                if epoch <= last {
-                    return Err(io::Error::other(format!(
-                        "epoch {epoch} not greater than committed epoch {last}"
-                    )));
-                }
+            // be reused after a drain or compaction. The cached high-water
+            // mark answers this without re-reading the manifest.
+            let hw = self.shared.high_water.load(Ordering::Acquire);
+            if hw != 0 && epoch < hw {
+                return Err(io::Error::other(format!(
+                    "epoch {epoch} not greater than committed epoch {}",
+                    hw - 1
+                )));
             }
-            let file = OpenOptions::new()
-                .create(true)
-                .write(true)
-                .truncate(true)
-                .open(Self::segment_path(&self.dir, epoch))?;
-            let mut writer = BufWriter::with_capacity(1 << 20, file);
-            writer.write_all(SEGMENT_MAGIC_V2)?;
-            writer.write_all(&epoch.to_le_bytes())?;
-            Ok(OpenEpoch {
-                writer,
-                records: 0,
-                payload_bytes: 0,
-            })
+            // Shard 0 is created eagerly: an epoch finished without writes
+            // still leaves a readable (header-only) segment, as before.
+            Shard::create(&self.dir, epoch, 0, &self.shared.io)
         })();
         match open_or_err {
-            Ok(open) => Ok(Box::new(FileEpochWriter {
-                shared: Arc::clone(&self.shared),
-                dir: self.dir.clone(),
-                epoch,
-                sync_on_finish: self.sync_on_finish,
-                compression: self.compression,
-                open: Mutex::new(Some(open)),
-            })),
+            Ok(shard0) => {
+                let mut slots = Vec::with_capacity(self.stream_shards);
+                slots.push(Mutex::new(Some(shard0)));
+                for _ in 1..self.stream_shards {
+                    slots.push(Mutex::new(None));
+                }
+                Ok(FileEpochWriter {
+                    shared: Arc::clone(&self.shared),
+                    dir: self.dir.clone(),
+                    epoch,
+                    sync_on_finish: self.sync_on_finish,
+                    compression: self.compression,
+                    closed: AtomicBool::new(false),
+                    shards: slots.into_boxed_slice(),
+                    next_slot: AtomicUsize::new(0),
+                })
+            }
             Err(e) => {
                 self.shared.epoch_open.store(false, Ordering::Release);
                 Err(e)
             }
         }
+    }
+}
+
+impl StorageBackend for FileBackend {
+    fn begin_epoch(&self, epoch: u64) -> io::Result<Box<dyn EpochWriter>> {
+        Ok(Box::new(self.begin_epoch_impl(epoch)?))
     }
 
     fn put_blob(&self, name: &str, data: &[u8]) -> io::Result<()> {
@@ -411,7 +714,9 @@ impl StorageBackend for FileBackend {
     fn high_water(&self) -> io::Result<Option<u64>> {
         // Over *all* manifest records, not just the live chain: a retired
         // epoch's number stays burned (`begin_epoch` enforces the same).
-        Ok(self.manifest_records()?.iter().map(|r| r.epoch).max())
+        // Served from the cache seeded at `open` and advanced on append.
+        let hw = self.shared.high_water.load(Ordering::Acquire);
+        Ok((hw != 0).then(|| hw - 1))
     }
 
     fn read_epoch(&self, epoch: u64, visit: &mut dyn FnMut(u64, &[u8])) -> io::Result<()> {
@@ -425,11 +730,37 @@ impl StorageBackend for FileBackend {
                     format!("epoch {epoch} not committed (or compacted away)"),
                 )
             })?;
-        let path = match rec.kind {
-            RecordKind::Full => Self::full_path(&self.dir, epoch),
-            _ => Self::segment_path(&self.dir, epoch),
+        let total = match rec.kind {
+            RecordKind::Full => {
+                read_segment_to_eof(&Self::full_path(&self.dir, epoch), epoch, visit)?
+            }
+            _ => {
+                let shards = delta_shard_files(&self.dir, epoch)?;
+                if shards.is_empty() {
+                    return Err(io::Error::new(
+                        io::ErrorKind::NotFound,
+                        format!("epoch {epoch}: segment file missing"),
+                    ));
+                }
+                let mut total = 0u64;
+                for path in shards {
+                    total += read_segment_to_eof(&path, epoch, visit)?;
+                }
+                total
+            }
         };
-        read_segment(&path, epoch, rec.records, visit)
+        // Cross-check against the committed count: a vanished shard or a
+        // truncated chain must fail restore loudly.
+        if total != rec.records {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!(
+                    "epoch {epoch}: manifest committed {} records but segments hold {total}",
+                    rec.records
+                ),
+            ));
+        }
+        Ok(())
     }
 
     fn bytes_written(&self) -> u64 {
@@ -497,6 +828,10 @@ impl StorageBackend for FileBackend {
                 .map_err(|e| io::Error::other(e.to_string()))?;
             if self.sync_on_finish {
                 file.sync_all()?;
+                self.shared
+                    .io
+                    .segment_fsyncs
+                    .fetch_add(1, Ordering::Relaxed);
             }
         }
         // 2. Move it into place (still invisible: no manifest record yet).
@@ -509,40 +844,74 @@ impl StorageBackend for FileBackend {
                 &self.manifest_path(),
                 ManifestRecord::full(into, records.len() as u64, payload_bytes, from),
             )?;
+            self.shared
+                .io
+                .manifest_appends
+                .fetch_add(1, Ordering::Relaxed);
+            self.shared
+                .io
+                .manifest_fsyncs
+                .fetch_add(1, Ordering::Relaxed);
+            self.shared.note_epoch(into);
         }
         // 4. GC the superseded segments. A crash in here leaves orphans
         //    that the next `open` sweeps; restore is already correct.
         for r in superseded {
-            let path = match r.kind {
-                RecordKind::Full => Self::full_path(&self.dir, r.epoch),
-                _ => Self::segment_path(&self.dir, r.epoch),
-            };
-            let _ = fs::remove_file(path);
+            match r.kind {
+                RecordKind::Full => {
+                    let _ = fs::remove_file(Self::full_path(&self.dir, r.epoch));
+                }
+                _ => remove_delta_files(&self.dir, r.epoch),
+            }
         }
         Ok(())
     }
 
     fn remove_epoch(&self, epoch: u64) -> io::Result<()> {
-        let rec = self
-            .live_records()?
-            .into_iter()
-            .find(|r| r.epoch == epoch)
-            .ok_or_else(|| {
+        self.remove_epochs(&[epoch])
+    }
+
+    fn remove_epochs(&self, epochs: &[u64]) -> io::Result<()> {
+        if epochs.is_empty() {
+            return Ok(());
+        }
+        let live = self.live_records()?;
+        let mut doomed = Vec::with_capacity(epochs.len());
+        let mut batch = Vec::with_capacity(epochs.len());
+        for &epoch in epochs {
+            let rec = live.iter().find(|r| r.epoch == epoch).ok_or_else(|| {
                 io::Error::new(io::ErrorKind::NotFound, format!("epoch {epoch} not live"))
             })?;
-        {
-            let _manifest = self.shared.manifest_lock.lock();
-            manifest::append(
-                &self.manifest_path(),
-                ManifestRecord::compacted_into(epoch, 0),
-            )?;
+            doomed.push(*rec);
+            batch.push(ManifestRecord::compacted_into(epoch, 0));
         }
-        let path = match rec.kind {
-            RecordKind::Full => Self::full_path(&self.dir, epoch),
-            _ => Self::segment_path(&self.dir, epoch),
-        };
-        let _ = fs::remove_file(path);
+        {
+            // One durable manifest append for the whole batch: N
+            // retirements, one fsync.
+            let _manifest = self.shared.manifest_lock.lock();
+            manifest::append_batch(&self.manifest_path(), &batch)?;
+            self.shared
+                .io
+                .manifest_appends
+                .fetch_add(batch.len() as u64, Ordering::Relaxed);
+            self.shared
+                .io
+                .manifest_fsyncs
+                .fetch_add(1, Ordering::Relaxed);
+        }
+        for rec in doomed {
+            match rec.kind {
+                RecordKind::Full => {
+                    let _ = fs::remove_file(Self::full_path(&self.dir, rec.epoch));
+                }
+                _ => remove_delta_files(&self.dir, rec.epoch),
+            }
+        }
         Ok(())
+    }
+
+    fn io_stats(&self) -> IoStats {
+        self.shared.io.snapshot()
     }
 }
 
@@ -577,23 +946,46 @@ fn read_segment_header(reader: &mut impl Read, epoch: u64) -> io::Result<Segment
     Ok(version)
 }
 
-/// Stream one segment file (either version), verifying magic, epoch and
-/// per-record CRCs — always computed over the uncompressed payload, so a
-/// compressed record that decodes wrongly can never pass verification.
-fn read_segment(
+/// Fill `buf` from `r`, distinguishing a clean end-of-file at a frame
+/// boundary (`Ok(false)`) from a torn frame mid-read (`InvalidData`).
+fn read_frame(r: &mut impl Read, buf: &mut [u8]) -> io::Result<bool> {
+    let mut filled = 0usize;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..])? {
+            0 if filled == 0 => return Ok(false),
+            0 => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    "torn record frame at segment tail",
+                ))
+            }
+            n => filled += n,
+        }
+    }
+    Ok(true)
+}
+
+/// Stream one segment (shard) file of either version to end-of-file,
+/// verifying magic, epoch and per-record CRCs — always computed over the
+/// uncompressed payload, so a compressed record that decodes wrongly can
+/// never pass verification. Returns the record count read; the caller
+/// cross-checks the total against the manifest.
+fn read_segment_to_eof(
     path: &Path,
     epoch: u64,
-    records: u64,
     visit: &mut dyn FnMut(u64, &[u8]),
-) -> io::Result<()> {
+) -> io::Result<u64> {
     let mut reader = BufReader::with_capacity(1 << 20, File::open(path)?);
     let version = read_segment_header(&mut reader, epoch)?;
     let mut stored = Vec::new();
-    for _ in 0..records {
+    let mut count = 0u64;
+    loop {
         let (page, crc, raw_len, enc) = match version {
             SegmentVersion::V1 => {
                 let mut frame = [0u8; 20];
-                reader.read_exact(&mut frame)?;
+                if !read_frame(&mut reader, &mut frame)? {
+                    break;
+                }
                 let page = u64::from_le_bytes(frame[0..8].try_into().unwrap());
                 let len = u32::from_le_bytes(frame[8..12].try_into().unwrap()) as usize;
                 let crc = u64::from_le_bytes(frame[12..20].try_into().unwrap());
@@ -602,8 +994,10 @@ fn read_segment(
                 (page, crc, len, Encoding::Raw)
             }
             SegmentVersion::V2 => {
-                let mut frame = [0u8; 25];
-                reader.read_exact(&mut frame)?;
+                let mut frame = [0u8; FRAME_LEN_V2];
+                if !read_frame(&mut reader, &mut frame)? {
+                    break;
+                }
                 let page = u64::from_le_bytes(frame[0..8].try_into().unwrap());
                 let enc = Encoding::from_u8(frame[8])?;
                 let raw_len = u32::from_le_bytes(frame[9..13].try_into().unwrap()) as usize;
@@ -623,8 +1017,9 @@ fn read_segment(
             ));
         }
         visit(page, payload);
+        count += 1;
     }
-    Ok(())
+    Ok(count)
 }
 
 /// Hand-write a v1 (`AICKSEG1`) segment plus its manifest record, exactly
@@ -954,6 +1349,135 @@ mod tests {
         assert!(b.begin_epoch(3).is_err());
         assert!(b.begin_epoch(2).is_err());
         b.begin_epoch(4).unwrap().finish().unwrap();
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn lone_stream_stays_in_legacy_single_file_layout() {
+        let dir = tmpdir("shard0");
+        let b = FileBackend::open(&dir).unwrap();
+        let w = b.begin_epoch(1).unwrap();
+        for i in 0..16u64 {
+            w.write_pages(&[(i, &[i as u8; 64])]).unwrap();
+        }
+        w.finish().unwrap();
+        assert!(FileBackend::segment_path(&dir, 1).exists());
+        assert!(
+            !shard_path(&dir, 1, 1).exists(),
+            "no contention, no extra shards"
+        );
+        // Single-stream write order is preserved, as before.
+        let mut pages = Vec::new();
+        b.read_epoch(1, &mut |p, _| pages.push(p)).unwrap();
+        assert_eq!(pages, (0..16).collect::<Vec<u64>>());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn contended_writer_spills_to_shard_files() {
+        let dir = tmpdir("spill");
+        let b = FileBackend::open(&dir).unwrap();
+        let w = b.begin_epoch_impl(1).unwrap();
+        {
+            // Hold shard slot 0 (as a concurrent stream would) and write:
+            // the batch must claim shard 1 instead of blocking.
+            let _slot0 = w.shards[0].lock();
+            w.write_pages(&[(0, &[7u8; 32])]).unwrap();
+            assert!(shard_path(&dir, 1, 1).exists(), "spilled to shard 1");
+        }
+        // Slot 0 free again: next batch lands there.
+        w.write_pages(&[(1, &[9u8; 32])]).unwrap();
+        w.finish().unwrap();
+        let mut seen = Vec::new();
+        b.read_epoch(1, &mut |p, d| seen.push((p, d[0]))).unwrap();
+        seen.sort_unstable();
+        assert_eq!(seen, vec![(0, 7), (1, 9)], "both shards restored");
+        // Retirement removes every shard file of the epoch.
+        b.remove_epoch(1).unwrap();
+        assert!(!FileBackend::segment_path(&dir, 1).exists());
+        assert!(!shard_path(&dir, 1, 1).exists());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn empty_epoch_commits_and_reads_back_empty() {
+        let dir = tmpdir("empty");
+        let b = FileBackend::open(&dir).unwrap();
+        b.begin_epoch(1).unwrap().finish().unwrap();
+        let mut n = 0;
+        b.read_epoch(1, &mut |_, _| n += 1).unwrap();
+        assert_eq!(n, 0);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn group_commit_pays_one_fsync_per_epoch_and_stream() {
+        let dir = tmpdir("iostats");
+        let b = FileBackend::open(&dir)
+            .unwrap()
+            .with_compression(Compression::None);
+        let w = b.begin_epoch(1).unwrap();
+        for i in 0..10u64 {
+            w.write_pages(&[(i, &[i as u8; 256])]).unwrap();
+        }
+        w.finish().unwrap();
+        let s = b.io_stats();
+        assert_eq!(s.segment_fsyncs, 1, "10 batches, one coalesced fsync");
+        assert_eq!((s.manifest_appends, s.manifest_fsyncs), (1, 1));
+        assert!(s.vectored_writes >= 10, "one pwritev per batch at least");
+        assert!(
+            s.write_syscall_bytes >= 10 * 256,
+            "payload flowed through vectored writes"
+        );
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn remove_epochs_batches_manifest_fsyncs() {
+        let dir = tmpdir("batchrm");
+        let b = FileBackend::open(&dir).unwrap();
+        for e in 1..=3u64 {
+            write_epoch(&b, e, vec![(e, vec![e as u8; 16])]).unwrap();
+        }
+        let before = b.io_stats();
+        b.remove_epochs(&[1, 2]).unwrap();
+        let after = b.io_stats();
+        assert_eq!(
+            after.manifest_appends - before.manifest_appends,
+            2,
+            "two retirement records"
+        );
+        assert_eq!(
+            after.manifest_fsyncs - before.manifest_fsyncs,
+            1,
+            "one fsync for the batch"
+        );
+        assert!(after.coalesced_appends() > before.coalesced_appends());
+        assert_eq!(b.epochs().unwrap(), vec![3]);
+        // Retired numbers stay burned after the batched append too.
+        assert!(b.begin_epoch(2).is_err());
+        // A batch naming a non-live epoch fails before any file is lost.
+        assert!(b.remove_epochs(&[3, 99]).is_err());
+        assert_eq!(b.epochs().unwrap(), vec![3]);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn high_water_is_served_from_cache_and_survives_reopen() {
+        let dir = tmpdir("hw");
+        {
+            let b = FileBackend::open(&dir).unwrap();
+            assert_eq!(b.high_water().unwrap(), None);
+            write_epoch(&b, 5, vec![(0, vec![1])]).unwrap();
+            assert_eq!(b.high_water().unwrap(), Some(5));
+            b.remove_epoch(5).unwrap();
+            assert_eq!(b.high_water().unwrap(), Some(5), "retired number burned");
+        }
+        let b = FileBackend::open(&dir).unwrap();
+        assert_eq!(b.high_water().unwrap(), Some(5), "cache reseeded at open");
+        assert!(b.begin_epoch(5).is_err());
+        write_epoch(&b, 6, vec![(0, vec![2])]).unwrap();
+        assert_eq!(b.high_water().unwrap(), Some(6));
         fs::remove_dir_all(&dir).unwrap();
     }
 

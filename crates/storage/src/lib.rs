@@ -21,6 +21,9 @@
 //!   cites from its prior work);
 //! * [`tiered`] — fast-tier + slow-tier pipeline with a background drain
 //!   queue (the VELOC-style multi-level checkpoint path);
+//! * [`io`] — the vectored zero-copy write engine: a partial-write-safe
+//!   `pwritev` wrapper, reusable aligned staging buffers and syscall-level
+//!   I/O counters surfaced as [`IoStats`];
 //! * [`manifest`] / [`checksum`] — the commit log and integrity primitives;
 //! * [`codec`] — per-record payload encodings (raw / RLE / vendored LZ)
 //!   for `AICKSEG2` segments, CRC-verified over the uncompressed bytes;
@@ -41,6 +44,7 @@ pub mod codec;
 pub mod failing;
 pub mod file;
 pub mod image;
+pub mod io;
 pub mod manifest;
 pub mod memory;
 pub mod null;
@@ -57,6 +61,7 @@ pub use codec::{Compression, Encoding};
 pub use failing::{FailingBackend, FailureControl};
 pub use file::FileBackend;
 pub use image::CheckpointImage;
+pub use io::{IoCounters, IoStats};
 pub use manifest::{ManifestRecord, RecordKind};
 pub use memory::MemoryBackend;
 pub use null::NullBackend;

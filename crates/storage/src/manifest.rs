@@ -215,6 +215,23 @@ fn parse(buf: &[u8]) -> io::Result<Vec<ManifestRecord>> {
 /// a v1 manifest and migrates it to v2 atomically when a non-delta record
 /// must be stored.
 pub fn append(path: &Path, record: ManifestRecord) -> io::Result<()> {
+    append_batch(path, &[record])
+}
+
+/// Append a batch of records as one durable commit: every record is written
+/// in order and the file is fsynced **once**, so N retirements (or a
+/// coordinated group's worth of commits) cost one manifest fsync instead of
+/// N. The batch is all-or-nothing under the same torn-tail rule as single
+/// appends: a crash mid-batch leaves a tear that readers ignore and the
+/// next append truncates away — so callers must not treat *any* record of
+/// the batch as committed until `append_batch` returns.
+///
+/// Versioning matches [`append`]: an all-delta batch keeps a v1 file v1;
+/// any non-delta record migrates it to v2 atomically.
+pub fn append_batch(path: &Path, records: &[ManifestRecord]) -> io::Result<()> {
+    if records.is_empty() {
+        return Ok(());
+    }
     // Peek only the magic — appends must stay O(1) in manifest size.
     let mut magic = [0u8; 8];
     let version = match File::open(path) {
@@ -251,37 +268,56 @@ pub fn append(path: &Path, record: ManifestRecord) -> io::Result<()> {
             f.sync_all()?;
         }
     }
+    let all_deltas = records.iter().all(|r| r.kind == RecordKind::Delta);
     match version {
         0 => {
-            let mut f = OpenOptions::new().create(true).append(true).open(path)?;
-            f.write_all(MANIFEST_MAGIC_V2)?;
-            f.write_all(&record.to_bytes_v2())?;
-            f.sync_all()
+            // First use: build the file aside and rename it in. Creating
+            // the manifest in place would let a concurrent reader (e.g. a
+            // `chain()` racing the very first commit) open it between
+            // creation and the magic write and reject the 0-byte file as
+            // foreign; with the rename a reader sees NotFound (empty log)
+            // or the complete file, never anything between.
+            let tmp = path.with_extension("new");
+            let mut f = File::create(&tmp)?;
+            let mut buf = MANIFEST_MAGIC_V2.to_vec();
+            for r in records {
+                buf.extend_from_slice(&r.to_bytes_v2());
+            }
+            f.write_all(&buf)?;
+            f.sync_all()?;
+            std::fs::rename(&tmp, path)
         }
-        1 if record.kind == RecordKind::Delta => {
+        1 if all_deltas => {
             // Keep the file v1: old readers stay compatible.
             let mut f = OpenOptions::new().append(true).open(path)?;
-            f.write_all(&record.to_bytes_v1())?;
+            let mut buf = Vec::with_capacity(records.len() * ManifestRecord::WIRE_LEN_V1);
+            for r in records {
+                buf.extend_from_slice(&r.to_bytes_v1());
+            }
+            f.write_all(&buf)?;
             f.sync_all()
         }
         1 => {
             // First non-delta record: migrate to v2 atomically.
-            let records = read(path)?;
+            let existing = read(path)?;
             let tmp = path.with_extension("mig");
             {
                 let mut f = File::create(&tmp)?;
                 f.write_all(MANIFEST_MAGIC_V2)?;
-                for r in records {
+                for r in existing.iter().chain(records) {
                     f.write_all(&r.to_bytes_v2())?;
                 }
-                f.write_all(&record.to_bytes_v2())?;
                 f.sync_all()?;
             }
             std::fs::rename(&tmp, path)
         }
         _ => {
             let mut f = OpenOptions::new().append(true).open(path)?;
-            f.write_all(&record.to_bytes_v2())?;
+            let mut buf = Vec::with_capacity(records.len() * ManifestRecord::WIRE_LEN_V2);
+            for r in records {
+                buf.extend_from_slice(&r.to_bytes_v2());
+            }
+            f.write_all(&buf)?;
             f.sync_all()
         }
     }
@@ -464,6 +500,56 @@ mod tests {
                 full
             ]
         );
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn append_batch_commits_all_records_in_order() {
+        let path = tmp();
+        let _ = std::fs::remove_file(&path);
+        let batch = vec![
+            ManifestRecord::delta(1, 1, 8),
+            ManifestRecord::compacted_into(1, 0),
+            ManifestRecord::delta(2, 2, 16),
+        ];
+        append_batch(&path, &batch).unwrap();
+        assert_eq!(read(&path).unwrap(), batch);
+        // Empty batch is a no-op, even on a missing file.
+        append_batch(&path, &[]).unwrap();
+        assert_eq!(read(&path).unwrap().len(), 3);
+        // A later batch appends after the existing records.
+        append_batch(&path, &[ManifestRecord::delta(3, 1, 8)]).unwrap();
+        assert_eq!(read(&path).unwrap().len(), 4);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn append_batch_versioning_matches_single_appends() {
+        // All-delta batch keeps a v1 file v1.
+        let path = tmp();
+        write_v1(&path, &[ManifestRecord::delta(1, 1, 8)]);
+        append_batch(
+            &path,
+            &[
+                ManifestRecord::delta(2, 1, 8),
+                ManifestRecord::delta(3, 1, 8),
+            ],
+        )
+        .unwrap();
+        assert!(std::fs::read(&path).unwrap().starts_with(MANIFEST_MAGIC_V1));
+        assert_eq!(read(&path).unwrap().len(), 3);
+        // A batch containing any non-delta record migrates to v2, keeping
+        // every record of the batch.
+        let batch = vec![
+            ManifestRecord::compacted_into(1, 3),
+            ManifestRecord::compacted_into(2, 3),
+            ManifestRecord::full(3, 2, 16, 1),
+        ];
+        append_batch(&path, &batch).unwrap();
+        assert!(std::fs::read(&path).unwrap().starts_with(MANIFEST_MAGIC_V2));
+        let all = read(&path).unwrap();
+        assert_eq!(all.len(), 6);
+        assert_eq!(&all[3..], &batch[..]);
         std::fs::remove_file(&path).unwrap();
     }
 

@@ -174,6 +174,23 @@ impl StorageBackend for ReplicatedBackend {
         Ok(())
     }
 
+    fn remove_epochs(&self, epochs: &[u64]) -> io::Result<()> {
+        for r in &self.replicas {
+            r.remove_epochs(epochs)?;
+        }
+        Ok(())
+    }
+
+    fn io_stats(&self) -> crate::io::IoStats {
+        // Physical I/O is the sum across replicas: every copy pays its own
+        // syscalls and fsyncs, unlike `bytes_written` which stays logical.
+        let mut total = crate::io::IoStats::default();
+        for r in &self.replicas {
+            total = total.merged(r.io_stats());
+        }
+        total
+    }
+
     fn drain_one(&self) -> io::Result<Option<u64>> {
         let mut drained = None;
         for r in &self.replicas {

@@ -245,8 +245,16 @@ impl<B: StorageBackend> StorageBackend for ThrottledBackend<B> {
         self.inner.remove_epoch(epoch)
     }
 
+    fn remove_epochs(&self, epochs: &[u64]) -> io::Result<()> {
+        self.inner.remove_epochs(epochs)
+    }
+
     fn drain_one(&self) -> io::Result<Option<u64>> {
         self.inner.drain_one()
+    }
+
+    fn io_stats(&self) -> crate::io::IoStats {
+        self.inner.io_stats()
     }
 }
 

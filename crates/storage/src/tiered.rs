@@ -299,6 +299,10 @@ impl StorageBackend for TieredBackend {
         }
     }
 
+    fn io_stats(&self) -> crate::io::IoStats {
+        self.fast.io_stats().merged(self.slow.io_stats())
+    }
+
     fn drain_one(&self) -> io::Result<Option<u64>> {
         let _serial = self.drain_lock.lock();
         let Some(&epoch) = self.state.lock().pending.front() else {

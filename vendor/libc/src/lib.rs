@@ -98,6 +98,9 @@ impl siginfo_t {
     }
 }
 
+/// C `ssize_t`.
+pub type ssize_t = isize;
+
 /// `struct timespec`.
 #[repr(C)]
 #[derive(Clone, Copy)]
@@ -107,6 +110,20 @@ pub struct timespec {
     /// Nanoseconds `[0, 1e9)`.
     pub tv_nsec: c_long,
 }
+
+/// `struct iovec` — one buffer of a vectored I/O request (`readv`/`writev`
+/// family). Field order and sizes are fixed by POSIX on LP64 Linux.
+#[repr(C)]
+#[derive(Clone, Copy)]
+pub struct iovec {
+    /// Buffer base address.
+    pub iov_base: *mut c_void,
+    /// Buffer length in bytes.
+    pub iov_len: size_t,
+}
+
+/// `IOV_MAX` on Linux: the most iovecs one vectored call may carry.
+pub const IOV_MAX: c_int = 1024;
 
 extern "C" {
     /// `mmap(2)`.
@@ -130,6 +147,9 @@ extern "C" {
     pub fn sigemptyset(set: *mut sigset_t) -> c_int;
     /// `nanosleep(2)` — async-signal-safe sleep.
     pub fn nanosleep(req: *const timespec, rem: *mut timespec) -> c_int;
+    /// `pwritev(2)` — positioned vectored write: gathers `iovcnt` buffers
+    /// into one write at `offset` without moving the file cursor.
+    pub fn pwritev(fd: c_int, iov: *const iovec, iovcnt: c_int, offset: off_t) -> ssize_t;
     /// glibc's thread-local errno accessor.
     pub fn __errno_location() -> *mut c_int;
 }
