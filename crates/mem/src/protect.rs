@@ -4,10 +4,16 @@
 
 use std::io;
 
-/// Page protection level. We never remove read permission: the committer
-/// reads live pages while they are write-protected.
+/// Page protection level. On the write-tracking path we never remove read
+/// permission (the committer reads live pages while they are
+/// write-protected); [`Protection::None`] exists for the demand-paged restore
+/// path, where pages with no content yet must trap on *any* access.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Protection {
+    /// `PROT_NONE`: any access traps with `SIGSEGV`. Used by lazy restore
+    /// for pages whose contents have not been fetched yet; the filler writes
+    /// them through `/proc/self/mem`, which bypasses page protections.
+    None,
     /// `PROT_READ`: reads allowed, writes trap with `SIGSEGV`.
     ReadOnly,
     /// `PROT_READ | PROT_WRITE`: normal access.
@@ -17,6 +23,7 @@ pub enum Protection {
 impl Protection {
     fn to_prot(self) -> libc::c_int {
         match self {
+            Protection::None => libc::PROT_NONE,
             Protection::ReadOnly => libc::PROT_READ,
             Protection::ReadWrite => libc::PROT_READ | libc::PROT_WRITE,
         }
@@ -83,6 +90,21 @@ mod tests {
         }
         unsafe { region.as_ptr().write(43) };
         assert_eq!(unsafe { region.as_ptr().read() }, 43);
+    }
+
+    #[test]
+    fn prot_none_blocks_until_lifted() {
+        let region = MappedRegion::new(crate::page_size()).unwrap();
+        unsafe { region.as_ptr().write(7) };
+        unsafe {
+            set_protection(region.addr(), region.len(), Protection::None).unwrap();
+        }
+        // Can't touch the page from here without faulting, but lifting the
+        // protection must expose the original contents unchanged.
+        unsafe {
+            set_protection(region.addr(), region.len(), Protection::ReadWrite).unwrap();
+        }
+        assert_eq!(unsafe { region.as_ptr().read() }, 7);
     }
 
     #[test]

@@ -12,7 +12,7 @@ use ai_ckpt_core::PageId;
 use ai_ckpt_mem::{registry, MappedRegion};
 use parking_lot::Mutex;
 
-use crate::manager::{Ctl, Regions};
+use crate::manager::{fill, Ctl, Regions};
 
 /// Owned protected memory. Reads are always plain; writes may fault into
 /// the page manager's handler (transparently — the write simply proceeds
@@ -144,7 +144,43 @@ impl Drop for ProtectedBuffer {
                 .expect("entry taken once, by drop");
             entry.handle
         };
-        // 2. Withdraw every page from checkpointing. discard_page refuses
+        // 2. Resolve any lazy-restore fill states first: a page the filler
+        //    is writing *right now* (via /proc/self/mem) must finish before
+        //    the mapping can go away, and pages still pending fill leave
+        //    the unfilled count (or `CHECKPOINT`'s drain barrier would wait
+        //    for fills that will never happen).
+        for p in self.base_page..self.base_page + self.pages {
+            let cell = &self.ctl.shared.fill[p];
+            loop {
+                match cell.load(Ordering::Acquire) {
+                    // Mid-write: wait the filler out (it holds a page for
+                    // one storage read + memcpy, µs-to-ms).
+                    fill::FILLING => std::thread::yield_now(),
+                    fill::NOT_LAZY | fill::FILLED => {
+                        cell.store(fill::NOT_LAZY, Ordering::Release);
+                        break;
+                    }
+                    cur => {
+                        // UNFILLED | DEMANDED | POISONED: still counted as
+                        // unfilled; retire the page from the count. CAS —
+                        // the filler may claim it concurrently.
+                        if cell
+                            .compare_exchange(
+                                cur,
+                                fill::NOT_LAZY,
+                                Ordering::AcqRel,
+                                Ordering::Acquire,
+                            )
+                            .is_ok()
+                        {
+                            self.ctl.shared.lazy_unfilled.fetch_sub(1, Ordering::AcqRel);
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+        // 3. Withdraw every page from checkpointing. discard_page refuses
         //    while the committer holds a page locked; wait it out with
         //    bounded exponential backoff — the committer holds a page for
         //    storage-write time (µs to ms), so an unbounded yield_now loop
@@ -170,9 +206,9 @@ impl Drop for ProtectedBuffer {
             }
             self.ctl.shared.page_addr[p].store(0, Ordering::Release);
         }
-        // 3. Stop routing faults for these addresses...
+        // 4. Stop routing faults for these addresses...
         registry::deregister(handle);
-        // 4. ...and only then unmap (Region drop).
+        // 5. ...and only then unmap (Region drop).
         self.region.take();
     }
 }

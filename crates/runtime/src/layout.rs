@@ -24,7 +24,10 @@ fn escape(name: &str) -> String {
     let mut out = String::with_capacity(name.len());
     for b in name.bytes() {
         match b {
-            b' ' | b'%' | b'\n' | b'\r' | b'\t' => out.push_str(&format!("%{b:02X}")),
+            // Non-ASCII bytes must be escaped too: pushing them as `char`
+            // would re-encode each UTF-8 continuation byte as a two-byte
+            // sequence, corrupting any non-ASCII name on round-trip.
+            b' ' | b'%' | b'\n' | b'\r' | b'\t' | 0x80.. => out.push_str(&format!("%{b:02X}")),
             _ => out.push(b as char),
         }
     }
@@ -101,9 +104,11 @@ pub fn decode(data: &[u8]) -> io::Result<Vec<BufferLayout>> {
     Ok(out)
 }
 
-/// Blob name for the layout as of checkpoint `seq`.
+/// Blob name for the layout as of checkpoint `seq`. Delegates to the
+/// storage crate's naming so backend-side blob retirement (compaction, epoch
+/// removal, orphan sweeps) recognises layout blobs by the same convention.
 pub fn blob_name(seq: u64) -> String {
-    format!("layout_{seq:010}")
+    ai_ckpt_storage::layout_blob_name(seq)
 }
 
 #[cfg(test)]
@@ -154,5 +159,70 @@ mod tests {
     fn blob_names_sort_with_epoch() {
         assert!(blob_name(2) > blob_name(1));
         assert_eq!(blob_name(3), "layout_0000000003");
+    }
+
+    #[test]
+    fn non_ascii_names_round_trip() {
+        for name in ["höhe", "网格", "δx", "état-😀", "mixé %\n网"] {
+            let layouts = vec![BufferLayout {
+                name: name.into(),
+                base_page: 1,
+                pages: 2,
+                len_bytes: 3,
+            }];
+            let enc = encode(&layouts);
+            assert!(
+                enc.iter().all(u8::is_ascii),
+                "escaped layout line must be pure ASCII for {name:?}"
+            );
+            assert_eq!(decode(&enc).unwrap(), layouts, "round-trip of {name:?}");
+        }
+    }
+
+    /// Property test over arbitrary UTF-8 names, driven by a hand-rolled
+    /// xorshift PRNG (no proptest dependency): every valid name must
+    /// round-trip byte-identically through encode/decode.
+    #[test]
+    fn arbitrary_utf8_names_round_trip() {
+        let mut state = 0x243F_6A88_85A3_08D3u64; // fixed seed: deterministic
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for case in 0..500 {
+            let len = (next() % 24) as usize;
+            let name: String = (0..len)
+                .map(|_| {
+                    // Bias towards interesting code points: ASCII (incl. the
+                    // escaped set), Latin-1, CJK, and astral-plane emoji.
+                    match next() % 4 {
+                        0 => char::from((next() % 0x80) as u8).to_string(),
+                        1 => char::from_u32(0xA0 + (next() % 0x60) as u32)
+                            .unwrap()
+                            .to_string(),
+                        2 => char::from_u32(0x4E00 + (next() % 0x100) as u32)
+                            .unwrap()
+                            .to_string(),
+                        _ => char::from_u32(0x1F600 + (next() % 0x50) as u32)
+                            .unwrap()
+                            .to_string(),
+                    }
+                })
+                .collect();
+            let layouts = vec![BufferLayout {
+                name: name.clone(),
+                base_page: next(),
+                pages: next(),
+                len_bytes: next(),
+            }];
+            let enc = encode(&layouts);
+            assert_eq!(
+                decode(&enc).unwrap(),
+                layouts,
+                "case {case}: name {name:?} must survive the round-trip"
+            );
+        }
     }
 }

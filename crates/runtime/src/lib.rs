@@ -49,7 +49,7 @@
 //! | [`manager`] | the page manager: `CHECKPOINT`, fault handling, committer |
 //! | [`buffer`] | `ProtectedBuffer` (= `malloc_protected`/`free_protected`) |
 //! | [`config`] | presets for the paper's three evaluated settings |
-//! | [`restore`] | restart from an incremental checkpoint chain |
+//! | [`restore`] | restart from an incremental checkpoint chain (eager or demand-paged) |
 //! | [`transparent`] | allocator-interposed tracking (no source changes) |
 //! | [`stats`] | checkpoint durations + access-type statistics |
 //!
@@ -70,7 +70,10 @@ pub mod transparent;
 pub use buffer::ProtectedBuffer;
 pub use config::{CkptConfig, CkptMode, CompactionPolicy};
 pub use manager::PageManager;
-pub use restore::{restore_at, restore_latest, RestoredState};
+pub use restore::{
+    restore_at, restore_latest, restore_latest_lazy, restore_lazy, LazyRestore, RestoreStats,
+    RestoredState,
+};
 pub use stats::{CheckpointRecord, MaintenanceStats, RuntimeStats};
 
 // Re-export the vocabulary types users need alongside the runtime.

@@ -60,7 +60,7 @@
 //! thread-safe); only the request itself must be quiesced.
 
 use std::io;
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Ordering};
 use std::sync::mpsc;
 use std::sync::Arc;
 use std::time::Instant;
@@ -77,6 +77,36 @@ use ai_ckpt_storage::{crc64, EpochKind, EpochWriter, StorageBackend};
 use crate::config::{CkptConfig, CkptMode, CompactionPolicy};
 use crate::layout::{self, BufferLayout};
 use crate::stats::{CheckpointRecord, MaintenanceStats, RuntimeStats, StreamStats};
+
+/// Per-page fill states of the demand-paged restore path (values of
+/// [`Shared::fill`]). Transitions are CAS-only (except the initial mark and
+/// the filler's terminal store), so the fault handler, the filler thread and
+/// `ProtectedBuffer::drop` can race without ever losing a page:
+///
+/// ```text
+/// NOT_LAZY ──mark──▶ UNFILLED ──fault──▶ DEMANDED
+///                        │                   │
+///                        └──────filler───────┴─▶ FILLING ─▶ FILLED
+///                                 (error/abort paths: ─▶ POISONED)
+/// ```
+pub(crate) mod fill {
+    /// Page is not under lazy restore (the steady-state value).
+    pub const NOT_LAZY: u8 = 0;
+    /// Content pending; the page is `PROT_NONE`, nobody asked for it yet.
+    pub const UNFILLED: u8 = 1;
+    /// A fault hit the page; its id sits in the demand ring.
+    pub const DEMANDED: u8 = 2;
+    /// The filler is writing the page's bytes right now.
+    pub const FILLING: u8 = 3;
+    /// Content present, protection `PROT_READ`: normal tracking applies.
+    pub const FILLED: u8 = 4;
+    /// The restore died before this page; any access is a real fault.
+    pub const POISONED: u8 = 5;
+}
+
+/// Demand-ring capacity. Overflow only loses *priority hints* — the
+/// prefetch sweep still fills every page — so a modest fixed size suffices.
+const DEMAND_RING_SLOTS: usize = 1024;
 
 /// State reachable from the SIGSEGV handler. Lives behind an `Arc` whose
 /// address is the registry token, so the handler can reach it without any
@@ -100,6 +130,24 @@ pub(crate) struct Shared {
     pub(crate) stall: LatencyHistogram,
     /// Total engine-lock acquisitions (all threads; relaxed counter).
     pub(crate) engine_locks: AtomicU64,
+    /// Per-page demand-paged-restore fill state (see [`fill`]); all
+    /// `NOT_LAZY` outside an active lazy restore.
+    pub(crate) fill: Box<[AtomicU8]>,
+    /// Pages marked for lazy restore whose fill has not *succeeded* yet
+    /// (states `UNFILLED`/`DEMANDED`/`FILLING`/`POISONED`). `CHECKPOINT`
+    /// drains this to zero before snapshotting an epoch.
+    pub(crate) lazy_unfilled: AtomicU64,
+    /// Set when a lazy restore died leaving `POISONED` pages behind.
+    pub(crate) lazy_poisoned: AtomicBool,
+    /// Demand faults taken on not-yet-filled pages (cumulative; a restore
+    /// snapshots a baseline to report per-restore numbers).
+    pub(crate) lazy_demand_faults: AtomicU64,
+    /// Fault-to-filler priority hints: slots hold `page + 1` (0 = empty),
+    /// written at `demand_head % len` by the handler, consumed by the
+    /// filler's private tail. Purely advisory — see [`DEMAND_RING_SLOTS`].
+    pub(crate) demand_ring: Box<[AtomicU64]>,
+    /// Next demand-ring write position (monotonic; wraps via modulo).
+    pub(crate) demand_head: AtomicUsize,
 }
 
 #[cfg(debug_assertions)]
@@ -139,6 +187,77 @@ impl Shared {
     fn engine_from_handler(&self) -> SpinGuard<'_, EpochEngine> {
         self.engine_locks.fetch_add(1, Ordering::Relaxed);
         self.engine.lock()
+    }
+
+    /// Put `page` under lazy restore: content pending, any access must wait
+    /// for the filler. Caller contract (restore): the page is `PROT_NONE`
+    /// before the first application access can happen.
+    pub(crate) fn lazy_mark_unfilled(&self, page: usize) {
+        self.lazy_unfilled.fetch_add(1, Ordering::AcqRel);
+        self.fill[page].store(fill::UNFILLED, Ordering::Release);
+    }
+
+    /// Filler: claim `page` for filling. `false` means the page no longer
+    /// needs work (already filled, or its buffer was dropped).
+    pub(crate) fn lazy_begin_fill(&self, page: usize) -> bool {
+        loop {
+            let cur = self.fill[page].load(Ordering::Acquire);
+            match cur {
+                fill::UNFILLED | fill::DEMANDED => {
+                    if self.fill[page]
+                        .compare_exchange(cur, fill::FILLING, Ordering::AcqRel, Ordering::Acquire)
+                        .is_ok()
+                    {
+                        return true;
+                    }
+                }
+                _ => return false,
+            }
+        }
+    }
+
+    /// Filler: publish `page` as filled (content written, protection
+    /// `PROT_READ`) and retire it from the unfilled count. Blocked faulting
+    /// threads wake on this store.
+    pub(crate) fn lazy_finish_fill(&self, page: usize) {
+        debug_assert_eq!(self.fill[page].load(Ordering::Acquire), fill::FILLING);
+        self.fill[page].store(fill::FILLED, Ordering::Release);
+        self.lazy_unfilled.fetch_sub(1, Ordering::AcqRel);
+    }
+
+    /// Filler (error/abort paths): poison `page` — the restore will never
+    /// deliver its content. Accessors get a genuine SIGSEGV; `CHECKPOINT`
+    /// refuses to run. The page stays in the unfilled count until its
+    /// buffer drops.
+    pub(crate) fn lazy_poison(&self, page: usize) {
+        loop {
+            let cur = self.fill[page].load(Ordering::Acquire);
+            match cur {
+                fill::UNFILLED | fill::DEMANDED | fill::FILLING => {
+                    if self.fill[page]
+                        .compare_exchange(cur, fill::POISONED, Ordering::AcqRel, Ordering::Acquire)
+                        .is_ok()
+                    {
+                        self.lazy_poisoned.store(true, Ordering::Release);
+                        return;
+                    }
+                }
+                _ => return,
+            }
+        }
+    }
+
+    /// Filler: pop the next demand hint, if any. `tail` is the filler's
+    /// private cursor; slots are consumed by swapping back to 0.
+    pub(crate) fn lazy_next_demand(&self, tail: &mut usize) -> Option<u64> {
+        let slot = &self.demand_ring[*tail % self.demand_ring.len()];
+        match slot.swap(0, Ordering::AcqRel) {
+            0 => None,
+            v => {
+                *tail += 1;
+                Some(v - 1)
+            }
+        }
     }
 }
 
@@ -228,7 +347,7 @@ impl ContentFilter {
     }
 
     /// Record `page`'s committed payload digest.
-    fn set(&self, page: u64, digest: u64) {
+    pub(crate) fn set(&self, page: u64, digest: u64) {
         let shard = page as usize % DIGEST_SHARDS;
         self.shards[shard]
             .lock()
@@ -445,6 +564,10 @@ impl PageManager {
         let slab_store = Arc::clone(engine.slab_store());
         let mut page_addr = Vec::with_capacity(cfg.max_pages);
         page_addr.resize_with(cfg.max_pages, || AtomicUsize::new(0));
+        let mut fill = Vec::with_capacity(cfg.max_pages);
+        fill.resize_with(cfg.max_pages, || AtomicU8::new(fill::NOT_LAZY));
+        let mut demand_ring = Vec::with_capacity(DEMAND_RING_SLOTS);
+        demand_ring.resize_with(DEMAND_RING_SLOTS, || AtomicU64::new(0));
         let shared = Arc::new(Shared {
             engine: SpinLock::new(engine),
             states,
@@ -453,6 +576,12 @@ impl PageManager {
             page_addr: page_addr.into_boxed_slice(),
             stall: LatencyHistogram::new(),
             engine_locks: AtomicU64::new(0),
+            fill: fill.into_boxed_slice(),
+            lazy_unfilled: AtomicU64::new(0),
+            lazy_poisoned: AtomicBool::new(false),
+            lazy_demand_faults: AtomicU64::new(0),
+            demand_ring: demand_ring.into_boxed_slice(),
+            demand_head: AtomicUsize::new(0),
         });
         let ctl = Arc::new(Ctl {
             shared,
@@ -646,6 +775,10 @@ impl PageManager {
     /// an error (cleared on return, so the application can decide whether to
     /// continue).
     pub fn checkpoint(&self) -> io::Result<CheckpointPlanInfo> {
+        // A checkpoint must capture fully-restored state: wait until any
+        // in-flight lazy restore has filled every marked page (the filler
+        // is on it; this is a drain barrier, not a trigger).
+        self.wait_lazy_restore_drained()?;
         // Lines 2-4: wait until the previous checkpoint completed.
         {
             let mut st = self.ctl.status.lock();
@@ -699,6 +832,24 @@ impl PageManager {
             self.wait_checkpoint()?;
         }
         Ok(info)
+    }
+
+    /// Drain barrier against an in-flight lazy restore: returns once no
+    /// page is pending fill, or an error if the restore died (`POISONED`
+    /// pages hold state no checkpoint should capture).
+    fn wait_lazy_restore_drained(&self) -> io::Result<()> {
+        let shared = &self.ctl.shared;
+        loop {
+            if shared.lazy_unfilled.load(Ordering::Acquire) == 0 {
+                return Ok(());
+            }
+            if shared.lazy_poisoned.load(Ordering::Acquire) {
+                return Err(io::Error::other(
+                    "lazy restore failed; checkpoint would capture unrestored pages",
+                ));
+            }
+            std::thread::sleep(std::time::Duration::from_micros(20));
+        }
     }
 
     /// Block until the in-flight checkpoint (if any) is durably committed.
@@ -872,6 +1023,93 @@ fn fault_entry(hit: RegionHit, _addr: usize) -> bool {
     // stall: the faulting store retries the moment we return.
     let stall_started = Instant::now();
     let p = hit.page as PageId;
+    // Demand-paged restore: a page whose content has not been fetched yet
+    // sits behind PROT_NONE with a live fill state — any access lands here
+    // *before* write tracking can apply. Demand the page from the filler
+    // and wait it out; everything used below is async-signal-safe (atomics,
+    // spin/yield/nanosleep).
+    let fill_cell = &shared.fill[p as usize];
+    let mut fill_state = fill_cell.load(Ordering::Acquire);
+    if fill_state != fill::NOT_LAZY && fill_state != fill::FILLED {
+        let mut spins = 0u32;
+        let mut hint_posted = false;
+        loop {
+            match fill_state {
+                fill::NOT_LAZY | fill::FILLED => break,
+                // The restore died before delivering this page: there is no
+                // content to expose. Decline the fault — the default action
+                // (a genuine SIGSEGV) is the honest outcome.
+                fill::POISONED => return false,
+                fill::UNFILLED => {
+                    if fill_cell
+                        .compare_exchange(
+                            fill::UNFILLED,
+                            fill::DEMANDED,
+                            Ordering::AcqRel,
+                            Ordering::Acquire,
+                        )
+                        .is_ok()
+                    {
+                        // Hand the filler a priority hint (slot value is
+                        // page+1 so 0 can mean empty; a wrapped-over slot
+                        // only loses the hint, never the fill).
+                        let slot = shared.demand_head.fetch_add(1, Ordering::AcqRel)
+                            % shared.demand_ring.len();
+                        shared.demand_ring[slot].store(p as u64 + 1, Ordering::Release);
+                        shared.lazy_demand_faults.fetch_add(1, Ordering::Relaxed);
+                        hint_posted = true;
+                    }
+                }
+                // DEMANDED | FILLING: the filler is on it; same graduated
+                // wait as MustWait below — storage reads are µs-to-ms.
+                // Post one hint even so: a FILLING page may be sitting in
+                // the filler's deferred publication batch, and a hint is
+                // what flushes that batch (duplicates are benign — a
+                // consumed hint for a done page is simply skipped).
+                _ => {
+                    if !hint_posted {
+                        let slot = shared.demand_head.fetch_add(1, Ordering::AcqRel)
+                            % shared.demand_ring.len();
+                        shared.demand_ring[slot].store(p as u64 + 1, Ordering::Release);
+                        shared.lazy_demand_faults.fetch_add(1, Ordering::Relaxed);
+                        hint_posted = true;
+                    }
+                    spins = spins.saturating_add(1);
+                    if spins < 64 {
+                        std::hint::spin_loop();
+                    } else if spins < 72 {
+                        // A short yield phase only: on a loaded (or
+                        // single-CPU) box each yield can cost a scheduler
+                        // quantum against the CPU-bound filler, so get to
+                        // the timed sleep quickly — the fill we are waiting
+                        // for is at least one storage read away anyway.
+                        std::thread::yield_now();
+                    } else {
+                        let ts = libc::timespec {
+                            tv_sec: 0,
+                            tv_nsec: 20_000, // 20 µs
+                        };
+                        // SAFETY: nanosleep with a valid timespec;
+                        // async-signal-safe.
+                        unsafe { libc::nanosleep(&ts, std::ptr::null_mut()) };
+                    }
+                }
+            }
+            fill_state = fill_cell.load(Ordering::Acquire);
+        }
+        if fill_state == fill::FILLED {
+            // Content is in place and the page is PROT_READ. Retry the
+            // instruction: a read proceeds; a *write* re-faults and takes
+            // the normal tracking path on its second trip (so the dirty-set
+            // bookkeeping below never runs for plain reads).
+            shared
+                .stall
+                .record(stall_started.elapsed().as_nanos() as u64);
+            return true;
+        }
+        // NOT_LAZY: the page left lazy restore under us (buffer teardown);
+        // fall through to the normal path.
+    }
     let mut must_wait = false;
     {
         let mut eng = shared.engine_from_handler();
@@ -1038,7 +1276,14 @@ fn flush_checkpoint(
                 let _ = writer.abort();
                 return Err(e);
             }
-            writer.finish()?;
+            if let Err(e) = writer.finish() {
+                // The layout blob landed but its epoch never committed:
+                // delete it, or it would sit orphaned until the backend's
+                // open-time sweep (restore never reads it — there is no
+                // epoch to restore).
+                let _ = backend.delete_blob(&layout::blob_name(seq));
+                return Err(e);
+            }
             // The epoch is durable: the digest table may now describe its
             // payloads, and the epoch's skips count. (On any failure path
             // above, both die with the job — the table keeps describing

@@ -17,14 +17,42 @@
 //! image ([`PageManager::seed_content_digests`]), so the committer drops
 //! the pages the restart did not actually change and that first checkpoint
 //! stays incremental in bytes while remaining full in coverage.
+//!
+//! ## Lazy (demand-paged) restore
+//!
+//! [`restore_at`] pays the whole image before the application runs a single
+//! instruction — time-to-restart grows linearly with image size.
+//! [`restore_lazy`] inverts that: it replays only the layout (page-table
+//! work, no payload I/O), maps every to-be-restored page `PROT_NONE`, and
+//! returns immediately. A background *filler* thread then streams pages in
+//! predicted-access order (the checkpoint's recorded first-write order,
+//! replayed through the same [`EpochRecord`] machinery the tracker uses),
+//! resolving each page through a [`PageLocator`] and — when given one — a
+//! shared [`PageCache`], so N concurrent restores of one checkpoint hit
+//! disk once per page. An application access that outruns the prefetcher
+//! faults, posts a priority hint to the filler's demand ring, and blocks
+//! only for that single page's read.
+//!
+//! The filler writes payloads through `/proc/self/mem` (which bypasses page
+//! protections) while the page stays `PROT_NONE`, then drops the protection
+//! to `PROT_READ` and publishes the fill — so no window exists in which a
+//! concurrent application thread could observe a half-filled page, and the
+//! fill itself never faults: the first post-restore checkpoint sees exactly
+//! the pages the application actually wrote. Content-filter digests are
+//! seeded per page at fill time, keeping that checkpoint incremental in
+//! bytes, identical to the eager path.
 
 use std::collections::HashMap;
 use std::io;
+use std::os::unix::fs::FileExt;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
 
-use ai_ckpt_storage::{CheckpointImage, StorageBackend};
+use ai_ckpt_core::{AccessType, EpochRecord, PageId};
+use ai_ckpt_storage::{crc64, CheckpointImage, PageCache, PageLocator, StorageBackend};
 
 use crate::layout;
-use crate::manager::PageManager;
+use crate::manager::{Ctl, PageManager};
 use crate::ProtectedBuffer;
 
 /// The outcome of a restore: the rebuilt buffers, in layout order, plus an
@@ -113,4 +141,494 @@ pub fn restore_at(
         by_name,
         checkpoint: seq,
     })
+}
+
+/// Per-restore metrics of a lazy restore (snapshot via
+/// [`LazyRestore::stats`] or returned by [`LazyRestore::wait`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RestoreStats {
+    /// Demand faults taken by application threads on not-yet-filled pages.
+    pub demand_faults: u64,
+    /// Pages filled in response to a demand-ring hint (an application
+    /// access outran the prefetcher).
+    pub demanded_pages: u64,
+    /// Pages filled by the background prefetch sweep before anything asked.
+    pub prefetched_pages: u64,
+    /// Buffer pages absent from the image and left zero (never marked lazy,
+    /// never fetched — reading them costs nothing).
+    pub zero_pages: u64,
+    /// Filled pages whose payload came from the shared [`PageCache`]
+    /// instead of a backend read.
+    pub pages_from_cache: u64,
+    /// Payload bytes served from the shared cache.
+    pub bytes_from_cache: u64,
+    /// Total payload bytes written into restored pages so far.
+    pub bytes_filled: u64,
+}
+
+/// Filler-side counters behind the [`RestoreStats`] snapshot.
+#[derive(Default)]
+struct FillCounters {
+    demanded_pages: AtomicU64,
+    prefetched_pages: AtomicU64,
+    pages_from_cache: AtomicU64,
+    bytes_from_cache: AtomicU64,
+    bytes_filled: AtomicU64,
+}
+
+/// Handle to an in-flight lazy restore: the rebuilt (still-filling) buffers
+/// plus the background filler.
+///
+/// The application may use `state.buffers` immediately — accesses to pages
+/// the filler has not reached yet block for exactly that page's read.
+/// Dropping the handle **aborts** an unfinished restore: the filler stops,
+/// remaining pages are poisoned (touching them raises a genuine SIGSEGV,
+/// and `CHECKPOINT` refuses to run) — call [`LazyRestore::wait`] first when
+/// the restore must complete.
+pub struct LazyRestore {
+    /// The rebuilt buffers, exactly as [`restore_at`] would return them
+    /// (the bytes just arrive in the background).
+    pub state: RestoredState,
+    ctl: Arc<Ctl>,
+    stop: Arc<AtomicBool>,
+    filler: Option<std::thread::JoinHandle<io::Result<()>>>,
+    /// Every page the filler owes (newest-first prefetch order); also the
+    /// poison set on abort.
+    order: Arc<Vec<u64>>,
+    counters: Arc<FillCounters>,
+    /// `Shared::lazy_demand_faults` at restore start (the shared counter is
+    /// cumulative across restores on one manager).
+    fault_baseline: u64,
+    zero_pages: u64,
+}
+
+impl LazyRestore {
+    /// Point-in-time metrics of this restore.
+    pub fn stats(&self) -> RestoreStats {
+        RestoreStats {
+            demand_faults: self
+                .ctl
+                .shared
+                .lazy_demand_faults
+                .load(Ordering::Relaxed)
+                .saturating_sub(self.fault_baseline),
+            demanded_pages: self.counters.demanded_pages.load(Ordering::Relaxed),
+            prefetched_pages: self.counters.prefetched_pages.load(Ordering::Relaxed),
+            zero_pages: self.zero_pages,
+            pages_from_cache: self.counters.pages_from_cache.load(Ordering::Relaxed),
+            bytes_from_cache: self.counters.bytes_from_cache.load(Ordering::Relaxed),
+            bytes_filled: self.counters.bytes_filled.load(Ordering::Relaxed),
+        }
+    }
+
+    /// True once every marked page has been filled.
+    pub fn is_complete(&self) -> bool {
+        self.ctl.shared.lazy_unfilled.load(Ordering::Acquire) == 0
+    }
+
+    /// Block until the filler delivered every page (or failed), returning
+    /// the final metrics. Idempotent.
+    pub fn wait(&mut self) -> io::Result<RestoreStats> {
+        if let Some(filler) = self.filler.take() {
+            match filler.join() {
+                Ok(result) => result?,
+                Err(_) => return Err(io::Error::other("restore filler thread panicked")),
+            }
+        }
+        Ok(self.stats())
+    }
+}
+
+impl Drop for LazyRestore {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(filler) = self.filler.take() {
+            let _ = filler.join();
+        }
+        // Poison whatever the filler never delivered: state the application
+        // could observe as silently zero must instead fault loudly. (A
+        // restore that ran to completion has nothing left to poison; the
+        // buffers dropping right after this resolve the states for good.)
+        for &page in self.order.iter() {
+            self.ctl.shared.lazy_poison(page as usize);
+        }
+    }
+}
+
+/// Lazily restore the most recent committed checkpoint, or `None` on a
+/// fresh backend. See [`restore_lazy`].
+pub fn restore_latest_lazy(
+    manager: &PageManager,
+    backend: Arc<dyn StorageBackend>,
+    cache: Option<Arc<PageCache>>,
+) -> io::Result<Option<LazyRestore>> {
+    match backend.epochs()?.last() {
+        Some(&seq) => restore_lazy(manager, backend, seq, cache).map(Some),
+        None => Ok(None),
+    }
+}
+
+/// Demand-paged restore of checkpoint `seq` (see the module docs): replays
+/// the layout without reading any payload, maps to-be-restored pages
+/// `PROT_NONE`, and starts a background filler. Returns as soon as the
+/// buffers exist — time-to-first-instruction is layout work only,
+/// independent of image size.
+///
+/// `manager` must be fresh (same contract as [`restore_at`]); `cache`, when
+/// given, is shared across concurrent restores of the same checkpoint so
+/// each page is read from `backend` once per storm, not once per reader.
+pub fn restore_lazy(
+    manager: &PageManager,
+    backend: Arc<dyn StorageBackend>,
+    seq: u64,
+    cache: Option<Arc<PageCache>>,
+) -> io::Result<LazyRestore> {
+    let blob = backend.get_blob(&layout::blob_name(seq))?.ok_or_else(|| {
+        io::Error::new(
+            io::ErrorKind::NotFound,
+            format!("no layout blob for checkpoint {seq}"),
+        )
+    })?;
+    let layouts = layout::decode(&blob)?;
+    // Resolve page → owning epoch up front (manifest metadata only; no
+    // payload is materialised).
+    let locator = PageLocator::build(backend.as_ref(), seq)?;
+    let page_bytes = ai_ckpt_mem::page_size();
+    let ctl = Arc::clone(&manager.ctl);
+    let shared = &ctl.shared;
+    debug_assert_eq!(
+        shared.lazy_unfilled.load(Ordering::Acquire),
+        0,
+        "one lazy restore per manager at a time"
+    );
+    shared.lazy_poisoned.store(false, Ordering::Release);
+    let fault_baseline = shared.lazy_demand_faults.load(Ordering::Relaxed);
+
+    let mut buffers = Vec::with_capacity(layouts.len());
+    let mut by_name = HashMap::new();
+    for l in &layouts {
+        let buf = manager.alloc_protected_named(&l.name, l.len_bytes as usize)?;
+        if buf.base_page() as u64 != l.base_page {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!(
+                    "layout replay diverged: buffer '{}' expected base page {}, got {} \
+                     (restore requires a fresh PageManager)",
+                    l.name,
+                    l.base_page,
+                    buf.base_page()
+                ),
+            ));
+        }
+        if !l.name.is_empty() {
+            by_name.insert(l.name.clone(), buffers.len());
+        }
+        buffers.push(buf);
+    }
+
+    // Mark every image page that lands in a replayed buffer: PROT_NONE so
+    // any access traps, fill state UNFILLED so the handler knows to wait
+    // rather than treat the trap as a tracked write. Image pages outside
+    // every layout (allocation shrank before the crash) are unreachable and
+    // simply skipped, exactly as the eager path skips them.
+    let max_pages = manager.config().max_pages;
+    let mut marked = 0u64;
+    // Derive the prefetch order by replaying the image's newest-first page
+    // sequence — per epoch, the segment's *recorded first-write order* —
+    // through the tracker's own first-wins machinery.
+    let mut predicted = EpochRecord::new(max_pages);
+    let mut marked_addrs: Vec<usize> = Vec::new();
+    for &page in locator.pages_newest_first() {
+        let idx = page as usize;
+        if idx >= max_pages || shared.page_addr[idx].load(Ordering::Acquire) == 0 {
+            continue;
+        }
+        if predicted.record(idx as PageId, AccessType::After) {
+            shared.lazy_mark_unfilled(idx);
+            marked_addrs.push(shared.page_addr[idx].load(Ordering::Acquire));
+            marked += 1;
+        }
+    }
+    // Apply PROT_NONE in address order, one mprotect per contiguous run —
+    // time-to-first-instruction must not scale with per-page syscalls.
+    marked_addrs.sort_unstable();
+    let mut i = 0;
+    while i < marked_addrs.len() {
+        let start = marked_addrs[i];
+        let mut end = start + page_bytes;
+        i += 1;
+        while i < marked_addrs.len() && marked_addrs[i] == end {
+            end += page_bytes;
+            i += 1;
+        }
+        // SAFETY: registered pages of buffers we just allocated; nothing
+        // can access them before this function returns.
+        unsafe {
+            ai_ckpt_mem::set_protection(start, end - start, ai_ckpt_mem::Protection::None)?;
+        }
+    }
+    let order: Arc<Vec<u64>> = Arc::new(predicted.dirty().iter().map(|&p| p as u64).collect());
+
+    // Pages the image never held stay zero and readable; seed their
+    // digests now (pure arithmetic — no page is touched) so the first
+    // post-restore checkpoint matches the eager path's incrementality.
+    let total_pages: u64 = layouts.iter().map(|l| l.pages).sum();
+    let zero_pages = total_pages - marked;
+    if let Some(filter) = &ctl.filter {
+        let zero_digest = crc64(&vec![0u8; page_bytes]);
+        for l in &layouts {
+            for page in l.base_page..l.base_page + l.pages {
+                if locator.epoch_of(page).is_none() {
+                    filter.set(page, zero_digest);
+                }
+            }
+        }
+    }
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let counters = Arc::new(FillCounters::default());
+    let filler = {
+        let ctl = Arc::clone(&ctl);
+        let order = Arc::clone(&order);
+        let stop = Arc::clone(&stop);
+        let counters = Arc::clone(&counters);
+        std::thread::Builder::new()
+            .name("ai-ckpt-restore".into())
+            .spawn(move || filler_loop(ctl, backend, cache, locator, order, stop, counters))?
+    };
+    Ok(LazyRestore {
+        state: RestoredState {
+            buffers,
+            by_name,
+            checkpoint: seq,
+        },
+        ctl,
+        stop,
+        filler: Some(filler),
+        order,
+        counters,
+        fault_baseline,
+        zero_pages,
+    })
+}
+
+/// Sweep fills whose content is written but whose publication (mprotect +
+/// `FILLED`) is deferred, at most [`SWEEP_PUBLISH_BATCH`] at a time.
+///
+/// Why defer: lifting protection is an `mmap_lock`-write + TLB-shootdown
+/// per call, and a filler streaming a fast backend would issue one per
+/// page — hundreds of thousands per second. That write-lock storm starves
+/// the *application's* page-fault path (which needs the lock to classify
+/// the fault), delaying SIGSEGV delivery — and with it the demand hint —
+/// by milliseconds. Batching collapses address-contiguous runs into one
+/// `mprotect` each; a demand hint (posted by any waiter, including one
+/// stuck on a still-pending `FILLING` page) flushes the batch immediately,
+/// so the worst extra wait is one in-flight storage read.
+struct PendingPublish {
+    /// (page id, page address, payload bytes written).
+    pages: Vec<(usize, usize, u64)>,
+}
+
+/// Max sweep fills held back before a forced publication.
+const SWEEP_PUBLISH_BATCH: usize = 32;
+
+impl PendingPublish {
+    fn publish(
+        &mut self,
+        shared: &crate::manager::Shared,
+        counters: &FillCounters,
+        page_bytes: usize,
+    ) -> io::Result<()> {
+        if self.pages.is_empty() {
+            return Ok(());
+        }
+        // One mprotect per address-contiguous run (prefetch order is the
+        // recorded first-write order, which is near-sequential for the
+        // array sweeps this library targets).
+        self.pages.sort_unstable_by_key(|&(_, addr, _)| addr);
+        let mut i = 0;
+        while i < self.pages.len() {
+            let start = self.pages[i].1;
+            let mut end = start + page_bytes;
+            i += 1;
+            while i < self.pages.len() && self.pages[i].1 == end {
+                end += page_bytes;
+                i += 1;
+            }
+            // SAFETY: live registered pages, each pinned by its FILLING
+            // state until `lazy_finish_fill` below.
+            unsafe {
+                ai_ckpt_mem::set_protection(start, end - start, ai_ckpt_mem::Protection::ReadOnly)?;
+            }
+        }
+        for &(idx, _, len) in &self.pages {
+            shared.lazy_finish_fill(idx);
+            counters.bytes_filled.fetch_add(len, Ordering::Relaxed);
+            counters.prefetched_pages.fetch_add(1, Ordering::Relaxed);
+        }
+        self.pages.clear();
+        Ok(())
+    }
+}
+
+/// The background filler: demand hints first, then the prefetch sweep in
+/// predicted-access order. Runs until every marked page is filled, the
+/// handle asks it to stop, or storage fails (remaining pages are then
+/// poisoned — silent zeroes are not an option).
+fn filler_loop(
+    ctl: Arc<Ctl>,
+    backend: Arc<dyn StorageBackend>,
+    cache: Option<Arc<PageCache>>,
+    locator: PageLocator,
+    order: Arc<Vec<u64>>,
+    stop: Arc<AtomicBool>,
+    counters: Arc<FillCounters>,
+) -> io::Result<()> {
+    // Checkpointing-machinery exemption, same as the committer threads: the
+    // filler's allocations must never route into protected regions.
+    ai_ckpt_mem::alloc::exempt_thread_from_tracking(true);
+    let shared = &ctl.shared;
+    let result = (|| -> io::Result<()> {
+        // FOLL_FORCE semantics: writes through /proc/self/mem land in our
+        // anonymous mappings regardless of page protection, so a page can
+        // be filled while it is still PROT_NONE — no window in which a
+        // concurrent reader could see half a page.
+        let mem = std::fs::File::options()
+            .write(true)
+            .open("/proc/self/mem")?;
+        let page_bytes = shared.page_bytes;
+        let ns = locator.checkpoint();
+        let mut scratch = vec![0u8; page_bytes];
+        let mut tail = 0usize;
+        let mut cursor = 0usize;
+        let mut pending = PendingPublish {
+            pages: Vec::with_capacity(SWEEP_PUBLISH_BATCH),
+        };
+        loop {
+            if stop.load(Ordering::Acquire) {
+                // Publish what is already written — strictly fewer pages
+                // for the abort path to poison.
+                pending.publish(shared, &counters, page_bytes)?;
+                return Ok(());
+            }
+            // Demand hints outrank the sweep: a hinted page has an
+            // application thread spinning on it right now. A hint also
+            // flushes the publication batch — the waiter may be blocked on
+            // a page whose content is written but not yet published.
+            let hint = shared.lazy_next_demand(&mut tail);
+            if hint.is_some() || pending.pages.len() >= SWEEP_PUBLISH_BATCH {
+                pending.publish(shared, &counters, page_bytes)?;
+            }
+            let (page, demanded) = match hint {
+                Some(p) => (p, true),
+                None => match order.get(cursor) {
+                    Some(&p) => {
+                        cursor += 1;
+                        (p, false)
+                    }
+                    // Sweep exhausted: every page was claimed (and the only
+                    // claimant is this thread), so the restore is complete;
+                    // leftover ring hints are stale by construction.
+                    None => {
+                        pending.publish(shared, &counters, page_bytes)?;
+                        return Ok(());
+                    }
+                },
+            };
+            let idx = page as usize;
+            if !shared.lazy_begin_fill(idx) {
+                continue; // already filled, or the buffer went away
+            }
+            // `begin_fill` won the page, so its buffer teardown (which
+            // resolves fill states *before* clearing addresses) is blocked
+            // on our FILLING state: the address below stays valid until
+            // `lazy_finish_fill`.
+            let addr = shared.page_addr[idx].load(Ordering::Acquire);
+            debug_assert_ne!(addr, 0, "FILLING pins the page's registration");
+            let epoch = locator
+                .epoch_of(page)
+                .expect("only image pages are marked for fill");
+            let payload: &[u8] = match &cache {
+                Some(cache) => {
+                    let mut loaded = false;
+                    let data = cache
+                        .get_or_load(ns, page, || {
+                            loaded = true;
+                            backend.read_page_at(epoch, page)
+                        })?
+                        .ok_or_else(|| {
+                            io::Error::new(
+                                io::ErrorKind::InvalidData,
+                                format!("page {page} vanished from epoch {epoch}"),
+                            )
+                        })?;
+                    if !loaded {
+                        counters.pages_from_cache.fetch_add(1, Ordering::Relaxed);
+                        counters
+                            .bytes_from_cache
+                            .fetch_add(data.len() as u64, Ordering::Relaxed);
+                    }
+                    scratch.clear();
+                    scratch.extend_from_slice(&data);
+                    &scratch
+                }
+                None => {
+                    let data = backend.read_page_at(epoch, page)?.ok_or_else(|| {
+                        io::Error::new(
+                            io::ErrorKind::InvalidData,
+                            format!("page {page} vanished from epoch {epoch}"),
+                        )
+                    })?;
+                    scratch.clear();
+                    scratch.extend_from_slice(&data);
+                    &scratch
+                }
+            };
+            mem.write_all_at(payload, addr as u64)?;
+            // Seed the content filter with the digest of the page *as it
+            // now reads*: the payload, zero-padded to the page (payloads
+            // from the runtime are always page-sized; padding only matters
+            // for hand-written epochs).
+            if let Some(filter) = &ctl.filter {
+                if payload.len() == page_bytes {
+                    filter.set(page, crc64(payload));
+                } else {
+                    let mut whole = vec![0u8; page_bytes];
+                    whole[..payload.len()].copy_from_slice(payload);
+                    filter.set(page, crc64(&whole));
+                }
+            }
+            let filled_bytes = payload.len() as u64;
+            if demanded {
+                // A thread is spinning on this page right now: publish it
+                // alone, immediately.
+                // SAFETY: a live registered page (pinned by FILLING, see
+                // above).
+                unsafe {
+                    ai_ckpt_mem::set_protection(
+                        addr,
+                        page_bytes,
+                        ai_ckpt_mem::Protection::ReadOnly,
+                    )?;
+                }
+                shared.lazy_finish_fill(idx);
+                counters
+                    .bytes_filled
+                    .fetch_add(filled_bytes, Ordering::Relaxed);
+                counters.demanded_pages.fetch_add(1, Ordering::Relaxed);
+            } else {
+                pending.pages.push((idx, addr, filled_bytes));
+            }
+        }
+    })();
+    if result.is_err() {
+        // Storage died mid-restore. Threads already spin-waiting must not
+        // hang and silent zeroes must not masquerade as restored state:
+        // poison everything still owed (including the page left FILLING by
+        // the error path above).
+        for &page in order.iter() {
+            shared.lazy_poison(page as usize);
+        }
+    }
+    result
 }

@@ -1,0 +1,440 @@
+//! Demand-paged restore: lazy/eager equivalence, restore storms over a
+//! shared page cache, demand-fault prioritisation, the `CHECKPOINT` drain
+//! barrier, and failure/abort semantics.
+
+use std::io;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
+
+use ai_ckpt::{restore_at, restore_lazy, CkptConfig, CompactionPolicy, LazyRestore, PageManager};
+use ai_ckpt_mem::page_size;
+use ai_ckpt_storage::{
+    CheckpointImage, EpochWriter, FileBackend, MemoryBackend, PageCache, StorageBackend,
+    TieredBackend,
+};
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "aickpt-lazy-{tag}-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn small_cfg() -> CkptConfig {
+    CkptConfig::ai_ckpt(1 << 20).with_max_pages(512)
+}
+
+/// Restore `seq` both ways over the same backend and assert byte-identical
+/// buffers; returns the lazy handle's final stats.
+fn assert_lazy_matches_eager(
+    backend: Arc<dyn StorageBackend>,
+    cfg: &CkptConfig,
+    seq: u64,
+) -> ai_ckpt::RestoreStats {
+    let eager_mgr = PageManager::with_shared_backend(cfg.clone(), Arc::clone(&backend)).unwrap();
+    let eager = restore_at(&eager_mgr, backend.as_ref(), seq).unwrap();
+    let lazy_mgr = PageManager::with_shared_backend(cfg.clone(), Arc::clone(&backend)).unwrap();
+    let mut lr = restore_lazy(&lazy_mgr, Arc::clone(&backend), seq, None).unwrap();
+    let stats = lr.wait().unwrap();
+    assert!(lr.is_complete());
+    assert_eq!(eager.checkpoint, lr.state.checkpoint);
+    assert_eq!(eager.buffers.len(), lr.state.buffers.len());
+    for (e, l) in eager.buffers.iter().zip(lr.state.buffers.iter()) {
+        assert_eq!(e.name(), l.name());
+        assert!(
+            e.as_slice() == l.as_slice(),
+            "buffer '{}' diverged between eager and lazy restore",
+            e.name()
+        );
+    }
+    stats
+}
+
+#[test]
+fn lazy_matches_eager_after_incremental_chain() {
+    let (backend, view) = MemoryBackend::shared();
+    let cfg = small_cfg();
+    let mgr = PageManager::new(cfg.clone(), Box::new(backend)).unwrap();
+    let ps = page_size();
+    let mut a = mgr.alloc_protected_named("a", 6 * ps).unwrap();
+    let mut b = mgr.alloc_protected_named("b", 3 * ps).unwrap();
+    // Epoch 1: everything; epochs 2-3: sliding partial updates, so the
+    // locator must stitch pages from three different epochs.
+    a.as_mut_slice().fill(1);
+    b.as_mut_slice().fill(2);
+    mgr.checkpoint().unwrap();
+    mgr.wait_checkpoint().unwrap();
+    a.as_mut_slice()[2 * ps] = 33;
+    mgr.checkpoint().unwrap();
+    mgr.wait_checkpoint().unwrap();
+    a.as_mut_slice()[5 * ps] = 44;
+    b.as_mut_slice()[0] = 55;
+    mgr.checkpoint().unwrap();
+    mgr.wait_checkpoint().unwrap();
+    drop((a, b, mgr));
+
+    let backend: Arc<dyn StorageBackend> = Arc::new(view);
+    let stats = assert_lazy_matches_eager(backend, &cfg, 3);
+    assert_eq!(
+        stats.prefetched_pages + stats.demanded_pages,
+        9,
+        "all nine image pages delivered by the filler"
+    );
+    assert_eq!(stats.bytes_filled, 9 * ps as u64);
+}
+
+#[test]
+fn lazy_matches_eager_under_compaction_and_compression() {
+    let dir = tmpdir("compact");
+    let cfg = small_cfg().with_compaction(CompactionPolicy::chain_len(3));
+    {
+        // FileBackend defaults to Compression::Auto, so runs of equal bytes
+        // are stored encoded and the lazy read path must decode per record.
+        let mgr =
+            PageManager::new(cfg.clone(), Box::new(FileBackend::open(&dir).unwrap())).unwrap();
+        let ps = page_size();
+        let mut grid = mgr.alloc_protected_named("grid", 16 * ps).unwrap();
+        for e in 0..8u64 {
+            let slice = grid.as_mut_slice();
+            // Compressible stripe + incompressible stripe each epoch.
+            let p1 = ((e * 3) % 16) as usize;
+            let p2 = ((e * 5 + 1) % 16) as usize;
+            slice[p1 * ps..(p1 + 1) * ps].fill(e as u8 + 1);
+            for (i, byte) in slice[p2 * ps..(p2 + 1) * ps].iter_mut().enumerate() {
+                *byte = (i as u64 * 2654435761 + e) as u8;
+            }
+            mgr.checkpoint().unwrap();
+            mgr.wait_checkpoint().unwrap();
+        }
+        mgr.wait_maintenance_idle().unwrap();
+        drop(grid);
+    }
+    let backend: Arc<dyn StorageBackend> = Arc::new(FileBackend::open(&dir).unwrap());
+    let chain = backend.chain().unwrap();
+    assert!(
+        chain.len() <= 4,
+        "compaction should have folded the 8-epoch chain, got {}",
+        chain.len()
+    );
+    assert_lazy_matches_eager(backend, &cfg, 8);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn lazy_matches_eager_through_tiered_drain() {
+    let dir = tmpdir("tiered");
+    let cfg = small_cfg();
+    let make_backend = || -> Arc<dyn StorageBackend> {
+        Arc::new(
+            TieredBackend::new(
+                Box::new(MemoryBackend::new()),
+                Box::new(FileBackend::open(&dir).unwrap()),
+                1, // one undrained epoch max: almost everything lands slow
+            )
+            .unwrap(),
+        )
+    };
+    {
+        let backend = make_backend();
+        let mgr = PageManager::with_shared_backend(cfg.clone(), Arc::clone(&backend)).unwrap();
+        let ps = page_size();
+        let mut buf = mgr.alloc_protected_named("t", 8 * ps).unwrap();
+        for e in 0..4u64 {
+            let slice = buf.as_mut_slice();
+            slice[(e as usize % 8) * ps] = e as u8 + 10;
+            slice[((e as usize + 3) % 8) * ps] = e as u8 + 50;
+            mgr.checkpoint().unwrap();
+            mgr.wait_checkpoint().unwrap();
+        }
+        mgr.wait_maintenance_idle().unwrap();
+    }
+    // Fresh tiered stack over the same slow tier (the fast tier's memory
+    // died with the "process"): reads must fall through to the slow tier.
+    let backend = make_backend();
+    assert_lazy_matches_eager(backend, &cfg, 4);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn restore_storm_hits_disk_once_per_page() {
+    let dir = tmpdir("storm");
+    let cfg = small_cfg();
+    let ps = page_size();
+    const PAGES: usize = 48;
+    {
+        let mgr =
+            PageManager::new(cfg.clone(), Box::new(FileBackend::open(&dir).unwrap())).unwrap();
+        let mut buf = mgr.alloc_protected_named("s", PAGES * ps).unwrap();
+        for (i, chunk) in buf.as_mut_slice().chunks_mut(ps).enumerate() {
+            for (j, byte) in chunk.iter_mut().enumerate() {
+                *byte = (i * 31 + j) as u8;
+            }
+        }
+        mgr.checkpoint().unwrap();
+        mgr.wait_checkpoint().unwrap();
+        drop(buf);
+    }
+    // One backend instance (one io-counter set), one shared cache, four
+    // concurrent lazy restores that read their whole state mid-fill.
+    let backend: Arc<dyn StorageBackend> = Arc::new(FileBackend::open(&dir).unwrap());
+    let cache = Arc::new(PageCache::new(8 << 20));
+    std::thread::scope(|s| {
+        for _ in 0..4 {
+            let backend = Arc::clone(&backend);
+            let cache = Arc::clone(&cache);
+            let cfg = cfg.clone();
+            s.spawn(move || {
+                let mgr = PageManager::with_shared_backend(cfg, Arc::clone(&backend)).unwrap();
+                let mut lr = restore_lazy(&mgr, Arc::clone(&backend), 1, Some(cache)).unwrap();
+                // Race the prefetcher: read every page right now. Reads on
+                // not-yet-filled pages demand-fault and block per page.
+                let got = lr.state.buffers[0].as_slice().to_vec();
+                for (i, chunk) in got.chunks(ps).enumerate() {
+                    for (j, &byte) in chunk.iter().enumerate() {
+                        assert_eq!(byte, (i * 31 + j) as u8, "page {i} byte {j}");
+                    }
+                }
+                lr.wait().unwrap();
+            });
+        }
+    });
+    let io = backend.io_stats();
+    assert_eq!(
+        io.page_reads, PAGES as u64,
+        "shared cache must collapse 4 restores to one disk read per page"
+    );
+    let cs = cache.stats();
+    assert!(
+        cs.hits >= 2 * PAGES as u64,
+        "later restores should hit the cache (hits {})",
+        cs.hits
+    );
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// Test wrapper: delays every single-page read, so the prefetch sweep is
+/// slow enough to race deterministically.
+struct SlowReads<B> {
+    inner: B,
+    delay: Duration,
+}
+
+impl<B: StorageBackend> StorageBackend for SlowReads<B> {
+    fn begin_epoch(&self, epoch: u64) -> io::Result<Box<dyn EpochWriter>> {
+        self.inner.begin_epoch(epoch)
+    }
+    fn put_blob(&self, name: &str, data: &[u8]) -> io::Result<()> {
+        self.inner.put_blob(name, data)
+    }
+    fn get_blob(&self, name: &str) -> io::Result<Option<Vec<u8>>> {
+        self.inner.get_blob(name)
+    }
+    fn epochs(&self) -> io::Result<Vec<u64>> {
+        self.inner.epochs()
+    }
+    fn high_water(&self) -> io::Result<Option<u64>> {
+        self.inner.high_water()
+    }
+    fn read_epoch(&self, epoch: u64, visit: &mut dyn FnMut(u64, &[u8])) -> io::Result<()> {
+        self.inner.read_epoch(epoch, visit)
+    }
+    fn epoch_page_ids(&self, epoch: u64) -> io::Result<Vec<u64>> {
+        self.inner.epoch_page_ids(epoch)
+    }
+    fn read_page_at(&self, epoch: u64, page: u64) -> io::Result<Option<Vec<u8>>> {
+        std::thread::sleep(self.delay);
+        self.inner.read_page_at(epoch, page)
+    }
+    fn chain(&self) -> io::Result<Vec<ai_ckpt_storage::ChainEntry>> {
+        self.inner.chain()
+    }
+    fn bytes_written(&self) -> u64 {
+        self.inner.bytes_written()
+    }
+    fn bytes_stored(&self) -> u64 {
+        self.inner.bytes_stored()
+    }
+}
+
+/// Test wrapper: single-page reads always fail (a backend that dies after
+/// the checkpoint was taken).
+struct FailReads<B>(B);
+
+impl<B: StorageBackend> StorageBackend for FailReads<B> {
+    fn begin_epoch(&self, epoch: u64) -> io::Result<Box<dyn EpochWriter>> {
+        self.0.begin_epoch(epoch)
+    }
+    fn put_blob(&self, name: &str, data: &[u8]) -> io::Result<()> {
+        self.0.put_blob(name, data)
+    }
+    fn get_blob(&self, name: &str) -> io::Result<Option<Vec<u8>>> {
+        self.0.get_blob(name)
+    }
+    fn epochs(&self) -> io::Result<Vec<u64>> {
+        self.0.epochs()
+    }
+    fn high_water(&self) -> io::Result<Option<u64>> {
+        self.0.high_water()
+    }
+    fn read_epoch(&self, epoch: u64, visit: &mut dyn FnMut(u64, &[u8])) -> io::Result<()> {
+        self.0.read_epoch(epoch, visit)
+    }
+    fn epoch_page_ids(&self, epoch: u64) -> io::Result<Vec<u64>> {
+        self.0.epoch_page_ids(epoch)
+    }
+    fn read_page_at(&self, _epoch: u64, _page: u64) -> io::Result<Option<Vec<u8>>> {
+        Err(io::Error::other("storage died"))
+    }
+    fn chain(&self) -> io::Result<Vec<ai_ckpt_storage::ChainEntry>> {
+        self.0.chain()
+    }
+    fn bytes_written(&self) -> u64 {
+        self.0.bytes_written()
+    }
+    fn bytes_stored(&self) -> u64 {
+        self.0.bytes_stored()
+    }
+}
+
+/// Checkpoint a 16-page ascending workload into `backend`; page `i` is
+/// filled with `i + 1`.
+fn seed_sixteen_pages(backend: Box<dyn StorageBackend>, cfg: &CkptConfig) {
+    let mgr = PageManager::new(cfg.clone(), backend).unwrap();
+    let ps = page_size();
+    let mut buf = mgr.alloc_protected_named("w", 16 * ps).unwrap();
+    for (i, chunk) in buf.as_mut_slice().chunks_mut(ps).enumerate() {
+        chunk.fill(i as u8 + 1);
+    }
+    mgr.checkpoint().unwrap();
+    mgr.wait_checkpoint().unwrap();
+}
+
+#[test]
+fn demand_faults_prioritise_touched_pages() {
+    let (backend, view) = MemoryBackend::shared();
+    let cfg = small_cfg();
+    seed_sixteen_pages(Box::new(backend), &cfg);
+
+    let slow: Arc<dyn StorageBackend> = Arc::new(SlowReads {
+        inner: view,
+        delay: Duration::from_millis(10),
+    });
+    let mgr = PageManager::with_shared_backend(cfg.clone(), Arc::clone(&slow)).unwrap();
+    let mut lr = restore_lazy(&mgr, Arc::clone(&slow), 1, None).unwrap();
+    let ps = page_size();
+    // The prefetcher walks pages 0..16 in recorded first-write order at
+    // 10 ms per page; page 15 is ~150 ms out. Touch it immediately: the
+    // access must demand-fault, jump the queue and return long before the
+    // sweep would reach it.
+    let byte = lr.state.buffers[0].as_slice()[15 * ps];
+    assert_eq!(byte, 16, "page 15 contents served on demand");
+    let stats = lr.wait().unwrap();
+    assert!(
+        stats.demand_faults >= 1,
+        "touching an unfilled page must count a demand fault (stats {stats:?})"
+    );
+    assert!(
+        stats.demanded_pages >= 1,
+        "page 15 filled via the demand ring"
+    );
+    assert_eq!(stats.demanded_pages + stats.prefetched_pages, 16);
+    for (i, chunk) in lr.state.buffers[0].as_slice().chunks(ps).enumerate() {
+        assert!(chunk.iter().all(|&b| b == i as u8 + 1), "page {i}");
+    }
+}
+
+#[test]
+fn checkpoint_drains_lazy_restore_and_stays_incremental() {
+    let (backend, view) = MemoryBackend::shared();
+    let cfg = small_cfg();
+    seed_sixteen_pages(Box::new(backend), &cfg);
+
+    let shared: Arc<dyn StorageBackend> = Arc::new(SlowReads {
+        inner: view,
+        delay: Duration::from_millis(5),
+    });
+    let mgr = PageManager::with_shared_backend(cfg.clone(), Arc::clone(&shared)).unwrap();
+    let mut lr = restore_lazy(&mgr, Arc::clone(&shared), 1, None).unwrap();
+    let ps = page_size();
+    // Mutate one page while the filler is still streaming, then request a
+    // checkpoint: the drain barrier must wait for every fill, and the
+    // epoch's dirty set must contain ONLY the mutated page — the filler's
+    // /proc/self/mem writes never fault, so restored-but-untouched pages
+    // stay out of the increment.
+    lr.state.buffers[0].as_mut_slice()[3 * ps] = 200;
+    let plan = mgr.checkpoint().unwrap();
+    assert!(
+        lr.is_complete(),
+        "CHECKPOINT ran before the restore finished"
+    );
+    assert_eq!(
+        plan.scheduled_pages, 1,
+        "only the app-touched page is dirty after a lazy restore"
+    );
+    mgr.wait_checkpoint().unwrap();
+    lr.wait().unwrap();
+
+    let img = CheckpointImage::load(shared.as_ref(), 2).unwrap();
+    let base = lr.state.buffers[0].base_page() as u64;
+    assert_eq!(img.page(base + 3).unwrap()[0], 200);
+    assert_eq!(
+        img.page(base + 3).unwrap()[1],
+        4,
+        "rest of the page restored"
+    );
+    assert_eq!(img.page(base + 15).unwrap()[0], 16, "untouched page intact");
+}
+
+#[test]
+fn failed_restore_poisons_checkpoint_until_buffers_drop() {
+    let (backend, view) = MemoryBackend::shared();
+    let cfg = small_cfg();
+    seed_sixteen_pages(Box::new(backend), &cfg);
+
+    let failing: Arc<dyn StorageBackend> = Arc::new(FailReads(view));
+    let mgr = PageManager::with_shared_backend(cfg.clone(), Arc::clone(&failing)).unwrap();
+    let mut lr = restore_lazy(&mgr, Arc::clone(&failing), 1, None).unwrap();
+    let err = lr.wait().unwrap_err();
+    assert!(err.to_string().contains("storage died"), "{err}");
+    // The buffers hold poisoned pages: a checkpoint must refuse to capture
+    // that state rather than commit zeroes as data.
+    let err = mgr.checkpoint().unwrap_err();
+    assert!(
+        err.to_string().contains("lazy restore failed"),
+        "unexpected checkpoint error: {err}"
+    );
+    // Dropping the failed restore (and its buffers) clears the condition.
+    drop(lr);
+    mgr.checkpoint().unwrap();
+    mgr.wait_checkpoint().unwrap();
+}
+
+#[test]
+fn aborted_lazy_restore_leaves_backend_restorable() {
+    let (backend, view) = MemoryBackend::shared();
+    let cfg = small_cfg();
+    seed_sixteen_pages(Box::new(backend), &cfg);
+
+    let slow: Arc<dyn StorageBackend> = Arc::new(SlowReads {
+        inner: view,
+        delay: Duration::from_millis(5),
+    });
+    {
+        let mgr = PageManager::with_shared_backend(cfg.clone(), Arc::clone(&slow)).unwrap();
+        let lr: LazyRestore = restore_lazy(&mgr, Arc::clone(&slow), 1, None).unwrap();
+        std::thread::sleep(Duration::from_millis(20));
+        drop(lr); // abort mid-restore ("kill" the restart attempt)
+    }
+    // The aborted restore read but never wrote: a fresh eager restore must
+    // still see the full checkpoint.
+    let mgr = PageManager::with_shared_backend(cfg.clone(), Arc::clone(&slow)).unwrap();
+    let restored = restore_at(&mgr, slow.as_ref(), 1).unwrap();
+    let ps = page_size();
+    for (i, chunk) in restored.buffers[0].as_slice().chunks(ps).enumerate() {
+        assert!(chunk.iter().all(|&b| b == i as u8 + 1), "page {i}");
+    }
+}

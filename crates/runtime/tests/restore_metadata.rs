@@ -1,0 +1,181 @@
+//! Restore-metadata regressions: layout-blob retirement across a long
+//! compacted run, non-ASCII buffer names end-to-end, crash-durable blob
+//! commits, and layout-blob cleanup on an aborted checkpoint.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use ai_ckpt::{restore_at, restore_lazy, CkptConfig, CompactionPolicy, PageManager};
+use ai_ckpt_mem::page_size;
+use ai_ckpt_storage::{
+    layout_blob_name, FailingBackend, FileBackend, MemoryBackend, StorageBackend,
+};
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "aickpt-meta-{tag}-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn count_on_disk(dir: &std::path::Path, prefix: &str) -> usize {
+    std::fs::read_dir(dir)
+        .unwrap()
+        .filter(|e| {
+            e.as_ref()
+                .unwrap()
+                .file_name()
+                .to_string_lossy()
+                .starts_with(prefix)
+        })
+        .count()
+}
+
+/// Satellite 1 regression: a 50-epoch run under compaction must not leak
+/// one `blob_layout_*` file per epoch — retired epochs take their layout
+/// blob with them, keeping on-disk metadata proportional to the live chain.
+#[test]
+fn fifty_epoch_compacted_run_retires_layout_blobs() {
+    let dir = tmpdir("leak");
+    let cfg = CkptConfig::ai_ckpt(1 << 20)
+        .with_max_pages(256)
+        .with_compaction(CompactionPolicy::chain_len(4));
+    {
+        let mgr =
+            PageManager::new(cfg.clone(), Box::new(FileBackend::open(&dir).unwrap())).unwrap();
+        let ps = page_size();
+        let mut buf = mgr.alloc_protected_named("state", 8 * ps).unwrap();
+        for e in 0..50u64 {
+            buf.as_mut_slice()[(e as usize % 8) * ps] = e as u8;
+            mgr.checkpoint().unwrap();
+            mgr.wait_checkpoint().unwrap();
+        }
+        mgr.wait_maintenance_idle().unwrap();
+    }
+    let backend = FileBackend::open(&dir).unwrap();
+    let chain = backend.chain().unwrap();
+    assert!(
+        chain.len() <= 5,
+        "compaction should bound the chain, got {} epochs",
+        chain.len()
+    );
+    let layout_files = count_on_disk(&dir, "blob_layout_");
+    assert!(
+        layout_files <= chain.len(),
+        "{layout_files} layout blobs on disk for a {}-epoch chain — \
+         retired epochs leaked their metadata",
+        chain.len()
+    );
+    // Every blob the backend reports must belong to a live epoch.
+    let live: Vec<String> = chain.iter().map(|c| layout_blob_name(c.epoch)).collect();
+    for blob in backend.list_blobs().unwrap() {
+        assert!(live.contains(&blob), "orphaned blob '{blob}' survived");
+    }
+    // And the surviving metadata still restores.
+    let cfg2 = cfg.clone();
+    let mgr = PageManager::new(cfg2, Box::new(FileBackend::open(&dir).unwrap())).unwrap();
+    let restored = restore_at(&mgr, &FileBackend::open(&dir).unwrap(), 50).unwrap();
+    assert_eq!(restored.buffers[0].as_slice()[7 * page_size()], 47);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// Satellite 2 regression, end to end: non-ASCII buffer names must survive
+/// the layout round-trip through a real backend into BOTH restore paths.
+#[test]
+fn non_ascii_buffer_names_survive_both_restore_paths() {
+    let names = ["网格-höhe", "état-😀", "δx"];
+    let (backend, view) = MemoryBackend::shared();
+    let cfg = CkptConfig::ai_ckpt(1 << 20).with_max_pages(256);
+    let ps = page_size();
+    {
+        let mgr = PageManager::new(cfg.clone(), Box::new(backend)).unwrap();
+        let mut bufs: Vec<_> = names
+            .iter()
+            .map(|n| mgr.alloc_protected_named(n, 2 * ps).unwrap())
+            .collect();
+        for (i, b) in bufs.iter_mut().enumerate() {
+            b.as_mut_slice().fill(i as u8 + 1);
+        }
+        mgr.checkpoint().unwrap();
+        mgr.wait_checkpoint().unwrap();
+    }
+    let shared: Arc<dyn StorageBackend> = Arc::new(view);
+
+    let mgr = PageManager::with_shared_backend(cfg.clone(), Arc::clone(&shared)).unwrap();
+    let eager = restore_at(&mgr, shared.as_ref(), 1).unwrap();
+    let mgr2 = PageManager::with_shared_backend(cfg.clone(), Arc::clone(&shared)).unwrap();
+    let mut lazy = restore_lazy(&mgr2, Arc::clone(&shared), 1, None).unwrap();
+    lazy.wait().unwrap();
+
+    for state in [&eager, &lazy.state] {
+        for (i, want) in names.iter().enumerate() {
+            let buf = state
+                .buffers
+                .iter()
+                .find(|b| b.name() == *want)
+                .unwrap_or_else(|| panic!("buffer '{want}' lost its name in restore"));
+            assert!(buf.as_slice().iter().all(|&b| b == i as u8 + 1));
+        }
+    }
+}
+
+/// Satellite 3 regression: committing an epoch on the file backend must
+/// fsync the directory, or the rename that publishes the segment can
+/// vanish in a crash.
+#[test]
+fn epoch_commit_fsyncs_directory() {
+    let dir = tmpdir("fsync");
+    let cfg = CkptConfig::ai_ckpt(1 << 20).with_max_pages(64);
+    let mgr = PageManager::new(cfg, Box::new(FileBackend::open(&dir).unwrap())).unwrap();
+    let mut buf = mgr.alloc_protected_named("d", page_size()).unwrap();
+    buf.as_mut_slice()[0] = 1;
+    mgr.checkpoint().unwrap();
+    mgr.wait_checkpoint().unwrap();
+    let io = mgr.stats().io;
+    assert!(
+        io.dir_fsyncs >= 1,
+        "publishing a segment must fsync the directory (dir_fsyncs {})",
+        io.dir_fsyncs
+    );
+    drop(buf);
+    drop(mgr);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// Satellite 1, abort path: a checkpoint whose segment commit fails must
+/// delete the layout blob it already wrote — otherwise every failed
+/// attempt leaks one blob and restore can find metadata for an epoch that
+/// does not exist.
+#[test]
+fn failed_checkpoint_deletes_its_layout_blob() {
+    let (failing, ctl) = FailingBackend::new(MemoryBackend::new());
+    let cfg = CkptConfig::sync().with_max_pages(64);
+    let mgr = PageManager::new(cfg, Box::new(failing)).unwrap();
+    let backend = mgr.backend();
+    let ps = page_size();
+    let mut buf = mgr.alloc_protected_named("s", 2 * ps).unwrap();
+    buf.as_mut_slice().fill(9);
+
+    ctl.fail_finish(true);
+    mgr.checkpoint().unwrap_err();
+    assert!(
+        backend.list_blobs().unwrap().is_empty(),
+        "aborted checkpoint left its layout blob behind"
+    );
+
+    ctl.heal();
+    buf.as_mut_slice()[0] = 10;
+    mgr.checkpoint().unwrap();
+    mgr.wait_checkpoint().unwrap();
+    let blobs = backend.list_blobs().unwrap();
+    assert_eq!(
+        blobs.len(),
+        1,
+        "exactly the committed epoch's blob: {blobs:?}"
+    );
+    let epochs = backend.epochs().unwrap();
+    assert_eq!(blobs[0], layout_blob_name(*epochs.last().unwrap()));
+}

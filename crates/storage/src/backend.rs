@@ -147,6 +147,48 @@ pub trait StorageBackend: Send + Sync {
     /// `visit(page, bytes)` is called per record.
     fn read_epoch(&self, epoch: u64, visit: &mut dyn FnMut(u64, &[u8])) -> io::Result<()>;
 
+    /// Page ids recorded in a finished epoch, in record (arrival) order,
+    /// *without* materialising payloads. The demand-paged restore path uses
+    /// this to build its locator and to derive the prefetch order. The
+    /// default streams the epoch and discards payloads; backends with a
+    /// segment index override it to walk frames only.
+    fn epoch_page_ids(&self, epoch: u64) -> io::Result<Vec<u64>> {
+        let mut pages = Vec::new();
+        self.read_epoch(epoch, &mut |p, _| pages.push(p))?;
+        Ok(pages)
+    }
+
+    /// Random-access read of one page's payload from a finished epoch
+    /// (decoded, integrity-checked), or `None` when the epoch holds no
+    /// record for `page`. When an epoch somehow carries duplicate records
+    /// for a page the latest one wins, matching `read_epoch` replay
+    /// semantics. The default streams the whole epoch; backends with a
+    /// segment index override it to seek straight to the record.
+    fn read_page_at(&self, epoch: u64, page: u64) -> io::Result<Option<Vec<u8>>> {
+        let mut hit: Option<Vec<u8>> = None;
+        self.read_epoch(epoch, &mut |p, d| {
+            if p == page {
+                hit = Some(d.to_vec());
+            }
+        })?;
+        Ok(hit)
+    }
+
+    /// Delete a named metadata blob. Deleting a blob that does not exist is
+    /// not an error (retirement paths race benignly with sweeps). The
+    /// default is a no-op for backends that never persist blobs.
+    fn delete_blob(&self, name: &str) -> io::Result<()> {
+        let _ = name;
+        Ok(())
+    }
+
+    /// Names of all stored metadata blobs, ascending. Used by the open-time
+    /// orphan sweep and by retirement tests. Backends that never persist
+    /// blobs report none.
+    fn list_blobs(&self) -> io::Result<Vec<String>> {
+        Ok(Vec::new())
+    }
+
     /// Total payload bytes written since creation (diagnostics; excludes
     /// framing overhead). Implementations keep this in atomics so the count
     /// stays exact under concurrent streams.
@@ -352,6 +394,19 @@ pub(crate) fn merge_live_prefix<B: StorageBackend + ?Sized>(
         bytes_before,
         records: pages.into_iter().collect(),
     })
+}
+
+/// Canonical name of the per-checkpoint layout metadata blob. The zero
+/// padding keeps lexicographic blob order equal to epoch order, and backends
+/// use the shared prefix to retire layout blobs together with their epochs.
+pub fn layout_blob_name(checkpoint: u64) -> String {
+    format!("layout_{checkpoint:010}")
+}
+
+/// Inverse of [`layout_blob_name`]: the epoch a layout blob belongs to, or
+/// `None` for blobs with other names.
+pub(crate) fn layout_blob_epoch(name: &str) -> Option<u64> {
+    name.strip_prefix("layout_")?.parse::<u64>().ok()
 }
 
 /// Convenience: write a full epoch from an iterator through a single stream

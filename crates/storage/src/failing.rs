@@ -215,6 +215,22 @@ impl<B: StorageBackend> StorageBackend for FailingBackend<B> {
         self.inner.read_epoch(epoch, visit)
     }
 
+    fn epoch_page_ids(&self, epoch: u64) -> io::Result<Vec<u64>> {
+        self.inner.epoch_page_ids(epoch)
+    }
+
+    fn read_page_at(&self, epoch: u64, page: u64) -> io::Result<Option<Vec<u8>>> {
+        self.inner.read_page_at(epoch, page)
+    }
+
+    fn delete_blob(&self, name: &str) -> io::Result<()> {
+        self.inner.delete_blob(name)
+    }
+
+    fn list_blobs(&self) -> io::Result<Vec<String>> {
+        self.inner.list_blobs()
+    }
+
     fn bytes_written(&self) -> u64 {
         self.inner.bytes_written()
     }

@@ -79,15 +79,19 @@
 //! cross-checks that total, so a missing shard or torn frame fails restore
 //! loudly instead of silently dropping pages.
 
+use std::collections::HashMap;
 use std::fs::{self, File, OpenOptions};
 use std::io::{self, BufReader, BufWriter, Read, Seek, SeekFrom, Write};
+use std::os::unix::fs::FileExt;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
 
-use crate::backend::{ChainEntry, EpochKind, EpochWriter, StorageBackend};
+use crate::backend::{
+    layout_blob_epoch, layout_blob_name, ChainEntry, EpochKind, EpochWriter, StorageBackend,
+};
 use crate::checksum::crc64;
 use crate::codec::{self, Compression, Encoding};
 use crate::io::{pwritev_full, AlignedBuf, IoCounters, IoStats};
@@ -138,6 +142,10 @@ struct FileShared {
     high_water: AtomicU64,
     /// Syscall-level I/O accounting (see [`IoStats`]).
     io: IoCounters,
+    /// Lazily built per-epoch segment indexes for the random-access read
+    /// path (`read_page_at`): page → record location, payloads untouched.
+    /// Entries are dropped when compaction or retirement removes the epoch.
+    page_index: Mutex<HashMap<u64, Arc<EpochIndex>>>,
 }
 
 impl FileShared {
@@ -362,6 +370,12 @@ impl FileBackend {
             } else if let Some((epoch, shard)) = parse_segment_name(name, "full_") {
                 // Full images are never sharded.
                 shard != 0 || live.get(&epoch) != Some(&RecordKind::Full)
+            } else if let Some(blob) = name.strip_prefix("blob_") {
+                // A layout blob whose epoch is no longer live is garbage: a
+                // crash between `put_blob` and the epoch's manifest commit
+                // orphans it, and retirement GC may have died before the
+                // unlink. Blobs with non-layout names are never touched.
+                layout_blob_epoch(blob).is_some_and(|epoch| !live.contains_key(&epoch))
             } else {
                 false
             };
@@ -696,7 +710,15 @@ impl StorageBackend for FileBackend {
                 f.sync_all()?;
             }
         }
-        fs::rename(&tmp, &path)
+        fs::rename(&tmp, &path)?;
+        // The rename only becomes crash-durable once the directory entry
+        // itself reaches disk. Without this, a crash after the epoch's
+        // manifest commit could lose the layout blob of a committed epoch
+        // and turn a clean restart into a restore error.
+        if self.sync_on_finish {
+            self.sync_dir()?;
+        }
+        Ok(())
     }
 
     fn get_blob(&self, name: &str) -> io::Result<Option<Vec<u8>>> {
@@ -705,6 +727,37 @@ impl StorageBackend for FileBackend {
             Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(None),
             Err(e) => Err(e),
         }
+    }
+
+    fn delete_blob(&self, name: &str) -> io::Result<()> {
+        match fs::remove_file(self.blob_path(name)) {
+            Ok(()) => {
+                if self.sync_on_finish {
+                    self.sync_dir()?;
+                }
+                Ok(())
+            }
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(()),
+            Err(e) => Err(e),
+        }
+    }
+
+    fn list_blobs(&self) -> io::Result<Vec<String>> {
+        let mut names = Vec::new();
+        for entry in fs::read_dir(&self.dir)? {
+            let entry = entry?;
+            let Some(name) = entry.file_name().to_str().map(str::to_owned) else {
+                continue;
+            };
+            if name.ends_with(".tmp") {
+                continue;
+            }
+            if let Some(blob) = name.strip_prefix("blob_") {
+                names.push(blob.to_owned());
+            }
+        }
+        names.sort();
+        Ok(names)
     }
 
     fn epochs(&self) -> io::Result<Vec<u64>> {
@@ -761,6 +814,29 @@ impl StorageBackend for FileBackend {
             ));
         }
         Ok(())
+    }
+
+    fn epoch_page_ids(&self, epoch: u64) -> io::Result<Vec<u64>> {
+        Ok(self.epoch_index(epoch)?.pages.clone())
+    }
+
+    fn read_page_at(&self, epoch: u64, page: u64) -> io::Result<Option<Vec<u8>>> {
+        let index = self.epoch_index(epoch)?;
+        let Some(loc) = index.by_page.get(&page) else {
+            return Ok(None);
+        };
+        let mut stored = vec![0u8; loc.stored_len as usize];
+        index.files[loc.file as usize].read_exact_at(&mut stored, loc.offset)?;
+        self.shared.io.page_reads.fetch_add(1, Ordering::Relaxed);
+        let decoded = codec::decode(loc.enc, &stored, loc.raw_len as usize)?;
+        let payload = decoded.unwrap_or(stored);
+        if crc64(&payload) != loc.crc {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("CRC mismatch for page {page} in epoch {epoch}"),
+            ));
+        }
+        Ok(Some(payload))
     }
 
     fn bytes_written(&self) -> u64 {
@@ -834,8 +910,13 @@ impl StorageBackend for FileBackend {
                     .fetch_add(1, Ordering::Relaxed);
             }
         }
-        // 2. Move it into place (still invisible: no manifest record yet).
+        // 2. Move it into place (still invisible: no manifest record yet)
+        //    and make the directory entry durable before the commit record
+        //    can reference it.
         fs::rename(&tmp, &final_path)?;
+        if self.sync_on_finish {
+            self.sync_dir()?;
+        }
         // 3. Commit: one durable manifest append. A crash before this line
         //    leaves the old chain intact plus one orphan file.
         {
@@ -854,14 +935,21 @@ impl StorageBackend for FileBackend {
                 .fetch_add(1, Ordering::Relaxed);
             self.shared.note_epoch(into);
         }
-        // 4. GC the superseded segments. A crash in here leaves orphans
-        //    that the next `open` sweeps; restore is already correct.
+        // 4. GC the superseded segments — and the layout blobs of epochs
+        //    below the new horizon (restore can no longer target them; the
+        //    blob at `into` itself stays, restore needs it). A crash in
+        //    here leaves orphans that the next `open` sweeps; restore is
+        //    already correct.
+        self.invalidate_index(superseded.iter().map(|r| r.epoch));
         for r in superseded {
             match r.kind {
                 RecordKind::Full => {
                     let _ = fs::remove_file(Self::full_path(&self.dir, r.epoch));
                 }
                 _ => remove_delta_files(&self.dir, r.epoch),
+            }
+            if r.epoch < into {
+                let _ = fs::remove_file(self.blob_path(&layout_blob_name(r.epoch)));
             }
         }
         Ok(())
@@ -899,6 +987,7 @@ impl StorageBackend for FileBackend {
                 .manifest_fsyncs
                 .fetch_add(1, Ordering::Relaxed);
         }
+        self.invalidate_index(doomed.iter().map(|r| r.epoch));
         for rec in doomed {
             match rec.kind {
                 RecordKind::Full => {
@@ -906,6 +995,10 @@ impl StorageBackend for FileBackend {
                 }
                 _ => remove_delta_files(&self.dir, rec.epoch),
             }
+            // A retired epoch can never be restored again, so its layout
+            // blob is garbage too (this was the historical leak: blobs
+            // accumulated one per checkpoint, forever).
+            let _ = fs::remove_file(self.blob_path(&layout_blob_name(rec.epoch)));
         }
         Ok(())
     }
@@ -1020,6 +1113,180 @@ fn read_segment_to_eof(
         count += 1;
     }
     Ok(count)
+}
+
+/// Location of one page record inside an epoch's segment files: enough to
+/// read and verify the payload with a single positioned read, no streaming.
+#[derive(Debug, Clone, Copy)]
+struct RecordLoc {
+    /// Index into [`EpochIndex::files`].
+    file: u32,
+    /// Byte offset of the *stored* payload (the frame precedes it).
+    offset: u64,
+    enc: Encoding,
+    raw_len: u32,
+    stored_len: u32,
+    /// CRC-64 over the uncompressed payload, from the record frame.
+    crc: u64,
+}
+
+/// Frame-walked index of one committed epoch: every record's location, no
+/// payload bytes materialised. File handles stay open so `read_page_at`
+/// is one `pread` + decode, immune to concurrent renames of the paths.
+#[derive(Debug)]
+struct EpochIndex {
+    files: Vec<File>,
+    /// Page of every record, in record (arrival) order — possibly with
+    /// duplicates, matching `read_epoch` visit order.
+    pages: Vec<u64>,
+    /// Latest-wins location per page.
+    by_page: HashMap<u64, RecordLoc>,
+}
+
+/// Walk one segment file's frames (skipping payloads with relative seeks)
+/// into `pages`/`by_page`, returning the open handle for positioned reads.
+fn index_segment(
+    path: &Path,
+    epoch: u64,
+    file_idx: u32,
+    pages: &mut Vec<u64>,
+    by_page: &mut HashMap<u64, RecordLoc>,
+) -> io::Result<File> {
+    let file = File::open(path)?;
+    let mut reader = BufReader::with_capacity(1 << 16, &file);
+    let version = read_segment_header(&mut reader, epoch)?;
+    let mut offset = SEGMENT_HEADER_LEN as u64;
+    loop {
+        let (page, loc) = match version {
+            SegmentVersion::V1 => {
+                let mut frame = [0u8; 20];
+                if !read_frame(&mut reader, &mut frame)? {
+                    break;
+                }
+                let page = u64::from_le_bytes(frame[0..8].try_into().unwrap());
+                let len = u32::from_le_bytes(frame[8..12].try_into().unwrap());
+                let crc = u64::from_le_bytes(frame[12..20].try_into().unwrap());
+                let loc = RecordLoc {
+                    file: file_idx,
+                    offset: offset + 20,
+                    enc: Encoding::Raw,
+                    raw_len: len,
+                    stored_len: len,
+                    crc,
+                };
+                offset += 20 + len as u64;
+                (page, loc)
+            }
+            SegmentVersion::V2 => {
+                let mut frame = [0u8; FRAME_LEN_V2];
+                if !read_frame(&mut reader, &mut frame)? {
+                    break;
+                }
+                let page = u64::from_le_bytes(frame[0..8].try_into().unwrap());
+                let enc = Encoding::from_u8(frame[8])?;
+                let raw_len = u32::from_le_bytes(frame[9..13].try_into().unwrap());
+                let stored_len = u32::from_le_bytes(frame[13..17].try_into().unwrap());
+                let crc = u64::from_le_bytes(frame[17..25].try_into().unwrap());
+                let loc = RecordLoc {
+                    file: file_idx,
+                    offset: offset + FRAME_LEN_V2 as u64,
+                    enc,
+                    raw_len,
+                    stored_len,
+                    crc,
+                };
+                offset += (FRAME_LEN_V2 + stored_len as usize) as u64;
+                (page, loc)
+            }
+        };
+        reader.seek_relative(loc.stored_len as i64)?;
+        pages.push(page);
+        by_page.insert(page, loc);
+    }
+    Ok(file)
+}
+
+impl FileBackend {
+    /// The cached (building on first use) segment index of a committed
+    /// epoch. Fails like `read_epoch` for unknown epochs, and cross-checks
+    /// the indexed record count against the manifest's committed count.
+    fn epoch_index(&self, epoch: u64) -> io::Result<Arc<EpochIndex>> {
+        if let Some(idx) = self.shared.page_index.lock().get(&epoch) {
+            return Ok(Arc::clone(idx));
+        }
+        let rec = self
+            .live_records()?
+            .into_iter()
+            .find(|r| r.epoch == epoch)
+            .ok_or_else(|| {
+                io::Error::new(
+                    io::ErrorKind::NotFound,
+                    format!("epoch {epoch} not committed (or compacted away)"),
+                )
+            })?;
+        let paths = match rec.kind {
+            RecordKind::Full => vec![Self::full_path(&self.dir, epoch)],
+            _ => {
+                let shards = delta_shard_files(&self.dir, epoch)?;
+                if shards.is_empty() {
+                    return Err(io::Error::new(
+                        io::ErrorKind::NotFound,
+                        format!("epoch {epoch}: segment file missing"),
+                    ));
+                }
+                shards
+            }
+        };
+        let mut files = Vec::with_capacity(paths.len());
+        let mut pages = Vec::new();
+        let mut by_page = HashMap::new();
+        for (i, path) in paths.iter().enumerate() {
+            files.push(index_segment(
+                path,
+                epoch,
+                i as u32,
+                &mut pages,
+                &mut by_page,
+            )?);
+        }
+        if pages.len() as u64 != rec.records {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!(
+                    "epoch {epoch}: manifest committed {} records but segments hold {}",
+                    rec.records,
+                    pages.len()
+                ),
+            ));
+        }
+        let idx = Arc::new(EpochIndex {
+            files,
+            pages,
+            by_page,
+        });
+        self.shared
+            .page_index
+            .lock()
+            .insert(epoch, Arc::clone(&idx));
+        Ok(idx)
+    }
+
+    /// Drop cached segment indexes of epochs that no longer exist.
+    fn invalidate_index(&self, epochs: impl IntoIterator<Item = u64>) {
+        let mut cache = self.shared.page_index.lock();
+        for epoch in epochs {
+            cache.remove(&epoch);
+        }
+    }
+
+    /// Make a directory-entry change (blob rename/unlink, compacted-segment
+    /// rename) durable by fsyncing the checkpoint directory itself — the
+    /// rename is only crash-safe once its directory entry is on disk.
+    fn sync_dir(&self) -> io::Result<()> {
+        File::open(&self.dir)?.sync_all()?;
+        self.shared.io.dir_fsyncs.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
 }
 
 /// Hand-write a v1 (`AICKSEG1`) segment plus its manifest record, exactly
@@ -1478,6 +1745,136 @@ mod tests {
         assert!(b.begin_epoch(5).is_err());
         write_epoch(&b, 6, vec![(0, vec![2])]).unwrap();
         assert_eq!(b.high_water().unwrap(), Some(6));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn read_page_at_matches_streamed_read() {
+        let dir = tmpdir("pageat");
+        // Auto compression: the index must round-trip encoded records too.
+        let b = FileBackend::open(&dir).unwrap();
+        let compressible = vec![7u8; 4096];
+        let mut incompressible = vec![0u8; 4096];
+        for (i, x) in incompressible.iter_mut().enumerate() {
+            *x = (i as u8).wrapping_mul(31).wrapping_add((i >> 8) as u8);
+        }
+        write_epoch(
+            &b,
+            1,
+            vec![
+                (3, compressible.clone()),
+                (9, incompressible.clone()),
+                (4, vec![]),
+            ],
+        )
+        .unwrap();
+        assert_eq!(b.read_page_at(1, 3).unwrap().unwrap(), compressible);
+        assert_eq!(b.read_page_at(1, 9).unwrap().unwrap(), incompressible);
+        assert_eq!(b.read_page_at(1, 4).unwrap().unwrap(), Vec::<u8>::new());
+        assert_eq!(b.read_page_at(1, 77).unwrap(), None, "absent page");
+        assert!(b.read_page_at(9, 3).is_err(), "unknown epoch");
+        assert_eq!(b.epoch_page_ids(1).unwrap(), vec![3, 9, 4]);
+        assert!(b.io_stats().page_reads >= 3);
+        // Corruption surfaces on the random-access path too.
+        let b2 = FileBackend::open(&dir).unwrap();
+        corrupt_record_payload(&dir, 1, 1).unwrap();
+        let err = b2.read_page_at(1, 3).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn read_page_at_survives_compaction_and_sharded_epochs() {
+        let dir = tmpdir("pageat2");
+        let b = FileBackend::open(&dir).unwrap();
+        write_epoch(&b, 1, vec![(0, vec![1; 32]), (1, vec![1; 32])]).unwrap();
+        write_epoch(&b, 2, vec![(1, vec![2; 32])]).unwrap();
+        // Prime the index cache, then compact underneath it.
+        assert_eq!(b.read_page_at(2, 1).unwrap().unwrap(), vec![2; 32]);
+        b.compact(2).unwrap();
+        assert_eq!(
+            b.read_page_at(2, 0).unwrap().unwrap(),
+            vec![1; 32],
+            "full segment indexed after invalidation"
+        );
+        assert_eq!(b.read_page_at(2, 1).unwrap().unwrap(), vec![2; 32]);
+        // Sharded epoch: records spread across shard files are all indexed.
+        let w = b.begin_epoch_impl(3).unwrap();
+        {
+            let _slot0 = w.shards[0].lock();
+            w.write_pages(&[(5, &[5u8; 32])]).unwrap();
+        }
+        w.write_pages(&[(6, &[6u8; 32])]).unwrap();
+        w.finish().unwrap();
+        assert_eq!(b.read_page_at(3, 5).unwrap().unwrap(), vec![5; 32]);
+        assert_eq!(b.read_page_at(3, 6).unwrap().unwrap(), vec![6; 32]);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn blob_delete_list_and_orphan_sweep() {
+        let dir = tmpdir("bloblife");
+        {
+            let b = FileBackend::open(&dir).unwrap();
+            write_epoch(&b, 1, vec![(0, vec![1])]).unwrap();
+            b.put_blob(&crate::backend::layout_blob_name(1), b"live")
+                .unwrap();
+            b.put_blob(&crate::backend::layout_blob_name(7), b"orphan")
+                .unwrap();
+            b.put_blob("custom-name", b"keep").unwrap();
+            assert_eq!(
+                b.list_blobs().unwrap(),
+                vec![
+                    "custom-name".to_owned(),
+                    "layout_0000000001".to_owned(),
+                    "layout_0000000007".to_owned()
+                ]
+            );
+            b.delete_blob("custom-name").unwrap();
+            b.delete_blob("custom-name").unwrap(); // idempotent
+            assert!(b.io_stats().dir_fsyncs > 0, "renames/unlinks fsync the dir");
+        }
+        // Reopen: epoch 7 was never committed, so its blob is swept; the
+        // live epoch's blob survives.
+        let b = FileBackend::open(&dir).unwrap();
+        assert_eq!(
+            b.list_blobs().unwrap(),
+            vec!["layout_0000000001".to_owned()]
+        );
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn retirement_and_compaction_remove_layout_blobs() {
+        let dir = tmpdir("blobgc");
+        let b = FileBackend::open(&dir).unwrap();
+        for e in 1..=4u64 {
+            write_epoch(&b, e, vec![(e, vec![e as u8; 16])]).unwrap();
+            b.put_blob(&crate::backend::layout_blob_name(e), &[e as u8])
+                .unwrap();
+        }
+        b.remove_epoch(1).unwrap();
+        assert_eq!(
+            b.list_blobs().unwrap(),
+            (2..=4)
+                .map(crate::backend::layout_blob_name)
+                .collect::<Vec<_>>(),
+            "retired epoch's blob removed"
+        );
+        b.compact(3).unwrap();
+        assert_eq!(
+            b.list_blobs().unwrap(),
+            (3..=4)
+                .map(crate::backend::layout_blob_name)
+                .collect::<Vec<_>>(),
+            "blobs below the horizon gone, the horizon's blob kept"
+        );
+        assert_eq!(
+            b.get_blob(&crate::backend::layout_blob_name(3))
+                .unwrap()
+                .unwrap(),
+            vec![3u8]
+        );
         fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -225,6 +225,13 @@ pub struct IoCounters {
     /// `fsync` calls paid for those appends; batched appends commit many
     /// records under one fsync, so this lags `manifest_appends`.
     pub manifest_fsyncs: AtomicU64,
+    /// Directory `fsync` calls (durability points after renames/unlinks of
+    /// blobs and compacted segments).
+    pub dir_fsyncs: AtomicU64,
+    /// Single-page random reads served by the demand-paged restore path
+    /// (`read_page_at`). One count per record actually fetched from disk —
+    /// cache hits upstream do not reach this counter.
+    pub page_reads: AtomicU64,
 }
 
 impl IoCounters {
@@ -236,6 +243,8 @@ impl IoCounters {
             segment_fsyncs: self.segment_fsyncs.load(Ordering::Relaxed),
             manifest_appends: self.manifest_appends.load(Ordering::Relaxed),
             manifest_fsyncs: self.manifest_fsyncs.load(Ordering::Relaxed),
+            dir_fsyncs: self.dir_fsyncs.load(Ordering::Relaxed),
+            page_reads: self.page_reads.load(Ordering::Relaxed),
         }
     }
 }
@@ -256,6 +265,10 @@ pub struct IoStats {
     pub manifest_appends: u64,
     /// Manifest `fsync` calls paid for those appends.
     pub manifest_fsyncs: u64,
+    /// Directory `fsync` calls after blob/segment renames and unlinks.
+    pub dir_fsyncs: u64,
+    /// Single-page random reads served by `read_page_at`.
+    pub page_reads: u64,
 }
 
 impl IoStats {
@@ -278,6 +291,8 @@ impl IoStats {
             segment_fsyncs: self.segment_fsyncs + other.segment_fsyncs,
             manifest_appends: self.manifest_appends + other.manifest_appends,
             manifest_fsyncs: self.manifest_fsyncs + other.manifest_fsyncs,
+            dir_fsyncs: self.dir_fsyncs + other.dir_fsyncs,
+            page_reads: self.page_reads + other.page_reads,
         }
     }
 }
@@ -389,6 +404,8 @@ mod tests {
             segment_fsyncs: 2,
             manifest_appends: 10,
             manifest_fsyncs: 3,
+            dir_fsyncs: 1,
+            page_reads: 5,
         };
         assert_eq!(s.coalesced_appends(), 7);
         assert_eq!(s.bytes_per_syscall(), 1024);
@@ -396,5 +413,7 @@ mod tests {
         let sum = s.merged(s);
         assert_eq!(sum.manifest_appends, 20);
         assert_eq!(sum.write_syscall_bytes, 8192);
+        assert_eq!(sum.dir_fsyncs, 2);
+        assert_eq!(sum.page_reads, 10);
     }
 }

@@ -28,7 +28,11 @@
 //! * [`codec`] — per-record payload encodings (raw / RLE / vendored LZ)
 //!   for `AICKSEG2` segments, CRC-verified over the uncompressed bytes;
 //! * [`image`] — latest-wins reconstruction for restart, starting from the
-//!   newest full (compacted) segment.
+//!   newest full (compacted) segment;
+//! * [`locator`] — page→epoch resolution without payload I/O, the index
+//!   behind demand-paged (lazy) restore;
+//! * [`cache`] — shared sharded LRU page cache with single-flight loading,
+//!   so N concurrent restores of one checkpoint hit disk once per page.
 //!
 //! The chain lifecycle — full → deltas → compaction → GC — is defined in
 //! [`backend`]: `compact(up_to)` folds the live prefix into one full
@@ -39,12 +43,14 @@
 #![warn(rust_2018_idioms)]
 
 pub mod backend;
+pub mod cache;
 pub mod checksum;
 pub mod codec;
 pub mod failing;
 pub mod file;
 pub mod image;
 pub mod io;
+pub mod locator;
 pub mod manifest;
 pub mod memory;
 pub mod null;
@@ -54,14 +60,17 @@ pub mod throttle;
 pub mod tiered;
 
 pub use backend::{
-    write_epoch, ChainEntry, CompactionStats, EpochKind, EpochWriter, StorageBackend,
+    layout_blob_name, write_epoch, ChainEntry, CompactionStats, EpochKind, EpochWriter,
+    StorageBackend,
 };
+pub use cache::{CacheStats, PageCache};
 pub use checksum::{crc64, crc64_update};
 pub use codec::{Compression, Encoding};
 pub use failing::{FailingBackend, FailureControl};
 pub use file::FileBackend;
 pub use image::CheckpointImage;
 pub use io::{IoCounters, IoStats};
+pub use locator::PageLocator;
 pub use manifest::{ManifestRecord, RecordKind};
 pub use memory::MemoryBackend;
 pub use null::NullBackend;

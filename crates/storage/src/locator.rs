@@ -1,0 +1,156 @@
+//! Page-to-epoch resolution for demand-paged restore.
+//!
+//! Eager restore materialises the whole chain into memory before the
+//! application runs ([`crate::image::CheckpointImage`]). The lazy path
+//! instead builds a [`PageLocator`]: a map from page id to the *newest*
+//! chain epoch holding that page, computed from per-epoch page-id listings
+//! ([`crate::StorageBackend::epoch_page_ids`]) without touching a single
+//! payload byte. Page contents are then fetched one record at a time with
+//! [`crate::StorageBackend::read_page_at`], on demand or ahead of demand by
+//! the prefetcher.
+//!
+//! The chain-walk rules mirror `CheckpointImage::load` exactly — same
+//! full-segment cut-off, same latest-wins resolution — so a lazy restore
+//! that faults in every page is byte-identical to an eager one.
+
+use std::collections::HashMap;
+use std::io;
+
+use crate::backend::{EpochKind, StorageBackend};
+
+/// Index resolving `page id → newest epoch holding it` for one checkpoint
+/// of a backend's chain, built without materialising any payload.
+#[derive(Debug)]
+pub struct PageLocator {
+    /// The checkpoint this locator resolves.
+    checkpoint: u64,
+    /// Latest-wins resolution: the newest chain epoch recording each page.
+    map: HashMap<u64, u64>,
+    /// Pages in discovery order: newest epoch first, record (arrival) order
+    /// within an epoch. This doubles as the prefetch order — recent epochs
+    /// hold the hottest pages, and within an epoch the record order is the
+    /// first-write order the scheduler already optimised.
+    order: Vec<u64>,
+}
+
+impl PageLocator {
+    /// Build the locator for checkpoint `up_to`. Fails with `NotFound` when
+    /// `up_to` is not a live chain epoch (same contract as
+    /// `CheckpointImage::load`).
+    pub fn build(backend: &dyn StorageBackend, up_to: u64) -> io::Result<Self> {
+        let chain: Vec<_> = backend
+            .chain()?
+            .into_iter()
+            .filter(|c| c.epoch <= up_to)
+            .collect();
+        if chain.last().map(|c| c.epoch) != Some(up_to) {
+            return Err(io::Error::new(
+                io::ErrorKind::NotFound,
+                format!("checkpoint {up_to} is not a live epoch"),
+            ));
+        }
+        // Restore starts at the newest full segment at or below the target;
+        // everything before it is superseded.
+        let start = chain
+            .iter()
+            .rposition(|c| c.kind == EpochKind::Full)
+            .unwrap_or(0);
+        let mut map = HashMap::new();
+        let mut order = Vec::new();
+        // Walk newest-first: the first sighting of a page is its newest
+        // version, so one pass resolves latest-wins without any payload I/O.
+        for entry in chain[start..].iter().rev() {
+            for page in backend.epoch_page_ids(entry.epoch)? {
+                if let std::collections::hash_map::Entry::Vacant(e) = map.entry(page) {
+                    e.insert(entry.epoch);
+                    order.push(page);
+                }
+            }
+        }
+        Ok(Self {
+            checkpoint: up_to,
+            map,
+            order,
+        })
+    }
+
+    /// The checkpoint this locator resolves.
+    pub fn checkpoint(&self) -> u64 {
+        self.checkpoint
+    }
+
+    /// The newest chain epoch holding `page`, or `None` when the checkpoint
+    /// recorded no version of it (restore fills such pages with zeros).
+    pub fn epoch_of(&self, page: u64) -> Option<u64> {
+        self.map.get(&page).copied()
+    }
+
+    /// Every resolved page, in discovery order (newest epoch first, record
+    /// order within an epoch) — the prefetcher's fill order.
+    pub fn pages_newest_first(&self) -> &[u64] {
+        &self.order
+    }
+
+    /// Number of distinct pages the checkpoint holds.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the checkpoint holds no pages at all.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::write_epoch;
+    use crate::image::CheckpointImage;
+    use crate::memory::MemoryBackend;
+
+    #[test]
+    fn resolves_latest_wins_across_deltas() {
+        let b = MemoryBackend::new();
+        write_epoch(&b, 1, vec![(0, vec![1]), (1, vec![1]), (2, vec![1])]).unwrap();
+        write_epoch(&b, 2, vec![(1, vec![2])]).unwrap();
+        write_epoch(&b, 3, vec![(2, vec![3]), (4, vec![3])]).unwrap();
+        let loc = PageLocator::build(&b, 3).unwrap();
+        assert_eq!(loc.checkpoint(), 3);
+        assert_eq!(loc.epoch_of(0), Some(1));
+        assert_eq!(loc.epoch_of(1), Some(2));
+        assert_eq!(loc.epoch_of(2), Some(3));
+        assert_eq!(loc.epoch_of(4), Some(3));
+        assert_eq!(loc.epoch_of(9), None);
+        assert_eq!(loc.len(), 4);
+        // Newest epoch's pages lead the prefetch order.
+        assert_eq!(loc.pages_newest_first(), &[2, 4, 1, 0]);
+    }
+
+    #[test]
+    fn respects_target_epoch_cutoff() {
+        let b = MemoryBackend::new();
+        write_epoch(&b, 1, vec![(0, vec![1])]).unwrap();
+        write_epoch(&b, 2, vec![(0, vec![2])]).unwrap();
+        let loc = PageLocator::build(&b, 1).unwrap();
+        assert_eq!(loc.epoch_of(0), Some(1), "newer epochs are ignored");
+        assert!(PageLocator::build(&b, 7).is_err(), "not a live epoch");
+    }
+
+    #[test]
+    fn agrees_with_eager_image_under_compaction() {
+        let b = MemoryBackend::new();
+        for e in 1..=6u64 {
+            write_epoch(&b, e, vec![(e % 3, vec![e as u8]), (10 + e, vec![e as u8])]).unwrap();
+        }
+        b.compact(4).unwrap();
+        let image = CheckpointImage::load(&b, 6).unwrap();
+        let loc = PageLocator::build(&b, 6).unwrap();
+        assert_eq!(loc.len(), image.len());
+        for (page, data) in image.iter() {
+            let epoch = loc.epoch_of(page).expect("locator resolves every page");
+            let via_locator = b.read_page_at(epoch, page).unwrap().unwrap();
+            assert_eq!(via_locator, data, "page {page} differs");
+        }
+    }
+}

@@ -12,7 +12,9 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 
-use crate::backend::{ChainEntry, EpochKind, EpochWriter, StorageBackend};
+use crate::backend::{
+    layout_blob_epoch, layout_blob_name, ChainEntry, EpochKind, EpochWriter, StorageBackend,
+};
 use crate::codec::{self, Compression, Encoding};
 
 /// One stored page payload: kept in its encoded form (same codec as the
@@ -244,6 +246,15 @@ impl StorageBackend for MemoryBackend {
         Ok(self.shared.store.lock().blobs.get(name).cloned())
     }
 
+    fn delete_blob(&self, name: &str) -> io::Result<()> {
+        self.shared.store.lock().blobs.remove(name);
+        Ok(())
+    }
+
+    fn list_blobs(&self) -> io::Result<Vec<String>> {
+        Ok(self.shared.store.lock().blobs.keys().cloned().collect())
+    }
+
     fn epochs(&self) -> io::Result<Vec<u64>> {
         Ok(self.shared.store.lock().finished.keys().copied().collect())
     }
@@ -268,6 +279,29 @@ impl StorageBackend for MemoryBackend {
             }
         }
         Ok(())
+    }
+
+    fn epoch_page_ids(&self, epoch: u64) -> io::Result<Vec<u64>> {
+        let s = self.shared.store.lock();
+        let records = s
+            .finished
+            .get(&epoch)
+            .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, format!("epoch {epoch}")))?;
+        Ok(records.iter().map(|(p, _)| *p).collect())
+    }
+
+    fn read_page_at(&self, epoch: u64, page: u64) -> io::Result<Option<Vec<u8>>> {
+        let s = self.shared.store.lock();
+        let records = s
+            .finished
+            .get(&epoch)
+            .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, format!("epoch {epoch}")))?;
+        // Latest record wins, matching `read_epoch` replay semantics.
+        Ok(records
+            .iter()
+            .rev()
+            .find(|(p, _)| *p == page)
+            .map(|(_, d)| d.decode()))
     }
 
     fn bytes_written(&self) -> u64 {
@@ -321,6 +355,10 @@ impl StorageBackend for MemoryBackend {
         s.full.retain(|&e| e > into);
         s.finished.insert(into, encoded);
         s.full.insert(into);
+        // Layout blobs below the new horizon refer to unreachable restore
+        // points; the blob at `into` stays (restore needs it).
+        s.blobs
+            .retain(|name, _| layout_blob_epoch(name).is_none_or(|e| e >= into));
         Ok(())
     }
 
@@ -333,6 +371,7 @@ impl StorageBackend for MemoryBackend {
             ));
         }
         s.full.remove(&epoch);
+        s.blobs.remove(&layout_blob_name(epoch));
         // Retired numbers stay burned (high_water already covers them).
         Ok(())
     }

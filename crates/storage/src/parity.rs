@@ -227,6 +227,14 @@ impl<B: StorageBackend> StorageBackend for ParityBackend<B> {
         self.inner.get_blob(name)
     }
 
+    fn delete_blob(&self, name: &str) -> io::Result<()> {
+        self.inner.delete_blob(name)
+    }
+
+    fn list_blobs(&self) -> io::Result<Vec<String>> {
+        self.inner.list_blobs()
+    }
+
     fn epochs(&self) -> io::Result<Vec<u64>> {
         self.inner.epochs()
     }

@@ -127,6 +127,25 @@ impl StorageBackend for ReplicatedBackend {
         Ok(())
     }
 
+    fn epoch_page_ids(&self, epoch: u64) -> io::Result<Vec<u64>> {
+        self.read_fallback(|r| r.epoch_page_ids(epoch))
+    }
+
+    fn read_page_at(&self, epoch: u64, page: u64) -> io::Result<Option<Vec<u8>>> {
+        self.read_fallback(|r| r.read_page_at(epoch, page))
+    }
+
+    fn delete_blob(&self, name: &str) -> io::Result<()> {
+        for r in &self.replicas {
+            r.delete_blob(name)?;
+        }
+        Ok(())
+    }
+
+    fn list_blobs(&self) -> io::Result<Vec<String>> {
+        self.read_fallback(|r| r.list_blobs())
+    }
+
     fn bytes_written(&self) -> u64 {
         // Logical payload bytes (not multiplied by replication factor).
         self.replicas.first().map_or(0, |r| r.bytes_written())

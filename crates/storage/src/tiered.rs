@@ -229,6 +229,41 @@ impl StorageBackend for TieredBackend {
         }
     }
 
+    fn epoch_page_ids(&self, epoch: u64) -> io::Result<Vec<u64>> {
+        // Same routing as `read_epoch`: the fast tier first, falling back
+        // to the slow tier when the epoch drained away.
+        match self.fast.epoch_page_ids(epoch) {
+            Ok(pages) => Ok(pages),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => self.slow.epoch_page_ids(epoch),
+            Err(e) => Err(e),
+        }
+    }
+
+    fn read_page_at(&self, epoch: u64, page: u64) -> io::Result<Option<Vec<u8>>> {
+        match self.fast.read_page_at(epoch, page) {
+            Ok(hit) => Ok(hit),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => self.slow.read_page_at(epoch, page),
+            Err(e) => Err(e),
+        }
+    }
+
+    fn delete_blob(&self, name: &str) -> io::Result<()> {
+        // Blobs are written to both tiers; retire them from both.
+        self.fast.delete_blob(name)?;
+        self.slow.delete_blob(name)
+    }
+
+    fn list_blobs(&self) -> io::Result<Vec<String>> {
+        let mut all = self.fast.list_blobs()?;
+        for name in self.slow.list_blobs()? {
+            if !all.contains(&name) {
+                all.push(name);
+            }
+        }
+        all.sort();
+        Ok(all)
+    }
+
     fn high_water(&self) -> io::Result<Option<u64>> {
         // The in-memory mark covers everything committed through this
         // instance; the tiers' own marks cover retirement history from

@@ -29,6 +29,8 @@ pub type time_t = i64;
 /// Signal handler address, as stored in `sigaction.sa_sigaction`.
 pub type sighandler_t = size_t;
 
+/// `PROT_NONE`.
+pub const PROT_NONE: c_int = 0;
 /// `PROT_READ`.
 pub const PROT_READ: c_int = 1;
 /// `PROT_WRITE`.
