@@ -71,9 +71,10 @@ use crate::stats::GroupStats;
 pub const GLOBAL_MANIFEST_FILE: &str = "GLOBAL";
 
 /// Rank `rank`'s namespace under a shared checkpoint root (a rank-prefixed
-/// subdirectory; see the module docs).
+/// subdirectory; see the module docs). Shares the `label_NNNN/` naming
+/// scheme with the multi-tenant service's per-tenant sub-roots.
 pub fn rank_dir(root: &Path, rank: usize) -> PathBuf {
-    root.join(format!("rank_{rank:04}"))
+    ai_ckpt_storage::namespace::scoped_dir(root, "rank", rank)
 }
 
 /// Configuration of a [`CheckpointGroup`].

@@ -1,0 +1,378 @@
+//! Shared-pool attachment: the seam between a [`PageManager`](crate::PageManager) and a
+//! multi-tenant flush host.
+//!
+//! A standalone manager owns its committer streams, coordinator and
+//! maintenance worker. Under multi-tenancy that would spawn
+//! `tenants × (streams + 2)` threads for workloads where most tenants are
+//! idle most of the time, so [`PageManager::attached`](crate::PageManager::attached) inverts the
+//! ownership: the manager keeps only its engine and fault-handler state,
+//! and hands every checkpoint to a [`FlushHost`] — one shared worker pool
+//! multiplexed across all tenants' flush plans.
+//!
+//! The protocol, in host terms:
+//!
+//! 1. `admit(tenant)` — called by `CHECKPOINT` while the manager is idle
+//!    (`busy` claimed, nothing begun): refuse here and the checkpoint is a
+//!    clean no-op.
+//! 2. `submit(FlushRequest)` — the epoch is begun and every region is
+//!    re-protected; the host now *owns* the request and must eventually
+//!    resolve it: [`FlushRequest::open`] + drain + [`ActiveFlush::finalize`],
+//!    or [`FlushRequest::reject`]. If `submit` itself returns an error, the
+//!    host has already rejected the request (the manager just forwards the
+//!    error to the application).
+//! 3. Workers drain the flush through [`ActiveFlush::claim`] — the same
+//!    engine-lock-frugal hot path the standalone stream pool runs
+//!    ([`flush_one_batch`](crate::manager) internally) — until
+//!    [`ActiveFlush::drained`] flips, then exactly one worker finalises.
+//! 4. `detach(tenant)` — the manager is dropping; forget the tenant.
+//!
+//! Everything here is mechanism; policy (which tenant's flush a worker
+//! serves next, quota enforcement, drain fairness) lives in the service
+//! crate.
+
+use std::io;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use ai_ckpt_storage::StorageBackend;
+
+use crate::config::CompactionPolicy;
+use crate::manager::{
+    compact_chain_if_due, complete_checkpoint, finalize_flush, flush_one_batch, BatchClaim, Ctl,
+    FlushJob,
+};
+use crate::stats::MaintenanceStats;
+
+/// Reusable per-worker staging buffers for [`ActiveFlush::claim`]: keep one
+/// per worker thread so the flush hot path stays allocation-free.
+#[derive(Default)]
+pub struct ClaimScratch(crate::manager::ClaimScratch);
+
+/// What one [`ActiveFlush::claim`] call achieved.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClaimOutcome {
+    /// Nothing claimable but the checkpoint is still active: its remaining
+    /// pages are in progress on other workers, or will complete via a
+    /// buffer-drop discard. Do not spin — re-poll [`ActiveFlush::drained`]
+    /// after a short wait (a discard can finish the checkpoint with no
+    /// further claim ever succeeding).
+    Empty,
+    /// The checkpoint completed; the flush is ready to finalise.
+    Drained,
+    /// A batch was claimed and completed.
+    Flushed {
+        /// Pages written to the epoch session (excludes clean-dirty skips).
+        pages: u64,
+        /// Bytes written.
+        bytes: u64,
+        /// True when this claim finished the whole checkpoint.
+        drained: bool,
+    },
+}
+
+/// The host side of an attached [`PageManager`](crate::PageManager)(crate::PageManager): a
+/// shared pool that admits, drains and finalises tenant checkpoints. See
+/// the [module docs](self) for the call protocol.
+pub trait FlushHost: Send + Sync {
+    /// Admission control, called by `CHECKPOINT` before any state changes.
+    /// An `Err` rejects the checkpoint as a clean no-op (nothing to undo).
+    fn admit(&self, tenant: u64) -> io::Result<()>;
+
+    /// Take ownership of a begun checkpoint. **Contract:** on `Err`, the
+    /// host must already have resolved the request via
+    /// [`FlushRequest::reject`] — the engine is drained and the manager's
+    /// status cleared — so the caller only propagates the error.
+    fn submit(&self, request: FlushRequest) -> io::Result<()>;
+
+    /// The tenant's manager is dropping; release everything held for it.
+    fn detach(&self, tenant: u64);
+
+    /// Block until shared maintenance (tier drain, compaction) has caught
+    /// up with the tenant's committed state.
+    fn maintenance_barrier(&self, tenant: u64) -> io::Result<()>;
+
+    /// Maintenance counters scoped to the tenant.
+    fn maintenance_stats(&self, tenant: u64) -> MaintenanceStats;
+}
+
+/// A begun checkpoint handed from an attached manager to its host: the
+/// engine holds a scheduled dirty set, every region is re-protected, and
+/// the application may already be running (async mode) — someone must
+/// drain this, successfully or not, or MustWait writers block forever.
+pub struct FlushRequest {
+    ctl: Arc<Ctl>,
+    backend: Arc<dyn StorageBackend>,
+    tenant: u64,
+    seq: u64,
+    started: Instant,
+    layout_blob: Vec<u8>,
+    batch_pages: usize,
+}
+
+impl FlushRequest {
+    pub(crate) fn new(
+        ctl: Arc<Ctl>,
+        backend: Arc<dyn StorageBackend>,
+        tenant: u64,
+        seq: u64,
+        started: Instant,
+        layout_blob: Vec<u8>,
+        batch_pages: usize,
+    ) -> Self {
+        Self {
+            ctl,
+            backend,
+            tenant,
+            seq,
+            started,
+            layout_blob,
+            batch_pages,
+        }
+    }
+
+    /// The tenant this flush belongs to.
+    pub fn tenant(&self) -> u64 {
+        self.tenant
+    }
+
+    /// The absolute epoch number being committed.
+    pub fn seq(&self) -> u64 {
+        self.seq
+    }
+
+    /// The manager's configured flush batch size (pages per claim); hosts
+    /// may claim less (bandwidth admission) but gain nothing claiming more.
+    pub fn batch_pages(&self) -> usize {
+        self.batch_pages
+    }
+
+    /// Open the epoch session and make the flush drainable by up to
+    /// `worker_slots` concurrent workers (slot indices passed to
+    /// [`ActiveFlush::claim`] must stay below this). A failed open is not
+    /// an error here: the flush becomes drain-only and the failure
+    /// surfaces from [`ActiveFlush::finalize`].
+    pub fn open(self, worker_slots: usize) -> ActiveFlush {
+        let job = FlushJob::open(self.backend.as_ref(), self.seq, worker_slots);
+        ActiveFlush {
+            ctl: self.ctl,
+            backend: self.backend,
+            tenant: self.tenant,
+            seq: self.seq,
+            started: self.started,
+            layout_blob: self.layout_blob,
+            batch_pages: self.batch_pages,
+            job,
+            finalized: AtomicBool::new(false),
+        }
+    }
+
+    /// Refuse the flush without touching storage: drain the engine so page
+    /// states settle and blocked writers wake, then resolve the manager's
+    /// status with `msg` as the failure. The error is **not** parked for
+    /// later surfacing — the host returns it synchronously through
+    /// `submit`'s `Err` (see [`FlushHost::submit`]).
+    pub fn reject(self, msg: &str) {
+        // A drain-only job: no writer, pre-failed. Every page of the
+        // scheduled set is claimable by this thread alone, so the loop
+        // terminates without waiting on anyone.
+        let job = FlushJob::new(None, Some(io::Error::other(msg)), 1);
+        let mut scratch = crate::manager::ClaimScratch::default();
+        loop {
+            match flush_one_batch(&self.ctl, &job, 0, self.batch_pages, &mut scratch) {
+                BatchClaim::Drained => break,
+                BatchClaim::Empty => std::thread::yield_now(),
+                BatchClaim::Flushed { .. } => {}
+            }
+        }
+        let result = Err(io::Error::other(msg.to_string()));
+        complete_checkpoint(&self.ctl, self.seq, self.started, &result, false);
+    }
+}
+
+/// A flush being drained by host workers: the drain handle
+/// ([`ActiveFlush::claim`]) plus the finalisation step that commits or
+/// aborts the epoch exactly once.
+pub struct ActiveFlush {
+    ctl: Arc<Ctl>,
+    backend: Arc<dyn StorageBackend>,
+    tenant: u64,
+    seq: u64,
+    started: Instant,
+    layout_blob: Vec<u8>,
+    batch_pages: usize,
+    job: FlushJob,
+    finalized: AtomicBool,
+}
+
+impl ActiveFlush {
+    /// The tenant this flush belongs to.
+    pub fn tenant(&self) -> u64 {
+        self.tenant
+    }
+
+    /// The absolute epoch number being committed.
+    pub fn seq(&self) -> u64 {
+        self.seq
+    }
+
+    /// The manager's configured flush batch size.
+    pub fn batch_pages(&self) -> usize {
+        self.batch_pages
+    }
+
+    /// Claim and complete up to `max_pages` pages as worker `slot` — the
+    /// standalone pool's hot path verbatim (zero-copy staging, clean-dirty
+    /// filtering, wake-bounded sub-batches; at most two engine-lock holds
+    /// plus one per sub-batch). `max_pages` lets the host shrink claims
+    /// below [`ActiveFlush::batch_pages`] for bandwidth admission.
+    ///
+    /// Slot discipline: at most one worker per `slot` value at a time (the
+    /// per-slot digest buffers are lock-cheap because of it).
+    pub fn claim(&self, slot: usize, max_pages: usize, scratch: &mut ClaimScratch) -> ClaimOutcome {
+        match flush_one_batch(&self.ctl, &self.job, slot, max_pages, &mut scratch.0) {
+            BatchClaim::Empty => ClaimOutcome::Empty,
+            BatchClaim::Drained => ClaimOutcome::Drained,
+            BatchClaim::Flushed {
+                pages,
+                bytes,
+                drained,
+                ..
+            } => ClaimOutcome::Flushed {
+                pages,
+                bytes,
+                drained,
+            },
+        }
+    }
+
+    /// True once the checkpoint completed — every scheduled page was
+    /// processed or discarded — and the flush is ready to finalise. A
+    /// buffer drop can flip this without any claim observing it, so hosts
+    /// with idle-but-active flushes must re-poll on a timer rather than
+    /// wait for a claim outcome.
+    pub fn drained(&self) -> bool {
+        if self.job.drained.load(Ordering::Acquire) {
+            return true;
+        }
+        // Authoritative re-check under the engine lock (a discard completes
+        // checkpoints outside any claim and nobody stores `drained` then).
+        let active = self.ctl.shared.engine().checkpoint_active();
+        if !active {
+            self.job.drained.store(true, Ordering::Release);
+        }
+        !active
+    }
+
+    /// Fail the flush (first error wins): remaining claims drain without
+    /// writing and the epoch aborts at finalise time. The host's quota
+    /// enforcement path.
+    pub fn fail(&self, msg: &str) {
+        self.job.fail(msg);
+    }
+
+    /// Pages and bytes written to the epoch session so far (excludes
+    /// clean-dirty skips) — what quota accounting should charge.
+    pub fn written(&self) -> (u64, u64) {
+        (
+            self.job.written_pages.load(Ordering::Relaxed),
+            self.job.written_bytes.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Commit (or abort, if the flush failed) the epoch and publish the
+    /// verdict to the manager — `wait_checkpoint` callers wake, the stats
+    /// record is stamped, and a failure is parked for the application's
+    /// next `checkpoint()` call. Idempotent: only the first call acts;
+    /// later calls return `Ok(())`.
+    ///
+    /// Caller contract: the drain is complete ([`ActiveFlush::drained`]).
+    pub fn finalize(&self) -> io::Result<()> {
+        if self.finalized.swap(true, Ordering::AcqRel) {
+            return Ok(());
+        }
+        debug_assert!(
+            self.job.drained.load(Ordering::Acquire),
+            "finalize before the drain completed"
+        );
+        let result = finalize_flush(
+            &self.ctl,
+            self.backend.as_ref(),
+            &self.job,
+            self.seq,
+            &self.layout_blob,
+        );
+        complete_checkpoint(&self.ctl, self.seq, self.started, &result, true);
+        result
+    }
+}
+
+/// Run one compaction check for a tenant's backend: fold the committed
+/// chain into a full segment when `policy` fires, folding the outcome into
+/// `stats`. The shared-maintenance building block (the standalone
+/// maintenance worker has its own internal copy of this logic).
+pub fn compact_if_due(
+    backend: &dyn StorageBackend,
+    policy: CompactionPolicy,
+    stats: &mut MaintenanceStats,
+) -> io::Result<bool> {
+    match compact_chain_if_due(backend, policy)? {
+        Some(c) => {
+            stats.compactions += 1;
+            stats.segments_removed += c.segments_removed;
+            stats.bytes_reclaimed += c.bytes_reclaimed();
+            stats.bytes_compacted += c.bytes_after;
+            Ok(true)
+        }
+        None => Ok(false),
+    }
+}
+
+/// A stats probe over an attached manager's control block, letting the
+/// host roll tenant runtime stats up without holding the `PageManager`
+/// itself (which the application owns and may drop at any time).
+pub struct StatsProbe {
+    ctl: Arc<Ctl>,
+    backend: Arc<dyn StorageBackend>,
+}
+
+impl StatsProbe {
+    /// Probe the manager's shared state. Internal to the attach seam: the
+    /// service builds one per tenant at `add_tenant` time.
+    pub(crate) fn new(ctl: Arc<Ctl>, backend: Arc<dyn StorageBackend>) -> Self {
+        Self { ctl, backend }
+    }
+
+    /// Snapshot the tenant's runtime stats — same shape as
+    /// [`PageManager::stats`](crate::PageManager::stats) with the
+    /// host-owned sections (per-stream breakdown, maintenance) left empty
+    /// for the host to fill.
+    pub fn stats(&self) -> crate::stats::RuntimeStats {
+        let (pages_skipped_clean, bytes_skipped) = self
+            .ctl
+            .filter
+            .as_ref()
+            .map(|f| f.skipped())
+            .unwrap_or((0, 0));
+        let records = Arc::clone(&self.ctl.stats.lock());
+        crate::stats::RuntimeStats {
+            pages_skipped_clean,
+            bytes_skipped,
+            checkpoints: (*records).clone(),
+            write_stall: self.ctl.shared.stall.snapshot(),
+            engine_lock_acquisitions: self.ctl.shared.engine_locks.load(Ordering::Relaxed),
+            live_epoch: self.ctl.shared.engine().current_stats(),
+            streams: Vec::new(),
+            maintenance: MaintenanceStats::default(),
+            io: self.backend.io_stats(),
+        }
+    }
+}
+
+impl crate::PageManager {
+    /// A [`StatsProbe`] over this manager's shared state (host-side stats
+    /// rollups survive the manager's drop).
+    pub fn stats_probe(&self) -> StatsProbe {
+        StatsProbe::new(Arc::clone(&self.ctl), Arc::clone(self.backend()))
+    }
+}

@@ -47,6 +47,7 @@
 //! | module | role |
 //! |--------|------|
 //! | [`manager`] | the page manager: `CHECKPOINT`, fault handling, committer |
+//! | [`attach`] | shared-pool attachment: drive a manager from a multi-tenant host |
 //! | [`buffer`] | `ProtectedBuffer` (= `malloc_protected`/`free_protected`) |
 //! | [`config`] | presets for the paper's three evaluated settings |
 //! | [`restore`] | restart from an incremental checkpoint chain (eager or demand-paged) |
@@ -59,6 +60,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod attach;
 pub mod buffer;
 pub mod config;
 pub mod layout;
@@ -67,12 +69,13 @@ pub mod restore;
 pub mod stats;
 pub mod transparent;
 
+pub use attach::{ActiveFlush, ClaimOutcome, ClaimScratch, FlushHost, FlushRequest, StatsProbe};
 pub use buffer::ProtectedBuffer;
 pub use config::{CkptConfig, CkptMode, CompactionPolicy};
 pub use manager::PageManager;
 pub use restore::{
-    restore_at, restore_latest, restore_latest_lazy, restore_lazy, LazyRestore, RestoreStats,
-    RestoredState,
+    restore_at, restore_at_cached, restore_latest, restore_latest_cached, restore_latest_lazy,
+    restore_lazy, LazyRestore, RestoreStats, RestoredState,
 };
 pub use stats::{CheckpointRecord, MaintenanceStats, RuntimeStats};
 

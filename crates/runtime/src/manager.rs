@@ -353,6 +353,14 @@ impl ContentFilter {
             .lock()
             .set(page as usize / DIGEST_SHARDS, digest);
     }
+
+    /// `(pages, bytes)` skipped as clean-dirty across committed epochs.
+    pub(crate) fn skipped(&self) -> (u64, u64) {
+        (
+            self.skipped_pages.load(Ordering::Relaxed),
+            self.skipped_bytes.load(Ordering::Relaxed),
+        )
+    }
 }
 
 #[derive(Default)]
@@ -426,32 +434,80 @@ struct StreamCounters {
     batches: AtomicU64,
 }
 
-/// One checkpoint's shared drain state, published by the coordinator to the
-/// worker streams.
+/// One checkpoint's shared drain state, published by the coordinator (or
+/// the multi-tenant service) to whichever worker threads drain it.
 #[derive(Clone)]
-struct FlushJob {
+pub(crate) struct FlushJob {
     /// The epoch session every stream writes into. `None` when opening the
     /// epoch failed — the streams then drain the engine *without* writing
     /// so page states settle and blocked writers wake.
-    writer: Option<Arc<dyn EpochWriter>>,
+    pub(crate) writer: Option<Arc<dyn EpochWriter>>,
     /// Set by the first stream that hits a storage error; later batches are
     /// skipped (drain-only) and the coordinator aborts the epoch.
-    failed: Arc<AtomicBool>,
+    pub(crate) failed: Arc<AtomicBool>,
     /// The first storage error's message (first writer wins).
-    error: Arc<Mutex<Option<String>>>,
+    pub(crate) error: Arc<Mutex<Option<String>>>,
     /// `(page, digest)` pairs of the payloads written into this epoch, one
-    /// private buffer per committer stream: stream `i` appends only to slot
-    /// `i` (once, at the end of its drain), and the coordinator reads the
-    /// slots only after every stream finished — so these mutexes are never
-    /// contended and the flush hot path shares no digest-update state
-    /// across streams. Applied to the digest shards iff `finish` succeeds
+    /// private buffer per committer slot: slot `i` is appended to only by
+    /// the worker draining as slot `i` (under a mutex that is uncontended
+    /// by construction), and the finaliser reads the slots only after the
+    /// drain completed — the flush hot path shares no digest-update state
+    /// across slots. Applied to the digest shards iff `finish` succeeds
     /// (unused when the content filter is off).
-    digest_updates: Arc<[Mutex<DigestUpdates>]>,
+    pub(crate) digest_updates: Arc<[Mutex<DigestUpdates>]>,
     /// Clean-dirty pages dropped while draining this epoch; folded into
-    /// the filter's counters by the coordinator iff `finish` succeeds, so
+    /// the filter's counters by the finaliser iff `finish` succeeds, so
     /// the stats describe committed checkpoints only (a retried epoch must
     /// not double-count its skips).
-    skipped_pages: Arc<AtomicU64>,
+    pub(crate) skipped_pages: Arc<AtomicU64>,
+    /// Pages actually written to the epoch session so far (excludes
+    /// clean-dirty skips). The service charges these against tenant quotas.
+    pub(crate) written_pages: Arc<AtomicU64>,
+    /// Bytes actually written to the epoch session so far.
+    pub(crate) written_bytes: Arc<AtomicU64>,
+    /// Set once the engine's checkpoint completed (every scheduled page
+    /// processed or discarded) — the signal that the epoch session may be
+    /// finalised. Monotonic: never cleared.
+    pub(crate) drained: Arc<AtomicBool>,
+}
+
+impl FlushJob {
+    /// A job over an already-opened epoch session (`writer = None` encodes
+    /// a failed open: the drain then settles page states without writing).
+    pub(crate) fn new(
+        writer: Option<Arc<dyn EpochWriter>>,
+        open_error: Option<io::Error>,
+        slots: usize,
+    ) -> Self {
+        Self {
+            writer,
+            failed: Arc::new(AtomicBool::new(open_error.is_some())),
+            error: Arc::new(Mutex::new(open_error.map(|e| e.to_string()))),
+            digest_updates: (0..slots.max(1)).map(|_| Mutex::new(Vec::new())).collect(),
+            skipped_pages: Arc::new(AtomicU64::new(0)),
+            written_pages: Arc::new(AtomicU64::new(0)),
+            written_bytes: Arc::new(AtomicU64::new(0)),
+            drained: Arc::new(AtomicBool::new(false)),
+        }
+    }
+
+    /// Open epoch `seq` on `backend` and wrap the session in a job with
+    /// `slots` digest-update slots. An open failure becomes a drain-only
+    /// job (the error is surfaced at finalise time).
+    pub(crate) fn open(backend: &dyn StorageBackend, seq: u64, slots: usize) -> Self {
+        match backend.begin_epoch(seq) {
+            Ok(w) => Self::new(Some(Arc::<dyn EpochWriter>::from(w)), None, slots),
+            Err(e) => Self::new(None, Some(e), slots),
+        }
+    }
+
+    /// Record a storage failure (first error wins); the drain continues
+    /// without writing and the epoch aborts at finalise time.
+    pub(crate) fn fail(&self, msg: &str) {
+        if !self.failed.swap(true, Ordering::AcqRel) {
+            *self.error.lock() = Some(msg.to_string());
+        }
+    }
 }
 
 #[derive(Default)]
@@ -466,6 +522,7 @@ struct PoolState {
 }
 
 /// Coordinator/worker hand-off for the committer pool.
+#[derive(Default)]
 struct Pool {
     state: Mutex<PoolState>,
     /// Workers wait here for the next job (or shutdown).
@@ -500,6 +557,7 @@ struct MaintState {
 
 /// Control block of the low-priority maintenance worker (chain compaction,
 /// segment GC, tier draining).
+#[derive(Default)]
 struct Maint {
     state: Mutex<MaintState>,
     /// The worker waits here; the coordinator and Drop notify it.
@@ -518,7 +576,13 @@ pub struct PageManager {
     backend: Arc<dyn StorageBackend>,
     pool: Arc<Pool>,
     maint: Arc<Maint>,
-    tx: mpsc::Sender<Cmd>,
+    /// Standalone mode's committer-coordinator channel; `None` when the
+    /// manager is attached to a shared [`FlushHost`].
+    tx: Option<mpsc::Sender<Cmd>>,
+    /// Shared flush host + this manager's tenant id when attached
+    /// ([`PageManager::attached`]); the manager then owns **no** threads —
+    /// the host's worker pool drains its checkpoints.
+    host: Option<(Arc<dyn crate::attach::FlushHost>, u64)>,
     join: Option<std::thread::JoinHandle<()>>,
     workers: Vec<std::thread::JoinHandle<()>>,
     maint_join: Option<std::thread::JoinHandle<()>>,
@@ -542,56 +606,7 @@ impl PageManager {
         cfg: CkptConfig,
         backend: Arc<dyn StorageBackend>,
     ) -> io::Result<Self> {
-        sigsegv::install(fault_entry)?;
-        // Resume epoch numbering above everything the backend has ever
-        // accounted for — committed *or* retired: a chain whose newest
-        // epoch was drained or folded away must not hand its number out
-        // again. `epoch_floor` lets a coordinator raise the base further
-        // (numbering lockstep across ranks).
-        let epoch_base = backend.high_water()?.unwrap_or(0).max(cfg.epoch_floor);
-        let ps = page_size();
-        let engine_cfg = EngineConfig {
-            pages: cfg.max_pages,
-            page_bytes: ps,
-            cow_slots: cfg.cow_slots(),
-            scheduler: cfg.scheduler,
-            dynamic_hints: cfg.dynamic_hints,
-            cow_data: true,
-        };
-        let engine = EpochEngine::new(engine_cfg)
-            .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e.to_string()))?;
-        let states = Arc::clone(engine.states());
-        let slab_store = Arc::clone(engine.slab_store());
-        let mut page_addr = Vec::with_capacity(cfg.max_pages);
-        page_addr.resize_with(cfg.max_pages, || AtomicUsize::new(0));
-        let mut fill = Vec::with_capacity(cfg.max_pages);
-        fill.resize_with(cfg.max_pages, || AtomicU8::new(fill::NOT_LAZY));
-        let mut demand_ring = Vec::with_capacity(DEMAND_RING_SLOTS);
-        demand_ring.resize_with(DEMAND_RING_SLOTS, || AtomicU64::new(0));
-        let shared = Arc::new(Shared {
-            engine: SpinLock::new(engine),
-            states,
-            slab_store,
-            page_bytes: ps,
-            page_addr: page_addr.into_boxed_slice(),
-            stall: LatencyHistogram::new(),
-            engine_locks: AtomicU64::new(0),
-            fill: fill.into_boxed_slice(),
-            lazy_unfilled: AtomicU64::new(0),
-            lazy_poisoned: AtomicBool::new(false),
-            lazy_demand_faults: AtomicU64::new(0),
-            demand_ring: demand_ring.into_boxed_slice(),
-            demand_head: AtomicUsize::new(0),
-        });
-        let ctl = Arc::new(Ctl {
-            shared,
-            status: Mutex::new(Status::default()),
-            done: Condvar::new(),
-            stats: Mutex::new(Arc::new(Vec::new())),
-            filter: cfg
-                .content_filter
-                .then(|| ContentFilter::new(cfg.max_pages)),
-        });
+        let (ctl, epoch_base) = Self::build_ctl(&cfg, &backend)?;
         let n_streams = cfg.committer_streams.max(1);
         let batch_pages = cfg.flush_batch_pages.max(1);
         let (tx, rx) = mpsc::channel();
@@ -672,7 +687,8 @@ impl PageManager {
             backend,
             pool,
             maint,
-            tx,
+            tx: Some(tx),
+            host: None,
             join: Some(join),
             workers,
             maint_join: Some(maint_join),
@@ -680,9 +696,111 @@ impl PageManager {
         })
     }
 
+    /// Create a manager that owns **no** threads: its checkpoints are
+    /// drained by `host`'s shared worker pool, and its maintenance (tier
+    /// draining, chain compaction) runs on the host's shared maintenance
+    /// worker. This is the multi-tenant attachment point — the service
+    /// crate's `CkptService::add_tenant` builds every tenant manager this
+    /// way, so service thread count is independent of tenant count.
+    ///
+    /// Semantics are otherwise identical to
+    /// [`PageManager::with_shared_backend`]: same fault handler, same
+    /// engine, same epoch numbering, same sync/async modes (sync waits for
+    /// the host's workers instead of a private pool).
+    pub fn attached(
+        cfg: CkptConfig,
+        backend: Arc<dyn StorageBackend>,
+        host: Arc<dyn crate::attach::FlushHost>,
+        tenant: u64,
+    ) -> io::Result<Self> {
+        let (ctl, epoch_base) = Self::build_ctl(&cfg, &backend)?;
+        Ok(Self {
+            ctl,
+            regions: Arc::new(Mutex::new(Regions::default())),
+            cfg,
+            backend,
+            // Unused placeholders (no streams, no worker): stats() reports
+            // per-stream and maintenance numbers from the host instead.
+            pool: Arc::new(Pool::default()),
+            maint: Arc::new(Maint::default()),
+            tx: None,
+            host: Some((host, tenant)),
+            join: None,
+            workers: Vec::new(),
+            maint_join: None,
+            epoch_base,
+        })
+    }
+
+    /// Shared construction: fault handler, epoch numbering, engine and the
+    /// control block every execution mode hangs off.
+    fn build_ctl(
+        cfg: &CkptConfig,
+        backend: &Arc<dyn StorageBackend>,
+    ) -> io::Result<(Arc<Ctl>, u64)> {
+        sigsegv::install(fault_entry)?;
+        // Resume epoch numbering above everything the backend has ever
+        // accounted for — committed *or* retired: a chain whose newest
+        // epoch was drained or folded away must not hand its number out
+        // again. `epoch_floor` lets a coordinator raise the base further
+        // (numbering lockstep across ranks).
+        let epoch_base = backend.high_water()?.unwrap_or(0).max(cfg.epoch_floor);
+        let ps = page_size();
+        let engine_cfg = EngineConfig {
+            pages: cfg.max_pages,
+            page_bytes: ps,
+            cow_slots: cfg.cow_slots(),
+            scheduler: cfg.scheduler,
+            dynamic_hints: cfg.dynamic_hints,
+            cow_data: true,
+        };
+        let engine = EpochEngine::new(engine_cfg)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e.to_string()))?;
+        let states = Arc::clone(engine.states());
+        let slab_store = Arc::clone(engine.slab_store());
+        let mut page_addr = Vec::with_capacity(cfg.max_pages);
+        page_addr.resize_with(cfg.max_pages, || AtomicUsize::new(0));
+        let mut fill = Vec::with_capacity(cfg.max_pages);
+        fill.resize_with(cfg.max_pages, || AtomicU8::new(fill::NOT_LAZY));
+        let mut demand_ring = Vec::with_capacity(DEMAND_RING_SLOTS);
+        demand_ring.resize_with(DEMAND_RING_SLOTS, || AtomicU64::new(0));
+        let shared = Arc::new(Shared {
+            engine: SpinLock::new(engine),
+            states,
+            slab_store,
+            page_bytes: ps,
+            page_addr: page_addr.into_boxed_slice(),
+            stall: LatencyHistogram::new(),
+            engine_locks: AtomicU64::new(0),
+            fill: fill.into_boxed_slice(),
+            lazy_unfilled: AtomicU64::new(0),
+            lazy_poisoned: AtomicBool::new(false),
+            lazy_demand_faults: AtomicU64::new(0),
+            demand_ring: demand_ring.into_boxed_slice(),
+            demand_head: AtomicUsize::new(0),
+        });
+        let ctl = Arc::new(Ctl {
+            shared,
+            status: Mutex::new(Status::default()),
+            done: Condvar::new(),
+            stats: Mutex::new(Arc::new(Vec::new())),
+            filter: cfg
+                .content_filter
+                .then(|| ContentFilter::new(cfg.max_pages)),
+        });
+        Ok((ctl, epoch_base))
+    }
+
     /// The configuration this manager runs with.
     pub fn config(&self) -> &CkptConfig {
         &self.cfg
+    }
+
+    /// The tenant id this manager registered under when attached to a
+    /// shared flush host (`None` for standalone managers). This is the id
+    /// the host's control surface keys on — e.g. `CkptService::set_quota`.
+    pub fn tenant_id(&self) -> Option<u64> {
+        self.host.as_ref().map(|(_, id)| *id)
     }
 
     /// The storage backend this manager commits to. Restores and group
@@ -792,6 +910,18 @@ impl PageManager {
             }
             st.busy = true;
         }
+        // Admission control (attached mode): the host may refuse the epoch
+        // outright — quota exhausted, service shut down — *before* any
+        // engine or protection state changes, so a rejected checkpoint is
+        // a clean no-op the application can retry after a quota raise.
+        if let Some((host, tenant)) = &self.host {
+            if let Err(e) = host.admit(*tenant) {
+                let mut st = self.ctl.status.lock();
+                st.busy = false;
+                self.ctl.done.notify_all();
+                return Err(e);
+            }
+        }
         let started = Instant::now();
         let (mut info, layout_blob) = {
             let regions = self.regions.lock();
@@ -821,13 +951,30 @@ impl PageManager {
             failed: false,
             closed_epoch: info.closed_epoch,
         });
-        self.tx
-            .send(Cmd::Checkpoint {
-                seq: info.checkpoint,
-                started,
-                layout_blob,
-            })
-            .map_err(|_| io::Error::other("committer thread is gone"))?;
+        match (&self.tx, &self.host) {
+            (Some(tx), _) => tx
+                .send(Cmd::Checkpoint {
+                    seq: info.checkpoint,
+                    started,
+                    layout_blob,
+                })
+                .map_err(|_| io::Error::other("committer thread is gone"))?,
+            (None, Some((host, tenant))) => {
+                // Host contract: on Err the host has already resolved the
+                // request (engine drained, busy cleared, record stamped
+                // failed) — the error returned here is the whole story.
+                host.submit(crate::attach::FlushRequest::new(
+                    Arc::clone(&self.ctl),
+                    Arc::clone(&self.backend),
+                    *tenant,
+                    info.checkpoint,
+                    started,
+                    layout_blob,
+                    self.cfg.flush_batch_pages.max(1),
+                ))?;
+            }
+            (None, None) => unreachable!("a manager is standalone or attached"),
+        }
         if self.cfg.mode == CkptMode::Sync {
             self.wait_checkpoint()?;
         }
@@ -870,9 +1017,25 @@ impl PageManager {
         self.ctl.status.lock().busy
     }
 
-    /// Snapshot of runtime metrics.
+    /// Snapshot of runtime metrics. For an attached manager, maintenance
+    /// numbers come from the host's shared worker (scoped to this tenant)
+    /// and the per-stream breakdown is empty — the host's workers are not
+    /// owned by any one tenant.
     pub fn stats(&self) -> RuntimeStats {
-        let m = &self.maint.counters;
+        let maintenance = match &self.host {
+            Some((host, tenant)) => host.maintenance_stats(*tenant),
+            None => {
+                let m = &self.maint.counters;
+                MaintenanceStats {
+                    compactions: m.compactions.load(Ordering::Relaxed),
+                    segments_removed: m.segments_removed.load(Ordering::Relaxed),
+                    bytes_reclaimed: m.bytes_reclaimed.load(Ordering::Relaxed),
+                    bytes_compacted: m.bytes_compacted.load(Ordering::Relaxed),
+                    epochs_drained: m.epochs_drained.load(Ordering::Relaxed),
+                    failures: m.failures.load(Ordering::Relaxed),
+                }
+            }
+        };
         let (pages_skipped_clean, bytes_skipped) = self
             .ctl
             .filter
@@ -905,14 +1068,7 @@ impl PageManager {
                     batches: c.batches.load(Ordering::Relaxed),
                 })
                 .collect(),
-            maintenance: MaintenanceStats {
-                compactions: m.compactions.load(Ordering::Relaxed),
-                segments_removed: m.segments_removed.load(Ordering::Relaxed),
-                bytes_reclaimed: m.bytes_reclaimed.load(Ordering::Relaxed),
-                bytes_compacted: m.bytes_compacted.load(Ordering::Relaxed),
-                epochs_drained: m.epochs_drained.load(Ordering::Relaxed),
-                failures: m.failures.load(Ordering::Relaxed),
-            },
+            maintenance,
             io: self.backend.io_stats(),
         }
     }
@@ -924,6 +1080,11 @@ impl PageManager {
     /// needs no help making progress.
     pub fn wait_maintenance_idle(&self) -> io::Result<()> {
         self.wait_checkpoint()?;
+        if let Some((host, tenant)) = &self.host {
+            // Attached mode: the host's shared maintenance worker owns the
+            // drain/compaction backlog; barrier on it instead.
+            return host.maintenance_barrier(*tenant);
+        }
         let target = {
             let mut st = self.maint.state.lock();
             st.kicks += 1; // force a cycle that starts after this instant
@@ -982,7 +1143,19 @@ impl PageManager {
 
 impl Drop for PageManager {
     fn drop(&mut self) {
-        let _ = self.tx.send(Cmd::Shutdown);
+        if let Some((host, tenant)) = self.host.take() {
+            // Attached mode: an in-flight flush drains on the host's
+            // workers and holds its own `Arc<Ctl>`/backend handles — wait
+            // it out so the epoch commits or aborts atomically before the
+            // tenant disappears, then detach (the host drops its registry
+            // entry, drain backlog and quota state). No threads to join.
+            let _ = self.wait_checkpoint();
+            host.detach(tenant);
+            return;
+        }
+        if let Some(tx) = &self.tx {
+            let _ = tx.send(Cmd::Shutdown);
+        }
         if let Some(j) = self.join.take() {
             let _ = j.join();
         }
@@ -1192,22 +1365,7 @@ fn committer_loop(
                 layout_blob,
             } => {
                 let result = flush_checkpoint(&ctl, &pool, backend.as_ref(), seq, &layout_blob);
-                let duration = started.elapsed();
-                {
-                    let mut stats = ctl.stats.lock();
-                    let records = Arc::make_mut(&mut stats);
-                    if let Some(rec) = records.iter_mut().rev().find(|r| r.seq == seq) {
-                        rec.duration = Some(duration);
-                        rec.failed = result.is_err();
-                    }
-                }
-                let mut st = ctl.status.lock();
-                if let Err(e) = result {
-                    st.failed = Some(e.to_string());
-                }
-                st.busy = false;
-                ctl.done.notify_all();
-                drop(st);
+                complete_checkpoint(&ctl, seq, started, &result, true);
                 // Kick the maintenance worker: a new epoch may have pushed
                 // the chain past the compaction policy's bound, and a
                 // tiered backend has a fresh epoch to drain.
@@ -1235,19 +1393,7 @@ fn flush_checkpoint(
     seq: u64,
     layout_blob: &[u8],
 ) -> io::Result<()> {
-    let (writer, open_error) = match backend.begin_epoch(seq) {
-        Ok(w) => (Some(Arc::<dyn EpochWriter>::from(w)), None),
-        Err(e) => (None, Some(e)),
-    };
-    let job = FlushJob {
-        writer: writer.clone(),
-        failed: Arc::new(AtomicBool::new(open_error.is_some())),
-        error: Arc::new(Mutex::new(open_error.map(|e| e.to_string()))),
-        digest_updates: (0..pool.streams.len())
-            .map(|_| Mutex::new(Vec::new()))
-            .collect(),
-        skipped_pages: Arc::new(AtomicU64::new(0)),
-    };
+    let job = FlushJob::open(backend, seq, pool.streams.len());
     // Publish the drain job to the worker streams.
     {
         let mut st = pool.state.lock();
@@ -1265,8 +1411,22 @@ fn flush_checkpoint(
         }
         st.job = None;
     }
+    finalize_flush(ctl, backend, &job, seq, layout_blob)
+}
+
+/// Commit or abort `job`'s epoch session after its drain completed (the
+/// caller provides the completion barrier: the stream pool's running count,
+/// or the service's `job.drained` observation). On success, merges the
+/// per-slot digest updates and skip counts into the content filter.
+pub(crate) fn finalize_flush(
+    ctl: &Ctl,
+    backend: &dyn StorageBackend,
+    job: &FlushJob,
+    seq: u64,
+    layout_blob: &[u8],
+) -> io::Result<()> {
     let error = job.error.lock().take();
-    match (writer, error) {
+    match (&job.writer, error) {
         (Some(writer), None) => {
             if let Err(e) = backend.put_blob(&layout::blob_name(seq), layout_blob) {
                 // Abort explicitly rather than relying on the writer Arc's
@@ -1290,9 +1450,9 @@ fn flush_checkpoint(
             // what storage actually holds, and a retried epoch does not
             // double-count its skips.)
             if let Some(filter) = &ctl.filter {
-                // Merge every stream's private digest buffer into the
-                // sharded table — the drain barrier (`running == 0`) has
-                // passed, so no stream touches its buffer anymore.
+                // Merge every slot's private digest buffer into the
+                // sharded table — the drain barrier has passed, so no
+                // worker touches its buffer anymore.
                 for slot in job.digest_updates.iter() {
                     let updates = slot.lock();
                     for &(page, digest) in updates.iter() {
@@ -1317,6 +1477,38 @@ fn flush_checkpoint(
         }
         (None, None) => unreachable!("no writer implies an open error"),
     }
+}
+
+/// Publish a finished checkpoint's verdict: stamp its stats record, clear
+/// the busy flag and wake `wait_checkpoint` callers. With `surface_error`
+/// the failure is also parked in `Status::failed` for the next
+/// `checkpoint()`/`wait_checkpoint()` call to surface; a caller that
+/// already returned the error synchronously passes `false` so it is not
+/// reported twice.
+pub(crate) fn complete_checkpoint(
+    ctl: &Ctl,
+    seq: u64,
+    started: Instant,
+    result: &io::Result<()>,
+    surface_error: bool,
+) {
+    let duration = started.elapsed();
+    {
+        let mut stats = ctl.stats.lock();
+        let records = Arc::make_mut(&mut stats);
+        if let Some(rec) = records.iter_mut().rev().find(|r| r.seq == seq) {
+            rec.duration = Some(duration);
+            rec.failed = result.is_err();
+        }
+    }
+    let mut st = ctl.status.lock();
+    if let Err(e) = result {
+        if surface_error {
+            st.failed = Some(e.to_string());
+        }
+    }
+    st.busy = false;
+    ctl.done.notify_all();
 }
 
 /// The low-priority maintenance worker: runs beside the committer streams,
@@ -1403,12 +1595,35 @@ fn maintenance_cycle(
     while backend.drain_one()?.is_some() {
         counters.epochs_drained.fetch_add(1, Ordering::Relaxed);
     }
+    if let Some(stats) = compact_chain_if_due(backend, policy)? {
+        counters.compactions.fetch_add(1, Ordering::Relaxed);
+        counters
+            .segments_removed
+            .fetch_add(stats.segments_removed, Ordering::Relaxed);
+        counters
+            .bytes_reclaimed
+            .fetch_add(stats.bytes_reclaimed(), Ordering::Relaxed);
+        counters
+            .bytes_compacted
+            .fetch_add(stats.bytes_after, Ordering::Relaxed);
+    }
+    Ok(())
+}
+
+/// Fold the committed chain into one full segment when `policy` fires —
+/// the compaction half of a maintenance cycle, shared with the
+/// multi-tenant service's maintenance worker. Returns the compaction's
+/// stats when one ran, `None` when the policy is satisfied already.
+pub(crate) fn compact_chain_if_due(
+    backend: &dyn StorageBackend,
+    policy: CompactionPolicy,
+) -> io::Result<Option<ai_ckpt_storage::CompactionStats>> {
     if policy.is_disabled() {
-        return Ok(());
+        return Ok(None);
     }
     let chain = backend.chain()?;
     let Some(head) = chain.last().map(|c| c.epoch) else {
-        return Ok(());
+        return Ok(None);
     };
     // Segments a restore of `head` would replay: everything after (and
     // including) the newest full segment.
@@ -1420,20 +1635,9 @@ fn maintenance_cycle(
     let over_len = policy.max_chain_len > 0 && chain.len() > policy.max_chain_len;
     let full_due = policy.full_every_n > 0 && since_full >= policy.full_every_n;
     if !(over_len || full_due) {
-        return Ok(());
+        return Ok(None);
     }
-    let stats = backend.compact(head)?;
-    counters.compactions.fetch_add(1, Ordering::Relaxed);
-    counters
-        .segments_removed
-        .fetch_add(stats.segments_removed, Ordering::Relaxed);
-    counters
-        .bytes_reclaimed
-        .fetch_add(stats.bytes_reclaimed(), Ordering::Relaxed);
-    counters
-        .bytes_compacted
-        .fetch_add(stats.bytes_after, Ordering::Relaxed);
-    Ok(())
+    Ok(Some(backend.compact(head)?))
 }
 
 /// `ASYNC_COMMIT` (Algorithm 3), one stream of it: wait for a drain job,
@@ -1443,10 +1647,7 @@ fn stream_loop(ctl: Arc<Ctl>, pool: Arc<Pool>, stream: usize, batch_pages: usize
     // Same exemption as the coordinator: never allocate into protected
     // regions from checkpointing machinery (deadlock; see committer_loop).
     ai_ckpt_mem::alloc::exempt_thread_from_tracking(true);
-    let mut items: Vec<FlushItem> = Vec::with_capacity(batch_pages);
-    let mut skip: Vec<bool> = Vec::with_capacity(batch_pages);
-    let mut digests: Vec<u64> = Vec::with_capacity(batch_pages);
-    let mut updates: Vec<(u64, u64)> = Vec::new();
+    let mut scratch = ClaimScratch::default();
     let mut served_generation = 0u64;
     loop {
         let job = {
@@ -1464,21 +1665,27 @@ fn stream_loop(ctl: Arc<Ctl>, pool: Arc<Pool>, stream: usize, batch_pages: usize
                 pool.work.wait(&mut st);
             }
         };
-        drain_stream(
-            &ctl,
-            &job,
-            &pool.streams[stream],
-            batch_pages,
-            &mut items,
-            &mut skip,
-            &mut digests,
-            &mut updates,
-        );
-        // Hand the epoch's digest updates to the coordinator through this
-        // stream's private slot (uncontended by construction), *before*
-        // signalling the drain barrier below.
-        if !updates.is_empty() {
-            job.digest_updates[stream].lock().append(&mut updates);
+        // One stream's share of the drain: claim until this stream can
+        // contribute nothing more — every page it claimed is completed and
+        // no claimable page remains (the remainder, if any, is
+        // `PAGE_INPROGRESS` on other streams, which complete their own
+        // claims; the pool's running count is the coordinator's completion
+        // barrier, so nobody polls).
+        loop {
+            match flush_one_batch(&ctl, &job, stream, batch_pages, &mut scratch) {
+                BatchClaim::Empty | BatchClaim::Drained => break,
+                BatchClaim::Flushed {
+                    batches,
+                    pages,
+                    bytes,
+                    ..
+                } => {
+                    let c = &pool.streams[stream];
+                    c.batches.fetch_add(batches, Ordering::Relaxed);
+                    c.pages.fetch_add(pages, Ordering::Relaxed);
+                    c.bytes.fetch_add(bytes, Ordering::Relaxed);
+                }
+            }
         }
         let mut st = pool.state.lock();
         st.running -= 1;
@@ -1521,160 +1728,227 @@ fn flush_src<'a>(shared: &'a Shared, item: &FlushItem) -> &'a [u8] {
     }
 }
 
-/// One stream's share of a checkpoint drain. Returns when this stream can
-/// contribute nothing more: every page it claimed is completed and no
-/// claimable page remains (the remainder, if any, is `PAGE_INPROGRESS` on
-/// other streams, which complete their own claims — the pool's running
-/// count is the coordinator's completion barrier, so nobody polls).
+/// Reusable per-worker staging buffers for [`flush_one_batch`]: the flush
+/// hot path stays allocation-free in steady state whichever thread —
+/// dedicated stream or shared service worker — drives it.
+#[derive(Default)]
+pub(crate) struct ClaimScratch {
+    items: Vec<FlushItem>,
+    skip: Vec<bool>,
+    digests: Vec<u64>,
+    updates: Vec<(u64, u64)>,
+}
+
+/// Outcome of one [`flush_one_batch`] call.
+pub(crate) enum BatchClaim {
+    /// Nothing claimable, but the checkpoint is still active: the remaining
+    /// pages are `PAGE_INPROGRESS` on other workers (or will complete via a
+    /// buffer-drop discard). The caller should not spin on this claim.
+    Empty,
+    /// Nothing claimable and the checkpoint completed — the job may be
+    /// finalised.
+    Drained,
+    /// A batch was claimed and completed.
+    Flushed {
+        /// Backend write calls issued.
+        batches: u64,
+        /// Pages written (excludes clean-dirty skips).
+        pages: u64,
+        /// Bytes written.
+        bytes: u64,
+        /// True when completing this claim finished the whole checkpoint.
+        drained: bool,
+    },
+}
+
+/// Claim and complete one batch of `job`'s checkpoint: the committer hot
+/// path, shared verbatim by the per-manager stream pool and the
+/// multi-tenant service's worker pool. Digest updates land in
+/// `job.digest_updates[slot]`.
 ///
 /// The steady-state hot path takes the engine lock exactly twice per
 /// claimed run: once to claim the batch, and once per completed sub-batch
 /// to reconcile counters. Payload resolution ([`flush_src`]: application
 /// memory *and* CoW slots, borrowed zero-copy) and digest filtering run
-/// entirely outside the engine lock — asserted per iteration in debug
-/// builds via the thread-local acquisition counter.
-#[allow(clippy::too_many_arguments)]
-fn drain_stream(
+/// entirely outside the engine lock — asserted in debug builds via the
+/// thread-local acquisition counter.
+///
+/// Within one epoch a page only ever moves Scheduled/Cowed → InProgress →
+/// Processed, so the claimable set shrinks monotonically: [`BatchClaim::Empty`]
+/// now means empty forever *for this job* — no tail polling. Checkpoint
+/// completion is detected under the same engine-lock hold that observes it
+/// (empty claim, or the final `complete_published`), so exactly the workers
+/// between which the completion raced agree through `job.drained`.
+pub(crate) fn flush_one_batch(
     ctl: &Ctl,
     job: &FlushJob,
-    counters: &StreamCounters,
+    slot: usize,
     batch_pages: usize,
-    items: &mut Vec<FlushItem>,
-    skip: &mut Vec<bool>,
-    digests: &mut Vec<u64>,
-    updates: &mut Vec<(u64, u64)>,
-) {
+    scratch: &mut ClaimScratch,
+) -> BatchClaim {
     let shared = &ctl.shared;
     let page_bytes = shared.page_bytes;
-    loop {
-        items.clear();
-        shared.engine().select_batch(batch_pages, items);
+    let batch_pages = batch_pages.max(1);
+    let ClaimScratch {
+        items,
+        skip,
+        digests,
+        updates,
+    } = scratch;
+    items.clear();
+    {
+        let mut eng = shared.engine();
+        eng.select_batch(batch_pages, items);
         if items.is_empty() {
-            // Nothing claimable. Within one epoch a page only ever moves
-            // Scheduled/Cowed -> InProgress -> Processed, so the claimable
-            // set shrinks monotonically: an empty claim now means empty
-            // forever — exit instead of the old 200 µs tail-sleep polling.
-            return;
-        }
-        // Drain-only (a stream failed, or the epoch never opened): skip the
-        // digest probes — nothing will be written; only the bookkeeping
-        // below matters, so blocked writers wake without gratuitous CRC
-        // work over the whole remaining dirty set.
-        let drain_only = job.writer.is_none() || job.failed.load(Ordering::Acquire);
-        // Clean-dirty filtering: `skip[i]` marks claimed pages whose CRC-64
-        // matches the last committed version — storage already holds these
-        // exact bytes, so they complete without any I/O.
-        skip.clear();
-        skip.resize(items.len(), false);
-        #[cfg(debug_assertions)]
-        let locks_before_staging = engine_locks_by_this_thread();
-        if !drain_only {
-            if let Some(filter) = &ctl.filter {
-                // Digest the payloads in place ([`flush_src`] borrows, no
-                // copy; reused scratch buffer — the flush path stays
-                // allocation-free in steady state), then probe the sharded
-                // table: one uncontended shard lock per page, no global
-                // filter lock, no engine lock. The bytes digested here are
-                // the bytes `write_pages` will read: both borrows are
-                // write-stable until this stream completes the page.
-                digests.clear();
-                digests.extend(items.iter().map(|item| crc64(flush_src(shared, item))));
-                for (i, item) in items.iter().enumerate() {
-                    skip[i] = filter.matches(item.page as u64, digests[i]);
-                }
-                let skipped = skip.iter().filter(|&&s| s).count() as u64;
-                if skipped > 0 {
-                    // Job-level, not the filter's counters: skips only
-                    // count once the epoch commits.
-                    job.skipped_pages.fetch_add(skipped, Ordering::Relaxed);
-                }
-                // Written pages' digests accumulate in this stream's
-                // private buffer; the coordinator merges it iff the epoch
-                // commits.
-                updates.extend(
-                    items
-                        .iter()
-                        .enumerate()
-                        .filter(|&(i, _)| !skip[i])
-                        .map(|(i, item)| (item.page as u64, digests[i])),
-                );
+            // Checked under the same lock hold that saw the empty claim: a
+            // buffer-drop discard can complete the checkpoint outside any
+            // claim, and this worker must not report a stale Empty for a
+            // checkpoint that is already over.
+            if !eng.checkpoint_active() {
+                drop(eng);
+                job.drained.store(true, Ordering::Release);
+                return BatchClaim::Drained;
             }
+            return BatchClaim::Empty;
         }
-        #[cfg(debug_assertions)]
-        debug_assert_eq!(
-            engine_locks_by_this_thread(),
-            locks_before_staging,
-            "payload resolution / digest filtering must not take the engine lock"
-        );
-        // Write and complete in wake-bounded sub-batches: completing only
-        // after the whole claimed run's I/O would make a MustWait-blocked
-        // application thread sleep for up to `flush_batch_pages` pages of
-        // storage time instead of a few — a sub-batch caps that latency at
-        // WAKE_BATCH_PAGES pages while still amortising per-request backend
-        // overhead and engine-lock acquisitions.
-        let sub = batch_pages.clamp(1, WAKE_BATCH_PAGES);
-        let mut idx = 0;
-        while idx < items.len() {
-            let end = (idx + sub).min(items.len());
-            if !drain_only && !job.failed.load(Ordering::Acquire) {
-                if let Some(writer) = &job.writer {
-                    // Stack-built batch (sub ≤ WAKE_BATCH_PAGES): the hot
-                    // flush path stays allocation-free. Clean-dirty pages
-                    // are left out — they complete below with no I/O. Each
-                    // entry borrows the payload's home memory zero-copy
-                    // ([`flush_src`]); the backend's iovecs point at these
-                    // very bytes.
-                    let mut batch: [(u64, &[u8]); WAKE_BATCH_PAGES] = [(0, &[]); WAKE_BATCH_PAGES];
-                    let mut n = 0;
-                    for (item, i) in items[idx..end].iter().zip(idx..end) {
-                        if skip[i] {
-                            continue;
-                        }
-                        batch[n] = (item.page as u64, flush_src(shared, item));
-                        n += 1;
+    }
+    // Drain-only (a worker failed, or the epoch never opened): skip the
+    // digest probes — nothing will be written; only the bookkeeping below
+    // matters, so blocked writers wake without gratuitous CRC work over
+    // the whole remaining dirty set.
+    let drain_only = job.writer.is_none() || job.failed.load(Ordering::Acquire);
+    // Clean-dirty filtering: `skip[i]` marks claimed pages whose CRC-64
+    // matches the last committed version — storage already holds these
+    // exact bytes, so they complete without any I/O.
+    skip.clear();
+    skip.resize(items.len(), false);
+    #[cfg(debug_assertions)]
+    let locks_before_staging = engine_locks_by_this_thread();
+    if !drain_only {
+        if let Some(filter) = &ctl.filter {
+            // Digest the payloads in place ([`flush_src`] borrows, no
+            // copy; reused scratch buffer), then probe the sharded table:
+            // one uncontended shard lock per page, no global filter lock,
+            // no engine lock. The bytes digested here are the bytes
+            // `write_pages` will read: both borrows are write-stable until
+            // this worker completes the page.
+            digests.clear();
+            digests.extend(items.iter().map(|item| crc64(flush_src(shared, item))));
+            for (i, item) in items.iter().enumerate() {
+                skip[i] = filter.matches(item.page as u64, digests[i]);
+            }
+            let skipped = skip.iter().filter(|&&s| s).count() as u64;
+            if skipped > 0 {
+                // Job-level, not the filter's counters: skips only count
+                // once the epoch commits.
+                job.skipped_pages.fetch_add(skipped, Ordering::Relaxed);
+            }
+            // Written pages' digests accumulate in this slot's private
+            // buffer; the finaliser merges it iff the epoch commits.
+            updates.clear();
+            updates.extend(
+                items
+                    .iter()
+                    .enumerate()
+                    .filter(|&(i, _)| !skip[i])
+                    .map(|(i, item)| (item.page as u64, digests[i])),
+            );
+        }
+    }
+    #[cfg(debug_assertions)]
+    debug_assert_eq!(
+        engine_locks_by_this_thread(),
+        locks_before_staging,
+        "payload resolution / digest filtering must not take the engine lock"
+    );
+    let mut batches = 0u64;
+    let mut pages = 0u64;
+    let mut bytes = 0u64;
+    let mut checkpoint_done = false;
+    // Write and complete in wake-bounded sub-batches: completing only
+    // after the whole claimed run's I/O would make a MustWait-blocked
+    // application thread sleep for up to `flush_batch_pages` pages of
+    // storage time instead of a few — a sub-batch caps that latency at
+    // WAKE_BATCH_PAGES pages while still amortising per-request backend
+    // overhead and engine-lock acquisitions.
+    let sub = batch_pages.clamp(1, WAKE_BATCH_PAGES);
+    let mut idx = 0;
+    while idx < items.len() {
+        let end = (idx + sub).min(items.len());
+        if !drain_only && !job.failed.load(Ordering::Acquire) {
+            if let Some(writer) = &job.writer {
+                // Stack-built batch (sub ≤ WAKE_BATCH_PAGES): the hot
+                // flush path stays allocation-free. Clean-dirty pages are
+                // left out — they complete below with no I/O. Each entry
+                // borrows the payload's home memory zero-copy
+                // ([`flush_src`]); the backend's iovecs point at these
+                // very bytes.
+                let mut batch: [(u64, &[u8]); WAKE_BATCH_PAGES] = [(0, &[]); WAKE_BATCH_PAGES];
+                let mut n = 0;
+                for (item, i) in items[idx..end].iter().zip(idx..end) {
+                    if skip[i] {
+                        continue;
                     }
-                    let batch = &batch[..n];
-                    // An all-clean sub-batch issues no write at all.
-                    if !batch.is_empty() {
-                        match writer.write_pages(batch) {
-                            Ok(()) => {
-                                counters.batches.fetch_add(1, Ordering::Relaxed);
-                                counters
-                                    .pages
-                                    .fetch_add(batch.len() as u64, Ordering::Relaxed);
-                                counters.bytes.fetch_add(
-                                    (batch.len() * page_bytes) as u64,
-                                    Ordering::Relaxed,
-                                );
-                            }
-                            Err(e) => {
-                                // First error wins; every stream switches to
-                                // drain-only so the epoch aborts atomically.
-                                if !job.failed.swap(true, Ordering::AcqRel) {
-                                    *job.error.lock() = Some(e.to_string());
-                                }
-                            }
+                    batch[n] = (item.page as u64, flush_src(shared, item));
+                    n += 1;
+                }
+                let batch = &batch[..n];
+                // An all-clean sub-batch issues no write at all.
+                if !batch.is_empty() {
+                    match writer.write_pages(batch) {
+                        Ok(()) => {
+                            batches += 1;
+                            pages += batch.len() as u64;
+                            bytes += (batch.len() * page_bytes) as u64;
+                        }
+                        Err(e) => {
+                            // First error wins; every worker switches to
+                            // drain-only so the epoch aborts atomically.
+                            job.fail(&e.to_string());
                         }
                     }
                 }
             }
-            // Publish PAGE_PROCESSED for the sub-batch lock-free, straight
-            // through the shared state table: a MustWait-blocked writer
-            // wakes on this atomic store — it no longer queues behind
-            // other streams' engine-lock holds to learn its page is done.
-            for item in &items[idx..end] {
-                shared.states.set(item.page, PageState::Processed);
-            }
-            // Then reconcile the engine's counters (CoW slot release,
-            // pending count, checkpoint completion) under one lock hold
-            // per sub-batch.
-            let mut eng = shared.engine();
-            for &item in &items[idx..end] {
-                eng.complete_published(item);
-            }
-            drop(eng);
-            idx = end;
         }
-        items.clear();
+        // Publish PAGE_PROCESSED for the sub-batch lock-free, straight
+        // through the shared state table: a MustWait-blocked writer wakes
+        // on this atomic store — it no longer queues behind other workers'
+        // engine-lock holds to learn its page is done.
+        for item in &items[idx..end] {
+            shared.states.set(item.page, PageState::Processed);
+        }
+        // Then reconcile the engine's counters (CoW slot release, pending
+        // count, checkpoint completion) under one lock hold per sub-batch.
+        let mut eng = shared.engine();
+        for &item in &items[idx..end] {
+            eng.complete_published(item);
+        }
+        idx = end;
+        if idx >= items.len() {
+            // Completion check under the same hold as the final
+            // reconciliation (see the function docs).
+            checkpoint_done = !eng.checkpoint_active();
+        }
+        drop(eng);
+    }
+    items.clear();
+    if pages > 0 {
+        job.written_pages.fetch_add(pages, Ordering::Relaxed);
+        job.written_bytes.fetch_add(bytes, Ordering::Relaxed);
+    }
+    if !updates.is_empty() {
+        // Slot-private by convention (one worker per slot at a time), so
+        // this lock is uncontended; taken once per claim, off the engine
+        // lock.
+        job.digest_updates[slot].lock().append(updates);
+    }
+    if checkpoint_done {
+        job.drained.store(true, Ordering::Release);
+    }
+    BatchClaim::Flushed {
+        batches,
+        pages,
+        bytes,
+        drained: checkpoint_done,
     }
 }

@@ -73,8 +73,20 @@ pub fn restore_latest(
     manager: &PageManager,
     backend: &dyn StorageBackend,
 ) -> io::Result<Option<RestoredState>> {
+    restore_latest_cached(manager, backend, None)
+}
+
+/// [`restore_latest`] with page payloads resolved through the shared
+/// [`PageCache`]: eager restores keyed identically to the lazy path, so a
+/// restart storm — N processes restoring the same checkpoint, eagerly or
+/// lazily — reads every page from the backend once, not N times.
+pub fn restore_latest_cached(
+    manager: &PageManager,
+    backend: &dyn StorageBackend,
+    cache: Option<&PageCache>,
+) -> io::Result<Option<RestoredState>> {
     match backend.epochs()?.last() {
-        Some(&seq) => restore_at(manager, backend, seq).map(Some),
+        Some(&seq) => restore_at_cached(manager, backend, seq, cache).map(Some),
         None => Ok(None),
     }
 }
@@ -86,6 +98,18 @@ pub fn restore_at(
     backend: &dyn StorageBackend,
     seq: u64,
 ) -> io::Result<RestoredState> {
+    restore_at_cached(manager, backend, seq, None)
+}
+
+/// [`restore_at`] through the shared [`PageCache`] (see
+/// [`restore_latest_cached`] for the dedupe semantics; `None` bypasses the
+/// cache entirely).
+pub fn restore_at_cached(
+    manager: &PageManager,
+    backend: &dyn StorageBackend,
+    seq: u64,
+    cache: Option<&PageCache>,
+) -> io::Result<RestoredState> {
     let blob = backend.get_blob(&layout::blob_name(seq))?.ok_or_else(|| {
         io::Error::new(
             io::ErrorKind::NotFound,
@@ -93,7 +117,7 @@ pub fn restore_at(
         )
     })?;
     let layouts = layout::decode(&blob)?;
-    let image = CheckpointImage::load(backend, seq)?;
+    let image = CheckpointImage::load_cached(backend, seq, cache)?;
     let page_bytes = ai_ckpt_mem::page_size();
 
     let mut buffers = Vec::with_capacity(layouts.len());

@@ -1,0 +1,71 @@
+//! Multi-tenant checkpoint service over the `ai-ckpt` runtime.
+//!
+//! A standalone [`PageManager`](ai_ckpt::PageManager) owns a committer
+//! pool, a coordinator and a maintenance worker — the right shape for one
+//! application checkpointing one memory image. Hosting many tenants that
+//! way multiplies threads by tenant count while most tenants sit idle.
+//! This crate inverts the ownership: a [`CkptService`] owns **one** shared
+//! flush-worker pool and **one** maintenance worker, and every tenant's
+//! manager (built by [`CkptService::add_tenant`] via
+//! [`PageManager::attached`](ai_ckpt::PageManager::attached)) hands its
+//! flush plans to the service instead of spawning anything.
+//!
+//! On top of the shared pools the service layers the multi-tenant policy
+//! the runtime deliberately does not know about:
+//!
+//! - **Fair drain arbitration** — committed epochs queue into an
+//!   [`ai_ckpt_core::DrainQueue`] and move to the durable tier in
+//!   [`DrainPolicy`] order (deficit round-robin by default), so one
+//!   tenant's burst cannot starve the others' tier drains.
+//! - **Per-tenant quotas** ([`TenantQuota`]) — page/byte storage caps
+//!   enforced at admission and at claim time, plus a token-bucket flush
+//!   bandwidth governor.
+//! - **Observability** ([`ServiceStats`]) — per-tenant runtime rollups
+//!   plus pool-level counters.
+//!
+//! Tenant storage is namespaced, not shared: give each tenant its own
+//! backend — [`MemoryRoot::open`](ai_ckpt_storage::MemoryRoot::open) for
+//! in-memory namespaces, or [`tenant_dir`] for on-disk sub-roots
+//! (`tenant_0000/`, `tenant_0001/`, … — the same layout the group
+//! coordinator uses for ranks).
+
+#![warn(missing_docs)]
+
+mod quota;
+mod service;
+mod stats;
+
+pub use quota::TenantQuota;
+pub use service::{CkptService, ServiceConfig};
+pub use stats::{ServiceStats, TenantStats};
+
+// Policy types that appear in this crate's API surface.
+pub use ai_ckpt_core::{DrainPolicy, DrainQueue};
+
+use std::path::{Path, PathBuf};
+
+/// The on-disk sub-root for tenant `index` under a shared service root:
+/// `root/tenant_0000`, `root/tenant_0001`, … Unified with the group
+/// coordinator's `rank_NNNN/` layout via
+/// [`ai_ckpt_storage::namespace::scoped_dir`].
+pub fn tenant_dir(root: &Path, index: usize) -> PathBuf {
+    ai_ckpt_storage::namespace::scoped_dir(root, "tenant", index)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tenant_dirs_follow_the_namespace_scheme() {
+        let d = tenant_dir(Path::new("/srv/ckpt"), 7);
+        assert_eq!(d, Path::new("/srv/ckpt/tenant_0007"));
+        assert_eq!(
+            ai_ckpt_storage::namespace::scoped_index(
+                d.file_name().unwrap().to_str().unwrap(),
+                "tenant"
+            ),
+            Some(7)
+        );
+    }
+}

@@ -1,0 +1,144 @@
+//! Per-tenant resource limits: page/byte storage quotas enforced by the
+//! flush path, plus a token-bucket flush-bandwidth governor enforced at
+//! batch-claim time.
+
+use std::time::Instant;
+
+/// Resource limits of one tenant. The default is unlimited everything —
+/// quotas are opt-in per tenant and adjustable at runtime
+/// (`CkptService::set_quota`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TenantQuota {
+    /// Total pages the tenant may commit across all epochs (clean-dirty
+    /// skips are free). A checkpoint that would start past the limit is
+    /// rejected at `checkpoint()` time; one that crosses it mid-epoch
+    /// fails and its epoch aborts (storage keeps the previous chain).
+    /// `0` rejects every checkpoint.
+    pub max_pages: u64,
+    /// Total bytes the tenant may commit across all epochs. Same
+    /// enforcement points as `max_pages`.
+    pub max_bytes: u64,
+    /// Flush bandwidth in bytes/second: the worker pool stops claiming the
+    /// tenant's batches while its token bucket is in debt, so one tenant's
+    /// flood cannot saturate the shared committer pool.
+    pub flush_bandwidth: u64,
+}
+
+/// Unlimited (the default).
+pub const UNLIMITED: u64 = u64::MAX;
+
+impl Default for TenantQuota {
+    fn default() -> Self {
+        Self {
+            max_pages: UNLIMITED,
+            max_bytes: UNLIMITED,
+            flush_bandwidth: UNLIMITED,
+        }
+    }
+}
+
+impl TenantQuota {
+    /// Quota with storage caps but unlimited bandwidth.
+    pub fn capped(max_pages: u64, max_bytes: u64) -> Self {
+        Self {
+            max_pages,
+            max_bytes,
+            ..Self::default()
+        }
+    }
+
+    /// Quota with a bandwidth cap only.
+    pub fn bandwidth(bytes_per_sec: u64) -> Self {
+        Self {
+            flush_bandwidth: bytes_per_sec,
+            ..Self::default()
+        }
+    }
+}
+
+/// Claim-then-debt token bucket: a claim is allowed whenever the bucket is
+/// not in debt, and the claimed bytes are charged afterwards — the bucket
+/// then goes negative and the tenant waits out the debt at `rate`
+/// bytes/second. Allowing the claim *before* charging means the governor
+/// never needs to know batch sizes in advance, at the cost of overshooting
+/// by at most one batch.
+#[derive(Debug)]
+pub(crate) struct TokenBucket {
+    /// Bytes/second; `UNLIMITED` disables the governor.
+    rate: u64,
+    /// Current balance; negative = in debt. Capped at one second of rate
+    /// so an idle tenant cannot bank an unbounded burst.
+    tokens: f64,
+    last: Instant,
+}
+
+impl TokenBucket {
+    pub(crate) fn new(rate: u64) -> Self {
+        Self {
+            rate,
+            tokens: 0.0,
+            last: Instant::now(),
+        }
+    }
+
+    /// Swap in a new rate (quota update), keeping the current balance.
+    pub(crate) fn set_rate(&mut self, rate: u64) {
+        self.refill();
+        self.rate = rate;
+    }
+
+    fn refill(&mut self) {
+        let now = Instant::now();
+        if self.rate != UNLIMITED {
+            let earned = now.duration_since(self.last).as_secs_f64() * self.rate as f64;
+            self.tokens = (self.tokens + earned).min(self.rate as f64);
+        }
+        self.last = now;
+    }
+
+    /// May the tenant claim a batch right now?
+    pub(crate) fn allow(&mut self) -> bool {
+        if self.rate == UNLIMITED {
+            return true;
+        }
+        self.refill();
+        self.tokens >= 0.0
+    }
+
+    /// Charge bytes actually written by a claim.
+    pub(crate) fn charge(&mut self, bytes: u64) {
+        if self.rate == UNLIMITED {
+            return;
+        }
+        self.refill();
+        self.tokens -= bytes as f64;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_unlimited() {
+        let q = TenantQuota::default();
+        assert_eq!(q.max_pages, UNLIMITED);
+        assert_eq!(q.max_bytes, UNLIMITED);
+        assert_eq!(q.flush_bandwidth, UNLIMITED);
+    }
+
+    #[test]
+    fn bucket_allows_then_debts() {
+        let mut b = TokenBucket::new(1_000_000);
+        assert!(b.allow(), "first claim rides on a zero balance");
+        b.charge(10_000_000);
+        assert!(!b.allow(), "ten seconds of debt parks the tenant");
+    }
+
+    #[test]
+    fn unlimited_bucket_never_parks() {
+        let mut b = TokenBucket::new(UNLIMITED);
+        b.charge(u64::MAX / 2);
+        assert!(b.allow());
+    }
+}

@@ -1,0 +1,781 @@
+//! The multi-tenant checkpoint service: one shared worker pool and one
+//! shared maintenance worker multiplexed across every tenant's flush plans.
+//!
+//! # Thread model
+//!
+//! `CkptService::new` spawns `workers` flush workers plus one maintenance
+//! worker — and nothing else, ever: `add_tenant` builds managers with
+//! [`PageManager::attached`], which owns no threads. Service thread count
+//! is therefore **independent of tenant count** (128 mostly-idle tenants
+//! cost 128 engines' worth of metadata, not 128 × (streams + 2) parked
+//! threads).
+//!
+//! There is no dedicated coordinator thread either. Workers self-organise
+//! over a shared schedule with a fixed priority:
+//!
+//! 1. **Finalise** any drained active flush (commit or abort its epoch,
+//!    wake the tenant's `wait_checkpoint` callers). Exactly-once by
+//!    construction: the finalising worker removes the entry from the
+//!    active list under the schedule lock.
+//! 2. **Open** a queued [`FlushRequest`] (runs `begin_epoch`, which may
+//!    block on tiered-backend backpressure — outside the schedule lock).
+//! 3. **Claim** a batch from an active flush, round-robin across flushes,
+//!    skipping tenants whose bandwidth token bucket is in debt. Claims for
+//!    different tenants' flushes interleave freely, so a large tenant's
+//!    checkpoint does not head-of-line-block a small one.
+//!
+//! With active-but-unclaimable flushes a worker waits on a short (5 ms)
+//! timer rather than a bare condvar: a protected-buffer drop can complete
+//! a checkpoint without any claim observing it, and bandwidth debts expire
+//! on the clock, not on a notification.
+//!
+//! # Fair drain arbitration
+//!
+//! Tiered backends accumulate a committed-but-undrained backlog. The
+//! standalone maintenance worker drains its one tenant oldest-first; a
+//! shared worker doing that would let one tenant's burst starve everyone
+//! else's tier. The service instead feeds every committed epoch (cost =
+//! bytes written) into an [`ai_ckpt_core::DrainQueue`] and drains in the
+//! configured [`DrainPolicy`] order — deficit round-robin by default, so
+//! tenants share drain bandwidth by bytes, not by arrival order.
+//!
+//! # Quotas
+//!
+//! [`TenantQuota`] page/byte limits are enforced twice: at admission
+//! (`checkpoint()` fails as a clean no-op when the tenant is already at
+//! its cap — a zero quota rejects everything) and at claim time (an epoch
+//! that crosses the cap mid-flight is failed; it drains without further
+//! writes and aborts at finalise, leaving the previous committed chain
+//! restorable). Bandwidth limits never fail anything — they only delay
+//! claims.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::io;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use parking_lot::{Condvar, Mutex};
+
+use ai_ckpt::attach::compact_if_due;
+use ai_ckpt::{
+    ActiveFlush, CkptConfig, ClaimOutcome, ClaimScratch, CompactionPolicy, FlushHost, FlushRequest,
+    MaintenanceStats, PageManager, StatsProbe,
+};
+use ai_ckpt_core::{DrainPolicy, DrainQueue};
+use ai_ckpt_storage::StorageBackend;
+
+use crate::quota::{TenantQuota, TokenBucket};
+use crate::stats::{ServiceStats, TenantStats};
+
+/// How long a worker with active-but-unclaimable flushes sleeps between
+/// drain re-polls (buffer drops complete checkpoints silently; bandwidth
+/// debts expire on the clock).
+const IDLE_POLL: Duration = Duration::from_millis(5);
+
+/// Backoff after a failed maintenance cycle before retrying the drain.
+const MAINT_RETRY: Duration = Duration::from_millis(50);
+
+/// Service-wide tuning: pool width and drain arbitration policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServiceConfig {
+    /// Shared flush workers. Defaults to the standalone default stream
+    /// count (`min(4, cores)`), clamped to at least 1.
+    pub workers: usize,
+    /// Arbitration order for the shared tier-drain backlog. Defaults to
+    /// deficit round-robin with a 1 MiB quantum.
+    pub drain: DrainPolicy,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        Self {
+            workers: ai_ckpt::config::default_committer_streams(),
+            drain: DrainPolicy::DeficitRoundRobin { quantum: 1 << 20 },
+        }
+    }
+}
+
+/// Mutable per-tenant accounting, all under one small lock.
+struct TenantState {
+    quota: TenantQuota,
+    bucket: TokenBucket,
+    committed_pages: u64,
+    committed_bytes: u64,
+    quota_failures: u64,
+}
+
+/// Everything the service holds for one registered tenant.
+struct Tenant {
+    name: String,
+    probe: StatsProbe,
+    backend: Arc<dyn StorageBackend>,
+    compaction: CompactionPolicy,
+    state: Mutex<TenantState>,
+    maint: Mutex<MaintenanceStats>,
+    detached: AtomicBool,
+    /// Set when the backend turned out not to support the configured
+    /// compaction policy (one failure recorded, then disarmed — same
+    /// behaviour as the standalone maintenance worker).
+    compaction_disarmed: AtomicBool,
+}
+
+/// Worker-shared flags of one active flush, updated without re-taking the
+/// schedule lock.
+#[derive(Default)]
+struct EntryFlags {
+    /// No further claim can succeed (a claim returned `Empty`/`Drained`);
+    /// only the drained-poll matters now.
+    quiescent: AtomicBool,
+    /// The mid-epoch quota kill already fired (guard against charging the
+    /// tenant a failure per subsequent drain-only claim).
+    quota_killed: AtomicBool,
+}
+
+/// One flush being drained by the pool.
+struct Entry {
+    flush: Arc<ActiveFlush>,
+    tenant: Option<Arc<Tenant>>,
+    flags: Arc<EntryFlags>,
+}
+
+/// The worker-shared schedule.
+#[derive(Default)]
+struct Sched {
+    queue: VecDeque<FlushRequest>,
+    active: Vec<Entry>,
+    /// Round-robin cursor over `active` for claim fairness.
+    cursor: usize,
+    shutdown: bool,
+}
+
+/// Maintenance-worker shared state.
+struct MaintState {
+    queue: DrainQueue,
+    kicks: u64,
+    served: u64,
+    shutdown: bool,
+}
+
+struct Inner {
+    cfg: ServiceConfig,
+    tenants: Mutex<BTreeMap<u64, Arc<Tenant>>>,
+    sched: Mutex<Sched>,
+    /// Workers wait here for queue/active/shutdown changes.
+    work: Condvar,
+    maint: Mutex<MaintState>,
+    maint_wake: Condvar,
+    maint_done: Condvar,
+    next_id: AtomicU64,
+    flushes_completed: AtomicU64,
+    flushes_failed: AtomicU64,
+    admission_rejections: AtomicU64,
+}
+
+/// What a worker decided to do while holding the schedule lock; executed
+/// after dropping it.
+enum Work {
+    Finalize(Entry),
+    Open(FlushRequest),
+    Claim(Arc<ActiveFlush>, Option<Arc<Tenant>>, Arc<EntryFlags>),
+}
+
+impl Inner {
+    /// Worker step 1–3 selection. Returns `None` to shut the worker down.
+    fn next_work(&self) -> Option<Work> {
+        let mut sched = self.sched.lock();
+        loop {
+            // 1. Finalise a drained flush. Removing the entry under the
+            // lock makes finalisation exactly-once; `drained()` is the
+            // authoritative engine-lock re-check, so buffer-drop
+            // completions are caught here too.
+            if let Some(i) = (0..sched.active.len()).find(|&i| sched.active[i].flush.drained()) {
+                let entry = sched.active.remove(i);
+                if sched.cursor > i {
+                    sched.cursor -= 1;
+                }
+                return Some(Work::Finalize(entry));
+            }
+            // 2. Open a queued request (begin_epoch may block on tiered
+            // backpressure — never under this lock).
+            if let Some(req) = sched.queue.pop_front() {
+                return Some(Work::Open(req));
+            }
+            // 3. Claim round-robin over active flushes, skipping quiescent
+            // flushes and bandwidth-indebted tenants.
+            let n = sched.active.len();
+            let mut picked = None;
+            for k in 0..n {
+                let i = (sched.cursor + k) % n;
+                let e = &sched.active[i];
+                if e.flags.quiescent.load(Ordering::Relaxed) {
+                    continue;
+                }
+                if let Some(t) = &e.tenant {
+                    if !t.state.lock().bucket.allow() {
+                        continue;
+                    }
+                }
+                picked = Some(i);
+                break;
+            }
+            if let Some(i) = picked {
+                sched.cursor = (i + 1) % n;
+                let e = &sched.active[i];
+                return Some(Work::Claim(
+                    Arc::clone(&e.flush),
+                    e.tenant.as_ref().map(Arc::clone),
+                    Arc::clone(&e.flags),
+                ));
+            }
+            // 4. Nothing to do.
+            if sched.shutdown && sched.queue.is_empty() && sched.active.is_empty() {
+                return None;
+            }
+            if sched.active.is_empty() {
+                self.work.wait(&mut sched);
+            } else {
+                // Quiescent-but-active flushes complete via buffer drops
+                // and bandwidth debts expire on the clock: re-poll.
+                self.work.wait_for(&mut sched, IDLE_POLL);
+            }
+        }
+    }
+
+    /// Commit/abort a drained flush and do the service-side bookkeeping:
+    /// quota charging on success, fair-drain scheduling, maintenance kick.
+    fn finalize(&self, entry: Entry) {
+        let result = entry.flush.finalize();
+        match (&result, &entry.tenant) {
+            (Ok(()), Some(t)) => {
+                self.flushes_completed.fetch_add(1, Ordering::Relaxed);
+                let (pages, bytes) = entry.flush.written();
+                {
+                    let mut st = t.state.lock();
+                    st.committed_pages = st.committed_pages.saturating_add(pages);
+                    st.committed_bytes = st.committed_bytes.saturating_add(bytes);
+                }
+                // Hand the committed epoch to the fair drain scheduler,
+                // weighted by what it actually wrote. Backends without a
+                // tier backlog never show one, so the push is skipped.
+                if t.backend.drain_backlog() > 0 {
+                    let tenant_id = entry.flush.tenant();
+                    let mut m = self.maint.lock();
+                    m.queue.push(tenant_id, entry.flush.seq(), bytes.max(1));
+                    drop(m);
+                    self.maint_wake.notify_all();
+                }
+            }
+            (Ok(()), None) => {
+                self.flushes_completed.fetch_add(1, Ordering::Relaxed);
+            }
+            (Err(_), _) => {
+                self.flushes_failed.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        // Wake workers: the schedule shrank (shutdown re-check) and the
+        // tenant may submit again immediately.
+        self.work.notify_all();
+    }
+
+    /// Mid-epoch quota enforcement after a successful claim: charge the
+    /// bandwidth bucket, then kill the flush (once) if the epoch crossed
+    /// the tenant's storage caps.
+    fn settle_claim(&self, flush: &ActiveFlush, tenant: &Tenant, flags: &EntryFlags, bytes: u64) {
+        let (wp, wb) = flush.written();
+        let mut st = tenant.state.lock();
+        st.bucket.charge(bytes);
+        let over = st.committed_pages.saturating_add(wp) > st.quota.max_pages
+            || st.committed_bytes.saturating_add(wb) > st.quota.max_bytes;
+        if over && !flags.quota_killed.swap(true, Ordering::Relaxed) {
+            st.quota_failures += 1;
+            drop(st);
+            flush.fail("tenant quota exceeded: epoch aborted");
+        }
+    }
+
+    fn worker_loop(self: &Arc<Self>, slot: usize) {
+        // Same exemption as standalone committer threads: pool allocations
+        // must never fault into a tenant's protected memory accounting.
+        ai_ckpt_mem::alloc::exempt_thread_from_tracking(true);
+        let mut scratch = ClaimScratch::default();
+        while let Some(work) = self.next_work() {
+            match work {
+                Work::Finalize(entry) => self.finalize(entry),
+                Work::Open(req) => {
+                    let tenant = self.tenants.lock().get(&req.tenant()).cloned();
+                    let flush = Arc::new(req.open(self.cfg.workers));
+                    let mut sched = self.sched.lock();
+                    sched.active.push(Entry {
+                        flush,
+                        tenant,
+                        flags: Arc::new(EntryFlags::default()),
+                    });
+                    drop(sched);
+                    self.work.notify_all();
+                }
+                Work::Claim(flush, tenant, flags) => {
+                    match flush.claim(slot, flush.batch_pages(), &mut scratch) {
+                        ClaimOutcome::Empty => {
+                            flags.quiescent.store(true, Ordering::Relaxed);
+                        }
+                        ClaimOutcome::Drained => {
+                            flags.quiescent.store(true, Ordering::Relaxed);
+                            self.work.notify_all();
+                        }
+                        ClaimOutcome::Flushed { bytes, drained, .. } => {
+                            // A tenant vanishing mid-flight cannot happen
+                            // through the manager's drop path (it waits for
+                            // the flush first); drain unmetered if it does.
+                            if let Some(t) = &tenant {
+                                self.settle_claim(&flush, t, &flags, bytes);
+                            }
+                            if drained {
+                                flags.quiescent.store(true, Ordering::Relaxed);
+                                self.work.notify_all();
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// One maintenance cycle: drain the fair queue dry, then run every
+    /// tenant's compaction policy. Returns true when a drain failed (the
+    /// caller backs off before retrying).
+    fn maintenance_cycle(&self, give_up_on_error: bool) -> bool {
+        let mut had_failure = false;
+        loop {
+            let item = self.maint.lock().queue.pop();
+            let Some(item) = item else { break };
+            let Some(t) = self.tenants.lock().get(&item.tenant).cloned() else {
+                continue; // detached while queued
+            };
+            match t.backend.drain_one() {
+                Ok(Some(_)) => t.maint.lock().epochs_drained += 1,
+                // Already drained (synthetic barrier top-up, or a duplicate
+                // entry from the finalise/barrier race): nothing owed.
+                Ok(None) => {}
+                Err(_) => {
+                    t.maint.lock().failures += 1;
+                    had_failure = true;
+                    if !give_up_on_error {
+                        // Put it back and stop the cycle: hot-looping on a
+                        // failing backend helps nobody; retry after backoff.
+                        self.maint
+                            .lock()
+                            .queue
+                            .push(item.tenant, item.item, item.cost);
+                    }
+                    break;
+                }
+            }
+        }
+        let tenants: Vec<Arc<Tenant>> = self.tenants.lock().values().cloned().collect();
+        for t in tenants {
+            if t.detached.load(Ordering::Acquire)
+                || t.compaction.is_disabled()
+                || t.compaction_disarmed.load(Ordering::Relaxed)
+            {
+                continue;
+            }
+            let mut cycle = MaintenanceStats::default();
+            match compact_if_due(t.backend.as_ref(), t.compaction, &mut cycle) {
+                Ok(_) => {
+                    let mut ms = t.maint.lock();
+                    ms.compactions += cycle.compactions;
+                    ms.segments_removed += cycle.segments_removed;
+                    ms.bytes_reclaimed += cycle.bytes_reclaimed;
+                    ms.bytes_compacted += cycle.bytes_compacted;
+                }
+                Err(_) => {
+                    t.maint.lock().failures += 1;
+                    if !t.backend.supports_compaction() {
+                        // One recorded failure, then disarm — standalone
+                        // maintenance-worker behaviour.
+                        t.compaction_disarmed.store(true, Ordering::Relaxed);
+                    } else {
+                        had_failure = true;
+                    }
+                }
+            }
+        }
+        had_failure
+    }
+
+    fn maintenance_loop(self: &Arc<Self>) {
+        ai_ckpt_mem::alloc::exempt_thread_from_tracking(true);
+        loop {
+            let (target, shutting_down) = {
+                let mut m = self.maint.lock();
+                loop {
+                    if m.shutdown && m.queue.is_empty() && m.kicks == m.served {
+                        return;
+                    }
+                    if m.kicks != m.served || !m.queue.is_empty() || m.shutdown {
+                        break;
+                    }
+                    self.maint_wake.wait(&mut m);
+                }
+                (m.kicks, m.shutdown)
+            };
+            let had_failure = self.maintenance_cycle(shutting_down);
+            {
+                let mut m = self.maint.lock();
+                m.served = m.served.max(target);
+                drop(m);
+                self.maint_done.notify_all();
+            }
+            if had_failure {
+                std::thread::sleep(MAINT_RETRY);
+            }
+        }
+    }
+}
+
+impl FlushHost for Inner {
+    fn admit(&self, tenant: u64) -> io::Result<()> {
+        if self.sched.lock().shutdown {
+            self.admission_rejections.fetch_add(1, Ordering::Relaxed);
+            return Err(io::Error::other("checkpoint service is shut down"));
+        }
+        let t = self
+            .tenants
+            .lock()
+            .get(&tenant)
+            .cloned()
+            .ok_or_else(|| io::Error::other("unknown tenant"))?;
+        let mut st = t.state.lock();
+        // At (or past) either cap no epoch may begin: a zero quota rejects
+        // everything, and an exactly-full tenant cannot start an epoch it
+        // could only abort.
+        if st.committed_pages >= st.quota.max_pages || st.committed_bytes >= st.quota.max_bytes {
+            st.quota_failures += 1;
+            drop(st);
+            self.admission_rejections.fetch_add(1, Ordering::Relaxed);
+            return Err(io::Error::other(
+                "tenant quota exhausted: checkpoint rejected at admission",
+            ));
+        }
+        Ok(())
+    }
+
+    fn submit(&self, request: FlushRequest) -> io::Result<()> {
+        {
+            let mut sched = self.sched.lock();
+            if !sched.shutdown {
+                sched.queue.push_back(request);
+                drop(sched);
+                self.work.notify_all();
+                return Ok(());
+            }
+        }
+        // Shut down between admit and submit: resolve the request here
+        // (contract: an Err from submit means the host already rejected).
+        self.admission_rejections.fetch_add(1, Ordering::Relaxed);
+        request.reject("checkpoint service is shut down");
+        Err(io::Error::other("checkpoint service is shut down"))
+    }
+
+    fn detach(&self, tenant: u64) {
+        let removed = self.tenants.lock().remove(&tenant);
+        if let Some(t) = removed {
+            t.detached.store(true, Ordering::Release);
+        }
+        self.maint.lock().queue.remove_tenant(tenant);
+    }
+
+    fn maintenance_barrier(&self, tenant: u64) -> io::Result<()> {
+        // Top up the drain queue from the backend's authoritative backlog:
+        // closes the finalise/push race (the app can reach this barrier
+        // after `wait_checkpoint` wakes but before the finalising worker
+        // pushed the drain item) and covers backlog inherited from a
+        // previous process.
+        if let Some(t) = self.tenants.lock().get(&tenant).cloned() {
+            let mut m = self.maint.lock();
+            let owed = t.backend.drain_backlog();
+            let queued = m.queue.backlog(tenant);
+            for _ in queued..owed {
+                m.queue.push(tenant, 0, 1);
+            }
+        }
+        let target = {
+            let mut m = self.maint.lock();
+            m.kicks += 1;
+            let target = m.kicks;
+            drop(m);
+            self.maint_wake.notify_all();
+            target
+        };
+        let mut m = self.maint.lock();
+        while m.served < target && !m.shutdown {
+            self.maint_done.wait(&mut m);
+        }
+        Ok(())
+    }
+
+    fn maintenance_stats(&self, tenant: u64) -> MaintenanceStats {
+        self.tenants
+            .lock()
+            .get(&tenant)
+            .map(|t| *t.maint.lock())
+            .unwrap_or_default()
+    }
+}
+
+/// The multi-tenant checkpoint service: a tenant registry in front of one
+/// shared flush-worker pool, one shared maintenance worker, a fair drain
+/// scheduler and per-tenant quota enforcement. See the [crate
+/// docs](crate) for the architecture.
+///
+/// ```no_run
+/// use std::sync::Arc;
+/// use ai_ckpt::CkptConfig;
+/// use ai_ckpt_service::{CkptService, ServiceConfig, TenantQuota};
+/// use ai_ckpt_storage::MemoryRoot;
+///
+/// let root = MemoryRoot::new();
+/// let svc = CkptService::new(ServiceConfig::default());
+/// let mgr = svc
+///     .add_tenant(
+///         "trainer-0",
+///         CkptConfig::ai_ckpt(16 << 20),
+///         Arc::new(root.open("trainer-0")),
+///         TenantQuota::default(),
+///     )
+///     .unwrap();
+/// let mut buf = mgr.alloc_protected(1 << 20).unwrap();
+/// buf.as_mut_slice()[0] = 1;
+/// mgr.checkpoint().unwrap();
+/// ```
+pub struct CkptService {
+    inner: Arc<Inner>,
+    workers: Vec<JoinHandle<()>>,
+    maint: Option<JoinHandle<()>>,
+}
+
+impl CkptService {
+    /// Spawn the shared pools: `cfg.workers` flush workers plus one
+    /// maintenance worker. No further threads are ever created, no matter
+    /// how many tenants attach.
+    pub fn new(cfg: ServiceConfig) -> Self {
+        let cfg = ServiceConfig {
+            workers: cfg.workers.max(1),
+            drain: cfg.drain,
+        };
+        let inner = Arc::new(Inner {
+            cfg,
+            tenants: Mutex::new(BTreeMap::new()),
+            sched: Mutex::new(Sched::default()),
+            work: Condvar::new(),
+            maint: Mutex::new(MaintState {
+                queue: DrainQueue::new(cfg.drain),
+                kicks: 0,
+                served: 0,
+                shutdown: false,
+            }),
+            maint_wake: Condvar::new(),
+            maint_done: Condvar::new(),
+            next_id: AtomicU64::new(0),
+            flushes_completed: AtomicU64::new(0),
+            flushes_failed: AtomicU64::new(0),
+            admission_rejections: AtomicU64::new(0),
+        });
+        let workers = (0..cfg.workers)
+            .map(|slot| {
+                let inner = Arc::clone(&inner);
+                std::thread::Builder::new()
+                    .name(format!("ckpt-svc-worker-{slot}"))
+                    .spawn(move || inner.worker_loop(slot))
+                    .expect("spawn service worker")
+            })
+            .collect();
+        let maint = {
+            let inner = Arc::clone(&inner);
+            std::thread::Builder::new()
+                .name("ckpt-svc-maint".into())
+                .spawn(move || inner.maintenance_loop())
+                .expect("spawn service maintenance worker")
+        };
+        Self {
+            inner,
+            workers,
+            maint: Some(maint),
+        }
+    }
+
+    /// Register a tenant: build a [`PageManager`] attached to the shared
+    /// pools, namespaced to `backend`, limited by `quota`. The returned
+    /// manager has the full standalone API (allocate, checkpoint, restore,
+    /// stats); dropping it detaches the tenant after its last checkpoint
+    /// settles.
+    pub fn add_tenant(
+        &self,
+        name: &str,
+        cfg: CkptConfig,
+        backend: Arc<dyn StorageBackend>,
+        quota: TenantQuota,
+    ) -> io::Result<PageManager> {
+        if self.inner.sched.lock().shutdown {
+            return Err(io::Error::other("checkpoint service is shut down"));
+        }
+        let id = self.inner.next_id.fetch_add(1, Ordering::Relaxed);
+        let compaction = cfg.compaction;
+        let manager = PageManager::attached(
+            cfg,
+            Arc::clone(&backend),
+            Arc::clone(&self.inner) as Arc<dyn FlushHost>,
+            id,
+        )?;
+        let mut maint = MaintenanceStats::default();
+        let mut disarmed = false;
+        if !compaction.is_disabled() && !backend.supports_compaction() {
+            // Record the impossible policy once and disarm, like the
+            // standalone worker would on its first cycle.
+            maint.failures = 1;
+            disarmed = true;
+        }
+        let tenant = Arc::new(Tenant {
+            name: name.to_string(),
+            probe: manager.stats_probe(),
+            backend: Arc::clone(&backend),
+            compaction,
+            state: Mutex::new(TenantState {
+                quota,
+                bucket: TokenBucket::new(quota.flush_bandwidth),
+                committed_pages: 0,
+                committed_bytes: 0,
+                quota_failures: 0,
+            }),
+            maint: Mutex::new(maint),
+            detached: AtomicBool::new(false),
+            compaction_disarmed: AtomicBool::new(disarmed),
+        });
+        self.inner.tenants.lock().insert(id, tenant);
+        // Inherited backlog (a tiered backend reopened over a previous
+        // process's undrained epochs) joins the fair queue immediately.
+        let backlog = backend.drain_backlog();
+        if backlog > 0 {
+            let mut m = self.inner.maint.lock();
+            for _ in 0..backlog {
+                m.queue.push(id, 0, 1);
+            }
+            drop(m);
+            self.inner.maint_wake.notify_all();
+        }
+        Ok(manager)
+    }
+
+    /// Replace a tenant's quota at runtime. Takes effect immediately:
+    /// raised storage caps admit the next `checkpoint()` call, and a
+    /// raised bandwidth rate starts paying down the tenant's token-bucket
+    /// debt at the new speed (workers are woken to re-check parked
+    /// tenants).
+    pub fn set_quota(&self, tenant: u64, quota: TenantQuota) -> io::Result<()> {
+        let t = self
+            .inner
+            .tenants
+            .lock()
+            .get(&tenant)
+            .cloned()
+            .ok_or_else(|| io::Error::other("unknown tenant"))?;
+        let mut st = t.state.lock();
+        st.quota = quota;
+        st.bucket.set_rate(quota.flush_bandwidth);
+        drop(st);
+        self.inner.work.notify_all();
+        Ok(())
+    }
+
+    /// Snapshot service-wide stats: per-tenant runtime rollups (with the
+    /// shared maintenance ledger folded in) plus pool counters.
+    pub fn stats(&self) -> ServiceStats {
+        let tenants: Vec<(u64, Arc<Tenant>)> = self
+            .inner
+            .tenants
+            .lock()
+            .iter()
+            .map(|(id, t)| (*id, Arc::clone(t)))
+            .collect();
+        let mut out = ServiceStats {
+            workers: self.inner.cfg.workers,
+            flushes_completed: self.inner.flushes_completed.load(Ordering::Relaxed),
+            flushes_failed: self.inner.flushes_failed.load(Ordering::Relaxed),
+            admission_rejections: self.inner.admission_rejections.load(Ordering::Relaxed),
+            ..ServiceStats::default()
+        };
+        {
+            let sched = self.inner.sched.lock();
+            out.queued_flushes = sched.queue.len();
+            out.active_flushes = sched.active.len();
+        }
+        for (id, t) in tenants {
+            let mut runtime = t.probe.stats();
+            let maint = *t.maint.lock();
+            runtime.maintenance = maint;
+            out.maintenance.compactions += maint.compactions;
+            out.maintenance.segments_removed += maint.segments_removed;
+            out.maintenance.bytes_reclaimed += maint.bytes_reclaimed;
+            out.maintenance.bytes_compacted += maint.bytes_compacted;
+            out.maintenance.epochs_drained += maint.epochs_drained;
+            out.maintenance.failures += maint.failures;
+            let st = t.state.lock();
+            let backlog = t.backend.drain_backlog();
+            out.drain_backlog += backlog;
+            out.tenants.push(TenantStats {
+                tenant: id,
+                name: t.name.clone(),
+                runtime,
+                committed_pages: st.committed_pages,
+                committed_bytes: st.committed_bytes,
+                quota_failures: st.quota_failures,
+                drain_backlog: backlog,
+            });
+        }
+        out
+    }
+
+    /// The number of shared flush workers (constant for the service's
+    /// lifetime).
+    pub fn workers(&self) -> usize {
+        self.inner.cfg.workers
+    }
+
+    /// Stop accepting checkpoints, drain every queued and active flush to
+    /// completion, finish outstanding tier maintenance, and join all
+    /// threads. Called automatically on drop; explicit calls are
+    /// idempotent.
+    ///
+    /// Tenants must not submit after this — their `checkpoint()` calls
+    /// fail cleanly — but their managers stay usable for restores.
+    pub fn shutdown(&mut self) {
+        {
+            let mut sched = self.inner.sched.lock();
+            if sched.shutdown && self.workers.is_empty() {
+                return;
+            }
+            sched.shutdown = true;
+        }
+        self.inner.work.notify_all();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+        {
+            let mut m = self.inner.maint.lock();
+            m.shutdown = true;
+        }
+        self.inner.maint_wake.notify_all();
+        self.inner.maint_done.notify_all();
+        if let Some(m) = self.maint.take() {
+            let _ = m.join();
+        }
+    }
+}
+
+impl Drop for CkptService {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}

@@ -1,0 +1,70 @@
+//! Service-wide observability: per-tenant rollups plus pool-level counters.
+
+use ai_ckpt::{MaintenanceStats, RuntimeStats};
+
+/// One tenant's slice of the service: its full runtime stats (the same
+/// shape a standalone [`PageManager::stats`](ai_ckpt::PageManager::stats)
+/// reports, with the maintenance section filled from the shared worker)
+/// plus the service-side accounting the quota machinery keeps.
+#[derive(Debug, Clone)]
+pub struct TenantStats {
+    /// The tenant id handed out by `add_tenant`.
+    pub tenant: u64,
+    /// The name the tenant registered under.
+    pub name: String,
+    /// Runtime counters snapshotted from the tenant's engine, with
+    /// `maintenance` filled from the shared maintenance worker's per-tenant
+    /// ledger (`streams` stays empty — stream work is pooled and reported
+    /// service-wide instead).
+    pub runtime: RuntimeStats,
+    /// Pages committed across all successful epochs (what page quotas
+    /// charge; clean-dirty skips and aborted epochs are free).
+    pub committed_pages: u64,
+    /// Bytes committed across all successful epochs.
+    pub committed_bytes: u64,
+    /// Checkpoints refused or failed by quota enforcement — at admission
+    /// (`checkpoint()` returned the quota error immediately) or mid-epoch
+    /// (the epoch aborted when a claim crossed the limit).
+    pub quota_failures: u64,
+    /// Committed-but-undrained epochs the fair drain scheduler still owes
+    /// this tenant (0 for backends without a drain backlog).
+    pub drain_backlog: usize,
+}
+
+/// Rollup over every registered tenant plus the shared pools' own
+/// counters. Built by [`CkptService::stats`](crate::CkptService::stats).
+#[derive(Debug, Clone, Default)]
+pub struct ServiceStats {
+    /// Shared flush workers serving all tenants (constant in tenant count).
+    pub workers: usize,
+    /// Currently registered tenants, in id order.
+    pub tenants: Vec<TenantStats>,
+    /// Checkpoints finalised successfully, all tenants.
+    pub flushes_completed: u64,
+    /// Checkpoints finalised with an error (storage failures, mid-epoch
+    /// quota kills, rejected submissions), all tenants.
+    pub flushes_failed: u64,
+    /// Checkpoints refused at admission time by quota or shutdown.
+    pub admission_rejections: u64,
+    /// Flush requests queued behind the worker pool right now.
+    pub queued_flushes: usize,
+    /// Flushes currently being drained by the workers.
+    pub active_flushes: usize,
+    /// Epochs the fair drain scheduler has not yet moved to the durable
+    /// tier, all tenants.
+    pub drain_backlog: usize,
+    /// Shared maintenance worker counters aggregated over all tenants.
+    pub maintenance: MaintenanceStats,
+}
+
+impl ServiceStats {
+    /// Total pages committed across every tenant's successful epochs.
+    pub fn committed_pages(&self) -> u64 {
+        self.tenants.iter().map(|t| t.committed_pages).sum()
+    }
+
+    /// Total bytes committed across every tenant's successful epochs.
+    pub fn committed_bytes(&self) -> u64 {
+        self.tenants.iter().map(|t| t.committed_bytes).sum()
+    }
+}

@@ -16,6 +16,8 @@
 //! * [`cluster`] — barrier-coupled ranks with per-rank engines and
 //!   flushers, and the event loop;
 //! * [`experiment`] — strategy comparisons and the paper's metrics;
+//! * [`tenants`] — multi-tenant drain arbitration model (the service
+//!   crate's shared maintenance worker as a queueing system);
 //! * [`report`] — table rendering for the figure harness.
 //!
 //! See DESIGN.md §4 for the substitution argument (what each model stands
@@ -32,6 +34,7 @@ pub mod report;
 pub mod stencil;
 pub mod storage;
 pub mod synthetic;
+pub mod tenants;
 pub mod time;
 
 pub use app::AppModel;
@@ -42,6 +45,7 @@ pub use report::Table;
 pub use stencil::{StencilApp, StencilConfig};
 pub use storage::{Routing, ServiceParams, StorageModel, TierParams};
 pub use synthetic::{Pattern, SyntheticApp};
+pub use tenants::{simulate_drain, DrainSimConfig, TenantDrainStats, TenantLoad};
 pub use time::SimTime;
 
 // Re-export the engine vocabulary the strategies are configured with.

@@ -1,0 +1,200 @@
+//! Multi-tenant drain arbitration model: N tenants commit epochs into a
+//! shared tier-drain backlog served by **one** maintenance worker — the
+//! service crate's shape, reduced to its queueing behaviour.
+//!
+//! The model reuses the *real* arbitration structure
+//! ([`ai_ckpt_core::DrainQueue`], the exact code `CkptService`'s
+//! maintenance worker pops from) and replaces only time and the backend:
+//! epoch producers are periodic sources, the drain worker is a FIFO
+//! bandwidth server. What it answers: when a heavy tenant floods the
+//! backlog, how long do a *light* tenant's committed epochs sit undrained
+//! under oldest-first service versus deficit round-robin? Oldest-first
+//! queues the light tenant's epoch behind the heavy tenant's entire
+//! arrival-ordered backlog; DRR interleaves by bytes, so light-tenant
+//! drain latency stays near the no-contention floor.
+
+use ai_ckpt_core::{DrainPolicy, DrainQueue};
+
+use crate::time::SimTime;
+
+/// One tenant's epoch production pattern.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TenantLoad {
+    /// A committed epoch lands on the drain backlog every `period`.
+    pub period: SimTime,
+    /// Bytes per committed epoch (the drain cost).
+    pub epoch_bytes: u64,
+}
+
+/// Parameters of the shared drain worker.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DrainSimConfig {
+    /// Sustained bandwidth of the single maintenance worker.
+    pub drain_bytes_per_sec: f64,
+    /// Arbitration order over the shared backlog.
+    pub policy: DrainPolicy,
+    /// Production stops after this horizon; the simulation then runs until
+    /// the backlog is empty.
+    pub horizon: SimTime,
+}
+
+/// Per-tenant outcome of a drain simulation.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct TenantDrainStats {
+    /// Epochs the tenant committed within the horizon.
+    pub epochs: u64,
+    /// Bytes drained for this tenant.
+    pub bytes_drained: u64,
+    /// Mean commit-to-drained latency.
+    pub mean_wait: SimTime,
+    /// Worst commit-to-drained latency.
+    pub max_wait: SimTime,
+}
+
+/// Simulate `loads` tenants sharing one drain worker under `cfg.policy`.
+/// Deterministic: same inputs, same result, regardless of policy-internal
+/// hash ordering (the queue's ring is arrival-ordered).
+pub fn simulate_drain(loads: &[TenantLoad], cfg: &DrainSimConfig) -> Vec<TenantDrainStats> {
+    let mut queue = DrainQueue::new(cfg.policy);
+    let mut stats = vec![TenantDrainStats::default(); loads.len()];
+    let mut total_wait = vec![0u128; loads.len()];
+    // Next arrival per tenant; first epoch commits after one full period.
+    let mut next_arrival: Vec<Option<SimTime>> = loads
+        .iter()
+        .map(|l| (l.period > SimTime::ZERO && l.period <= cfg.horizon).then_some(l.period))
+        .collect();
+    let mut server_free = SimTime::ZERO;
+
+    loop {
+        // Earliest pending arrival, if any tenant still produces.
+        let upcoming = next_arrival
+            .iter()
+            .enumerate()
+            .filter_map(|(i, t)| t.map(|t| (t, i)))
+            .min();
+
+        if queue.is_empty() {
+            // Idle server: jump to the next arrival (or finish).
+            let Some((t, _)) = upcoming else { break };
+            server_free = server_free.max(t);
+        }
+
+        // Deliver every arrival up to the moment the server next pops:
+        // arrival order (and therefore oldest-first order) must be
+        // established before the pop consults the queue.
+        let pop_at = server_free;
+        for (i, slot) in next_arrival.iter_mut().enumerate() {
+            while let Some(t) = *slot {
+                if t > pop_at {
+                    break;
+                }
+                // Stamp the arrival time into the item id: the pop side
+                // reads the wait straight out of it.
+                queue.push(i as u64, t.as_nanos(), loads[i].epoch_bytes.max(1));
+                stats[i].epochs += 1;
+                let succ = t + loads[i].period.as_nanos();
+                *slot = (succ <= cfg.horizon).then_some(succ);
+            }
+        }
+        let Some(item) = queue.pop() else { continue };
+
+        let tenant = item.tenant as usize;
+        let service_ns = (item.cost as f64 / cfg.drain_bytes_per_sec * 1e9).ceil() as u64;
+        let finish = pop_at + service_ns;
+        let wait = finish.saturating_sub(SimTime(item.item));
+        total_wait[tenant] += wait.as_nanos() as u128;
+        stats[tenant].bytes_drained += item.cost;
+        stats[tenant].max_wait = stats[tenant].max_wait.max(wait);
+        server_free = finish;
+    }
+
+    for (i, s) in stats.iter_mut().enumerate() {
+        if s.epochs > 0 {
+            s.mean_wait = SimTime((total_wait[i] / s.epochs as u128) as u64);
+        }
+    }
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// One flooding tenant (large epochs, every 100 ms) against three
+    /// trickling tenants (small epochs, every 500 ms), drain worker sized
+    /// so the heavy tenant alone saturates it.
+    fn skewed() -> Vec<TenantLoad> {
+        let mut loads = vec![TenantLoad {
+            period: SimTime::from_secs_f64(0.1),
+            epoch_bytes: 64 << 20,
+        }];
+        loads.extend(vec![
+            TenantLoad {
+                period: SimTime::from_secs_f64(0.5),
+                epoch_bytes: 1 << 20,
+            };
+            3
+        ]);
+        loads
+    }
+
+    fn run(policy: DrainPolicy) -> Vec<TenantDrainStats> {
+        simulate_drain(
+            &skewed(),
+            &DrainSimConfig {
+                drain_bytes_per_sec: 256e6,
+                policy,
+                horizon: SimTime::from_secs(20),
+            },
+        )
+    }
+
+    #[test]
+    fn drr_cuts_light_tenant_drain_latency_under_heavy_backlog() {
+        let oldest = run(DrainPolicy::OldestFirst);
+        let drr = run(DrainPolicy::DeficitRoundRobin { quantum: 1 << 20 });
+
+        // Same work gets done either way.
+        for (a, b) in oldest.iter().zip(&drr) {
+            assert_eq!(a.epochs, b.epochs);
+            assert_eq!(a.bytes_drained, b.bytes_drained);
+        }
+
+        // The heavy tenant saturates the worker, so its backlog grows
+        // without bound; oldest-first makes every light epoch wait behind
+        // it, DRR drains light epochs within ~a round.
+        let light_of = oldest[1..].iter().map(|s| s.max_wait).max().unwrap();
+        let light_drr = drr[1..].iter().map(|s| s.max_wait).max().unwrap();
+        assert!(
+            light_drr.as_nanos() * 10 < light_of.as_nanos(),
+            "DRR should cut light-tenant worst-case drain latency by >10x \
+             (oldest-first {light_of}, drr {light_drr})"
+        );
+
+        // And not by starving the heavy tenant: its mean only reflects the
+        // overload it created.
+        assert!(drr[0].bytes_drained == oldest[0].bytes_drained);
+    }
+
+    #[test]
+    fn uncontended_tenants_see_policy_independent_latency() {
+        let loads = vec![
+            TenantLoad {
+                period: SimTime::from_secs(1),
+                epoch_bytes: 8 << 20,
+            };
+            4
+        ];
+        let cfg = |policy| DrainSimConfig {
+            drain_bytes_per_sec: 1e9,
+            policy,
+            horizon: SimTime::from_secs(10),
+        };
+        let a = simulate_drain(&loads, &cfg(DrainPolicy::OldestFirst));
+        let b = simulate_drain(
+            &loads,
+            &cfg(DrainPolicy::DeficitRoundRobin { quantum: 1 << 20 }),
+        );
+        assert_eq!(a, b, "no backlog, no arbitration difference");
+    }
+}

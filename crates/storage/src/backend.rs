@@ -321,6 +321,15 @@ pub trait StorageBackend: Send + Sync {
         Ok(None)
     }
 
+    /// Epochs currently waiting in the drain backlog (committed to a fast
+    /// tier but not yet evicted to the durable one). Always 0 for
+    /// single-tier backends; a drain scheduler reads this to seed and
+    /// balance its arbitration. Best-effort: the value may be stale by the
+    /// time the caller acts on it.
+    fn drain_backlog(&self) -> usize {
+        0
+    }
+
     /// Syscall-level I/O accounting (vectored writes, fsyncs, manifest
     /// append coalescing). Zero by default for backends without a syscall
     /// path (memory, null); wrappers sum their children.

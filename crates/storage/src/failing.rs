@@ -282,6 +282,10 @@ impl<B: StorageBackend> StorageBackend for FailingBackend<B> {
         self.inner.drain_one()
     }
 
+    fn drain_backlog(&self) -> usize {
+        self.inner.drain_backlog()
+    }
+
     fn high_water(&self) -> io::Result<Option<u64>> {
         self.inner.high_water()
     }

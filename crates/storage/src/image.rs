@@ -15,13 +15,18 @@
 
 use std::collections::BTreeMap;
 use std::io;
+use std::sync::Arc;
 
 use crate::backend::{EpochKind, StorageBackend};
+use crate::cache::PageCache;
+use crate::locator::PageLocator;
 
-/// A reconstructed page image at some checkpoint.
+/// A reconstructed page image at some checkpoint. Payloads are
+/// reference-counted so an image loaded through the shared [`PageCache`]
+/// aliases the cached bytes instead of copying them.
 #[derive(Debug, Default, Clone, PartialEq, Eq)]
 pub struct CheckpointImage {
-    pages: BTreeMap<u64, Vec<u8>>,
+    pages: BTreeMap<u64, Arc<[u8]>>,
     checkpoint: u64,
 }
 
@@ -46,17 +51,69 @@ impl CheckpointImage {
             .iter()
             .rposition(|c| c.kind == EpochKind::Full)
             .unwrap_or(0);
-        let mut pages: BTreeMap<u64, Vec<u8>> = BTreeMap::new();
+        let mut pages: BTreeMap<u64, Arc<[u8]>> = BTreeMap::new();
         for c in &chain[start..] {
             backend.read_epoch(c.epoch, &mut |p, d| {
                 // Later epochs overwrite earlier versions (epochs ascend).
-                pages.insert(p, d.to_vec());
+                pages.insert(p, Arc::from(d));
             })?;
         }
         Ok(Self {
             pages,
             checkpoint: up_to,
         })
+    }
+
+    /// Like [`CheckpointImage::load`], but resolve every page through the
+    /// shared [`PageCache`] under the same `(checkpoint, page)` keys the
+    /// lazy restore path uses — eager and lazy restores (and repeated eager
+    /// restores in a storm) of one checkpoint then dedupe their disk reads:
+    /// each page is read from `backend` once per storm, every other reader
+    /// aliases the cached payload.
+    ///
+    /// Latest-wins resolution goes through a [`PageLocator`] (manifest
+    /// metadata only), so on a warm cache this touches no payload I/O at
+    /// all. With `cache == None` this is exactly [`CheckpointImage::load`].
+    pub fn load_cached(
+        backend: &dyn StorageBackend,
+        up_to: u64,
+        cache: Option<&PageCache>,
+    ) -> io::Result<Self> {
+        let Some(cache) = cache else {
+            return Self::load(backend, up_to);
+        };
+        let locator = PageLocator::build(backend, up_to)?;
+        let mut pages: BTreeMap<u64, Arc<[u8]>> = BTreeMap::new();
+        for &page in locator.pages_newest_first() {
+            let epoch = locator
+                .epoch_of(page)
+                .expect("locator lists only resolved pages");
+            let data = cache
+                .get_or_load(up_to, page, || backend.read_page_at(epoch, page))?
+                .ok_or_else(|| {
+                    io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("page {page} vanished from epoch {epoch}"),
+                    )
+                })?;
+            pages.insert(page, data);
+        }
+        Ok(Self {
+            pages,
+            checkpoint: up_to,
+        })
+    }
+
+    /// [`CheckpointImage::load_cached`] for the most recent committed
+    /// checkpoint, or `None` on a fresh backend.
+    pub fn load_latest_cached(
+        backend: &dyn StorageBackend,
+        cache: Option<&PageCache>,
+    ) -> io::Result<Option<Self>> {
+        match backend.epochs()?.last() {
+            Some(&last) => Ok(Some(Self::load_cached(backend, last, cache)?)),
+            None => Ok(None),
+        }
     }
 
     /// Reconstruct the image at the most recent committed checkpoint, or
@@ -75,7 +132,7 @@ impl CheckpointImage {
 
     /// Bytes of a page, if it was ever checkpointed.
     pub fn page(&self, id: u64) -> Option<&[u8]> {
-        self.pages.get(&id).map(Vec::as_slice)
+        self.pages.get(&id).map(|d| &d[..])
     }
 
     /// Number of distinct pages in the image.
@@ -90,14 +147,14 @@ impl CheckpointImage {
 
     /// Iterate `(page id, bytes)` in ascending page order.
     pub fn iter(&self) -> impl Iterator<Item = (u64, &[u8])> {
-        self.pages.iter().map(|(&p, d)| (p, d.as_slice()))
+        self.pages.iter().map(|(&p, d)| (p, &d[..]))
     }
 
     /// Apply every page into a caller-provided sink (e.g. copy back into
     /// re-allocated protected regions).
     pub fn apply(&self, mut sink: impl FnMut(u64, &[u8])) {
         for (&p, d) in &self.pages {
-            sink(p, d);
+            sink(p, &d[..]);
         }
     }
 }
@@ -155,6 +212,32 @@ mod tests {
         // Below the compaction horizon: clean failure, not silent garbage.
         let err = CheckpointImage::load(&b, 1).unwrap_err();
         assert_eq!(err.kind(), io::ErrorKind::NotFound);
+    }
+
+    #[test]
+    fn load_cached_matches_load_and_dedupes_reads() {
+        use crate::cache::PageCache;
+        let b = MemoryBackend::new();
+        write_epoch(&b, 1, vec![(0, vec![1; 8]), (1, vec![1; 8])]).unwrap();
+        write_epoch(&b, 2, vec![(1, vec![2; 8]), (3, vec![2; 8])]).unwrap();
+        let cache = PageCache::new(1 << 20);
+        let eager = CheckpointImage::load(&b, 2).unwrap();
+        let cached = CheckpointImage::load_cached(&b, 2, Some(&cache)).unwrap();
+        assert_eq!(eager, cached, "cache routing must not change the image");
+        let after_first = cache.stats();
+        assert_eq!(after_first.misses, 3, "one backend read per image page");
+        // A second load (an eager restore storm, or a lazy restore of the
+        // same checkpoint) is served from the cache entirely.
+        let again = CheckpointImage::load_cached(&b, 2, Some(&cache)).unwrap();
+        assert_eq!(again, eager);
+        let after_second = cache.stats();
+        assert_eq!(after_second.misses, after_first.misses, "no new reads");
+        assert_eq!(after_second.hits, after_first.hits + 3);
+        // `None` falls back to the uncached path.
+        let latest = CheckpointImage::load_latest_cached(&b, None)
+            .unwrap()
+            .unwrap();
+        assert_eq!(latest, eager);
     }
 
     #[test]

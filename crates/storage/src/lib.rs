@@ -32,7 +32,10 @@
 //! * [`locator`] — page→epoch resolution without payload I/O, the index
 //!   behind demand-paged (lazy) restore;
 //! * [`cache`] — shared sharded LRU page cache with single-flight loading,
-//!   so N concurrent restores of one checkpoint hit disk once per page.
+//!   so N concurrent restores of one checkpoint hit disk once per page;
+//! * [`namespace`] — `label_NNNN/` sub-root naming shared by the group
+//!   coordinator's per-rank directories and the multi-tenant service's
+//!   per-tenant directories.
 //!
 //! The chain lifecycle — full → deltas → compaction → GC — is defined in
 //! [`backend`]: `compact(up_to)` folds the live prefix into one full
@@ -53,6 +56,7 @@ pub mod io;
 pub mod locator;
 pub mod manifest;
 pub mod memory;
+pub mod namespace;
 pub mod null;
 pub mod parity;
 pub mod replicate;
@@ -72,7 +76,7 @@ pub use image::CheckpointImage;
 pub use io::{IoCounters, IoStats};
 pub use locator::PageLocator;
 pub use manifest::{ManifestRecord, RecordKind};
-pub use memory::MemoryBackend;
+pub use memory::{MemoryBackend, MemoryRoot};
 pub use null::NullBackend;
 pub use parity::ParityBackend;
 pub use replicate::ReplicatedBackend;

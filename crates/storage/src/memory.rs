@@ -137,6 +137,38 @@ impl MemoryBackend {
     }
 }
 
+/// A named collection of [`MemoryBackend`] namespaces — the in-RAM analogue
+/// of a [`FileBackend`](crate::FileBackend) root directory holding
+/// `tenant_NNNN/` sub-roots. A tenant that detaches and later re-opens the
+/// same name gets the *same* store back, so crash/restart tests can run
+/// entirely in memory.
+#[derive(Debug, Clone, Default)]
+pub struct MemoryRoot {
+    namespaces: Arc<Mutex<BTreeMap<String, MemoryBackend>>>,
+}
+
+impl MemoryRoot {
+    /// Fresh, empty root.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The backend for `name`, creating an empty one on first use. All
+    /// handles for one name share a store.
+    pub fn open(&self, name: &str) -> MemoryBackend {
+        self.namespaces
+            .lock()
+            .entry(name.to_string())
+            .or_default()
+            .clone()
+    }
+
+    /// Names with a backend, in lexicographic order.
+    pub fn names(&self) -> Vec<String> {
+        self.namespaces.lock().keys().cloned().collect()
+    }
+}
+
 /// Open-epoch session on a [`MemoryBackend`].
 #[derive(Debug)]
 struct MemoryEpochWriter {

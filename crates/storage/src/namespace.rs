@@ -1,0 +1,110 @@
+//! Namespaced sub-roots under one shared storage root.
+//!
+//! Two multiplexing layers carve a single checkpoint root into independent
+//! namespaces: the group coordinator gives every MPI rank a `rank_NNNN/`
+//! subdirectory, and the multi-tenant service gives every tenant a
+//! `tenant_NNNN/` one. Both use the same scheme — a lowercase label plus a
+//! zero-padded index — defined here once, so tooling (and humans) can
+//! enumerate either kind of root the same way.
+
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Width of the zero-padded index (`rank_0007`, `tenant_0123`). Fixed so
+/// lexicographic directory order is numeric order up to 9999 members.
+const INDEX_WIDTH: usize = 4;
+
+/// The namespace subdirectory for member `index` of kind `label` under
+/// `root`: `<root>/<label>_<index:04>`.
+///
+/// `label` must be non-empty ASCII-alphanumeric (it becomes a path
+/// component; no separators, no dots).
+pub fn scoped_dir(root: &Path, label: &str, index: usize) -> PathBuf {
+    debug_assert!(
+        !label.is_empty() && label.bytes().all(|b| b.is_ascii_alphanumeric()),
+        "namespace label must be non-empty alphanumeric: {label:?}"
+    );
+    root.join(format!("{label}_{index:04}"))
+}
+
+/// Parse a directory name produced by [`scoped_dir`] back into its index,
+/// checking the label. `None` for foreign names (e.g. a `GLOBAL` manifest
+/// next to the rank directories).
+pub fn scoped_index(name: &str, label: &str) -> Option<usize> {
+    let rest = name.strip_prefix(label)?.strip_prefix('_')?;
+    if rest.len() < INDEX_WIDTH || !rest.bytes().all(|b| b.is_ascii_digit()) {
+        return None;
+    }
+    rest.parse().ok()
+}
+
+/// Enumerate the existing member indices of kind `label` under `root`, in
+/// ascending order. A missing root is an empty namespace, not an error.
+pub fn scoped_members(root: &Path, label: &str) -> io::Result<Vec<usize>> {
+    let mut out = Vec::new();
+    let entries = match std::fs::read_dir(root) {
+        Ok(e) => e,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(out),
+        Err(e) => return Err(e),
+    };
+    for entry in entries {
+        let entry = entry?;
+        if !entry.file_type()?.is_dir() {
+            continue;
+        }
+        if let Some(idx) = entry
+            .file_name()
+            .to_str()
+            .and_then(|n| scoped_index(n, label))
+        {
+            out.push(idx);
+        }
+    }
+    out.sort_unstable();
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scoped_dir_and_index_round_trip() {
+        let d = scoped_dir(Path::new("/root"), "tenant", 7);
+        assert_eq!(d, Path::new("/root/tenant_0007"));
+        assert_eq!(scoped_index("tenant_0007", "tenant"), Some(7));
+        assert_eq!(scoped_index("rank_0123", "rank"), Some(123));
+        assert_eq!(scoped_index("tenant_12345", "tenant"), Some(12345));
+        assert_eq!(scoped_index("tenant_007", "tenant"), None, "too narrow");
+        assert_eq!(scoped_index("tenant_00x7", "tenant"), None);
+        assert_eq!(scoped_index("rank_0007", "tenant"), None, "label checked");
+        assert_eq!(scoped_index("GLOBAL", "rank"), None);
+    }
+
+    #[test]
+    fn scoped_members_lists_only_matching_dirs() {
+        let dir = tempdir();
+        std::fs::create_dir(scoped_dir(&dir, "tenant", 3)).unwrap();
+        std::fs::create_dir(scoped_dir(&dir, "tenant", 1)).unwrap();
+        std::fs::create_dir(scoped_dir(&dir, "rank", 2)).unwrap();
+        std::fs::write(dir.join("tenant_0009"), b"a file, not a dir").unwrap();
+        assert_eq!(scoped_members(&dir, "tenant").unwrap(), vec![1, 3]);
+        assert_eq!(scoped_members(&dir, "rank").unwrap(), vec![2]);
+        assert_eq!(
+            scoped_members(&dir.join("missing"), "tenant").unwrap(),
+            Vec::<usize>::new()
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    fn tempdir() -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "aickpt-ns-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+}

@@ -210,6 +210,14 @@ impl StorageBackend for ReplicatedBackend {
         total
     }
 
+    fn drain_backlog(&self) -> usize {
+        self.replicas
+            .iter()
+            .map(|r| r.drain_backlog())
+            .max()
+            .unwrap_or(0)
+    }
+
     fn drain_one(&self) -> io::Result<Option<u64>> {
         let mut drained = None;
         for r in &self.replicas {

@@ -269,6 +269,10 @@ impl<B: StorageBackend> StorageBackend for ThrottledBackend<B> {
         self.inner.drain_one()
     }
 
+    fn drain_backlog(&self) -> usize {
+        self.inner.drain_backlog()
+    }
+
     fn io_stats(&self) -> crate::io::IoStats {
         self.inner.io_stats()
     }

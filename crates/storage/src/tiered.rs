@@ -338,6 +338,10 @@ impl StorageBackend for TieredBackend {
         self.fast.io_stats().merged(self.slow.io_stats())
     }
 
+    fn drain_backlog(&self) -> usize {
+        self.state.lock().pending.len()
+    }
+
     fn drain_one(&self) -> io::Result<Option<u64>> {
         let _serial = self.drain_lock.lock();
         let Some(&epoch) = self.state.lock().pending.front() else {

@@ -7,6 +7,8 @@
 //! * [`ai_ckpt_core`] — the deterministic engine (Algorithms 1–4);
 //! * [`ai_ckpt_mem`] — mprotect/SIGSEGV substrate;
 //! * [`ai_ckpt_storage`] — storage backends and incremental restore;
+//! * [`ai_ckpt_service`] — the multi-tenant checkpoint service (shared
+//!   worker pools, fair drain arbitration, per-tenant quotas);
 //! * [`ai_ckpt_coord`] — coordinated multi-rank checkpoint groups
 //!   (two-phase global commit, group restore);
 //! * [`ai_ckpt_sim`] — the discrete-event cluster simulator;
@@ -21,5 +23,6 @@ pub use ai_ckpt_bench;
 pub use ai_ckpt_coord;
 pub use ai_ckpt_core;
 pub use ai_ckpt_mem;
+pub use ai_ckpt_service;
 pub use ai_ckpt_sim;
 pub use ai_ckpt_storage;
