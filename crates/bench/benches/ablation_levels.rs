@@ -1,0 +1,217 @@
+//! Multi-level resilience-policy ablation (ISSUE 9): what a level
+//! cascade costs and what losing levels does to restores.
+//!
+//! Part 1 drives the deterministic simulator (`ai_ckpt_sim::levels`)
+//! across level-bandwidth ratios: a cold level at 1:4 of the commit
+//! tier's bandwidth reaches a steady drain lag, while 1:16 falls further
+//! behind every epoch — the knob that decides whether the outer levels
+//! of a `ResilienceSpec` keep up with the checkpoint cadence. The same
+//! sweep prices a degraded read served entirely by each surviving level.
+//!
+//! Part 2 measures the real stack: a three-level `PolicyBackend`
+//! (plain NVMe-class → replicated partner → parity cold, the outer two
+//! throttled) restores the latest checkpoint with progressively more
+//! levels dead, so each row is the restore latency when that level is
+//! the fastest survivor — plus the time the maintenance path needs to
+//! rebuild a healed level from its survivors.
+
+use std::time::{Duration, Instant};
+
+use ai_ckpt::{restore_latest, CkptConfig, PageManager};
+use ai_ckpt_mem::page_size;
+use ai_ckpt_sim::{LevelDrainModel, LevelParams, SimTime};
+use ai_ckpt_storage::{
+    FailureControl, MemoryBackend, PolicyBackend, PolicyBuilder, ResilienceSpec, StorageBackend,
+    ThrottledBackend,
+};
+
+const PAGES: usize = 64;
+const RESTORES: usize = 12;
+const SPEC: &str = "nvme=plain -> partner=replica*2 -> cold=parity*4";
+const PARTNER_BPS: f64 = 512.0 * 1024.0 * 1024.0;
+const COLD_BPS: f64 = 128.0 * 1024.0 * 1024.0;
+
+fn cfg() -> CkptConfig {
+    CkptConfig::ai_ckpt(4 * page_size()).with_max_pages(PAGES + 16)
+}
+
+struct Percentiles {
+    p50: Duration,
+    p99: Duration,
+    max: Duration,
+}
+
+fn percentiles(mut samples: Vec<Duration>) -> Percentiles {
+    samples.sort();
+    let at = |q: f64| samples[((samples.len() - 1) as f64 * q) as usize];
+    Percentiles {
+        p50: at(0.50),
+        p99: at(0.99),
+        max: *samples.last().unwrap(),
+    }
+}
+
+// ---------------------------------------------------------------- part 1
+
+fn sim_sweep() {
+    println!(
+        "ablation_levels/sim  (1 GiB epochs at 1 s cadence through a 3-level cascade; \
+         drain lag of the cold level after 8 epochs, per cold:commit bandwidth ratio)"
+    );
+    println!("  ratio  |  lag@4      lag@8     trend");
+    let b0 = 8e9; // NVMe-class commit tier
+    for (label, ratio) in [("1:4", 0.25), ("1:8", 0.125), ("1:16", 0.0625)] {
+        let mut model = LevelDrainModel::new(vec![
+            LevelParams::new("nvme", 10_000, b0),
+            LevelParams::new("partner", 50_000, b0 / 4.0),
+            LevelParams::new("cold", 200_000, b0 * ratio),
+        ])
+        .expect("model");
+        let mut lags = Vec::new();
+        for i in 0..8u64 {
+            let out = model.ingest(SimTime(i * 1_000_000_000), 1 << 30);
+            lags.push(out.drain_lag(2));
+        }
+        let trend = if lags[7] > lags[6] {
+            "diverging"
+        } else {
+            "steady"
+        };
+        println!(
+            "  {label:<6} | {:>8.2?}  {:>8.2?}  {trend}",
+            Duration::from_nanos(lags[3].0),
+            Duration::from_nanos(lags[7].0),
+        );
+    }
+
+    println!();
+    println!("ablation_levels/sim  (degraded 256 MiB read priced per serving level, 1:16 cascade)");
+    println!("  survivor |  read       rebuild nvme<-survivor");
+    let model = LevelDrainModel::new(vec![
+        LevelParams::new("nvme", 10_000, b0),
+        LevelParams::new("partner", 50_000, b0 / 4.0),
+        LevelParams::new("cold", 200_000, b0 * 0.0625),
+    ])
+    .expect("model");
+    let bytes = 256u64 << 20;
+    for level in 0..3 {
+        println!(
+            "  {:<8} | {:>8.2?}   {:>8.2?}",
+            model.levels()[level].name,
+            Duration::from_nanos(model.degraded_read_ns(level, bytes)),
+            Duration::from_nanos(model.rebuild_ns(level, 0, bytes)),
+        );
+    }
+}
+
+// ---------------------------------------------------------------- part 2
+
+fn build() -> (PolicyBackend, Vec<FailureControl>) {
+    let spec = ResilienceSpec::parse(SPEC).expect("spec");
+    PolicyBuilder::new(spec)
+        .expect("builder")
+        .build_injected(|level, _| match level {
+            0 => Box::new(MemoryBackend::new()) as Box<dyn StorageBackend>,
+            1 => Box::new(
+                ThrottledBackend::new(MemoryBackend::new(), PARTNER_BPS, Duration::ZERO)
+                    .with_read_throttle(PARTNER_BPS, Duration::ZERO),
+            ),
+            _ => Box::new(
+                ThrottledBackend::new(MemoryBackend::new(), COLD_BPS, Duration::ZERO)
+                    .with_read_throttle(COLD_BPS, Duration::ZERO),
+            ),
+        })
+        .expect("policy")
+}
+
+fn commit_and_drain(policy: &PolicyBackend) {
+    let mgr = PageManager::new(cfg(), Box::new(policy.clone())).expect("manager");
+    let mut buf = mgr
+        .alloc_protected_named("state", PAGES * page_size())
+        .expect("alloc");
+    for (p, chunk) in buf.as_mut_slice().chunks_mut(page_size()).enumerate() {
+        chunk.fill(p as u8 | 1);
+    }
+    mgr.checkpoint().expect("checkpoint");
+    mgr.wait_checkpoint().expect("flush");
+    mgr.wait_maintenance_idle().expect("drain");
+}
+
+fn measure_restores(policy: &PolicyBackend) -> Percentiles {
+    let mut samples = Vec::with_capacity(RESTORES);
+    for _ in 0..RESTORES {
+        let fresh = PageManager::new(cfg(), Box::new(policy.clone())).expect("fresh manager");
+        let start = Instant::now();
+        let restored = restore_latest(&fresh, policy)
+            .expect("restore")
+            .expect("checkpoint present");
+        samples.push(start.elapsed());
+        assert_eq!(restored.buffers[0].as_slice()[0], 1);
+    }
+    percentiles(samples)
+}
+
+fn real_stack() {
+    println!();
+    println!(
+        "ablation_levels/real  ({RESTORES} restores of a {PAGES}-page checkpoint; rows kill \
+         every level faster than the survivor — partner throttled to {:.0} MiB/s, cold to \
+         {:.0} MiB/s)",
+        PARTNER_BPS / (1024.0 * 1024.0),
+        COLD_BPS / (1024.0 * 1024.0)
+    );
+    println!("  fastest survivor |  p50        p99        max");
+    let (policy, controls) = build();
+    commit_and_drain(&policy);
+
+    for survivor in 0..3usize {
+        for (l, control) in controls.iter().enumerate() {
+            if l < survivor {
+                control.kill();
+            }
+        }
+        let p = measure_restores(&policy);
+        for control in &controls {
+            control.heal();
+        }
+        println!(
+            "  {:<16} | {:>8.2?}  {:>8.2?}  {:>8.2?}",
+            policy.stats().levels[survivor].name,
+            p.p50,
+            p.p99,
+            p.max
+        );
+    }
+
+    // Rebuild cost: an epoch committed while a level slept must be copied
+    // into it after the heal — timed to convergence per level.
+    println!();
+    println!("ablation_levels/real  (rebuild of one {PAGES}-page epoch into a healed level)");
+    println!("  healed level |  rebuild");
+    for target in 1..=2usize {
+        let (policy, controls) = build();
+        commit_and_drain(&policy);
+        controls[target].kill();
+        commit_and_drain(&policy); // parks the copy toward the dead level
+        controls[target].heal();
+        let start = Instant::now();
+        loop {
+            match policy.drain_one() {
+                Ok(Some(_)) => {}
+                Ok(None) => break,
+                Err(e) => panic!("rebuild drain failed: {e}"),
+            }
+        }
+        let rebuild = start.elapsed();
+        assert!(policy.copies_owed() == 0, "rebuild must converge");
+        println!(
+            "  {:<12} | {rebuild:>8.2?}",
+            policy.stats().levels[target].name
+        );
+    }
+}
+
+fn main() {
+    sim_sweep();
+    real_stack();
+}

@@ -15,7 +15,9 @@
 //! * [`global`] — the `AICKGLB1` global manifest (CRC'd append-only commit
 //!   log, torn-tail truncation — the phase-2 commit point);
 //! * [`stats`] — [`GroupStats`], the per-rank
-//!   [`RuntimeStats`](ai_ckpt::RuntimeStats) rollup.
+//!   [`RuntimeStats`](ai_ckpt::RuntimeStats) rollup;
+//! * [`topology`] — [`PartnerMap`], the ring partner assignment behind a
+//!   resilience policy's partner-replica level.
 //!
 //! ## Quickstart
 //!
@@ -55,7 +57,9 @@
 pub mod global;
 pub mod group;
 pub mod stats;
+pub mod topology;
 
 pub use global::{GlobalRecord, GlobalRecordKind, GLOBAL_MAGIC};
 pub use group::{rank_dir, CheckpointGroup, GroupConfig, GroupRestore, GLOBAL_MANIFEST_FILE};
 pub use stats::GroupStats;
+pub use topology::PartnerMap;

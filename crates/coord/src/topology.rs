@@ -1,0 +1,117 @@
+//! Partner-rank topology for multi-level resilience policies.
+//!
+//! A policy's partner level stores a rank's replica *on another rank's
+//! storage*, so losing one node never loses both the primary and its
+//! replica. The classic layout (used by the paper's partner-replication
+//! remedy and by VELOC's `partner` level) is a ring with a fixed shift:
+//! rank `r` pushes its copies to `(r + shift) mod n`. A [`PartnerMap`]
+//! captures that assignment and answers both directions — *where do my
+//! copies go* and *whose copies do I host* — which the group coordinator
+//! needs when it builds per-rank [`ResilienceSpec`] stores and when a
+//! failed rank's state must be rebuilt from its partners.
+//!
+//! [`ResilienceSpec`]: ai_ckpt_storage::ResilienceSpec
+
+use std::io;
+
+/// Ring partner assignment for `n` ranks with a fixed shift.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PartnerMap {
+    ranks: usize,
+    shift: usize,
+}
+
+impl PartnerMap {
+    /// A ring over `ranks` ranks where rank `r` stores its partner copy
+    /// on `(r + shift) % ranks`. `shift` must not be a multiple of
+    /// `ranks` (a rank partnering with itself defeats the point) unless
+    /// there is only one rank, which partners with itself by necessity.
+    pub fn ring(ranks: usize, shift: usize) -> io::Result<PartnerMap> {
+        if ranks == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "partner map needs at least one rank",
+            ));
+        }
+        if ranks > 1 && shift.is_multiple_of(ranks) {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!("shift {shift} maps every rank of {ranks} onto itself"),
+            ));
+        }
+        Ok(PartnerMap {
+            ranks,
+            shift: shift % ranks,
+        })
+    }
+
+    /// The default ring: each rank's partner is its right neighbour.
+    pub fn neighbor_ring(ranks: usize) -> io::Result<PartnerMap> {
+        PartnerMap::ring(ranks, 1)
+    }
+
+    /// Number of ranks in the map.
+    pub fn ranks(&self) -> usize {
+        self.ranks
+    }
+
+    /// The rank that *hosts* `rank`'s partner copy.
+    pub fn partner_of(&self, rank: usize) -> usize {
+        (rank + self.shift) % self.ranks
+    }
+
+    /// The rank whose partner copy `rank` hosts (inverse of
+    /// [`PartnerMap::partner_of`]).
+    pub fn hosted_by(&self, rank: usize) -> usize {
+        (rank + self.ranks - self.shift) % self.ranks
+    }
+
+    /// Every `(owner, host)` pair of the ring, owner-ascending — handy
+    /// for wiring per-rank policy stores in one pass.
+    pub fn pairs(&self) -> Vec<(usize, usize)> {
+        (0..self.ranks).map(|r| (r, self.partner_of(r))).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn neighbor_ring_rotates_and_inverts() {
+        let map = PartnerMap::neighbor_ring(4).unwrap();
+        assert_eq!(map.partner_of(0), 1);
+        assert_eq!(map.partner_of(3), 0);
+        for r in 0..4 {
+            assert_eq!(map.hosted_by(map.partner_of(r)), r, "inverse at rank {r}");
+        }
+    }
+
+    #[test]
+    fn shifted_ring_is_a_permutation() {
+        let map = PartnerMap::ring(6, 5).unwrap();
+        let mut hosts: Vec<usize> = (0..6).map(|r| map.partner_of(r)).collect();
+        hosts.sort_unstable();
+        assert_eq!(hosts, vec![0, 1, 2, 3, 4, 5], "no host doubled up");
+        for r in 0..6 {
+            assert_ne!(map.partner_of(r), r, "no rank partners with itself");
+        }
+    }
+
+    #[test]
+    fn degenerate_maps_are_rejected_or_self_paired() {
+        assert!(PartnerMap::ring(0, 1).is_err());
+        assert!(PartnerMap::ring(4, 0).is_err());
+        assert!(PartnerMap::ring(4, 8).is_err(), "shift wraps onto identity");
+        // A single rank has no one else to partner with.
+        let solo = PartnerMap::ring(1, 1).unwrap();
+        assert_eq!(solo.partner_of(0), 0);
+        assert_eq!(solo.hosted_by(0), 0);
+    }
+
+    #[test]
+    fn pairs_enumerate_the_whole_ring() {
+        let map = PartnerMap::ring(3, 2).unwrap();
+        assert_eq!(map.pairs(), vec![(0, 2), (1, 0), (2, 1)]);
+    }
+}

@@ -438,3 +438,89 @@ fn aborted_lazy_restore_leaves_backend_restorable() {
         assert!(chunk.iter().all(|&b| b == i as u8 + 1), "page {i}");
     }
 }
+
+#[test]
+fn lazy_restore_falls_through_a_dying_fast_level() {
+    use ai_ckpt::restore_latest_lazy;
+    use ai_ckpt_storage::{PolicyBuilder, ResilienceSpec};
+
+    let spec = ResilienceSpec::parse("nvme=plain -> partner=replica*2 -> cold=parity*4").unwrap();
+    let (policy, controls) = PolicyBuilder::new(spec)
+        .unwrap()
+        .build_injected(|_, _| Box::new(MemoryBackend::new()))
+        .unwrap();
+    let cfg = small_cfg();
+    let ps = page_size();
+    const PAGES: usize = 24;
+    {
+        let mgr = PageManager::new(cfg.clone(), Box::new(policy.clone())).unwrap();
+        let mut buf = mgr.alloc_protected_named("s", PAGES * ps).unwrap();
+        for (i, chunk) in buf.as_mut_slice().chunks_mut(ps).enumerate() {
+            for (j, byte) in chunk.iter_mut().enumerate() {
+                *byte = (i * 31 + j) as u8;
+            }
+        }
+        mgr.checkpoint().unwrap();
+        mgr.wait_checkpoint().unwrap();
+        // Epoch 2 touches one page, so the lazy locator must stitch the
+        // image from both epochs on whatever level serves it.
+        buf.as_mut_slice()[3 * ps] = 0xEE;
+        mgr.checkpoint().unwrap();
+        mgr.wait_checkpoint().unwrap();
+        mgr.wait_maintenance_idle().unwrap(); // drain both epochs outward
+        drop(buf);
+    }
+    let expect = |i: usize, j: usize| -> u8 {
+        if i == 3 && j == 0 {
+            0xEE
+        } else {
+            (i * 31 + j) as u8
+        }
+    };
+    let shared: Arc<dyn StorageBackend> = Arc::new(policy.clone());
+    let cache = Arc::new(PageCache::new(8 << 20));
+
+    // The fast level dies right after the layout replays: the filler must
+    // finish from the partner level without poisoning a single page.
+    {
+        let mgr = PageManager::with_shared_backend(cfg.clone(), Arc::clone(&shared)).unwrap();
+        let mut lr = restore_latest_lazy(&mgr, Arc::clone(&shared), Some(Arc::clone(&cache)))
+            .unwrap()
+            .unwrap();
+        controls[0].kill();
+        lr.wait().unwrap();
+        for (i, chunk) in lr.state.buffers[0].as_slice().chunks(ps).enumerate() {
+            for (j, &byte) in chunk.iter().enumerate() {
+                assert_eq!(byte, expect(i, j), "page {i} byte {j} (mid-restore kill)");
+            }
+        }
+    }
+
+    // Fully degraded from the start: even the layout blob read has to fall
+    // through the dead fast level.
+    {
+        let mgr = PageManager::with_shared_backend(cfg.clone(), Arc::clone(&shared)).unwrap();
+        let mut lr = restore_latest_lazy(&mgr, Arc::clone(&shared), Some(Arc::clone(&cache)))
+            .unwrap()
+            .unwrap();
+        lr.wait().unwrap();
+        for (i, chunk) in lr.state.buffers[0].as_slice().chunks(ps).enumerate() {
+            for (j, &byte) in chunk.iter().enumerate() {
+                assert_eq!(byte, expect(i, j), "page {i} byte {j} (degraded start)");
+            }
+        }
+        assert!(
+            policy.stats().levels[0].read_fallthroughs >= 1,
+            "dead fast level must have been fallen through"
+        );
+    }
+
+    // The shared cache picked up only healthy fills: the second restore
+    // hit it instead of re-reading the surviving levels for every page.
+    let cs = cache.stats();
+    assert!(
+        cs.hits >= PAGES as u64,
+        "second restore should be served from the cache (hits {})",
+        cs.hits
+    );
+}

@@ -64,7 +64,7 @@ use ai_ckpt::{
     MaintenanceStats, PageManager, StatsProbe,
 };
 use ai_ckpt_core::{DrainPolicy, DrainQueue};
-use ai_ckpt_storage::StorageBackend;
+use ai_ckpt_storage::{PolicyBackend, StorageBackend};
 
 use crate::quota::{TenantQuota, TokenBucket};
 use crate::stats::{ServiceStats, TenantStats};
@@ -111,6 +111,9 @@ struct Tenant {
     name: String,
     probe: StatsProbe,
     backend: Arc<dyn StorageBackend>,
+    /// Present when `backend` is a multi-level resilience policy: the
+    /// typed handle behind the per-level stats rollup.
+    policy: Option<PolicyBackend>,
     compaction: CompactionPolicy,
     state: Mutex<TenantState>,
     maint: Mutex<MaintenanceStats>,
@@ -618,6 +621,34 @@ impl CkptService {
         backend: Arc<dyn StorageBackend>,
         quota: TenantQuota,
     ) -> io::Result<PageManager> {
+        self.add_tenant_inner(name, cfg, backend, quota, None)
+    }
+
+    /// Register a tenant over a multi-level resilience policy. Identical
+    /// to [`CkptService::add_tenant`] except that the service keeps the
+    /// typed [`PolicyBackend`] handle: the maintenance worker's drains
+    /// double as the policy's level copies and rebuilds, and
+    /// [`CkptService::stats`] reports the per-level counters in
+    /// [`TenantStats::levels`].
+    pub fn add_tenant_with_policy(
+        &self,
+        name: &str,
+        cfg: CkptConfig,
+        policy: PolicyBackend,
+        quota: TenantQuota,
+    ) -> io::Result<PageManager> {
+        let backend: Arc<dyn StorageBackend> = Arc::new(policy.clone());
+        self.add_tenant_inner(name, cfg, backend, quota, Some(policy))
+    }
+
+    fn add_tenant_inner(
+        &self,
+        name: &str,
+        cfg: CkptConfig,
+        backend: Arc<dyn StorageBackend>,
+        quota: TenantQuota,
+        policy: Option<PolicyBackend>,
+    ) -> io::Result<PageManager> {
         if self.inner.sched.lock().shutdown {
             return Err(io::Error::other("checkpoint service is shut down"));
         }
@@ -641,6 +672,7 @@ impl CkptService {
             name: name.to_string(),
             probe: manager.stats_probe(),
             backend: Arc::clone(&backend),
+            policy,
             compaction,
             state: Mutex::new(TenantState {
                 quota,
@@ -724,6 +756,11 @@ impl CkptService {
             let st = t.state.lock();
             let backlog = t.backend.drain_backlog();
             out.drain_backlog += backlog;
+            let levels = t
+                .policy
+                .as_ref()
+                .map(|p| p.stats().levels)
+                .unwrap_or_default();
             out.tenants.push(TenantStats {
                 tenant: id,
                 name: t.name.clone(),
@@ -732,6 +769,7 @@ impl CkptService {
                 committed_bytes: st.committed_bytes,
                 quota_failures: st.quota_failures,
                 drain_backlog: backlog,
+                levels,
             });
         }
         out

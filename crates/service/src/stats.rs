@@ -1,6 +1,7 @@
 //! Service-wide observability: per-tenant rollups plus pool-level counters.
 
 use ai_ckpt::{MaintenanceStats, RuntimeStats};
+use ai_ckpt_storage::LevelStats;
 
 /// One tenant's slice of the service: its full runtime stats (the same
 /// shape a standalone [`PageManager::stats`](ai_ckpt::PageManager::stats)
@@ -29,6 +30,11 @@ pub struct TenantStats {
     /// Committed-but-undrained epochs the fair drain scheduler still owes
     /// this tenant (0 for backends without a drain backlog).
     pub drain_backlog: usize,
+    /// Per-level drain/rebuild/read counters when the tenant sits on a
+    /// multi-level resilience policy (registered through
+    /// [`CkptService::add_tenant_with_policy`](crate::CkptService::add_tenant_with_policy));
+    /// empty otherwise.
+    pub levels: Vec<LevelStats>,
 }
 
 /// Rollup over every registered tenant plus the shared pools' own

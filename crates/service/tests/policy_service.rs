@@ -1,0 +1,122 @@
+//! The shared maintenance worker driving a multi-level resilience
+//! policy: `wait_maintenance_idle` must push every committed epoch
+//! through the level cascade, a dead level must never wedge the barrier,
+//! and a healed level must be rebuilt by the same worker — all visible
+//! through the per-level `TenantStats`.
+
+use std::sync::Arc;
+
+use ai_ckpt::{restore_latest, CkptConfig};
+use ai_ckpt_mem::page_size;
+use ai_ckpt_service::{CkptService, ServiceConfig, TenantQuota};
+use ai_ckpt_storage::{
+    FailureControl, MemoryBackend, PolicyBackend, PolicyBuilder, ResilienceSpec,
+};
+
+fn cfg() -> CkptConfig {
+    CkptConfig::ai_ckpt(4 * page_size()).with_max_pages(64)
+}
+
+fn injected_policy() -> (PolicyBackend, Vec<FailureControl>) {
+    let spec = ResilienceSpec::parse("nvme=plain -> partner=replica*2 -> cold=parity*4").unwrap();
+    PolicyBuilder::new(spec)
+        .unwrap()
+        .build_injected(|_, _| Box::new(MemoryBackend::new()))
+        .unwrap()
+}
+
+#[test]
+fn maintenance_barrier_drains_policy_levels_and_reports_them() {
+    let (policy, _controls) = injected_policy();
+    let svc = CkptService::new(ServiceConfig::default());
+    let mgr = svc
+        .add_tenant_with_policy("llm-0", cfg(), policy.clone(), TenantQuota::default())
+        .unwrap();
+
+    let mut buf = mgr.alloc_protected_named("state", 2 * page_size()).unwrap();
+    for round in 1..=2u8 {
+        buf.as_mut_slice()[0] = round;
+        mgr.checkpoint().unwrap();
+        mgr.wait_checkpoint().unwrap();
+    }
+    mgr.wait_maintenance_idle().unwrap();
+
+    let stats = svc.stats();
+    let tenant = &stats.tenants[0];
+    assert_eq!(tenant.levels.len(), 3, "policy tenants report their levels");
+    assert_eq!(tenant.levels[0].name, "nvme");
+    assert_eq!(tenant.levels[1].drains_in, 2, "partner level caught up");
+    assert_eq!(tenant.levels[2].drains_in, 2, "cold level caught up");
+    assert_eq!(tenant.drain_backlog, 0, "barrier means no copies owed");
+    assert_eq!(policy.copies_owed(), 0);
+    for level in &tenant.levels {
+        assert_eq!(level.resident_epochs, 2, "level {}", level.name);
+        assert!(!level.suspect);
+    }
+
+    // Plain tenants keep an empty levels vec.
+    let plain = svc
+        .add_tenant(
+            "plain",
+            cfg(),
+            Arc::new(MemoryBackend::new()),
+            TenantQuota::default(),
+        )
+        .unwrap();
+    let stats = svc.stats();
+    assert!(stats.tenants[1].levels.is_empty());
+    drop(plain);
+}
+
+#[test]
+fn dead_level_never_wedges_the_barrier_and_rebuilds_after_heal() {
+    let (policy, controls) = injected_policy();
+    let svc = CkptService::new(ServiceConfig::default());
+    let mgr = svc
+        .add_tenant_with_policy("llm-0", cfg(), policy.clone(), TenantQuota::default())
+        .unwrap();
+
+    let mut buf = mgr.alloc_protected_named("state", 2 * page_size()).unwrap();
+    buf.as_mut_slice()[0] = 1;
+    mgr.checkpoint().unwrap();
+    mgr.wait_checkpoint().unwrap();
+    mgr.wait_maintenance_idle().unwrap();
+
+    // Kill the partner level, commit another epoch. The barrier must
+    // return (deferred copies are parked, not counted) with the cold
+    // level fully drained.
+    controls[1].kill();
+    buf.as_mut_slice()[0] = 2;
+    mgr.checkpoint().unwrap();
+    mgr.wait_checkpoint().unwrap();
+    mgr.wait_maintenance_idle().unwrap();
+
+    let stats = svc.stats();
+    let levels = &stats.tenants[0].levels;
+    assert!(levels[1].suspect, "partner level observed as down");
+    assert_eq!(levels[1].deferred, 1, "its copy is parked, not lost");
+    assert_eq!(levels[2].drains_in, 2, "cold level kept draining");
+
+    // Heal: the next barrier reconciles the level and completes the
+    // rebuild through the same shared worker.
+    controls[1].heal();
+    mgr.wait_maintenance_idle().unwrap();
+    let stats = svc.stats();
+    let levels = &stats.tenants[0].levels;
+    assert!(!levels[1].suspect);
+    assert_eq!(levels[1].deferred, 0);
+    assert!(levels[1].rebuilds_in >= 1, "deferred copy became a rebuild");
+    assert_eq!(levels[1].resident_epochs, 2);
+    assert_eq!(policy.copies_owed(), 0);
+
+    // Degraded restore: with the fast level and the cold level dead, the
+    // rebuilt partner level alone serves a byte-identical restore.
+    drop(buf);
+    drop(mgr);
+    controls[0].kill();
+    controls[2].kill();
+    let fresh = ai_ckpt::PageManager::new(cfg(), Box::new(policy.clone())).unwrap();
+    let restored = restore_latest(&fresh, &policy).unwrap().unwrap();
+    let slice = restored.buffers[restored.by_name["state"]].as_slice();
+    assert_eq!(slice[0], 2, "latest state served by the rebuilt level");
+}

@@ -18,6 +18,9 @@
 //! * [`experiment`] — strategy comparisons and the paper's metrics;
 //! * [`tenants`] — multi-tenant drain arbitration model (the service
 //!   crate's shared maintenance worker as a queueing system);
+//! * [`levels`] — the resilience policy's level cascade as a pipeline of
+//!   leaky buckets (drain lag vs level-bandwidth ratio, degraded-read
+//!   pricing);
 //! * [`report`] — table rendering for the figure harness.
 //!
 //! See DESIGN.md §4 for the substitution argument (what each model stands
@@ -30,6 +33,7 @@ pub mod app;
 pub mod cluster;
 pub mod experiment;
 pub mod lattice;
+pub mod levels;
 pub mod report;
 pub mod stencil;
 pub mod storage;
@@ -41,6 +45,7 @@ pub use app::AppModel;
 pub use cluster::{Cluster, ClusterConfig, RankStats, SimOutcome, Strategy};
 pub use experiment::{AppKind, Comparison, Experiment, StrategyRow};
 pub use lattice::{LatticeApp, LatticeConfig};
+pub use levels::{IngestOutcome, LevelDrainModel, LevelParams};
 pub use report::Table;
 pub use stencil::{StencilApp, StencilConfig};
 pub use storage::{Routing, ServiceParams, StorageModel, TierParams};

@@ -338,6 +338,102 @@ pub trait StorageBackend: Send + Sync {
     }
 }
 
+// A boxed backend is a backend: composed stacks (`ParityBackend<Box<dyn
+// StorageBackend>>`, the policy layer's per-level stores) hold trait
+// objects, and every method must forward — a missing forward here would
+// silently fall back to a trait default (the exact bug class the wrapper
+// conformance suite exists to catch).
+impl<B: StorageBackend + ?Sized> StorageBackend for Box<B> {
+    fn begin_epoch(&self, epoch: u64) -> io::Result<Box<dyn EpochWriter>> {
+        (**self).begin_epoch(epoch)
+    }
+
+    fn put_blob(&self, name: &str, data: &[u8]) -> io::Result<()> {
+        (**self).put_blob(name, data)
+    }
+
+    fn get_blob(&self, name: &str) -> io::Result<Option<Vec<u8>>> {
+        (**self).get_blob(name)
+    }
+
+    fn epochs(&self) -> io::Result<Vec<u64>> {
+        (**self).epochs()
+    }
+
+    fn high_water(&self) -> io::Result<Option<u64>> {
+        (**self).high_water()
+    }
+
+    fn read_epoch(&self, epoch: u64, visit: &mut dyn FnMut(u64, &[u8])) -> io::Result<()> {
+        (**self).read_epoch(epoch, visit)
+    }
+
+    fn epoch_page_ids(&self, epoch: u64) -> io::Result<Vec<u64>> {
+        (**self).epoch_page_ids(epoch)
+    }
+
+    fn read_page_at(&self, epoch: u64, page: u64) -> io::Result<Option<Vec<u8>>> {
+        (**self).read_page_at(epoch, page)
+    }
+
+    fn delete_blob(&self, name: &str) -> io::Result<()> {
+        (**self).delete_blob(name)
+    }
+
+    fn list_blobs(&self) -> io::Result<Vec<String>> {
+        (**self).list_blobs()
+    }
+
+    fn bytes_written(&self) -> u64 {
+        (**self).bytes_written()
+    }
+
+    fn bytes_stored(&self) -> u64 {
+        (**self).bytes_stored()
+    }
+
+    fn chain(&self) -> io::Result<Vec<ChainEntry>> {
+        (**self).chain()
+    }
+
+    fn compact(&self, up_to: u64) -> io::Result<CompactionStats> {
+        (**self).compact(up_to)
+    }
+
+    fn supports_compaction(&self) -> bool {
+        (**self).supports_compaction()
+    }
+
+    fn install_compacted(
+        &self,
+        from: u64,
+        into: u64,
+        records: &[(u64, Vec<u8>)],
+    ) -> io::Result<()> {
+        (**self).install_compacted(from, into, records)
+    }
+
+    fn remove_epoch(&self, epoch: u64) -> io::Result<()> {
+        (**self).remove_epoch(epoch)
+    }
+
+    fn remove_epochs(&self, epochs: &[u64]) -> io::Result<()> {
+        (**self).remove_epochs(epochs)
+    }
+
+    fn drain_one(&self) -> io::Result<Option<u64>> {
+        (**self).drain_one()
+    }
+
+    fn drain_backlog(&self) -> usize {
+        (**self).drain_backlog()
+    }
+
+    fn io_stats(&self) -> IoStats {
+        (**self).io_stats()
+    }
+}
+
 /// Result of [`merge_live_prefix`].
 pub(crate) enum MergeOutcome {
     /// The prefix is already a lone full segment at the target epoch:

@@ -305,4 +305,69 @@ mod tests {
         let got = c.get_or_load(1, 1, || Ok(Some(vec![5]))).unwrap().unwrap();
         assert_eq!(got.as_ref(), &[5]);
     }
+
+    /// The degraded-read regression guard: when the level behind a fill
+    /// is failing, every concurrent waiter piled on the single-flight
+    /// lock must observe the error itself — none may be handed a poisoned
+    /// (or phantom) cache entry — and the failure must leave no residue
+    /// that would mask a later, healthy level.
+    #[test]
+    fn concurrent_waiters_all_observe_a_failing_fill() {
+        let c = Arc::new(PageCache::new(1 << 20));
+        let loads = Arc::new(AtomicUsize::new(0));
+        let start = Arc::new(std::sync::Barrier::new(8));
+        let errors = Arc::new(AtomicUsize::new(0));
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let c = Arc::clone(&c);
+                let loads = Arc::clone(&loads);
+                let start = Arc::clone(&start);
+                let errors = Arc::clone(&errors);
+                s.spawn(move || {
+                    start.wait();
+                    let got = c.get_or_load(2, 11, || {
+                        loads.fetch_add(1, Ordering::SeqCst);
+                        // Widen the window so waiters stack up on the
+                        // flight lock while a failing load is running.
+                        std::thread::sleep(std::time::Duration::from_millis(2));
+                        Err(io::Error::other("level down"))
+                    });
+                    match got {
+                        Err(e) => {
+                            assert_eq!(e.to_string(), "level down");
+                            errors.fetch_add(1, Ordering::SeqCst);
+                        }
+                        Ok(hit) => panic!("poisoned fill surfaced as {hit:?}"),
+                    }
+                });
+            }
+        });
+        assert_eq!(
+            errors.load(Ordering::SeqCst),
+            8,
+            "every waiter observes the failure, not a cached phantom"
+        );
+        assert!(
+            loads.load(Ordering::SeqCst) >= 1,
+            "at least one real load attempt ran"
+        );
+        let s = c.stats();
+        assert_eq!((s.entries, s.bytes), (0, 0), "poisoned fill was not cached");
+
+        // The level heals (or a slower level serves the page): the next
+        // fill must succeed and only then become a cache hit.
+        let healthy = Arc::new(AtomicUsize::new(0));
+        for _ in 0..2 {
+            let healthy = Arc::clone(&healthy);
+            let got = c
+                .get_or_load(2, 11, move || {
+                    healthy.fetch_add(1, Ordering::SeqCst);
+                    Ok(Some(vec![9; 16]))
+                })
+                .unwrap()
+                .unwrap();
+            assert_eq!(got.as_ref(), &[9; 16]);
+        }
+        assert_eq!(healthy.load(Ordering::SeqCst), 1, "healthy fill cached");
+    }
 }

@@ -35,6 +35,15 @@ pub struct FailureControl {
     fail_drain_one: Arc<AtomicU64>,
     /// When set, `install_compacted` fails (the compaction commit point).
     fail_install_compacted: Arc<AtomicU64>,
+    /// When set, every read entry point fails (`get_blob`, `epochs`,
+    /// `high_water`, `read_epoch`, `epoch_page_ids`, `read_page_at`,
+    /// `chain`, `list_blobs`) — the degraded-read half of losing a device.
+    fail_reads: Arc<AtomicU64>,
+    /// When set, *everything* fails — the whole store is gone. This is the
+    /// policy layer's whole-level fault: one shared control wrapped around
+    /// each store of a resilience level kills the level in a single switch,
+    /// and liveness probes (`epochs()`) observe the loss immediately.
+    killed: Arc<AtomicU64>,
 }
 
 impl FailureControl {
@@ -51,7 +60,9 @@ impl FailureControl {
         self.writes_until_failure.store(n, Ordering::SeqCst);
     }
 
-    /// Stop injecting failures of every kind.
+    /// Stop injecting failures of every kind (including a [`kill`]).
+    ///
+    /// [`kill`]: FailureControl::kill
     pub fn heal(&self) {
         self.writes_until_failure.store(u64::MAX, Ordering::SeqCst);
         for flag in [
@@ -61,9 +72,29 @@ impl FailureControl {
             &self.fail_remove_epoch,
             &self.fail_drain_one,
             &self.fail_install_compacted,
+            &self.fail_reads,
+            &self.killed,
         ] {
             flag.store(0, Ordering::SeqCst);
         }
+    }
+
+    /// Fail every operation — reads, writes, the whole chain API — as if
+    /// the device vanished. [`heal`](FailureControl::heal) brings it back
+    /// (the data was never touched: a kill is unavailability, not loss).
+    pub fn kill(&self) {
+        self.killed.store(1, Ordering::SeqCst);
+    }
+
+    /// Whether [`kill`](FailureControl::kill) is currently in effect.
+    pub fn is_killed(&self) -> bool {
+        self.killed.load(Ordering::SeqCst) != 0
+    }
+
+    /// Make every read entry point fail while writes still land (a device
+    /// that lost its read path, or a fabric partition on the restore side).
+    pub fn fail_reads(&self, yes: bool) {
+        self.fail_reads.store(yes as u64, Ordering::SeqCst);
     }
 
     /// Make `finish` fail.
@@ -97,14 +128,27 @@ impl FailureControl {
             .store(yes as u64, Ordering::SeqCst);
     }
 
-    fn armed(flag: &AtomicU64) -> io::Result<()> {
-        if flag.load(Ordering::SeqCst) != 0 {
+    /// Gate a mutating entry point: fails when its individual flag is armed
+    /// or the whole store is killed.
+    fn gate(&self, flag: &AtomicU64) -> io::Result<()> {
+        if self.killed.load(Ordering::SeqCst) != 0 || flag.load(Ordering::SeqCst) != 0 {
+            return Err(injected());
+        }
+        Ok(())
+    }
+
+    /// Gate a read entry point: fails under `fail_reads` or a kill.
+    fn read_gate(&self) -> io::Result<()> {
+        if self.killed.load(Ordering::SeqCst) != 0 || self.fail_reads.load(Ordering::SeqCst) != 0 {
             return Err(injected());
         }
         Ok(())
     }
 
     fn take_write_token(&self) -> bool {
+        if self.killed.load(Ordering::SeqCst) != 0 {
+            return false;
+        }
         let mut cur = self.writes_until_failure.load(Ordering::SeqCst);
         loop {
             if cur == u64::MAX {
@@ -137,13 +181,16 @@ impl<B: StorageBackend> FailingBackend<B> {
     /// Wrap `inner`; keep the returned control to trigger failures.
     pub fn new(inner: B) -> (Self, FailureControl) {
         let control = FailureControl::new();
-        (
-            Self {
-                inner,
-                control: control.clone(),
-            },
-            control,
-        )
+        (Self::with_control(inner, control.clone()), control)
+    }
+
+    /// Wrap `inner` under an existing (possibly shared) control: the policy
+    /// layer wraps every store of one resilience level with one control, so
+    /// a single [`FailureControl::kill`] takes the whole level down — below
+    /// the level's protection wrapper, where even direct parity-recovery
+    /// reads cannot sidestep the fault.
+    pub fn with_control(inner: B, control: FailureControl) -> Self {
+        Self { inner, control }
     }
 }
 
@@ -178,9 +225,7 @@ impl EpochWriter for FailingEpochWriter {
     }
 
     fn finish(&self) -> io::Result<()> {
-        if self.control.fail_finish.load(Ordering::SeqCst) != 0 {
-            return Err(injected());
-        }
+        self.control.gate(&self.control.fail_finish)?;
         self.inner.finish()
     }
 
@@ -191,7 +236,7 @@ impl EpochWriter for FailingEpochWriter {
 
 impl<B: StorageBackend> StorageBackend for FailingBackend<B> {
     fn begin_epoch(&self, epoch: u64) -> io::Result<Box<dyn EpochWriter>> {
-        FailureControl::armed(&self.control.fail_begin_epoch)?;
+        self.control.gate(&self.control.fail_begin_epoch)?;
         Ok(Box::new(FailingEpochWriter {
             inner: self.inner.begin_epoch(epoch)?,
             control: self.control.clone(),
@@ -199,35 +244,47 @@ impl<B: StorageBackend> StorageBackend for FailingBackend<B> {
     }
 
     fn put_blob(&self, name: &str, data: &[u8]) -> io::Result<()> {
-        FailureControl::armed(&self.control.fail_put_blob)?;
+        self.control.gate(&self.control.fail_put_blob)?;
         self.inner.put_blob(name, data)
     }
 
     fn get_blob(&self, name: &str) -> io::Result<Option<Vec<u8>>> {
+        self.control.read_gate()?;
         self.inner.get_blob(name)
     }
 
     fn epochs(&self) -> io::Result<Vec<u64>> {
+        self.control.read_gate()?;
         self.inner.epochs()
     }
 
     fn read_epoch(&self, epoch: u64, visit: &mut dyn FnMut(u64, &[u8])) -> io::Result<()> {
+        self.control.read_gate()?;
         self.inner.read_epoch(epoch, visit)
     }
 
     fn epoch_page_ids(&self, epoch: u64) -> io::Result<Vec<u64>> {
+        self.control.read_gate()?;
         self.inner.epoch_page_ids(epoch)
     }
 
     fn read_page_at(&self, epoch: u64, page: u64) -> io::Result<Option<Vec<u8>>> {
+        self.control.read_gate()?;
         self.inner.read_page_at(epoch, page)
     }
 
     fn delete_blob(&self, name: &str) -> io::Result<()> {
+        // A kill takes the delete path down too (it is a mutation), but
+        // there is no individual flag for it: retirement failures are
+        // injected through `fail_remove_epoch` where they matter.
+        if self.control.is_killed() {
+            return Err(injected());
+        }
         self.inner.delete_blob(name)
     }
 
     fn list_blobs(&self) -> io::Result<Vec<String>> {
+        self.control.read_gate()?;
         self.inner.list_blobs()
     }
 
@@ -240,6 +297,7 @@ impl<B: StorageBackend> StorageBackend for FailingBackend<B> {
     }
 
     fn chain(&self) -> io::Result<Vec<crate::backend::ChainEntry>> {
+        self.control.read_gate()?;
         self.inner.chain()
     }
 
@@ -259,17 +317,17 @@ impl<B: StorageBackend> StorageBackend for FailingBackend<B> {
         into: u64,
         records: &[(u64, Vec<u8>)],
     ) -> io::Result<()> {
-        FailureControl::armed(&self.control.fail_install_compacted)?;
+        self.control.gate(&self.control.fail_install_compacted)?;
         self.inner.install_compacted(from, into, records)
     }
 
     fn remove_epoch(&self, epoch: u64) -> io::Result<()> {
-        FailureControl::armed(&self.control.fail_remove_epoch)?;
+        self.control.gate(&self.control.fail_remove_epoch)?;
         self.inner.remove_epoch(epoch)
     }
 
     fn remove_epochs(&self, epochs: &[u64]) -> io::Result<()> {
-        FailureControl::armed(&self.control.fail_remove_epoch)?;
+        self.control.gate(&self.control.fail_remove_epoch)?;
         self.inner.remove_epochs(epochs)
     }
 
@@ -278,7 +336,7 @@ impl<B: StorageBackend> StorageBackend for FailingBackend<B> {
     }
 
     fn drain_one(&self) -> io::Result<Option<u64>> {
-        FailureControl::armed(&self.control.fail_drain_one)?;
+        self.control.gate(&self.control.fail_drain_one)?;
         self.inner.drain_one()
     }
 
@@ -287,6 +345,7 @@ impl<B: StorageBackend> StorageBackend for FailingBackend<B> {
     }
 
     fn high_water(&self) -> io::Result<Option<u64>> {
+        self.control.read_gate()?;
         self.inner.high_water()
     }
 }
@@ -367,6 +426,67 @@ mod tests {
         b.compact(2).unwrap();
         assert_eq!(b.epochs().unwrap(), vec![2]);
         assert_eq!(b.high_water().unwrap(), Some(2));
+    }
+
+    #[test]
+    fn read_injection_hits_every_read_entry_point() {
+        use crate::backend::write_epoch;
+        let (b, ctl) = FailingBackend::new(MemoryBackend::new());
+        write_epoch(&b, 1, vec![(0, vec![7])]).unwrap();
+        b.put_blob("meta", b"m").unwrap();
+        ctl.fail_reads(true);
+        assert!(b.get_blob("meta").is_err());
+        assert!(b.epochs().is_err());
+        assert!(b.high_water().is_err());
+        assert!(b.read_epoch(1, &mut |_, _| {}).is_err());
+        assert!(b.epoch_page_ids(1).is_err());
+        assert!(b.read_page_at(1, 0).is_err());
+        assert!(b.chain().is_err());
+        assert!(b.list_blobs().is_err());
+        // Writes still land: the store lost its read path, not its media.
+        write_epoch(&b, 2, vec![(1, vec![8])]).unwrap();
+        ctl.heal();
+        assert_eq!(b.epochs().unwrap(), vec![1, 2]);
+    }
+
+    #[test]
+    fn kill_takes_everything_down_and_heal_restores_the_data() {
+        use crate::backend::write_epoch;
+        let (b, ctl) = FailingBackend::new(MemoryBackend::new());
+        write_epoch(&b, 1, vec![(0, vec![3])]).unwrap();
+        ctl.kill();
+        assert!(ctl.is_killed());
+        assert!(b.begin_epoch(2).is_err());
+        assert!(b.epochs().is_err(), "liveness probe observes the kill");
+        assert!(b.put_blob("x", b"y").is_err());
+        assert!(b.read_page_at(1, 0).is_err());
+        assert!(b.remove_epoch(1).is_err());
+        assert!(b.drain_one().is_err());
+        assert!(b.delete_blob("x").is_err());
+        // An open writer dies with the store too.
+        ctl.heal();
+        let w = b.begin_epoch(2).unwrap();
+        w.write_pages(&[(1, &[4])]).unwrap();
+        ctl.kill();
+        assert!(w.write_pages(&[(2, &[5])]).is_err());
+        assert!(w.finish().is_err());
+        ctl.heal();
+        // A kill is unavailability, not loss.
+        assert_eq!(b.epochs().unwrap(), vec![1]);
+        assert_eq!(b.read_page_at(1, 0).unwrap().unwrap(), vec![3]);
+    }
+
+    #[test]
+    fn shared_control_kills_every_wrapped_store_at_once() {
+        let ctl = FailureControl::new();
+        let a = FailingBackend::with_control(MemoryBackend::new(), ctl.clone());
+        let b = FailingBackend::with_control(MemoryBackend::new(), ctl.clone());
+        ctl.kill();
+        assert!(a.epochs().is_err());
+        assert!(b.epochs().is_err());
+        ctl.heal();
+        assert!(a.epochs().unwrap().is_empty());
+        assert!(b.epochs().unwrap().is_empty());
     }
 
     #[test]

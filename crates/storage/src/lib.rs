@@ -21,6 +21,9 @@
 //!   cites from its prior work);
 //! * [`tiered`] — fast-tier + slow-tier pipeline with a background drain
 //!   queue (the VELOC-style multi-level checkpoint path);
+//! * [`policy`] — declarative multi-level resilience policies
+//!   (`ResilienceSpec`): local → partner-replica → parity levels with
+//!   async drain, background rebuild and graceful degraded reads;
 //! * [`io`] — the vectored zero-copy write engine: a partial-write-safe
 //!   `pwritev` wrapper, reusable aligned staging buffers and syscall-level
 //!   I/O counters surfaced as [`IoStats`];
@@ -59,6 +62,7 @@ pub mod memory;
 pub mod namespace;
 pub mod null;
 pub mod parity;
+pub mod policy;
 pub mod replicate;
 pub mod throttle;
 pub mod tiered;
@@ -79,6 +83,10 @@ pub use manifest::{ManifestRecord, RecordKind};
 pub use memory::{MemoryBackend, MemoryRoot};
 pub use null::NullBackend;
 pub use parity::ParityBackend;
+pub use policy::{
+    LevelProtection, LevelSpec, LevelStats, PolicyBackend, PolicyBuilder, PolicyStats,
+    ResilienceSpec,
+};
 pub use replicate::ReplicatedBackend;
 pub use throttle::ThrottledBackend;
 pub use tiered::TieredBackend;

@@ -118,6 +118,10 @@ impl ThrottleParams {
 pub struct ThrottledBackend<B> {
     inner: B,
     params: Arc<ThrottleParams>,
+    /// Read-side pipe, when the emulated device's reads cost too
+    /// (degraded restores served by a slow level). `None` = reads free,
+    /// the historical behaviour.
+    read_params: Option<Arc<ThrottleParams>>,
 }
 
 impl<B: StorageBackend> ThrottledBackend<B> {
@@ -135,6 +139,30 @@ impl<B: StorageBackend> ThrottledBackend<B> {
                 credit_ns: AtomicU64::new(0),
                 quantum_ns: 1_000_000, // 1 ms
             }),
+            read_params: None,
+        }
+    }
+
+    /// Throttle the read path too, at `bytes_per_sec` with `per_op_latency`
+    /// per bulk read (epoch replays and single-page reads both charge by
+    /// the bytes they return). Restores served by this device then pay for
+    /// it — the degraded-read half of a slow cold tier.
+    pub fn with_read_throttle(mut self, bytes_per_sec: f64, per_op_latency: Duration) -> Self {
+        assert!(bytes_per_sec > 0.0, "read bandwidth must be positive");
+        self.read_params = Some(Arc::new(ThrottleParams {
+            bytes_per_sec,
+            per_op_latency,
+            throttled_ns: AtomicU64::new(0),
+            debt_ns: AtomicU64::new(0),
+            credit_ns: AtomicU64::new(0),
+            quantum_ns: 1_000_000, // 1 ms
+        }));
+        self
+    }
+
+    fn pay_read(&self, ops: u64, bytes: u64) {
+        if let Some(read) = &self.read_params {
+            read.pay(ops, bytes);
         }
     }
 
@@ -195,7 +223,11 @@ impl<B: StorageBackend> StorageBackend for ThrottledBackend<B> {
     }
 
     fn get_blob(&self, name: &str) -> io::Result<Option<Vec<u8>>> {
-        self.inner.get_blob(name)
+        let blob = self.inner.get_blob(name)?;
+        if let Some(data) = &blob {
+            self.pay_read(1, data.len() as u64);
+        }
+        Ok(blob)
     }
 
     fn epochs(&self) -> io::Result<Vec<u64>> {
@@ -207,7 +239,15 @@ impl<B: StorageBackend> StorageBackend for ThrottledBackend<B> {
     }
 
     fn read_epoch(&self, epoch: u64, visit: &mut dyn FnMut(u64, &[u8])) -> io::Result<()> {
-        self.inner.read_epoch(epoch, visit)
+        let mut bytes = 0u64;
+        let mut records = 0u64;
+        self.inner.read_epoch(epoch, &mut |page, data| {
+            bytes += data.len() as u64;
+            records += 1;
+            visit(page, data);
+        })?;
+        self.pay_read(records, bytes);
+        Ok(())
     }
 
     fn epoch_page_ids(&self, epoch: u64) -> io::Result<Vec<u64>> {
@@ -215,7 +255,11 @@ impl<B: StorageBackend> StorageBackend for ThrottledBackend<B> {
     }
 
     fn read_page_at(&self, epoch: u64, page: u64) -> io::Result<Option<Vec<u8>>> {
-        self.inner.read_page_at(epoch, page)
+        let hit = self.inner.read_page_at(epoch, page)?;
+        if let Some(data) = &hit {
+            self.pay_read(1, data.len() as u64);
+        }
+        Ok(hit)
     }
 
     fn delete_blob(&self, name: &str) -> io::Result<()> {
@@ -300,6 +344,47 @@ mod tests {
             "finished too fast: {elapsed:?}"
         );
         assert!(b.throttled_time() > Duration::ZERO);
+    }
+
+    #[test]
+    fn reads_are_free_unless_a_read_throttle_is_set() {
+        let seed = |b: &dyn StorageBackend| {
+            let w = b.begin_epoch(1).unwrap();
+            for p in 0..16u64 {
+                w.write_pages(&[(p, &[7u8; 4096])]).unwrap();
+            }
+            w.finish().unwrap();
+        };
+        let replay = |b: &dyn StorageBackend| {
+            let start = Instant::now();
+            let mut bytes = 0usize;
+            b.read_epoch(1, &mut |_, d| bytes += d.len()).unwrap();
+            assert_eq!(bytes, 16 * 4096);
+            start.elapsed()
+        };
+
+        // Default: writes pay, the replay does not.
+        let free = ThrottledBackend::new(MemoryBackend::new(), 1e12, Duration::ZERO);
+        seed(&free);
+        assert!(replay(&free) < Duration::from_millis(20));
+
+        // 1 MiB/s read pipe: the same 64 KiB replay now costs ≥ ~60 ms,
+        // and single-page reads are charged by the bytes they return.
+        let slow = ThrottledBackend::new(MemoryBackend::new(), 1e12, Duration::ZERO)
+            .with_read_throttle(1024.0 * 1024.0, Duration::ZERO);
+        seed(&slow);
+        assert!(
+            replay(&slow) >= Duration::from_millis(55),
+            "read throttle not applied"
+        );
+        let start = Instant::now();
+        for p in 0..16u64 {
+            assert!(slow.read_page_at(1, p).unwrap().is_some());
+        }
+        assert!(
+            start.elapsed() >= Duration::from_millis(55),
+            "page reads must charge the read pipe"
+        );
     }
 
     #[test]

@@ -334,6 +334,24 @@ impl StorageBackend for TieredBackend {
         }
     }
 
+    fn remove_epochs(&self, epochs: &[u64]) -> io::Result<()> {
+        // Audit fix: the trait default loops `remove_epoch`, which pays one
+        // fast-tier `epochs()` probe per epoch and loses the slow tier's
+        // batched retirement (one manifest fsync for the whole batch on the
+        // file backend). Partition once, then batch per tier.
+        let on_fast = self.fast.epochs()?;
+        let (fast_part, slow_part): (Vec<u64>, Vec<u64>) =
+            epochs.iter().copied().partition(|e| on_fast.contains(e));
+        if !fast_part.is_empty() {
+            self.fast.remove_epochs(&fast_part)?;
+            self.state.lock().pending.retain(|e| !fast_part.contains(e));
+        }
+        if !slow_part.is_empty() {
+            self.slow.remove_epochs(&slow_part)?;
+        }
+        Ok(())
+    }
+
     fn io_stats(&self) -> crate::io::IoStats {
         self.fast.io_stats().merged(self.slow.io_stats())
     }

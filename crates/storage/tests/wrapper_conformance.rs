@@ -1,0 +1,262 @@
+//! Wrapper conformance: every `StorageBackend` wrapper must be
+//! *observably transparent* over the store it wraps — same epoch listing,
+//! same chain, same per-page random reads, same blob namespace, same
+//! restored image — including through the trait methods that have
+//! defaults (`epoch_page_ids`, `read_page_at`, `remove_epochs`,
+//! `delete_blob`/`list_blobs`, `high_water`). A wrapper that forgets to
+//! forward one of those silently degrades to the default implementation
+//! and only diverges under load or degradation; this suite pins each
+//! wrapper against a plain `MemoryBackend` twin executing the same
+//! deterministic (seed-pinned `SplitMix64`) operation log.
+
+use ai_ckpt_core::rng::SplitMix64;
+use ai_ckpt_storage::{
+    write_epoch, CheckpointImage, FailingBackend, MemoryBackend, ParityBackend, PolicyBuilder,
+    ReplicatedBackend, ResilienceSpec, StorageBackend, ThrottledBackend, TieredBackend,
+};
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+/// An arbitrary epoch with *unique* page ids (checkpoint epochs commit
+/// each page at most once; XOR parity groups rely on that).
+fn gen_epoch(rng: &mut SplitMix64) -> Vec<(u64, Vec<u8>)> {
+    let mut set: BTreeMap<u64, Vec<u8>> = BTreeMap::new();
+    for _ in 0..rng.next_below(20) {
+        let page = rng.next_below(24);
+        let len = 1 + rng.next_below(63) as usize;
+        set.insert(page, (0..len).map(|_| rng.next_u64() as u8).collect());
+    }
+    set.into_iter().collect()
+}
+
+fn gen_epochs(rng: &mut SplitMix64, max: u64) -> Vec<Vec<(u64, Vec<u8>)>> {
+    let n = rng.next_below(max) as usize;
+    (0..n).map(|_| gen_epoch(rng)).collect()
+}
+
+type Build = Box<dyn Fn() -> Box<dyn StorageBackend>>;
+
+/// Every wrapper in the crate, each over fresh `MemoryBackend`s.
+fn wrappers() -> Vec<(&'static str, Build)> {
+    vec![
+        (
+            "boxed",
+            Box::new(|| {
+                let inner: Box<dyn StorageBackend> = Box::new(MemoryBackend::new());
+                Box::new(inner) as Box<dyn StorageBackend>
+            }) as Build,
+        ),
+        (
+            "throttled",
+            Box::new(|| {
+                Box::new(ThrottledBackend::new(
+                    MemoryBackend::new(),
+                    1e12, // accounting path only; no artificial delay
+                    Duration::ZERO,
+                )) as Box<dyn StorageBackend>
+            }),
+        ),
+        (
+            "failing-disarmed",
+            Box::new(|| {
+                let (backend, _control) = FailingBackend::new(MemoryBackend::new());
+                Box::new(backend) as Box<dyn StorageBackend>
+            }),
+        ),
+        (
+            "replicated",
+            Box::new(|| {
+                Box::new(ReplicatedBackend::new(vec![
+                    Box::new(MemoryBackend::new()),
+                    Box::new(MemoryBackend::new()),
+                ])) as Box<dyn StorageBackend>
+            }),
+        ),
+        (
+            "parity",
+            Box::new(|| {
+                Box::new(ParityBackend::new(MemoryBackend::new(), 3)) as Box<dyn StorageBackend>
+            }),
+        ),
+        (
+            "tiered",
+            Box::new(|| {
+                Box::new(
+                    TieredBackend::new(
+                        Box::new(MemoryBackend::new()),
+                        Box::new(MemoryBackend::new()),
+                        2,
+                    )
+                    .unwrap(),
+                ) as Box<dyn StorageBackend>
+            }),
+        ),
+        (
+            "policy",
+            Box::new(|| {
+                let spec = ResilienceSpec::parse("hot=plain -> partner=replica*2 -> cold=parity*4")
+                    .unwrap();
+                Box::new(
+                    PolicyBuilder::new(spec)
+                        .unwrap()
+                        .build(|_, _| Box::new(MemoryBackend::new()))
+                        .unwrap(),
+                ) as Box<dyn StorageBackend>
+            }),
+        ),
+    ]
+}
+
+/// Compare every read-side observable of `wrapper` against `reference`.
+fn assert_agree(name: &str, case: u64, wrapper: &dyn StorageBackend, reference: &MemoryBackend) {
+    let epochs = reference.epochs().unwrap();
+    assert_eq!(
+        wrapper.epochs().unwrap(),
+        epochs,
+        "{name} case {case}: epoch listing"
+    );
+    assert_eq!(
+        wrapper.chain().unwrap(),
+        reference.chain().unwrap(),
+        "{name} case {case}: chain"
+    );
+    for &epoch in &epochs {
+        assert_eq!(
+            wrapper.epoch_page_ids(epoch).unwrap(),
+            reference.epoch_page_ids(epoch).unwrap(),
+            "{name} case {case}: epoch_page_ids({epoch})"
+        );
+        // Present pages, absent pages, and a far-out id all agree.
+        for page in (0..24).chain([1 << 40]) {
+            assert_eq!(
+                wrapper.read_page_at(epoch, page).unwrap(),
+                reference.read_page_at(epoch, page).unwrap(),
+                "{name} case {case}: read_page_at({epoch}, {page})"
+            );
+        }
+    }
+    assert_eq!(
+        CheckpointImage::load_latest(wrapper).unwrap(),
+        CheckpointImage::load_latest(reference).unwrap(),
+        "{name} case {case}: restored image"
+    );
+    assert_eq!(
+        wrapper.list_blobs().unwrap(),
+        reference.list_blobs().unwrap(),
+        "{name} case {case}: blob listing"
+    );
+}
+
+#[test]
+fn wrappers_are_observably_transparent_over_memory() {
+    for (name, build) in wrappers() {
+        let mut rng = SplitMix64::new(0x9A);
+        for case in 0..16u64 {
+            let wrapper = build();
+            let reference = MemoryBackend::new();
+            let epochs = gen_epochs(&mut rng, 5);
+            for (i, records) in epochs.iter().enumerate() {
+                write_epoch(wrapper.as_ref(), i as u64 + 1, records.clone()).unwrap();
+                write_epoch(&reference, i as u64 + 1, records.clone()).unwrap();
+            }
+            assert_eq!(
+                wrapper.high_water().unwrap(),
+                reference.high_water().unwrap(),
+                "{name} case {case}: high water"
+            );
+            assert_agree(name, case, wrapper.as_ref(), &reference);
+        }
+    }
+}
+
+#[test]
+fn wrappers_agree_on_blob_lifecycle() {
+    for (name, build) in wrappers() {
+        let wrapper = build();
+        let reference = MemoryBackend::new();
+        for (blob, data) in [
+            ("layout_0000000001", b"one".as_slice()),
+            ("layout_0000000002", b"two"),
+            ("meta", b"m"),
+        ] {
+            wrapper.put_blob(blob, data).unwrap();
+            reference.put_blob(blob, data).unwrap();
+        }
+        assert_eq!(
+            wrapper.list_blobs().unwrap(),
+            reference.list_blobs().unwrap(),
+            "{name}: listing after puts"
+        );
+        wrapper.delete_blob("layout_0000000001").unwrap();
+        reference.delete_blob("layout_0000000001").unwrap();
+        // Deleting a missing blob is not an error, on either side.
+        wrapper.delete_blob("never-existed").unwrap();
+        reference.delete_blob("never-existed").unwrap();
+        assert_eq!(
+            wrapper.list_blobs().unwrap(),
+            reference.list_blobs().unwrap(),
+            "{name}: listing after delete"
+        );
+        assert_eq!(
+            wrapper.get_blob("layout_0000000001").unwrap(),
+            None,
+            "{name}: deleted blob gone"
+        );
+        assert_eq!(
+            wrapper.get_blob("layout_0000000002").unwrap().as_deref(),
+            Some(b"two".as_slice()),
+            "{name}: surviving blob intact"
+        );
+    }
+}
+
+#[test]
+fn wrappers_agree_on_batched_retirement() {
+    for (name, build) in wrappers() {
+        let mut rng = SplitMix64::new(0x9B);
+        for case in 0..8u64 {
+            let wrapper = build();
+            let reference = MemoryBackend::new();
+            let mut epochs = gen_epochs(&mut rng, 5);
+            while epochs.len() < 3 {
+                epochs.push(gen_epoch(&mut rng));
+            }
+            for (i, records) in epochs.iter().enumerate() {
+                write_epoch(wrapper.as_ref(), i as u64 + 1, records.clone()).unwrap();
+                write_epoch(&reference, i as u64 + 1, records.clone()).unwrap();
+            }
+            // Retire the two oldest epochs as a batch: the survivors must
+            // read identically on both sides afterwards.
+            wrapper.remove_epochs(&[1, 2]).unwrap();
+            reference.remove_epochs(&[1, 2]).unwrap();
+            assert_agree(name, case, wrapper.as_ref(), &reference);
+        }
+    }
+}
+
+#[test]
+fn draining_never_changes_what_a_wrapper_serves() {
+    for (name, build) in wrappers() {
+        let mut rng = SplitMix64::new(0x9C);
+        for case in 0..8u64 {
+            let wrapper = build();
+            let reference = MemoryBackend::new();
+            let epochs = gen_epochs(&mut rng, 5);
+            for (i, records) in epochs.iter().enumerate() {
+                write_epoch(wrapper.as_ref(), i as u64 + 1, records.clone()).unwrap();
+                write_epoch(&reference, i as u64 + 1, records.clone()).unwrap();
+            }
+            // Drain to quiescence (a no-op for single-tier wrappers; real
+            // copies for tiered and policy stacks) — purely a placement
+            // change, never a data change.
+            for _ in 0..64 {
+                match wrapper.drain_one().unwrap() {
+                    Some(_) => {}
+                    None => break,
+                }
+            }
+            assert_eq!(wrapper.drain_backlog(), 0, "{name} case {case}: backlog");
+            assert_agree(name, case, wrapper.as_ref(), &reference);
+        }
+    }
+}
