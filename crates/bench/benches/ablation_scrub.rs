@@ -1,0 +1,148 @@
+//! Scrub ablation: what at-rest integrity verification costs, and what it
+//! does to the foreground.
+//!
+//! Two quantities, both quoted in the README:
+//!
+//! * **scrub MiB/s** — raw verification throughput of a
+//!   [`Scrubber::full_pass`] over a file-backed chain (per-record CRC walk
+//!   + manifest agreement, no restore materialised);
+//! * **foreground write-stall p99** — per-page-write latency of an
+//!   application checkpointing in a loop while the maintenance worker
+//!   either scrubs at the default 8 MiB/cycle pacing budget or has
+//!   scrubbing disabled. Pacing bounds the interference: the two p99s
+//!   should be indistinguishable.
+//!
+//! Run with `cargo bench --bench ablation_scrub`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Instant;
+
+use ai_ckpt::{CkptConfig, PageManager};
+use ai_ckpt_mem::page_size;
+use ai_ckpt_storage::{write_epoch, FileBackend, ScrubPolicy, Scrubber, StorageBackend};
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "aickpt-ablation-scrub-{tag}-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Verification throughput of a full pass over `epochs` epochs of `pages`
+/// pages each: MiB of stored payload verified per second.
+fn scrub_mib_per_sec(epochs: u64, pages: u64, tag: &str) -> f64 {
+    let ps = page_size();
+    let dir = tmpdir(tag);
+    let b = FileBackend::open(&dir).unwrap();
+    let payload: Vec<Vec<u8>> = (0..pages)
+        .map(|p| {
+            (0..ps)
+                .map(|i| (p as u8).wrapping_mul(97) ^ (i as u8).wrapping_mul(13))
+                .collect()
+        })
+        .collect();
+    for e in 1..=epochs {
+        let records: Vec<(u64, Vec<u8>)> = (0..pages)
+            .map(|p| (p, payload[p as usize].clone()))
+            .collect();
+        write_epoch(&b, e, records).unwrap();
+    }
+    let s = Scrubber::new(ScrubPolicy::default());
+    let started = Instant::now();
+    s.full_pass(&b).unwrap();
+    let secs = started.elapsed().as_secs_f64();
+    let verified = s.stats().bytes_verified as f64;
+    std::fs::remove_dir_all(&dir).unwrap();
+    verified / (1024.0 * 1024.0) / secs
+}
+
+/// Foreground write-stall distribution: `rounds` checkpoint rounds over a
+/// `pages`-page buffer, every page dirtied each round (CoW fault + copy on
+/// first touch), while the maintenance worker runs with `scrub`. Returns
+/// (p50, p99) per-page-write latency in microseconds.
+fn write_stall_p99(scrub: ScrubPolicy, rounds: usize, pages: usize, tag: &str) -> (f64, f64) {
+    let ps = page_size();
+    let dir = tmpdir(tag);
+    let backend: Arc<dyn StorageBackend> = Arc::new(FileBackend::open(&dir).unwrap());
+    let cfg = CkptConfig::ai_ckpt(1 << 20)
+        .with_max_pages(pages + 16)
+        .with_scrub(scrub);
+    let mgr = PageManager::with_shared_backend(cfg, Arc::clone(&backend)).unwrap();
+    let mut buf = mgr.alloc_protected_named("state", pages * ps).unwrap();
+    let mut stalls_us: Vec<f64> = Vec::with_capacity(rounds * pages);
+    for round in 0..rounds {
+        {
+            let slice = buf.as_mut_slice();
+            for p in 0..pages {
+                let t = Instant::now();
+                slice[p * ps] = (round as u8).wrapping_add(p as u8);
+                stalls_us.push(t.elapsed().as_secs_f64() * 1e6);
+            }
+        }
+        mgr.checkpoint().unwrap();
+        mgr.wait_checkpoint().unwrap();
+    }
+    drop(buf);
+    drop(mgr);
+    std::fs::remove_dir_all(&dir).unwrap();
+    stalls_us.sort_by(f64::total_cmp);
+    let pick = |q: f64| stalls_us[((stalls_us.len() - 1) as f64 * q) as usize];
+    (pick(0.50), pick(0.99))
+}
+
+fn bench_scrub_table(_c: &mut Criterion) {
+    let ps = page_size();
+    println!("ablation_scrub  ({ps}-byte pages)");
+
+    // Verification throughput: best of three (shared-machine noise).
+    let (epochs, pages) = (8u64, 2048u64);
+    let mib = (epochs * pages) as f64 * ps as f64 / (1024.0 * 1024.0);
+    let thr = (0..3)
+        .map(|rep| scrub_mib_per_sec(epochs, pages, &format!("thr-{rep}")))
+        .fold(0.0f64, f64::max);
+    println!(
+        "  verify throughput: {thr:>8.0} MiB/s  (full pass over {mib:.0} MiB, {epochs} epochs)"
+    );
+
+    // Foreground interference: paced scrub vs no scrub.
+    let (rounds, fg_pages) = (24, 512);
+    println!("  foreground write-stall (per dirtied page, {rounds} rounds x {fg_pages} pages):");
+    for (name, policy) in [
+        ("scrub disabled", ScrubPolicy::disabled()),
+        ("scrub paced (8 MiB/cycle)", ScrubPolicy::default()),
+    ] {
+        let (p50, p99) = (0..3)
+            .map(|rep| write_stall_p99(policy, rounds, fg_pages, &format!("stall-{rep}")))
+            .min_by(|a, b| a.1.total_cmp(&b.1))
+            .unwrap();
+        println!("    {name:<26}  p50 {p50:>6.2} us   p99 {p99:>6.2} us");
+    }
+}
+
+/// Criterion wall-time of one paced scrub cycle over a settled chain, so
+/// regressions in the verify walk show up in `cargo bench` history.
+fn bench_scrub_headline(c: &mut Criterion) {
+    let ps = page_size();
+    let dir = tmpdir("crit");
+    let b = FileBackend::open(&dir).unwrap();
+    for e in 1..=4u64 {
+        let records: Vec<(u64, Vec<u8>)> = (0..256u64).map(|p| (p, vec![p as u8; ps])).collect();
+        write_epoch(&b, e, records).unwrap();
+    }
+    let mut g = c.benchmark_group("ablation_scrub");
+    g.sample_size(10);
+    g.bench_function("cycle_1MiB_budget", |bch| {
+        let s = Scrubber::new(ScrubPolicy::default().with_budget(1 << 20));
+        bch.iter(|| black_box(s.cycle(&b).unwrap()))
+    });
+    g.finish();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+criterion_group!(benches, bench_scrub_table, bench_scrub_headline);
+criterion_main!(benches);

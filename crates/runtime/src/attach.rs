@@ -35,7 +35,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
-use ai_ckpt_storage::StorageBackend;
+use ai_ckpt_storage::{Scrubber, StorageBackend};
 
 use crate::config::CompactionPolicy;
 use crate::manager::{
@@ -334,13 +334,22 @@ pub fn compact_if_due(
 pub struct StatsProbe {
     ctl: Arc<Ctl>,
     backend: Arc<dyn StorageBackend>,
+    scrubber: Arc<Scrubber>,
 }
 
 impl StatsProbe {
     /// Probe the manager's shared state. Internal to the attach seam: the
     /// service builds one per tenant at `add_tenant` time.
-    pub(crate) fn new(ctl: Arc<Ctl>, backend: Arc<dyn StorageBackend>) -> Self {
-        Self { ctl, backend }
+    pub(crate) fn new(
+        ctl: Arc<Ctl>,
+        backend: Arc<dyn StorageBackend>,
+        scrubber: Arc<Scrubber>,
+    ) -> Self {
+        Self {
+            ctl,
+            backend,
+            scrubber,
+        }
     }
 
     /// Snapshot the tenant's runtime stats — same shape as
@@ -365,6 +374,7 @@ impl StatsProbe {
             streams: Vec::new(),
             maintenance: MaintenanceStats::default(),
             io: self.backend.io_stats(),
+            integrity: self.scrubber.stats(),
         }
     }
 }
@@ -373,6 +383,10 @@ impl crate::PageManager {
     /// A [`StatsProbe`] over this manager's shared state (host-side stats
     /// rollups survive the manager's drop).
     pub fn stats_probe(&self) -> StatsProbe {
-        StatsProbe::new(Arc::clone(&self.ctl), Arc::clone(self.backend()))
+        StatsProbe::new(
+            Arc::clone(&self.ctl),
+            Arc::clone(self.backend()),
+            Arc::clone(self.scrubber()),
+        )
     }
 }

@@ -3,6 +3,7 @@
 
 use ai_ckpt_core::SchedulerKind;
 use ai_ckpt_mem::page_size;
+use ai_ckpt_storage::{RetryPolicy, ScrubPolicy};
 
 /// How `CHECKPOINT` behaves.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -106,6 +107,15 @@ pub struct CkptConfig {
     /// default (the paper's byte-oblivious behaviour); costs one CRC-64
     /// pass per flushed page plus 9 bytes of table per tracked page.
     pub content_filter: bool,
+    /// Background at-rest integrity scrubbing, driven incrementally by the
+    /// maintenance worker (no new threads). Enabled by default with an
+    /// 8 MiB verified-byte budget per cycle; see
+    /// [`ScrubPolicy`].
+    pub scrub: ScrubPolicy,
+    /// Bounded exponential backoff applied to transient storage faults on
+    /// the drain and maintenance paths. Corrupt reads go to repair, never
+    /// retry; permanent faults surface immediately.
+    pub retry: RetryPolicy,
 }
 
 /// Default committer stream count: `min(4, available cores)`.
@@ -132,6 +142,8 @@ impl CkptConfig {
             compaction: CompactionPolicy::DISABLED,
             epoch_floor: 0,
             content_filter: false,
+            scrub: ScrubPolicy::default(),
+            retry: RetryPolicy::default(),
         }
     }
 
@@ -149,6 +161,8 @@ impl CkptConfig {
             compaction: CompactionPolicy::DISABLED,
             epoch_floor: 0,
             content_filter: false,
+            scrub: ScrubPolicy::default(),
+            retry: RetryPolicy::default(),
         }
     }
 
@@ -165,6 +179,8 @@ impl CkptConfig {
             compaction: CompactionPolicy::DISABLED,
             epoch_floor: 0,
             content_filter: false,
+            scrub: ScrubPolicy::default(),
+            retry: RetryPolicy::default(),
         }
     }
 
@@ -208,6 +224,20 @@ impl CkptConfig {
     /// [`CkptConfig::epoch_floor`]).
     pub fn with_epoch_floor(mut self, floor: u64) -> Self {
         self.epoch_floor = floor;
+        self
+    }
+
+    /// Override the background scrub pacing (or disable scrubbing with
+    /// [`ScrubPolicy::disabled`]).
+    pub fn with_scrub(mut self, scrub: ScrubPolicy) -> Self {
+        self.scrub = scrub;
+        self
+    }
+
+    /// Override the transient-fault retry schedule (or turn retries off
+    /// with [`RetryPolicy::none`]).
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
         self
     }
 

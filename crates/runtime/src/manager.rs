@@ -72,7 +72,7 @@ use ai_ckpt_core::{
     LatencyHistogram, PageId, PageState, SpinGuard, SpinLock, StateTable, WriteOutcome,
 };
 use ai_ckpt_mem::{page_size, registry, sigsegv, MappedRegion, Protection, RegionHit};
-use ai_ckpt_storage::{crc64, EpochKind, EpochWriter, StorageBackend};
+use ai_ckpt_storage::{crc64, EpochKind, EpochWriter, RetryPolicy, Scrubber, StorageBackend};
 
 use crate::config::{CkptConfig, CkptMode, CompactionPolicy};
 use crate::layout::{self, BufferLayout};
@@ -586,6 +586,11 @@ pub struct PageManager {
     join: Option<std::thread::JoinHandle<()>>,
     workers: Vec<std::thread::JoinHandle<()>>,
     maint_join: Option<std::thread::JoinHandle<()>>,
+    /// At-rest integrity scrubber over `backend`: verification cursor,
+    /// pacing budget and the quarantine set restores consult. Standalone
+    /// managers drive it from the maintenance worker; attached managers
+    /// share the same instance with the host's maintenance worker.
+    scrubber: Arc<Scrubber>,
     /// Backend epochs committed before this manager started (restart case):
     /// checkpoint `n` of this manager persists as epoch `epoch_base + n`.
     epoch_base: u64,
@@ -665,13 +670,17 @@ impl PageManager {
                 return Err(e);
             }
         };
+        let scrubber = Arc::new(Scrubber::new(cfg.scrub));
         let maint_worker = Arc::clone(&maint);
         let maint_backend = Arc::clone(&backend);
+        let maint_scrubber = Arc::clone(&scrubber);
         let policy = cfg.compaction;
+        let retry = cfg.retry;
         let maint_join = match std::thread::Builder::new()
             .name("ai-ckpt-maintenance".into())
-            .spawn(move || maintenance_loop(maint_worker, maint_backend, policy))
-        {
+            .spawn(move || {
+                maintenance_loop(maint_worker, maint_backend, policy, maint_scrubber, retry)
+            }) {
             Ok(j) => j,
             Err(e) => {
                 release_pool(&pool, workers);
@@ -692,6 +701,7 @@ impl PageManager {
             join: Some(join),
             workers,
             maint_join: Some(maint_join),
+            scrubber,
             epoch_base,
         })
     }
@@ -714,6 +724,7 @@ impl PageManager {
         tenant: u64,
     ) -> io::Result<Self> {
         let (ctl, epoch_base) = Self::build_ctl(&cfg, &backend)?;
+        let cfg_scrub = cfg.scrub;
         Ok(Self {
             ctl,
             regions: Arc::new(Mutex::new(Regions::default())),
@@ -728,6 +739,7 @@ impl PageManager {
             join: None,
             workers: Vec::new(),
             maint_join: None,
+            scrubber: Arc::new(Scrubber::new(cfg_scrub)),
             epoch_base,
         })
     }
@@ -1070,7 +1082,20 @@ impl PageManager {
                 .collect(),
             maintenance,
             io: self.backend.io_stats(),
+            integrity: self.scrubber.stats(),
         }
+    }
+
+    /// The at-rest integrity scrubber guarding this manager's backend: its
+    /// counters, pacing policy and — most importantly — its quarantine set,
+    /// which every restore path consults before serving an epoch. For a
+    /// standalone manager the maintenance worker paces it one cycle per
+    /// checkpoint; an attached manager shares the same instance with the
+    /// host's maintenance worker (the multi-tenant service drives one cycle
+    /// per tenant per pass on its shared thread — no new threads either
+    /// way).
+    pub fn scrubber(&self) -> &Arc<Scrubber> {
+        &self.scrubber
     }
 
     /// Block until the maintenance worker has completed a cycle that
@@ -1529,6 +1554,8 @@ fn maintenance_loop(
     maint: Arc<Maint>,
     backend: Arc<dyn StorageBackend>,
     mut policy: CompactionPolicy,
+    scrubber: Arc<Scrubber>,
+    retry: RetryPolicy,
 ) {
     // Same exemption as the committer: maintenance allocations must never
     // route into protected regions (deadlock; see committer_loop).
@@ -1537,7 +1564,7 @@ fn maintenance_loop(
         maint.counters.failures.fetch_add(1, Ordering::Relaxed);
         policy = CompactionPolicy::DISABLED;
     }
-    let mut retry = false;
+    let mut failed_cycle = false;
     loop {
         let observed_kicks = {
             let mut st = maint.state.lock();
@@ -1548,7 +1575,7 @@ fn maintenance_loop(
                 if st.kicks != st.served {
                     break;
                 }
-                if retry {
+                if failed_cycle {
                     if maint
                         .wake
                         .wait_for(&mut st, std::time::Duration::from_millis(50))
@@ -1565,37 +1592,45 @@ fn maintenance_loop(
             }
             st.kicks
         };
-        retry = match maintenance_cycle(backend.as_ref(), policy, &maint.counters) {
-            Ok(()) => false,
-            Err(e) => {
-                maint.counters.failures.fetch_add(1, Ordering::Relaxed);
-                if e.kind() == io::ErrorKind::Unsupported {
-                    policy = CompactionPolicy::DISABLED;
-                    false
-                } else {
-                    true
+        failed_cycle =
+            match maintenance_cycle(backend.as_ref(), policy, &maint.counters, &scrubber, retry) {
+                Ok(()) => false,
+                Err(e) => {
+                    maint.counters.failures.fetch_add(1, Ordering::Relaxed);
+                    if e.kind() == io::ErrorKind::Unsupported {
+                        policy = CompactionPolicy::DISABLED;
+                        false
+                    } else {
+                        true
+                    }
                 }
-            }
-        };
+            };
         let mut st = maint.state.lock();
         st.served = st.served.max(observed_kicks);
         maint.idle.notify_all();
     }
 }
 
-/// One maintenance cycle: drain the tier backlog, then fold the chain if
-/// the policy says so.
+/// One maintenance cycle: drain the tier backlog, fold the chain if the
+/// policy says so, then advance the integrity scrub by one paced step.
+/// Transient storage faults on each step retry with bounded backoff
+/// (`CkptConfig::retry`) before counting as a cycle failure; corrupt
+/// findings never surface here — the scrubber repairs or quarantines them
+/// internally.
 fn maintenance_cycle(
     backend: &dyn StorageBackend,
     policy: CompactionPolicy,
     counters: &MaintCounters,
+    scrubber: &Scrubber,
+    retry: RetryPolicy,
 ) -> io::Result<()> {
     // Tier drain first: it shortens the fast tier, and compaction works on
     // the durable chain below.
-    while backend.drain_one()?.is_some() {
+    while retry.run(|| backend.drain_one())?.is_some() {
         counters.epochs_drained.fetch_add(1, Ordering::Relaxed);
     }
-    if let Some(stats) = compact_chain_if_due(backend, policy)? {
+    let folded = compact_chain_if_due(backend, policy);
+    if let Ok(Some(stats)) = &folded {
         counters.compactions.fetch_add(1, Ordering::Relaxed);
         counters
             .segments_removed
@@ -1607,6 +1642,14 @@ fn maintenance_cycle(
             .bytes_compacted
             .fetch_add(stats.bytes_after, Ordering::Relaxed);
     }
+    // Scrub last, even after a failed fold (the longer chain is still live
+    // and still deserves verification): verify the chain this cycle just
+    // settled rather than segments about to be superseded. Corrupt findings
+    // are repaired or quarantined inside the scrubber; only transient (after
+    // backoff ran dry) and permanent read errors surface.
+    let scrubbed = retry.run(|| scrubber.cycle(backend));
+    folded?;
+    scrubbed?;
     Ok(())
 }
 

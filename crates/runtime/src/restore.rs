@@ -49,7 +49,10 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 use ai_ckpt_core::{AccessType, EpochRecord, PageId};
-use ai_ckpt_storage::{crc64, CheckpointImage, PageCache, PageLocator, StorageBackend};
+use ai_ckpt_storage::{
+    classify, crc64, quarantined_error, CheckpointImage, EpochKind, FaultClass, PageCache,
+    PageLocator, RetryPolicy, StorageBackend,
+};
 
 use crate::layout;
 use crate::manager::{Ctl, PageManager};
@@ -110,6 +113,7 @@ pub fn restore_at_cached(
     seq: u64,
     cache: Option<&PageCache>,
 ) -> io::Result<RestoredState> {
+    refuse_quarantined(manager, backend, seq)?;
     let blob = backend.get_blob(&layout::blob_name(seq))?.ok_or_else(|| {
         io::Error::new(
             io::ErrorKind::NotFound,
@@ -165,6 +169,38 @@ pub fn restore_at_cached(
         by_name,
         checkpoint: seq,
     })
+}
+
+/// Refuse to serve a checkpoint whose replay chain includes a quarantined
+/// epoch: the scrubber found irreparable at-rest corruption there, and a
+/// restore would either fail midway or deliver damaged bytes. Failing up
+/// front is the loud, greppable alternative
+/// ([`quarantined_error`](ai_ckpt_storage::quarantined_error)). Only the
+/// segments a restore of `seq` actually replays — everything after (and
+/// including) the newest full segment at or before `seq` — can disqualify
+/// it; older quarantined history is already superseded.
+fn refuse_quarantined(
+    manager: &PageManager,
+    backend: &dyn StorageBackend,
+    seq: u64,
+) -> io::Result<()> {
+    let quarantined = manager.scrubber().quarantined();
+    if quarantined.is_empty() {
+        return Ok(());
+    }
+    let chain = backend.chain()?;
+    let replay_floor = chain
+        .iter()
+        .filter(|c| c.epoch <= seq && c.kind == EpochKind::Full)
+        .map(|c| c.epoch)
+        .max()
+        .unwrap_or(0);
+    for c in &chain {
+        if c.epoch >= replay_floor && c.epoch <= seq && quarantined.contains(&c.epoch) {
+            return Err(quarantined_error(c.epoch));
+        }
+    }
+    Ok(())
 }
 
 /// Per-restore metrics of a lazy restore (snapshot via
@@ -307,16 +343,23 @@ pub fn restore_lazy(
     seq: u64,
     cache: Option<Arc<PageCache>>,
 ) -> io::Result<LazyRestore> {
-    let blob = backend.get_blob(&layout::blob_name(seq))?.ok_or_else(|| {
-        io::Error::new(
-            io::ErrorKind::NotFound,
-            format!("no layout blob for checkpoint {seq}"),
-        )
-    })?;
+    refuse_quarantined(manager, backend.as_ref(), seq)?;
+    // Setup reads ride the same transient-retry schedule as the filler:
+    // a fabric hiccup during locator construction must not abort a
+    // restore the very next read would have served.
+    let retry = manager.config().retry;
+    let blob = retry
+        .run(|| backend.get_blob(&layout::blob_name(seq)))?
+        .ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::NotFound,
+                format!("no layout blob for checkpoint {seq}"),
+            )
+        })?;
     let layouts = layout::decode(&blob)?;
     // Resolve page → owning epoch up front (manifest metadata only; no
     // payload is materialised).
-    let locator = PageLocator::build(backend.as_ref(), seq)?;
+    let locator = retry.run(|| PageLocator::build(backend.as_ref(), seq))?;
     let page_bytes = ai_ckpt_mem::page_size();
     let ctl = Arc::clone(&manager.ctl);
     let shared = &ctl.shared;
@@ -418,7 +461,9 @@ pub fn restore_lazy(
         let counters = Arc::clone(&counters);
         std::thread::Builder::new()
             .name("ai-ckpt-restore".into())
-            .spawn(move || filler_loop(ctl, backend, cache, locator, order, stop, counters))?
+            .spawn(move || {
+                filler_loop(ctl, backend, cache, locator, order, stop, counters, retry)
+            })?
     };
     Ok(LazyRestore {
         state: RestoredState {
@@ -499,6 +544,13 @@ impl PendingPublish {
 /// predicted-access order. Runs until every marked page is filled, the
 /// handle asks it to stop, or storage fails (remaining pages are then
 /// poisoned — silent zeroes are not an option).
+///
+/// Faults on the payload-read path follow the error taxonomy: transient
+/// errors retry with bounded backoff, a corrupt read triggers
+/// `repair_epoch` on the backend (replica/parity/policy wrappers self-heal
+/// in place) and one final read, and only a permanent fault — or damage
+/// with no surviving redundant source — poisons the remaining pages.
+#[allow(clippy::too_many_arguments)]
 fn filler_loop(
     ctl: Arc<Ctl>,
     backend: Arc<dyn StorageBackend>,
@@ -507,6 +559,7 @@ fn filler_loop(
     order: Arc<Vec<u64>>,
     stop: Arc<AtomicBool>,
     counters: Arc<FillCounters>,
+    retry: RetryPolicy,
 ) -> io::Result<()> {
     // Checkpointing-machinery exemption, same as the committer threads: the
     // filler's allocations must never route into protected regions.
@@ -572,13 +625,27 @@ fn filler_loop(
             let epoch = locator
                 .epoch_of(page)
                 .expect("only image pages are marked for fill");
+            // Demand-fault reads never poison while a redundant source
+            // survives: transient faults back off and retry; a corrupt read
+            // asks the backend to repair the epoch in place, then reads the
+            // healed bytes once more. Errors never enter the cache (failed
+            // fills are not memoised), so a later retry re-reads storage.
+            let read_healed = |epoch: u64, page: u64| -> io::Result<Option<Vec<u8>>> {
+                match retry.run(|| backend.read_page_at(epoch, page)) {
+                    Err(e) if classify(&e) == FaultClass::Corrupt => {
+                        backend.repair_epoch(epoch).map_err(|_| e)?;
+                        backend.read_page_at(epoch, page)
+                    }
+                    other => other,
+                }
+            };
             let payload: &[u8] = match &cache {
                 Some(cache) => {
                     let mut loaded = false;
                     let data = cache
                         .get_or_load(ns, page, || {
                             loaded = true;
-                            backend.read_page_at(epoch, page)
+                            read_healed(epoch, page)
                         })?
                         .ok_or_else(|| {
                             io::Error::new(
@@ -597,7 +664,7 @@ fn filler_loop(
                     &scratch
                 }
                 None => {
-                    let data = backend.read_page_at(epoch, page)?.ok_or_else(|| {
+                    let data = read_healed(epoch, page)?.ok_or_else(|| {
                         io::Error::new(
                             io::ErrorKind::InvalidData,
                             format!("page {page} vanished from epoch {epoch}"),

@@ -5,7 +5,7 @@
 use std::time::Duration;
 
 use ai_ckpt_core::{EpochStats, LatencySnapshot};
-use ai_ckpt_storage::IoStats;
+use ai_ckpt_storage::{IntegrityStats, IoStats};
 
 /// Everything known about one checkpoint after it finished.
 #[derive(Debug, Clone, Default)]
@@ -124,6 +124,11 @@ pub struct RuntimeStats {
     /// appends/fsyncs (batched appends coalesce). Zero for backends without
     /// file I/O; wrapper backends report their children's totals.
     pub io: IoStats,
+    /// At-rest integrity scrubbing counters: epochs/records/bytes verified,
+    /// damage found, repairs performed and the current quarantine size. The
+    /// maintenance worker advances these one paced cycle per checkpoint
+    /// (`CkptConfig::scrub`); all zero when scrubbing is disabled.
+    pub integrity: IntegrityStats,
 }
 
 impl RuntimeStats {

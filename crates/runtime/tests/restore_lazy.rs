@@ -524,3 +524,76 @@ fn lazy_restore_falls_through_a_dying_fast_level() {
         cs.hits
     );
 }
+
+#[test]
+fn demand_fault_on_rotted_fast_tier_blocks_on_repair_and_heals() {
+    use ai_ckpt::restore_latest_lazy;
+    use ai_ckpt_storage::{corrupt_segment_region, SegmentRegion};
+
+    // A tiered stack caught in `drain_one`'s documented recovery window:
+    // the epoch's copy committed to the durable tier but the fast-tier
+    // eviction never happened (crash between the two), so BOTH tiers hold
+    // it — and then the fast copy rots. A demand fault on the rotted page
+    // reads the fast copy first, fails its CRC, and must block on the
+    // cross-tier repair and deliver the healed bytes; poisoning the page
+    // would be a silent-loss bug, because a perfectly good copy survives
+    // one tier down.
+    let fast_dir = tmpdir("heal-fast");
+    let slow_dir = tmpdir("heal-slow");
+    let cfg = small_cfg().with_committer_streams(1);
+    let ps = page_size();
+    const PAGES: usize = 8;
+    {
+        let backend: Arc<dyn StorageBackend> = Arc::new(
+            TieredBackend::new(
+                Box::new(FileBackend::open(&fast_dir).unwrap()),
+                Box::new(FileBackend::open(&slow_dir).unwrap()),
+                8,
+            )
+            .unwrap(),
+        );
+        let mgr = PageManager::with_shared_backend(cfg.clone(), Arc::clone(&backend)).unwrap();
+        let mut buf = mgr.alloc_protected_named("s", PAGES * ps).unwrap();
+        for (i, chunk) in buf.as_mut_slice().chunks_mut(ps).enumerate() {
+            chunk.fill(0x21 ^ i as u8);
+        }
+        mgr.checkpoint().unwrap();
+        mgr.wait_checkpoint().unwrap();
+        mgr.wait_maintenance_idle().unwrap(); // drain the copy to the slow tier
+    }
+    // Recreate the failed-eviction state: the fast tier holds exactly the
+    // bytes the drain had copied out (mirror the slow tier back), then rot
+    // one payload byte of that fast copy.
+    for entry in std::fs::read_dir(&slow_dir).unwrap() {
+        let entry = entry.unwrap();
+        std::fs::copy(entry.path(), fast_dir.join(entry.file_name())).unwrap();
+    }
+    corrupt_segment_region(&fast_dir, 1, SegmentRegion::Payload { byte: 5 }).unwrap();
+    let backend: Arc<dyn StorageBackend> = Arc::new(
+        TieredBackend::new(
+            Box::new(FileBackend::open(&fast_dir).unwrap()),
+            Box::new(FileBackend::open(&slow_dir).unwrap()),
+            8,
+        )
+        .unwrap(),
+    );
+
+    let mgr = PageManager::with_shared_backend(cfg.clone(), Arc::clone(&backend)).unwrap();
+    let mut lr = restore_latest_lazy(&mgr, Arc::clone(&backend), None)
+        .unwrap()
+        .unwrap();
+    // Touch every page up front: whichever record the flip landed in is
+    // read on demand, fails its CRC, and the filler must repair — not
+    // poison — before completing the fault.
+    for (i, chunk) in lr.state.buffers[0].as_slice().chunks(ps).enumerate() {
+        for &byte in chunk {
+            assert_eq!(byte, 0x21 ^ i as u8, "page {i} after in-fault heal");
+        }
+    }
+    lr.wait()
+        .expect("no page may be poisoned while the slow tier survives");
+
+    // The heal is durable, not a read-side patch: the fast tier's segment
+    // verifies clean again for every later reader.
+    assert!(backend.verify_epoch(1).unwrap().is_clean());
+}

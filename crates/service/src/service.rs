@@ -64,7 +64,7 @@ use ai_ckpt::{
     MaintenanceStats, PageManager, StatsProbe,
 };
 use ai_ckpt_core::{DrainPolicy, DrainQueue};
-use ai_ckpt_storage::{PolicyBackend, StorageBackend};
+use ai_ckpt_storage::{PolicyBackend, RetryPolicy, Scrubber, StorageBackend};
 
 use crate::quota::{TenantQuota, TokenBucket};
 use crate::stats::{ServiceStats, TenantStats};
@@ -115,6 +115,15 @@ struct Tenant {
     /// typed handle behind the per-level stats rollup.
     policy: Option<PolicyBackend>,
     compaction: CompactionPolicy,
+    /// The tenant manager's integrity scrubber — the *same* instance the
+    /// manager's restores consult for quarantine, so damage found on the
+    /// shared maintenance worker is refused by the tenant's own restore
+    /// calls. One paced cycle per tenant per maintenance pass; still no
+    /// new threads.
+    scrubber: Arc<Scrubber>,
+    /// Transient-fault backoff for this tenant's drain and scrub steps
+    /// (from its `CkptConfig::retry`).
+    retry: RetryPolicy,
     state: Mutex<TenantState>,
     maint: Mutex<MaintenanceStats>,
     detached: AtomicBool,
@@ -356,7 +365,10 @@ impl Inner {
             let Some(t) = self.tenants.lock().get(&item.tenant).cloned() else {
                 continue; // detached while queued
             };
-            match t.backend.drain_one() {
+            // Transient faults (a flaky link, an interrupted syscall) are
+            // absorbed by bounded backoff before the failure/requeue path
+            // runs; permanent faults surface immediately as before.
+            match t.retry.run(|| t.backend.drain_one()) {
                 Ok(Some(_)) => t.maint.lock().epochs_drained += 1,
                 // Already drained (synthetic barrier top-up, or a duplicate
                 // entry from the finalise/barrier race): nothing owed.
@@ -378,31 +390,43 @@ impl Inner {
         }
         let tenants: Vec<Arc<Tenant>> = self.tenants.lock().values().cloned().collect();
         for t in tenants {
-            if t.detached.load(Ordering::Acquire)
-                || t.compaction.is_disabled()
-                || t.compaction_disarmed.load(Ordering::Relaxed)
-            {
+            if t.detached.load(Ordering::Acquire) {
                 continue;
             }
-            let mut cycle = MaintenanceStats::default();
-            match compact_if_due(t.backend.as_ref(), t.compaction, &mut cycle) {
-                Ok(_) => {
-                    let mut ms = t.maint.lock();
-                    ms.compactions += cycle.compactions;
-                    ms.segments_removed += cycle.segments_removed;
-                    ms.bytes_reclaimed += cycle.bytes_reclaimed;
-                    ms.bytes_compacted += cycle.bytes_compacted;
-                }
-                Err(_) => {
-                    t.maint.lock().failures += 1;
-                    if !t.backend.supports_compaction() {
-                        // One recorded failure, then disarm — standalone
-                        // maintenance-worker behaviour.
-                        t.compaction_disarmed.store(true, Ordering::Relaxed);
-                    } else {
-                        had_failure = true;
+            if !t.compaction.is_disabled() && !t.compaction_disarmed.load(Ordering::Relaxed) {
+                let mut cycle = MaintenanceStats::default();
+                match compact_if_due(t.backend.as_ref(), t.compaction, &mut cycle) {
+                    Ok(_) => {
+                        let mut ms = t.maint.lock();
+                        ms.compactions += cycle.compactions;
+                        ms.segments_removed += cycle.segments_removed;
+                        ms.bytes_reclaimed += cycle.bytes_reclaimed;
+                        ms.bytes_compacted += cycle.bytes_compacted;
+                    }
+                    Err(_) => {
+                        t.maint.lock().failures += 1;
+                        if !t.backend.supports_compaction() {
+                            // One recorded failure, then disarm — standalone
+                            // maintenance-worker behaviour.
+                            t.compaction_disarmed.store(true, Ordering::Relaxed);
+                        } else {
+                            had_failure = true;
+                        }
                     }
                 }
+            }
+            // Advance the tenant's at-rest integrity scrub by one paced
+            // step, after the fold above so the settled chain is what gets
+            // verified. Corrupt findings are repaired or quarantined inside
+            // the scrubber (the tenant's restores share the quarantine
+            // set); only unrecovered transient/permanent read errors count
+            // as cycle failures.
+            if t.retry
+                .run(|| t.scrubber.cycle(t.backend.as_ref()))
+                .is_err()
+            {
+                t.maint.lock().failures += 1;
+                had_failure = true;
             }
         }
         had_failure
@@ -654,6 +678,7 @@ impl CkptService {
         }
         let id = self.inner.next_id.fetch_add(1, Ordering::Relaxed);
         let compaction = cfg.compaction;
+        let retry = cfg.retry;
         let manager = PageManager::attached(
             cfg,
             Arc::clone(&backend),
@@ -674,6 +699,8 @@ impl CkptService {
             backend: Arc::clone(&backend),
             policy,
             compaction,
+            scrubber: Arc::clone(manager.scrubber()),
+            retry,
             state: Mutex::new(TenantState {
                 quota,
                 bucket: TokenBucket::new(quota.flush_bandwidth),
@@ -745,6 +772,16 @@ impl CkptService {
         }
         for (id, t) in tenants {
             let mut runtime = t.probe.stats();
+            let integrity = runtime.integrity;
+            out.integrity.cycles += integrity.cycles;
+            out.integrity.epochs_verified += integrity.epochs_verified;
+            out.integrity.records_verified += integrity.records_verified;
+            out.integrity.bytes_verified += integrity.bytes_verified;
+            out.integrity.corrupt_epochs += integrity.corrupt_epochs;
+            out.integrity.epochs_repaired += integrity.epochs_repaired;
+            out.integrity.pages_repaired += integrity.pages_repaired;
+            out.integrity.repair_failures += integrity.repair_failures;
+            out.integrity.epochs_quarantined += integrity.epochs_quarantined;
             let maint = *t.maint.lock();
             runtime.maintenance = maint;
             out.maintenance.compactions += maint.compactions;

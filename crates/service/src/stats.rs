@@ -1,7 +1,7 @@
 //! Service-wide observability: per-tenant rollups plus pool-level counters.
 
 use ai_ckpt::{MaintenanceStats, RuntimeStats};
-use ai_ckpt_storage::LevelStats;
+use ai_ckpt_storage::{IntegrityStats, LevelStats};
 
 /// One tenant's slice of the service: its full runtime stats (the same
 /// shape a standalone [`PageManager::stats`](ai_ckpt::PageManager::stats)
@@ -61,6 +61,11 @@ pub struct ServiceStats {
     pub drain_backlog: usize,
     /// Shared maintenance worker counters aggregated over all tenants.
     pub maintenance: MaintenanceStats,
+    /// At-rest integrity scrub counters aggregated over all tenants (the
+    /// shared maintenance worker paces one scrub cycle per tenant per
+    /// pass). Per-tenant numbers are in each
+    /// [`TenantStats::runtime`]`.integrity`.
+    pub integrity: IntegrityStats,
 }
 
 impl ServiceStats {

@@ -56,7 +56,9 @@
 use std::collections::BTreeMap;
 use std::io;
 
+use crate::errors::{classify, FaultClass};
 use crate::io::IoStats;
+use crate::scrub::{RecordMeta, RepairReport, VerifyReport};
 
 /// One open epoch-commit session. See the module docs for the contract.
 pub trait EpochWriter: Send + Sync {
@@ -336,6 +338,102 @@ pub trait StorageBackend: Send + Sync {
     fn io_stats(&self) -> IoStats {
         IoStats::default()
     }
+
+    /// Validate every stored record of a finished epoch — per-record CRCs,
+    /// decodability, manifest↔segment agreement — *without* materialising
+    /// a restore, and report the damage instead of erroring on the first
+    /// bad byte. Corruption is a **finding**, not a failure: only
+    /// transport-level errors (epoch missing, tier unreachable) return
+    /// `Err`.
+    ///
+    /// The default streams [`StorageBackend::read_epoch`]; when that trips
+    /// an integrity error it falls back to per-page random reads to
+    /// localise which records are damaged. Backends with a frame index
+    /// override this to walk frames directly and to keep going past
+    /// damage the streaming path cannot step over.
+    fn verify_epoch(&self, epoch: u64) -> io::Result<VerifyReport> {
+        let mut report = VerifyReport::new(epoch);
+        let stream = self.read_epoch(epoch, &mut |_, d| {
+            report.records += 1;
+            report.bytes += d.len() as u64;
+        });
+        let err = match stream {
+            Ok(()) => return Ok(report),
+            Err(e) if classify(&e) == FaultClass::Corrupt => e,
+            Err(e) => return Err(e),
+        };
+        // The stream died on damage: localise it page by page. Counts are
+        // rebuilt from scratch — the partial stream tally double-counts
+        // nothing that way.
+        report.records = 0;
+        report.bytes = 0;
+        let ids = match self.epoch_page_ids(epoch) {
+            Ok(ids) => ids,
+            Err(_) => {
+                // Not even the frame walk survives: structural damage.
+                report.structural.push(err.to_string());
+                return Ok(report);
+            }
+        };
+        let mut seen = std::collections::BTreeSet::new();
+        for id in ids {
+            if !seen.insert(id) {
+                continue;
+            }
+            match self.read_page_at(epoch, id) {
+                Ok(Some(d)) => {
+                    report.records += 1;
+                    report.bytes += d.len() as u64;
+                }
+                Ok(None) => {}
+                Err(e) if classify(&e) == FaultClass::Corrupt => report.note_corrupt(id),
+                Err(e) => return Err(e),
+            }
+        }
+        if report.is_clean() {
+            // Every record reads fine individually, yet the stream failed:
+            // the damage is structural (e.g. the manifest's record count
+            // disagrees with the segments).
+            report.structural.push(err.to_string());
+        }
+        Ok(report)
+    }
+
+    /// Atomically replace a finished epoch's stored records with
+    /// `records`, preserving the epoch's chain kind (unlike
+    /// [`StorageBackend::install_compacted`], which folds to a full
+    /// segment). This is the rewrite primitive repair paths install
+    /// healed bytes through; it must work even when the existing segment
+    /// is unreadable. Unsupported by default.
+    fn rewrite_epoch(&self, epoch: u64, records: &[(u64, Vec<u8>)]) -> io::Result<()> {
+        let _ = (epoch, records);
+        Err(io::Error::new(
+            io::ErrorKind::Unsupported,
+            format!("backend cannot rewrite epoch {epoch}"),
+        ))
+    }
+
+    /// Repair a damaged epoch from the best surviving redundant source
+    /// (replica member, parity reconstruction, another policy level),
+    /// rewriting the damaged bytes in place via
+    /// [`StorageBackend::rewrite_epoch`]. Backends with no redundancy
+    /// fail by default — the scrubber then quarantines the epoch rather
+    /// than serving bad bytes.
+    fn repair_epoch(&self, epoch: u64) -> io::Result<RepairReport> {
+        Err(io::Error::new(
+            io::ErrorKind::Unsupported,
+            format!("no redundant source to repair epoch {epoch}"),
+        ))
+    }
+
+    /// Frame metadata (uncompressed length, stored CRC) of a page's record
+    /// in a finished epoch, without reading or validating its payload.
+    /// `None` when the epoch has no record for the page, or when the
+    /// backend keeps no per-record metadata (the default).
+    fn record_meta(&self, epoch: u64, page: u64) -> io::Result<Option<RecordMeta>> {
+        let _ = (epoch, page);
+        Ok(None)
+    }
 }
 
 // A boxed backend is a backend: composed stacks (`ParityBackend<Box<dyn
@@ -431,6 +529,22 @@ impl<B: StorageBackend + ?Sized> StorageBackend for Box<B> {
 
     fn io_stats(&self) -> IoStats {
         (**self).io_stats()
+    }
+
+    fn verify_epoch(&self, epoch: u64) -> io::Result<VerifyReport> {
+        (**self).verify_epoch(epoch)
+    }
+
+    fn rewrite_epoch(&self, epoch: u64, records: &[(u64, Vec<u8>)]) -> io::Result<()> {
+        (**self).rewrite_epoch(epoch, records)
+    }
+
+    fn repair_epoch(&self, epoch: u64) -> io::Result<RepairReport> {
+        (**self).repair_epoch(epoch)
+    }
+
+    fn record_meta(&self, epoch: u64, page: u64) -> io::Result<Option<RecordMeta>> {
+        (**self).record_meta(epoch, page)
     }
 }
 

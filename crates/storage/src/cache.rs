@@ -201,6 +201,32 @@ impl PageCache {
         }
     }
 
+    /// Drop `(ns, page)` if cached. Repair rewrote the stored bytes; a
+    /// stale payload must not outlive them.
+    pub fn remove(&self, ns: u64, page: u64) {
+        let key = (ns, page);
+        let mut shard = self.shard(key).lock();
+        if let Some(old) = shard.entries.remove(&key) {
+            shard.lru.remove(&old.stamp);
+            shard.bytes -= old.data.len();
+        }
+    }
+
+    /// Drop every cached page of `ns` — a whole-segment rewrite (or a
+    /// quarantine) invalidates the epoch wholesale.
+    pub fn remove_ns(&self, ns: u64) {
+        for shard in self.shards.iter() {
+            let mut s = shard.lock();
+            let victims: Vec<Key> = s.entries.keys().copied().filter(|k| k.0 == ns).collect();
+            for key in victims {
+                if let Some(old) = s.entries.remove(&key) {
+                    s.lru.remove(&old.stamp);
+                    s.bytes -= old.data.len();
+                }
+            }
+        }
+    }
+
     /// Current counters.
     pub fn stats(&self) -> CacheStats {
         let mut bytes = 0u64;
@@ -304,6 +330,28 @@ mod tests {
         // Next attempt retries the load.
         let got = c.get_or_load(1, 1, || Ok(Some(vec![5]))).unwrap().unwrap();
         assert_eq!(got.as_ref(), &[5]);
+    }
+
+    #[test]
+    fn repair_invalidation_evicts_stale_entries() {
+        let c = PageCache::new(1 << 20);
+        c.insert(3, 1, Arc::from(vec![1; 8]));
+        c.insert(3, 2, Arc::from(vec![2; 8]));
+        c.insert(4, 1, Arc::from(vec![3; 8]));
+        // Page-granular invalidation after a targeted repair.
+        c.remove(3, 1);
+        assert!(c.get(3, 1).is_none(), "repaired page evicted");
+        assert_eq!(c.get(3, 2).unwrap().as_ref(), &[2; 8]);
+        // Whole-epoch invalidation after a segment rewrite.
+        c.remove_ns(3);
+        assert!(c.get(3, 2).is_none());
+        assert_eq!(
+            c.get(4, 1).unwrap().as_ref(),
+            &[3; 8],
+            "other epochs keep their entries"
+        );
+        let s = c.stats();
+        assert_eq!((s.entries, s.bytes), (1, 8));
     }
 
     /// The degraded-read regression guard: when the level behind a fill

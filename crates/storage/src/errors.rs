@@ -1,0 +1,238 @@
+//! Fault taxonomy and bounded retry for storage operations.
+//!
+//! Every `io::Error` crossing the [`StorageBackend`](crate::StorageBackend)
+//! boundary falls into one of three classes, and each class has exactly one
+//! correct reaction:
+//!
+//! | class | meaning | reaction |
+//! |---|---|---|
+//! | [`FaultClass::Transient`] | the operation may succeed if simply retried (EINTR/EAGAIN-shaped hiccups, timeouts) | bounded exponential backoff via [`RetryPolicy`] |
+//! | [`FaultClass::Corrupt`] | the bytes are wrong, not the transport (CRC mismatch, bad magic, torn frame) | repair from a redundant source, else quarantine — **never** retry: re-reading rot yields the same rot |
+//! | [`FaultClass::Permanent`] | the operation will keep failing (medium gone, level down, logic error) | surface it; callers keep their suspect/deferred semantics |
+//!
+//! The backoff schedule is deterministic: jitter comes from a
+//! [`SplitMix64`] stream seeded by the policy, so two runs with the same
+//! seed sleep the same intervals — fault-injection tests can assert exact
+//! attempt counts without flaking.
+
+use std::io;
+use std::time::Duration;
+
+use ai_ckpt_core::rng::SplitMix64;
+
+/// What a storage fault means for the caller.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultClass {
+    /// Likely to succeed on retry (interrupted syscall, timeout, busy).
+    Transient,
+    /// Will keep failing; retrying is wasted work.
+    Permanent,
+    /// The stored bytes are damaged; the fix is repair, not retry.
+    Corrupt,
+}
+
+/// Classify an `io::Error` into the taxonomy above.
+///
+/// The mapping keys off [`io::ErrorKind`]: the whole crate reports
+/// integrity damage as `InvalidData` (CRC mismatches, bad magic, torn
+/// frames, manifest disagreement) and the injected transient faults use
+/// `Interrupted`, so kind is a faithful carrier. Everything unrecognised
+/// is conservatively permanent — spurious retries against a dead medium
+/// are worse than a prompt error.
+pub fn classify(err: &io::Error) -> FaultClass {
+    match err.kind() {
+        io::ErrorKind::Interrupted | io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut => {
+            FaultClass::Transient
+        }
+        io::ErrorKind::InvalidData => FaultClass::Corrupt,
+        _ => FaultClass::Permanent,
+    }
+}
+
+/// Construct the canonical transient fault (used by the injection
+/// machinery and available to tests).
+pub fn transient(msg: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::Interrupted, msg.to_string())
+}
+
+/// Bounded exponential backoff with deterministic jitter.
+///
+/// `run` retries an operation while its error classifies as
+/// [`FaultClass::Transient`], sleeping `base * 2^(attempt-1)` (capped at
+/// `cap`) scaled by a jitter factor in `[0.5, 1.0)` drawn from a
+/// seed-pinned [`SplitMix64`]. Corrupt and permanent faults return
+/// immediately — the retry layer never papers over rot or dead media.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts including the first (1 = no retries).
+    pub max_attempts: u32,
+    /// Backoff before the first retry.
+    pub base: Duration,
+    /// Ceiling on any single backoff sleep.
+    pub cap: Duration,
+    /// Seed of the jitter stream (same seed ⇒ same schedule).
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            max_attempts: 4,
+            base: Duration::from_millis(1),
+            cap: Duration::from_millis(50),
+            seed: 0xA1_C4_97,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that never retries (single attempt).
+    pub fn none() -> Self {
+        Self {
+            max_attempts: 1,
+            ..Self::default()
+        }
+    }
+
+    /// Builder-style seed override (lets a config derive per-component
+    /// jitter streams from one root seed).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// The backoff before retry number `retry` (1-based), jittered by
+    /// `rng`. Exposed for tests asserting the schedule is bounded.
+    pub fn delay(&self, retry: u32, rng: &mut SplitMix64) -> Duration {
+        let exp = self.base.saturating_mul(1u32 << (retry - 1).min(16));
+        let capped = exp.min(self.cap);
+        capped.mul_f64(0.5 + rng.next_f64() * 0.5)
+    }
+
+    /// Run `op`, retrying transient faults with backoff. Returns the first
+    /// success or the first non-transient error (or the last transient one
+    /// once attempts are exhausted).
+    pub fn run<T>(&self, mut op: impl FnMut() -> io::Result<T>) -> io::Result<T> {
+        self.run_counted(&mut op).map(|(v, _)| v)
+    }
+
+    /// [`RetryPolicy::run`], also reporting how many attempts were made —
+    /// fault-injection tests assert exact counts.
+    pub fn run_counted<T>(&self, mut op: impl FnMut() -> io::Result<T>) -> io::Result<(T, u32)> {
+        let mut rng = SplitMix64::new(self.seed);
+        let attempts = self.max_attempts.max(1);
+        let mut attempt = 1u32;
+        loop {
+            match op() {
+                Ok(v) => return Ok((v, attempt)),
+                Err(e) if classify(&e) == FaultClass::Transient && attempt < attempts => {
+                    std::thread::sleep(self.delay(attempt, &mut rng));
+                    attempt += 1;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU32, Ordering};
+
+    #[test]
+    fn classify_maps_kinds() {
+        assert_eq!(classify(&transient("x")), FaultClass::Transient);
+        assert_eq!(
+            classify(&io::Error::new(io::ErrorKind::TimedOut, "t")),
+            FaultClass::Transient
+        );
+        assert_eq!(
+            classify(&io::Error::new(io::ErrorKind::InvalidData, "crc")),
+            FaultClass::Corrupt
+        );
+        assert_eq!(
+            classify(&io::Error::other("injected storage failure")),
+            FaultClass::Permanent
+        );
+        assert_eq!(
+            classify(&io::Error::new(io::ErrorKind::NotFound, "gone")),
+            FaultClass::Permanent
+        );
+    }
+
+    #[test]
+    fn retries_transient_until_success_and_counts_attempts() {
+        let p = RetryPolicy {
+            base: Duration::from_micros(10),
+            ..RetryPolicy::default()
+        };
+        let calls = AtomicU32::new(0);
+        let (v, attempts) = p
+            .run_counted(|| {
+                if calls.fetch_add(1, Ordering::SeqCst) < 2 {
+                    Err(transient("burst"))
+                } else {
+                    Ok(42)
+                }
+            })
+            .unwrap();
+        assert_eq!((v, attempts), (42, 3));
+        assert_eq!(calls.load(Ordering::SeqCst), 3);
+    }
+
+    #[test]
+    fn gives_up_after_max_attempts() {
+        let p = RetryPolicy {
+            max_attempts: 3,
+            base: Duration::from_micros(10),
+            ..RetryPolicy::default()
+        };
+        let calls = AtomicU32::new(0);
+        let err = p
+            .run(|| -> io::Result<()> {
+                calls.fetch_add(1, Ordering::SeqCst);
+                Err(transient("forever"))
+            })
+            .unwrap_err();
+        assert_eq!(classify(&err), FaultClass::Transient);
+        assert_eq!(calls.load(Ordering::SeqCst), 3, "exactly max_attempts");
+    }
+
+    #[test]
+    fn permanent_and_corrupt_never_retry() {
+        for e in [
+            io::Error::other("dead"),
+            io::Error::new(io::ErrorKind::InvalidData, "rot"),
+        ] {
+            let p = RetryPolicy::default();
+            let calls = AtomicU32::new(0);
+            let kind = e.kind();
+            let res = p.run(|| -> io::Result<()> {
+                calls.fetch_add(1, Ordering::SeqCst);
+                Err(io::Error::new(kind, "again"))
+            });
+            assert!(res.is_err());
+            assert_eq!(calls.load(Ordering::SeqCst), 1, "single attempt");
+        }
+    }
+
+    #[test]
+    fn backoff_is_bounded_and_deterministic() {
+        let p = RetryPolicy {
+            max_attempts: 8,
+            base: Duration::from_millis(1),
+            cap: Duration::from_millis(20),
+            seed: 7,
+        };
+        let mut a = SplitMix64::new(p.seed);
+        let mut b = SplitMix64::new(p.seed);
+        for retry in 1..8 {
+            let d1 = p.delay(retry, &mut a);
+            let d2 = p.delay(retry, &mut b);
+            assert_eq!(d1, d2, "same seed, same schedule");
+            assert!(d1 <= Duration::from_millis(20), "capped");
+            assert!(d1 >= Duration::from_micros(500), "at least half the base");
+        }
+    }
+}

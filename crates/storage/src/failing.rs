@@ -7,7 +7,43 @@ use std::io;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
+use parking_lot::Mutex;
+
 use crate::backend::{EpochWriter, StorageBackend};
+use crate::scrub::{RecordMeta, RepairReport, VerifyReport};
+
+/// Operations a [`FailureControl`] can arm a *transient* burst against:
+/// the next `n` calls fail with an `Interrupted`-kind error (the
+/// [`Transient`](crate::errors::FaultClass::Transient) class), after which
+/// the op heals itself — the EINTR-shaped hiccup the retry layer exists
+/// for, as opposed to the permanent flags which stay armed until
+/// [`FailureControl::heal`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultOp {
+    /// `begin_epoch` (the session never opens).
+    BeginEpoch,
+    /// `EpochWriter::finish` (the commit barrier).
+    Finish,
+    /// `put_blob`.
+    PutBlob,
+    /// `remove_epoch` / `remove_epochs`.
+    RemoveEpoch,
+    /// `drain_one` (the maintenance drain path).
+    DrainOne,
+    /// `install_compacted` (the compaction commit point).
+    InstallCompacted,
+    /// The payload read entry points (`read_epoch`, `epoch_page_ids`,
+    /// `read_page_at`).
+    Read,
+}
+
+impl FaultOp {
+    const COUNT: usize = 7;
+
+    fn idx(self) -> usize {
+        self as usize
+    }
+}
 
 /// Shared knob controlling when the wrapped backend starts failing. The
 /// counters are atomics: failure budgets stay exact when multiple committer
@@ -44,6 +80,13 @@ pub struct FailureControl {
     /// each store of a resilience level kills the level in a single switch,
     /// and liveness probes (`epochs()`) observe the loss immediately.
     killed: Arc<AtomicU64>,
+    /// Per-[`FaultOp`] transient budgets: each entry counts failures still
+    /// owed; ops decrement on the way through and fail `Interrupted` while
+    /// non-zero (self-healing bursts).
+    transient: Arc<[AtomicU64; FaultOp::COUNT]>,
+    /// Armed at-rest corruption: `(epoch, page, byte)` triples whose reads
+    /// fail `InvalidData` until the epoch is rewritten.
+    corrupt: Arc<Mutex<Vec<(u64, u64, u64)>>>,
 }
 
 impl FailureControl {
@@ -77,6 +120,87 @@ impl FailureControl {
         ] {
             flag.store(0, Ordering::SeqCst);
         }
+        for budget in self.transient.iter() {
+            budget.store(0, Ordering::SeqCst);
+        }
+        // Armed corruption survives a heal on purpose: recovering the
+        // transport cannot un-flip stored bytes. Only a rewrite (the
+        // repair path) clears it.
+    }
+
+    /// Arm a transient burst: the next `n` calls of `op` fail with an
+    /// `Interrupted`-kind error (classified
+    /// [`Transient`](crate::errors::FaultClass::Transient)), after which
+    /// the op succeeds again without any `heal` — a fault that fixes
+    /// itself, which is exactly what the retry layer must absorb.
+    pub fn fail_next_n(&self, op: FaultOp, n: u64) {
+        self.transient[op.idx()].store(n, Ordering::SeqCst);
+    }
+
+    /// Transient failures still owed for `op` (0 = the burst is spent).
+    pub fn transient_remaining(&self, op: FaultOp) -> u64 {
+        self.transient[op.idx()].load(Ordering::SeqCst)
+    }
+
+    /// Arm at-rest corruption: every read touching `page` of `epoch`
+    /// fails `InvalidData` — as if stored byte `byte` had rotted below
+    /// the CRC — until the epoch is rewritten through the repair path
+    /// ([`StorageBackend::rewrite_epoch`]). [`heal`](FailureControl::heal)
+    /// deliberately does *not* clear this: corruption is data damage, not
+    /// transport unavailability.
+    pub fn corrupt_read_payload(&self, epoch: u64, page: u64, byte: u64) {
+        self.corrupt.lock().push((epoch, page, byte));
+    }
+
+    /// Number of corruption entries still armed (test observability).
+    pub fn corruptions_armed(&self) -> usize {
+        self.corrupt.lock().len()
+    }
+
+    /// Consume one transient token for `op`, failing if one was armed.
+    fn take_transient(&self, op: FaultOp) -> io::Result<()> {
+        let budget = &self.transient[op.idx()];
+        let mut cur = budget.load(Ordering::SeqCst);
+        while cur > 0 {
+            match budget.compare_exchange(cur, cur - 1, Ordering::SeqCst, Ordering::SeqCst) {
+                Ok(_) => return Err(crate::errors::transient("injected transient fault")),
+                Err(actual) => cur = actual,
+            }
+        }
+        Ok(())
+    }
+
+    /// The armed corruption hit for `(epoch, page)`, if any.
+    fn corrupt_hit(&self, epoch: u64, page: u64) -> Option<u64> {
+        self.corrupt
+            .lock()
+            .iter()
+            .find(|(e, p, _)| *e == epoch && *p == page)
+            .map(|(_, _, byte)| *byte)
+    }
+
+    /// The first armed corruption for `epoch`, if any.
+    fn first_corrupt(&self, epoch: u64) -> Option<(u64, u64)> {
+        self.corrupt
+            .lock()
+            .iter()
+            .find(|(e, _, _)| *e == epoch)
+            .map(|(_, page, byte)| (*page, *byte))
+    }
+
+    /// All pages armed corrupt for `epoch`.
+    fn corrupt_pages_for(&self, epoch: u64) -> Vec<u64> {
+        self.corrupt
+            .lock()
+            .iter()
+            .filter(|(e, _, _)| *e == epoch)
+            .map(|(_, p, _)| *p)
+            .collect()
+    }
+
+    /// A rewrite replaced the epoch's stored bytes: the armed rot is gone.
+    fn clear_corruption(&self, epoch: u64) {
+        self.corrupt.lock().retain(|(e, _, _)| *e != epoch);
     }
 
     /// Fail every operation — reads, writes, the whole chain API — as if
@@ -198,6 +322,13 @@ fn injected() -> io::Error {
     io::Error::other("injected storage failure")
 }
 
+fn corrupt_injected(epoch: u64, page: u64, byte: u64) -> io::Error {
+    io::Error::new(
+        io::ErrorKind::InvalidData,
+        format!("injected corrupt payload for page {page} in epoch {epoch} (stored byte {byte})"),
+    )
+}
+
 /// Open-epoch session that consumes one failure token per record.
 struct FailingEpochWriter {
     inner: Box<dyn EpochWriter>,
@@ -226,6 +357,7 @@ impl EpochWriter for FailingEpochWriter {
 
     fn finish(&self) -> io::Result<()> {
         self.control.gate(&self.control.fail_finish)?;
+        self.control.take_transient(FaultOp::Finish)?;
         self.inner.finish()
     }
 
@@ -237,6 +369,7 @@ impl EpochWriter for FailingEpochWriter {
 impl<B: StorageBackend> StorageBackend for FailingBackend<B> {
     fn begin_epoch(&self, epoch: u64) -> io::Result<Box<dyn EpochWriter>> {
         self.control.gate(&self.control.fail_begin_epoch)?;
+        self.control.take_transient(FaultOp::BeginEpoch)?;
         Ok(Box::new(FailingEpochWriter {
             inner: self.inner.begin_epoch(epoch)?,
             control: self.control.clone(),
@@ -245,6 +378,7 @@ impl<B: StorageBackend> StorageBackend for FailingBackend<B> {
 
     fn put_blob(&self, name: &str, data: &[u8]) -> io::Result<()> {
         self.control.gate(&self.control.fail_put_blob)?;
+        self.control.take_transient(FaultOp::PutBlob)?;
         self.inner.put_blob(name, data)
     }
 
@@ -260,16 +394,29 @@ impl<B: StorageBackend> StorageBackend for FailingBackend<B> {
 
     fn read_epoch(&self, epoch: u64, visit: &mut dyn FnMut(u64, &[u8])) -> io::Result<()> {
         self.control.read_gate()?;
+        self.control.take_transient(FaultOp::Read)?;
+        // A stream cannot step over rot: the first armed page of the epoch
+        // fails the whole read, exactly as a real CRC mismatch would.
+        if let Some((page, byte)) = self.control.first_corrupt(epoch) {
+            return Err(corrupt_injected(epoch, page, byte));
+        }
         self.inner.read_epoch(epoch, visit)
     }
 
     fn epoch_page_ids(&self, epoch: u64) -> io::Result<Vec<u64>> {
+        // The frame walk survives payload rot (ids live in frames), so
+        // armed corruption does not fire here — only gates and bursts.
         self.control.read_gate()?;
+        self.control.take_transient(FaultOp::Read)?;
         self.inner.epoch_page_ids(epoch)
     }
 
     fn read_page_at(&self, epoch: u64, page: u64) -> io::Result<Option<Vec<u8>>> {
         self.control.read_gate()?;
+        self.control.take_transient(FaultOp::Read)?;
+        if let Some(byte) = self.control.corrupt_hit(epoch, page) {
+            return Err(corrupt_injected(epoch, page, byte));
+        }
         self.inner.read_page_at(epoch, page)
     }
 
@@ -318,16 +465,19 @@ impl<B: StorageBackend> StorageBackend for FailingBackend<B> {
         records: &[(u64, Vec<u8>)],
     ) -> io::Result<()> {
         self.control.gate(&self.control.fail_install_compacted)?;
+        self.control.take_transient(FaultOp::InstallCompacted)?;
         self.inner.install_compacted(from, into, records)
     }
 
     fn remove_epoch(&self, epoch: u64) -> io::Result<()> {
         self.control.gate(&self.control.fail_remove_epoch)?;
+        self.control.take_transient(FaultOp::RemoveEpoch)?;
         self.inner.remove_epoch(epoch)
     }
 
     fn remove_epochs(&self, epochs: &[u64]) -> io::Result<()> {
         self.control.gate(&self.control.fail_remove_epoch)?;
+        self.control.take_transient(FaultOp::RemoveEpoch)?;
         self.inner.remove_epochs(epochs)
     }
 
@@ -337,6 +487,7 @@ impl<B: StorageBackend> StorageBackend for FailingBackend<B> {
 
     fn drain_one(&self) -> io::Result<Option<u64>> {
         self.control.gate(&self.control.fail_drain_one)?;
+        self.control.take_transient(FaultOp::DrainOne)?;
         self.inner.drain_one()
     }
 
@@ -347,6 +498,41 @@ impl<B: StorageBackend> StorageBackend for FailingBackend<B> {
     fn high_water(&self) -> io::Result<Option<u64>> {
         self.control.read_gate()?;
         self.inner.high_water()
+    }
+
+    fn verify_epoch(&self, epoch: u64) -> io::Result<VerifyReport> {
+        self.control.read_gate()?;
+        let mut report = self.inner.verify_epoch(epoch)?;
+        // Armed rot is real damage as far as readers are concerned — the
+        // scrub surface must report it even though the inner store's bytes
+        // are fine.
+        for page in self.control.corrupt_pages_for(epoch) {
+            report.note_corrupt(page);
+            report.records = report.records.saturating_sub(1);
+        }
+        Ok(report)
+    }
+
+    fn rewrite_epoch(&self, epoch: u64, records: &[(u64, Vec<u8>)]) -> io::Result<()> {
+        // The rewrite shares `install_compacted`'s injection point: both
+        // are the atomic install path.
+        self.control.gate(&self.control.fail_install_compacted)?;
+        self.inner.rewrite_epoch(epoch, records)?;
+        // The stored bytes were replaced wholesale: the armed rot is gone.
+        self.control.clear_corruption(epoch);
+        Ok(())
+    }
+
+    fn repair_epoch(&self, epoch: u64) -> io::Result<RepairReport> {
+        if self.control.is_killed() {
+            return Err(injected());
+        }
+        self.inner.repair_epoch(epoch)
+    }
+
+    fn record_meta(&self, epoch: u64, page: u64) -> io::Result<Option<RecordMeta>> {
+        self.control.read_gate()?;
+        self.inner.record_meta(epoch, page)
     }
 }
 
@@ -487,6 +673,56 @@ mod tests {
         ctl.heal();
         assert!(a.epochs().unwrap().is_empty());
         assert!(b.epochs().unwrap().is_empty());
+    }
+
+    #[test]
+    fn transient_bursts_self_heal_without_a_heal_call() {
+        use crate::backend::write_epoch;
+        let (b, ctl) = FailingBackend::new(MemoryBackend::new());
+        write_epoch(&b, 1, vec![(0, vec![1])]).unwrap();
+        ctl.fail_next_n(FaultOp::Read, 2);
+        for _ in 0..2 {
+            assert_eq!(
+                b.read_page_at(1, 0).unwrap_err().kind(),
+                io::ErrorKind::Interrupted,
+                "transient class, not permanent"
+            );
+        }
+        assert_eq!(b.read_page_at(1, 0).unwrap().unwrap(), vec![1]);
+        assert_eq!(ctl.transient_remaining(FaultOp::Read), 0);
+        ctl.fail_next_n(FaultOp::DrainOne, 1);
+        assert!(b.drain_one().is_err());
+        assert_eq!(b.drain_one().unwrap(), None, "burst spent");
+        ctl.fail_next_n(FaultOp::Finish, 1);
+        let w = b.begin_epoch(2).unwrap();
+        w.write_pages(&[(0, &[2])]).unwrap();
+        assert_eq!(w.finish().unwrap_err().kind(), io::ErrorKind::Interrupted);
+        w.finish().unwrap();
+        assert_eq!(b.epochs().unwrap(), vec![1, 2]);
+    }
+
+    #[test]
+    fn armed_corruption_fails_reads_until_a_rewrite() {
+        use crate::backend::write_epoch;
+        let (b, ctl) = FailingBackend::new(MemoryBackend::new());
+        write_epoch(&b, 1, vec![(0, vec![1]), (1, vec![2])]).unwrap();
+        ctl.corrupt_read_payload(1, 1, 0);
+        assert_eq!(
+            b.read_page_at(1, 1).unwrap_err().kind(),
+            io::ErrorKind::InvalidData,
+            "corrupt class"
+        );
+        assert_eq!(b.read_page_at(1, 0).unwrap().unwrap(), vec![1]);
+        assert!(b.read_epoch(1, &mut |_, _| {}).is_err());
+        assert_eq!(b.verify_epoch(1).unwrap().corrupt_pages, vec![1]);
+        // heal() fixes transport faults, not rot.
+        ctl.heal();
+        assert!(b.read_page_at(1, 1).is_err());
+        // The repair path's rewrite replaces the stored bytes: rot gone.
+        b.rewrite_epoch(1, &[(0, vec![1]), (1, vec![2])]).unwrap();
+        assert_eq!(ctl.corruptions_armed(), 0);
+        assert_eq!(b.read_page_at(1, 1).unwrap().unwrap(), vec![2]);
+        assert!(b.verify_epoch(1).unwrap().is_clean());
     }
 
     #[test]

@@ -96,6 +96,7 @@ use crate::checksum::crc64;
 use crate::codec::{self, Compression, Encoding};
 use crate::io::{pwritev_full, AlignedBuf, IoCounters, IoStats};
 use crate::manifest::{self, ManifestRecord, RecordKind};
+use crate::scrub::{RecordMeta, RepairReport, VerifyReport};
 
 /// Magic prefix of a version-1 segment file (raw records; still readable).
 pub const SEGMENT_MAGIC_V1: &[u8; 8] = b"AICKSEG1";
@@ -828,7 +829,8 @@ impl StorageBackend for FileBackend {
         let mut stored = vec![0u8; loc.stored_len as usize];
         index.files[loc.file as usize].read_exact_at(&mut stored, loc.offset)?;
         self.shared.io.page_reads.fetch_add(1, Ordering::Relaxed);
-        let decoded = codec::decode(loc.enc, &stored, loc.raw_len as usize)?;
+        let enc = Encoding::from_u8(loc.enc)?;
+        let decoded = codec::decode(enc, &stored, loc.raw_len as usize)?;
         let payload = decoded.unwrap_or(stored);
         if crc64(&payload) != loc.crc {
             return Err(io::Error::new(
@@ -1003,6 +1005,173 @@ impl StorageBackend for FileBackend {
         Ok(())
     }
 
+    fn verify_epoch(&self, epoch: u64) -> io::Result<VerifyReport> {
+        let rec = self.live_record(epoch)?;
+        let mut report = VerifyReport::new(epoch);
+        let paths = match rec.kind {
+            RecordKind::Full => vec![Self::full_path(&self.dir, epoch)],
+            _ => delta_shard_files(&self.dir, epoch)?,
+        };
+        if paths.is_empty() {
+            report
+                .structural
+                .push(format!("epoch {epoch}: segment file missing"));
+            return Ok(report);
+        }
+        let mut walk_clean = true;
+        for path in &paths {
+            let sv = match verify_segment_file(path, epoch) {
+                Ok(sv) => sv,
+                Err(e) if e.kind() == io::ErrorKind::NotFound => {
+                    walk_clean = false;
+                    report
+                        .structural
+                        .push(format!("epoch {epoch}: shard vanished mid-verify"));
+                    continue;
+                }
+                Err(e) => return Err(e),
+            };
+            report.records += sv.records;
+            report.bytes += sv.payload_bytes;
+            for page in sv.corrupt {
+                report.note_corrupt(page);
+            }
+            if let Some(s) = sv.structural {
+                walk_clean = false;
+                report.structural.push(s);
+            }
+        }
+        // Only a clean walk can meaningfully disagree with the manifest: a
+        // truncated shard already under-counts by construction.
+        if walk_clean && report.records != rec.records {
+            report.structural.push(format!(
+                "epoch {epoch}: manifest committed {} records but segments hold {}",
+                rec.records, report.records
+            ));
+        }
+        Ok(report)
+    }
+
+    fn rewrite_epoch(&self, epoch: u64, records: &[(u64, Vec<u8>)]) -> io::Result<()> {
+        let rec = self.live_record(epoch)?;
+        let final_path = match rec.kind {
+            RecordKind::Full => Self::full_path(&self.dir, epoch),
+            _ => Self::segment_path(&self.dir, epoch),
+        };
+        // 1. Stage the replacement segment and make it durable. The old
+        //    segment files are never read — repair must work when they are
+        //    arbitrarily damaged.
+        let tmp = final_path.with_extension("seg.tmp");
+        let mut payload_bytes = 0u64;
+        {
+            let file = File::create(&tmp)?;
+            let mut w = BufWriter::with_capacity(1 << 20, file);
+            w.write_all(SEGMENT_MAGIC_V2)?;
+            w.write_all(&epoch.to_le_bytes())?;
+            for (page, data) in records {
+                write_record_v2(&mut w, *page, data, self.compression)?;
+                payload_bytes += data.len() as u64;
+            }
+            let file = w
+                .into_inner()
+                .map_err(|e| io::Error::other(e.to_string()))?;
+            if self.sync_on_finish {
+                file.sync_all()?;
+                self.shared
+                    .io
+                    .segment_fsyncs
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        // 2. Collapse the epoch to exactly one file: stale extra shards
+        //    would double-count against the corrective manifest record.
+        //    A crash in here leaves the epoch detectably damaged (it
+        //    already was) and the next scrub cycle repairs it again.
+        if rec.kind != RecordKind::Full {
+            for path in delta_shard_files(&self.dir, epoch)? {
+                if path != final_path {
+                    let _ = fs::remove_file(&path);
+                }
+            }
+        }
+        fs::rename(&tmp, &final_path)?;
+        if self.sync_on_finish {
+            self.sync_dir()?;
+        }
+        // 3. Corrective commit: re-appending the epoch's record replaces it
+        //    in the folded view (latest record per epoch wins), repairing a
+        //    damaged count/byte field while preserving the chain kind.
+        let fixed = match rec.kind {
+            RecordKind::Full => {
+                ManifestRecord::full(epoch, records.len() as u64, payload_bytes, rec.aux)
+            }
+            _ => ManifestRecord::delta(epoch, records.len() as u64, payload_bytes),
+        };
+        {
+            let _manifest = self.shared.manifest_lock.lock();
+            manifest::append(&self.manifest_path(), fixed)?;
+            self.shared
+                .io
+                .manifest_appends
+                .fetch_add(1, Ordering::Relaxed);
+            self.shared
+                .io
+                .manifest_fsyncs
+                .fetch_add(1, Ordering::Relaxed);
+        }
+        self.invalidate_index([epoch]);
+        Ok(())
+    }
+
+    fn repair_epoch(&self, epoch: u64) -> io::Result<RepairReport> {
+        let rec = self.live_record(epoch)?;
+        // The only damage a lone file backend can heal from its own bytes
+        // is a corrupted manifest commit count: every record still
+        // verifies, so recounting the segments restores agreement. Payload
+        // damage needs a redundant source (replica, parity, another level).
+        let report = self.verify_epoch(epoch)?;
+        let count_damage_only = report.corrupt_pages.is_empty()
+            && report.structural.len() == 1
+            && report.structural[0].contains("manifest committed");
+        if !count_damage_only {
+            return Err(io::Error::new(
+                io::ErrorKind::Unsupported,
+                format!("no redundant source to repair epoch {epoch}"),
+            ));
+        }
+        let fixed = match rec.kind {
+            RecordKind::Full => ManifestRecord::full(epoch, report.records, report.bytes, rec.aux),
+            _ => ManifestRecord::delta(epoch, report.records, report.bytes),
+        };
+        {
+            let _manifest = self.shared.manifest_lock.lock();
+            manifest::append(&self.manifest_path(), fixed)?;
+            self.shared
+                .io
+                .manifest_appends
+                .fetch_add(1, Ordering::Relaxed);
+            self.shared
+                .io
+                .manifest_fsyncs
+                .fetch_add(1, Ordering::Relaxed);
+        }
+        self.invalidate_index([epoch]);
+        Ok(RepairReport {
+            epoch,
+            pages: Vec::new(),
+            rewrote_segment: false,
+            source: "manifest recount".to_owned(),
+        })
+    }
+
+    fn record_meta(&self, epoch: u64, page: u64) -> io::Result<Option<RecordMeta>> {
+        let index = self.epoch_index(epoch)?;
+        Ok(index.by_page.get(&page).map(|loc| RecordMeta {
+            raw_len: loc.raw_len,
+            crc: loc.crc,
+        }))
+    }
+
     fn io_stats(&self) -> IoStats {
         self.shared.io.snapshot()
     }
@@ -1115,6 +1284,114 @@ fn read_segment_to_eof(
     Ok(count)
 }
 
+/// Damage inventory of one segment (shard) file, from
+/// [`verify_segment_file`]'s forgiving walk.
+struct SegmentVerify {
+    /// Records whose frames were walked, damaged or not.
+    records: u64,
+    /// Sum of the walked records' uncompressed payload lengths.
+    payload_bytes: u64,
+    /// Pages whose stored record failed decode or CRC verification.
+    corrupt: Vec<u64>,
+    /// Damage that ended the walk early (bad header, torn frame, a frame
+    /// overrunning the file) — the rest of the file is unaccounted for.
+    structural: Option<String>,
+}
+
+/// Walk one segment file end-to-end verifying every record but — unlike
+/// [`read_segment_to_eof`] — continuing past per-record damage: a flipped
+/// payload, CRC or encoding byte condemns that page alone, because the
+/// frame's `stored_len` still tells the walk where the next record starts.
+/// Only structural damage (an unwalkable frame chain) stops the scan.
+/// `Err` is reserved for environmental failures (the file vanishing
+/// mid-walk), so scrub pacing can distinguish "damaged" from "unreadable".
+fn verify_segment_file(path: &Path, epoch: u64) -> io::Result<SegmentVerify> {
+    let file = File::open(path)?;
+    let file_len = file.metadata()?.len();
+    let mut reader = BufReader::with_capacity(1 << 20, file);
+    let mut out = SegmentVerify {
+        records: 0,
+        payload_bytes: 0,
+        corrupt: Vec::new(),
+        structural: None,
+    };
+    let name = path
+        .file_name()
+        .and_then(|n| n.to_str())
+        .unwrap_or("segment");
+    let version = match read_segment_header(&mut reader, epoch) {
+        Ok(v) => v,
+        Err(e)
+            if e.kind() == io::ErrorKind::InvalidData
+                || e.kind() == io::ErrorKind::UnexpectedEof =>
+        {
+            out.structural = Some(format!("{name}: {e}"));
+            return Ok(out);
+        }
+        Err(e) => return Err(e),
+    };
+    let mut offset = SEGMENT_HEADER_LEN as u64;
+    let mut stored = Vec::new();
+    loop {
+        let (page, crc, raw_len, stored_len, enc) = match version {
+            SegmentVersion::V1 => {
+                let mut frame = [0u8; 20];
+                match read_frame(&mut reader, &mut frame) {
+                    Ok(false) => break,
+                    Ok(true) => {}
+                    Err(e) => {
+                        out.structural = Some(format!("{name}: {e}"));
+                        break;
+                    }
+                }
+                let page = u64::from_le_bytes(frame[0..8].try_into().unwrap());
+                let len = u32::from_le_bytes(frame[8..12].try_into().unwrap());
+                let crc = u64::from_le_bytes(frame[12..20].try_into().unwrap());
+                offset += 20;
+                (page, crc, len, len, Encoding::Raw as u8)
+            }
+            SegmentVersion::V2 => {
+                let mut frame = [0u8; FRAME_LEN_V2];
+                match read_frame(&mut reader, &mut frame) {
+                    Ok(false) => break,
+                    Ok(true) => {}
+                    Err(e) => {
+                        out.structural = Some(format!("{name}: {e}"));
+                        break;
+                    }
+                }
+                let page = u64::from_le_bytes(frame[0..8].try_into().unwrap());
+                let raw_len = u32::from_le_bytes(frame[9..13].try_into().unwrap());
+                let stored_len = u32::from_le_bytes(frame[13..17].try_into().unwrap());
+                let crc = u64::from_le_bytes(frame[17..25].try_into().unwrap());
+                offset += FRAME_LEN_V2 as u64;
+                (page, crc, raw_len, stored_len, frame[8])
+            }
+        };
+        if offset + stored_len as u64 > file_len {
+            // A corrupted length field would otherwise desync the walk (or
+            // ask for gigabytes); everything past here is unaccounted.
+            out.structural = Some(format!(
+                "{name}: record for page {page} overruns the segment"
+            ));
+            break;
+        }
+        stored.resize(stored_len as usize, 0);
+        reader.read_exact(&mut stored)?;
+        offset += stored_len as u64;
+        out.records += 1;
+        out.payload_bytes += raw_len as u64;
+        let verified = Encoding::from_u8(enc)
+            .and_then(|enc| codec::decode(enc, &stored, raw_len as usize))
+            .map(|decoded| crc64(decoded.as_deref().unwrap_or(&stored)) == crc)
+            .unwrap_or(false);
+        if !verified {
+            out.corrupt.push(page);
+        }
+    }
+    Ok(out)
+}
+
 /// Location of one page record inside an epoch's segment files: enough to
 /// read and verify the payload with a single positioned read, no streaming.
 #[derive(Debug, Clone, Copy)]
@@ -1123,7 +1400,10 @@ struct RecordLoc {
     file: u32,
     /// Byte offset of the *stored* payload (the frame precedes it).
     offset: u64,
-    enc: Encoding,
+    /// Raw encoding byte from the frame, validated only when the record is
+    /// actually read — an at-rest flip of one record's encoding byte must
+    /// surface as that page's `InvalidData`, not break indexing the epoch.
+    enc: u8,
     raw_len: u32,
     stored_len: u32,
     /// CRC-64 over the uncompressed payload, from the record frame.
@@ -1169,7 +1449,7 @@ fn index_segment(
                 let loc = RecordLoc {
                     file: file_idx,
                     offset: offset + 20,
-                    enc: Encoding::Raw,
+                    enc: Encoding::Raw as u8,
                     raw_len: len,
                     stored_len: len,
                     crc,
@@ -1183,14 +1463,13 @@ fn index_segment(
                     break;
                 }
                 let page = u64::from_le_bytes(frame[0..8].try_into().unwrap());
-                let enc = Encoding::from_u8(frame[8])?;
                 let raw_len = u32::from_le_bytes(frame[9..13].try_into().unwrap());
                 let stored_len = u32::from_le_bytes(frame[13..17].try_into().unwrap());
                 let crc = u64::from_le_bytes(frame[17..25].try_into().unwrap());
                 let loc = RecordLoc {
                     file: file_idx,
                     offset: offset + FRAME_LEN_V2 as u64,
-                    enc,
+                    enc: frame[8],
                     raw_len,
                     stored_len,
                     crc,
@@ -1271,6 +1550,19 @@ impl FileBackend {
         Ok(idx)
     }
 
+    /// The live manifest record of `epoch`, or `NotFound` like `read_epoch`.
+    fn live_record(&self, epoch: u64) -> io::Result<ManifestRecord> {
+        self.live_records()?
+            .into_iter()
+            .find(|r| r.epoch == epoch)
+            .ok_or_else(|| {
+                io::Error::new(
+                    io::ErrorKind::NotFound,
+                    format!("epoch {epoch} not committed (or compacted away)"),
+                )
+            })
+    }
+
     /// Drop cached segment indexes of epochs that no longer exist.
     fn invalidate_index(&self, epochs: impl IntoIterator<Item = u64>) {
         let mut cache = self.shared.page_index.lock();
@@ -1348,6 +1640,11 @@ pub fn corrupt_record_payload(dir: &Path, epoch: u64, byte_offset: u64) -> io::R
         ));
     }
     let pos = 16 + frame_len + byte_offset % stored_len;
+    flip_byte_at(&mut f, pos)
+}
+
+/// XOR one byte of `f` at `pos` with `0xFF` (read-modify-write).
+fn flip_byte_at(f: &mut File, pos: u64) -> io::Result<()> {
     let mut b = [0u8; 1];
     f.seek(SeekFrom::Start(pos))?;
     f.read_exact(&mut b)?;
@@ -1355,6 +1652,135 @@ pub fn corrupt_record_payload(dir: &Path, epoch: u64, byte_offset: u64) -> io::R
     f.seek(SeekFrom::Start(pos))?;
     f.write_all(&b)?;
     Ok(())
+}
+
+/// Which structural region of an epoch's (shard-0 or full) segment file
+/// [`corrupt_segment_region`] should damage — one variant per field of the
+/// on-disk format, so integrity tests can hit every byte class the
+/// scrubber must detect.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SegmentRegion {
+    /// The segment header magic: structural damage, the whole shard
+    /// becomes unwalkable (`verify_epoch` reports it in `structural`).
+    Header,
+    /// The first record's encoding byte (v2 segments only): per-record
+    /// damage localized to that page.
+    Encoding,
+    /// A byte of the first record's *stored* payload (offset taken modulo
+    /// the stored length).
+    Payload {
+        /// Byte offset within the stored payload (modulo its length).
+        byte: u64,
+    },
+    /// A byte of the first record's stored CRC-64 field: the payload is
+    /// intact but can no longer prove it.
+    Crc,
+}
+
+/// Flip one byte of the given `region` of `epoch`'s segment file — at-rest
+/// corruption injection for integrity tests (the counterpart the scrubber
+/// is built to catch). Targets the delta shard-0 file when present, else
+/// the compacted `full_` image.
+pub fn corrupt_segment_region(dir: &Path, epoch: u64, region: SegmentRegion) -> io::Result<()> {
+    let delta = FileBackend::segment_path(dir, epoch);
+    let path = if delta.exists() {
+        delta
+    } else {
+        FileBackend::full_path(dir, epoch)
+    };
+    let mut f = OpenOptions::new().read(true).write(true).open(path)?;
+    if region == SegmentRegion::Header {
+        return flip_byte_at(&mut f, 0);
+    }
+    let version = read_segment_header(&mut f, epoch)?;
+    let pos = match version {
+        SegmentVersion::V1 => {
+            let mut frame = [0u8; 20];
+            f.read_exact(&mut frame)?;
+            let stored_len = u32::from_le_bytes(frame[8..12].try_into().unwrap()) as u64;
+            match region {
+                SegmentRegion::Header => unreachable!(),
+                SegmentRegion::Encoding => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidInput,
+                        "v1 record frames have no encoding byte",
+                    ))
+                }
+                SegmentRegion::Crc => 16 + 12,
+                SegmentRegion::Payload { byte } => {
+                    if stored_len == 0 {
+                        return Err(io::Error::new(
+                            io::ErrorKind::InvalidInput,
+                            "first record has an empty payload",
+                        ));
+                    }
+                    16 + 20 + byte % stored_len
+                }
+            }
+        }
+        SegmentVersion::V2 => {
+            let mut frame = [0u8; FRAME_LEN_V2];
+            f.read_exact(&mut frame)?;
+            let stored_len = u32::from_le_bytes(frame[13..17].try_into().unwrap()) as u64;
+            match region {
+                SegmentRegion::Header => unreachable!(),
+                SegmentRegion::Encoding => 16 + 8,
+                SegmentRegion::Crc => 16 + 17,
+                SegmentRegion::Payload { byte } => {
+                    if stored_len == 0 {
+                        return Err(io::Error::new(
+                            io::ErrorKind::InvalidInput,
+                            "first record has an empty payload",
+                        ));
+                    }
+                    16 + FRAME_LEN_V2 as u64 + byte % stored_len
+                }
+            }
+        }
+    };
+    flip_byte_at(&mut f, pos)
+}
+
+/// Flip one byte of the committed record-count field of `epoch`'s latest
+/// manifest record — at-rest damage to the commit log itself rather than
+/// to a segment, which `verify_epoch` reports as a structural
+/// manifest↔segment disagreement and `repair_epoch` heals by recounting.
+/// v2 manifests only (every manifest this backend writes today is v2).
+pub fn corrupt_manifest_count(dir: &Path, epoch: u64) -> io::Result<()> {
+    let mut f = OpenOptions::new()
+        .read(true)
+        .write(true)
+        .open(dir.join(MANIFEST_FILE))?;
+    let mut magic = [0u8; 8];
+    f.read_exact(&mut magic)?;
+    if &magic != manifest::MANIFEST_MAGIC_V2 {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            "manifest is not version 2",
+        ));
+    }
+    let len = f.metadata()?.len();
+    const REC: u64 = 33;
+    let mut latest: Option<u64> = None;
+    let mut off = 8u64;
+    while off + REC <= len {
+        let mut rec = [0u8; REC as usize];
+        f.read_exact_at(&mut rec, off)?;
+        // Wire layout: [0]=kind (2 = retirement), [1..9]=epoch LE,
+        // [9..17]=records LE. The latest non-retirement record for the
+        // epoch is the one the folded view serves.
+        if u64::from_le_bytes(rec[1..9].try_into().unwrap()) == epoch && rec[0] != 2 {
+            latest = Some(off);
+        }
+        off += REC;
+    }
+    let off = latest.ok_or_else(|| {
+        io::Error::new(
+            io::ErrorKind::NotFound,
+            format!("no manifest record for epoch {epoch}"),
+        )
+    })?;
+    flip_byte_at(&mut f, off + 9)
 }
 
 #[cfg(test)]
@@ -1481,6 +1907,140 @@ mod tests {
         corrupt_record_payload(&dir, 1, 10).unwrap();
         let err = b.read_epoch(1, &mut |_, _| {}).unwrap_err();
         assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn verify_localizes_per_record_damage() {
+        // Each per-record region flip condemns exactly the damaged page;
+        // the other record keeps verifying and the walk stays structural-
+        // clean. Incompressible payloads keep the stored bytes raw so the
+        // flipped byte is guaranteed to land in page 3's record.
+        let noise = |seed: u8| -> Vec<u8> { (0..64u32).map(|i| seed ^ (i as u8)).collect() };
+        for region in [
+            SegmentRegion::Payload { byte: 10 },
+            SegmentRegion::Crc,
+            SegmentRegion::Encoding,
+        ] {
+            let dir = tmpdir("verify-local");
+            let b = FileBackend::open(&dir).unwrap();
+            write_epoch(&b, 1, vec![(3, noise(0x5a)), (4, noise(0xa5))]).unwrap();
+            assert!(b.verify_epoch(1).unwrap().is_clean());
+            corrupt_segment_region(&dir, 1, region).unwrap();
+            let report = b.verify_epoch(1).unwrap();
+            assert_eq!(report.corrupt_pages, vec![3], "{region:?}");
+            assert!(report.structural.is_empty(), "{region:?}");
+            assert_eq!(report.records, 2, "both records walked ({region:?})");
+            fs::remove_dir_all(&dir).unwrap();
+        }
+    }
+
+    #[test]
+    fn verify_reports_structural_damage_for_header_flips() {
+        let dir = tmpdir("verify-hdr");
+        let b = FileBackend::open(&dir).unwrap();
+        write_epoch(&b, 1, vec![(0, vec![7u8; 32])]).unwrap();
+        corrupt_segment_region(&dir, 1, SegmentRegion::Header).unwrap();
+        let report = b.verify_epoch(1).unwrap();
+        assert!(!report.structural.is_empty(), "bad magic is structural");
+        assert!(report.corrupt_pages.is_empty());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn manifest_count_damage_self_heals_by_recount() {
+        let dir = tmpdir("recount");
+        let b = FileBackend::open(&dir).unwrap();
+        write_epoch(&b, 1, vec![(0, vec![1u8; 16]), (1, vec![2u8; 16])]).unwrap();
+        corrupt_manifest_count(&dir, 1).unwrap();
+        let report = b.verify_epoch(1).unwrap();
+        assert!(report.corrupt_pages.is_empty());
+        assert_eq!(report.structural.len(), 1, "count disagreement only");
+        assert_eq!(
+            b.read_epoch(1, &mut |_, _| {}).unwrap_err().kind(),
+            io::ErrorKind::InvalidData
+        );
+        let repair = b.repair_epoch(1).unwrap();
+        assert_eq!(repair.source, "manifest recount");
+        assert!(b.verify_epoch(1).unwrap().is_clean());
+        let mut seen = Vec::new();
+        b.read_epoch(1, &mut |p, d| seen.push((p, d[0]))).unwrap();
+        assert_eq!(seen, vec![(0, 1), (1, 2)], "reads recover");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn payload_damage_has_no_lone_backend_repair() {
+        let dir = tmpdir("norepair");
+        let b = FileBackend::open(&dir).unwrap();
+        write_epoch(&b, 1, vec![(0, (0..64u8).collect())]).unwrap();
+        corrupt_record_payload(&dir, 1, 3).unwrap();
+        assert_eq!(
+            b.repair_epoch(1).unwrap_err().kind(),
+            io::ErrorKind::Unsupported,
+            "payload rot needs a redundant source"
+        );
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn rewrite_epoch_replaces_a_damaged_segment_in_place() {
+        let dir = tmpdir("rewrite");
+        let b = FileBackend::open(&dir).unwrap();
+        let pages: Vec<(u64, Vec<u8>)> = vec![(0, (0..64u8).collect()), (9, (64..128u8).collect())];
+        write_epoch(&b, 1, pages.clone()).unwrap();
+        write_epoch(&b, 2, vec![(0, vec![9u8; 8])]).unwrap();
+        corrupt_segment_region(&dir, 1, SegmentRegion::Header).unwrap();
+        assert!(b.read_epoch(1, &mut |_, _| {}).is_err());
+        b.rewrite_epoch(1, &pages).unwrap();
+        assert!(b.verify_epoch(1).unwrap().is_clean());
+        let mut seen = Vec::new();
+        b.read_epoch(1, &mut |p, d| seen.push((p, d.to_vec())))
+            .unwrap();
+        assert_eq!(seen, pages, "byte-identical to the original epoch");
+        // The chain shape is untouched: still two deltas, and the
+        // corrective record survives reopen.
+        assert_eq!(b.epochs().unwrap(), vec![1, 2]);
+        drop(b);
+        let b = FileBackend::open(&dir).unwrap();
+        assert!(b.verify_epoch(1).unwrap().is_clean());
+        assert_eq!(b.epochs().unwrap(), vec![1, 2]);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn rewrite_preserves_full_kind_for_compacted_epochs() {
+        let dir = tmpdir("rewrite-full");
+        let b = FileBackend::open(&dir).unwrap();
+        write_epoch(&b, 1, vec![(0, vec![1u8; 16])]).unwrap();
+        write_epoch(&b, 2, vec![(1, vec![2u8; 16])]).unwrap();
+        b.compact(2).unwrap();
+        corrupt_segment_region(&dir, 2, SegmentRegion::Payload { byte: 0 }).unwrap();
+        assert!(!b.verify_epoch(2).unwrap().is_clean());
+        b.rewrite_epoch(2, &[(0, vec![1u8; 16]), (1, vec![2u8; 16])])
+            .unwrap();
+        assert!(b.verify_epoch(2).unwrap().is_clean());
+        assert_eq!(
+            b.chain().unwrap(),
+            vec![ChainEntry {
+                epoch: 2,
+                kind: EpochKind::Full
+            }],
+            "rewrite keeps the full-image kind, unlike install_compacted"
+        );
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn record_meta_reports_frame_metadata() {
+        let dir = tmpdir("meta");
+        let b = FileBackend::open(&dir).unwrap();
+        let data: Vec<u8> = (0..100u8).collect();
+        write_epoch(&b, 1, vec![(5, data.clone())]).unwrap();
+        let meta = b.record_meta(1, 5).unwrap().unwrap();
+        assert_eq!(meta.raw_len, 100);
+        assert_eq!(meta.crc, crc64(&data));
+        assert_eq!(b.record_meta(1, 6).unwrap(), None);
         fs::remove_dir_all(&dir).unwrap();
     }
 

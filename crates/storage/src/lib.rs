@@ -36,6 +36,11 @@
 //!   behind demand-paged (lazy) restore;
 //! * [`cache`] — shared sharded LRU page cache with single-flight loading,
 //!   so N concurrent restores of one checkpoint hit disk once per page;
+//! * [`scrub`] — at-rest integrity scrubbing: incremental verification,
+//!   self-healing repair from the best surviving redundant source, and
+//!   quarantine of irreparable epochs;
+//! * [`errors`] — the Transient/Permanent/Corrupt fault taxonomy and the
+//!   deterministic-jitter [`RetryPolicy`];
 //! * [`namespace`] — `label_NNNN/` sub-root naming shared by the group
 //!   coordinator's per-rank directories and the multi-tenant service's
 //!   per-tenant directories.
@@ -52,6 +57,7 @@ pub mod backend;
 pub mod cache;
 pub mod checksum;
 pub mod codec;
+pub mod errors;
 pub mod failing;
 pub mod file;
 pub mod image;
@@ -64,6 +70,7 @@ pub mod null;
 pub mod parity;
 pub mod policy;
 pub mod replicate;
+pub mod scrub;
 pub mod throttle;
 pub mod tiered;
 
@@ -74,8 +81,9 @@ pub use backend::{
 pub use cache::{CacheStats, PageCache};
 pub use checksum::{crc64, crc64_update};
 pub use codec::{Compression, Encoding};
-pub use failing::{FailingBackend, FailureControl};
-pub use file::FileBackend;
+pub use errors::{classify, FaultClass, RetryPolicy};
+pub use failing::{FailingBackend, FailureControl, FaultOp};
+pub use file::{corrupt_manifest_count, corrupt_segment_region, FileBackend, SegmentRegion};
 pub use image::CheckpointImage;
 pub use io::{IoCounters, IoStats};
 pub use locator::PageLocator;
@@ -88,5 +96,9 @@ pub use policy::{
     ResilienceSpec,
 };
 pub use replicate::ReplicatedBackend;
+pub use scrub::{
+    quarantined_error, IntegrityStats, RecordMeta, RepairReport, ScrubPolicy, Scrubber,
+    VerifyReport,
+};
 pub use throttle::ThrottledBackend;
 pub use tiered::TieredBackend;

@@ -34,6 +34,7 @@ use parking_lot::Mutex;
 use crate::backend::{
     merge_live_prefix, ChainEntry, CompactionStats, EpochWriter, MergeOutcome, StorageBackend,
 };
+use crate::scrub::{RecordMeta, RepairReport, VerifyReport};
 
 /// Page-id flag marking parity records inside the wrapped backend.
 pub const PARITY_FLAG: u64 = 1 << 63;
@@ -293,7 +294,16 @@ impl<B: StorageBackend> StorageBackend for ParityBackend<B> {
         match self.inner.read_page_at(epoch, page) {
             Ok(hit) => Ok(hit),
             Err(e) if e.kind() == io::ErrorKind::InvalidData => {
-                self.recover_page(epoch, page).map(Some)
+                let mut data = self.recover_page(epoch, page)?;
+                // XOR reconstruction is zero-padded to the longest group
+                // member; the stored frame still knows the page's exact
+                // length, so the degraded read returns byte-identical data.
+                if let Ok(Some(meta)) = self.inner.record_meta(epoch, page) {
+                    if (meta.raw_len as usize) <= data.len() {
+                        data.truncate(meta.raw_len as usize);
+                    }
+                }
+                Ok(Some(data))
             }
             Err(e) => Err(e),
         }
@@ -398,6 +408,75 @@ impl<B: StorageBackend> StorageBackend for ParityBackend<B> {
 
     fn drain_backlog(&self) -> usize {
         self.inner.drain_backlog()
+    }
+
+    fn verify_epoch(&self, epoch: u64) -> io::Result<VerifyReport> {
+        // The inner walk sees parity records as ordinary pages (their ids
+        // carry `PARITY_FLAG`), so a rotten parity record is reported and
+        // repaired like any other — redundancy that silently rots is no
+        // redundancy at all.
+        self.inner.verify_epoch(epoch)
+    }
+
+    fn rewrite_epoch(&self, epoch: u64, records: &[(u64, Vec<u8>)]) -> io::Result<()> {
+        // `records` is a data-page image (an outer repair path never sees
+        // parity records); fresh groups are re-emitted over it, exactly as
+        // the compaction paths do.
+        let mut all: Vec<(u64, Vec<u8>)> =
+            Vec::with_capacity(records.len() + records.len() / self.k + 1);
+        for (page, data) in records {
+            all.push((*page, data.clone()));
+        }
+        all.extend(self.parity_records(records));
+        self.inner.rewrite_epoch(epoch, &all)
+    }
+
+    fn repair_epoch(&self, epoch: u64) -> io::Result<RepairReport> {
+        let report = self.inner.verify_epoch(epoch)?;
+        if report.is_clean() {
+            return Err(io::Error::new(
+                io::ErrorKind::Unsupported,
+                format!("epoch {epoch} verifies clean; nothing to repair"),
+            ));
+        }
+        if report.corrupt_pages.is_empty() {
+            // Structural-only damage (e.g. a rotten manifest count) is the
+            // inner backend's to heal — parity protects payloads.
+            return self.inner.repair_epoch(epoch);
+        }
+        // Rebuild the data image via this wrapper's degraded reads (each
+        // corrupt member reconstructs from its group — one loss per group),
+        // then rewrite the segment with fresh parity over the healed data.
+        // A second loss in any group fails the read and the error
+        // propagates: the caller quarantines.
+        let mut ids: Vec<u64> = Vec::new();
+        let mut seen = std::collections::BTreeSet::new();
+        for id in self.inner.epoch_page_ids(epoch)? {
+            if id & PARITY_FLAG == 0 && seen.insert(id) {
+                ids.push(id);
+            }
+        }
+        let mut data = Vec::with_capacity(ids.len());
+        for id in ids {
+            let payload = self.read_page_at(epoch, id)?.ok_or_else(|| {
+                io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("page {id} vanished from epoch {epoch} during repair"),
+                )
+            })?;
+            data.push((id, payload));
+        }
+        self.rewrite_epoch(epoch, &data)?;
+        Ok(RepairReport {
+            epoch,
+            pages: report.corrupt_pages,
+            rewrote_segment: true,
+            source: "parity".to_owned(),
+        })
+    }
+
+    fn record_meta(&self, epoch: u64, page: u64) -> io::Result<Option<RecordMeta>> {
+        self.inner.record_meta(epoch, page)
     }
 
     fn io_stats(&self) -> crate::io::IoStats {
@@ -552,5 +631,58 @@ mod tests {
         assert_eq!(&r0[..8], &[0xAA; 8]);
         let r1 = b.recover_page(1, 1).unwrap();
         assert_eq!(&r1[..16], &[0x55; 16]);
+    }
+
+    #[test]
+    fn degraded_read_truncates_padded_reconstruction_to_exact_length() {
+        // Page 0 is shorter than its group partner: the XOR image is padded
+        // to 16 bytes, but the degraded read must return the original 8.
+        let b = ParityBackend::new(MemoryBackend::new(), 2);
+        write_epoch(&b, 1, vec![(0, vec![0xAA; 8]), (1, vec![0x55; 16])]).unwrap();
+        b.inner().corrupt_stored_page(1, 0, 3).unwrap();
+        let healed = b.read_page_at(1, 0).unwrap().unwrap();
+        assert_eq!(healed, vec![0xAA; 8], "byte-identical, not padded");
+    }
+
+    #[test]
+    fn repair_rebuilds_a_corrupt_member_and_reverifies_clean() {
+        let b = ParityBackend::new(MemoryBackend::new(), 3);
+        let pages: Vec<(u64, Vec<u8>)> = (0..7u64).map(|p| (p, page(p as u8 + 10))).collect();
+        write_epoch(&b, 1, pages.clone()).unwrap();
+        b.inner().corrupt_stored_page(1, 4, 0).unwrap();
+        let report = b.verify_epoch(1).unwrap();
+        assert_eq!(report.corrupt_pages, vec![4]);
+        let repair = b.repair_epoch(1).unwrap();
+        assert_eq!(repair.source, "parity");
+        assert!(repair.rewrote_segment);
+        assert!(b.verify_epoch(1).unwrap().is_clean());
+        let mut seen = Vec::new();
+        b.read_epoch(1, &mut |p, d| seen.push((p, d.to_vec())))
+            .unwrap();
+        assert_eq!(seen, pages, "healed epoch is byte-identical");
+    }
+
+    #[test]
+    fn double_loss_in_one_group_is_irreparable() {
+        let b = ParityBackend::new(MemoryBackend::new(), 2);
+        // k=2: pages 0 and 1 share a group; corrupt both.
+        write_epoch(&b, 1, vec![(0, page(1)), (1, page(2)), (2, page(3))]).unwrap();
+        b.inner().corrupt_stored_page(1, 0, 0).unwrap();
+        b.inner().corrupt_stored_page(1, 1, 0).unwrap();
+        assert!(b.repair_epoch(1).is_err(), "XOR repairs one loss per group");
+    }
+
+    #[test]
+    fn corrupt_parity_record_repairs_from_surviving_data() {
+        let b = ParityBackend::new(MemoryBackend::new(), 2);
+        let pages: Vec<(u64, Vec<u8>)> = vec![(0, page(7)), (1, page(8))];
+        write_epoch(&b, 1, pages.clone()).unwrap();
+        b.inner().corrupt_stored_page(1, PARITY_FLAG, 0).unwrap();
+        assert!(!b.verify_epoch(1).unwrap().is_clean());
+        b.repair_epoch(1).unwrap();
+        assert!(b.verify_epoch(1).unwrap().is_clean());
+        // The re-emitted parity actually protects the data again.
+        b.inner().corrupt_stored_page(1, 0, 0).unwrap();
+        assert_eq!(&b.read_page_at(1, 0).unwrap().unwrap()[..], &page(7)[..]);
     }
 }

@@ -52,10 +52,12 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 use crate::backend::{ChainEntry, CompactionStats, EpochKind, EpochWriter, StorageBackend};
+use crate::errors::{classify, FaultClass, RetryPolicy};
 use crate::failing::{FailingBackend, FailureControl};
 use crate::io::IoStats;
 use crate::parity::ParityBackend;
 use crate::replicate::ReplicatedBackend;
+use crate::scrub::{RecordMeta, RepairReport, VerifyReport};
 
 /// Redundancy scheme *inside* one level.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -313,6 +315,10 @@ struct Shared {
     /// Serialises drain/reconcile I/O so `drain_one` callers from the
     /// maintenance worker and direct callers never interleave copies.
     drain_lock: Mutex<()>,
+    /// Backoff schedule applied to transient faults during copies and
+    /// fall-through reads. Permanent faults keep the suspect/deferred
+    /// semantics untouched; corrupt faults go to repair, never retry.
+    retry: Mutex<RetryPolicy>,
 }
 
 /// Builder for a [`PolicyBackend`]: a spec plus a store factory.
@@ -405,6 +411,7 @@ impl PolicyBuilder {
                     high_water,
                 }),
                 drain_lock: Mutex::new(()),
+                retry: Mutex::new(RetryPolicy::default()),
             }),
         })
     }
@@ -442,6 +449,17 @@ impl PolicyBackend {
     /// Names of the levels, fastest-first.
     pub fn level_names(&self) -> Vec<String> {
         self.shared.levels.iter().map(|l| l.name.clone()).collect()
+    }
+
+    /// Replace the transient-fault backoff schedule (copies and
+    /// fall-through reads). Takes effect on the next operation.
+    pub fn set_retry_policy(&self, policy: RetryPolicy) {
+        *self.shared.retry.lock().unwrap() = policy;
+    }
+
+    /// The transient-fault backoff schedule currently in force.
+    pub fn retry_policy(&self) -> RetryPolicy {
+        *self.shared.retry.lock().unwrap()
     }
 
     /// Point-in-time per-level statistics.
@@ -681,13 +699,16 @@ impl PolicyBackend {
                 }
             }
             // Source: lowest alive level that still holds the epoch.
+            // Transient read hiccups are retried with backoff before the
+            // level is written off as suspect.
+            let retry = self.retry_policy();
             let mut records: Option<Vec<(u64, Vec<u8>)>> = None;
             let mut last_err: Option<io::Error> = None;
             for (src, source) in self.shared.levels.iter().enumerate() {
                 if src == dest || source.is_suspect() {
                     continue;
                 }
-                match try_read_epoch(source.store(), epoch) {
+                match retry.run(|| try_read_epoch(source.store(), epoch)) {
                     Ok(Some(recs)) => {
                         records = Some(recs);
                         break;
@@ -716,15 +737,19 @@ impl PolicyBackend {
                     )
                 }));
             };
-            // Copy through the destination's protection wrapper.
+            // Copy through the destination's protection wrapper. Each
+            // step retries transient faults independently (a burst on
+            // `finish` must not replay `begin_epoch` against a
+            // half-written epoch); permanent faults still park the item
+            // and mark the destination suspect exactly as before.
             let outcome = (|| -> io::Result<u64> {
-                let writer = dest_store.begin_epoch(epoch)?;
+                let writer = retry.run(|| dest_store.begin_epoch(epoch))?;
                 let mut bytes = 0u64;
                 for (page, data) in &records {
-                    writer.write_pages(&[(*page, data.as_slice())])?;
+                    retry.run(|| writer.write_pages(&[(*page, data.as_slice())]))?;
                     bytes += data.len() as u64;
                 }
-                writer.finish()?;
+                retry.run(|| writer.finish())?;
                 Ok(bytes)
             })();
             match outcome {
@@ -744,6 +769,30 @@ impl PolicyBackend {
                     return Err(e);
                 }
             }
+        }
+    }
+
+    /// Run one level's read with the fault taxonomy applied: transient
+    /// errors retry with backoff, and a *corrupt* result triggers the
+    /// level's own in-place repair (replica member, XOR group) followed by
+    /// one final attempt. A level that cannot repair keeps its original
+    /// error and the caller falls through to the next level — degraded
+    /// reads never got worse, they just heal in place when they can.
+    fn level_read<T>(
+        &self,
+        level: &Level,
+        epoch: u64,
+        op: impl Fn() -> io::Result<T>,
+    ) -> io::Result<T> {
+        match self.retry_policy().run(&op) {
+            Err(e) if classify(&e) == FaultClass::Corrupt => {
+                if level.store().repair_epoch(epoch).is_ok() {
+                    op()
+                } else {
+                    Err(e)
+                }
+            }
+            other => other,
         }
     }
 
@@ -930,7 +979,7 @@ impl StorageBackend for PolicyBackend {
         for level in &self.shared.levels {
             // Buffer before replay so a level failing mid-stream never
             // leaks a partial visit to the caller.
-            match try_read_epoch(level.store(), epoch) {
+            match self.level_read(level, epoch, || try_read_epoch(level.store(), epoch)) {
                 Ok(Some(records)) => {
                     level.counters.read_hits.fetch_add(1, Ordering::SeqCst);
                     for (page, data) in records {
@@ -969,7 +1018,7 @@ impl StorageBackend for PolicyBackend {
             if !holds {
                 continue;
             }
-            match level.store().epoch_page_ids(epoch) {
+            match self.level_read(level, epoch, || level.store().epoch_page_ids(epoch)) {
                 Ok(ids) => {
                     level.counters.read_hits.fetch_add(1, Ordering::SeqCst);
                     return Ok(ids);
@@ -1006,7 +1055,7 @@ impl StorageBackend for PolicyBackend {
             }
             // Inside a parity level this already reconstructs a corrupt
             // record from its XOR group before we ever fall through.
-            match level.store().read_page_at(epoch, page) {
+            match self.level_read(level, epoch, || level.store().read_page_at(epoch, page)) {
                 Ok(hit) => {
                     level.counters.read_hits.fetch_add(1, Ordering::SeqCst);
                     return Ok(hit);
@@ -1264,6 +1313,206 @@ impl StorageBackend for PolicyBackend {
         self.reconcile_suspects();
         let state = self.shared.state.lock().unwrap();
         state.queues.iter().map(|q| q.len()).sum()
+    }
+
+    fn verify_epoch(&self, epoch: u64) -> io::Result<VerifyReport> {
+        // Union of the damage across every alive level that holds the
+        // epoch. Suspect levels are skipped — their copies are rebuilt
+        // wholesale on reconcile, not patched record-by-record — and a
+        // level that errors mid-verify contributes its error only if no
+        // level could be verified at all.
+        let mut merged: Option<VerifyReport> = None;
+        let mut last_err = None;
+        for level in &self.shared.levels {
+            if level.is_suspect() {
+                continue;
+            }
+            let holds = match level.store().epochs() {
+                Ok(eps) => eps.contains(&epoch),
+                Err(e) => {
+                    last_err = Some(e);
+                    continue;
+                }
+            };
+            if !holds {
+                continue;
+            }
+            match level.store().verify_epoch(epoch) {
+                Ok(report) => match &mut merged {
+                    Some(m) => m.merge(&report),
+                    None => merged = Some(report),
+                },
+                Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+                Err(e) => last_err = Some(e),
+            }
+        }
+        match (merged, last_err) {
+            (Some(m), _) => Ok(m),
+            (None, Some(e)) => Err(e),
+            (None, None) => Err(io::Error::new(
+                io::ErrorKind::NotFound,
+                format!("epoch {epoch} not found on any level"),
+            )),
+        }
+    }
+
+    fn rewrite_epoch(&self, epoch: u64, records: &[(u64, Vec<u8>)]) -> io::Result<()> {
+        // Rewrite every alive holder. A level that fails the rewrite is
+        // marked suspect: reconcile rebuilds it wholesale from a clean
+        // peer, which is itself a repair.
+        let mut rewrote = false;
+        let mut last_err = None;
+        for level in &self.shared.levels {
+            if level.is_suspect() {
+                continue;
+            }
+            let holds = level
+                .store()
+                .epochs()
+                .map(|eps| eps.contains(&epoch))
+                .unwrap_or(false);
+            if !holds {
+                continue;
+            }
+            match level.store().rewrite_epoch(epoch, records) {
+                Ok(()) => rewrote = true,
+                Err(e) => {
+                    level.suspect.store(true, Ordering::SeqCst);
+                    last_err = Some(e);
+                }
+            }
+        }
+        if rewrote {
+            Ok(())
+        } else {
+            Err(last_err.unwrap_or_else(|| {
+                io::Error::new(
+                    io::ErrorKind::NotFound,
+                    format!("epoch {epoch} not found on any level"),
+                )
+            }))
+        }
+    }
+
+    fn repair_epoch(&self, epoch: u64) -> io::Result<RepairReport> {
+        // Source-select, fastest-first: each damaged level first tries its
+        // own intra-level redundancy (replica member, XOR group); a level
+        // that cannot self-heal is rewritten wholesale from the lowest
+        // level that verifies clean. Only when *no* level holds a healthy
+        // image does the repair fail — and the scrubber quarantines.
+        let mut damaged: Vec<usize> = Vec::new();
+        let mut clean: Vec<usize> = Vec::new();
+        let mut pages: Vec<u64> = Vec::new();
+        for (l, level) in self.shared.levels.iter().enumerate() {
+            if level.is_suspect() {
+                continue;
+            }
+            let holds = level
+                .store()
+                .epochs()
+                .map(|eps| eps.contains(&epoch))
+                .unwrap_or(false);
+            if !holds {
+                continue;
+            }
+            match level.store().verify_epoch(epoch) {
+                Ok(r) if r.is_clean() => clean.push(l),
+                Ok(r) => {
+                    for &p in &r.corrupt_pages {
+                        if !pages.contains(&p) {
+                            pages.push(p);
+                        }
+                    }
+                    damaged.push(l);
+                }
+                Err(_) => {}
+            }
+        }
+        if damaged.is_empty() {
+            return Err(io::Error::new(
+                io::ErrorKind::Unsupported,
+                format!("epoch {epoch} verifies clean on every level; nothing to repair"),
+            ));
+        }
+        // Pass 1: intra-level self-heal (a replica member, an XOR group).
+        // A level that heals itself becomes a source for pass 2 — so a
+        // parity level surviving single-record rot can resurrect levels
+        // with no redundancy of their own.
+        let mut sources: Vec<String> = Vec::new();
+        let mut still_damaged: Vec<usize> = Vec::new();
+        for &l in &damaged {
+            let level = &self.shared.levels[l];
+            let self_healed = level.store().repair_epoch(epoch).ok().filter(|_| {
+                // Trust but verify before using it as a source.
+                level
+                    .store()
+                    .verify_epoch(epoch)
+                    .map(|after| after.is_clean())
+                    .unwrap_or(false)
+            });
+            match self_healed {
+                Some(rep) => {
+                    sources.push(format!("level {} ({})", level.name, rep.source));
+                    clean.push(l);
+                }
+                None => still_damaged.push(l),
+            }
+        }
+        clean.sort_unstable(); // prefer the fastest clean level as source
+                               // Pass 2: rewrite what remains from the fastest clean image.
+        for &l in &still_damaged {
+            let level = &self.shared.levels[l];
+            let mut healed_from = None;
+            for &src in &clean {
+                if let Ok(Some(records)) = try_read_epoch(self.shared.levels[src].store(), epoch) {
+                    level.store().rewrite_epoch(epoch, &records)?;
+                    healed_from = Some(src);
+                    break;
+                }
+            }
+            let Some(src) = healed_from else {
+                return Err(io::Error::new(
+                    io::ErrorKind::Unsupported,
+                    format!(
+                        "no surviving source to repair epoch {epoch}: \
+                         level {} is damaged and no level verifies clean",
+                        level.name
+                    ),
+                ));
+            };
+            sources.push(format!("level {}", self.shared.levels[src].name));
+        }
+        Ok(RepairReport {
+            epoch,
+            pages,
+            rewrote_segment: true,
+            source: sources.join(", "),
+        })
+    }
+
+    fn record_meta(&self, epoch: u64, page: u64) -> io::Result<Option<RecordMeta>> {
+        let mut last_err = None;
+        for level in &self.shared.levels {
+            if level.is_suspect() {
+                continue;
+            }
+            let holds = level
+                .store()
+                .epochs()
+                .map(|eps| eps.contains(&epoch))
+                .unwrap_or(false);
+            if !holds {
+                continue;
+            }
+            match level.store().record_meta(epoch, page) {
+                Ok(meta) => return Ok(meta),
+                Err(e) => last_err = Some(e),
+            }
+        }
+        match last_err {
+            Some(e) => Err(e),
+            None => Ok(None),
+        }
     }
 
     fn io_stats(&self) -> IoStats {
@@ -1626,5 +1875,140 @@ mod tests {
         drain_all(&policy);
         assert_eq!(policy.stats().levels[1].resident_epochs, 1);
         assert_eq!(policy.stats().levels[2].resident_epochs, 1);
+    }
+
+    #[test]
+    fn transient_drain_burst_is_absorbed_by_retry() {
+        use crate::failing::FaultOp;
+        let (policy, controls) = build_injected(SPEC);
+        write_epoch(&policy, 1, epoch_pages(1)).unwrap();
+        // Two EINTR-shaped hiccups on the cold level's commit barrier:
+        // within the default 4-attempt budget, so the copy lands without
+        // the level ever being marked suspect or the item parked.
+        controls[2].fail_next_n(FaultOp::Finish, 2);
+        drain_all(&policy);
+        let stats = policy.stats();
+        assert!(!stats.levels[2].suspect, "transient faults never park");
+        assert_eq!(stats.levels[2].copy_failures, 0);
+        assert_eq!(stats.levels[2].drains_in, 1);
+        assert_eq!(controls[2].transient_remaining(FaultOp::Finish), 0);
+
+        // A burst longer than the attempt budget degrades into exactly
+        // the old suspect/deferred semantics at the moment it fails...
+        controls[2].fail_next_n(FaultOp::BeginEpoch, 16);
+        write_epoch(&policy, 2, epoch_pages(2)).unwrap();
+        let mut failed = false;
+        for _ in 0..8 {
+            match policy.drain_one() {
+                Err(e) => {
+                    failed = true;
+                    assert_eq!(classify(&e), FaultClass::Transient);
+                    assert!(policy.stats().levels[2].suspect, "over-budget parks");
+                    break;
+                }
+                Ok(Some(_)) => {}
+                Ok(None) => break,
+            }
+        }
+        assert!(failed, "an over-budget burst still surfaces");
+        // ...and because the fault is self-healing, the normal
+        // probe/reconcile cycle converges without any explicit heal.
+        for _ in 0..8 {
+            let _ = policy.drain_one();
+        }
+        drain_all(&policy);
+        assert!(!policy.stats().levels[2].suspect);
+        assert_eq!(policy.stats().levels[2].resident_epochs, 2);
+    }
+
+    #[test]
+    fn verify_merges_damage_and_repair_heals_across_levels() {
+        let (policy, controls) = build_injected(SPEC);
+        write_epoch(&policy, 1, epoch_pages(1)).unwrap();
+        drain_all(&policy);
+        // Rot one record at rest on the plain fast level. The level has no
+        // redundancy of its own — repair must source from a peer level.
+        controls[0].corrupt_read_payload(1, 2, 40);
+        let report = policy.verify_epoch(1).unwrap();
+        assert_eq!(report.corrupt_pages, vec![2]);
+        let rep = policy.repair_epoch(1).unwrap();
+        assert!(rep.rewrote_segment);
+        assert_eq!(rep.pages, vec![2]);
+        assert!(
+            rep.source.contains("partner"),
+            "healed from the replica level, got {:?}",
+            rep.source
+        );
+        assert_eq!(controls[0].corruptions_armed(), 0, "rewrite cleared rot");
+        assert!(policy.verify_epoch(1).unwrap().is_clean());
+        assert_eq!(
+            policy.read_page_at(1, 2).unwrap().unwrap(),
+            epoch_pages(1)[2].1
+        );
+    }
+
+    #[test]
+    fn self_healed_parity_level_rescues_the_plain_level() {
+        let (policy, controls) = build_injected(SPEC);
+        write_epoch(&policy, 1, epoch_pages(1)).unwrap();
+        drain_all(&policy);
+        // Kill the replica level so the only clean source candidates are
+        // the two damaged ones: the parity level must first heal itself
+        // (XOR group), then serve as the source for the plain level.
+        controls[1].kill();
+        controls[0].corrupt_read_payload(1, 2, 0);
+        controls[2].corrupt_read_payload(1, 3, 0);
+        let rep = policy.repair_epoch(1).unwrap();
+        assert!(
+            rep.source.contains("cold") && rep.source.contains("parity"),
+            "parity self-heal recorded, got {:?}",
+            rep.source
+        );
+        assert_eq!(controls[0].corruptions_armed(), 0);
+        assert_eq!(controls[2].corruptions_armed(), 0);
+        assert!(policy.verify_epoch(1).unwrap().is_clean());
+    }
+
+    #[test]
+    fn damage_on_every_level_is_irreparable() {
+        let (policy, controls) = build_injected(SPEC);
+        write_epoch(&policy, 1, epoch_pages(1)).unwrap();
+        drain_all(&policy);
+        // Pages 0 and 1 share a parity group (group size 4), so even the
+        // parity level cannot self-heal a double loss; the replica level's
+        // shared injection control rots both members alike.
+        for control in &controls {
+            control.corrupt_read_payload(1, 0, 0);
+            control.corrupt_read_payload(1, 1, 0);
+        }
+        let err = policy.repair_epoch(1).unwrap_err();
+        assert!(
+            err.to_string().contains("no surviving source"),
+            "unexpected error: {err}"
+        );
+        assert!(!policy.verify_epoch(1).unwrap().is_clean());
+    }
+
+    #[test]
+    fn corrupt_stream_read_heals_the_level_in_place() {
+        let (policy, controls) = build_injected(SPEC);
+        write_epoch(&policy, 1, epoch_pages(1)).unwrap();
+        drain_all(&policy);
+        // Only the parity level is alive; its stream read trips over the
+        // armed rot. The read path must repair the level in place (XOR
+        // group) and then serve the bytes — not fail the restore.
+        controls[0].kill();
+        controls[1].kill();
+        controls[2].corrupt_read_payload(1, 2, 0);
+        let mut seen = Vec::new();
+        policy
+            .read_epoch(1, &mut |p, d| seen.push((p, d.to_vec())))
+            .unwrap();
+        assert_eq!(seen, epoch_pages(1));
+        assert_eq!(
+            controls[2].corruptions_armed(),
+            0,
+            "the read healed the rot instead of working around it"
+        );
     }
 }

@@ -10,6 +10,7 @@
 use std::io;
 
 use crate::backend::{EpochWriter, StorageBackend};
+use crate::scrub::{RecordMeta, RepairReport, VerifyReport};
 
 /// Mirrors every operation across `n` replicas.
 pub struct ReplicatedBackend {
@@ -225,6 +226,91 @@ impl StorageBackend for ReplicatedBackend {
         }
         Ok(drained)
     }
+
+    fn verify_epoch(&self, epoch: u64) -> io::Result<VerifyReport> {
+        // Union of every replica's damage: a page rotten on one copy is
+        // damage even while another copy still serves it — that surviving
+        // copy is exactly what repair needs, so it must be found *before*
+        // it rots too.
+        let mut report = VerifyReport::new(epoch);
+        for r in &self.replicas {
+            report.merge(&r.verify_epoch(epoch)?);
+        }
+        Ok(report)
+    }
+
+    fn rewrite_epoch(&self, epoch: u64, records: &[(u64, Vec<u8>)]) -> io::Result<()> {
+        for r in &self.replicas {
+            r.rewrite_epoch(epoch, records)?;
+        }
+        Ok(())
+    }
+
+    fn repair_epoch(&self, epoch: u64) -> io::Result<RepairReport> {
+        let reports = self
+            .replicas
+            .iter()
+            .map(|r| r.verify_epoch(epoch))
+            .collect::<io::Result<Vec<_>>>()?;
+        if reports.iter().all(VerifyReport::is_clean) {
+            return Err(io::Error::new(
+                io::ErrorKind::Unsupported,
+                format!("epoch {epoch} verifies clean; nothing to repair"),
+            ));
+        }
+        // Assemble a healthy image page by page — each page from the first
+        // replica that still reads it — so even damage scattered across
+        // *different* replicas repairs, as long as every page survives
+        // somewhere. Then rewrite only the damaged copies.
+        let mut ids: Vec<u64> = Vec::new();
+        let mut seen = std::collections::BTreeSet::new();
+        for id in self.read_fallback(|r| r.epoch_page_ids(epoch))? {
+            if seen.insert(id) {
+                ids.push(id);
+            }
+        }
+        let mut image = Vec::with_capacity(ids.len());
+        for id in ids {
+            let payload = self
+                .read_fallback(|r| {
+                    r.read_page_at(epoch, id)?.ok_or_else(|| {
+                        io::Error::new(
+                            io::ErrorKind::InvalidData,
+                            format!("page {id} missing from epoch {epoch}"),
+                        )
+                    })
+                })
+                .map_err(|e| {
+                    io::Error::new(
+                        io::ErrorKind::Unsupported,
+                        format!("page {id} of epoch {epoch} survives on no replica: {e}"),
+                    )
+                })?;
+            image.push((id, payload));
+        }
+        let mut pages = Vec::new();
+        for (r, report) in self.replicas.iter().zip(&reports) {
+            if report.is_clean() {
+                continue;
+            }
+            r.rewrite_epoch(epoch, &image)?;
+            for &p in &report.corrupt_pages {
+                if !pages.contains(&p) {
+                    pages.push(p);
+                }
+            }
+        }
+        Ok(RepairReport {
+            epoch,
+            pages,
+            rewrote_segment: true,
+            source: "replica".to_owned(),
+        })
+    }
+
+    fn record_meta(&self, epoch: u64, page: u64) -> io::Result<Option<RecordMeta>> {
+        self.read_fallback(|r| r.record_meta(epoch, page))
+    }
 }
 
 #[cfg(test)]
@@ -280,5 +366,46 @@ mod tests {
         let (mut r, _a, _b) = two_way();
         r.fail_replica(0);
         r.fail_replica(0);
+    }
+
+    #[test]
+    fn repair_rewrites_only_the_damaged_copy() {
+        let (r, a, b) = two_way();
+        let pages: Vec<(u64, Vec<u8>)> = vec![(0, vec![1u8; 16]), (1, vec![2u8; 16])];
+        write_epoch(&r, 1, pages.clone()).unwrap();
+        a.corrupt_stored_page(1, 0, 5).unwrap();
+        let report = r.verify_epoch(1).unwrap();
+        assert_eq!(report.corrupt_pages, vec![0], "union sees replica 0's rot");
+        let repair = r.repair_epoch(1).unwrap();
+        assert_eq!(repair.source, "replica");
+        assert_eq!(repair.pages, vec![0]);
+        assert!(r.verify_epoch(1).unwrap().is_clean());
+        assert_eq!(a.epoch_records(1).unwrap(), pages, "copy healed in place");
+        assert_eq!(b.epoch_records(1).unwrap(), pages);
+    }
+
+    #[test]
+    fn disjoint_damage_across_replicas_still_repairs() {
+        let (r, a, b) = two_way();
+        write_epoch(&r, 1, vec![(0, vec![1u8; 8]), (1, vec![2u8; 8])]).unwrap();
+        a.corrupt_stored_page(1, 0, 0).unwrap();
+        b.corrupt_stored_page(1, 1, 0).unwrap();
+        r.repair_epoch(1).unwrap();
+        assert!(r.verify_epoch(1).unwrap().is_clean());
+        let mut seen = Vec::new();
+        r.read_epoch(1, &mut |p, d| seen.push((p, d.to_vec())))
+            .unwrap();
+        assert_eq!(seen, vec![(0, vec![1u8; 8]), (1, vec![2u8; 8])]);
+    }
+
+    #[test]
+    fn page_lost_on_every_replica_is_irreparable() {
+        let (r, a, b) = two_way();
+        write_epoch(&r, 1, vec![(0, vec![1u8; 8])]).unwrap();
+        a.corrupt_stored_page(1, 0, 0).unwrap();
+        b.corrupt_stored_page(1, 0, 0).unwrap();
+        let err = r.repair_epoch(1).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::Unsupported);
+        assert!(err.to_string().contains("survives on no replica"));
     }
 }

@@ -317,6 +317,26 @@ impl<B: StorageBackend> StorageBackend for ThrottledBackend<B> {
         self.inner.drain_backlog()
     }
 
+    // Integrity maintenance is out-of-band like compaction: the scrubber
+    // paces itself with its own byte budget, so the emulated checkpoint
+    // channel is not charged for it.
+
+    fn verify_epoch(&self, epoch: u64) -> io::Result<crate::scrub::VerifyReport> {
+        self.inner.verify_epoch(epoch)
+    }
+
+    fn rewrite_epoch(&self, epoch: u64, records: &[(u64, Vec<u8>)]) -> io::Result<()> {
+        self.inner.rewrite_epoch(epoch, records)
+    }
+
+    fn repair_epoch(&self, epoch: u64) -> io::Result<crate::scrub::RepairReport> {
+        self.inner.repair_epoch(epoch)
+    }
+
+    fn record_meta(&self, epoch: u64, page: u64) -> io::Result<Option<crate::scrub::RecordMeta>> {
+        self.inner.record_meta(epoch, page)
+    }
+
     fn io_stats(&self) -> crate::io::IoStats {
         self.inner.io_stats()
     }

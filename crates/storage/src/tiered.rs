@@ -31,6 +31,7 @@ use std::sync::Arc;
 use parking_lot::Mutex;
 
 use crate::backend::{ChainEntry, CompactionStats, EpochWriter, StorageBackend};
+use crate::scrub::{RecordMeta, RepairReport, VerifyReport};
 
 struct TierState {
     /// Epochs committed to the fast tier, not yet on the slow tier;
@@ -354,6 +355,65 @@ impl StorageBackend for TieredBackend {
 
     fn io_stats(&self) -> crate::io::IoStats {
         self.fast.io_stats().merged(self.slow.io_stats())
+    }
+
+    // Integrity surfaces route like the read path: whichever tier holds the
+    // epoch answers (fast first, slow on NotFound — a drained epoch's
+    // at-rest life is on the slow tier, which is exactly where bitrot has
+    // the most time to accumulate).
+
+    fn verify_epoch(&self, epoch: u64) -> io::Result<VerifyReport> {
+        match self.fast.verify_epoch(epoch) {
+            Ok(report) => Ok(report),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => self.slow.verify_epoch(epoch),
+            Err(e) => Err(e),
+        }
+    }
+
+    fn rewrite_epoch(&self, epoch: u64, records: &[(u64, Vec<u8>)]) -> io::Result<()> {
+        match self.fast.rewrite_epoch(epoch, records) {
+            Ok(()) => Ok(()),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => {
+                self.slow.rewrite_epoch(epoch, records)
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    fn repair_epoch(&self, epoch: u64) -> io::Result<RepairReport> {
+        match self.fast.repair_epoch(epoch) {
+            Ok(report) => Ok(report),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => self.slow.repair_epoch(epoch),
+            Err(fast_err) => {
+                // The fast tier holds the epoch but cannot heal itself
+                // (plain store, or its own redundancy is exhausted). A
+                // drained copy on the durable tier is a redundant source:
+                // rebuild the fast copy wholesale from the slow tier's
+                // verified-clean records.
+                match self.slow.verify_epoch(epoch) {
+                    Ok(report) if report.is_clean() => {}
+                    _ => return Err(fast_err),
+                }
+                let mut records = Vec::new();
+                self.slow
+                    .read_epoch(epoch, &mut |page, data| records.push((page, data.to_vec())))?;
+                self.fast.rewrite_epoch(epoch, &records)?;
+                Ok(RepairReport {
+                    epoch,
+                    pages: records.iter().map(|(p, _)| *p).collect(),
+                    rewrote_segment: true,
+                    source: "slow tier".to_string(),
+                })
+            }
+        }
+    }
+
+    fn record_meta(&self, epoch: u64, page: u64) -> io::Result<Option<RecordMeta>> {
+        match self.fast.record_meta(epoch, page) {
+            Ok(meta) => Ok(meta),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => self.slow.record_meta(epoch, page),
+            Err(e) => Err(e),
+        }
     }
 
     fn drain_backlog(&self) -> usize {

@@ -1,0 +1,242 @@
+//! Transient-fault retry proofs (ISSUE 10): a bounded, deterministic-jitter
+//! retry layer absorbs self-healing hiccups (EINTR-shaped bursts) on the
+//! drain and read paths, while permanent faults keep failing exactly as
+//! fast as before — `kill()` still parks a level / defers a drain on the
+//! first attempt, preserving the `level_crash` semantics.
+//!
+//! Attempt counts are asserted exactly: the jitter stream is seeded, so
+//! the schedule is reproducible and the tests cannot flake on timing.
+
+use std::fs;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
+
+use ai_ckpt::{restore_latest, restore_latest_lazy, CkptConfig, PageManager};
+use ai_ckpt_mem::page_size;
+use ai_ckpt_storage::{
+    classify, errors::transient, FailingBackend, FaultClass, FaultOp, FileBackend, MemoryRoot,
+    RetryPolicy, StorageBackend, TieredBackend,
+};
+
+const PAGES: usize = 4;
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "aickpt-retry-{tag}-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn cfg() -> CkptConfig {
+    CkptConfig::ai_ckpt(2 * page_size())
+        .with_max_pages(64)
+        .with_committer_streams(1)
+}
+
+fn fill_and_checkpoint(mgr: &PageManager, val: u8) -> Vec<u8> {
+    let mut buf = mgr
+        .alloc_protected_named("state", PAGES * page_size())
+        .unwrap();
+    for (p, chunk) in buf.as_mut_slice().chunks_mut(page_size()).enumerate() {
+        chunk.fill(val ^ p as u8);
+    }
+    let snap = buf.as_slice().to_vec();
+    mgr.checkpoint().unwrap();
+    mgr.wait_checkpoint().unwrap();
+    snap
+}
+
+/// Transient burst against a real stored epoch: attempt count is exactly
+/// `burst + 1` and the bytes come back intact.
+#[test]
+fn read_burst_is_absorbed_with_exact_attempt_count() {
+    let (backend, ctl) = FailingBackend::new(MemoryRoot::new().open("read-burst"));
+    let backend: Arc<dyn StorageBackend> = Arc::new(backend);
+    let mgr = PageManager::with_shared_backend(cfg(), Arc::clone(&backend)).unwrap();
+    fill_and_checkpoint(&mgr, 0x3C);
+    mgr.wait_maintenance_idle().unwrap();
+    drop(mgr);
+
+    ctl.fail_next_n(FaultOp::Read, 2);
+    let policy = RetryPolicy {
+        base: std::time::Duration::from_micros(50),
+        ..RetryPolicy::default()
+    };
+    let (pages, attempts) = policy
+        .run_counted(|| {
+            let mut n = 0u32;
+            backend.read_epoch(1, &mut |_, _| n += 1).map(|()| n)
+        })
+        .expect("a 2-fault burst fits inside the default 4-attempt budget");
+    assert_eq!(attempts, 3, "two transient failures then success");
+    assert_eq!(ctl.transient_remaining(FaultOp::Read), 0, "burst spent");
+    assert!(pages > 0);
+}
+
+/// A burst longer than the budget surfaces the transient error to the
+/// caller after exactly `max_attempts` tries — bounded, not infinite.
+#[test]
+fn oversized_burst_gives_up_after_max_attempts() {
+    let (backend, ctl) = FailingBackend::new(MemoryRoot::new().open("oversized"));
+    let backend: Arc<dyn StorageBackend> = Arc::new(backend);
+    let mgr = PageManager::with_shared_backend(cfg(), Arc::clone(&backend)).unwrap();
+    fill_and_checkpoint(&mgr, 0x5A);
+    drop(mgr);
+
+    ctl.fail_next_n(FaultOp::Read, 100);
+    let policy = RetryPolicy {
+        max_attempts: 3,
+        base: std::time::Duration::from_micros(50),
+        ..RetryPolicy::default()
+    };
+    let calls = AtomicU32::new(0);
+    let err = policy
+        .run(|| {
+            calls.fetch_add(1, Ordering::SeqCst);
+            backend.read_epoch(1, &mut |_, _| {})
+        })
+        .unwrap_err();
+    assert_eq!(classify(&err), FaultClass::Transient);
+    assert_eq!(calls.load(Ordering::SeqCst), 3, "exactly max_attempts");
+    assert_eq!(ctl.transient_remaining(FaultOp::Read), 97);
+}
+
+/// Permanent faults are NOT retried: a killed backend fails on the first
+/// attempt, preserving the prompt park/defer semantics the multi-level
+/// crash suite (`level_crash.rs`) pins down.
+#[test]
+fn permanent_fault_is_never_retried() {
+    let (backend, ctl) = FailingBackend::new(MemoryRoot::new().open("killed"));
+    let backend: Arc<dyn StorageBackend> = Arc::new(backend);
+    let mgr = PageManager::with_shared_backend(cfg(), Arc::clone(&backend)).unwrap();
+    fill_and_checkpoint(&mgr, 0x77);
+    drop(mgr);
+
+    ctl.kill();
+    let calls = AtomicU32::new(0);
+    let err = RetryPolicy::default()
+        .run(|| {
+            calls.fetch_add(1, Ordering::SeqCst);
+            backend.read_epoch(1, &mut |_, _| {})
+        })
+        .unwrap_err();
+    assert_eq!(classify(&err), FaultClass::Permanent);
+    assert_eq!(
+        calls.load(Ordering::SeqCst),
+        1,
+        "no retry against dead media"
+    );
+
+    // And corrupt faults are not retried either: re-reading rot yields rot.
+    ctl.heal();
+    ctl.corrupt_read_payload(1, 0, 9);
+    let calls = AtomicU32::new(0);
+    let err = RetryPolicy::default()
+        .run(|| {
+            calls.fetch_add(1, Ordering::SeqCst);
+            backend.read_page_at(1, 0)
+        })
+        .unwrap_err();
+    assert_eq!(classify(&err), FaultClass::Corrupt);
+    assert_eq!(
+        calls.load(Ordering::SeqCst),
+        1,
+        "corruption is repaired, not retried"
+    );
+}
+
+/// The maintenance worker's drain loop rides the retry layer: a transient
+/// burst on `drain_one` is absorbed invisibly — the backlog still reaches
+/// the durable tier and the failure counter stays at zero.
+#[test]
+fn maintenance_drain_absorbs_transient_burst() {
+    let dir = tmpdir("drain-slow");
+    let tiered = TieredBackend::new(
+        Box::new(MemoryRoot::new().open("drain-fast")),
+        Box::new(FileBackend::open(&dir).unwrap()),
+        0,
+    )
+    .unwrap();
+    let (backend, ctl) = FailingBackend::new(tiered);
+    let backend: Arc<dyn StorageBackend> = Arc::new(backend);
+
+    let mgr = PageManager::with_shared_backend(cfg(), Arc::clone(&backend)).unwrap();
+    // Arm the burst *before* the checkpoint so the maintenance drain that
+    // follows the commit walks straight into it.
+    ctl.fail_next_n(FaultOp::DrainOne, 3);
+    let expect = fill_and_checkpoint(&mgr, 0x19);
+    mgr.wait_maintenance_idle().unwrap();
+
+    let stats = mgr.stats();
+    assert_eq!(
+        ctl.transient_remaining(FaultOp::DrainOne),
+        0,
+        "the burst was consumed by retries, not skipped"
+    );
+    assert!(
+        stats.maintenance.epochs_drained >= 1,
+        "backlog reached the durable tier: {:?}",
+        stats.maintenance
+    );
+    assert_eq!(
+        stats.maintenance.failures, 0,
+        "a burst inside the attempt budget must not count as a failed cycle"
+    );
+
+    // The durable tier is complete: a restore straight off the slow tier's
+    // directory reproduces the checkpoint.
+    drop(mgr);
+    let slow: Arc<dyn StorageBackend> = Arc::new(FileBackend::open(&dir).unwrap());
+    let mgr = PageManager::with_shared_backend(cfg(), Arc::clone(&slow)).unwrap();
+    let image = restore_latest(&mgr, slow.as_ref()).unwrap().unwrap();
+    let buf = &image.buffers[image.by_name["state"]];
+    assert!(buf.as_slice() == expect, "drained bytes intact");
+}
+
+/// The lazy-restore demand-fault path rides the retry layer too: a read
+/// burst during page fill is absorbed and the restored image is
+/// byte-identical — no poisoned buffer, no surfaced error.
+#[test]
+fn lazy_restore_fill_absorbs_transient_read_burst() {
+    let (backend, ctl) = FailingBackend::new(MemoryRoot::new().open("lazy-burst"));
+    let backend: Arc<dyn StorageBackend> = Arc::new(backend);
+    let mgr = PageManager::with_shared_backend(cfg(), Arc::clone(&backend)).unwrap();
+    let expect = fill_and_checkpoint(&mgr, 0x4D);
+    mgr.wait_maintenance_idle().unwrap();
+    drop(mgr);
+
+    ctl.fail_next_n(FaultOp::Read, 2);
+    let mgr = PageManager::with_shared_backend(cfg(), Arc::clone(&backend)).unwrap();
+    let mut lazy = restore_latest_lazy(&mgr, Arc::clone(&backend), None)
+        .unwrap()
+        .unwrap();
+    lazy.wait()
+        .expect("burst absorbed by the filler's retry loop");
+    let buf = &lazy.state.buffers[lazy.state.by_name["state"]];
+    assert!(buf.as_slice() == expect, "healed fill is byte-identical");
+    assert_eq!(ctl.transient_remaining(FaultOp::Read), 0, "burst spent");
+}
+
+/// Sanity on the jitter schedule itself: deterministic per seed, bounded
+/// by the cap, and never below half the nominal backoff.
+#[test]
+fn backoff_schedule_is_deterministic_and_bounded() {
+    use ai_ckpt_core::rng::SplitMix64;
+    let p = RetryPolicy::default().with_seed(7);
+    let mut a = SplitMix64::new(p.seed);
+    let mut b = SplitMix64::new(p.seed);
+    for retry in 1..=6 {
+        let da = p.delay(retry, &mut a);
+        let db = p.delay(retry, &mut b);
+        assert_eq!(da, db, "same seed, same schedule");
+        assert!(da <= p.cap, "cap respected at retry {retry}");
+        let nominal = p.base.saturating_mul(1 << (retry - 1)).min(p.cap);
+        assert!(da >= nominal / 2, "jitter floor at retry {retry}");
+    }
+    let _ = transient("x");
+}
